@@ -1,0 +1,27 @@
+//! Criterion bench: machine-engine throughput (DES events/sec) on the
+//! validation kernels — the substrate cost underlying every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vppb_machine::{run, NullHooks, RunOptions};
+use vppb_model::{LwpPolicy, MachineConfig};
+use vppb_workloads::{splash, KernelParams};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_engine");
+    g.sample_size(10);
+    for cpus in [1u32, 4, 8] {
+        let app = splash::radix(KernelParams::scaled(cpus, 0.1));
+        let cfg = MachineConfig::sun_enterprise(cpus).with_lwps(LwpPolicy::PerThread);
+        g.bench_with_input(BenchmarkId::new("radix", cpus), &cpus, |b, _| {
+            b.iter(|| {
+                let mut hooks = NullHooks;
+                let opts = RunOptions { record_trace: false, ..RunOptions::new(&mut hooks) };
+                run(&app, &cfg, opts).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: log serialization/parsing throughput (the paper's
+//! "size of the log files could become a problem for very long
+//! executions" concern).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use vppb_model::textlog;
+use vppb_recorder::{record, RecordOptions};
+use vppb_workloads::{splash, KernelParams};
+
+fn bench_logio(c: &mut Criterion) {
+    let rec = record(&splash::ocean(KernelParams::scaled(8, 0.2)), &RecordOptions::default())
+        .unwrap();
+    let text = textlog::write_log(&rec.log);
+    let mut g = c.benchmark_group("logio");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("write_text", |b| b.iter(|| textlog::write_log(&rec.log)));
+    g.bench_function("parse_text", |b| b.iter(|| textlog::parse_log(&text).unwrap()));
+    g.bench_function("json_roundtrip", |b| {
+        b.iter(|| {
+            let j = serde_json::to_string(&rec.log).unwrap();
+            let _: vppb_model::TraceLog = serde_json::from_str(&j).unwrap();
+        })
+    });
+    let bin = vppb_model::binlog::encode(&rec.log).unwrap();
+    g.bench_function("binary_encode", |b| {
+        b.iter(|| vppb_model::binlog::encode(&rec.log).unwrap())
+    });
+    g.bench_function("binary_decode", |b| {
+        b.iter(|| vppb_model::binlog::decode(&bin).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_logio);
+criterion_main!(benches);

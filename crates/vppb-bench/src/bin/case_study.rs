@@ -1,0 +1,10 @@
+//! Regenerate the §5 producer/consumer case study (CS-A / CS-B).
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin case_study [scale]`
+
+fn main() {
+    let scale: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let cs = vppb_bench::case_study::compute(scale).expect("case study computes");
+    print!("{}", vppb_bench::case_study::render(&cs));
+}

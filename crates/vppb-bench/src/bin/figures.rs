@@ -1,0 +1,32 @@
+//! Regenerate the paper's figures. Text figures go to stdout; SVGs are
+//! written to `out/`.
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin figures [fig2|fig4|fig5|fig6|fig7|all]`
+
+use std::fs;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    fs::create_dir_all("out").expect("create out/");
+    let scale = 0.25; // figures don't need full-length runs
+    if matches!(which.as_str(), "fig2" | "all") {
+        println!("--- Figure 2: Recorder output for the example program ---");
+        println!("{}", vppb_bench::figures::fig2().unwrap());
+    }
+    if matches!(which.as_str(), "fig4" | "all") {
+        println!("--- Figure 4: per-thread event lists ---");
+        println!("{}", vppb_bench::figures::fig4().unwrap());
+    }
+    if matches!(which.as_str(), "fig5" | "all") {
+        fs::write("out/fig5.svg", vppb_bench::figures::fig5().unwrap()).unwrap();
+        println!("wrote out/fig5.svg (parallelism + flow graphs, example on 2 CPUs)");
+    }
+    if matches!(which.as_str(), "fig6" | "all") {
+        fs::write("out/fig6.svg", vppb_bench::figures::fig6(scale).unwrap()).unwrap();
+        println!("wrote out/fig6.svg (naive producer/consumer: serialization on one mutex)");
+    }
+    if matches!(which.as_str(), "fig7" | "all") {
+        fs::write("out/fig7.svg", vppb_bench::figures::fig7(scale).unwrap()).unwrap();
+        println!("wrote out/fig7.svg (improved run: tall runnable band)");
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerate the §4 log-size and event-rate statistics (LOG).
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin logsize [scale]`
+
+fn main() {
+    let scale: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let reports = vppb_bench::overhead_exp::compute(scale, 8).expect("log stats compute");
+    println!("Log-file statistics (paper maxima: 1.4 MB, 653 events/s; kernels here are ~50x shorter):");
+    println!("{:<16} {:>9} {:>12} {:>12}", "program", "records", "log bytes", "events/s");
+    for r in &reports {
+        println!(
+            "{:<16} {:>9} {:>12} {:>12.0}",
+            r.program, r.n_records, r.log_bytes, r.events_per_second
+        );
+    }
+}

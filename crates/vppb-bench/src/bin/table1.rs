@@ -1,0 +1,25 @@
+//! Regenerate Table 1 of the paper: measured vs predicted speed-ups for
+//! the five validation kernels on 2/4/8 processors.
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin table1 [scale]`
+
+//! Pass `--json FILE` to additionally write the raw results for
+//! machine consumption (CI regression tracking, plotting).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args
+        .iter()
+        .find(|a| a.parse::<f64>().is_ok())
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.0);
+    eprintln!("computing Table 1 at scale {scale} (5 real runs + recording + 2 simulations per cell)...");
+    let t = vppb_bench::table1::compute(scale).expect("table computes");
+    print!("{}", vppb_bench::table1::render(&t));
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a file path");
+        std::fs::write(path, serde_json::to_string_pretty(&t).expect("serializable"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

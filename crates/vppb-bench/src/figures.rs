@@ -1,0 +1,121 @@
+//! Figure regeneration: FIG2 (example program + Recorder output), FIG4
+//! (per-thread event lists), FIG5 (the two graphs for the example), FIG6
+//! (naive producer/consumer flow graph) and FIG7 (improved run).
+
+use std::fmt::Write as _;
+use vppb_model::{textlog, SimParams, Time, VppbError};
+use vppb_recorder::{record, RecordOptions};
+use vppb_sim::{analyze, simulate};
+use vppb_threads::{App, AppBuilder};
+use vppb_viz::{svg, Timeline, View};
+use vppb_workloads::prodcons;
+
+/// The example program of fig. 2: `main` creates two threads running
+/// `thread()` (300 ms of `work()`), then joins them.
+pub fn example_program() -> App {
+    let mut b = AppBuilder::new("example", "main.c");
+    let thread = b.func("thread", |f| f.work_ms(300)); // work();
+    b.main(move |f| {
+        let thr_a = f.create(thread); // thr_create(0,0,thread,0,0,&thr_a);
+        let thr_b = f.create(thread); // thr_create(0,0,thread,0,0,&thr_b);
+        f.join(thr_a); //               thr_join(thr_a,0,0);
+        f.join(thr_b); //               thr_join(thr_b,0,0);
+    });
+    b.build().expect("example builds")
+}
+
+/// FIG2: the Recorder's output for the example program, in the text log
+/// format (compare the event list on the right of fig. 2; thread ids are
+/// main=T1, thr_a=T4, thr_b=T5 as in the paper).
+pub fn fig2() -> Result<String, VppbError> {
+    let rec = record(&example_program(), &RecordOptions::default())?;
+    Ok(textlog::write_log(&rec.log))
+}
+
+/// FIG4: the Simulator's per-thread sorting of the same log.
+pub fn fig4() -> Result<String, VppbError> {
+    let rec = record(&example_program(), &RecordOptions::default())?;
+    let plan = analyze(&rec.log)?;
+    let mut s = String::new();
+    for tp in &plan.threads {
+        let _ = writeln!(s, "{}'s event list ({}):", tp.id, tp.start_fn);
+        for op in &tp.ops {
+            let _ = writeln!(s, "    {op:?}");
+        }
+    }
+    Ok(s)
+}
+
+/// FIG5: the execution parallelism and flow graphs after simulating the
+/// example on two processors.
+pub fn fig5() -> Result<String, VppbError> {
+    let rec = record(&example_program(), &RecordOptions::default())?;
+    let sim = simulate(&rec.log, &SimParams::cpus(2))?;
+    Ok(svg::render_trace(&sim.trace))
+}
+
+/// FIG6: part of the execution of the naive producer/consumer program —
+/// the flow graph shows every thread serializing on one mutex. Zoomed to
+/// an early window and compressed to active threads, as in the paper.
+pub fn fig6(scale: f64) -> Result<String, VppbError> {
+    let rec = record(&prodcons::naive(scale), &RecordOptions::default())?;
+    let sim = simulate(&rec.log, &SimParams::cpus(8))?;
+    let tl = Timeline::from_trace(&sim.trace);
+    let mut view = View::full(&tl);
+    // A small early window (fig. 6 shows "parts of the execution").
+    let end = Time(sim.wall_time.nanos() / 20);
+    view.select(Time::ZERO, end);
+    view.filter = vppb_viz::ThreadFilter::ActiveInView;
+    Ok(svg::render(&tl, &sim.trace, &view, &svg::SvgOptions::default()))
+}
+
+/// FIG7: the simulated execution of the improved program — the
+/// parallelism graph shows a tall red band (runnable threads without a
+/// processor) over a constant green base of 8 running threads.
+pub fn fig7(scale: f64) -> Result<String, VppbError> {
+    let rec = record(&prodcons::improved(scale), &RecordOptions::default())?;
+    let sim = simulate(&rec.log, &SimParams::cpus(8))?;
+    Ok(svg::render_trace(&sim.trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_log_mirrors_the_paper_event_list() {
+        let log = fig2().unwrap();
+        // The paper's sequence: start_collect, two creates (children T4
+        // and T5), joins, exits.
+        assert!(log.contains("start_collect"));
+        assert!(log.contains("created=T4"));
+        assert!(log.contains("created=T5"));
+        assert!(log.contains("thr_join target=T4"));
+        assert!(log.contains("thr_join target=T5"));
+        assert!(log.contains("joined=T4"));
+        assert!(log.contains("end_collect"));
+    }
+
+    #[test]
+    fn fig4_lists_all_three_threads() {
+        let s = fig4().unwrap();
+        assert!(s.contains("T1's event list (main)"));
+        assert!(s.contains("T4's event list (thread)"));
+        assert!(s.contains("T5's event list (thread)"));
+    }
+
+    #[test]
+    fn fig5_is_svg_with_two_graphs() {
+        let s = fig5().unwrap();
+        assert!(s.starts_with("<svg"));
+        assert!(s.contains("thread")); // worker lanes labelled
+    }
+
+    #[test]
+    fn fig6_and_fig7_render() {
+        let f6 = fig6(0.05).unwrap();
+        assert!(f6.starts_with("<svg"));
+        let f7 = fig7(0.05).unwrap();
+        assert!(f7.starts_with("<svg"));
+    }
+}

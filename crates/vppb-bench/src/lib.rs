@@ -1,0 +1,39 @@
+//! # vppb-bench — the evaluation harness
+//!
+//! One module per experiment in DESIGN.md §4; the `src/bin/` targets are
+//! thin wrappers that print each module's report. Experiments:
+//!
+//! * [`table1`] — TAB1, the paper's headline validation table;
+//! * [`case_study`] — CS-A/CS-B, the §5 producer/consumer walkthrough;
+//! * [`overhead_exp`] — OVH + LOG, recording intrusion and log statistics;
+//! * [`figures`] — FIG2/4/5/6/7 regeneration (text + SVG);
+//! * [`whatif`] — WHATIF, ablations and §3.2 parameter sweeps.
+
+pub mod case_study;
+pub mod figures;
+pub mod harness;
+pub mod overhead_exp;
+pub mod table1;
+pub mod whatif;
+
+use vppb_threads::{App, AppBuilder};
+
+/// A program with more runnable threads than CPUs, used by the dispatch
+/// ablation (priority aging only matters when LWPs compete).
+pub fn figures_app_many_threads(scale: f64) -> App {
+    let mut b = AppBuilder::new("oversubscribed", "many.c");
+    let m = b.mutex();
+    let w = b.func("w", move |f| {
+        f.loop_n(20, |f| {
+            f.work(vppb_model::Duration::from_secs_f64(2e-3 * scale));
+            f.lock(m);
+            f.unlock(m);
+        });
+    });
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(6, |f| f.create_into(w, s));
+        f.loop_n(6, |f| f.join(s));
+    });
+    b.build().expect("oversubscribed app builds")
+}

@@ -1,0 +1,70 @@
+//! Experiments OVH and LOG (§4): recording intrusion, log sizes and event
+//! rates for the five validation programs.
+//!
+//! Paper maxima: overhead 2.6 % (Ocean), log 1.4 MB (Ocean), 653 events/s
+//! (Ocean); uni-processor runs of 60–210 s. Our kernels are scaled down
+//! ~50×, so absolute log sizes shrink accordingly while the overhead
+//! percentages and event *rates* stay comparable.
+
+use std::fmt::Write as _;
+use vppb_model::VppbError;
+use vppb_recorder::{measure_overhead, OverheadReport, RecordOptions};
+use vppb_workloads::{splash2_suite, KernelParams};
+
+/// Reports for the whole suite, recorded with 8 worker threads (the
+/// largest, most event-dense configuration).
+pub fn compute(scale: f64, threads: u32) -> Result<Vec<OverheadReport>, VppbError> {
+    let mut out = Vec::new();
+    for spec in splash2_suite() {
+        let app = (spec.build)(KernelParams::scaled(threads, scale));
+        out.push(measure_overhead(&app, &RecordOptions::default())?);
+    }
+    Ok(out)
+}
+
+pub fn render(reports: &[OverheadReport]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Recording intrusion and log statistics (8 threads):");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "program", "bare", "monitored", "overhead", "records", "log bytes", "events/s"
+    );
+    for r in reports {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>10} {:>10} {:>8.2}% {:>9} {:>10} {:>10.0}",
+            r.program,
+            r.bare,
+            r.monitored,
+            r.overhead() * 100.0,
+            r.n_records,
+            r.log_bytes,
+            r.events_per_second
+        );
+    }
+    let max = reports.iter().map(|r| r.overhead()).fold(0.0, f64::max);
+    let _ = writeln!(s, "\nMax overhead = {:.2}% (paper: 2.6%, bound 3%)", max * 100.0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_stays_below_the_papers_bound() {
+        let reports = compute(1.0, 8).unwrap();
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert!(
+                r.overhead() < 0.03,
+                "{}: overhead {:.2}% exceeds the paper's 3% bound",
+                r.program,
+                r.overhead() * 100.0
+            );
+            assert!(r.overhead() >= 0.0);
+            assert!(r.n_records > 100, "{} produced only {} records", r.program, r.n_records);
+        }
+    }
+}

@@ -1,0 +1,1574 @@
+//! The discrete-event execution engine: a virtual shared-memory
+//! multiprocessor running Solaris 2.5-style two-level thread scheduling.
+//!
+//! This is the substrate standing in for the paper's Sun Ultra Enterprise
+//! 4000. It executes [`App`] programs faithfully: user-level threads are
+//! multiplexed on a pool of LWPs (unless bound), the kernel dispatches LWPs
+//! onto CPUs by TS-class priority with per-priority time slices and
+//! priority aging, synchronization blocks threads at user level (the LWP
+//! picks up another runnable thread), and cross-CPU wakeups pay the
+//! configured communication delay.
+//!
+//! The same engine executes *real* runs (ground truth for Table 1),
+//! *monitored* runs (the Recorder attaches [`Hooks`] and a 1-CPU/1-LWP
+//! configuration), and *predicted* runs (the Simulator feeds replayer
+//! programs plus a [`CallInterceptor`] implementing the §3.2 replay rules).
+
+use crate::hooks::{event_kind_of, Hooks};
+use crate::jitter::JitterModel;
+use crate::result::{RunLimits, RunResult};
+use crate::sync::{CondState, MutexState, RwState, RwWaiter, SemState};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::cmp::Reverse;
+use vppb_model::{
+    Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, LwpId,
+    LwpPolicy, MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip,
+    ThreadState, Time, Transition, VppbError,
+};
+use vppb_threads::{
+    Action, App, FuncId, LibCall, Outcome, Program, ResumeCtx, VarOp,
+};
+
+/// Maximum consecutive zero-time actions before a thread is declared
+/// livelocked (a spin loop with no `Work` in its body).
+const SPIN_LIMIT: u64 = 1_000_000;
+
+/// Decision of a [`CallInterceptor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intercept {
+    /// Execute this (possibly rewritten) call.
+    Proceed(LibCall),
+    /// Drop the call entirely: no probes, no cost, outcome `None`.
+    Skip,
+}
+
+/// Rewrites thread-library calls just before execution. The trace-driven
+/// Simulator uses this to implement the paper's replay rules (barrier-aware
+/// `cond_broadcast`, lost-signal credits).
+pub trait CallInterceptor {
+    /// Decide what to do with `call`, issued by `thread` at `now`.
+    fn intercept(&mut self, thread: ThreadId, call: LibCall, now: Time) -> Intercept;
+}
+
+/// Assigns thread ids at `thr_create`. The Simulator pins ids to the ones
+/// in the log so replayed `thr_join`/`thr_setprio` targets resolve.
+pub type IdAssigner<'a> = Box<dyn FnMut(ThreadId, u64) -> ThreadId + 'a>;
+
+/// Per-run options.
+pub struct RunOptions<'a> {
+    /// Probe interposition (the Recorder); [`crate::NullHooks`] for bare runs.
+    pub hooks: &'a mut dyn Hooks,
+    /// Replay-rule hook (the Simulator).
+    pub interceptor: Option<&'a mut dyn CallInterceptor>,
+    /// Thread-id pinning (the Simulator keeps log ids).
+    pub id_assigner: Option<IdAssigner<'a>>,
+    /// Per-thread what-if manipulations (binding/priority overrides).
+    pub manips: BTreeMap<ThreadId, ThreadManip>,
+    /// Work-duration variance for ground-truth runs.
+    pub jitter: JitterModel,
+    /// Livelock / runaway guards.
+    pub limits: RunLimits,
+    /// Collect the full transition/event timeline (costs memory on long
+    /// runs; speed-up measurements can turn it off).
+    pub record_trace: bool,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Default options around the given hooks.
+    pub fn new(hooks: &'a mut dyn Hooks) -> RunOptions<'a> {
+        RunOptions {
+            hooks,
+            interceptor: None,
+            id_assigner: None,
+            manips: BTreeMap::new(),
+            jitter: JitterModel::none(),
+            limits: RunLimits::default(),
+            record_trace: true,
+        }
+    }
+}
+
+/// Execute `app` on a machine with configuration `cfg`.
+pub fn run(app: &App, cfg: &MachineConfig, opts: RunOptions<'_>) -> Result<RunResult, VppbError> {
+    if cfg.cpus == 0 {
+        return Err(VppbError::InvalidConfig("machine needs at least one CPU".into()));
+    }
+    app.validate()?;
+    Engine::new(app, cfg, opts).run()
+}
+
+// ---------------------------------------------------------------------------
+// internal state
+// ---------------------------------------------------------------------------
+
+type Tix = usize;
+type Lix = usize;
+type Cix = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// The CPU's current run (segment or quantum) ends.
+    CpuStop { cpu: Cix, token: u64 },
+    /// A wakeup becomes visible to the thread.
+    Wake { thread: Tix, gen: u64 },
+    /// A `cond_timedwait` timeout or `Sleep` expiry.
+    Timer { thread: Tix, gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Ask the program for its next action.
+    Resume,
+    /// Computing on a CPU.
+    Compute { left: Duration },
+    /// Inside a library call's latency; semantics execute at completion.
+    CallLatency { left: Duration },
+    /// Call semantics complete (or thread woken inside a blocking call);
+    /// emit the AFTER probe when next on a CPU.
+    CallFinish,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Embryo,
+    Runnable,
+    Running(Cix),
+    Blocked(BlockReason),
+    Zombie,
+    Done,
+}
+
+struct Inflight {
+    call: LibCall,
+    site: CodeAddr,
+    before: Time,
+    cpu: Cix,
+}
+
+struct ThreadRt {
+    id: ThreadId,
+    func: FuncId,
+    program: Box<dyn Program>,
+    state: TState,
+    phase: Phase,
+    binding: Binding,
+    user_prio: i32,
+    prio_locked: bool,
+    lwp: Option<Lix>,
+    last_cpu: Option<Cix>,
+    outcome: Outcome,
+    call: Option<Inflight>,
+    /// (condvar index, mutex index) while waiting on a condition.
+    cv_wait: Option<(u32, u32)>,
+    started: Option<Time>,
+    ended: Option<Time>,
+    cpu_time: Duration,
+    pre_charge: Duration,
+    create_seq: u64,
+    gen: u64,
+    yield_pending: bool,
+    suspend_self_pending: bool,
+    suspended: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LState {
+    /// Pool LWP with no thread to run.
+    Parked,
+    /// Ready to be dispatched onto a CPU.
+    Ready,
+    Running(Cix),
+    /// Bound LWP sleeping with its blocked thread.
+    Sleeping,
+    /// Bound LWP whose thread exited.
+    Dead,
+}
+
+struct LwpRt {
+    id: LwpId,
+    state: LState,
+    prio: i32,
+    quantum_left: Duration,
+    fresh_quantum: bool,
+    thread: Option<Tix>,
+    /// Dedicated to one (bound) thread.
+    dedicated: bool,
+    cpu_binding: Option<Cix>,
+    last_thread: Option<Tix>,
+}
+
+struct CpuRt {
+    lwp: Option<Lix>,
+    run_start: Time,
+    token: u64,
+    busy: Duration,
+    last_lwp: Option<Lix>,
+}
+
+struct Engine<'a, 'o> {
+    app: &'a App,
+    cfg: &'a MachineConfig,
+    opts: RunOptions<'o>,
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Time, u64, Ev)>>,
+    threads: Vec<ThreadRt>,
+    by_id: BTreeMap<ThreadId, Tix>,
+    lwps: Vec<LwpRt>,
+    cpus: Vec<CpuRt>,
+    mutexes: Vec<MutexState>,
+    sems: Vec<SemState>,
+    conds: Vec<CondState>,
+    rws: Vec<RwState>,
+    vars: Vec<i64>,
+    /// Unbound runnable threads without an LWP, highest priority first.
+    user_rq: BTreeMap<i32, VecDeque<Tix>>,
+    /// Ready LWPs awaiting a CPU, highest priority first.
+    kernel_rq: BTreeMap<i32, VecDeque<Lix>>,
+    /// Threads blocked in `thr_join`, in blocking order.
+    joiners: VecDeque<(Tix, Option<ThreadId>)>,
+    /// Exited-but-unjoined threads, in exit order.
+    zombies: VecDeque<Tix>,
+    next_id: u32,
+    live: u32,
+    des_events: u64,
+    transitions: Vec<Transition>,
+    events: Vec<PlacedEvent>,
+}
+
+/// What happened to the calling thread after call semantics ran.
+enum CallOutcome {
+    /// Call complete; thread keeps the CPU (phase = CallFinish).
+    Done,
+    /// Thread blocked inside the call.
+    Blocked(BlockReason),
+    /// Thread entered a blocking I/O system call: unlike user-level
+    /// synchronization, the *LWP* sleeps in the kernel with the thread
+    /// still attached, for this long.
+    BlockedIo(Duration),
+    /// Thread exited.
+    Exited,
+}
+
+impl<'a, 'o> Engine<'a, 'o> {
+    fn new(app: &'a App, cfg: &'a MachineConfig, opts: RunOptions<'o>) -> Engine<'a, 'o> {
+        Engine {
+            app,
+            cfg,
+            opts,
+            now: Time::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            threads: Vec::new(),
+            by_id: BTreeMap::new(),
+            lwps: Vec::new(),
+            cpus: (0..cfg.cpus)
+                .map(|_| CpuRt {
+                    lwp: None,
+                    run_start: Time::ZERO,
+                    token: 0,
+                    busy: Duration::ZERO,
+                    last_lwp: None,
+                })
+                .collect(),
+            mutexes: vec![MutexState::default(); app.n_mutexes as usize],
+            sems: app.sem_initial.iter().map(|&v| SemState::new(v)).collect(),
+            conds: vec![CondState::default(); app.n_condvars as usize],
+            rws: vec![RwState::default(); app.n_rwlocks as usize],
+            vars: app.var_initial.clone(),
+            user_rq: BTreeMap::new(),
+            kernel_rq: BTreeMap::new(),
+            joiners: VecDeque::new(),
+            zombies: VecDeque::new(),
+            next_id: ThreadId::FIRST_USER.0,
+            live: 0,
+            des_events: 0,
+            transitions: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    // -- small helpers ------------------------------------------------------
+
+    fn push_ev(&mut self, at: Time, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn viz_state(&self, tix: Tix) -> ThreadState {
+        let t = &self.threads[tix];
+        match t.state {
+            TState::Embryo => ThreadState::Blocked(BlockReason::NotStarted),
+            TState::Runnable => ThreadState::Runnable,
+            TState::Running(c) => ThreadState::Running {
+                cpu: CpuId(c as u32),
+                lwp: LwpId(self.lwps[t.lwp.expect("running thread has lwp")].id.0),
+            },
+            TState::Blocked(r) => ThreadState::Blocked(r),
+            TState::Zombie | TState::Done => ThreadState::Exited,
+        }
+    }
+
+    fn set_state(&mut self, tix: Tix, state: TState) {
+        self.threads[tix].state = state;
+        if self.opts.record_trace {
+            let s = self.viz_state(tix);
+            self.transitions.push(Transition {
+                time: self.now,
+                thread: self.threads[tix].id,
+                state: s,
+            });
+        }
+    }
+
+    fn is_bound(&self, tix: Tix) -> bool {
+        self.threads[tix].binding.is_bound()
+    }
+
+    fn call_cost(&self, call: &LibCall, bound: bool) -> Duration {
+        let b = &self.cfg.base_costs;
+        let f = &self.cfg.bound_costs;
+        match call {
+            LibCall::Create { bound: child_bound, .. } => {
+                // Creating a bound thread is 6.7x the cost of unbound [17].
+                if *child_bound {
+                    b.create.scale(f.create_factor)
+                } else {
+                    b.create
+                }
+            }
+            // Synchronization by a bound thread is 5.9x [17]; the paper
+            // applies the semaphore factor to mutexes, conditions and
+            // read/write locks alike.
+            _ => {
+                if bound {
+                    b.sync_op.scale(f.sync_factor)
+                } else {
+                    b.sync_op
+                }
+            }
+        }
+    }
+
+    // -- user-level run queue ----------------------------------------------
+
+    fn user_rq_push(&mut self, tix: Tix, front: bool) {
+        let prio = self.threads[tix].user_prio;
+        let q = self.user_rq.entry(prio).or_default();
+        if front {
+            q.push_front(tix);
+        } else {
+            q.push_back(tix);
+        }
+    }
+
+    fn user_rq_pop(&mut self) -> Option<Tix> {
+        let (&prio, _) = self.user_rq.iter().next_back()?;
+        let q = self.user_rq.get_mut(&prio).expect("key exists");
+        let t = q.pop_front();
+        if q.is_empty() {
+            self.user_rq.remove(&prio);
+        }
+        t
+    }
+
+    fn user_rq_remove(&mut self, tix: Tix) -> bool {
+        let prio = self.threads[tix].user_prio;
+        if let Some(q) = self.user_rq.get_mut(&prio) {
+            if let Some(pos) = q.iter().position(|&x| x == tix) {
+                q.remove(pos);
+                if q.is_empty() {
+                    self.user_rq.remove(&prio);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    // -- kernel run queue ----------------------------------------------------
+
+    fn kernel_enqueue(&mut self, lix: Lix) {
+        self.lwps[lix].state = LState::Ready;
+        let prio = self.lwps[lix].prio;
+        self.kernel_rq.entry(prio).or_default().push_back(lix);
+    }
+
+    fn kernel_remove(&mut self, lix: Lix) {
+        let prio = self.lwps[lix].prio;
+        if let Some(q) = self.kernel_rq.get_mut(&prio) {
+            if let Some(pos) = q.iter().position(|&x| x == lix) {
+                q.remove(pos);
+                if q.is_empty() {
+                    self.kernel_rq.remove(&prio);
+                }
+            }
+        }
+    }
+
+    fn eligible(&self, lix: Lix, cix: Cix) -> bool {
+        match self.lwps[lix].cpu_binding {
+            None => true,
+            Some(c) => c == cix,
+        }
+    }
+
+    /// Pick the best ready LWP that may run on `cix`.
+    fn pick_for_cpu(&mut self, cix: Cix) -> Option<Lix> {
+        let mut found: Option<(i32, usize)> = None; // (prio, position)
+        for (&prio, q) in self.kernel_rq.iter().rev() {
+            if let Some(pos) = q.iter().position(|&l| self.eligible(l, cix)) {
+                found = Some((prio, pos));
+                break;
+            }
+        }
+        let (prio, pos) = found?;
+        let q = self.kernel_rq.get_mut(&prio).expect("key exists");
+        let lix = q.remove(pos).expect("position valid");
+        if q.is_empty() {
+            self.kernel_rq.remove(&prio);
+        }
+        Some(lix)
+    }
+
+    // -- dispatch -------------------------------------------------------------
+
+    /// Attach runnable unbound threads to parked pool LWPs.
+    fn attach_parked(&mut self) {
+        loop {
+            let Some(lix) =
+                self.lwps.iter().position(|l| l.state == LState::Parked && !l.dedicated)
+            else {
+                return;
+            };
+            let Some(tix) = self.user_rq_pop() else { return };
+            self.attach(lix, tix, true);
+            self.kernel_enqueue(lix);
+        }
+    }
+
+    /// Attach `tix` to LWP `lix`. `slept` boosts the LWP's priority as a
+    /// sleep return (it was parked / sleeping in the kernel). Freshly
+    /// created threads do *not* get the boost — they enter at whatever
+    /// priority the LWP already has, like a new TS-class LWP.
+    fn attach(&mut self, lix: Lix, tix: Tix, slept: bool) {
+        let boost = slept && self.threads[tix].started.is_some();
+        let l = &mut self.lwps[lix];
+        l.thread = Some(tix);
+        if boost {
+            l.prio = self.cfg.dispatch.on_sleep_return(l.prio);
+        }
+        if slept {
+            l.fresh_quantum = true;
+        }
+        self.threads[tix].lwp = Some(lix);
+    }
+
+    fn dispatch(&mut self) -> Result<(), VppbError> {
+        loop {
+            self.attach_parked();
+            let mut changed = false;
+            // Fill idle CPUs.
+            for c in 0..self.cpus.len() {
+                if self.cpus[c].lwp.is_none() {
+                    if let Some(l) = self.pick_for_cpu(c) {
+                        self.grant(c, l)?;
+                        changed = true;
+                    }
+                }
+            }
+            // One preemption: the best queued LWP vs the worst running one.
+            if let Some((qprio, _)) = self.kernel_rq.iter().next_back().map(|(p, _)| (*p, ())) {
+                // Find the queued LWP (front of the best priority class).
+                let lix = *self.kernel_rq[&qprio].front().expect("non-empty class");
+                // Worst eligible running LWP.
+                let mut worst: Option<(i32, Cix)> = None;
+                for c in 0..self.cpus.len() {
+                    if !self.eligible(lix, c) {
+                        continue;
+                    }
+                    if let Some(rl) = self.cpus[c].lwp {
+                        let p = self.lwps[rl].prio;
+                        if worst.is_none_or(|(wp, _)| p < wp) {
+                            worst = Some((p, c));
+                        }
+                    }
+                }
+                if let Some((wp, c)) = worst {
+                    if wp < qprio {
+                        self.preempt(c);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Grant CPU `c` to ready LWP `l` and start running its thread.
+    fn grant(&mut self, c: Cix, l: Lix, ) -> Result<(), VppbError> {
+        debug_assert!(self.cpus[c].lwp.is_none());
+        let tix = self.lwps[l].thread.expect("ready LWP carries a thread");
+        self.lwps[l].state = LState::Running(c);
+        if self.lwps[l].fresh_quantum {
+            self.lwps[l].quantum_left = self.cfg.dispatch.quantum(self.lwps[l].prio);
+            self.lwps[l].fresh_quantum = false;
+        }
+        // Context-switch costs are charged to the incoming thread.
+        let mut charge = Duration::ZERO;
+        if self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(tix) {
+            charge += self.cfg.base_costs.uthread_switch;
+        }
+        if self.cpus[c].last_lwp.is_some() && self.cpus[c].last_lwp != Some(l) {
+            charge += self.cfg.base_costs.lwp_switch;
+        }
+        // Cache-affinity: a thread migrating between CPUs refills caches.
+        if let Some(prev) = self.threads[tix].last_cpu {
+            if prev != c {
+                charge += self.cfg.migration_penalty;
+            }
+        }
+        self.threads[tix].pre_charge += charge;
+        self.lwps[l].last_thread = Some(tix);
+        self.cpus[c].lwp = Some(l);
+        self.cpus[c].last_lwp = Some(l);
+        self.cpus[c].run_start = self.now;
+        self.threads[tix].last_cpu = Some(c);
+        if self.threads[tix].started.is_none() {
+            self.threads[tix].started = Some(self.now);
+            let entry = self.app.func_entry(self.threads[tix].func);
+            let id = self.threads[tix].id;
+            self.opts.hooks.on_thread_start(self.now, id, entry);
+        }
+        self.set_state(tix, TState::Running(c));
+        self.run_thread(c)
+    }
+
+    /// Charge elapsed run time on CPU `c` to its LWP/thread phases.
+    fn charge_elapsed(&mut self, c: Cix) {
+        let elapsed = self.now - self.cpus[c].run_start;
+        self.cpus[c].run_start = self.now;
+        if elapsed.is_zero() {
+            return;
+        }
+        self.cpus[c].busy += elapsed;
+        let l = self.cpus[c].lwp.expect("charging a busy cpu");
+        self.lwps[l].quantum_left = self.lwps[l].quantum_left.saturating_sub(elapsed);
+        let tix = self.lwps[l].thread.expect("running lwp has thread");
+        self.threads[tix].cpu_time += elapsed;
+        match &mut self.threads[tix].phase {
+            Phase::Compute { left } | Phase::CallLatency { left } => {
+                *left = left.saturating_sub(elapsed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Kernel preemption: stop the LWP on `c` and requeue it (it keeps its
+    /// priority and remaining quantum).
+    fn preempt(&mut self, c: Cix) {
+        self.cpus[c].token += 1;
+        self.charge_elapsed(c);
+        let l = self.cpus[c].lwp.take().expect("preempting a busy cpu");
+        self.cpus[c].last_lwp = Some(l);
+        let tix = self.lwps[l].thread.expect("running lwp has thread");
+        self.set_state(tix, TState::Runnable);
+        self.kernel_enqueue(l);
+    }
+
+    /// The LWP on CPU `c` lost its thread (block/exit/yield): pick another
+    /// runnable unbound thread or park/sleep.
+    fn lwp_continue_or_park(&mut self, c: Cix) -> Result<(), VppbError> {
+        let l = self.cpus[c].lwp.expect("cpu busy");
+        if self.lwps[l].dedicated {
+            // Bound LWP sleeps with its thread (or died with it).
+            let dead = self.lwps[l].thread.is_none();
+            self.lwps[l].state = if dead { LState::Dead } else { LState::Sleeping };
+            self.cpus[c].lwp = None;
+            self.cpus[c].last_lwp = Some(l);
+            self.cpus[c].token += 1;
+            return self.dispatch();
+        }
+        match self.user_rq_pop() {
+            Some(next) => {
+                self.attach(l, next, false);
+                self.cpus[c].run_start = self.now;
+                // Same CPU continues with the new thread.
+                let mut charge = Duration::ZERO;
+                if self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(next) {
+                    charge = self.cfg.base_costs.uthread_switch;
+                }
+                if let Some(prev) = self.threads[next].last_cpu {
+                    if prev != c {
+                        charge += self.cfg.migration_penalty;
+                    }
+                }
+                self.threads[next].pre_charge += charge;
+                self.lwps[l].last_thread = Some(next);
+                self.threads[next].last_cpu = Some(c);
+                if self.threads[next].started.is_none() {
+                    self.threads[next].started = Some(self.now);
+                    let entry = self.app.func_entry(self.threads[next].func);
+                    let id = self.threads[next].id;
+                    self.opts.hooks.on_thread_start(self.now, id, entry);
+                }
+                self.set_state(next, TState::Running(c));
+                self.run_thread(c)
+            }
+            None => {
+                self.lwps[l].state = LState::Parked;
+                self.lwps[l].thread = None;
+                self.cpus[c].lwp = None;
+                self.cpus[c].last_lwp = Some(l);
+                self.cpus[c].token += 1;
+                self.dispatch()
+            }
+        }
+    }
+
+    // -- running a thread -----------------------------------------------------
+
+    /// Drive the thread currently on CPU `c` until it schedules a stop,
+    /// blocks, or exits.
+    fn run_thread(&mut self, c: Cix) -> Result<(), VppbError> {
+        loop {
+            let Some(l) = self.cpus[c].lwp else { return Ok(()) };
+            let Some(tix) = self.lwps[l].thread else { return Ok(()) };
+            match self.threads[tix].phase {
+                Phase::Resume => {
+                    if !self.resume_loop(tix, c)? {
+                        return Ok(());
+                    }
+                }
+                Phase::CallFinish => {
+                    if !self.finish_call(tix, c)? {
+                        return Ok(());
+                    }
+                }
+                Phase::Compute { left } | Phase::CallLatency { left } => {
+                    let total = left + std::mem::take(&mut self.threads[tix].pre_charge);
+                    match &mut self.threads[tix].phase {
+                        Phase::Compute { left } | Phase::CallLatency { left } => *left = total,
+                        _ => unreachable!(),
+                    }
+                    let stop = if self.cfg.time_slicing && !self.lwps[l].dedicated_solo() {
+                        Duration::from_nanos(
+                            total.nanos().min(self.lwps[l].quantum_left.nanos()),
+                        )
+                    } else {
+                        total
+                    };
+                    self.cpus[c].token += 1;
+                    let token = self.cpus[c].token;
+                    self.push_ev(self.now + stop, Ev::CpuStop { cpu: c, token });
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Pump the program for actions until one takes time or blocks.
+    /// Returns `Ok(true)` if the thread still occupies the CPU.
+    fn resume_loop(&mut self, tix: Tix, c: Cix) -> Result<bool, VppbError> {
+        let mut spins: u64 = 0;
+        loop {
+            let outcome = std::mem::take(&mut self.threads[tix].outcome);
+            let id = self.threads[tix].id;
+            let ctx = ResumeCtx { outcome, self_id: id, now: self.now };
+            let action = self.threads[tix].program.resume(ctx);
+            match action {
+                Action::Work(d) => {
+                    let d = self.opts.jitter.apply(id, d);
+                    self.threads[tix].phase = Phase::Compute { left: d };
+                    return Ok(true);
+                }
+                Action::Sleep(d) => {
+                    self.threads[tix].phase = Phase::Resume;
+                    self.threads[tix].gen += 1;
+                    let gen = self.threads[tix].gen;
+                    self.push_ev(self.now + d, Ev::Timer { thread: tix, gen });
+                    self.set_state(tix, TState::Blocked(BlockReason::Timer));
+                    self.detach_thread(tix);
+                    self.lwp_continue_or_park(c)?;
+                    return Ok(false);
+                }
+                Action::Var(op) => {
+                    self.threads[tix].outcome = self.apply_var(op);
+                    spins += 1;
+                    if spins > SPIN_LIMIT {
+                        return Err(VppbError::ProgramError(format!(
+                            "{id} livelocked: {SPIN_LIMIT} consecutive zero-time actions \
+                             (spinning on a variable with no work in the loop body?)"
+                        )));
+                    }
+                }
+                Action::Call(call, site) => {
+                    let resolved = match self.opts.interceptor.as_deref_mut() {
+                        Some(i) => i.intercept(id, call, self.now),
+                        None => Intercept::Proceed(call),
+                    };
+                    match resolved {
+                        Intercept::Skip => {
+                            self.threads[tix].outcome = Outcome::None;
+                            spins += 1;
+                            if spins > SPIN_LIMIT {
+                                return Err(VppbError::ProgramError(format!(
+                                    "{id} livelocked in skipped calls"
+                                )));
+                            }
+                        }
+                        Intercept::Proceed(call) => {
+                            let kind = event_kind_of(&call, self.app);
+                            self.opts.hooks.on_before(self.now, id, kind, site);
+                            let bound = self.is_bound(tix);
+                            let cost = self.opts.hooks.probe_cost() + self.call_cost(&call, bound);
+                            self.threads[tix].call =
+                                Some(Inflight { call, site, before: self.now, cpu: c });
+                            self.threads[tix].phase = Phase::CallLatency { left: cost };
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_var(&mut self, op: VarOp) -> Outcome {
+        match op {
+            VarOp::Read(v) => Outcome::Value(self.vars[v.0]),
+            VarOp::Set(v, x) => {
+                self.vars[v.0] = x;
+                Outcome::None
+            }
+            VarOp::FetchAdd(v, d) => {
+                let old = self.vars[v.0];
+                self.vars[v.0] = old.wrapping_add(d);
+                Outcome::Value(old)
+            }
+        }
+    }
+
+    /// Emit the AFTER probe and the placed event; honour deferred
+    /// yield/suspend. Returns `Ok(true)` if the thread keeps the CPU.
+    fn finish_call(&mut self, tix: Tix, c: Cix) -> Result<bool, VppbError> {
+        let inflight = self.threads[tix].call.take().expect("CallFinish without call");
+        let id = self.threads[tix].id;
+        let kind = event_kind_of(&inflight.call, self.app);
+        let result = match self.threads[tix].outcome {
+            Outcome::Created(t) => EventResult::Created(t),
+            Outcome::Joined(t) => EventResult::Joined(t),
+            Outcome::Acquired(b) => EventResult::Acquired(b),
+            Outcome::TimedOut(b) => EventResult::TimedOut(b),
+            Outcome::None | Outcome::Value(_) => EventResult::None,
+        };
+        self.opts.hooks.on_after(self.now, id, kind, result, inflight.site);
+        if self.opts.record_trace {
+            self.events.push(PlacedEvent {
+                start: inflight.before,
+                end: self.now,
+                thread: id,
+                kind,
+                cpu: CpuId(inflight.cpu as u32),
+                caller: inflight.site,
+            });
+        }
+        self.threads[tix].pre_charge += self.opts.hooks.probe_cost();
+        self.threads[tix].phase = Phase::Resume;
+        if std::mem::take(&mut self.threads[tix].yield_pending) {
+            // thr_yield: go to the back of the user run queue (unbound) or
+            // of the kernel queue (bound).
+            if self.is_bound(tix) {
+                let l = self.threads[tix].lwp.expect("bound thread keeps lwp");
+                self.charge_elapsed(c);
+                self.cpus[c].token += 1;
+                self.cpus[c].lwp = None;
+                self.cpus[c].last_lwp = Some(l);
+                self.set_state(tix, TState::Runnable);
+                self.kernel_enqueue(l);
+                self.dispatch()?;
+            } else {
+                self.charge_elapsed(c);
+                self.set_state(tix, TState::Runnable);
+                self.detach_thread(tix);
+                self.user_rq_push(tix, false);
+                self.lwp_continue_or_park(c)?;
+            }
+            return Ok(false);
+        }
+        if std::mem::take(&mut self.threads[tix].suspend_self_pending) {
+            self.charge_elapsed(c);
+            self.threads[tix].suspended = true;
+            self.set_state(tix, TState::Blocked(BlockReason::Suspended));
+            self.detach_thread(tix);
+            self.lwp_continue_or_park(c)?;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Detach an unbound thread from its pool LWP (bound threads keep
+    /// theirs; the LWP state is handled by the caller).
+    fn detach_thread(&mut self, tix: Tix) {
+        if let Some(l) = self.threads[tix].lwp {
+            if !self.lwps[l].dedicated {
+                self.lwps[l].thread = None;
+                self.threads[tix].lwp = None;
+            }
+        }
+    }
+
+    // -- wakeups ---------------------------------------------------------------
+
+    /// Make a blocked thread runnable after the communication delay (if the
+    /// wake crosses CPUs).
+    fn wake_thread(&mut self, tix: Tix, waker_cpu: Option<Cix>) {
+        let delay = match (waker_cpu, self.threads[tix].last_cpu) {
+            (Some(a), Some(b)) if a != b => self.cfg.comm_delay,
+            _ => Duration::ZERO,
+        };
+        self.threads[tix].gen += 1;
+        let gen = self.threads[tix].gen;
+        self.push_ev(self.now + delay, Ev::Wake { thread: tix, gen });
+    }
+
+    fn deliver_wake(&mut self, tix: Tix, gen: u64) -> Result<(), VppbError> {
+        if self.threads[tix].gen != gen {
+            return Ok(()); // stale
+        }
+        if !matches!(self.threads[tix].state, TState::Blocked(_) | TState::Embryo) {
+            return Ok(()); // already running/runnable
+        }
+        if self.threads[tix].suspended {
+            self.set_state(tix, TState::Blocked(BlockReason::Suspended));
+            return Ok(());
+        }
+        self.make_runnable(tix)?;
+        self.dispatch()
+    }
+
+    fn make_runnable(&mut self, tix: Tix) -> Result<(), VppbError> {
+        self.set_state(tix, TState::Runnable);
+        if let Some(l) = self.threads[tix].lwp {
+            // The thread kept its LWP while blocked (bound thread, or any
+            // thread sleeping in a kernel syscall): the LWP wakes with it
+            // (no boost on first start).
+            if self.threads[tix].started.is_some() {
+                self.lwps[l].prio = self.cfg.dispatch.on_sleep_return(self.lwps[l].prio);
+            }
+            self.lwps[l].fresh_quantum = true;
+            self.kernel_enqueue(l);
+        } else {
+            self.user_rq_push(tix, false);
+        }
+        Ok(())
+    }
+
+    // -- thread lifecycle --------------------------------------------------------
+
+    fn spawn_thread(&mut self, func: FuncId, bound_flag: bool, creator: Option<Tix>) -> Result<Tix, VppbError> {
+        let id = match (&mut self.opts.id_assigner, creator) {
+            (Some(assign), Some(cix)) => {
+                let seq = self.threads[cix].create_seq;
+                self.threads[cix].create_seq += 1;
+                let creator_id = self.threads[cix].id;
+                assign(creator_id, seq)
+            }
+            _ => {
+                if creator.is_none() {
+                    ThreadId::MAIN
+                } else {
+                    let id = ThreadId(self.next_id);
+                    self.next_id += 1;
+                    id
+                }
+            }
+        };
+        if self.by_id.contains_key(&id) {
+            return Err(VppbError::ProgramError(format!("duplicate thread id {id}")));
+        }
+        let manip = self.opts.manips.get(&id).copied().unwrap_or_default();
+        let binding = manip.binding.unwrap_or(if bound_flag {
+            Binding::BoundLwp
+        } else {
+            Binding::Unbound
+        });
+        let tix = self.threads.len();
+        self.threads.push(ThreadRt {
+            id,
+            func,
+            program: self.app.instantiate(func),
+            state: TState::Embryo,
+            phase: Phase::Resume,
+            binding,
+            user_prio: manip.priority.unwrap_or(0),
+            prio_locked: manip.priority.is_some(),
+            lwp: None,
+            last_cpu: None,
+            outcome: Outcome::None,
+            call: None,
+            cv_wait: None,
+            started: None,
+            ended: None,
+            cpu_time: Duration::ZERO,
+            pre_charge: Duration::ZERO,
+            create_seq: 0,
+            gen: 0,
+            yield_pending: false,
+            suspend_self_pending: false,
+            suspended: false,
+        });
+        self.by_id.insert(id, tix);
+        self.live += 1;
+        if self.opts.record_trace {
+            self.transitions.push(Transition {
+                time: self.now,
+                thread: id,
+                state: ThreadState::Blocked(BlockReason::NotStarted),
+            });
+        }
+        match binding {
+            Binding::Unbound => {
+                if self.cfg.lwps == LwpPolicy::PerThread {
+                    self.new_pool_lwp();
+                }
+            }
+            Binding::BoundLwp | Binding::BoundCpu(_) => {
+                let cpu_binding = match binding {
+                    Binding::BoundCpu(c) => {
+                        let c = c.0 as usize;
+                        if c >= self.cpus.len() {
+                            return Err(VppbError::InvalidConfig(format!(
+                                "thread {id} bound to non-existent CPU{c}"
+                            )));
+                        }
+                        Some(c)
+                    }
+                    _ => None,
+                };
+                let lix = self.lwps.len();
+                self.lwps.push(LwpRt {
+                    id: LwpId(lix as u32),
+                    state: LState::Sleeping,
+                    prio: self.cfg.initial_priority,
+                    quantum_left: Duration::ZERO,
+                    fresh_quantum: true,
+                    thread: Some(tix),
+                    dedicated: true,
+                    cpu_binding,
+                    last_thread: None,
+                });
+                self.threads[tix].lwp = Some(lix);
+            }
+        }
+        self.make_runnable(tix)?;
+        Ok(tix)
+    }
+
+    fn new_pool_lwp(&mut self) -> Lix {
+        let lix = self.lwps.len();
+        self.lwps.push(LwpRt {
+            id: LwpId(lix as u32),
+            state: LState::Parked,
+            prio: self.cfg.initial_priority,
+            quantum_left: Duration::ZERO,
+            fresh_quantum: true,
+            thread: None,
+            dedicated: false,
+            cpu_binding: None,
+            last_thread: None,
+        });
+        lix
+    }
+
+    fn pool_lwp_count(&self) -> u32 {
+        self.lwps.iter().filter(|l| !l.dedicated).count() as u32
+    }
+
+    fn exit_thread(&mut self, tix: Tix, c: Cix) -> Result<(), VppbError> {
+        let id = self.threads[tix].id;
+        // The placed event for thr_exit spans BEFORE to the exit instant
+        // (thr_exit never returns, so there is no AFTER probe).
+        if let Some(inflight) = self.threads[tix].call.take() {
+            if self.opts.record_trace {
+                self.events.push(PlacedEvent {
+                    start: inflight.before,
+                    end: self.now,
+                    thread: id,
+                    kind: event_kind_of(&inflight.call, self.app),
+                    cpu: CpuId(inflight.cpu as u32),
+                    caller: inflight.site,
+                });
+            }
+        }
+        self.charge_elapsed(c);
+        self.threads[tix].ended = Some(self.now);
+        self.set_state(tix, TState::Zombie);
+        self.live -= 1;
+        // Release the LWP.
+        if let Some(l) = self.threads[tix].lwp {
+            if self.lwps[l].dedicated {
+                self.lwps[l].thread = None;
+            } else {
+                self.detach_thread(tix);
+            }
+        }
+        self.zombies.push_back(tix);
+        // Wake the first matching joiner, if any.
+        let mut chosen: Option<usize> = None;
+        for (i, (_, target)) in self.joiners.iter().enumerate() {
+            match target {
+                Some(t) if *t == id => {
+                    chosen = Some(i);
+                    break;
+                }
+                None if chosen.is_none() => chosen = Some(i),
+                _ => {}
+            }
+        }
+        // Specific joins take precedence over an earlier wildcard only if
+        // they match; the scan above picks the earliest wildcard otherwise.
+        if let Some(i) = chosen {
+            // A wildcard joiner chosen here must reap *this* thread.
+            let (jix, target) = self.joiners.remove(i).expect("index valid");
+            let reaped = match target {
+                Some(t) => {
+                    debug_assert_eq!(t, id);
+                    tix
+                }
+                None => tix,
+            };
+            self.reap(reaped);
+            self.threads[jix].outcome = Outcome::Joined(self.threads[reaped].id);
+            self.finish_blocking_wake(jix, c);
+        }
+        self.lwp_continue_or_park(c)
+    }
+
+    fn reap(&mut self, tix: Tix) {
+        self.threads[tix].state = TState::Done;
+        if let Some(pos) = self.zombies.iter().position(|&z| z == tix) {
+            self.zombies.remove(pos);
+        }
+    }
+
+    // -- call semantics ----------------------------------------------------------
+
+    fn perform_call(&mut self, tix: Tix, c: Cix) -> Result<(), VppbError> {
+        let call = self.threads[tix].call.as_ref().expect("in call").call;
+        let id = self.threads[tix].id;
+        let sem = self.call_semantics(tix, c, call)?;
+        match sem {
+            CallOutcome::Done => {
+                self.threads[tix].phase = Phase::CallFinish;
+                self.run_thread(c)
+            }
+            CallOutcome::Blocked(reason) => {
+                self.charge_elapsed(c);
+                self.set_state(tix, TState::Blocked(reason));
+                self.detach_thread(tix);
+                let _ = id;
+                self.lwp_continue_or_park(c)
+            }
+            CallOutcome::BlockedIo(latency) => {
+                // The LWP sleeps in the kernel with the thread attached —
+                // this is why I/O-bound programs defeat single-LWP
+                // recording in the original tool, and why probes around
+                // the syscall (this extension) restore soundness: the
+                // whole wait lands inside the call span.
+                self.charge_elapsed(c);
+                self.set_state(tix, TState::Blocked(BlockReason::Io));
+                self.threads[tix].gen += 1;
+                let gen = self.threads[tix].gen;
+                self.push_ev(self.now + latency, Ev::Timer { thread: tix, gen });
+                let l = self.cpus[c].lwp.take().expect("io on busy cpu");
+                self.lwps[l].state = LState::Sleeping;
+                self.cpus[c].last_lwp = Some(l);
+                self.cpus[c].token += 1;
+                self.dispatch()
+            }
+            CallOutcome::Exited => self.exit_thread(tix, c),
+        }
+    }
+
+    fn call_semantics(
+        &mut self,
+        tix: Tix,
+        c: Cix,
+        call: LibCall,
+    ) -> Result<CallOutcome, VppbError> {
+        let id = self.threads[tix].id;
+        use LibCall::*;
+        Ok(match call {
+            Create { func, bound } => {
+                let child = self.spawn_thread(func, bound, Some(tix))?;
+                self.threads[tix].outcome = Outcome::Created(self.threads[child].id);
+                self.dispatch()?;
+                CallOutcome::Done
+            }
+            Join(target) => {
+                let found = match target {
+                    Some(t) => match self.by_id.get(&t) {
+                        None => {
+                            return Err(VppbError::ProgramError(format!(
+                                "{id} joins unknown thread {t}"
+                            )))
+                        }
+                        Some(&zix) => match self.threads[zix].state {
+                            TState::Zombie => Some(zix),
+                            TState::Done => {
+                                return Err(VppbError::ProgramError(format!(
+                                    "{id} joins already-joined thread {t}"
+                                )))
+                            }
+                            _ => None,
+                        },
+                    },
+                    None => self.zombies.front().copied(),
+                };
+                match found {
+                    Some(zix) => {
+                        self.reap(zix);
+                        self.threads[tix].outcome = Outcome::Joined(self.threads[zix].id);
+                        CallOutcome::Done
+                    }
+                    None => {
+                        self.joiners.push_back((tix, target));
+                        CallOutcome::Blocked(BlockReason::Join(target))
+                    }
+                }
+            }
+            Exit => CallOutcome::Exited,
+            Yield => {
+                self.threads[tix].yield_pending = true;
+                CallOutcome::Done
+            }
+            SetPrio { target, prio } => {
+                if let Some(&xix) = self.by_id.get(&target) {
+                    if !self.threads[xix].prio_locked {
+                        let was_queued = self.user_rq_remove(xix);
+                        self.threads[xix].user_prio = prio;
+                        if was_queued {
+                            self.user_rq_push(xix, false);
+                        }
+                    }
+                }
+                CallOutcome::Done
+            }
+            SetConcurrency(n) => {
+                if self.cfg.lwps == LwpPolicy::FollowProgram {
+                    while self.pool_lwp_count() < n {
+                        self.new_pool_lwp();
+                    }
+                    self.dispatch()?;
+                }
+                CallOutcome::Done
+            }
+            Suspend(target) => {
+                if target == id {
+                    self.threads[tix].suspend_self_pending = true;
+                } else if let Some(&xix) = self.by_id.get(&target) {
+                    self.suspend_thread(xix)?;
+                }
+                CallOutcome::Done
+            }
+            IoWait(latency) => CallOutcome::BlockedIo(latency),
+            Continue(target) => {
+                if let Some(&xix) = self.by_id.get(&target) {
+                    if std::mem::take(&mut self.threads[xix].suspended)
+                        && matches!(
+                            self.threads[xix].state,
+                            TState::Blocked(BlockReason::Suspended)
+                        )
+                    {
+                        self.make_runnable(xix)?;
+                        self.dispatch()?;
+                    }
+                }
+                CallOutcome::Done
+            }
+
+            MutexLock(m) => {
+                if self.mutexes[m.0 as usize].try_lock(id) {
+                    CallOutcome::Done
+                } else {
+                    self.mutexes[m.0 as usize].queue.push_back(id);
+                    CallOutcome::Blocked(BlockReason::Sync(SyncObjId::mutex(m.0)))
+                }
+            }
+            MutexTryLock(m) => {
+                let got = self.mutexes[m.0 as usize].try_lock(id);
+                self.threads[tix].outcome = Outcome::Acquired(got);
+                CallOutcome::Done
+            }
+            MutexUnlock(m) => {
+                let next = self.mutexes[m.0 as usize]
+                    .unlock(id)
+                    .map_err(VppbError::ProgramError)?;
+                if let Some(w) = next {
+                    let wix = self.by_id[&w];
+                    // The woken thread may be re-acquiring after a
+                    // cond_wait; its outcome was staged then.
+                    self.finish_blocking_wake(wix, c);
+                }
+                CallOutcome::Done
+            }
+
+            SemWait(s) => {
+                if self.sems[s.0 as usize].try_wait() {
+                    CallOutcome::Done
+                } else {
+                    self.sems[s.0 as usize].queue.push_back(id);
+                    CallOutcome::Blocked(BlockReason::Sync(SyncObjId::semaphore(s.0)))
+                }
+            }
+            SemTryWait(s) => {
+                let got = self.sems[s.0 as usize].try_wait();
+                self.threads[tix].outcome = Outcome::Acquired(got);
+                CallOutcome::Done
+            }
+            SemPost(s) => {
+                if let Some(w) = self.sems[s.0 as usize].post() {
+                    let wix = self.by_id[&w];
+                    self.finish_blocking_wake(wix, c);
+                }
+                CallOutcome::Done
+            }
+
+            CondWait { cond, mutex } => {
+                self.begin_cond_wait(tix, c, cond.0, mutex.0, None)?
+            }
+            CondTimedWait { cond, mutex, timeout } => {
+                self.begin_cond_wait(tix, c, cond.0, mutex.0, Some(timeout))?
+            }
+            CondSignal(cv) => {
+                if let Some(w) = self.conds[cv.0 as usize].signal() {
+                    let wix = self.by_id[&w];
+                    self.cond_wake(wix, c, false)?;
+                }
+                CallOutcome::Done
+            }
+            CondBroadcast(cv) => {
+                for w in self.conds[cv.0 as usize].broadcast() {
+                    let wix = self.by_id[&w];
+                    self.cond_wake(wix, c, false)?;
+                }
+                CallOutcome::Done
+            }
+
+            RwRdLock(r) => {
+                if self.rws[r.0 as usize].try_read(id) {
+                    CallOutcome::Done
+                } else {
+                    self.rws[r.0 as usize].queue.push_back(RwWaiter::Reader(id));
+                    CallOutcome::Blocked(BlockReason::Sync(SyncObjId::rwlock(r.0)))
+                }
+            }
+            RwWrLock(r) => {
+                if self.rws[r.0 as usize].try_write(id) {
+                    CallOutcome::Done
+                } else {
+                    self.rws[r.0 as usize].queue.push_back(RwWaiter::Writer(id));
+                    CallOutcome::Blocked(BlockReason::Sync(SyncObjId::rwlock(r.0)))
+                }
+            }
+            RwTryRdLock(r) => {
+                let got = self.rws[r.0 as usize].try_read(id);
+                self.threads[tix].outcome = Outcome::Acquired(got);
+                CallOutcome::Done
+            }
+            RwTryWrLock(r) => {
+                let got = self.rws[r.0 as usize].try_write(id);
+                self.threads[tix].outcome = Outcome::Acquired(got);
+                CallOutcome::Done
+            }
+            RwUnlock(r) => {
+                let granted = self.rws[r.0 as usize]
+                    .unlock(id)
+                    .map_err(VppbError::ProgramError)?;
+                for w in granted {
+                    let wix = self.by_id[&w];
+                    self.finish_blocking_wake(wix, c);
+                }
+                CallOutcome::Done
+            }
+        })
+    }
+
+    /// Wake a thread whose blocking call just succeeded (mutex handoff,
+    /// semaphore grant, rwlock grant).
+    fn finish_blocking_wake(&mut self, wix: Tix, waker_cpu: Cix) {
+        self.threads[wix].phase = Phase::CallFinish;
+        self.wake_thread(wix, Some(waker_cpu));
+    }
+
+    fn begin_cond_wait(
+        &mut self,
+        tix: Tix,
+        c: Cix,
+        cv: u32,
+        m: u32,
+        timeout: Option<Duration>,
+    ) -> Result<CallOutcome, VppbError> {
+        let id = self.threads[tix].id;
+        if self.mutexes[m as usize].owner != Some(id) {
+            return Err(VppbError::ProgramError(format!(
+                "{id} cond_waits without holding the mutex mtx{m}"
+            )));
+        }
+        // Atomically release the mutex and sleep on the condvar.
+        let next = self.mutexes[m as usize].unlock(id).map_err(VppbError::ProgramError)?;
+        if let Some(w) = next {
+            let wix = self.by_id[&w];
+            self.finish_blocking_wake(wix, c);
+        }
+        self.conds[cv as usize].queue.push_back(id);
+        self.threads[tix].cv_wait = Some((cv, m));
+        if let Some(d) = timeout {
+            self.threads[tix].gen += 1;
+            let gen = self.threads[tix].gen;
+            self.push_ev(self.now + d, Ev::Timer { thread: tix, gen });
+        }
+        Ok(CallOutcome::Blocked(BlockReason::Sync(SyncObjId::condvar(cv))))
+    }
+
+    /// A condvar waiter was signalled (or timed out): stage its outcome and
+    /// re-acquire the mutex before the wait can return.
+    fn cond_wake(&mut self, wix: Tix, waker_cpu: Cix, timed_out: bool) -> Result<(), VppbError> {
+        let (_, m) = self.threads[wix]
+            .cv_wait
+            .take()
+            .expect("cond_wake on thread not in cond_wait");
+        let is_timed = matches!(
+            self.threads[wix].call.as_ref().map(|i| i.call),
+            Some(LibCall::CondTimedWait { .. })
+        );
+        self.threads[wix].outcome =
+            if is_timed { Outcome::TimedOut(timed_out) } else { Outcome::None };
+        let w_id = self.threads[wix].id;
+        if self.mutexes[m as usize].try_lock(w_id) {
+            self.finish_blocking_wake(wix, waker_cpu);
+        } else {
+            self.mutexes[m as usize].queue.push_back(w_id);
+            self.threads[wix].phase = Phase::CallFinish;
+            // Still blocked, now on the mutex; record the reason change.
+            self.set_state(wix, TState::Blocked(BlockReason::Sync(SyncObjId::mutex(m))));
+        }
+        Ok(())
+    }
+
+    fn suspend_thread(&mut self, xix: Tix) -> Result<(), VppbError> {
+        self.threads[xix].suspended = true;
+        match self.threads[xix].state {
+            TState::Running(c) => {
+                self.cpus[c].token += 1;
+                self.charge_elapsed(c);
+                self.set_state(xix, TState::Blocked(BlockReason::Suspended));
+                // Free the CPU; the LWP continues with other work.
+                self.detach_thread(xix);
+                self.lwp_continue_or_park(c)?;
+            }
+            TState::Runnable => {
+                if let Some(l) = self.threads[xix].lwp {
+                    if self.lwps[l].dedicated {
+                        self.kernel_remove(l);
+                        self.lwps[l].state = LState::Sleeping;
+                    } else {
+                        // Attached to a pool LWP awaiting CPU: detach; the
+                        // LWP parks (dispatch may re-attach it elsewhere).
+                        self.kernel_remove(l);
+                        self.lwps[l].state = LState::Parked;
+                        self.lwps[l].thread = None;
+                        self.threads[xix].lwp = None;
+                    }
+                } else {
+                    self.user_rq_remove(xix);
+                }
+                self.set_state(xix, TState::Blocked(BlockReason::Suspended));
+                self.dispatch()?;
+            }
+            TState::Blocked(_) => { /* flag set; handled at wake */ }
+            TState::Embryo | TState::Zombie | TState::Done => {}
+        }
+        Ok(())
+    }
+
+    // -- event handlers -----------------------------------------------------------
+
+    fn on_cpu_stop(&mut self, c: Cix, token: u64) -> Result<(), VppbError> {
+        if self.cpus[c].token != token {
+            return Ok(()); // stale
+        }
+        self.charge_elapsed(c);
+        let l = self.cpus[c].lwp.expect("stop on busy cpu");
+        let tix = self.lwps[l].thread.expect("running lwp has thread");
+        let left = match self.threads[tix].phase {
+            Phase::Compute { left } | Phase::CallLatency { left } => left,
+            _ => Duration::ZERO,
+        };
+        if left.is_zero() {
+            match self.threads[tix].phase {
+                Phase::Compute { .. } => {
+                    self.threads[tix].phase = Phase::Resume;
+                    self.run_thread(c)
+                }
+                Phase::CallLatency { .. } => self.perform_call(tix, c),
+                _ => unreachable!("CpuStop in non-running phase"),
+            }
+        } else {
+            // Quantum expiry: age the LWP and requeue it.
+            debug_assert!(self.lwps[l].quantum_left.is_zero());
+            self.lwps[l].prio = self.cfg.dispatch.on_quantum_expiry(self.lwps[l].prio);
+            self.lwps[l].fresh_quantum = true;
+            self.cpus[c].token += 1;
+            self.cpus[c].lwp = None;
+            self.cpus[c].last_lwp = Some(l);
+            self.set_state(tix, TState::Runnable);
+            self.kernel_enqueue(l);
+            self.dispatch()
+        }
+    }
+
+    fn on_timer(&mut self, tix: Tix, gen: u64) -> Result<(), VppbError> {
+        if self.threads[tix].gen != gen {
+            return Ok(()); // cancelled (signalled first, or woken)
+        }
+        match self.threads[tix].cv_wait {
+            Some((cv, _)) => {
+                let id = self.threads[tix].id;
+                if self.conds[cv as usize].remove(id) {
+                    self.cond_wake(tix, usize::MAX, true)?;
+                    self.dispatch()
+                } else {
+                    Ok(())
+                }
+            }
+            None => match self.threads[tix].state {
+                // A Sleep() expiry.
+                TState::Blocked(BlockReason::Timer) => self.deliver_wake(tix, gen),
+                // An I/O completion: the call finishes once back on a CPU.
+                TState::Blocked(BlockReason::Io) => {
+                    self.threads[tix].phase = Phase::CallFinish;
+                    self.threads[tix].outcome = Outcome::None;
+                    self.deliver_wake(tix, gen)
+                }
+                _ => Ok(()),
+            },
+        }
+    }
+
+    // -- main loop --------------------------------------------------------------
+
+    fn run(mut self) -> Result<RunResult, VppbError> {
+        self.opts.hooks.on_collect(true, self.now);
+        let main_tix = self.spawn_thread(self.app.main, false, None)?;
+        debug_assert_eq!(main_tix, 0);
+        // Initial pool LWPs.
+        let initial = match self.cfg.lwps {
+            LwpPolicy::Fixed(n) => n.max(1),
+            LwpPolicy::PerThread => 0, // created per thread at spawn
+            LwpPolicy::FollowProgram => 1,
+        };
+        for _ in 0..initial {
+            self.new_pool_lwp();
+        }
+        self.dispatch()?;
+
+        while let Some(Reverse((time, _, ev))) = self.heap.pop() {
+            debug_assert!(time >= self.now, "time must not run backwards");
+            self.now = time;
+            self.des_events += 1;
+            if self.des_events > self.opts.limits.max_des_events {
+                return Err(VppbError::ProgramError(format!(
+                    "run exceeded {} engine events at t={} — livelock or runaway program ({})",
+                    self.opts.limits.max_des_events,
+                    self.now,
+                    self.progress_report()
+                )));
+            }
+            if self.now > self.opts.limits.max_time {
+                return Err(VppbError::ProgramError(format!(
+                    "run exceeded the virtual-time limit ({})",
+                    self.progress_report()
+                )));
+            }
+            match ev {
+                Ev::CpuStop { cpu, token } => self.on_cpu_stop(cpu, token)?,
+                Ev::Wake { thread, gen } => self.deliver_wake(thread, gen)?,
+                Ev::Timer { thread, gen } => self.on_timer(thread, gen)?,
+            }
+            if self.live == 0 {
+                break;
+            }
+        }
+        if self.live > 0 {
+            return Err(VppbError::ProgramError(format!(
+                "deadlock: no runnable threads ({})",
+                self.progress_report()
+            )));
+        }
+        self.opts.hooks.on_collect(false, self.now);
+        Ok(self.into_result())
+    }
+
+    fn progress_report(&self) -> String {
+        let mut parts = Vec::new();
+        for t in &self.threads {
+            let s = match t.state {
+                TState::Embryo => "embryo".to_string(),
+                TState::Runnable => "runnable".to_string(),
+                TState::Running(c) => format!("running on CPU{c}"),
+                TState::Blocked(r) => format!("blocked on {r:?}"),
+                TState::Zombie => "zombie".to_string(),
+                TState::Done => continue,
+            };
+            parts.push(format!("{}={s}", t.id));
+        }
+        parts.join(", ")
+    }
+
+    fn into_result(mut self) -> RunResult {
+        let wall_time = self.now;
+        let mut threads = BTreeMap::new();
+        for t in &self.threads {
+            threads.insert(
+                t.id,
+                ThreadInfo {
+                    start_fn: self.app.func_name(t.func).to_string(),
+                    started: t.started.unwrap_or(Time::ZERO),
+                    ended: t.ended.unwrap_or(Time::MAX),
+                    cpu_time: t.cpu_time,
+                },
+            );
+        }
+        self.events.sort_by_key(|e| (e.start, e.thread.0));
+        let total_cpu_time = self.threads.iter().map(|t| t.cpu_time).sum();
+        let n_threads = self.threads.len() as u32;
+        RunResult {
+            wall_time,
+            trace: ExecutionTrace {
+                program: self.app.name.clone(),
+                cpus: self.cfg.cpus,
+                wall_time,
+                transitions: self.transitions,
+                events: self.events,
+                threads,
+                source_map: self.app.source_map.clone(),
+            },
+            cpu_busy: self.cpus.iter().map(|c| c.busy).collect(),
+            des_events: self.des_events,
+            total_cpu_time,
+            n_threads,
+        }
+    }
+}
+
+impl LwpRt {
+    /// Whether time-slicing can be skipped for this LWP (nothing else can
+    /// ever need its CPU slot): never true in general — placeholder for a
+    /// future optimization, always slices for now.
+    fn dedicated_solo(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,120 @@
+//! Interposition hooks — the machine-side attachment point for the
+//! Recorder.
+//!
+//! The paper's Recorder is "an instrumented encapsulating thread library"
+//! inserted between the program and `libthread` via `LD_PRELOAD` (fig. 1).
+//! Here the machine *is* the thread library, so interposition is a trait:
+//! the machine invokes [`Hooks`] immediately before and after every
+//! library call, and charges [`Hooks::probe_cost`] of CPU time to the
+//! calling thread for each probe — that is the recording intrusion the
+//! paper measures at ≤ 3 %.
+
+use vppb_model::{CodeAddr, Duration, EventKind, EventResult, SyncObjId, ThreadId, Time};
+use vppb_threads::{App, LibCall};
+
+/// Observer of thread-library calls.
+pub trait Hooks {
+    /// CPU time each probe (BEFORE or AFTER) adds to the calling thread.
+    fn probe_cost(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Invoked when monitoring starts/stops (the `start_collect` /
+    /// `end_collect` marks).
+    fn on_collect(&mut self, _start: bool, _t: Time) {}
+
+    /// A thread body began executing.
+    fn on_thread_start(&mut self, _t: Time, _thread: ThreadId, _func: CodeAddr) {}
+
+    /// Immediately before the library routine runs.
+    fn on_before(&mut self, _t: Time, _thread: ThreadId, _kind: EventKind, _site: CodeAddr) {}
+
+    /// Immediately after the library routine returned.
+    fn on_after(
+        &mut self,
+        _t: Time,
+        _thread: ThreadId,
+        _kind: EventKind,
+        _result: EventResult,
+        _site: CodeAddr,
+    ) {
+    }
+}
+
+/// No-op hooks: an unmonitored run (zero intrusion).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHooks;
+
+impl Hooks for NullHooks {}
+
+/// Translate a [`LibCall`] into the [`EventKind`] the probes record.
+/// Needs the [`App`] to resolve `thr_create` function entries.
+pub fn event_kind_of(call: &LibCall, app: &App) -> EventKind {
+    use LibCall::*;
+    match *call {
+        Create { func, bound } => EventKind::ThrCreate { bound, func: app.func_entry(func) },
+        Join(target) => EventKind::ThrJoin { target },
+        Exit => EventKind::ThrExit,
+        Yield => EventKind::ThrYield,
+        SetPrio { target, prio } => EventKind::ThrSetPrio { target, prio },
+        SetConcurrency(n) => EventKind::ThrSetConcurrency { n },
+        Suspend(t) => EventKind::ThrSuspend { target: t },
+        Continue(t) => EventKind::ThrContinue { target: t },
+        IoWait(latency) => EventKind::IoWait { latency },
+        MutexLock(m) => EventKind::MutexLock { obj: SyncObjId::mutex(m.0) },
+        MutexTryLock(m) => EventKind::MutexTryLock { obj: SyncObjId::mutex(m.0) },
+        MutexUnlock(m) => EventKind::MutexUnlock { obj: SyncObjId::mutex(m.0) },
+        SemWait(s) => EventKind::SemWait { obj: SyncObjId::semaphore(s.0) },
+        SemTryWait(s) => EventKind::SemTryWait { obj: SyncObjId::semaphore(s.0) },
+        SemPost(s) => EventKind::SemPost { obj: SyncObjId::semaphore(s.0) },
+        CondWait { cond, mutex } => EventKind::CondWait {
+            cond: SyncObjId::condvar(cond.0),
+            mutex: SyncObjId::mutex(mutex.0),
+        },
+        CondTimedWait { cond, mutex, timeout } => EventKind::CondTimedWait {
+            cond: SyncObjId::condvar(cond.0),
+            mutex: SyncObjId::mutex(mutex.0),
+            timeout,
+        },
+        CondSignal(c) => EventKind::CondSignal { cond: SyncObjId::condvar(c.0) },
+        CondBroadcast(c) => EventKind::CondBroadcast { cond: SyncObjId::condvar(c.0) },
+        RwRdLock(r) => EventKind::RwRdLock { obj: SyncObjId::rwlock(r.0) },
+        RwWrLock(r) => EventKind::RwWrLock { obj: SyncObjId::rwlock(r.0) },
+        RwTryRdLock(r) => EventKind::RwTryRdLock { obj: SyncObjId::rwlock(r.0) },
+        RwTryWrLock(r) => EventKind::RwTryWrLock { obj: SyncObjId::rwlock(r.0) },
+        RwUnlock(r) => EventKind::RwUnlock { obj: SyncObjId::rwlock(r.0) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_threads::{AppBuilder, MutexRef};
+
+    #[test]
+    fn call_to_event_kind_translation() {
+        let mut b = AppBuilder::new("x", "x.c");
+        let m = b.mutex();
+        let w = b.func("w", |f| f.work_us(1));
+        b.main(|f| f.work_us(1));
+        let app = b.build().unwrap();
+
+        let k = event_kind_of(&LibCall::MutexLock(m), &app);
+        assert_eq!(k, EventKind::MutexLock { obj: SyncObjId::mutex(0) });
+
+        let k = event_kind_of(&LibCall::Create { func: w, bound: true }, &app);
+        match k {
+            EventKind::ThrCreate { bound, func } => {
+                assert!(bound);
+                assert_eq!(func, app.func_entry(w));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = MutexRef(0);
+    }
+
+    #[test]
+    fn null_hooks_cost_nothing() {
+        assert_eq!(NullHooks.probe_cost(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,141 @@
+//! Run-to-run variance for ground-truth executions.
+//!
+//! Table 1 of the paper reports the *middle* of five real executions, with
+//! min/max in parentheses — real machines are not deterministic (cache
+//! state, bus contention, interrupts). Our machine is deterministic by
+//! construction, so variance is injected explicitly: every compute segment
+//! is scaled by a factor drawn uniformly from `[1 - rel, 1 + rel]`, seeded
+//! per run. Seed 0..4 gives the "five executions"; `JitterModel::none()`
+//! gives the bit-reproducible run the Recorder uses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use vppb_model::Duration;
+
+/// Work-duration jitter.
+///
+/// Two components model a real machine:
+/// * per-segment noise (interrupts, bus contention) — i.i.d., averages out
+///   over a long run;
+/// * a per-thread *bias* (cache/placement luck for that thread in this
+///   run) — drawn once per thread, so it does **not** average out and
+///   produces the visible run-to-run spread of Table 1's parenthesised
+///   ranges (barrier programs run at the pace of their slowest thread).
+#[derive(Debug, Clone)]
+pub struct JitterModel {
+    rng: Option<SmallRng>,
+    rel: f64,
+    bias_rel: f64,
+    bias: std::collections::BTreeMap<vppb_model::ThreadId, f64>,
+}
+
+impl JitterModel {
+    /// No jitter: durations pass through unchanged.
+    pub fn none() -> JitterModel {
+        JitterModel { rng: None, rel: 0.0, bias_rel: 0.0, bias: Default::default() }
+    }
+
+    /// Uniform per-segment relative jitter of amplitude `rel` (e.g. `0.02`
+    /// = ±2 %) from the given seed.
+    pub fn uniform(rel: f64, seed: u64) -> JitterModel {
+        assert!((0.0..1.0).contains(&rel), "jitter amplitude must be in [0,1)");
+        JitterModel {
+            rng: Some(SmallRng::seed_from_u64(seed)),
+            rel,
+            bias_rel: 0.0,
+            bias: Default::default(),
+        }
+    }
+
+    /// Per-segment jitter `rel` plus a per-thread bias of amplitude
+    /// `bias_rel` drawn once per thread per run.
+    pub fn with_thread_bias(rel: f64, bias_rel: f64, seed: u64) -> JitterModel {
+        assert!((0.0..1.0).contains(&rel), "jitter amplitude must be in [0,1)");
+        assert!((0.0..1.0).contains(&bias_rel), "bias amplitude must be in [0,1)");
+        JitterModel {
+            rng: Some(SmallRng::seed_from_u64(seed)),
+            rel,
+            bias_rel,
+            bias: Default::default(),
+        }
+    }
+
+    /// Apply jitter to one work segment of `thread`.
+    pub fn apply(&mut self, thread: vppb_model::ThreadId, d: Duration) -> Duration {
+        let Some(rng) = &mut self.rng else { return d };
+        let mut f = 1.0 + rng.gen_range(-self.rel..=self.rel);
+        if self.bias_rel > 0.0 {
+            let b = *self
+                .bias
+                .entry(thread)
+                .or_insert_with(|| 1.0 + rng.gen_range(-self.bias_rel..=self.bias_rel));
+            f *= b;
+        }
+        d.scale(f)
+    }
+
+    /// Whether this model is the identity (no jitter).
+    pub fn is_none(&self) -> bool {
+        self.rng.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use vppb_model::ThreadId;
+
+    const T: ThreadId = ThreadId(1);
+
+    #[test]
+    fn none_is_identity() {
+        let mut j = JitterModel::none();
+        assert_eq!(j.apply(T, Duration(12345)), Duration(12345));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut j = JitterModel::uniform(0.05, 42);
+        for _ in 0..1000 {
+            let d = j.apply(T, Duration(1_000_000));
+            assert!(d.0 >= 950_000 && d.0 <= 1_050_000, "{d:?} out of ±5 %");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = JitterModel::uniform(0.1, 7);
+        let mut b = JitterModel::uniform(0.1, 7);
+        for _ in 0..100 {
+            assert_eq!(a.apply(T, Duration(999)), b.apply(T, Duration(999)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = JitterModel::uniform(0.1, 1);
+        let mut b = JitterModel::uniform(0.1, 2);
+        let same = (0..50)
+            .filter(|_| a.apply(T, Duration(1_000_000)) == b.apply(T, Duration(1_000_000)))
+            .count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn thread_bias_is_stable_within_a_run() {
+        let mut j = JitterModel::with_thread_bias(0.0, 0.05, 3);
+        // rel = 0: every sample of a thread gets exactly its bias factor.
+        let a1 = j.apply(ThreadId(4), Duration(1_000_000));
+        let a2 = j.apply(ThreadId(4), Duration(1_000_000));
+        assert_eq!(a1, a2, "bias must be drawn once per thread");
+        let b1 = j.apply(ThreadId(5), Duration(1_000_000));
+        assert_ne!(a1, b1, "different threads draw different biases (w.h.p.)");
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn absurd_amplitude_rejected() {
+        let _ = JitterModel::uniform(1.5, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # vppb-machine — the execution substrate
+//!
+//! A deterministic discrete-event virtual machine executing [`vppb_threads`]
+//! programs under Solaris 2.5-style two-level scheduling: user threads
+//! multiplexed on LWPs, LWPs dispatched onto CPUs by TS-class priority with
+//! per-priority quanta and priority aging, synchronization objects with
+//! FIFO sleep queues, and a configurable cross-CPU communication delay.
+//!
+//! This crate stands in for the paper's validation hardware (a Sun Ultra
+//! Enterprise 4000) *and* its operating system. Ground-truth "real"
+//! executions, monitored Recorder runs and trace-driven Simulator
+//! predictions all execute on this one engine — see `DESIGN.md` §2 for why
+//! that substitution preserves the paper's claims.
+
+pub mod engine;
+pub mod hooks;
+pub mod jitter;
+pub mod result;
+pub mod sync;
+
+pub use engine::{run, CallInterceptor, IdAssigner, Intercept, RunOptions};
+pub use hooks::{event_kind_of, Hooks, NullHooks};
+pub use jitter::JitterModel;
+pub use result::{RunLimits, RunResult};

@@ -1,0 +1,80 @@
+//! Results of a machine run.
+
+use vppb_model::{Duration, ExecutionTrace, Time};
+
+/// Everything a completed run reports.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Total virtual wall-clock time (when the last thread exited).
+    pub wall_time: Time,
+    /// Timeline + events + per-thread stats (empty if trace recording was
+    /// disabled in the options).
+    pub trace: ExecutionTrace,
+    /// Busy time of each CPU.
+    pub cpu_busy: Vec<Duration>,
+    /// Number of discrete-event steps the engine processed (a cost /
+    /// progress metric, not program events).
+    pub des_events: u64,
+    /// Total CPU time consumed by all threads.
+    pub total_cpu_time: Duration,
+    /// Number of threads that existed during the run.
+    pub n_threads: u32,
+}
+
+impl RunResult {
+    /// Average CPU utilization over the run, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_time == Time::ZERO || self.cpu_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.cpu_busy.iter().map(|d| d.nanos()).sum();
+        busy as f64 / (self.wall_time.nanos() as f64 * self.cpu_busy.len() as f64)
+    }
+}
+
+/// Bounds on a run, so livelocked programs (the Barnes/Raytrace classes
+/// of §4) terminate with a diagnosis instead of hanging.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Abort after this many discrete-event steps.
+    pub max_des_events: u64,
+    /// Abort when virtual time passes this point.
+    pub max_time: Time,
+}
+
+impl Default for RunLimits {
+    fn default() -> RunLimits {
+        RunLimits { max_des_events: 200_000_000, max_time: Time::MAX }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let r = RunResult {
+            wall_time: Time(100),
+            trace: ExecutionTrace::default(),
+            cpu_busy: vec![Duration(50), Duration(100)],
+            des_events: 0,
+            total_cpu_time: Duration(150),
+            n_threads: 1,
+        };
+        assert!((r.utilization() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_of_empty_run_is_zero() {
+        let r = RunResult {
+            wall_time: Time::ZERO,
+            trace: ExecutionTrace::default(),
+            cpu_busy: vec![],
+            des_events: 0,
+            total_cpu_time: Duration::ZERO,
+            n_threads: 0,
+        };
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

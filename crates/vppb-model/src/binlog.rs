@@ -1,0 +1,428 @@
+//! Compact binary log encoding.
+//!
+//! §4 of the paper worries that "the size of the log files could become a
+//! problem for very long executions of fine grained programs" (they tested
+//! up to 15 MB). The text format spends ~45 bytes per record on the
+//! timestamp and key=value syntax alone; this fixed-layout binary format
+//! stores a record in 15–40 bytes with delta-encoded timestamps, cutting
+//! logs to roughly a third.
+//!
+//! Layout (little-endian throughout):
+//!
+//! ```text
+//! magic "VPPB" | version u16 | header (JSON, u32-length-prefixed)
+//! record*:  tag u8 | phase u8 | dt-micros varint | thread varint
+//!           | payload (per tag) | result u8 [payload] | caller varint
+//! ```
+//!
+//! Varints are LEB128. The JSON header keeps the uncommon, schema-rich
+//! part (source map, thread names) simple while records stay tight.
+
+use crate::event::{EventKind, EventResult, Phase};
+use crate::ids::{SyncObjId, ThreadId};
+use crate::source::CodeAddr;
+use crate::time::{Duration, Time};
+use crate::trace::{LogHeader, TraceLog, TraceRecord};
+use crate::VppbError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"VPPB";
+const VERSION: u16 = 1;
+
+// Record tags. Keep stable: this is an on-disk format.
+const T_START_COLLECT: u8 = 0;
+const T_END_COLLECT: u8 = 1;
+const T_THREAD_START: u8 = 2;
+const T_CREATE: u8 = 3;
+const T_JOIN: u8 = 4;
+const T_EXIT: u8 = 5;
+const T_YIELD: u8 = 6;
+const T_SETPRIO: u8 = 7;
+const T_SETCONC: u8 = 8;
+const T_SUSPEND: u8 = 9;
+const T_CONTINUE: u8 = 10;
+const T_MUTEX_LOCK: u8 = 11;
+const T_MUTEX_TRYLOCK: u8 = 12;
+const T_MUTEX_UNLOCK: u8 = 13;
+const T_SEM_WAIT: u8 = 14;
+const T_SEM_TRYWAIT: u8 = 15;
+const T_SEM_POST: u8 = 16;
+const T_COND_WAIT: u8 = 17;
+const T_COND_TIMEDWAIT: u8 = 18;
+const T_COND_SIGNAL: u8 = 19;
+const T_COND_BROADCAST: u8 = 20;
+const T_RW_RDLOCK: u8 = 21;
+const T_RW_WRLOCK: u8 = 22;
+const T_RW_TRYRDLOCK: u8 = 23;
+const T_RW_TRYWRLOCK: u8 = 24;
+const T_RW_UNLOCK: u8 = 25;
+const T_IO_WAIT: u8 = 26;
+
+// Result tags.
+const R_NONE: u8 = 0;
+const R_CREATED: u8 = 1;
+const R_JOINED: u8 = 2;
+const R_ACQUIRED_FALSE: u8 = 3;
+const R_ACQUIRED_TRUE: u8 = 4;
+const R_TIMEDOUT_FALSE: u8 = 5;
+const R_TIMEDOUT_TRUE: u8 = 6;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, VppbError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(VppbError::MalformedLog("truncated varint".into()));
+        }
+        let b = buf.get_u8();
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(VppbError::MalformedLog("varint overflow".into()));
+        }
+    }
+}
+
+/// Encode a log to the binary format.
+pub fn encode(log: &TraceLog) -> Result<Vec<u8>, VppbError> {
+    let mut buf = BytesMut::with_capacity(64 + log.records.len() * 20);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let header = serde_json::to_vec(&log.header)
+        .map_err(|e| VppbError::Io(format!("header encode: {e}")))?;
+    buf.put_u32_le(header.len() as u32);
+    buf.put_slice(&header);
+
+    let mut prev_us = 0u64;
+    for r in &log.records {
+        let (tag, payload) = tag_of(&r.kind)?;
+        buf.put_u8(tag);
+        buf.put_u8(match r.phase {
+            Phase::Before => 0,
+            Phase::After => 1,
+            Phase::Mark => 2,
+        });
+        let us = r.time.as_micros();
+        put_varint(&mut buf, us - prev_us);
+        prev_us = us;
+        put_varint(&mut buf, r.thread.0 as u64);
+        match payload {
+            Payload::None => {}
+            Payload::Obj(i) => put_varint(&mut buf, i as u64),
+            Payload::Addr(a) => put_varint(&mut buf, a.0),
+            Payload::CreateLike { bound, func } => {
+                buf.put_u8(bound as u8);
+                put_varint(&mut buf, func.0);
+            }
+            Payload::JoinTarget(t) => match t {
+                None => put_varint(&mut buf, 0),
+                Some(t) => put_varint(&mut buf, t.0 as u64 + 1),
+            },
+            Payload::Thread(t) => put_varint(&mut buf, t.0 as u64),
+            Payload::ThreadPrio(t, p) => {
+                put_varint(&mut buf, t.0 as u64);
+                put_varint(&mut buf, p as u64); // priorities are >= 0 here
+            }
+            Payload::Count(n) => put_varint(&mut buf, n as u64),
+            Payload::CondMutex(cv, m) => {
+                put_varint(&mut buf, cv as u64);
+                put_varint(&mut buf, m as u64);
+            }
+            Payload::Dur(d) => put_varint(&mut buf, d.nanos()),
+            Payload::CondMutexTimeout(cv, m, d) => {
+                put_varint(&mut buf, cv as u64);
+                put_varint(&mut buf, m as u64);
+                put_varint(&mut buf, d.nanos());
+            }
+        }
+        match r.result {
+            EventResult::None => buf.put_u8(R_NONE),
+            EventResult::Created(t) => {
+                buf.put_u8(R_CREATED);
+                put_varint(&mut buf, t.0 as u64);
+            }
+            EventResult::Joined(t) => {
+                buf.put_u8(R_JOINED);
+                put_varint(&mut buf, t.0 as u64);
+            }
+            EventResult::Acquired(b) => {
+                buf.put_u8(if b { R_ACQUIRED_TRUE } else { R_ACQUIRED_FALSE })
+            }
+            EventResult::TimedOut(b) => {
+                buf.put_u8(if b { R_TIMEDOUT_TRUE } else { R_TIMEDOUT_FALSE })
+            }
+        }
+        put_varint(&mut buf, r.caller.0);
+    }
+    Ok(buf.to_vec())
+}
+
+enum Payload {
+    None,
+    Obj(u32),
+    Addr(CodeAddr),
+    CreateLike { bound: bool, func: CodeAddr },
+    JoinTarget(Option<ThreadId>),
+    Thread(ThreadId),
+    ThreadPrio(ThreadId, i32),
+    Count(u32),
+    CondMutex(u32, u32),
+    CondMutexTimeout(u32, u32, Duration),
+    Dur(Duration),
+}
+
+fn tag_of(kind: &EventKind) -> Result<(u8, Payload), VppbError> {
+    use EventKind::*;
+    Ok(match *kind {
+        StartCollect => (T_START_COLLECT, Payload::None),
+        EndCollect => (T_END_COLLECT, Payload::None),
+        ThreadStart { func } => (T_THREAD_START, Payload::Addr(func)),
+        ThrCreate { bound, func } => (T_CREATE, Payload::CreateLike { bound, func }),
+        ThrJoin { target } => (T_JOIN, Payload::JoinTarget(target)),
+        ThrExit => (T_EXIT, Payload::None),
+        ThrYield => (T_YIELD, Payload::None),
+        ThrSetPrio { target, prio } => {
+            if prio < 0 {
+                return Err(VppbError::MalformedLog("negative priority".into()));
+            }
+            (T_SETPRIO, Payload::ThreadPrio(target, prio))
+        }
+        ThrSetConcurrency { n } => (T_SETCONC, Payload::Count(n)),
+        ThrSuspend { target } => (T_SUSPEND, Payload::Thread(target)),
+        ThrContinue { target } => (T_CONTINUE, Payload::Thread(target)),
+        IoWait { latency } => (T_IO_WAIT, Payload::Dur(latency)),
+        MutexLock { obj } => (T_MUTEX_LOCK, Payload::Obj(obj.index)),
+        MutexTryLock { obj } => (T_MUTEX_TRYLOCK, Payload::Obj(obj.index)),
+        MutexUnlock { obj } => (T_MUTEX_UNLOCK, Payload::Obj(obj.index)),
+        SemWait { obj } => (T_SEM_WAIT, Payload::Obj(obj.index)),
+        SemTryWait { obj } => (T_SEM_TRYWAIT, Payload::Obj(obj.index)),
+        SemPost { obj } => (T_SEM_POST, Payload::Obj(obj.index)),
+        CondWait { cond, mutex } => (T_COND_WAIT, Payload::CondMutex(cond.index, mutex.index)),
+        CondTimedWait { cond, mutex, timeout } => {
+            (T_COND_TIMEDWAIT, Payload::CondMutexTimeout(cond.index, mutex.index, timeout))
+        }
+        CondSignal { cond } => (T_COND_SIGNAL, Payload::Obj(cond.index)),
+        CondBroadcast { cond } => (T_COND_BROADCAST, Payload::Obj(cond.index)),
+        RwRdLock { obj } => (T_RW_RDLOCK, Payload::Obj(obj.index)),
+        RwWrLock { obj } => (T_RW_WRLOCK, Payload::Obj(obj.index)),
+        RwTryRdLock { obj } => (T_RW_TRYRDLOCK, Payload::Obj(obj.index)),
+        RwTryWrLock { obj } => (T_RW_TRYWRLOCK, Payload::Obj(obj.index)),
+        RwUnlock { obj } => (T_RW_UNLOCK, Payload::Obj(obj.index)),
+    })
+}
+
+/// Decode a binary log.
+pub fn decode(data: &[u8]) -> Result<TraceLog, VppbError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 10 {
+        return Err(VppbError::MalformedLog("binary log too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(VppbError::MalformedLog("bad magic".into()));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(VppbError::MalformedLog(format!("unsupported version {version}")));
+    }
+    let hlen = buf.get_u32_le() as usize;
+    if buf.remaining() < hlen {
+        return Err(VppbError::MalformedLog("truncated header".into()));
+    }
+    let header: LogHeader = serde_json::from_slice(&buf.copy_to_bytes(hlen))
+        .map_err(|e| VppbError::MalformedLog(format!("header: {e}")))?;
+
+    let mut records = Vec::new();
+    let mut prev_us = 0u64;
+    let mut seq = 0u64;
+    while buf.has_remaining() {
+        if buf.remaining() < 2 {
+            return Err(VppbError::MalformedLog("truncated record".into()));
+        }
+        let tag = buf.get_u8();
+        let phase = match buf.get_u8() {
+            0 => Phase::Before,
+            1 => Phase::After,
+            2 => Phase::Mark,
+            p => return Err(VppbError::MalformedLog(format!("bad phase byte {p}"))),
+        };
+        prev_us += get_varint(&mut buf)?;
+        let thread = ThreadId(get_varint(&mut buf)? as u32);
+        let obj = |buf: &mut Bytes, mk: fn(u32) -> SyncObjId| -> Result<SyncObjId, VppbError> {
+            Ok(mk(get_varint(buf)? as u32))
+        };
+        let kind = match tag {
+            T_START_COLLECT => EventKind::StartCollect,
+            T_END_COLLECT => EventKind::EndCollect,
+            T_THREAD_START => EventKind::ThreadStart { func: CodeAddr(get_varint(&mut buf)?) },
+            T_CREATE => {
+                let bound = buf.get_u8() != 0;
+                EventKind::ThrCreate { bound, func: CodeAddr(get_varint(&mut buf)?) }
+            }
+            T_JOIN => {
+                let t = get_varint(&mut buf)?;
+                EventKind::ThrJoin {
+                    target: if t == 0 { None } else { Some(ThreadId((t - 1) as u32)) },
+                }
+            }
+            T_EXIT => EventKind::ThrExit,
+            T_YIELD => EventKind::ThrYield,
+            T_SETPRIO => EventKind::ThrSetPrio {
+                target: ThreadId(get_varint(&mut buf)? as u32),
+                prio: get_varint(&mut buf)? as i32,
+            },
+            T_SETCONC => EventKind::ThrSetConcurrency { n: get_varint(&mut buf)? as u32 },
+            T_SUSPEND => {
+                EventKind::ThrSuspend { target: ThreadId(get_varint(&mut buf)? as u32) }
+            }
+            T_CONTINUE => {
+                EventKind::ThrContinue { target: ThreadId(get_varint(&mut buf)? as u32) }
+            }
+            T_MUTEX_LOCK => EventKind::MutexLock { obj: obj(&mut buf, SyncObjId::mutex)? },
+            T_MUTEX_TRYLOCK => {
+                EventKind::MutexTryLock { obj: obj(&mut buf, SyncObjId::mutex)? }
+            }
+            T_MUTEX_UNLOCK => EventKind::MutexUnlock { obj: obj(&mut buf, SyncObjId::mutex)? },
+            T_SEM_WAIT => EventKind::SemWait { obj: obj(&mut buf, SyncObjId::semaphore)? },
+            T_SEM_TRYWAIT => EventKind::SemTryWait { obj: obj(&mut buf, SyncObjId::semaphore)? },
+            T_SEM_POST => EventKind::SemPost { obj: obj(&mut buf, SyncObjId::semaphore)? },
+            T_COND_WAIT => EventKind::CondWait {
+                cond: SyncObjId::condvar(get_varint(&mut buf)? as u32),
+                mutex: SyncObjId::mutex(get_varint(&mut buf)? as u32),
+            },
+            T_COND_TIMEDWAIT => EventKind::CondTimedWait {
+                cond: SyncObjId::condvar(get_varint(&mut buf)? as u32),
+                mutex: SyncObjId::mutex(get_varint(&mut buf)? as u32),
+                timeout: Duration(get_varint(&mut buf)?),
+            },
+            T_COND_SIGNAL => {
+                EventKind::CondSignal { cond: obj(&mut buf, SyncObjId::condvar)? }
+            }
+            T_COND_BROADCAST => {
+                EventKind::CondBroadcast { cond: obj(&mut buf, SyncObjId::condvar)? }
+            }
+            T_RW_RDLOCK => EventKind::RwRdLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
+            T_RW_WRLOCK => EventKind::RwWrLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
+            T_RW_TRYRDLOCK => EventKind::RwTryRdLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
+            T_RW_TRYWRLOCK => EventKind::RwTryWrLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
+            T_RW_UNLOCK => EventKind::RwUnlock { obj: obj(&mut buf, SyncObjId::rwlock)? },
+            T_IO_WAIT => EventKind::IoWait { latency: Duration(get_varint(&mut buf)?) },
+            t => return Err(VppbError::MalformedLog(format!("unknown record tag {t}"))),
+        };
+        let result = match buf.get_u8() {
+            R_NONE => EventResult::None,
+            R_CREATED => EventResult::Created(ThreadId(get_varint(&mut buf)? as u32)),
+            R_JOINED => EventResult::Joined(ThreadId(get_varint(&mut buf)? as u32)),
+            R_ACQUIRED_FALSE => EventResult::Acquired(false),
+            R_ACQUIRED_TRUE => EventResult::Acquired(true),
+            R_TIMEDOUT_FALSE => EventResult::TimedOut(false),
+            R_TIMEDOUT_TRUE => EventResult::TimedOut(true),
+            r => return Err(VppbError::MalformedLog(format!("unknown result tag {r}"))),
+        };
+        let caller = CodeAddr(get_varint(&mut buf)?);
+        records.push(TraceRecord {
+            seq,
+            time: Time::from_micros(prev_us),
+            thread,
+            phase,
+            kind,
+            result,
+            caller,
+        });
+        seq += 1;
+    }
+    Ok(TraceLog { header, records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textlog;
+
+    fn sample_log() -> TraceLog {
+        // Reuse the text-log test fixture by parsing a small log.
+        let text = "\
+# vppb-log v1
+# program bin-test
+# walltime 0.100000
+# probecost 2000
+0.000000 T1 M start_collect @0x0
+0.000010 T1 B thr_create bound=1 func=0x1000 @0x1010
+0.000020 T1 A thr_create bound=1 func=0x1000 created=T4 @0x1010
+0.000030 T4 B mutex_trylock obj=mtx3 @0x1020
+0.000031 T4 A mutex_trylock obj=mtx3 acquired=0 @0x1020
+0.000040 T4 B cond_timedwait cond=cv1 mutex=mtx3 timeout=5000000 @0x1024
+0.000050 T4 A cond_timedwait cond=cv1 mutex=mtx3 timeout=5000000 timedout=1 @0x1024
+0.000060 T1 B thr_join target=* @0x1030
+0.000070 T1 A thr_join target=* joined=T4 @0x1030
+0.100000 T1 M end_collect @0x0
+";
+        textlog::parse_log(text).unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_is_lossless() {
+        let log = sample_log();
+        let bin = encode(&log).unwrap();
+        let back = decode(&bin).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_text() {
+        let log = sample_log();
+        let bin = encode(&log).unwrap();
+        let text = textlog::write_log(&log);
+        // Header dominates tiny logs; compare record bytes only.
+        let bin_records = bin.len() - 10 - serde_json::to_vec(&log.header).unwrap().len();
+        let text_records: usize =
+            text.lines().filter(|l| !l.starts_with('#')).map(|l| l.len() + 1).sum();
+        assert!(
+            bin_records * 2 < text_records,
+            "binary {bin_records}B vs text {text_records}B"
+        );
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let log = sample_log();
+        let mut bin = encode(&log).unwrap();
+        assert!(decode(&bin[..5]).is_err(), "truncation detected");
+        bin[0] = b'X';
+        assert!(matches!(decode(&bin), Err(VppbError::MalformedLog(_))), "bad magic");
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let log = sample_log();
+        let mut bin = encode(&log).unwrap();
+        bin[4] = 0xff;
+        assert!(decode(&bin).is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut b = BytesMut::new();
+            put_varint(&mut b, v);
+            let mut bytes = b.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+}

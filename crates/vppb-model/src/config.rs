@@ -1,0 +1,287 @@
+//! Machine, scheduling and simulation configuration.
+//!
+//! These structures carry the user-adjustable knobs listed in §3.2 of the
+//! paper: number of processors, number of LWPs, communication delay between
+//! CPUs, per-thread bindings (unbound / bound to an LWP / bound to a CPU)
+//! and per-thread priority overrides, plus the cost factors for bound
+//! threads taken from the Solaris multithreaded-programming guide
+//! (creation 6.7× and synchronization 5.9× more expensive than unbound).
+
+use crate::dispatch::{DispatchTable, TS_DEFAULT_PRI};
+use crate::ids::{CpuId, ThreadId};
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How many LWPs the process gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LwpPolicy {
+    /// Exactly this many LWPs serve unbound threads (bound threads always
+    /// get a private LWP on top). When the Simulator is given a fixed
+    /// count, `thr_setconcurrency` calls in the log are ignored (§3.2).
+    Fixed(u32),
+    /// One LWP per thread — the configuration where user-level
+    /// multiplexing never throttles parallelism.
+    PerThread,
+    /// Follow the program: start with one LWP and honour
+    /// `thr_setconcurrency` requests, as unmodified Solaris would.
+    FollowProgram,
+}
+
+impl LwpPolicy {
+    /// Unbound-pool size for a program with `threads` live threads and a
+    /// current `setconcurrency` request of `requested`.
+    pub fn pool_size(self, threads: u32, requested: u32) -> u32 {
+        match self {
+            LwpPolicy::Fixed(n) => n.max(1),
+            LwpPolicy::PerThread => threads.max(1),
+            LwpPolicy::FollowProgram => requested.max(1),
+        }
+    }
+}
+
+/// Per-thread placement, adjustable in the Simulator (§3.2: "Each thread
+/// can individually be unbound; bound to a LWP; or bound to a certain CPU").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Binding {
+    /// Multiplexed on the process's LWP pool.
+    #[default]
+    Unbound,
+    /// Permanently attached to a private LWP.
+    BoundLwp,
+    /// Attached to a private LWP which is itself bound to a processor.
+    BoundCpu(CpuId),
+}
+
+impl Binding {
+    /// Whether the thread owns a dedicated LWP.
+    pub fn is_bound(self) -> bool {
+        !matches!(self, Binding::Unbound)
+    }
+}
+
+/// A what-if manipulation of one thread, applied by the Simulator before
+/// replay. A priority override makes the simulator ignore `thr_setprio`
+/// events for that thread, as described in §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ThreadManip {
+    /// Override the thread's placement (unbound / bound LWP / bound CPU).
+    pub binding: Option<Binding>,
+    /// Pin the thread's user priority, ignoring recorded `thr_setprio`s.
+    pub priority: Option<i32>,
+}
+
+/// Cost model for bound threads, relative to unbound ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundCosts {
+    /// `thr_create` of a bound thread costs this factor more (paper: 6.7).
+    pub create_factor: f64,
+    /// Synchronization on semaphores — and, as the paper says, the same
+    /// value is used for mutexes, conditions and read/write locks — costs
+    /// this factor more for bound threads (paper: 5.9).
+    pub sync_factor: f64,
+}
+
+impl Default for BoundCosts {
+    fn default() -> BoundCosts {
+        BoundCosts { create_factor: 6.7, sync_factor: 5.9 }
+    }
+}
+
+/// Base costs of thread-library operations for *unbound* threads. These are
+/// the latencies the bound factors multiply. Values are in the
+/// microseconds range of mid-90s UltraSPARC measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseCosts {
+    /// Creating an unbound thread.
+    pub create: Duration,
+    /// One uncontended synchronization operation (lock, post, signal, ...).
+    pub sync_op: Duration,
+    /// A user-level context switch between threads on one LWP.
+    pub uthread_switch: Duration,
+    /// A kernel context switch between LWPs on one CPU (the Simulator
+    /// deliberately does *not* model this — §6 — but the machine does).
+    pub lwp_switch: Duration,
+}
+
+impl Default for BaseCosts {
+    fn default() -> BaseCosts {
+        BaseCosts {
+            create: Duration::from_micros(50),
+            sync_op: Duration::from_micros(2),
+            uthread_switch: Duration::from_micros(5),
+            lwp_switch: Duration::from_micros(15),
+        }
+    }
+}
+
+/// The hardware + kernel configuration of a (real or simulated) machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub cpus: u32,
+    /// LWP pool policy for unbound threads.
+    pub lwps: LwpPolicy,
+    /// Delay for an event on one CPU (e.g. an unlock) to become visible on
+    /// another (§3.2: "how fast an event on one CPU is propagated to
+    /// another CPU").
+    pub comm_delay: Duration,
+    /// TS-class dispatch table (priority ⇄ quantum ⇄ aging).
+    pub dispatch: DispatchTable,
+    /// Whether preemptive time slicing is enabled. Disabling it makes LWPs
+    /// run-to-block, which is useful in tests.
+    pub time_slicing: bool,
+    /// Initial TS priority for new LWPs.
+    pub initial_priority: i32,
+    /// Latency model for thread-library operations.
+    pub base_costs: BaseCosts,
+    /// Bound-thread cost factors.
+    pub bound_costs: BoundCosts,
+    /// Cache-affinity model: extra CPU time charged when a thread runs on
+    /// a different CPU than it last ran on ("parts of the old cache
+    /// contents has to be moved to the cache on the new processor" —
+    /// §3.2). The paper's simulator does not model caches, so the default
+    /// is zero; the binding what-ifs become quantitative when set.
+    pub migration_penalty: Duration,
+}
+
+impl MachineConfig {
+    /// A machine like the paper's validation host: 8 CPUs, one LWP per
+    /// thread is *not* assumed — SPLASH-style programs call
+    /// `thr_setconcurrency`, so the pool follows the program.
+    pub fn sun_enterprise(cpus: u32) -> MachineConfig {
+        MachineConfig { cpus, ..MachineConfig::default() }
+    }
+
+    /// The Recorder's host: one CPU and one LWP (§3.1/§6: monitoring is
+    /// only possible on a single LWP).
+    pub fn uniprocessor_one_lwp() -> MachineConfig {
+        MachineConfig { cpus: 1, lwps: LwpPolicy::Fixed(1), ..MachineConfig::default() }
+    }
+
+    /// Builder-style: set the processor count.
+    pub fn with_cpus(mut self, cpus: u32) -> MachineConfig {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Builder-style: set the LWP policy.
+    pub fn with_lwps(mut self, lwps: LwpPolicy) -> MachineConfig {
+        self.lwps = lwps;
+        self
+    }
+
+    /// Builder-style: set the cross-CPU communication delay.
+    pub fn with_comm_delay(mut self, d: Duration) -> MachineConfig {
+        self.comm_delay = d;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            cpus: 1,
+            lwps: LwpPolicy::FollowProgram,
+            comm_delay: Duration::from_micros(1),
+            dispatch: DispatchTable::solaris_ts(),
+            time_slicing: true,
+            initial_priority: TS_DEFAULT_PRI,
+            base_costs: BaseCosts::default(),
+            bound_costs: BoundCosts::default(),
+            migration_penalty: Duration::ZERO,
+        }
+    }
+}
+
+/// Full parameter set for one Simulator run: the simulated machine plus the
+/// per-thread what-if manipulations and the replay-rule switches that the
+/// ablation study exercises.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// The simulated machine (fig. 1 boxes (e) and (f)).
+    pub machine: MachineConfig,
+    /// Per-thread overrides (binding, priority).
+    pub manips: BTreeMap<ThreadId, ThreadManip>,
+    /// Model `cond_broadcast` as a barrier release (hold the broadcaster
+    /// until the recorded number of waiters have arrived — §6). On by
+    /// default; the `whatif` ablation turns it off.
+    pub barrier_aware_broadcast: bool,
+}
+
+impl SimParams {
+    /// Simulate on the given machine, with no manipulations.
+    pub fn new(machine: MachineConfig) -> SimParams {
+        SimParams { machine, manips: BTreeMap::new(), barrier_aware_broadcast: true }
+    }
+
+    /// Convenience: simulate `cpus` processors with one LWP per thread.
+    pub fn cpus(cpus: u32) -> SimParams {
+        SimParams::new(MachineConfig::sun_enterprise(cpus).with_lwps(LwpPolicy::PerThread))
+    }
+
+    /// Builder-style: attach a manipulation to one thread.
+    pub fn manip(mut self, thread: ThreadId, m: ThreadManip) -> SimParams {
+        self.manips.insert(thread, m);
+        self
+    }
+
+    /// Builder-style: bind `thread` to a specific processor (§3.2).
+    pub fn bind_to_cpu(self, thread: ThreadId, cpu: CpuId) -> SimParams {
+        let m = ThreadManip { binding: Some(Binding::BoundCpu(cpu)), priority: None };
+        self.manip(thread, m)
+    }
+
+    /// Builder-style: pin `thread`'s priority, ignoring recorded
+    /// `thr_setprio` events for it (§3.2).
+    pub fn override_priority(mut self, thread: ThreadId, prio: i32) -> SimParams {
+        self.manips.entry(thread).or_default().priority = Some(prio);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lwp_policy_pool_sizes() {
+        assert_eq!(LwpPolicy::Fixed(4).pool_size(10, 2), 4);
+        assert_eq!(LwpPolicy::Fixed(0).pool_size(10, 2), 1, "at least one LWP");
+        assert_eq!(LwpPolicy::PerThread.pool_size(10, 2), 10);
+        assert_eq!(LwpPolicy::FollowProgram.pool_size(10, 6), 6);
+        assert_eq!(LwpPolicy::FollowProgram.pool_size(10, 0), 1);
+    }
+
+    #[test]
+    fn default_bound_costs_match_paper() {
+        let c = BoundCosts::default();
+        assert!((c.create_factor - 6.7).abs() < 1e-9);
+        assert!((c.sync_factor - 5.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_machine_is_one_cpu_one_lwp() {
+        let m = MachineConfig::uniprocessor_one_lwp();
+        assert_eq!(m.cpus, 1);
+        assert_eq!(m.lwps, LwpPolicy::Fixed(1));
+    }
+
+    #[test]
+    fn sim_params_manipulations_accumulate() {
+        let p = SimParams::cpus(8)
+            .bind_to_cpu(ThreadId(4), CpuId(2))
+            .override_priority(ThreadId(4), 50);
+        let m = p.manips.get(&ThreadId(4)).unwrap();
+        assert_eq!(m.binding, Some(Binding::BoundCpu(CpuId(2))));
+        assert_eq!(m.priority, Some(50));
+        assert!(p.barrier_aware_broadcast);
+    }
+
+    #[test]
+    fn binding_boundness() {
+        assert!(!Binding::Unbound.is_bound());
+        assert!(Binding::BoundLwp.is_bound());
+        assert!(Binding::BoundCpu(CpuId(0)).is_bound());
+    }
+}

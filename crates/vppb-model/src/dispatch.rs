@@ -1,0 +1,165 @@
+//! The Solaris time-sharing (TS) dispatch table.
+//!
+//! Kernel threads (one per LWP) in the TS class have a priority in
+//! `0..=59`. The dispatcher consults a 60-row table: each row gives the
+//! time-slice (*quantum*) for that priority, the priority an LWP drops to
+//! when it uses up its quantum (`tqexp`), and the priority it is boosted to
+//! when it returns from sleep (`slpret`). Interactive (frequently sleeping)
+//! LWPs therefore float to high priorities with short slices, while
+//! compute-bound LWPs sink to low priorities with long slices — the
+//! behaviour §3.2 of the paper says both the OS and the Simulator emulate
+//! ("the priority of an LWP is set by the operating system and is adjusted
+//! during run-time", "the length of a time slice for an LWP is related to
+//! the priority level").
+//!
+//! The table below follows the shape of the stock `ts_dptbl(4)`: quanta of
+//! 200 ms at priority 0 shrinking stepwise to 20 ms at priority 59, quantum
+//! expiry dropping priority by 10 (clamped at 0), and sleep return boosting
+//! into the 50–59 band.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Number of priority levels in the TS class.
+pub const TS_LEVELS: usize = 60;
+
+/// Highest TS priority.
+pub const TS_MAX_PRI: i32 = 59;
+
+/// Default priority of a newly created TS LWP (mid-table, as in Solaris).
+pub const TS_DEFAULT_PRI: i32 = 29;
+
+/// One row of the dispatch table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchRow {
+    /// Time slice granted at this priority.
+    pub quantum: Duration,
+    /// New priority after the quantum is fully consumed.
+    pub tqexp: i32,
+    /// New priority after returning from a sleep (blocking wait).
+    pub slpret: i32,
+}
+
+/// The full 60-row table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchTable {
+    rows: Vec<DispatchRow>,
+}
+
+impl DispatchTable {
+    /// The stock Solaris 2.5-shaped table.
+    pub fn solaris_ts() -> DispatchTable {
+        let rows = (0..TS_LEVELS as i32)
+            .map(|pri| DispatchRow {
+                quantum: Duration::from_millis(match pri {
+                    0..=9 => 200,
+                    10..=19 => 160,
+                    20..=29 => 120,
+                    30..=39 => 80,
+                    40..=49 => 40,
+                    _ => 20,
+                }),
+                tqexp: (pri - 10).max(0),
+                // The stock table boosts sleepers into the top decade,
+                // higher for threads that were already high-priority.
+                slpret: (50 + pri / 6).min(TS_MAX_PRI),
+            })
+            .collect();
+        DispatchTable { rows }
+    }
+
+    /// A degenerate table where every priority gets the same quantum and
+    /// neither expiry nor sleep changes priority — plain round-robin. Used
+    /// by the `whatif --rr` ablation.
+    pub fn round_robin(quantum: Duration) -> DispatchTable {
+        let rows = (0..TS_LEVELS as i32)
+            .map(|pri| DispatchRow { quantum, tqexp: pri, slpret: pri })
+            .collect();
+        DispatchTable { rows }
+    }
+
+    #[inline]
+    fn clamp(pri: i32) -> usize {
+        pri.clamp(0, TS_MAX_PRI) as usize
+    }
+
+    /// Quantum for a priority level.
+    #[inline]
+    pub fn quantum(&self, pri: i32) -> Duration {
+        self.rows[Self::clamp(pri)].quantum
+    }
+
+    /// Priority after quantum expiry.
+    #[inline]
+    pub fn on_quantum_expiry(&self, pri: i32) -> i32 {
+        self.rows[Self::clamp(pri)].tqexp
+    }
+
+    /// Priority after sleep return.
+    #[inline]
+    pub fn on_sleep_return(&self, pri: i32) -> i32 {
+        self.rows[Self::clamp(pri)].slpret
+    }
+
+    /// All 60 rows, lowest priority first.
+    pub fn rows(&self) -> &[DispatchRow] {
+        &self.rows
+    }
+}
+
+impl Default for DispatchTable {
+    fn default() -> DispatchTable {
+        DispatchTable::solaris_ts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_sixty_rows() {
+        assert_eq!(DispatchTable::solaris_ts().rows().len(), TS_LEVELS);
+    }
+
+    #[test]
+    fn quantum_shrinks_with_priority() {
+        let t = DispatchTable::solaris_ts();
+        assert_eq!(t.quantum(0), Duration::from_millis(200));
+        assert_eq!(t.quantum(29), Duration::from_millis(120));
+        assert_eq!(t.quantum(59), Duration::from_millis(20));
+        for p in 1..TS_LEVELS as i32 {
+            assert!(t.quantum(p) <= t.quantum(p - 1), "quantum must be monotone");
+        }
+    }
+
+    #[test]
+    fn expiry_sinks_and_sleep_boosts() {
+        let t = DispatchTable::solaris_ts();
+        assert_eq!(t.on_quantum_expiry(29), 19);
+        assert_eq!(t.on_quantum_expiry(5), 0);
+        assert!(t.on_sleep_return(0) >= 50);
+        assert!(t.on_sleep_return(59) <= TS_MAX_PRI);
+        for p in 0..TS_LEVELS as i32 {
+            assert!(t.on_sleep_return(p) >= p.min(50), "sleep must not sink below 50-band");
+        }
+    }
+
+    #[test]
+    fn out_of_range_priorities_clamp() {
+        let t = DispatchTable::solaris_ts();
+        assert_eq!(t.quantum(-5), t.quantum(0));
+        assert_eq!(t.quantum(400), t.quantum(59));
+    }
+
+    #[test]
+    fn round_robin_is_flat() {
+        let q = Duration::from_millis(50);
+        let t = DispatchTable::round_robin(q);
+        for p in 0..TS_LEVELS as i32 {
+            assert_eq!(t.quantum(p), q);
+            assert_eq!(t.on_quantum_expiry(p), p);
+            assert_eq!(t.on_sleep_return(p), p);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types shared across the VPPB crates.
+
+use std::fmt;
+
+/// Errors produced while recording, parsing, simulating or rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VppbError {
+    /// A log file violates the structural rules the Simulator relies on.
+    MalformedLog(String),
+    /// The monitored program cannot be recorded on a single LWP — e.g. it
+    /// spins on a variable or never yields (the Barnes/Raytrace classes of
+    /// §4). Carries a description of the detected pattern.
+    Unrecordable(String),
+    /// The Simulator's replay diverged irrecoverably from the log (a replay
+    /// rule was violated — indicates a bug or a hand-edited log).
+    ReplayDiverged(String),
+    /// A machine-level program error: deadlock, unlocking a mutex the
+    /// thread doesn't hold, joining a detached thread, ...
+    ProgramError(String),
+    /// Invalid configuration (zero CPUs, priority out of range, ...).
+    InvalidConfig(String),
+    /// I/O error text (kept as a string so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for VppbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VppbError::MalformedLog(m) => write!(f, "malformed log: {m}"),
+            VppbError::Unrecordable(m) => write!(f, "program cannot be recorded: {m}"),
+            VppbError::ReplayDiverged(m) => write!(f, "replay diverged from log: {m}"),
+            VppbError::ProgramError(m) => write!(f, "program error: {m}"),
+            VppbError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            VppbError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VppbError {}
+
+impl From<std::io::Error> for VppbError {
+    fn from(e: std::io::Error) -> VppbError {
+        VppbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert!(VppbError::MalformedLog("x".into()).to_string().starts_with("malformed log"));
+        assert!(VppbError::Unrecordable("spin".into()).to_string().contains("spin"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: VppbError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, VppbError::Io(_)));
+    }
+}

@@ -1,0 +1,350 @@
+//! Thread-library events.
+//!
+//! The Recorder observes the program at the boundary of the thread library:
+//! every call into `libthread` produces a BEFORE record when the call is
+//! made and an AFTER record when it returns, exactly like the paper's
+//! interposition probes (§3.1, fig. 3). Return values that the replay rules
+//! need — whether a `*_trylock` succeeded, which thread a wildcard
+//! `thr_join` actually joined, whether a `cond_timedwait` timed out — are
+//! only visible at return time and therefore live in the AFTER record's
+//! [`EventResult`], never in the [`EventKind`] itself.
+
+use crate::ids::{SyncObjId, ThreadId};
+use crate::source::CodeAddr;
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Phase of a probe record relative to the wrapped library call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Recorded immediately before the original routine is invoked.
+    Before,
+    /// Recorded immediately after the original routine returned.
+    After,
+    /// A point event not bracketing a call (thread start, collection marks).
+    Mark,
+}
+
+impl Phase {
+    /// One-letter tag used in the text log (`B`/`A`/`M`).
+    pub fn short(self) -> &'static str {
+        match self {
+            Phase::Before => "B",
+            Phase::After => "A",
+            Phase::Mark => "M",
+        }
+    }
+}
+
+/// The thread-library routine (or lifecycle point) an event describes.
+///
+/// Names follow Solaris 2.x `libthread`: `thr_*` for thread management,
+/// `mutex_*`, `sema_*`, `cond_*`, `rw_*` for synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Monitoring started (first record of every log).
+    StartCollect,
+    /// Monitoring stopped (last record of every log).
+    EndCollect,
+    /// A thread body began executing; `func` is the start routine passed to
+    /// `thr_create`, recorded so the Visualizer can name the thread.
+    ThreadStart {
+        /// Entry address of the start routine.
+        func: CodeAddr,
+    },
+
+    /// `thr_create`; `bound` mirrors the `THR_BOUND` flag. The child id is
+    /// a *return value* and appears in the AFTER record's result.
+    ThrCreate {
+        /// Whether `THR_BOUND` was passed (a dedicated LWP).
+        bound: bool,
+        /// Entry address of the start routine.
+        func: CodeAddr,
+    },
+    /// `thr_join`; `target == None` is the wildcard form ("join any").
+    ThrJoin {
+        /// The thread to join, or `None` for the wildcard form.
+        target: Option<ThreadId>,
+    },
+    /// `thr_exit`.
+    ThrExit,
+    /// `thr_yield`.
+    ThrYield,
+    /// `thr_setprio(target, prio)`.
+    ThrSetPrio {
+        /// Whose priority changes.
+        target: ThreadId,
+        /// The new user-level priority.
+        prio: i32,
+    },
+    /// `thr_setconcurrency(n)` — requests `n` LWPs for the process.
+    ThrSetConcurrency {
+        /// Requested LWP count.
+        n: u32,
+    },
+    /// `thr_suspend(target)`.
+    ThrSuspend {
+        /// The thread being suspended.
+        target: ThreadId,
+    },
+    /// `thr_continue(target)`.
+    ThrContinue {
+        /// The thread being resumed.
+        target: ThreadId,
+    },
+    /// A blocking I/O system call with this device latency (extension:
+    /// the paper's §6 future work on modelling I/O).
+    IoWait {
+        /// Device latency of the blocking system call.
+        latency: Duration,
+    },
+
+    /// `mutex_lock`.
+    MutexLock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `mutex_trylock`; success is in the AFTER result.
+    MutexTryLock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `mutex_unlock`.
+    MutexUnlock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+
+    /// `sema_wait`.
+    SemWait {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `sema_trywait`; success is in the AFTER result.
+    SemTryWait {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `sema_post`.
+    SemPost {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+
+    /// `cond_wait(cond, mutex)`.
+    CondWait {
+        /// The condition variable waited on.
+        cond: SyncObjId,
+        /// The mutex released while waiting.
+        mutex: SyncObjId,
+    },
+    /// `cond_timedwait(cond, mutex, timeout)`; whether it timed out is in
+    /// the AFTER result.
+    CondTimedWait {
+        /// The condition variable waited on.
+        cond: SyncObjId,
+        /// The mutex released while waiting.
+        mutex: SyncObjId,
+        /// Timeout passed by the program.
+        timeout: Duration,
+    },
+    /// `cond_signal`.
+    CondSignal {
+        /// The condition variable signalled.
+        cond: SyncObjId,
+    },
+    /// `cond_broadcast`.
+    CondBroadcast {
+        /// The condition variable broadcast on.
+        cond: SyncObjId,
+    },
+
+    /// `rw_rdlock`.
+    RwRdLock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `rw_wrlock`.
+    RwWrLock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `rw_tryrdlock`; success is in the AFTER result.
+    RwTryRdLock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `rw_trywrlock`; success is in the AFTER result.
+    RwTryWrLock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+    /// `rw_unlock`.
+    RwUnlock {
+        /// The object concerned.
+        obj: SyncObjId,
+    },
+}
+
+impl EventKind {
+    /// The canonical routine name, as printed in the text log and shown by
+    /// the Visualizer.
+    pub fn name(&self) -> &'static str {
+        use EventKind::*;
+        match self {
+            StartCollect => "start_collect",
+            EndCollect => "end_collect",
+            ThreadStart { .. } => "thread_start",
+            ThrCreate { .. } => "thr_create",
+            ThrJoin { .. } => "thr_join",
+            ThrExit => "thr_exit",
+            ThrYield => "thr_yield",
+            ThrSetPrio { .. } => "thr_setprio",
+            ThrSetConcurrency { .. } => "thr_setconcurrency",
+            ThrSuspend { .. } => "thr_suspend",
+            ThrContinue { .. } => "thr_continue",
+            IoWait { .. } => "io_wait",
+            MutexLock { .. } => "mutex_lock",
+            MutexTryLock { .. } => "mutex_trylock",
+            MutexUnlock { .. } => "mutex_unlock",
+            SemWait { .. } => "sema_wait",
+            SemTryWait { .. } => "sema_trywait",
+            SemPost { .. } => "sema_post",
+            CondWait { .. } => "cond_wait",
+            CondTimedWait { .. } => "cond_timedwait",
+            CondSignal { .. } => "cond_signal",
+            CondBroadcast { .. } => "cond_broadcast",
+            RwRdLock { .. } => "rw_rdlock",
+            RwWrLock { .. } => "rw_wrlock",
+            RwTryRdLock { .. } => "rw_tryrdlock",
+            RwTryWrLock { .. } => "rw_trywrlock",
+            RwUnlock { .. } => "rw_unlock",
+        }
+    }
+
+    /// The synchronization object a record is "about", if any. For
+    /// condition-variable operations this is the condvar (the mutex is
+    /// reported by [`EventKind::cond_mutex`]).
+    pub fn object(&self) -> Option<SyncObjId> {
+        use EventKind::*;
+        match *self {
+            MutexLock { obj }
+            | MutexTryLock { obj }
+            | MutexUnlock { obj }
+            | SemWait { obj }
+            | SemTryWait { obj }
+            | SemPost { obj }
+            | RwRdLock { obj }
+            | RwWrLock { obj }
+            | RwTryRdLock { obj }
+            | RwTryWrLock { obj }
+            | RwUnlock { obj } => Some(obj),
+            CondWait { cond, .. }
+            | CondTimedWait { cond, .. }
+            | CondSignal { cond }
+            | CondBroadcast { cond } => Some(cond),
+            _ => None,
+        }
+    }
+
+    /// The mutex associated with a condition-variable wait, if any.
+    pub fn cond_mutex(&self) -> Option<SyncObjId> {
+        match *self {
+            EventKind::CondWait { mutex, .. } | EventKind::CondTimedWait { mutex, .. } => {
+                Some(mutex)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for operations that may block the calling thread.
+    pub fn may_block(&self) -> bool {
+        use EventKind::*;
+        matches!(
+            self,
+            ThrJoin { .. }
+                | MutexLock { .. }
+                | SemWait { .. }
+                | CondWait { .. }
+                | CondTimedWait { .. }
+                | RwRdLock { .. }
+                | RwWrLock { .. }
+                | IoWait { .. }
+        )
+    }
+
+    /// True for the non-blocking `try` variants whose recorded outcome is
+    /// replayed verbatim by the Simulator (§3.2).
+    pub fn is_try_op(&self) -> bool {
+        use EventKind::*;
+        matches!(
+            self,
+            MutexTryLock { .. } | SemTryWait { .. } | RwTryRdLock { .. } | RwTryWrLock { .. }
+        )
+    }
+}
+
+/// Return-value information captured by the AFTER probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum EventResult {
+    /// No interesting return value.
+    #[default]
+    None,
+    /// `thr_create` returned this child id.
+    Created(ThreadId),
+    /// `thr_join` joined this thread (meaningful for the wildcard form).
+    Joined(ThreadId),
+    /// Outcome of a `try` operation.
+    Acquired(bool),
+    /// Whether `cond_timedwait` returned `ETIME`.
+    TimedOut(bool),
+}
+
+impl fmt::Display for EventResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventResult::None => write!(f, "-"),
+            EventResult::Created(t) => write!(f, "created={t}"),
+            EventResult::Joined(t) => write!(f, "joined={t}"),
+            EventResult::Acquired(b) => write!(f, "acquired={b}"),
+            EventResult::TimedOut(b) => write!(f, "timedout={b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_extraction_covers_sync_ops() {
+        let m = SyncObjId::mutex(2);
+        assert_eq!(EventKind::MutexLock { obj: m }.object(), Some(m));
+        let cv = SyncObjId::condvar(1);
+        let ev = EventKind::CondWait { cond: cv, mutex: m };
+        assert_eq!(ev.object(), Some(cv));
+        assert_eq!(ev.cond_mutex(), Some(m));
+        assert_eq!(EventKind::ThrExit.object(), None);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        let m = SyncObjId::mutex(0);
+        assert!(EventKind::MutexLock { obj: m }.may_block());
+        assert!(!EventKind::MutexUnlock { obj: m }.may_block());
+        assert!(!EventKind::MutexTryLock { obj: m }.may_block());
+        assert!(EventKind::MutexTryLock { obj: m }.is_try_op());
+        assert!(EventKind::ThrJoin { target: None }.may_block());
+    }
+
+    #[test]
+    fn names_match_solaris_routines() {
+        assert_eq!(EventKind::ThrCreate { bound: false, func: CodeAddr(0) }.name(), "thr_create");
+        assert_eq!(EventKind::SemPost { obj: SyncObjId::semaphore(0) }.name(), "sema_post");
+        assert_eq!(
+            EventKind::CondBroadcast { cond: SyncObjId::condvar(0) }.name(),
+            "cond_broadcast"
+        );
+    }
+}

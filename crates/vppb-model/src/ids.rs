@@ -1,0 +1,183 @@
+//! Identifier types for threads, LWPs, CPUs and synchronization objects.
+//!
+//! Solaris `thr_create` returns small integer thread ids; in the paper's
+//! running example the operating system assigns `main = 1` and the two
+//! workers `4` and `5` (ids 2 and 3 belong to library-internal threads).
+//! We reproduce that numbering: the main thread is always [`ThreadId::MAIN`]
+//! and user-created threads are numbered from [`ThreadId::FIRST_USER`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a dense array index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user-level thread id, displayed as `T<n>` as in the paper's figures.
+    ThreadId,
+    "T"
+);
+id_type!(
+    /// A lightweight process (LWP) id.
+    LwpId,
+    "L"
+);
+id_type!(
+    /// A processor id.
+    CpuId,
+    "CPU"
+);
+
+impl ThreadId {
+    /// The initial (main) thread of the process.
+    pub const MAIN: ThreadId = ThreadId(1);
+    /// First id handed out to user-created threads. Ids 2 and 3 are
+    /// reserved, mirroring Solaris libthread's internal threads.
+    pub const FIRST_USER: ThreadId = ThreadId(4);
+}
+
+/// The kind of a synchronization object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ObjKind {
+    /// A `mutex_t`.
+    Mutex,
+    /// A counting `sema_t`.
+    Semaphore,
+    /// A `cond_t`.
+    Condvar,
+    /// A `rwlock_t`.
+    RwLock,
+}
+
+impl ObjKind {
+    /// Short tag used in logs and displays (`mtx`, `sem`, `cv`, `rw`).
+    pub fn short(self) -> &'static str {
+        match self {
+            ObjKind::Mutex => "mtx",
+            ObjKind::Semaphore => "sem",
+            ObjKind::Condvar => "cv",
+            ObjKind::RwLock => "rw",
+        }
+    }
+
+    /// Inverse of [`ObjKind::short`].
+    pub fn from_short(s: &str) -> Option<ObjKind> {
+        Some(match s {
+            "mtx" => ObjKind::Mutex,
+            "sem" => ObjKind::Semaphore,
+            "cv" => ObjKind::Condvar,
+            "rw" => ObjKind::RwLock,
+            _ => return None,
+        })
+    }
+}
+
+/// Identity of a synchronization object: its kind plus a per-kind index.
+///
+/// The Recorder identifies objects by the address of the user's
+/// `mutex_t`/`sema_t`/... variable; our programs declare objects through the
+/// DSL, which hands out dense indices per kind instead. The pair is what the
+/// paper calls "which object the event concerns".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SyncObjId {
+    /// What kind of object this is.
+    pub kind: ObjKind,
+    /// Dense per-kind index (declaration order).
+    pub index: u32,
+}
+
+impl SyncObjId {
+    /// The `index`-th mutex.
+    #[inline]
+    pub fn mutex(index: u32) -> SyncObjId {
+        SyncObjId { kind: ObjKind::Mutex, index }
+    }
+    /// The `index`-th semaphore.
+    #[inline]
+    pub fn semaphore(index: u32) -> SyncObjId {
+        SyncObjId { kind: ObjKind::Semaphore, index }
+    }
+    /// The `index`-th condition variable.
+    #[inline]
+    pub fn condvar(index: u32) -> SyncObjId {
+        SyncObjId { kind: ObjKind::Condvar, index }
+    }
+    /// The `index`-th read/write lock.
+    #[inline]
+    pub fn rwlock(index: u32) -> SyncObjId {
+        SyncObjId { kind: ObjKind::RwLock, index }
+    }
+}
+
+impl fmt::Display for SyncObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind.short(), self.index)
+    }
+}
+
+/// Parse a `SyncObjId` from its display form (`mtx0`, `sem3`, ...).
+pub fn parse_obj_id(s: &str) -> Option<SyncObjId> {
+    let split = s.find(|c: char| c.is_ascii_digit())?;
+    let kind = ObjKind::from_short(&s[..split])?;
+    let index = s[split..].parse().ok()?;
+    Some(SyncObjId { kind, index })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_numbering_matches_paper() {
+        assert_eq!(ThreadId::MAIN.to_string(), "T1");
+        assert_eq!(ThreadId::FIRST_USER.to_string(), "T4");
+    }
+
+    #[test]
+    fn obj_id_display_round_trips() {
+        for id in [
+            SyncObjId::mutex(0),
+            SyncObjId::semaphore(12),
+            SyncObjId::condvar(3),
+            SyncObjId::rwlock(7),
+        ] {
+            assert_eq!(parse_obj_id(&id.to_string()), Some(id));
+        }
+    }
+
+    #[test]
+    fn obj_id_parse_rejects_garbage() {
+        assert_eq!(parse_obj_id("m0"), None);
+        assert_eq!(parse_obj_id("mtx"), None);
+        assert_eq!(parse_obj_id("0mtx"), None);
+        assert_eq!(parse_obj_id(""), None);
+    }
+
+    #[test]
+    fn ids_order_by_number() {
+        assert!(ThreadId(4) < ThreadId(5));
+        assert!(CpuId(0) < CpuId(7));
+    }
+}

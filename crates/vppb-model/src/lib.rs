@@ -1,0 +1,37 @@
+//! # vppb-model — shared vocabulary of the VPPB system
+//!
+//! Core data types used by every other crate in the workspace: virtual
+//! [`time::Time`], identifier types, the thread-library [`event::EventKind`]
+//! taxonomy, the recorded-information format ([`trace::TraceLog`], §3.1 of
+//! the paper), source-location mapping, the Solaris TS
+//! [`dispatch::DispatchTable`], and machine/simulation configuration.
+//!
+//! This crate has no dependencies on the rest of the workspace and only
+//! `serde` externally, so every downstream crate agrees on one definition
+//! of "an event" and "a log".
+
+pub mod binlog;
+pub mod config;
+pub mod dispatch;
+pub mod error;
+pub mod exec;
+pub mod event;
+pub mod ids;
+pub mod source;
+pub mod textlog;
+pub mod time;
+pub mod trace;
+
+pub use config::{
+    BaseCosts, Binding, BoundCosts, LwpPolicy, MachineConfig, SimParams, ThreadManip,
+};
+pub use dispatch::{DispatchRow, DispatchTable, TS_DEFAULT_PRI, TS_LEVELS, TS_MAX_PRI};
+pub use error::VppbError;
+pub use exec::{
+    BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState, Transition,
+};
+pub use event::{EventKind, EventResult, Phase};
+pub use ids::{parse_obj_id, CpuId, LwpId, ObjKind, SyncObjId, ThreadId};
+pub use source::{CodeAddr, SourceLoc, SourceMap};
+pub use time::{parse_time, Duration, Time};
+pub use trace::{LogHeader, TraceLog, TraceRecord};

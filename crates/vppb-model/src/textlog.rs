@@ -1,0 +1,432 @@
+//! The human-readable text log format.
+//!
+//! Mirrors the log excerpts in fig. 2 of the paper (`0.10 T1 thr_create
+//! thr_a`, `0.53 T1 ok thr_join thr_a`, ...), extended with the fields a
+//! machine reader needs. One record per line:
+//!
+//! ```text
+//! <time> <thread> <B|A|M> <routine> [key=value ...] [result] @<caller>
+//! ```
+//!
+//! e.g.
+//!
+//! ```text
+//! 0.000123 T1 B thr_create bound=0 func=0x1000 @0x1010
+//! 0.000131 T1 A thr_create bound=0 func=0x1000 created=T4 @0x1010
+//! 0.004711 T4 B mutex_lock obj=mtx0 @0x1020
+//! ```
+//!
+//! Timestamps have the paper's 1 µs resolution; the Recorder rounds to
+//! microseconds before emitting, so writing and re-parsing a log is
+//! lossless (a property test asserts this).
+
+use crate::event::{EventKind, EventResult, Phase};
+use crate::ids::{parse_obj_id, ThreadId};
+use crate::source::{CodeAddr, SourceLoc};
+use crate::time::{parse_time, Duration};
+use crate::trace::{LogHeader, TraceLog, TraceRecord};
+use crate::VppbError;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serialize a log to the text format.
+pub fn write_log(log: &TraceLog) -> String {
+    let mut out = String::new();
+    let h = &log.header;
+    out.push_str("# vppb-log v1\n");
+    let _ = writeln!(out, "# program {}", h.program);
+    let _ = writeln!(out, "# walltime {}", h.wall_time);
+    let _ = writeln!(out, "# probecost {}", h.probe_cost.nanos());
+    for (t, f) in &h.thread_start_fn {
+        let _ = writeln!(out, "# thread {t} {f}");
+    }
+    for (addr, loc) in h.source_map.iter() {
+        let _ = writeln!(out, "# src {addr} {}:{} {}", loc.file, loc.line, loc.function);
+    }
+    for r in &log.records {
+        write_record(&mut out, r);
+    }
+    out
+}
+
+fn write_record(out: &mut String, r: &TraceRecord) {
+    let _ = write!(out, "{} {} {} {}", r.time, r.thread, r.phase.short(), r.kind.name());
+    use EventKind::*;
+    match r.kind {
+        StartCollect | EndCollect | ThrExit | ThrYield => {}
+        ThreadStart { func } => {
+            let _ = write!(out, " func={func}");
+        }
+        ThrCreate { bound, func } => {
+            let _ = write!(out, " bound={} func={func}", bound as u8);
+        }
+        ThrJoin { target } => match target {
+            Some(t) => {
+                let _ = write!(out, " target={t}");
+            }
+            None => {
+                let _ = write!(out, " target=*");
+            }
+        },
+        ThrSetPrio { target, prio } => {
+            let _ = write!(out, " target={target} prio={prio}");
+        }
+        ThrSetConcurrency { n } => {
+            let _ = write!(out, " n={n}");
+        }
+        ThrSuspend { target } | ThrContinue { target } => {
+            let _ = write!(out, " target={target}");
+        }
+        IoWait { latency } => {
+            let _ = write!(out, " latency={}", latency.nanos());
+        }
+        MutexLock { obj } | MutexTryLock { obj } | MutexUnlock { obj } | SemWait { obj }
+        | SemTryWait { obj } | SemPost { obj } | RwRdLock { obj } | RwWrLock { obj }
+        | RwTryRdLock { obj } | RwTryWrLock { obj } | RwUnlock { obj } => {
+            let _ = write!(out, " obj={obj}");
+        }
+        CondWait { cond, mutex } => {
+            let _ = write!(out, " cond={cond} mutex={mutex}");
+        }
+        CondTimedWait { cond, mutex, timeout } => {
+            let _ = write!(out, " cond={cond} mutex={mutex} timeout={}", timeout.nanos());
+        }
+        CondSignal { cond } | CondBroadcast { cond } => {
+            let _ = write!(out, " cond={cond}");
+        }
+    }
+    match r.result {
+        EventResult::None => {}
+        EventResult::Created(t) => {
+            let _ = write!(out, " created={t}");
+        }
+        EventResult::Joined(t) => {
+            let _ = write!(out, " joined={t}");
+        }
+        EventResult::Acquired(b) => {
+            let _ = write!(out, " acquired={}", b as u8);
+        }
+        EventResult::TimedOut(b) => {
+            let _ = write!(out, " timedout={}", b as u8);
+        }
+    }
+    let _ = writeln!(out, " @{}", r.caller);
+}
+
+/// Parse the text format back into a [`TraceLog`].
+pub fn parse_log(text: &str) -> Result<TraceLog, VppbError> {
+    let mut log = TraceLog::default();
+    let mut seq = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |msg: &str| VppbError::MalformedLog(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# ") {
+            parse_header_line(rest, &mut log.header).map_err(|m| bad(&m))?;
+            continue;
+        }
+        let mut rec = parse_record_line(line).map_err(|m| bad(&m))?;
+        rec.seq = seq;
+        seq += 1;
+        log.records.push(rec);
+    }
+    Ok(log)
+}
+
+fn parse_header_line(rest: &str, h: &mut LogHeader) -> Result<(), String> {
+    let mut it = rest.splitn(2, ' ');
+    let key = it.next().unwrap_or("");
+    let val = it.next().unwrap_or("").trim();
+    match key {
+        "vppb-log" => {}
+        "program" => h.program = val.to_string(),
+        "walltime" => {
+            h.wall_time = parse_time(val).ok_or_else(|| format!("bad walltime {val:?}"))?
+        }
+        "probecost" => {
+            h.probe_cost =
+                Duration(val.parse().map_err(|_| format!("bad probecost {val:?}"))?)
+        }
+        "thread" => {
+            let (t, f) = val.split_once(' ').ok_or("bad thread header")?;
+            h.thread_start_fn.insert(parse_thread(t)?, f.to_string());
+        }
+        "src" => {
+            // `# src 0x1000 main.c:12 main`
+            let mut parts = val.splitn(3, ' ');
+            let addr = parse_addr(parts.next().ok_or("missing src addr")?)?;
+            let fileline = parts.next().ok_or("missing src file:line")?;
+            let func = parts.next().ok_or("missing src function")?;
+            let (file, line) = fileline.rsplit_once(':').ok_or("bad file:line")?;
+            let line: u32 = line.parse().map_err(|_| "bad line number".to_string())?;
+            // Re-intern preserving the original address.
+            h.source_map.insert_raw(addr, SourceLoc::new(file, line, func));
+        }
+        _ => {} // unknown header lines are ignored for forward compatibility
+    }
+    Ok(())
+}
+
+fn parse_thread(s: &str) -> Result<ThreadId, String> {
+    s.strip_prefix('T')
+        .and_then(|n| n.parse().ok())
+        .map(ThreadId)
+        .ok_or_else(|| format!("bad thread id {s:?}"))
+}
+
+fn parse_addr(s: &str) -> Result<CodeAddr, String> {
+    s.strip_prefix("0x")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .map(CodeAddr)
+        .ok_or_else(|| format!("bad address {s:?}"))
+}
+
+fn parse_record_line(line: &str) -> Result<TraceRecord, String> {
+    let mut tokens = line.split_whitespace();
+    let time = parse_time(tokens.next().ok_or("missing time")?).ok_or("bad time")?;
+    let thread = parse_thread(tokens.next().ok_or("missing thread")?)?;
+    let phase = match tokens.next().ok_or("missing phase")? {
+        "B" => Phase::Before,
+        "A" => Phase::After,
+        "M" => Phase::Mark,
+        p => return Err(format!("bad phase {p:?}")),
+    };
+    let name = tokens.next().ok_or("missing routine name")?;
+
+    let mut kv: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut caller = CodeAddr::NULL;
+    for tok in tokens {
+        if let Some(addr) = tok.strip_prefix('@') {
+            caller = parse_addr(addr)?;
+        } else if let Some((k, v)) = tok.split_once('=') {
+            kv.insert(k, v);
+        } else {
+            return Err(format!("unparseable token {tok:?}"));
+        }
+    }
+
+    let obj = |kv: &BTreeMap<&str, &str>, key: &str| -> Result<crate::ids::SyncObjId, String> {
+        kv.get(key)
+            .and_then(|v| parse_obj_id(v))
+            .ok_or_else(|| format!("missing/bad {key}="))
+    };
+    let target = |kv: &BTreeMap<&str, &str>| -> Result<ThreadId, String> {
+        parse_thread(kv.get("target").ok_or("missing target=")?)
+    };
+
+    use EventKind::*;
+    let kind = match name {
+        "start_collect" => StartCollect,
+        "end_collect" => EndCollect,
+        "thread_start" => ThreadStart { func: parse_addr(kv.get("func").ok_or("missing func=")?)? },
+        "thr_create" => ThrCreate {
+            bound: kv.get("bound").copied() == Some("1"),
+            func: parse_addr(kv.get("func").ok_or("missing func=")?)?,
+        },
+        "thr_join" => {
+            let t = kv.get("target").copied().ok_or("missing target=")?;
+            ThrJoin { target: if t == "*" { None } else { Some(parse_thread(t)?) } }
+        }
+        "thr_exit" => ThrExit,
+        "thr_yield" => ThrYield,
+        "thr_setprio" => ThrSetPrio {
+            target: target(&kv)?,
+            prio: kv.get("prio").and_then(|v| v.parse().ok()).ok_or("missing/bad prio=")?,
+        },
+        "thr_setconcurrency" => ThrSetConcurrency {
+            n: kv.get("n").and_then(|v| v.parse().ok()).ok_or("missing/bad n=")?,
+        },
+        "thr_suspend" => ThrSuspend { target: target(&kv)? },
+        "io_wait" => IoWait {
+            latency: Duration(
+                kv.get("latency").and_then(|v| v.parse().ok()).ok_or("missing/bad latency=")?,
+            ),
+        },
+        "thr_continue" => ThrContinue { target: target(&kv)? },
+        "mutex_lock" => MutexLock { obj: obj(&kv, "obj")? },
+        "mutex_trylock" => MutexTryLock { obj: obj(&kv, "obj")? },
+        "mutex_unlock" => MutexUnlock { obj: obj(&kv, "obj")? },
+        "sema_wait" => SemWait { obj: obj(&kv, "obj")? },
+        "sema_trywait" => SemTryWait { obj: obj(&kv, "obj")? },
+        "sema_post" => SemPost { obj: obj(&kv, "obj")? },
+        "cond_wait" => CondWait { cond: obj(&kv, "cond")?, mutex: obj(&kv, "mutex")? },
+        "cond_timedwait" => CondTimedWait {
+            cond: obj(&kv, "cond")?,
+            mutex: obj(&kv, "mutex")?,
+            timeout: Duration(
+                kv.get("timeout").and_then(|v| v.parse().ok()).ok_or("missing/bad timeout=")?,
+            ),
+        },
+        "cond_signal" => CondSignal { cond: obj(&kv, "cond")? },
+        "cond_broadcast" => CondBroadcast { cond: obj(&kv, "cond")? },
+        "rw_rdlock" => RwRdLock { obj: obj(&kv, "obj")? },
+        "rw_wrlock" => RwWrLock { obj: obj(&kv, "obj")? },
+        "rw_tryrdlock" => RwTryRdLock { obj: obj(&kv, "obj")? },
+        "rw_trywrlock" => RwTryWrLock { obj: obj(&kv, "obj")? },
+        "rw_unlock" => RwUnlock { obj: obj(&kv, "obj")? },
+        other => return Err(format!("unknown routine {other:?}")),
+    };
+
+    let result = if let Some(t) = kv.get("created") {
+        EventResult::Created(parse_thread(t)?)
+    } else if let Some(t) = kv.get("joined") {
+        EventResult::Joined(parse_thread(t)?)
+    } else if let Some(b) = kv.get("acquired") {
+        EventResult::Acquired(*b == "1")
+    } else if let Some(b) = kv.get("timedout") {
+        EventResult::TimedOut(*b == "1")
+    } else {
+        EventResult::None
+    };
+
+    Ok(TraceRecord { seq: 0, time, thread, phase, kind, result, caller })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SyncObjId;
+    use crate::time::Time;
+
+    fn sample_log() -> TraceLog {
+        let mut header = LogHeader {
+            program: "toy".into(),
+            wall_time: Time::from_micros(800_000),
+            probe_cost: Duration::from_micros(2),
+            ..LogHeader::default()
+        };
+        let addr_main = header.source_map.intern(SourceLoc::new("main.c", 12, "main"));
+        let addr_work = header.source_map.intern(SourceLoc::new("main.c", 3, "thread"));
+        header.thread_start_fn.insert(ThreadId(4), "thread".into());
+        let m = SyncObjId::mutex(0);
+        let records = vec![
+            TraceRecord {
+                seq: 0,
+                time: Time::ZERO,
+                thread: ThreadId(1),
+                phase: Phase::Mark,
+                kind: EventKind::StartCollect,
+                result: EventResult::None,
+                caller: CodeAddr::NULL,
+            },
+            TraceRecord {
+                seq: 1,
+                time: Time::from_micros(100_000),
+                thread: ThreadId(1),
+                phase: Phase::Before,
+                kind: EventKind::ThrCreate { bound: false, func: addr_work },
+                result: EventResult::None,
+                caller: addr_main,
+            },
+            TraceRecord {
+                seq: 2,
+                time: Time::from_micros(100_050),
+                thread: ThreadId(1),
+                phase: Phase::After,
+                kind: EventKind::ThrCreate { bound: false, func: addr_work },
+                result: EventResult::Created(ThreadId(4)),
+                caller: addr_main,
+            },
+            TraceRecord {
+                seq: 3,
+                time: Time::from_micros(200_000),
+                thread: ThreadId(4),
+                phase: Phase::Before,
+                kind: EventKind::MutexLock { obj: m },
+                result: EventResult::None,
+                caller: addr_work,
+            },
+            TraceRecord {
+                seq: 4,
+                time: Time::from_micros(200_002),
+                thread: ThreadId(4),
+                phase: Phase::After,
+                kind: EventKind::MutexLock { obj: m },
+                result: EventResult::None,
+                caller: addr_work,
+            },
+            TraceRecord {
+                seq: 5,
+                time: Time::from_micros(800_000),
+                thread: ThreadId(1),
+                phase: Phase::Mark,
+                kind: EventKind::EndCollect,
+                result: EventResult::None,
+                caller: CodeAddr::NULL,
+            },
+        ];
+        TraceLog { header, records }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let log = sample_log();
+        let text = write_log(&log);
+        let back = parse_log(&text).expect("parse");
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn header_fields_survive() {
+        let text = write_log(&sample_log());
+        let back = parse_log(&text).unwrap();
+        assert_eq!(back.header.program, "toy");
+        assert_eq!(back.header.probe_cost, Duration::from_micros(2));
+        assert_eq!(back.header.thread_start_fn.get(&ThreadId(4)).map(String::as_str), Some("thread"));
+        assert_eq!(back.header.source_map.len(), 2);
+    }
+
+    #[test]
+    fn join_wildcard_round_trips() {
+        let mut log = sample_log();
+        log.records.insert(
+            5,
+            TraceRecord {
+                seq: 5,
+                time: Time::from_micros(300_000),
+                thread: ThreadId(1),
+                phase: Phase::Before,
+                kind: EventKind::ThrJoin { target: None },
+                result: EventResult::None,
+                caller: CodeAddr::NULL,
+            },
+        );
+        log.records.insert(
+            6,
+            TraceRecord {
+                seq: 6,
+                time: Time::from_micros(300_010),
+                thread: ThreadId(1),
+                phase: Phase::After,
+                kind: EventKind::ThrJoin { target: None },
+                result: EventResult::Joined(ThreadId(4)),
+                caller: CodeAddr::NULL,
+            },
+        );
+        log.records[7].seq = 7;
+        let back = parse_log(&write_log(&log)).unwrap();
+        assert_eq!(back.records[5].kind, EventKind::ThrJoin { target: None });
+        assert_eq!(back.records[6].result, EventResult::Joined(ThreadId(4)));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_routine() {
+        let text = "0.000000 T1 M start_collect @0x0\n0.000001 T1 B frob_widget @0x0\n";
+        assert!(parse_log(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_phase_and_time() {
+        assert!(parse_log("0.000000 T1 X thr_exit @0x0\n").is_err());
+        assert!(parse_log("zero T1 B thr_exit @0x0\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_and_unknown_headers_are_tolerated() {
+        let text = "# vppb-log v1\n# future-field whatever\n\n0.000000 T1 M start_collect @0x0\n";
+        let log = parse_log(text).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+}

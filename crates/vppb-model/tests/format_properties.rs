@@ -1,0 +1,152 @@
+//! Property tests over the three log encodings: arbitrary well-formed
+//! records survive text, JSON and binary round trips byte-for-byte.
+
+use proptest::prelude::*;
+use vppb_model::{
+    binlog, textlog, CodeAddr, Duration, EventKind, EventResult, LogHeader, Phase, SourceLoc,
+    SyncObjId, ThreadId, Time, TraceLog, TraceRecord,
+};
+
+fn arb_obj_index() -> impl Strategy<Value = u32> {
+    0u32..64
+}
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::ThrExit),
+        Just(EventKind::ThrYield),
+        (any::<bool>(), 0u64..1_000_000).prop_map(|(bound, a)| EventKind::ThrCreate {
+            bound,
+            func: CodeAddr(a),
+        }),
+        proptest::option::of(1u32..100)
+            .prop_map(|t| EventKind::ThrJoin { target: t.map(ThreadId) }),
+        (1u32..100, 0i32..128)
+            .prop_map(|(t, p)| EventKind::ThrSetPrio { target: ThreadId(t), prio: p }),
+        (1u32..64).prop_map(|n| EventKind::ThrSetConcurrency { n }),
+        arb_obj_index().prop_map(|i| EventKind::MutexLock { obj: SyncObjId::mutex(i) }),
+        arb_obj_index().prop_map(|i| EventKind::MutexTryLock { obj: SyncObjId::mutex(i) }),
+        arb_obj_index().prop_map(|i| EventKind::MutexUnlock { obj: SyncObjId::mutex(i) }),
+        arb_obj_index().prop_map(|i| EventKind::SemWait { obj: SyncObjId::semaphore(i) }),
+        arb_obj_index().prop_map(|i| EventKind::SemPost { obj: SyncObjId::semaphore(i) }),
+        (arb_obj_index(), arb_obj_index()).prop_map(|(c, m)| EventKind::CondWait {
+            cond: SyncObjId::condvar(c),
+            mutex: SyncObjId::mutex(m),
+        }),
+        (arb_obj_index(), arb_obj_index(), 0u64..10_000_000_000).prop_map(|(c, m, t)| {
+            EventKind::CondTimedWait {
+                cond: SyncObjId::condvar(c),
+                mutex: SyncObjId::mutex(m),
+                timeout: Duration(t),
+            }
+        }),
+        arb_obj_index().prop_map(|i| EventKind::CondSignal { cond: SyncObjId::condvar(i) }),
+        arb_obj_index().prop_map(|i| EventKind::CondBroadcast { cond: SyncObjId::condvar(i) }),
+        arb_obj_index().prop_map(|i| EventKind::RwRdLock { obj: SyncObjId::rwlock(i) }),
+        arb_obj_index().prop_map(|i| EventKind::RwWrLock { obj: SyncObjId::rwlock(i) }),
+        arb_obj_index().prop_map(|i| EventKind::RwUnlock { obj: SyncObjId::rwlock(i) }),
+    ]
+}
+
+fn arb_result() -> impl Strategy<Value = EventResult> {
+    prop_oneof![
+        Just(EventResult::None),
+        (4u32..100).prop_map(|t| EventResult::Created(ThreadId(t))),
+        (4u32..100).prop_map(|t| EventResult::Joined(ThreadId(t))),
+        any::<bool>().prop_map(EventResult::Acquired),
+        any::<bool>().prop_map(EventResult::TimedOut),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        dt in 0u64..10_000,
+        thread in 1u32..64,
+        phase in prop_oneof![Just(Phase::Before), Just(Phase::After), Just(Phase::Mark)],
+        kind in arb_kind(),
+        result in arb_result(),
+        caller in 0u64..1_000_000,
+    ) -> (u64, TraceRecord) {
+        (dt, TraceRecord {
+            seq: 0,
+            time: Time::ZERO, // fixed up below
+            thread: ThreadId(thread),
+            phase,
+            kind,
+            result,
+            caller: CodeAddr(caller),
+        })
+    }
+}
+
+fn arb_log() -> impl Strategy<Value = TraceLog> {
+    proptest::collection::vec(arb_record(), 0..80).prop_map(|recs| {
+        let mut time_us = 0u64;
+        let mut records = Vec::new();
+        for (i, (dt, mut r)) in recs.into_iter().enumerate() {
+            time_us += dt;
+            r.seq = i as u64;
+            r.time = Time::from_micros(time_us);
+            records.push(r);
+        }
+        let mut header = LogHeader {
+            program: "prop".into(),
+            wall_time: Time::from_micros(time_us),
+            probe_cost: Duration::from_micros(2),
+            ..LogHeader::default()
+        };
+        header.source_map.intern(SourceLoc::new("prop.c", 1, "main"));
+        header.thread_start_fn.insert(ThreadId::MAIN, "main".into());
+        TraceLog { header, records }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn text_round_trip(log in arb_log()) {
+        let text = textlog::write_log(&log);
+        let back = textlog::parse_log(&text).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    #[test]
+    fn binary_round_trip(log in arb_log()) {
+        let bin = binlog::encode(&log).unwrap();
+        let back = binlog::decode(&bin).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    #[test]
+    fn json_round_trip(log in arb_log()) {
+        let json = serde_json::to_string(&log).unwrap();
+        let back: TraceLog = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    #[test]
+    fn binary_decode_never_panics_on_corruption(
+        log in arb_log(),
+        flip in 0usize..1000,
+        byte in any::<u8>(),
+    ) {
+        let mut bin = binlog::encode(&log).unwrap();
+        if !bin.is_empty() {
+            let i = flip % bin.len();
+            bin[i] = byte;
+            let _ = binlog::decode(&bin); // must not panic; Err is fine
+        }
+    }
+
+    #[test]
+    fn text_parse_never_panics_on_mangled_input(
+        log in arb_log(),
+        cut in 0usize..5000,
+    ) {
+        let mut text = textlog::write_log(&log);
+        let cut = cut % (text.len() + 1);
+        text.truncate(cut);
+        let _ = textlog::parse_log(&text); // must not panic
+    }
+}

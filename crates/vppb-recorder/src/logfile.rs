@@ -1,0 +1,134 @@
+//! Log-file I/O: the text format (human-readable, fig. 2-style) and JSON.
+//!
+//! The paper stores the recorded information in a file when the program
+//! terminates; the largest log in §4 was 1.4 MB and "could be handled
+//! without any problems".
+
+use std::fs;
+use std::path::Path;
+use vppb_model::{textlog, TraceLog, VppbError};
+
+/// Write a log in the text format.
+pub fn save_text(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
+    fs::write(path, textlog::write_log(log))?;
+    Ok(())
+}
+
+/// Read a text-format log.
+pub fn load_text(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
+    let text = fs::read_to_string(path)?;
+    let log = textlog::parse_log(&text)?;
+    log.validate()?;
+    Ok(log)
+}
+
+/// Write a log as JSON (lossless, machine-friendly).
+pub fn save_json(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
+    let json =
+        serde_json::to_string(log).map_err(|e| VppbError::Io(format!("serialize: {e}")))?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Read a JSON log.
+pub fn load_json(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
+    let text = fs::read_to_string(path)?;
+    let log: TraceLog =
+        serde_json::from_str(&text).map_err(|e| VppbError::MalformedLog(format!("json: {e}")))?;
+    log.validate()?;
+    Ok(log)
+}
+
+/// Write a log in the compact binary format (roughly a third of the text
+/// size — §4 worries about log sizes for long fine-grained executions).
+pub fn save_bin(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
+    fs::write(path, vppb_model::binlog::encode(log)?)?;
+    Ok(())
+}
+
+/// Read a binary log.
+pub fn load_bin(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
+    let data = fs::read(path)?;
+    let log = vppb_model::binlog::decode(&data)?;
+    log.validate()?;
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{record, RecordOptions};
+    use vppb_threads::AppBuilder;
+
+    fn sample_log() -> TraceLog {
+        let mut b = AppBuilder::new("io", "io.c");
+        let m = b.mutex();
+        let w = b.func("w", move |f| {
+            f.lock(m);
+            f.work_us(5);
+            f.unlock(m);
+        });
+        b.main(move |f| {
+            let a = f.create(w);
+            f.join(a);
+        });
+        let app = b.build().unwrap();
+        record(&app, &RecordOptions::default()).unwrap().log
+    }
+
+    #[test]
+    fn text_round_trip_through_file() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("vppb-test-text");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.vppb");
+        save_text(&log, &path).unwrap();
+        let back = load_text(&path).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn binary_round_trip_through_file() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("vppb-test-bin");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.vppbb");
+        save_bin(&log, &path).unwrap();
+        let back = load_bin(&path).unwrap();
+        assert_eq!(back, log);
+        // And it is smaller than the text form.
+        let text_path = dir.join("log.vppb");
+        save_text(&log, &text_path).unwrap();
+        let bin_len = fs::metadata(&path).unwrap().len();
+        let text_len = fs::metadata(&text_path).unwrap().len();
+        assert!(bin_len < text_len, "binary {bin_len} vs text {text_len}");
+    }
+
+    #[test]
+    fn json_round_trip_through_file() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("vppb-test-json");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.json");
+        save_json(&log, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_text("/nonexistent/vppb.log"),
+            Err(VppbError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_text_is_malformed() {
+        let dir = std::env::temp_dir().join("vppb-test-corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.vppb");
+        fs::write(&path, "0.000000 T1 Q wat @0x0\n").unwrap();
+        assert!(matches!(load_text(&path), Err(VppbError::MalformedLog(_))));
+    }
+}

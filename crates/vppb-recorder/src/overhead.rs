@@ -1,0 +1,130 @@
+//! Recording-intrusion measurement (the "time overhead for doing these
+//! recordings was less than 3 %" claim of §1/§4).
+//!
+//! Runs the program twice on the same uni-processor machine — once bare,
+//! once under the Recorder — and reports the relative slowdown, the log
+//! size and the event rate (§4 reports 2.6 % / 1.4 MB / 653 events/s as
+//! the maxima over the five SPLASH-2 programs).
+
+use crate::recorder::{record, RecordOptions};
+use vppb_machine::{run, NullHooks, RunOptions};
+use vppb_model::{textlog, Time, VppbError};
+use vppb_threads::App;
+
+/// Intrusion report for one program.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// The monitored program's name.
+    pub program: String,
+    /// Bare uni-processor wall time.
+    pub bare: Time,
+    /// Monitored uni-processor wall time (includes probe costs).
+    pub monitored: Time,
+    /// Number of records in the log.
+    pub n_records: usize,
+    /// Size of the log in the text format, in bytes.
+    pub log_bytes: usize,
+    /// Records per second of monitored execution.
+    pub events_per_second: f64,
+}
+
+impl OverheadReport {
+    /// Relative execution-time overhead, e.g. `0.026` = 2.6 %.
+    pub fn overhead(&self) -> f64 {
+        if self.bare == Time::ZERO {
+            return 0.0;
+        }
+        (self.monitored.nanos() as f64 - self.bare.nanos() as f64) / self.bare.nanos() as f64
+    }
+}
+
+/// Measure the intrusion of recording `app`.
+pub fn measure_overhead(app: &App, opts: &RecordOptions) -> Result<OverheadReport, VppbError> {
+    let mut hooks = NullHooks;
+    let bare_opts = RunOptions {
+        limits: opts.limits,
+        record_trace: false,
+        ..RunOptions::new(&mut hooks)
+    };
+    let bare = run(app, &opts.machine, bare_opts)?;
+    let rec = record(app, opts)?;
+    let text = textlog::write_log(&rec.log);
+    Ok(OverheadReport {
+        program: app.name.clone(),
+        bare: bare.wall_time,
+        monitored: rec.run.wall_time,
+        n_records: rec.log.len(),
+        log_bytes: text.len(),
+        events_per_second: rec.log.events_per_second(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::Duration;
+    use vppb_threads::AppBuilder;
+
+    fn chatty_app(iters: u64) -> App {
+        let mut b = AppBuilder::new("chatty", "chatty.c");
+        let m = b.mutex();
+        let w = b.func("w", move |f| {
+            f.loop_n(iters, |f| {
+                f.work_us(5_000);
+                f.lock(m);
+                f.work_us(10);
+                f.unlock(m);
+            });
+        });
+        b.main(move |f| {
+            let a = f.create(w);
+            f.join(a);
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn overhead_is_positive_and_small_for_coarse_grain() {
+        let rep = measure_overhead(&chatty_app(100), &RecordOptions::default()).unwrap();
+        let o = rep.overhead();
+        assert!(o > 0.0, "monitoring must cost something: {o}");
+        assert!(o < 0.05, "overhead should stay below 5 % for coarse grain: {o}");
+        assert!(rep.n_records > 400, "2 probes per lock/unlock * 100 iters");
+        assert!(rep.log_bytes > 0);
+        assert!(rep.events_per_second > 0.0);
+    }
+
+    #[test]
+    fn overhead_grows_with_event_rate() {
+        // Finer granularity (more events per unit work) -> more intrusion.
+        let coarse = measure_overhead(&chatty_app(50), &RecordOptions::default()).unwrap();
+        let mut b = AppBuilder::new("fine", "fine.c");
+        let m = b.mutex();
+        let w = b.func("w", move |f| {
+            f.loop_n(50, |f| {
+                f.work_us(100); // much less work per synchronization
+                f.lock(m);
+                f.unlock(m);
+            });
+        });
+        b.main(move |f| {
+            let a = f.create(w);
+            f.join(a);
+        });
+        let fine_app = b.build().unwrap();
+        let fine = measure_overhead(&fine_app, &RecordOptions::default()).unwrap();
+        assert!(
+            fine.overhead() > coarse.overhead(),
+            "fine {} <= coarse {}",
+            fine.overhead(),
+            coarse.overhead()
+        );
+    }
+
+    #[test]
+    fn zero_probe_cost_zero_overhead() {
+        let opts = RecordOptions { probe_cost: Duration::ZERO, ..Default::default() };
+        let rep = measure_overhead(&chatty_app(20), &opts).unwrap();
+        assert_eq!(rep.overhead(), 0.0);
+    }
+}

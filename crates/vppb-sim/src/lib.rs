@@ -1,0 +1,23 @@
+//! # vppb-sim — the trace-driven Simulator (§3.2 of the paper)
+//!
+//! Takes the recorded information (a [`vppb_model::TraceLog`]), the
+//! hardware configuration and the scheduling parameters, and produces the
+//! predicted multiprocessor execution.
+//!
+//! Pipeline: [`sorter::analyze`] sorts the log into per-thread event lists
+//! (fig. 4) and precomputes replay inputs; [`sim::build_replay_app`] turns
+//! them into replayer coroutines; the machine engine executes them under
+//! the requested configuration with [`rules::ReplayRules`] applying the
+//! dynamic condition-variable rules (§6's barrier model).
+
+pub mod plan;
+pub mod replayer;
+pub mod rules;
+pub mod sim;
+pub mod sorter;
+
+pub use plan::{CvEpisode, CvPlan, ReplayOp, ReplayPlan, ThreadPlan};
+pub use replayer::Replayer;
+pub use rules::ReplayRules;
+pub use sim::{build_replay_app, predict_speedup, simulate, simulate_plan, SimulatedExecution};
+pub use sorter::analyze;

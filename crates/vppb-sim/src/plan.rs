@@ -1,0 +1,102 @@
+//! The replay plan: everything the Simulator derives from a log before
+//! replaying it.
+
+use std::collections::BTreeMap;
+use vppb_model::{CodeAddr, Duration, ThreadId};
+use vppb_threads::{Action, LibCall};
+
+/// One replayable step of a thread. `Action` already expresses everything
+/// needed: compute gaps (`Work`), timed-out waits (`Sleep`) and library
+/// calls.
+pub type ReplayOp = Action;
+
+/// Per-thread replay program material.
+#[derive(Debug, Clone)]
+pub struct ThreadPlan {
+    /// The thread's id in the log (preserved in replay).
+    pub id: ThreadId,
+    /// Start-routine name from the log header (shown by the Visualizer).
+    pub start_fn: String,
+    /// Entry address of the start routine (from the `thread_start` mark).
+    pub entry: CodeAddr,
+    /// The ops, ending with `thr_exit`.
+    pub ops: Vec<ReplayOp>,
+}
+
+/// A condvar-broadcast episode: the §6 barrier model. `parties` counts the
+/// recorded broadcaster plus every waiter the recorded broadcast released;
+/// in replay, whichever thread arrives at the barrier last performs the
+/// broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvEpisode {
+    /// Number of arrivals in this episode (waiters + broadcaster).
+    pub parties: u32,
+    /// The mutex the waiters used (an early-arriving recorded broadcaster
+    /// is converted into a wait on this mutex's condvar protocol).
+    pub mutex: u32,
+}
+
+/// Replay state seeds for one condition variable.
+#[derive(Debug, Clone, Default)]
+pub struct CvPlan {
+    /// Broadcast episodes in recorded order.
+    pub episodes: Vec<CvEpisode>,
+    /// For each recorded `cond_signal`, how many waiters it released
+    /// (0 or 1), in recorded order.
+    pub signal_released: Vec<u32>,
+}
+
+/// The complete plan.
+#[derive(Debug, Clone)]
+pub struct ReplayPlan {
+    /// The recorded program's name.
+    pub program: String,
+    /// Thread plans in log-id order; index 0 is the main thread.
+    pub threads: Vec<ThreadPlan>,
+    /// `(creator, creator's n-th create)` → recorded child id. Drives the
+    /// machine's id assigner so replayed ids equal log ids.
+    pub create_map: BTreeMap<(ThreadId, u64), ThreadId>,
+    /// Per-condvar episode/credit seeds, indexed by condvar index.
+    pub cvs: Vec<CvPlan>,
+    /// Inferred initial semaphore counts.
+    pub sem_initial: Vec<u32>,
+    /// Number of mutexes the log references.
+    pub n_mutexes: u32,
+    /// Number of condition variables the log references.
+    pub n_condvars: u32,
+    /// Number of read/write locks the log references.
+    pub n_rwlocks: u32,
+    /// Wall time of the monitored run (the prediction baseline).
+    pub recorded_wall: vppb_model::Time,
+    /// Per-call `bound` flags recorded at `thr_create` (child id → bound).
+    pub bound: BTreeMap<ThreadId, bool>,
+}
+
+impl ReplayPlan {
+    /// Total number of replay ops (a size metric for tests/benches).
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+
+    /// Sum of all `Work` gaps — the total compute demand of the program.
+    pub fn total_work(&self) -> Duration {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.ops)
+            .filter_map(|op| match op {
+                Action::Work(d) => Some(*d),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Find a thread plan by id.
+    pub fn thread(&self, id: ThreadId) -> Option<&ThreadPlan> {
+        self.threads.iter().find(|t| t.id == id)
+    }
+}
+
+/// Convenience for tests: does an op sequence contain a given call?
+pub fn contains_call(ops: &[ReplayOp], pred: impl Fn(&LibCall) -> bool) -> bool {
+    ops.iter().any(|op| matches!(op, Action::Call(c, _) if pred(c)))
+}

@@ -1,0 +1,67 @@
+//! Replayer programs: thread bodies that re-issue a log's per-thread event
+//! list against the simulated machine.
+
+use crate::plan::ReplayOp;
+use std::sync::Arc;
+use vppb_threads::{Action, LibCall, Program, ResumeCtx};
+use vppb_model::CodeAddr;
+
+/// A coroutine stepping through one thread's replay ops. Outcomes of the
+/// replayed calls are ignored — the log already fixed every decision the
+/// program made.
+pub struct Replayer {
+    ops: Arc<[ReplayOp]>,
+    idx: usize,
+}
+
+impl Replayer {
+    /// A replayer over the given op list.
+    pub fn new(ops: Arc<[ReplayOp]>) -> Replayer {
+        Replayer { ops, idx: 0 }
+    }
+}
+
+impl Program for Replayer {
+    fn resume(&mut self, _ctx: ResumeCtx) -> Action {
+        match self.ops.get(self.idx) {
+            Some(op) => {
+                self.idx += 1;
+                *op
+            }
+            // Defensive: a plan always ends with Exit, but terminate
+            // cleanly if not.
+            None => Action::Call(LibCall::Exit, CodeAddr::NULL),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::{Duration, ThreadId, Time};
+    use vppb_threads::Outcome;
+
+    fn ctx() -> ResumeCtx {
+        ResumeCtx { outcome: Outcome::None, self_id: ThreadId(1), now: Time::ZERO }
+    }
+
+    #[test]
+    fn ops_are_replayed_in_order() {
+        let ops: Arc<[ReplayOp]> = vec![
+            Action::Work(Duration(5)),
+            Action::Call(LibCall::Exit, CodeAddr(0x10)),
+        ]
+        .into();
+        let mut r = Replayer::new(ops);
+        assert_eq!(r.resume(ctx()), Action::Work(Duration(5)));
+        assert_eq!(r.resume(ctx()), Action::Call(LibCall::Exit, CodeAddr(0x10)));
+    }
+
+    #[test]
+    fn exhausted_replayer_exits() {
+        let ops: Arc<[ReplayOp]> = vec![Action::Work(Duration(1))].into();
+        let mut r = Replayer::new(ops);
+        let _ = r.resume(ctx());
+        assert!(matches!(r.resume(ctx()), Action::Call(LibCall::Exit, _)));
+    }
+}

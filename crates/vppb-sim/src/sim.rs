@@ -1,0 +1,153 @@
+//! The Simulator's front door: log in, predicted execution out (boxes
+//! d → g of the paper's fig. 1).
+
+use crate::plan::ReplayPlan;
+use crate::replayer::Replayer;
+use crate::rules::ReplayRules;
+use crate::sorter::analyze;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vppb_machine::{run, JitterModel, NullHooks, RunLimits, RunOptions};
+use vppb_model::{
+    Duration, ExecutionTrace, SimParams, ThreadId, Time, TraceLog, VppbError,
+};
+use vppb_threads::{Action, App, FuncDecl, FuncId, LibCall, Program, ProgramFactory};
+
+/// A predicted multiprocessor execution.
+#[derive(Debug, Clone)]
+pub struct SimulatedExecution {
+    /// The predicted timeline — input to the Visualizer.
+    pub trace: ExecutionTrace,
+    /// Predicted wall time on the simulated machine.
+    pub wall_time: Time,
+    /// Wall time of the monitored uni-processor run the log came from.
+    pub recorded_wall: Time,
+    /// Busy time per simulated CPU.
+    pub cpu_busy: Vec<Duration>,
+    /// Parameters the prediction was made under.
+    pub params: SimParams,
+}
+
+impl SimulatedExecution {
+    /// Speed-up relative to the *monitored* uni-processor execution. For
+    /// Table-1 style numbers prefer dividing two simulated runs (1 CPU vs
+    /// N CPUs) — see [`predict_speedup`].
+    pub fn speedup_vs_recorded(&self) -> f64 {
+        if self.wall_time == Time::ZERO {
+            return 0.0;
+        }
+        self.recorded_wall.nanos() as f64 / self.wall_time.nanos() as f64
+    }
+}
+
+/// Build the synthetic replay [`App`] from a plan.
+pub fn build_replay_app(plan: &ReplayPlan, source_map: vppb_model::SourceMap) -> App {
+    // Function table: one function per recorded thread, in plan order.
+    let func_of: BTreeMap<ThreadId, FuncId> =
+        plan.threads.iter().enumerate().map(|(i, t)| (t.id, FuncId(i))).collect();
+
+    let mut functions = Vec::new();
+    for tp in &plan.threads {
+        // Patch each Create op with the FuncId of the recorded child.
+        let mut seq = 0u64;
+        let ops: Vec<Action> = tp
+            .ops
+            .iter()
+            .map(|op| match op {
+                Action::Call(LibCall::Create { bound, .. }, site) => {
+                    let child = plan
+                        .create_map
+                        .get(&(tp.id, seq))
+                        .copied()
+                        .expect("create without recorded child");
+                    seq += 1;
+                    let func = func_of[&child];
+                    Action::Call(LibCall::Create { func, bound: *bound }, *site)
+                }
+                other => *other,
+            })
+            .collect();
+        let ops: Arc<[Action]> = ops.into();
+        let factory: ProgramFactory = {
+            let ops = ops.clone();
+            Arc::new(move || Box::new(Replayer::new(ops.clone())) as Box<dyn Program>)
+        };
+        functions.push(FuncDecl { name: tp.start_fn.clone(), entry: tp.entry, factory });
+    }
+
+    App {
+        name: format!("{} (replay)", plan.program),
+        functions,
+        main: func_of[&ThreadId::MAIN],
+        source_map,
+        sem_initial: plan.sem_initial.clone(),
+        n_mutexes: plan.n_mutexes,
+        n_condvars: plan.n_condvars,
+        n_rwlocks: plan.n_rwlocks,
+        var_initial: vec![],
+    }
+}
+
+/// Simulate the multiprocessor execution described by `params` from the
+/// recorded information in `log`.
+pub fn simulate(log: &TraceLog, params: &SimParams) -> Result<SimulatedExecution, VppbError> {
+    let plan = analyze(log)?;
+    simulate_plan(&plan, log, params)
+}
+
+/// Like [`simulate`], reusing a precomputed plan (the harness sweeps many
+/// CPU counts over one log).
+pub fn simulate_plan(
+    plan: &ReplayPlan,
+    log: &TraceLog,
+    params: &SimParams,
+) -> Result<SimulatedExecution, VppbError> {
+    let app = build_replay_app(plan, log.header.source_map.clone());
+
+    // The paper's Simulator does not model kernel LWP context-switch
+    // overhead (§6); mirror that unless the caller overrode the cost.
+    let mut machine = params.machine.clone();
+    machine.base_costs.lwp_switch = Duration::ZERO;
+
+    let mut rules = ReplayRules::new(plan, params.barrier_aware_broadcast);
+    let create_map = plan.create_map.clone();
+    let mut hooks = NullHooks;
+    let opts = RunOptions {
+        interceptor: Some(&mut rules),
+        id_assigner: Some(Box::new(move |creator, seq| {
+            create_map
+                .get(&(creator, seq))
+                .copied()
+                .unwrap_or(ThreadId(u32::MAX)) // unreachable for valid plans
+        })),
+        manips: params.manips.clone(),
+        jitter: JitterModel::none(),
+        limits: RunLimits::default(),
+        record_trace: true,
+        ..RunOptions::new(&mut hooks)
+    };
+    let result = run(&app, &machine, opts).map_err(|e| match e {
+        VppbError::ProgramError(msg) => VppbError::ReplayDiverged(msg),
+        other => other,
+    })?;
+    Ok(SimulatedExecution {
+        wall_time: result.wall_time,
+        recorded_wall: plan.recorded_wall,
+        cpu_busy: result.cpu_busy,
+        trace: result.trace,
+        params: params.clone(),
+    })
+}
+
+/// Predict the speed-up on `cpus` processors the way Table 1 reports it:
+/// the ratio of the predicted 1-CPU wall time to the predicted N-CPU wall
+/// time (both from the same log, so recording intrusion cancels out).
+pub fn predict_speedup(log: &TraceLog, cpus: u32) -> Result<f64, VppbError> {
+    let plan = analyze(log)?;
+    let uni = simulate_plan(&plan, log, &SimParams::cpus(1))?;
+    let multi = simulate_plan(&plan, log, &SimParams::cpus(cpus))?;
+    if multi.wall_time == Time::ZERO {
+        return Ok(0.0);
+    }
+    Ok(uni.wall_time.nanos() as f64 / multi.wall_time.nanos() as f64)
+}

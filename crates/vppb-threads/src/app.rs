@@ -1,0 +1,152 @@
+//! A multithreaded application: the unit the Recorder monitors and the
+//! machine executes.
+//!
+//! An [`App`] is immutable and reusable: every machine run instantiates
+//! fresh coroutines from the function table, so the same `App` can be
+//! executed on a uni-processor under the Recorder, on the 8-CPU ground-truth
+//! machine five times with different jitter seeds, and so on — exactly how
+//! the paper reuses one compiled binary for all of its runs.
+
+use crate::action::FuncId;
+use crate::program::{Program, ProgramFactory};
+use vppb_model::{CodeAddr, SourceMap, VppbError};
+
+/// One entry of the function table.
+#[derive(Clone)]
+pub struct FuncDecl {
+    /// Function name, e.g. `producer`.
+    pub name: String,
+    /// Pseudo-address of the function entry point (recorded by
+    /// `thr_create` probes, resolved back to `name` via the source map).
+    pub entry: CodeAddr,
+    /// Creates a fresh coroutine executing this function's body.
+    pub factory: ProgramFactory,
+}
+
+impl std::fmt::Debug for FuncDecl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuncDecl").field("name", &self.name).field("entry", &self.entry).finish()
+    }
+}
+
+/// A complete application.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Program name (the paper's "binary file").
+    pub name: String,
+    /// Function table; thread bodies refer to entries by [`FuncId`].
+    pub functions: Vec<FuncDecl>,
+    /// The function `main` executes.
+    pub main: FuncId,
+    /// Address → `file:line` table (the "debugger output").
+    pub source_map: SourceMap,
+    /// Initial value of each semaphore.
+    pub sem_initial: Vec<u32>,
+    /// Number of mutexes the program declares.
+    pub n_mutexes: u32,
+    /// Number of condition variables.
+    pub n_condvars: u32,
+    /// Number of read/write locks.
+    pub n_rwlocks: u32,
+    /// Initial values of the shared integer variables.
+    pub var_initial: Vec<i64>,
+}
+
+impl App {
+    /// Instantiate a fresh coroutine for `func`.
+    pub fn instantiate(&self, func: FuncId) -> Box<dyn Program> {
+        (self.functions[func.0].factory)()
+    }
+
+    /// Name of a function (for `thread_start` resolution).
+    pub fn func_name(&self, func: FuncId) -> &str {
+        &self.functions[func.0].name
+    }
+
+    /// Entry address of a function.
+    pub fn func_entry(&self, func: FuncId) -> CodeAddr {
+        self.functions[func.0].entry
+    }
+
+    /// Find a function id from its entry address (the Recorder does this to
+    /// fill the log header's thread → start-routine table).
+    pub fn func_by_entry(&self, entry: CodeAddr) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.entry == entry).map(FuncId)
+    }
+
+    /// Basic sanity checks.
+    pub fn validate(&self) -> Result<(), VppbError> {
+        if self.functions.is_empty() {
+            return Err(VppbError::InvalidConfig("app has no functions".into()));
+        }
+        if self.main.0 >= self.functions.len() {
+            return Err(VppbError::InvalidConfig("main function id out of range".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, LibCall};
+    use crate::program::ResumeCtx;
+    use std::sync::Arc;
+
+    fn exit_factory() -> ProgramFactory {
+        Arc::new(|| {
+            Box::new(|_ctx: ResumeCtx| Action::Call(LibCall::Exit, CodeAddr::NULL))
+                as Box<dyn Program>
+        })
+    }
+
+    fn one_func_app() -> App {
+        App {
+            name: "t".into(),
+            functions: vec![FuncDecl {
+                name: "main".into(),
+                entry: CodeAddr(0x1000),
+                factory: exit_factory(),
+            }],
+            main: FuncId(0),
+            source_map: SourceMap::new(),
+            sem_initial: vec![],
+            n_mutexes: 0,
+            n_condvars: 0,
+            n_rwlocks: 0,
+            var_initial: vec![],
+        }
+    }
+
+    #[test]
+    fn instantiate_gives_fresh_programs() {
+        let app = one_func_app();
+        let mut a = app.instantiate(FuncId(0));
+        let mut b = app.instantiate(FuncId(0));
+        let ctx = ResumeCtx {
+            outcome: Default::default(),
+            self_id: vppb_model::ThreadId(1),
+            now: vppb_model::Time::ZERO,
+        };
+        assert!(matches!(a.resume(ctx), Action::Call(LibCall::Exit, _)));
+        assert!(matches!(b.resume(ctx), Action::Call(LibCall::Exit, _)));
+    }
+
+    #[test]
+    fn lookup_by_entry() {
+        let app = one_func_app();
+        assert_eq!(app.func_by_entry(CodeAddr(0x1000)), Some(FuncId(0)));
+        assert_eq!(app.func_by_entry(CodeAddr(0x2000)), None);
+        assert_eq!(app.func_name(FuncId(0)), "main");
+    }
+
+    #[test]
+    fn validation() {
+        let mut app = one_func_app();
+        assert!(app.validate().is_ok());
+        app.main = FuncId(9);
+        assert!(app.validate().is_err());
+        app.functions.clear();
+        assert!(app.validate().is_err());
+    }
+}

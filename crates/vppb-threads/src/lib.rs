@@ -1,0 +1,30 @@
+//! # vppb-threads — the programs under study
+//!
+//! The paper monitors C/C++ programs written against Solaris `libthread`.
+//! This crate is our stand-in for "a compiled multithreaded binary": an
+//! [`App`] bundles a table of thread-body functions, the synchronization
+//! objects and shared variables the program declares, and the source map
+//! that ties every call site to a pseudo `file:line`.
+//!
+//! Thread bodies are coroutines ([`Program`]) that yield [`Action`]s:
+//! compute segments, shared-memory accesses and thread-library calls. Most
+//! bodies are written with the [`builder`] DSL and run by the script
+//! interpreter in [`script`]; fully dynamic behaviour (work stealing, spin
+//! loops) implements [`Program`] directly.
+
+pub mod action;
+pub mod app;
+pub mod builder;
+pub mod posix;
+pub mod program;
+pub mod script;
+
+pub use action::{
+    Action, Cmp, Cond, CondRef, FuncId, LibCall, LocalId, MutexRef, Operand, Outcome, RwRef,
+    SemRef, SlotId, VarId, VarOp,
+};
+pub use app::{App, FuncDecl};
+pub use builder::{op, AppBuilder, BarrierDecl, FnBuilder};
+pub use posix::{PthreadApi, Scope};
+pub use program::{Program, ProgramFactory, ResumeCtx};
+pub use script::{Block, JoinFrom, ScriptFn, ScriptRunner, SlotCallKind, Stmt};

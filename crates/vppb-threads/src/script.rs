@@ -1,0 +1,640 @@
+//! Structured-program scripts and their interpreter.
+//!
+//! A script is the AST a [`crate::builder::FnBuilder`] produces: a
+//! block of statements with loops, conditionals over shared/local integer
+//! variables, thread-library calls and compute segments. [`ScriptRunner`]
+//! interprets a script as a [`Program`] coroutine, one action at a time.
+//!
+//! Control flow over *shared* variables is deliberately split into separate
+//! read actions — the machine sees each shared-memory access at a distinct
+//! instant, so script programs can race exactly like the C programs the
+//! paper monitors (and like them, the races are invisible to the Recorder).
+
+use crate::action::{
+    Action, Cond, FuncId, LibCall, LocalId, Operand, Outcome, SlotId, VarId, VarOp,
+};
+use crate::program::{Program, ResumeCtx};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use vppb_model::{CodeAddr, Duration, ThreadId};
+
+/// A block of statements.
+pub type Block = Arc<[Stmt]>;
+
+/// Where a `Join` statement finds its target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinFrom {
+    /// Pop the oldest handle from this slot and join that specific thread.
+    Slot(SlotId),
+    /// Wildcard: join whichever thread exits first.
+    Any,
+}
+
+/// Calls that target the thread at the front of a handle slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotCallKind {
+    /// `thr_setprio(target, prio)`.
+    SetPrio(i32),
+    /// `thr_suspend(target)`.
+    Suspend,
+    /// `thr_continue(target)`.
+    Continue,
+}
+
+/// One statement of a script.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Compute for a fixed duration.
+    Work(Duration),
+    /// A thread-library call that needs no runtime resolution.
+    Call(LibCall, CodeAddr),
+    /// `thr_create`, optionally remembering the handle.
+    Create {
+        /// Function the child runs.
+        func: FuncId,
+        /// `THR_BOUND` flag.
+        bound: bool,
+        /// Slot the handle is pushed onto (`None` discards it).
+        into: Option<SlotId>,
+        /// Call site for the probe.
+        site: CodeAddr,
+    },
+    /// `thr_join` on a remembered handle or the wildcard.
+    Join {
+        /// Where the target handle comes from.
+        from: JoinFrom,
+        /// Call site for the probe.
+        site: CodeAddr,
+    },
+    /// `thr_setprio(thr_self(), prio)`.
+    SetPrioSelf {
+        /// The new priority.
+        prio: i32,
+        /// Call site for the probe.
+        site: CodeAddr,
+    },
+    /// A call aimed at the front of a handle slot (without popping it).
+    SlotCall {
+        /// Slot whose front handle is the target.
+        slot: SlotId,
+        /// Which call to make.
+        kind: SlotCallKind,
+        /// Call site for the probe.
+        site: CodeAddr,
+    },
+    /// `local = operand` (reading a shared operand is a separate action).
+    Assign(LocalId, Operand),
+    /// `shared = value` (value must be `Const` or `Local`).
+    SharedSet {
+        /// The shared variable written.
+        var: VarId,
+        /// The value (must be `Const` or `Local`).
+        value: Operand,
+    },
+    /// `old = atomic_fetch_add(shared, delta)` (delta `Const`/`Local`).
+    SharedFetchAdd {
+        /// The shared variable updated.
+        var: VarId,
+        /// The addend (must be `Const` or `Local`).
+        delta: Operand,
+        /// Local register receiving the old value, if wanted.
+        old_into: Option<LocalId>,
+    },
+    /// Two-armed conditional.
+    If(Cond, Block, Block),
+    /// While loop (condition re-evaluated before every iteration).
+    While(Cond, Block),
+    /// Fixed-trip-count loop (cheaper than `While` with a counter).
+    Loop(u64, Block),
+}
+
+/// A compiled script function.
+#[derive(Debug, Clone)]
+pub struct ScriptFn {
+    /// Function name, e.g. `producer` (shown by the Visualizer).
+    pub name: String,
+    /// The statement block the thread executes.
+    pub body: Block,
+    /// How many local registers the body uses.
+    pub n_locals: usize,
+    /// How many handle slots the body uses.
+    pub n_slots: usize,
+    /// Pseudo-address of the function entry (what `thr_create` records).
+    pub entry: CodeAddr,
+    /// Call site attributed to the implicit `thr_exit` at the end of the
+    /// body.
+    pub exit_site: CodeAddr,
+}
+
+impl ScriptFn {
+    /// Instantiate a fresh coroutine over this body.
+    pub fn runner(&self) -> ScriptRunner {
+        ScriptRunner {
+            frames: vec![Frame { block: self.body.clone(), idx: 0, kind: FrameKind::Seq }],
+            locals: vec![0; self.n_locals],
+            slots: vec![VecDeque::new(); self.n_slots],
+            pending: Pending::None,
+            exit_site: self.exit_site,
+            exited: false,
+            fn_name: self.name.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    block: Block,
+    idx: usize,
+    kind: FrameKind,
+}
+
+#[derive(Debug, Clone)]
+enum FrameKind {
+    Seq,
+    Loop { remaining: u64 },
+}
+
+/// Continuation state between an issued action and its outcome.
+#[derive(Debug, Clone)]
+enum Pending {
+    None,
+    /// Store the created thread id into a slot.
+    CreateInto(Option<SlotId>),
+    /// Mid-condition: waiting for shared-operand reads.
+    CondEval { cond: Cond, lhs: Option<i64>, dest: CondDest },
+    /// Waiting for a shared read to finish an assignment.
+    AssignFrom(LocalId),
+    /// Waiting for a fetch-add's old value.
+    FetchAddOld(Option<LocalId>),
+}
+
+#[derive(Debug, Clone)]
+enum CondDest {
+    If { then: Block, els: Block },
+    While { body: Block },
+}
+
+/// Interpreter over a [`ScriptFn`] body.
+#[derive(Debug, Clone)]
+pub struct ScriptRunner {
+    frames: Vec<Frame>,
+    locals: Vec<i64>,
+    slots: Vec<VecDeque<ThreadId>>,
+    pending: Pending,
+    exit_site: CodeAddr,
+    exited: bool,
+    fn_name: String,
+}
+
+impl ScriptRunner {
+    fn operand_now(&self, op: Operand) -> Option<i64> {
+        match op {
+            Operand::Const(c) => Some(c),
+            Operand::Local(l) => Some(self.locals[l.0]),
+            Operand::Shared(_) => None,
+        }
+    }
+
+    /// Begin evaluating `cond`; returns a read action if a shared operand
+    /// must be fetched first, otherwise applies the control transfer
+    /// immediately and returns `None`.
+    fn start_cond(&mut self, cond: Cond, dest: CondDest) -> Option<Action> {
+        match self.operand_now(cond.lhs) {
+            None => {
+                let Operand::Shared(v) = cond.lhs else { unreachable!() };
+                self.pending = Pending::CondEval { cond, lhs: None, dest };
+                Some(Action::Var(VarOp::Read(v)))
+            }
+            Some(lhs) => match self.operand_now(cond.rhs) {
+                None => {
+                    let Operand::Shared(v) = cond.rhs else { unreachable!() };
+                    self.pending = Pending::CondEval { cond, lhs: Some(lhs), dest };
+                    Some(Action::Var(VarOp::Read(v)))
+                }
+                Some(rhs) => {
+                    self.finish_cond(cond.cmp.eval(lhs, rhs), dest);
+                    None
+                }
+            },
+        }
+    }
+
+    fn finish_cond(&mut self, truth: bool, dest: CondDest) {
+        match dest {
+            CondDest::If { then, els } => {
+                // The If statement's frame index was already advanced.
+                let block = if truth { then } else { els };
+                if !block.is_empty() {
+                    self.frames.push(Frame { block, idx: 0, kind: FrameKind::Seq });
+                }
+            }
+            CondDest::While { body } => {
+                if truth {
+                    // Leave the While statement's index untouched so the
+                    // condition is re-evaluated after the body completes.
+                    self.frames.push(Frame { block: body, idx: 0, kind: FrameKind::Seq });
+                } else {
+                    self.frames.last_mut().expect("while frame").idx += 1;
+                }
+            }
+        }
+    }
+
+    fn slot_front(&self, slot: SlotId) -> ThreadId {
+        *self.slots[slot.0].front().unwrap_or_else(|| {
+            panic!("script `{}`: slot {} is empty (join/target before create?)", self.fn_name, slot.0)
+        })
+    }
+
+    /// Consume the outcome of the previous action, resolving any pending
+    /// continuation. Returns an action if the continuation itself needs
+    /// another one (chained shared reads in a condition).
+    fn settle(&mut self, outcome: Outcome) -> Option<Action> {
+        match std::mem::replace(&mut self.pending, Pending::None) {
+            Pending::None => None,
+            Pending::CreateInto(slot) => {
+                if let Outcome::Created(tid) = outcome {
+                    if let Some(s) = slot {
+                        self.slots[s.0].push_back(tid);
+                    }
+                } else {
+                    panic!("script `{}`: create returned {outcome:?}", self.fn_name);
+                }
+                None
+            }
+            Pending::AssignFrom(local) => {
+                self.locals[local.0] =
+                    outcome.value().expect("shared read must yield a value");
+                None
+            }
+            Pending::FetchAddOld(local) => {
+                let old = outcome.value().expect("fetch_add must yield old value");
+                if let Some(l) = local {
+                    self.locals[l.0] = old;
+                }
+                None
+            }
+            Pending::CondEval { cond, lhs, dest } => {
+                let v = outcome.value().expect("cond read must yield a value");
+                match lhs {
+                    None => {
+                        // lhs resolved; rhs may still need a read.
+                        match self.operand_now(cond.rhs) {
+                            None => {
+                                let Operand::Shared(rv) = cond.rhs else { unreachable!() };
+                                self.pending =
+                                    Pending::CondEval { cond, lhs: Some(v), dest };
+                                Some(Action::Var(VarOp::Read(rv)))
+                            }
+                            Some(rhs) => {
+                                self.finish_cond(cond.cmp.eval(v, rhs), dest);
+                                None
+                            }
+                        }
+                    }
+                    Some(lhs) => {
+                        self.finish_cond(cond.cmp.eval(lhs, v), dest);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advance to the next action.
+    fn step(&mut self, self_id: ThreadId) -> Action {
+        loop {
+            let Some(frame) = self.frames.last_mut() else {
+                // Fell off the end of the body: implicit thr_exit.
+                self.exited = true;
+                return Action::Call(LibCall::Exit, self.exit_site);
+            };
+            if frame.idx >= frame.block.len() {
+                match &mut frame.kind {
+                    FrameKind::Seq => {
+                        self.frames.pop();
+                    }
+                    FrameKind::Loop { remaining } => {
+                        *remaining -= 1;
+                        if *remaining > 0 {
+                            frame.idx = 0;
+                        } else {
+                            self.frames.pop();
+                        }
+                    }
+                }
+                continue;
+            }
+            let stmt = frame.block[frame.idx].clone();
+            match stmt {
+                Stmt::Work(d) => {
+                    frame.idx += 1;
+                    return Action::Work(d);
+                }
+                Stmt::Call(call, site) => {
+                    frame.idx += 1;
+                    if call == LibCall::Exit {
+                        self.exited = true;
+                    }
+                    return Action::Call(call, site);
+                }
+                Stmt::Create { func, bound, into, site } => {
+                    frame.idx += 1;
+                    self.pending = Pending::CreateInto(into);
+                    return Action::Call(LibCall::Create { func, bound }, site);
+                }
+                Stmt::Join { from, site } => {
+                    frame.idx += 1;
+                    let target = match from {
+                        JoinFrom::Any => None,
+                        JoinFrom::Slot(s) => Some(
+                            self.slots[s.0].pop_front().unwrap_or_else(|| {
+                                panic!(
+                                    "script `{}`: join from empty slot {}",
+                                    self.fn_name, s.0
+                                )
+                            }),
+                        ),
+                    };
+                    return Action::Call(LibCall::Join(target), site);
+                }
+                Stmt::SetPrioSelf { prio, site } => {
+                    frame.idx += 1;
+                    return Action::Call(LibCall::SetPrio { target: self_id, prio }, site);
+                }
+                Stmt::SlotCall { slot, kind, site } => {
+                    frame.idx += 1;
+                    let target = self.slot_front(slot);
+                    let call = match kind {
+                        SlotCallKind::SetPrio(p) => LibCall::SetPrio { target, prio: p },
+                        SlotCallKind::Suspend => LibCall::Suspend(target),
+                        SlotCallKind::Continue => LibCall::Continue(target),
+                    };
+                    return Action::Call(call, site);
+                }
+                Stmt::Assign(local, op) => {
+                    frame.idx += 1;
+                    match self.operand_now(op) {
+                        Some(v) => self.locals[local.0] = v,
+                        None => {
+                            let Operand::Shared(var) = op else { unreachable!() };
+                            self.pending = Pending::AssignFrom(local);
+                            return Action::Var(VarOp::Read(var));
+                        }
+                    }
+                }
+                Stmt::SharedSet { var, value } => {
+                    frame.idx += 1;
+                    let v = self
+                        .operand_now(value)
+                        .expect("SharedSet value must be Const or Local (builder enforces)");
+                    return Action::Var(VarOp::Set(var, v));
+                }
+                Stmt::SharedFetchAdd { var, delta, old_into } => {
+                    frame.idx += 1;
+                    let d = self
+                        .operand_now(delta)
+                        .expect("SharedFetchAdd delta must be Const or Local");
+                    self.pending = Pending::FetchAddOld(old_into);
+                    return Action::Var(VarOp::FetchAdd(var, d));
+                }
+                Stmt::If(cond, then, els) => {
+                    frame.idx += 1;
+                    if let Some(action) = self.start_cond(cond, CondDest::If { then, els }) {
+                        return action;
+                    }
+                }
+                Stmt::While(cond, body) => {
+                    // Index NOT advanced: re-evaluated each iteration.
+                    if let Some(action) = self.start_cond(cond, CondDest::While { body }) {
+                        return action;
+                    }
+                }
+                Stmt::Loop(n, body) => {
+                    frame.idx += 1;
+                    if n > 0 && !body.is_empty() {
+                        self.frames.push(Frame {
+                            block: body,
+                            idx: 0,
+                            kind: FrameKind::Loop { remaining: n },
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Program for ScriptRunner {
+    fn resume(&mut self, ctx: ResumeCtx) -> Action {
+        assert!(!self.exited, "script `{}` resumed after thr_exit", self.fn_name);
+        if let Some(action) = self.settle(ctx.outcome) {
+            return action;
+        }
+        self.step(ctx.self_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::MutexRef;
+    use vppb_model::Time;
+
+    fn ctx(outcome: Outcome) -> ResumeCtx {
+        ResumeCtx { outcome, self_id: ThreadId(1), now: Time::ZERO }
+    }
+
+    fn func(body: Vec<Stmt>, n_locals: usize, n_slots: usize) -> ScriptFn {
+        ScriptFn {
+            name: "test".into(),
+            body: body.into(),
+            n_locals,
+            n_slots,
+            entry: CodeAddr(0x100),
+            exit_site: CodeAddr(0x104),
+        }
+    }
+
+    #[test]
+    fn straight_line_work_then_exit() {
+        let f = func(vec![Stmt::Work(Duration::from_micros(5))], 0, 0);
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Work(Duration::from_micros(5)));
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::Exit, CodeAddr(0x104)));
+    }
+
+    #[test]
+    fn loop_repeats_body() {
+        let f = func(vec![Stmt::Loop(3, vec![Stmt::Work(Duration(1))].into())], 0, 0);
+        let mut r = f.runner();
+        for _ in 0..3 {
+            assert_eq!(r.resume(ctx(Outcome::None)), Action::Work(Duration(1)));
+        }
+        assert!(matches!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::Exit, _)));
+    }
+
+    #[test]
+    fn zero_iteration_loop_is_skipped() {
+        let f = func(vec![Stmt::Loop(0, vec![Stmt::Work(Duration(1))].into())], 0, 0);
+        let mut r = f.runner();
+        assert!(matches!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::Exit, _)));
+    }
+
+    #[test]
+    fn create_stores_handle_join_pops_it() {
+        let f = func(
+            vec![
+                Stmt::Create {
+                    func: FuncId(1),
+                    bound: false,
+                    into: Some(SlotId(0)),
+                    site: CodeAddr(0x10),
+                },
+                Stmt::Join { from: JoinFrom::Slot(SlotId(0)), site: CodeAddr(0x14) },
+            ],
+            0,
+            1,
+        );
+        let mut r = f.runner();
+        assert_eq!(
+            r.resume(ctx(Outcome::None)),
+            Action::Call(LibCall::Create { func: FuncId(1), bound: false }, CodeAddr(0x10))
+        );
+        assert_eq!(
+            r.resume(ctx(Outcome::Created(ThreadId(4)))),
+            Action::Call(LibCall::Join(Some(ThreadId(4))), CodeAddr(0x14))
+        );
+    }
+
+    #[test]
+    fn if_on_local_variable_takes_right_branch() {
+        let then_b: Block = vec![Stmt::Work(Duration(111))].into();
+        let else_b: Block = vec![Stmt::Work(Duration(222))].into();
+        let cond = Cond::new(Operand::Local(LocalId(0)), crate::action::Cmp::Eq, Operand::Const(7));
+        let f = func(
+            vec![
+                Stmt::Assign(LocalId(0), Operand::Const(7)),
+                Stmt::If(cond, then_b, else_b),
+            ],
+            1,
+            0,
+        );
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Work(Duration(111)));
+    }
+
+    #[test]
+    fn if_on_shared_variable_issues_read_first() {
+        let cond =
+            Cond::new(Operand::Shared(VarId(3)), crate::action::Cmp::Gt, Operand::Const(0));
+        let f = func(
+            vec![Stmt::If(
+                cond,
+                vec![Stmt::Work(Duration(1))].into(),
+                vec![Stmt::Work(Duration(2))].into(),
+            )],
+            0,
+            0,
+        );
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(3))));
+        // shared var is 5 -> condition true -> then branch
+        assert_eq!(r.resume(ctx(Outcome::Value(5))), Action::Work(Duration(1)));
+    }
+
+    #[test]
+    fn while_re_reads_condition_each_iteration() {
+        let cond =
+            Cond::new(Operand::Shared(VarId(0)), crate::action::Cmp::Eq, Operand::Const(0));
+        let f = func(vec![Stmt::While(cond, vec![Stmt::Work(Duration(9))].into())], 0, 0);
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(0))));
+        assert_eq!(r.resume(ctx(Outcome::Value(0))), Action::Work(Duration(9)));
+        // end of body -> read again
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(0))));
+        // now non-zero -> loop exits -> implicit thr_exit
+        assert!(matches!(r.resume(ctx(Outcome::Value(1))), Action::Call(LibCall::Exit, _)));
+    }
+
+    #[test]
+    fn fetch_add_stores_old_value() {
+        let cond =
+            Cond::new(Operand::Local(LocalId(0)), crate::action::Cmp::Eq, Operand::Const(41));
+        let f = func(
+            vec![
+                Stmt::SharedFetchAdd {
+                    var: VarId(0),
+                    delta: Operand::Const(1),
+                    old_into: Some(LocalId(0)),
+                },
+                Stmt::If(cond, vec![Stmt::Work(Duration(1))].into(), vec![].into()),
+            ],
+            1,
+            0,
+        );
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::FetchAdd(VarId(0), 1)));
+        assert_eq!(r.resume(ctx(Outcome::Value(41))), Action::Work(Duration(1)));
+    }
+
+    #[test]
+    fn shared_read_in_both_cond_operands() {
+        let cond =
+            Cond::new(Operand::Shared(VarId(0)), crate::action::Cmp::Lt, Operand::Shared(VarId(1)));
+        let f = func(
+            vec![Stmt::While(cond, vec![Stmt::Work(Duration(5))].into())],
+            0,
+            0,
+        );
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(0))));
+        assert_eq!(r.resume(ctx(Outcome::Value(1))), Action::Var(VarOp::Read(VarId(1))));
+        assert_eq!(r.resume(ctx(Outcome::Value(2))), Action::Work(Duration(5))); // 1 < 2
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(0))));
+        assert_eq!(r.resume(ctx(Outcome::Value(3))), Action::Var(VarOp::Read(VarId(1))));
+        assert!(matches!(r.resume(ctx(Outcome::Value(2))), Action::Call(LibCall::Exit, _)));
+    }
+
+    #[test]
+    fn explicit_exit_stops_interpretation() {
+        let f = func(
+            vec![
+                Stmt::Call(LibCall::Exit, CodeAddr(0x77)),
+                Stmt::Work(Duration(1)), // dead code
+            ],
+            0,
+            0,
+        );
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::Exit, CodeAddr(0x77)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slot")]
+    fn join_from_empty_slot_panics() {
+        let f = func(vec![Stmt::Join { from: JoinFrom::Slot(SlotId(0)), site: CodeAddr(0) }], 0, 1);
+        let mut r = f.runner();
+        let _ = r.resume(ctx(Outcome::None));
+    }
+
+    #[test]
+    fn nested_loops() {
+        let inner: Block = vec![Stmt::Work(Duration(1))].into();
+        let outer: Block = vec![Stmt::Loop(2, inner)].into();
+        let f = func(vec![Stmt::Loop(3, outer)], 0, 0);
+        let mut r = f.runner();
+        for _ in 0..6 {
+            assert_eq!(r.resume(ctx(Outcome::None)), Action::Work(Duration(1)));
+        }
+        assert!(matches!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::Exit, _)));
+    }
+
+    #[test]
+    fn mutex_lock_passthrough() {
+        let m = MutexRef(2);
+        let f = func(vec![Stmt::Call(LibCall::MutexLock(m), CodeAddr(0x20))], 0, 0);
+        let mut r = f.runner();
+        assert_eq!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::MutexLock(m), CodeAddr(0x20)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests on the script interpreter: randomly generated
+//! well-formed scripts always terminate with `thr_exit`, never panic, and
+//! respect structural bounds on the number of emitted actions.
+
+use proptest::prelude::*;
+use vppb_model::{CodeAddr, Duration, ThreadId, Time};
+use vppb_threads::{
+    Action, Block, Cmp, Cond, LibCall, LocalId, MutexRef, Operand, Outcome, Program,
+    ResumeCtx, ScriptFn, SemRef, Stmt, VarId, VarOp,
+};
+
+/// A recursive statement generator. `depth` bounds nesting; the returned
+/// value also carries an upper bound on how many actions the statement can
+/// emit per execution.
+fn arb_stmt(depth: u32) -> BoxedStrategy<(Stmt, u64)> {
+    let leaf = prop_oneof![
+        (1u64..1000).prop_map(|ns| (Stmt::Work(Duration(ns)), 1u64)),
+        (0u32..4).prop_map(|m| {
+            (Stmt::Call(LibCall::MutexLock(MutexRef(m)), CodeAddr(0x100)), 1u64)
+        }),
+        (0u32..4).prop_map(|m| {
+            (Stmt::Call(LibCall::MutexUnlock(MutexRef(m)), CodeAddr(0x104)), 1u64)
+        }),
+        (0u32..2).prop_map(|s| (Stmt::Call(LibCall::SemPost(SemRef(s)), CodeAddr(0x108)), 1u64)),
+        (0usize..3, -5i64..5).prop_map(|(v, d)| {
+            (
+                Stmt::SharedFetchAdd {
+                    var: VarId(v),
+                    delta: Operand::Const(d),
+                    old_into: Some(LocalId(0)),
+                },
+                1u64,
+            )
+        }),
+        (0usize..3, -5i64..5).prop_map(|(l, c)| {
+            (Stmt::Assign(LocalId(l), Operand::Const(c)), 0u64)
+        }),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let nested = arb_stmt(depth - 1);
+    prop_oneof![
+        4 => leaf,
+        1 => (1u64..4, proptest::collection::vec(nested.clone(), 0..4)).prop_map(|(n, body)| {
+            let bound: u64 = body.iter().map(|(_, b)| *b).sum();
+            let block: Block = body.into_iter().map(|(s, _)| s).collect::<Vec<_>>().into();
+            (Stmt::Loop(n, block), n * bound)
+        }),
+        1 => (
+            0usize..3,
+            -5i64..5,
+            proptest::collection::vec(nested.clone(), 0..3),
+            proptest::collection::vec(nested, 0..3),
+        )
+            .prop_map(|(l, c, t, e)| {
+                let bt: u64 = t.iter().map(|(_, b)| *b).sum::<u64>() + 1; // +1 possible read
+                let be: u64 = e.iter().map(|(_, b)| *b).sum();
+                let tb: Block = t.into_iter().map(|(s, _)| s).collect::<Vec<_>>().into();
+                let eb: Block = e.into_iter().map(|(s, _)| s).collect::<Vec<_>>().into();
+                (
+                    Stmt::If(
+                        Cond::new(Operand::Local(LocalId(l)), Cmp::Lt, Operand::Const(c)),
+                        tb,
+                        eb,
+                    ),
+                    bt.max(be) + 1,
+                )
+            }),
+    ]
+    .boxed()
+}
+
+prop_compose! {
+    fn arb_script()(stmts in proptest::collection::vec(arb_stmt(2), 0..12)) -> (ScriptFn, u64) {
+        let bound: u64 = stmts.iter().map(|(_, b)| *b).sum();
+        let body: Block = stmts.into_iter().map(|(s, _)| s).collect::<Vec<_>>().into();
+        (
+            ScriptFn {
+                name: "prop".into(),
+                body,
+                n_locals: 3,
+                n_slots: 1,
+                entry: CodeAddr(0x10),
+                exit_site: CodeAddr(0x14),
+            },
+            bound,
+        )
+    }
+}
+
+/// Drive a runner, feeding plausible outcomes, until it exits.
+fn drive(script: &ScriptFn, max_steps: u64) -> (u64, bool) {
+    let mut runner = script.runner();
+    let mut outcome = Outcome::None;
+    for step in 0..max_steps {
+        let ctx = ResumeCtx { outcome, self_id: ThreadId(1), now: Time::ZERO };
+        let action = runner.resume(ctx);
+        outcome = match action {
+            Action::Var(VarOp::Read(_)) | Action::Var(VarOp::FetchAdd(_, _)) => {
+                Outcome::Value((step % 7) as i64 - 3)
+            }
+            Action::Var(_) => Outcome::None,
+            Action::Call(LibCall::Exit, _) => return (step, true),
+            Action::Call(LibCall::Create { .. }, _) => Outcome::Created(ThreadId(4)),
+            Action::Call(LibCall::Join(_), _) => Outcome::Joined(ThreadId(4)),
+            _ => Outcome::None,
+        };
+    }
+    (max_steps, false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scripts_terminate_with_exit((script, bound) in arb_script()) {
+        // Each emitted action costs at most a few resume steps (condition
+        // reads); 4x the action bound plus slack is a safe ceiling.
+        let ceiling = bound * 6 + 64;
+        let (_steps, exited) = drive(&script, ceiling);
+        prop_assert!(exited, "script did not exit within {ceiling} steps (bound {bound})");
+    }
+
+    #[test]
+    fn runners_are_independent((script, _) in arb_script()) {
+        // Two runners from one ScriptFn must behave identically and not
+        // share state.
+        let a = drive(&script, 100_000);
+        let b = drive(&script, 100_000);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,225 @@
+//! Terminal renderer: the two graphs as Unicode/ANSI art, for quick looks
+//! without an SVG viewer.
+
+use crate::glyph::glyph;
+use crate::timeline::{LaneState, Timeline};
+use crate::view::View;
+use std::fmt::Write as _;
+use vppb_model::{ExecutionTrace, Time};
+
+/// Options for the terminal renderer.
+#[derive(Debug, Clone)]
+pub struct AnsiOptions {
+    /// Plot width in columns (excluding labels).
+    pub width: usize,
+    /// Parallelism graph height in rows.
+    pub profile_rows: usize,
+    /// Emit ANSI colour codes (disable for tests / dumb pipes).
+    pub color: bool,
+}
+
+impl Default for AnsiOptions {
+    fn default() -> AnsiOptions {
+        AnsiOptions { width: 100, profile_rows: 8, color: true }
+    }
+}
+
+/// Render the full run.
+pub fn render_trace(trace: &ExecutionTrace, opts: &AnsiOptions) -> String {
+    let tl = Timeline::from_trace(trace);
+    let view = View::full(&tl);
+    render(&tl, trace, &view, opts)
+}
+
+/// Render a view.
+pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &AnsiOptions) -> String {
+    let mut out = String::new();
+    let span = view.span().nanos().max(1);
+    let col_of = |t: Time| -> usize {
+        ((t.nanos().saturating_sub(view.from.nanos())) as u128 * opts.width as u128
+            / span as u128)
+            .min(opts.width as u128 - 1) as usize
+    };
+    let paint = |s: &str, code: &str| -> String {
+        if opts.color {
+            format!("\x1b[{code}m{s}\x1b[0m")
+        } else {
+            s.to_string()
+        }
+    };
+
+    let _ = writeln!(
+        out,
+        "{} — {} CPUs, wall {}  (view {}..{})",
+        tl.program,
+        tl.cpus,
+        tl.wall - Time::ZERO,
+        view.from,
+        view.to
+    );
+
+    // ---- parallelism graph: per column, max running & total in bucket ----
+    let mut run_cols = vec![0u32; opts.width];
+    let mut total_cols = vec![0u32; opts.width];
+    let mut steps = tl.profile.clone();
+    steps.push(crate::timeline::ParallelismStep { time: tl.wall, running: 0, runnable: 0 });
+    for w in steps.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if b.time < view.from || a.time > view.to {
+            continue;
+        }
+        let c0 = col_of(Time(a.time.nanos().max(view.from.nanos())));
+        let c1 = col_of(Time::min_of(b.time, view.to));
+        for c in c0..=c1 {
+            run_cols[c] = run_cols[c].max(a.running);
+            total_cols[c] = total_cols[c].max(a.running + a.runnable);
+        }
+    }
+    let max_par = total_cols.iter().copied().max().unwrap_or(1).max(1);
+    for row in (1..=opts.profile_rows).rev() {
+        let threshold = (row as f64 / opts.profile_rows as f64) * max_par as f64;
+        let mut line = String::new();
+        for c in 0..opts.width {
+            if (run_cols[c] as f64) >= threshold {
+                line.push_str(&paint("█", "32")); // green: running
+            } else if (total_cols[c] as f64) >= threshold {
+                line.push_str(&paint("░", "31")); // red: runnable
+            } else {
+                line.push(' ');
+            }
+        }
+        let _ = writeln!(out, "{:>4} |{}", if row == opts.profile_rows { max_par } else { 0 }, line);
+    }
+    let _ = writeln!(out, "     +{}", "-".repeat(opts.width));
+
+    // ---- execution flow graph -------------------------------------------
+    for tid in view.visible_threads(tl) {
+        let Some(lane) = tl.lane(tid) else { continue };
+        let mut row: Vec<String> = vec![" ".to_string(); opts.width];
+        for seg in &lane.segments {
+            if seg.end < view.from || seg.start > view.to {
+                continue;
+            }
+            let (ch, code) = match seg.state {
+                LaneState::Running => ("━", "1"),
+                LaneState::Runnable => ("─", "90"),
+                LaneState::Blocked | LaneState::Absent => continue,
+            };
+            let c0 = col_of(Time(seg.start.nanos().max(view.from.nanos())));
+            let c1 = col_of(Time::min_of(seg.end, view.to));
+            for cell in row.iter_mut().take(c1 + 1).skip(c0) {
+                *cell = paint(ch, code);
+            }
+        }
+        for &ei in &lane.events {
+            let ev = &trace.events[ei];
+            if ev.start < view.from || ev.start > view.to {
+                continue;
+            }
+            let (shape, family) = glyph(&ev.kind);
+            let c = col_of(ev.start);
+            row[c] = paint(&shape.ch().to_string(), &family.ansi().to_string());
+        }
+        let label = format!("{} {}", tid, lane.name);
+        let _ = writeln!(out, "{:>12} {}", truncate(&label, 12), row.concat());
+    }
+    let _ = writeln!(
+        out,
+        "{:>12} {}{}",
+        "",
+        view.from,
+        format_args!("{:>width$}", view.to, width = opts.width.saturating_sub(8))
+    );
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).chain(std::iter::once('…')).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vppb_model::{
+        CodeAddr, CpuId, Duration, EventKind, LwpId, PlacedEvent, SourceMap, SyncObjId,
+        ThreadId, ThreadInfo, ThreadState, Transition,
+    };
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn sample() -> ExecutionTrace {
+        let mut threads = BTreeMap::new();
+        threads.insert(
+            ThreadId(1),
+            ThreadInfo {
+                start_fn: "main".into(),
+                started: t(0),
+                ended: t(100),
+                cpu_time: Duration::from_micros(100),
+            },
+        );
+        ExecutionTrace {
+            program: "ansi-test".into(),
+            cpus: 1,
+            wall_time: t(100),
+            transitions: vec![
+                Transition {
+                    time: t(0),
+                    thread: ThreadId(1),
+                    state: ThreadState::Running { cpu: CpuId(0), lwp: LwpId(0) },
+                },
+                Transition { time: t(100), thread: ThreadId(1), state: ThreadState::Exited },
+            ],
+            events: vec![PlacedEvent {
+                start: t(50),
+                end: t(51),
+                thread: ThreadId(1),
+                kind: EventKind::SemWait { obj: SyncObjId::semaphore(0) },
+                cpu: CpuId(0),
+                caller: CodeAddr::NULL,
+            }],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+
+    #[test]
+    fn renders_without_color_codes_when_disabled() {
+        let opts = AnsiOptions { color: false, ..Default::default() };
+        let s = render_trace(&sample(), &opts);
+        assert!(!s.contains('\x1b'));
+        assert!(s.contains("ansi-test"));
+        assert!(s.contains('━'), "running line drawn");
+        assert!(s.contains('▼'), "sema_wait arrow drawn");
+    }
+
+    #[test]
+    fn color_mode_emits_sgr() {
+        let opts = AnsiOptions { color: true, ..Default::default() };
+        let s = render_trace(&sample(), &opts);
+        assert!(s.contains("\x1b[32m"), "green running blocks");
+    }
+
+    #[test]
+    fn label_truncation() {
+        assert_eq!(truncate("short", 12), "short");
+        let long = truncate("averyveryverylongname", 12);
+        assert_eq!(long.chars().count(), 12);
+        assert!(long.ends_with('…'));
+    }
+
+    #[test]
+    fn line_count_scales_with_threads_and_rows() {
+        let opts = AnsiOptions { color: false, profile_rows: 4, ..Default::default() };
+        let s = render_trace(&sample(), &opts);
+        // header + 4 profile rows + separator + 1 lane + axis = 8
+        assert_eq!(s.lines().count(), 8);
+    }
+}

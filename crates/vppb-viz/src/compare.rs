@@ -1,0 +1,237 @@
+//! Side-by-side comparison of two executions — typically a *predicted*
+//! execution against a *real* one, the very check §4 of the paper performs
+//! by hand. Aligns the traces by thread and reports per-thread timing
+//! deltas, so a mis-predicted thread stands out immediately.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use vppb_model::{ExecutionTrace, ThreadId, Time};
+
+/// Per-thread timing comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadDelta {
+    /// The thread compared.
+    pub thread: ThreadId,
+    /// Its start-routine name.
+    pub start_fn: String,
+    /// Thread end time in the first (e.g. predicted) trace.
+    pub a_ended: Time,
+    /// Thread end time in the second (e.g. real) trace.
+    pub b_ended: Time,
+    /// Relative end-time error `(a - b) / b` (0 when `b` is zero).
+    pub end_error: f64,
+    /// Relative CPU-time error.
+    pub cpu_error: f64,
+    /// Present in only one trace (a divergence worth flagging).
+    pub only_in: Option<char>,
+}
+
+/// The comparison report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Label of trace A (e.g. "predicted").
+    pub a_label: String,
+    /// Label of trace B (e.g. "real").
+    pub b_label: String,
+    /// Wall time of trace A.
+    pub a_wall: Time,
+    /// Wall time of trace B.
+    pub b_wall: Time,
+    /// Relative wall-clock error `(a - b) / b`.
+    pub wall_error: f64,
+    /// Per-thread deltas, in thread-id order.
+    pub threads: Vec<ThreadDelta>,
+}
+
+impl Comparison {
+    /// The thread whose end time diverges most (by |relative error|).
+    pub fn worst_thread(&self) -> Option<&ThreadDelta> {
+        self.threads
+            .iter()
+            .filter(|t| t.only_in.is_none())
+            .max_by(|x, y| {
+                x.end_error
+                    .abs()
+                    .partial_cmp(&y.end_error.abs())
+                    .expect("errors are finite")
+            })
+    }
+
+    /// Largest per-thread |end-time error|.
+    pub fn max_thread_error(&self) -> f64 {
+        self.worst_thread().map(|t| t.end_error.abs()).unwrap_or(0.0)
+    }
+}
+
+fn rel(a: Time, b: Time) -> f64 {
+    if b == Time::ZERO {
+        return 0.0;
+    }
+    (a.nanos() as f64 - b.nanos() as f64) / b.nanos() as f64
+}
+
+/// Compare two executions of the same program.
+pub fn compare(
+    a_label: &str,
+    a: &ExecutionTrace,
+    b_label: &str,
+    b: &ExecutionTrace,
+) -> Comparison {
+    let ids: BTreeSet<ThreadId> =
+        a.threads.keys().chain(b.threads.keys()).copied().collect();
+    let mut threads = Vec::new();
+    for id in ids {
+        match (a.threads.get(&id), b.threads.get(&id)) {
+            (Some(ta), Some(tb)) => threads.push(ThreadDelta {
+                thread: id,
+                start_fn: ta.start_fn.clone(),
+                a_ended: ta.ended,
+                b_ended: tb.ended,
+                end_error: rel(ta.ended, tb.ended),
+                cpu_error: {
+                    let (x, y) = (ta.cpu_time.nanos() as f64, tb.cpu_time.nanos() as f64);
+                    if y == 0.0 {
+                        0.0
+                    } else {
+                        (x - y) / y
+                    }
+                },
+                only_in: None,
+            }),
+            (Some(ta), None) => threads.push(ThreadDelta {
+                thread: id,
+                start_fn: ta.start_fn.clone(),
+                a_ended: ta.ended,
+                b_ended: Time::ZERO,
+                end_error: 0.0,
+                cpu_error: 0.0,
+                only_in: Some('A'),
+            }),
+            (None, Some(tb)) => threads.push(ThreadDelta {
+                thread: id,
+                start_fn: tb.start_fn.clone(),
+                a_ended: Time::ZERO,
+                b_ended: tb.ended,
+                end_error: 0.0,
+                cpu_error: 0.0,
+                only_in: Some('B'),
+            }),
+            (None, None) => unreachable!(),
+        }
+    }
+    Comparison {
+        a_label: a_label.to_string(),
+        b_label: b_label.to_string(),
+        a_wall: a.wall_time,
+        b_wall: b.wall_time,
+        wall_error: rel(a.wall_time, b.wall_time),
+        threads,
+    }
+}
+
+/// Render the comparison as a text table.
+pub fn render(c: &Comparison) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Comparison: {} vs {}\n  wall: {} vs {} ({:+.2}%)",
+        c.a_label,
+        c.b_label,
+        c.a_wall,
+        c.b_wall,
+        c.wall_error * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "{:<6} {:<14} {:>12} {:>12} {:>9} {:>9}",
+        "thread", "function", c.a_label, c.b_label, "end err", "cpu err"
+    );
+    for t in c.threads.iter().take(20) {
+        if let Some(side) = t.only_in {
+            let _ = writeln!(s, "{:<6} {:<14} only in trace {side}", t.thread.to_string(), t.start_fn);
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "{:<6} {:<14} {:>12} {:>12} {:>8.2}% {:>8.2}%",
+            t.thread.to_string(),
+            t.start_fn,
+            t.a_ended.to_string(),
+            t.b_ended.to_string(),
+            t.end_error * 100.0,
+            t.cpu_error * 100.0
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vppb_model::{Duration, SourceMap, ThreadInfo};
+
+    fn trace(ends_us: &[(u32, u64)], wall_us: u64) -> ExecutionTrace {
+        let mut threads = BTreeMap::new();
+        for &(id, end) in ends_us {
+            threads.insert(
+                ThreadId(id),
+                ThreadInfo {
+                    start_fn: format!("f{id}"),
+                    started: Time::ZERO,
+                    ended: Time::from_micros(end),
+                    cpu_time: Duration::from_micros(end / 2),
+                },
+            );
+        }
+        ExecutionTrace {
+            program: "cmp".into(),
+            cpus: 2,
+            wall_time: Time::from_micros(wall_us),
+            transitions: vec![],
+            events: vec![],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+
+    #[test]
+    fn wall_and_thread_errors() {
+        let a = trace(&[(1, 100), (4, 50)], 100);
+        let b = trace(&[(1, 110), (4, 40)], 110);
+        let c = compare("pred", &a, "real", &b);
+        assert!((c.wall_error - (-10.0 / 110.0)).abs() < 1e-9);
+        let worst = c.worst_thread().unwrap();
+        assert_eq!(worst.thread, ThreadId(4), "T4 is 25% off");
+        assert!((worst.end_error - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_threads_missing_from_one_trace() {
+        let a = trace(&[(1, 100), (4, 50)], 100);
+        let b = trace(&[(1, 100)], 100);
+        let c = compare("pred", &a, "real", &b);
+        let t4 = c.threads.iter().find(|t| t.thread == ThreadId(4)).unwrap();
+        assert_eq!(t4.only_in, Some('A'));
+        // Missing threads don't poison worst_thread.
+        assert_eq!(c.worst_thread().unwrap().thread, ThreadId(1));
+    }
+
+    #[test]
+    fn identical_traces_have_zero_errors() {
+        let a = trace(&[(1, 100), (4, 50)], 100);
+        let c = compare("a", &a, "b", &a);
+        assert_eq!(c.wall_error, 0.0);
+        assert_eq!(c.max_thread_error(), 0.0);
+    }
+
+    #[test]
+    fn render_is_tabular() {
+        let a = trace(&[(1, 100)], 100);
+        let b = trace(&[(1, 90)], 90);
+        let out = render(&compare("pred", &a, "real", &b));
+        assert!(out.contains("pred"));
+        assert!(out.contains("real"));
+        assert!(out.contains("T1"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Event symbols and colours.
+//!
+//! §3.3: "Different events are displayed with different symbols and
+//! colours, e.g., all semaphores are shown in red, and the primitives
+//! `sema_post` and `sema_wait` are represented as an upward and a downward
+//! facing arrow, respectively."
+
+use vppb_model::EventKind;
+
+/// Shape of an event marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// ▲ — releasing/posting operations.
+    ArrowUp,
+    /// ▼ — acquiring/waiting operations.
+    ArrowDown,
+    /// ◆ — thread lifecycle (create/exit).
+    Diamond,
+    /// ● — joins.
+    Circle,
+    /// ■ — scheduling control (yield, setprio, ...).
+    Square,
+}
+
+impl Shape {
+    /// One-character form for the ANSI renderer.
+    pub fn ch(self) -> char {
+        match self {
+            Shape::ArrowUp => '▲',
+            Shape::ArrowDown => '▼',
+            Shape::Diamond => '◆',
+            Shape::Circle => '●',
+            Shape::Square => '■',
+        }
+    }
+}
+
+/// Colour class of an event (one colour per object family, as in the
+/// paper: "all semaphores are shown in red").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Red.
+    Semaphore,
+    /// Orange.
+    Mutex,
+    /// Blue.
+    Condvar,
+    /// Purple.
+    RwLock,
+    /// Black.
+    Thread,
+    /// Teal.
+    Io,
+}
+
+impl Family {
+    /// SVG colour.
+    pub fn color(self) -> &'static str {
+        match self {
+            Family::Semaphore => "#d62728",
+            Family::Mutex => "#ff7f0e",
+            Family::Condvar => "#1f77b4",
+            Family::RwLock => "#9467bd",
+            Family::Thread => "#000000",
+            Family::Io => "#0e9aa7",
+        }
+    }
+
+    /// ANSI SGR colour code.
+    pub fn ansi(self) -> u8 {
+        match self {
+            Family::Semaphore => 31,
+            Family::Mutex => 33,
+            Family::Condvar => 34,
+            Family::RwLock => 35,
+            Family::Thread => 30,
+            Family::Io => 36,
+        }
+    }
+}
+
+/// Glyph (shape + family) for an event kind.
+pub fn glyph(kind: &EventKind) -> (Shape, Family) {
+    use EventKind::*;
+    match kind {
+        SemPost { .. } => (Shape::ArrowUp, Family::Semaphore),
+        SemWait { .. } | SemTryWait { .. } => (Shape::ArrowDown, Family::Semaphore),
+        MutexUnlock { .. } => (Shape::ArrowUp, Family::Mutex),
+        MutexLock { .. } | MutexTryLock { .. } => (Shape::ArrowDown, Family::Mutex),
+        CondSignal { .. } | CondBroadcast { .. } => (Shape::ArrowUp, Family::Condvar),
+        CondWait { .. } | CondTimedWait { .. } => (Shape::ArrowDown, Family::Condvar),
+        RwUnlock { .. } => (Shape::ArrowUp, Family::RwLock),
+        RwRdLock { .. } | RwWrLock { .. } | RwTryRdLock { .. } | RwTryWrLock { .. } => {
+            (Shape::ArrowDown, Family::RwLock)
+        }
+        ThrCreate { .. } | ThrExit | ThreadStart { .. } => (Shape::Diamond, Family::Thread),
+        IoWait { .. } => (Shape::Square, Family::Io),
+        ThrJoin { .. } => (Shape::Circle, Family::Thread),
+        _ => (Shape::Square, Family::Thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::SyncObjId;
+
+    #[test]
+    fn semaphores_are_red_arrows() {
+        let s = SyncObjId::semaphore(0);
+        let (post_shape, post_fam) = glyph(&EventKind::SemPost { obj: s });
+        let (wait_shape, wait_fam) = glyph(&EventKind::SemWait { obj: s });
+        assert_eq!(post_shape, Shape::ArrowUp);
+        assert_eq!(wait_shape, Shape::ArrowDown);
+        assert_eq!(post_fam, Family::Semaphore);
+        assert_eq!(wait_fam, Family::Semaphore);
+        assert_eq!(post_fam.color(), "#d62728");
+    }
+
+    #[test]
+    fn families_have_distinct_colors() {
+        let fams = [
+            Family::Semaphore,
+            Family::Mutex,
+            Family::Condvar,
+            Family::RwLock,
+            Family::Thread,
+            Family::Io,
+        ];
+        let mut colors: Vec<&str> = fams.iter().map(|f| f.color()).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        assert_eq!(colors.len(), fams.len());
+    }
+
+    #[test]
+    fn lifecycle_events_are_black() {
+        let (_, fam) = glyph(&EventKind::ThrExit);
+        assert_eq!(fam, Family::Thread);
+        let (shape, _) = glyph(&EventKind::ThrJoin { target: None });
+        assert_eq!(shape, Shape::Circle);
+    }
+}

@@ -1,0 +1,332 @@
+//! The event inspector: the library equivalent of the paper's popup
+//! window, stepping buttons and similar-event search (§3.3).
+//!
+//! "By selecting a particular (interesting) event [...] a popup window is
+//! shown that gives more information [...] The user can step to the
+//! previous or next event made by this thread. [...] Further, the user can
+//! find the next or previous similar event. This means that the next event
+//! caused by the same event type or variable, e.g., the next operation on
+//! the same mutex variable, will be found."
+
+use vppb_model::{
+    Duration, ExecutionTrace, PlacedEvent, SourceLoc, SyncObjId, ThreadId, Time,
+};
+
+/// Everything the popup window shows for one selected event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDetails {
+    // --- about the thread ---
+    /// "the thread identity"
+    pub thread: ThreadId,
+    /// "the name of the function passed to the thr_create function"
+    pub start_fn: String,
+    /// "the time the thread started and ended"
+    pub thread_started: Time,
+    /// When the thread exited.
+    pub thread_ended: Time,
+    /// "how long time the thread actually was working"
+    pub thread_cpu_time: Duration,
+    /// "the total execution time of the thread"
+    pub thread_total_time: Duration,
+    // --- about the event ---
+    /// e.g. "thr_join"
+    pub routine: &'static str,
+    /// The object concerned, if any.
+    pub object: Option<SyncObjId>,
+    /// "the thread was running on CPU 0 in the simulated execution"
+    pub cpu: vppb_model::CpuId,
+    /// "when the event started, ended, and how long it took"
+    pub started: Time,
+    /// When the call returned.
+    pub ended: Time,
+    /// `ended - started`.
+    pub duration: Duration,
+    /// "the source code file and source code line"
+    pub source: Option<SourceLoc>,
+}
+
+/// Inspector over an execution trace. Holds a current selection index into
+/// `trace.events`.
+pub struct Inspector<'a> {
+    trace: &'a ExecutionTrace,
+    selected: Option<usize>,
+}
+
+impl<'a> Inspector<'a> {
+    /// An inspector with no selection yet.
+    pub fn new(trace: &'a ExecutionTrace) -> Inspector<'a> {
+        Inspector { trace, selected: None }
+    }
+
+    /// Select the event nearest to `at` on `thread`'s lane — what clicking
+    /// in the execution flow graph does. Returns the details, or `None` if
+    /// the thread has no events.
+    pub fn select_near(&mut self, thread: ThreadId, at: Time) -> Option<EventDetails> {
+        let best = self
+            .trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.thread == thread)
+            .min_by_key(|(_, e)| {
+                let mid = Time((e.start.nanos() + e.end.nanos()) / 2);
+                mid.nanos().abs_diff(at.nanos())
+            })?
+            .0;
+        self.selected = Some(best);
+        Some(self.details(best))
+    }
+
+    /// Select an event by its index in `trace.events`.
+    pub fn select_index(&mut self, index: usize) -> Option<EventDetails> {
+        if index >= self.trace.events.len() {
+            return None;
+        }
+        self.selected = Some(index);
+        Some(self.details(index))
+    }
+
+    /// Currently selected event.
+    pub fn selection(&self) -> Option<EventDetails> {
+        self.selected.map(|i| self.details(i))
+    }
+
+    /// "step to the previous or next event made by this thread".
+    pub fn next_event(&mut self) -> Option<EventDetails> {
+        self.step(true, |_, _| true)
+    }
+
+    /// Step to the previous event of the selected thread.
+    pub fn prev_event(&mut self) -> Option<EventDetails> {
+        self.step(false, |_, _| true)
+    }
+
+    /// "find the next [...] similar event [...] the same event type or
+    /// variable" — same routine on the same object, across *all* threads
+    /// (following a specific semaphore through the program).
+    pub fn next_similar(&mut self) -> Option<EventDetails> {
+        let cur = self.trace.events[self.selected?];
+        self.step_any(true, move |e| similar(&cur, e))
+    }
+
+    /// Like [`Inspector::next_similar`], backwards.
+    pub fn prev_similar(&mut self) -> Option<EventDetails> {
+        let cur = self.trace.events[self.selected?];
+        self.step_any(false, move |e| similar(&cur, e))
+    }
+
+    fn step(
+        &mut self,
+        forward: bool,
+        extra: impl Fn(&PlacedEvent, &PlacedEvent) -> bool,
+    ) -> Option<EventDetails> {
+        let cur_idx = self.selected?;
+        let cur = self.trace.events[cur_idx];
+        let found = if forward {
+            self.trace.events[cur_idx + 1..]
+                .iter()
+                .position(|e| e.thread == cur.thread && extra(&cur, e))
+                .map(|off| cur_idx + 1 + off)
+        } else {
+            self.trace.events[..cur_idx]
+                .iter()
+                .rposition(|e| e.thread == cur.thread && extra(&cur, e))
+        }?;
+        self.selected = Some(found);
+        Some(self.details(found))
+    }
+
+    fn step_any(
+        &mut self,
+        forward: bool,
+        pred: impl Fn(&PlacedEvent) -> bool,
+    ) -> Option<EventDetails> {
+        let cur_idx = self.selected?;
+        let found = if forward {
+            self.trace.events[cur_idx + 1..]
+                .iter()
+                .position(&pred)
+                .map(|off| cur_idx + 1 + off)
+        } else {
+            self.trace.events[..cur_idx].iter().rposition(&pred)
+        }?;
+        self.selected = Some(found);
+        Some(self.details(found))
+    }
+
+    /// All events on a given synchronization object, in time order — the
+    /// "stepping facility [...] to follow all operations on, e.g., a
+    /// specific semaphore" (§7).
+    pub fn operations_on(&self, obj: SyncObjId) -> Vec<EventDetails> {
+        self.trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind.object() == Some(obj))
+            .map(|(i, _)| self.details(i))
+            .collect()
+    }
+
+    fn details(&self, index: usize) -> EventDetails {
+        let e = &self.trace.events[index];
+        let info = self.trace.threads.get(&e.thread);
+        EventDetails {
+            thread: e.thread,
+            start_fn: info.map(|i| i.start_fn.clone()).unwrap_or_default(),
+            thread_started: info.map(|i| i.started).unwrap_or(Time::ZERO),
+            thread_ended: info.map(|i| i.ended).unwrap_or(Time::ZERO),
+            thread_cpu_time: info.map(|i| i.cpu_time).unwrap_or(Duration::ZERO),
+            thread_total_time: info.map(|i| i.total_time()).unwrap_or(Duration::ZERO),
+            routine: e.kind.name(),
+            object: e.kind.object(),
+            cpu: e.cpu,
+            started: e.start,
+            ended: e.end,
+            duration: e.duration(),
+            source: self.trace.source_map.resolve(e.caller).cloned(),
+        }
+    }
+}
+
+fn similar(a: &PlacedEvent, b: &PlacedEvent) -> bool {
+    match (a.kind.object(), b.kind.object()) {
+        // Same variable: any operation on the same object counts.
+        (Some(x), Some(y)) => x == y,
+        // No object: same routine.
+        (None, None) => a.kind.name() == b.kind.name(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vppb_model::{CodeAddr, CpuId, EventKind, SourceMap, ThreadInfo};
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn ev(us: u64, thread: u32, kind: EventKind) -> PlacedEvent {
+        PlacedEvent {
+            start: t(us),
+            end: t(us + 2),
+            thread: ThreadId(thread),
+            kind,
+            cpu: CpuId(0),
+            caller: CodeAddr(0x1000),
+        }
+    }
+
+    fn trace() -> ExecutionTrace {
+        let m0 = SyncObjId::mutex(0);
+        let m1 = SyncObjId::mutex(1);
+        let mut threads = BTreeMap::new();
+        threads.insert(
+            ThreadId(1),
+            ThreadInfo {
+                start_fn: "main".into(),
+                started: t(0),
+                ended: t(100),
+                cpu_time: Duration::from_micros(90),
+            },
+        );
+        threads.insert(
+            ThreadId(4),
+            ThreadInfo {
+                start_fn: "worker".into(),
+                started: t(5),
+                ended: t(80),
+                cpu_time: Duration::from_micros(60),
+            },
+        );
+        let mut source_map = SourceMap::new();
+        let addr = source_map.intern(SourceLoc::new("pc.c", 42, "worker"));
+        let mut events = vec![
+            ev(10, 1, EventKind::MutexLock { obj: m0 }),
+            ev(20, 4, EventKind::MutexLock { obj: m1 }),
+            ev(30, 1, EventKind::MutexUnlock { obj: m0 }),
+            ev(40, 4, EventKind::MutexLock { obj: m0 }),
+            ev(50, 4, EventKind::MutexUnlock { obj: m0 }),
+        ];
+        events[1].caller = addr;
+        ExecutionTrace {
+            program: "x".into(),
+            cpus: 1,
+            wall_time: t(100),
+            transitions: vec![],
+            events,
+            threads,
+            source_map,
+        }
+    }
+
+    #[test]
+    fn select_near_picks_closest_event_of_thread() {
+        let tr = trace();
+        let mut ins = Inspector::new(&tr);
+        let d = ins.select_near(ThreadId(4), t(22)).unwrap();
+        assert_eq!(d.routine, "mutex_lock");
+        assert_eq!(d.object, Some(SyncObjId::mutex(1)));
+        assert_eq!(d.thread, ThreadId(4));
+        assert_eq!(d.start_fn, "worker");
+    }
+
+    #[test]
+    fn popup_fields_match_paper_list() {
+        let tr = trace();
+        let mut ins = Inspector::new(&tr);
+        let d = ins.select_near(ThreadId(4), t(22)).unwrap();
+        assert_eq!(d.thread_started, t(5));
+        assert_eq!(d.thread_ended, t(80));
+        assert_eq!(d.thread_cpu_time, Duration::from_micros(60));
+        assert_eq!(d.thread_total_time, Duration::from_micros(75));
+        assert_eq!(d.duration, Duration::from_micros(2));
+        let src = d.source.unwrap();
+        assert_eq!((src.file.as_str(), src.line), ("pc.c", 42));
+    }
+
+    #[test]
+    fn stepping_stays_on_thread() {
+        let tr = trace();
+        let mut ins = Inspector::new(&tr);
+        ins.select_near(ThreadId(4), t(20)).unwrap();
+        let next = ins.next_event().unwrap();
+        assert_eq!(next.started, t(40));
+        assert_eq!(next.thread, ThreadId(4));
+        let back = ins.prev_event().unwrap();
+        assert_eq!(back.started, t(20));
+        assert!(ins.prev_event().is_none(), "no earlier T4 event");
+    }
+
+    #[test]
+    fn similar_follows_the_same_mutex_across_threads() {
+        let tr = trace();
+        let mut ins = Inspector::new(&tr);
+        ins.select_near(ThreadId(1), t(10)).unwrap(); // lock of m0 by T1
+        let nxt = ins.next_similar().unwrap();
+        assert_eq!(nxt.started, t(30), "unlock of m0 by T1");
+        let nxt = ins.next_similar().unwrap();
+        assert_eq!((nxt.started, nxt.thread), (t(40), ThreadId(4)), "lock of m0 by T4");
+        let prv = ins.prev_similar().unwrap();
+        assert_eq!(prv.started, t(30));
+    }
+
+    #[test]
+    fn operations_on_object_lists_all() {
+        let tr = trace();
+        let ins = Inspector::new(&tr);
+        let ops = ins.operations_on(SyncObjId::mutex(0));
+        assert_eq!(ops.len(), 4);
+        assert!(ops.windows(2).all(|w| w[0].started <= w[1].started));
+    }
+
+    #[test]
+    fn select_on_empty_thread_returns_none() {
+        let tr = trace();
+        let mut ins = Inspector::new(&tr);
+        assert!(ins.select_near(ThreadId(99), t(10)).is_none());
+        assert!(ins.selection().is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # vppb-viz — the Visualizer (§3.3 of the paper)
+//!
+//! Renders a (simulated or real) [`vppb_model::ExecutionTrace`] as the
+//! paper's two graphs:
+//!
+//! * the **parallelism graph** — running threads in green with
+//!   runnable-but-not-running threads stacked in red on top;
+//! * the **execution flow graph** — one lane per thread (solid line =
+//!   executing, grey = runnable, blank = blocked) with per-primitive event
+//!   symbols.
+//!
+//! Output targets are SVG ([`svg`]) and ANSI terminals ([`ansi`]).
+//! Interaction is exposed as a library: [`view::View`] implements zooming
+//! (steps of 1.5× / 3×, left edge fixed), interval selection and thread
+//! compression; [`inspect::Inspector`] implements the event popup window,
+//! per-thread stepping, similar-event search and source-line mapping.
+
+pub mod ansi;
+pub mod compare;
+pub mod glyph;
+pub mod inspect;
+pub mod report;
+pub mod stats;
+pub mod svg;
+pub mod timeline;
+pub mod view;
+
+pub use ansi::AnsiOptions;
+pub use compare::{compare, Comparison, ThreadDelta};
+pub use glyph::{glyph, Family, Shape};
+pub use inspect::{EventDetails, Inspector};
+pub use report::render_html;
+pub use stats::{compute as compute_stats, ExecutionStats, ObjectStats, ThreadStats};
+pub use svg::SvgOptions;
+pub use timeline::{Lane, LaneSegment, LaneState, ParallelismStep, Timeline};
+pub use view::{ThreadFilter, View, ZoomStep};

@@ -1,0 +1,155 @@
+//! Self-contained HTML reports: both graphs, the contention tables and the
+//! per-thread breakdown in one shareable file — the closest a library gets
+//! to the original tool's interactive window.
+
+use crate::stats::{compute as compute_stats, ExecutionStats};
+use crate::svg;
+use std::fmt::Write as _;
+use vppb_model::ExecutionTrace;
+
+/// Render a full HTML report for one (simulated or real) execution.
+pub fn render_html(trace: &ExecutionTrace) -> String {
+    let stats = compute_stats(trace);
+    let mut s = String::new();
+    let _ = writeln!(s, "<!DOCTYPE html>");
+    let _ = writeln!(s, "<html lang=\"en\"><head><meta charset=\"utf-8\">");
+    let _ = writeln!(s, "<title>VPPB — {}</title>", esc(&trace.program));
+    let _ = writeln!(
+        s,
+        "<style>
+body {{ font-family: sans-serif; margin: 2em; max-width: 1100px; }}
+table {{ border-collapse: collapse; margin: 1em 0; }}
+th, td {{ border: 1px solid #ccc; padding: 4px 10px; text-align: right; }}
+th {{ background: #f0f0f0; }}
+td:first-child, th:first-child {{ text-align: left; }}
+.summary span {{ margin-right: 2em; }}
+</style></head><body>"
+    );
+    let _ = writeln!(s, "<h1>VPPB execution report: {}</h1>", esc(&trace.program));
+    let _ = writeln!(
+        s,
+        "<p class=\"summary\"><span><b>{}</b> CPUs</span><span>wall time <b>{}</b></span>\
+         <span><b>{}</b> threads</span><span><b>{}</b> events</span></p>",
+        trace.cpus,
+        trace.wall_time,
+        trace.threads.len(),
+        trace.events.len()
+    );
+    let _ = writeln!(s, "<h2>Parallelism and execution flow</h2>");
+    s.push_str(&svg::render_trace(trace));
+    let _ = writeln!(s, "<h2>Contention by object</h2>");
+    object_table(&mut s, &stats);
+    let _ = writeln!(s, "<h2>Per-thread time breakdown</h2>");
+    thread_table(&mut s, &stats);
+    let _ = writeln!(s, "</body></html>");
+    s
+}
+
+fn object_table(s: &mut String, stats: &ExecutionStats) {
+    let _ = writeln!(
+        s,
+        "<table><tr><th>object</th><th>ops</th><th>waits</th><th>blocked</th>\
+         <th>max queue</th><th>threads</th></tr>"
+    );
+    for o in stats.objects.iter().take(20) {
+        let _ = writeln!(
+            s,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            o.object, o.operations, o.blocking_waits, o.total_blocked, o.max_queue,
+            o.threads_blocked
+        );
+    }
+    let _ = writeln!(s, "</table>");
+}
+
+fn thread_table(s: &mut String, stats: &ExecutionStats) {
+    let _ = writeln!(
+        s,
+        "<table><tr><th>thread</th><th>function</th><th>running</th><th>runnable</th>\
+         <th>blocked</th><th>events</th></tr>"
+    );
+    for t in stats.threads.iter().take(40) {
+        let _ = writeln!(
+            s,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            t.thread,
+            esc(&t.start_fn),
+            t.running,
+            t.runnable,
+            t.blocked,
+            t.events
+        );
+    }
+    if stats.threads.len() > 40 {
+        let _ = writeln!(
+            s,
+            "<tr><td colspan=\"6\">… and {} more threads</td></tr>",
+            stats.threads.len() - 40
+        );
+    }
+    let _ = writeln!(s, "</table>");
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vppb_model::{
+        CpuId, Duration, LwpId, SourceMap, ThreadId, ThreadInfo, ThreadState, Time, Transition,
+    };
+
+    fn trace() -> ExecutionTrace {
+        let mut threads = BTreeMap::new();
+        threads.insert(
+            ThreadId(1),
+            ThreadInfo {
+                start_fn: "main".into(),
+                started: Time::ZERO,
+                ended: Time::from_micros(50),
+                cpu_time: Duration::from_micros(50),
+            },
+        );
+        ExecutionTrace {
+            program: "report<test>".into(),
+            cpus: 2,
+            wall_time: Time::from_micros(50),
+            transitions: vec![
+                Transition {
+                    time: Time::ZERO,
+                    thread: ThreadId(1),
+                    state: ThreadState::Running { cpu: CpuId(0), lwp: LwpId(0) },
+                },
+                Transition {
+                    time: Time::from_micros(50),
+                    thread: ThreadId(1),
+                    state: ThreadState::Exited,
+                },
+            ],
+            events: vec![],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+
+    #[test]
+    fn html_is_wellformed_and_escaped() {
+        let html = render_html(&trace());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.trim_end().ends_with("</html>"));
+        assert!(html.contains("report&lt;test&gt;"));
+        assert!(!html.contains("report<test>"));
+        assert!(html.contains("<svg"), "embeds the graphs");
+        assert!(html.contains("Contention by object"));
+    }
+
+    #[test]
+    fn report_lists_threads() {
+        let html = render_html(&trace());
+        assert!(html.contains("<td>T1</td>"));
+        assert!(html.contains("main"));
+    }
+}

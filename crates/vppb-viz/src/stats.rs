@@ -1,0 +1,321 @@
+//! Aggregate statistics over an execution.
+//!
+//! §6 of the paper criticizes purely statistical displays — averages hide
+//! *when* and *where* a problem happened — so these tables complement the
+//! graphs rather than replace them: the per-object contention report ranks
+//! suspects (the §5 case study's "same mutex causing the blocking for all
+//! threads" in one line), and the inspector then takes the user from the
+//! suspect to concrete events and source lines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use vppb_model::{
+    BlockReason, Duration, ExecutionTrace, SyncObjId, ThreadId, ThreadState, Time,
+};
+
+/// Contention summary for one synchronization object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectStats {
+    /// Which object.
+    pub object: SyncObjId,
+    /// Thread-library operations touching the object.
+    pub operations: usize,
+    /// Number of blocking waits on it.
+    pub blocking_waits: usize,
+    /// Total thread-time spent blocked on it.
+    pub total_blocked: Duration,
+    /// Maximum number of threads blocked on it at once.
+    pub max_queue: u32,
+    /// Distinct threads that ever blocked on it.
+    pub threads_blocked: u32,
+}
+
+/// Per-thread time breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Which thread.
+    pub thread: ThreadId,
+    /// Its start-routine name.
+    pub start_fn: String,
+    /// Time on a CPU.
+    pub running: Duration,
+    /// Time runnable but waiting for an LWP/CPU.
+    pub runnable: Duration,
+    /// Time blocked on synchronization (incl. joins/timers).
+    pub blocked: Duration,
+    /// Number of thread-library events.
+    pub events: usize,
+}
+
+/// The full report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// Wall time of the execution.
+    pub wall: Time,
+    /// CPU count of the machine.
+    pub cpus: u32,
+    /// Objects sorted by total blocked time, worst first.
+    pub objects: Vec<ObjectStats>,
+    /// Threads in id order.
+    pub threads: Vec<ThreadStats>,
+}
+
+impl ExecutionStats {
+    /// The most-contended object, if any blocking happened at all.
+    pub fn hottest_object(&self) -> Option<&ObjectStats> {
+        self.objects.first().filter(|o| o.blocking_waits > 0)
+    }
+}
+
+/// Compute the report from a (real or simulated) execution trace.
+pub fn compute(trace: &ExecutionTrace) -> ExecutionStats {
+    #[derive(Default)]
+    struct ObjAcc {
+        operations: usize,
+        blocking_waits: usize,
+        total_blocked: Duration,
+        queue: i64,
+        max_queue: i64,
+        threads: std::collections::BTreeSet<ThreadId>,
+    }
+    let mut objects: BTreeMap<SyncObjId, ObjAcc> = BTreeMap::new();
+
+    for ev in &trace.events {
+        if let Some(obj) = ev.kind.object() {
+            objects.entry(obj).or_default().operations += 1;
+        }
+    }
+
+    #[derive(Default)]
+    struct ThreadAcc {
+        running: Duration,
+        runnable: Duration,
+        blocked: Duration,
+        events: usize,
+        last: Option<(Time, ThreadState)>,
+    }
+    let mut threads: BTreeMap<ThreadId, ThreadAcc> = BTreeMap::new();
+    for ev in &trace.events {
+        threads.entry(ev.thread).or_default().events += 1;
+    }
+
+    let settle = |acc: &mut ThreadAcc,
+                      objects: &mut BTreeMap<SyncObjId, ObjAcc>,
+                      until: Time| {
+        if let Some((since, state)) = acc.last {
+            let span = until - since;
+            match state {
+                ThreadState::Running { .. } => acc.running += span,
+                ThreadState::Runnable => acc.runnable += span,
+                ThreadState::Blocked(reason) => {
+                    acc.blocked += span;
+                    if let BlockReason::Sync(obj) = reason {
+                        let o = objects.entry(obj).or_default();
+                        o.total_blocked += span;
+                    }
+                }
+                ThreadState::Exited => {}
+            }
+        }
+    };
+
+    for tr in &trace.transitions {
+        let acc = threads.entry(tr.thread).or_default();
+        // Close the previous span.
+        let prev = acc.last;
+        settle(acc, &mut objects, tr.time);
+        // Maintain object queue depths on blocked-state edges.
+        if let Some((_, ThreadState::Blocked(BlockReason::Sync(obj)))) = prev {
+            let o = objects.entry(obj).or_default();
+            o.queue -= 1;
+        }
+        if let ThreadState::Blocked(BlockReason::Sync(obj)) = tr.state {
+            let o = objects.entry(obj).or_default();
+            o.blocking_waits += 1;
+            o.threads.insert(tr.thread);
+            o.queue += 1;
+            o.max_queue = o.max_queue.max(o.queue);
+        }
+        threads.get_mut(&tr.thread).expect("entry exists").last = Some((tr.time, tr.state));
+    }
+    // Close trailing spans at the wall clock.
+    for acc in threads.values_mut() {
+        settle(acc, &mut objects, trace.wall_time);
+        acc.last = None;
+    }
+
+    let mut objs: Vec<ObjectStats> = objects
+        .into_iter()
+        .map(|(object, a)| ObjectStats {
+            object,
+            operations: a.operations,
+            blocking_waits: a.blocking_waits,
+            total_blocked: a.total_blocked,
+            max_queue: a.max_queue.max(0) as u32,
+            threads_blocked: a.threads.len() as u32,
+        })
+        .collect();
+    objs.sort_by(|a, b| b.total_blocked.cmp(&a.total_blocked).then(a.object.cmp(&b.object)));
+
+    let threads = threads
+        .into_iter()
+        .map(|(thread, a)| ThreadStats {
+            thread,
+            start_fn: trace
+                .threads
+                .get(&thread)
+                .map(|i| i.start_fn.clone())
+                .unwrap_or_default(),
+            running: a.running,
+            runnable: a.runnable,
+            blocked: a.blocked,
+            events: a.events,
+        })
+        .collect();
+
+    ExecutionStats { wall: trace.wall_time, cpus: trace.cpus, objects: objs, threads }
+}
+
+/// Render the report as text tables.
+pub fn render(stats: &ExecutionStats) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Execution statistics ({} CPUs, wall {}):", stats.cpus, stats.wall);
+    let _ = writeln!(s, "\nContention by object (worst first):");
+    let _ = writeln!(
+        s,
+        "{:<8} {:>8} {:>8} {:>12} {:>9} {:>8}",
+        "object", "ops", "waits", "blocked", "max queue", "threads"
+    );
+    for o in stats.objects.iter().take(10) {
+        let _ = writeln!(
+            s,
+            "{:<8} {:>8} {:>8} {:>12} {:>9} {:>8}",
+            o.object.to_string(),
+            o.operations,
+            o.blocking_waits,
+            o.total_blocked.to_string(),
+            o.max_queue,
+            o.threads_blocked
+        );
+    }
+    let _ = writeln!(s, "\nPer-thread time breakdown (first 12):");
+    let _ = writeln!(
+        s,
+        "{:<6} {:<12} {:>12} {:>12} {:>12} {:>7}",
+        "thread", "function", "running", "runnable", "blocked", "events"
+    );
+    for t in stats.threads.iter().take(12) {
+        let _ = writeln!(
+            s,
+            "{:<6} {:<12} {:>12} {:>12} {:>12} {:>7}",
+            t.thread.to_string(),
+            t.start_fn,
+            t.running.to_string(),
+            t.runnable.to_string(),
+            t.blocked.to_string(),
+            t.events
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use vppb_model::{
+        CodeAddr, CpuId, EventKind, LwpId, PlacedEvent, SourceMap, ThreadInfo, Transition,
+    };
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn trace_with_contention() -> ExecutionTrace {
+        let m = SyncObjId::mutex(0);
+        let running = |c: u32| ThreadState::Running { cpu: CpuId(c), lwp: LwpId(c) };
+        let mut threads = Map::new();
+        for id in [1u32, 4] {
+            threads.insert(
+                ThreadId(id),
+                ThreadInfo {
+                    start_fn: "w".into(),
+                    started: t(0),
+                    ended: t(100),
+                    cpu_time: Duration::from_micros(50),
+                },
+            );
+        }
+        ExecutionTrace {
+            program: "stats".into(),
+            cpus: 2,
+            wall_time: t(100),
+            transitions: vec![
+                Transition { time: t(0), thread: ThreadId(1), state: running(0) },
+                Transition { time: t(0), thread: ThreadId(4), state: running(1) },
+                // T4 blocks on the mutex from 10 to 60.
+                Transition {
+                    time: t(10),
+                    thread: ThreadId(4),
+                    state: ThreadState::Blocked(BlockReason::Sync(m)),
+                },
+                Transition { time: t(60), thread: ThreadId(4), state: running(1) },
+                // T1 runnable from 70 to 80.
+                Transition { time: t(70), thread: ThreadId(1), state: ThreadState::Runnable },
+                Transition { time: t(80), thread: ThreadId(1), state: running(0) },
+                Transition { time: t(90), thread: ThreadId(4), state: ThreadState::Exited },
+                Transition { time: t(100), thread: ThreadId(1), state: ThreadState::Exited },
+            ],
+            events: vec![PlacedEvent {
+                start: t(10),
+                end: t(60),
+                thread: ThreadId(4),
+                kind: EventKind::MutexLock { obj: m },
+                cpu: CpuId(1),
+                caller: CodeAddr::NULL,
+            }],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+
+    #[test]
+    fn object_contention_is_measured() {
+        let stats = compute(&trace_with_contention());
+        let hot = stats.hottest_object().expect("mutex contended");
+        assert_eq!(hot.object, SyncObjId::mutex(0));
+        assert_eq!(hot.blocking_waits, 1);
+        assert_eq!(hot.total_blocked, Duration::from_micros(50));
+        assert_eq!(hot.max_queue, 1);
+        assert_eq!(hot.threads_blocked, 1);
+        assert_eq!(hot.operations, 1);
+    }
+
+    #[test]
+    fn thread_breakdown_partitions_lifetime() {
+        let stats = compute(&trace_with_contention());
+        let t4 = stats.threads.iter().find(|t| t.thread == ThreadId(4)).unwrap();
+        // T4: running 0-10 and 60-90 (40us), blocked 10-60 (50us).
+        assert_eq!(t4.running, Duration::from_micros(40));
+        assert_eq!(t4.blocked, Duration::from_micros(50));
+        assert_eq!(t4.runnable, Duration::ZERO);
+        let t1 = stats.threads.iter().find(|t| t.thread == ThreadId(1)).unwrap();
+        assert_eq!(t1.runnable, Duration::from_micros(10));
+        assert_eq!(t1.running, Duration::from_micros(90));
+    }
+
+    #[test]
+    fn render_contains_tables() {
+        let s = render(&compute(&trace_with_contention()));
+        assert!(s.contains("Contention by object"));
+        assert!(s.contains("mtx0"));
+        assert!(s.contains("Per-thread time breakdown"));
+    }
+
+    #[test]
+    fn empty_trace_has_no_hot_object() {
+        let stats = compute(&ExecutionTrace::default());
+        assert!(stats.hottest_object().is_none());
+        assert!(stats.threads.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! SVG renderer: the parallelism graph stacked above the execution flow
+//! graph, as in fig. 5 of the paper.
+//!
+//! Colour conventions follow §3.3: running threads are green, runnable-
+//! but-not-running threads red in the parallelism graph; in the flow graph
+//! a solid dark line is an executing thread, a grey line a runnable one,
+//! no line a blocked one; events use the per-family glyphs of
+//! [`mod@crate::glyph`].
+
+use crate::glyph::{glyph, Shape};
+use crate::timeline::{LaneState, Timeline};
+use crate::view::View;
+use std::fmt::Write as _;
+use vppb_model::{ExecutionTrace, Time};
+
+const GREEN: &str = "#2ca02c";
+const RED: &str = "#d62728";
+const RUN_LINE: &str = "#1a1a1a";
+const READY_LINE: &str = "#b0b0b0";
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Total image width in pixels.
+    pub width: u32,
+    /// Height of the parallelism graph.
+    pub profile_height: u32,
+    /// Height of one thread lane in the flow graph.
+    pub lane_height: u32,
+    /// Left margin for lane labels.
+    pub label_width: u32,
+}
+
+impl Default for SvgOptions {
+    fn default() -> SvgOptions {
+        SvgOptions { width: 1000, profile_height: 120, lane_height: 18, label_width: 90 }
+    }
+}
+
+/// Render both graphs for the whole run.
+pub fn render_trace(trace: &ExecutionTrace) -> String {
+    let tl = Timeline::from_trace(trace);
+    let view = View::full(&tl);
+    render(&tl, trace, &view, &SvgOptions::default())
+}
+
+/// Render both graphs for a view.
+pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &SvgOptions) -> String {
+    let threads = view.visible_threads(tl);
+    let plot_w = opts.width - opts.label_width - 10;
+    let flow_h = threads.len() as u32 * opts.lane_height + 20;
+    let total_h = opts.profile_height + 40 + flow_h + 30;
+    let span = view.span().nanos().max(1) as f64;
+    let x = |t: Time| -> f64 {
+        opts.label_width as f64
+            + (t.nanos().saturating_sub(view.from.nanos())) as f64 / span * plot_w as f64
+    };
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="10">"#,
+        w = opts.width,
+        h = total_h
+    );
+    let _ = writeln!(s, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="14" font-size="13" font-weight="bold">{} — {} CPUs, {}</text>"#,
+        opts.label_width,
+        esc(&tl.program),
+        tl.cpus,
+        tl.wall - Time::ZERO
+    );
+
+    // ---- parallelism graph -----------------------------------------------
+    let p_top = 25f64;
+    let p_bot = p_top + opts.profile_height as f64;
+    let max_par = tl.peak_parallelism().max(1) as f64;
+    let y_of = |count: f64| p_bot - count / max_par * opts.profile_height as f64;
+    // Build step paths for running (green) and running+runnable (red on
+    // top of the green area).
+    let mut steps: Vec<(Time, u32, u32)> = Vec::new();
+    for p in &tl.profile {
+        steps.push((p.time, p.running, p.runnable));
+    }
+    steps.push((tl.wall, 0, 0));
+    let area = |s_out: &mut String, value: &dyn Fn(u32, u32) -> f64, color: &str| {
+        let mut d = format!("M {:.1} {:.1}", x(view.from), p_bot);
+        let mut last = 0f64;
+        for &(t, run, ready) in &steps {
+            if t < view.from || t > view.to {
+                continue;
+            }
+            let v = value(run, ready);
+            let _ = write!(d, " L {:.1} {:.1}", x(t), y_of(last));
+            let _ = write!(d, " L {:.1} {:.1}", x(t), y_of(v));
+            last = v;
+        }
+        let _ = write!(d, " L {:.1} {:.1} Z", x(view.to), p_bot);
+        let _ = writeln!(s_out, r#"<path d="{d}" fill="{color}" stroke="none"/>"#);
+    };
+    // Red = total parallelism (drawn first, shows above the green).
+    area(&mut s, &|run, ready| (run + ready) as f64, RED);
+    // Green = running.
+    area(&mut s, &|run, _| run as f64, GREEN);
+    let _ = writeln!(
+        s,
+        r#"<line x1="{l}" y1="{b:.1}" x2="{r}" y2="{b:.1}" stroke="black"/>"#,
+        l = opts.label_width,
+        r = opts.width - 10,
+        b = p_bot
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="5" y="{:.1}">threads</text><text x="5" y="{:.1}">{}</text>"#,
+        p_top + 10.0,
+        p_top + 22.0,
+        tl.peak_parallelism()
+    );
+
+    // ---- execution flow graph ---------------------------------------------
+    let f_top = p_bot + 30.0;
+    for (row, &tid) in threads.iter().enumerate() {
+        let Some(lane) = tl.lane(tid) else { continue };
+        let y = f_top + row as f64 * opts.lane_height as f64 + opts.lane_height as f64 / 2.0;
+        let _ = writeln!(
+            s,
+            r#"<text x="5" y="{:.1}">{} {}</text>"#,
+            y + 3.0,
+            tid,
+            esc(&lane.name)
+        );
+        for seg in &lane.segments {
+            if seg.end < view.from || seg.start > view.to {
+                continue;
+            }
+            let (color, width) = match seg.state {
+                LaneState::Running => (RUN_LINE, 3.0),
+                LaneState::Runnable => (READY_LINE, 2.0),
+                LaneState::Blocked | LaneState::Absent => continue,
+            };
+            let x1 = x(Time::min_of(Time(seg.start.nanos().max(view.from.nanos())), view.to));
+            let x2 = x(Time::min_of(seg.end, view.to));
+            let _ = writeln!(
+                s,
+                r#"<line x1="{x1:.1}" y1="{y:.1}" x2="{x2:.1}" y2="{y:.1}" stroke="{color}" stroke-width="{width}"/>"#
+            );
+        }
+        for &ei in &lane.events {
+            let ev = &trace.events[ei];
+            if ev.start < view.from || ev.start > view.to {
+                continue;
+            }
+            let (shape, family) = glyph(&ev.kind);
+            let cx = x(ev.start);
+            let cy = y;
+            let c = family.color();
+            let title = format!(
+                "{} {} at {}{}",
+                ev.thread,
+                ev.kind.name(),
+                ev.start,
+                ev.kind
+                    .object()
+                    .map(|o| format!(" on {o}"))
+                    .unwrap_or_default()
+            );
+            let _ = write!(s, r#"<g>{}"#, format_args!("<title>{}</title>", esc(&title)));
+            match shape {
+                Shape::ArrowUp => {
+                    let _ = write!(
+                        s,
+                        r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{c}"/>"#,
+                        cx, cy - 5.0, cx - 4.0, cy + 3.0, cx + 4.0, cy + 3.0
+                    );
+                }
+                Shape::ArrowDown => {
+                    let _ = write!(
+                        s,
+                        r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{c}"/>"#,
+                        cx, cy + 5.0, cx - 4.0, cy - 3.0, cx + 4.0, cy - 3.0
+                    );
+                }
+                Shape::Diamond => {
+                    let _ = write!(
+                        s,
+                        r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{c}"/>"#,
+                        cx, cy - 5.0, cx + 4.0, cy, cx, cy + 5.0, cx - 4.0, cy
+                    );
+                }
+                Shape::Circle => {
+                    let _ = write!(s, r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="3.5" fill="{c}"/>"#);
+                }
+                Shape::Square => {
+                    let _ = write!(
+                        s,
+                        r#"<rect x="{:.1}" y="{:.1}" width="7" height="7" fill="{c}"/>"#,
+                        cx - 3.5,
+                        cy - 3.5
+                    );
+                }
+            }
+            let _ = writeln!(s, "</g>");
+        }
+    }
+
+    // ---- time axis -----------------------------------------------------------
+    let axis_y = f_top + flow_h as f64;
+    let _ = writeln!(
+        s,
+        r#"<line x1="{l}" y1="{axis_y:.1}" x2="{r}" y2="{axis_y:.1}" stroke="black"/>"#,
+        l = opts.label_width,
+        r = opts.width - 10,
+    );
+    for i in 0..=10 {
+        let t = Time(view.from.nanos() + (span as u64 / 10) * i);
+        let tx = x(t);
+        let _ = writeln!(
+            s,
+            r#"<line x1="{tx:.1}" y1="{axis_y:.1}" x2="{tx:.1}" y2="{:.1}" stroke="black"/><text x="{tx:.1}" y="{:.1}" text-anchor="middle">{t}</text>"#,
+            axis_y + 4.0,
+            axis_y + 15.0,
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vppb_model::{
+        CodeAddr, CpuId, Duration, EventKind, LwpId, PlacedEvent, SourceMap, SyncObjId,
+        ThreadId, ThreadInfo, ThreadState, Transition,
+    };
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn sample() -> ExecutionTrace {
+        let mut threads = BTreeMap::new();
+        for (id, name) in [(1u32, "main"), (4, "worker")] {
+            threads.insert(
+                ThreadId(id),
+                ThreadInfo {
+                    start_fn: name.into(),
+                    started: t(0),
+                    ended: t(100),
+                    cpu_time: Duration::from_micros(50),
+                },
+            );
+        }
+        ExecutionTrace {
+            program: "svg-test".into(),
+            cpus: 2,
+            wall_time: t(100),
+            transitions: vec![
+                Transition {
+                    time: t(0),
+                    thread: ThreadId(1),
+                    state: ThreadState::Running { cpu: CpuId(0), lwp: LwpId(0) },
+                },
+                Transition { time: t(10), thread: ThreadId(4), state: ThreadState::Runnable },
+                Transition {
+                    time: t(20),
+                    thread: ThreadId(4),
+                    state: ThreadState::Running { cpu: CpuId(1), lwp: LwpId(1) },
+                },
+                Transition { time: t(90), thread: ThreadId(4), state: ThreadState::Exited },
+                Transition { time: t(100), thread: ThreadId(1), state: ThreadState::Exited },
+            ],
+            events: vec![PlacedEvent {
+                start: t(30),
+                end: t(32),
+                thread: ThreadId(4),
+                kind: EventKind::SemPost { obj: SyncObjId::semaphore(0) },
+                cpu: CpuId(1),
+                caller: CodeAddr::NULL,
+            }],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let svg = render_trace(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn contains_both_graphs_and_colors() {
+        let svg = render_trace(&sample());
+        assert!(svg.contains(GREEN), "running area");
+        assert!(svg.contains(RED), "runnable area");
+        assert!(svg.contains("worker"), "lane label");
+        // The semaphore post renders as a red up arrow (polygon).
+        assert!(svg.contains("polygon"));
+    }
+
+    #[test]
+    fn zoomed_view_hides_out_of_range_events() {
+        let trace = sample();
+        let tl = Timeline::from_trace(&trace);
+        let mut view = View::full(&tl);
+        view.select(t(50), t(100));
+        let svg = render(&tl, &trace, &view, &SvgOptions::default());
+        assert!(!svg.contains("sema_post"), "event at 30us is out of view");
+    }
+
+    #[test]
+    fn title_escapes_special_chars() {
+        let mut trace = sample();
+        trace.program = "a<b&c".into();
+        let svg = render_trace(&trace);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b&c"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The render model: per-thread lanes and the parallelism profile, built
+//! once from an [`ExecutionTrace`] and consumed by every renderer.
+
+use vppb_model::{ExecutionTrace, ThreadId, ThreadState, Time};
+
+/// Drawing state of a lane segment — the paper's legend for the execution
+/// flow graph: "a horizontal line indicates that the thread ... is
+/// executing, the lack of a line indicates that the thread can not
+/// execute, a grey line that the thread is ready to run but does not have
+/// any LWP or CPU to run on".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneState {
+    /// Solid line: executing on a CPU.
+    Running,
+    /// Grey line: runnable, waiting for an LWP/CPU.
+    Runnable,
+    /// No line: blocked.
+    Blocked,
+    /// Before creation / after exit: nothing drawn at all.
+    Absent,
+}
+
+impl LaneState {
+    fn of(s: ThreadState) -> LaneState {
+        match s {
+            ThreadState::Running { .. } => LaneState::Running,
+            ThreadState::Runnable => LaneState::Runnable,
+            ThreadState::Blocked(_) => LaneState::Blocked,
+            ThreadState::Exited => LaneState::Absent,
+        }
+    }
+}
+
+/// A maximal interval of constant lane state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSegment {
+    /// Segment start.
+    pub start: Time,
+    /// Segment end.
+    pub end: Time,
+    /// Drawing state throughout the segment.
+    pub state: LaneState,
+}
+
+/// One thread's lane.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// The thread this lane draws.
+    pub thread: ThreadId,
+    /// Start-routine name (lane label).
+    pub name: String,
+    /// Maximal constant-state intervals tiling the whole run.
+    pub segments: Vec<LaneSegment>,
+    /// Indices into `ExecutionTrace::events` for this thread's events, in
+    /// start order.
+    pub events: Vec<usize>,
+}
+
+impl Lane {
+    /// Whether this thread does anything (is running or runnable) inside
+    /// `[from, to]` — the compression predicate ("the compression only
+    /// shows the threads active during the time interval shown").
+    pub fn active_in(&self, from: Time, to: Time) -> bool {
+        self.segments.iter().any(|s| {
+            s.end >= from
+                && s.start <= to
+                && matches!(s.state, LaneState::Running | LaneState::Runnable)
+        })
+    }
+}
+
+/// One step of the parallelism profile: between `time` and the next step,
+/// `running` threads execute and `runnable` threads wait for a processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelismStep {
+    /// When this step begins.
+    pub time: Time,
+    /// Threads executing.
+    pub running: u32,
+    /// Threads ready but waiting for a processor.
+    pub runnable: u32,
+}
+
+/// The complete render model.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Program name.
+    pub program: String,
+    /// CPU count of the machine.
+    pub cpus: u32,
+    /// Total wall time.
+    pub wall: Time,
+    /// Lanes in thread-id order.
+    pub lanes: Vec<Lane>,
+    /// Step function of (running, runnable) over time.
+    pub profile: Vec<ParallelismStep>,
+}
+
+impl Timeline {
+    /// Build the render model from an execution trace.
+    pub fn from_trace(trace: &ExecutionTrace) -> Timeline {
+        let mut lanes: Vec<Lane> = trace
+            .threads
+            .iter()
+            .map(|(&id, info)| Lane {
+                thread: id,
+                name: info.start_fn.clone(),
+                segments: Vec::new(),
+                events: Vec::new(),
+            })
+            .collect();
+        lanes.sort_by_key(|l| l.thread);
+
+        // Build segments from transitions.
+        for lane in &mut lanes {
+            let mut cur_state = LaneState::Absent;
+            let mut cur_start = Time::ZERO;
+            for tr in trace.transitions.iter().filter(|t| t.thread == lane.thread) {
+                let st = LaneState::of(tr.state);
+                if st != cur_state {
+                    if tr.time > cur_start || cur_state != LaneState::Absent {
+                        lane.segments.push(LaneSegment {
+                            start: cur_start,
+                            end: tr.time,
+                            state: cur_state,
+                        });
+                    }
+                    cur_state = st;
+                    cur_start = tr.time;
+                }
+            }
+            lane.segments.push(LaneSegment {
+                start: cur_start,
+                end: trace.wall_time,
+                state: cur_state,
+            });
+            // Drop leading zero-width absent segment, if any.
+            if let Some(first) = lane.segments.first() {
+                if first.state == LaneState::Absent && first.start == first.end {
+                    lane.segments.remove(0);
+                }
+            }
+        }
+
+        // Attach events.
+        for (i, ev) in trace.events.iter().enumerate() {
+            if let Some(lane) = lanes.iter_mut().find(|l| l.thread == ev.thread) {
+                lane.events.push(i);
+            }
+        }
+
+        // Parallelism profile: sweep transitions.
+        let mut profile = Vec::new();
+        let mut running = 0i64;
+        let mut runnable = 0i64;
+        let mut states: std::collections::BTreeMap<ThreadId, ThreadState> = Default::default();
+        let mut i = 0;
+        let trs = &trace.transitions;
+        while i < trs.len() {
+            let t = trs[i].time;
+            while i < trs.len() && trs[i].time == t {
+                let tr = &trs[i];
+                if let Some(old) = states.get(&tr.thread) {
+                    if old.is_running() {
+                        running -= 1;
+                    }
+                    if old.is_runnable() {
+                        runnable -= 1;
+                    }
+                }
+                if tr.state.is_running() {
+                    running += 1;
+                }
+                if tr.state.is_runnable() {
+                    runnable += 1;
+                }
+                states.insert(tr.thread, tr.state);
+                i += 1;
+            }
+            let step =
+                ParallelismStep { time: t, running: running as u32, runnable: runnable as u32 };
+            if profile.last().map(|p: &ParallelismStep| (p.running, p.runnable))
+                == Some((step.running, step.runnable))
+            {
+                continue; // merge identical consecutive steps
+            }
+            profile.push(step);
+        }
+
+        Timeline {
+            program: trace.program.clone(),
+            cpus: trace.cpus,
+            wall: trace.wall_time,
+            lanes,
+            profile,
+        }
+    }
+
+    /// Peak number of simultaneously running threads.
+    pub fn peak_running(&self) -> u32 {
+        self.profile.iter().map(|p| p.running).max().unwrap_or(0)
+    }
+
+    /// Peak available parallelism (running + runnable).
+    pub fn peak_parallelism(&self) -> u32 {
+        self.profile.iter().map(|p| p.running + p.runnable).max().unwrap_or(0)
+    }
+
+    /// Time-weighted average number of running threads.
+    pub fn avg_running(&self) -> f64 {
+        if self.wall == Time::ZERO {
+            return 0.0;
+        }
+        let mut area = 0f64;
+        for w in self.profile.windows(2) {
+            area += w[0].running as f64 * (w[1].time - w[0].time).nanos() as f64;
+        }
+        if let Some(last) = self.profile.last() {
+            area += last.running as f64 * (self.wall - last.time).nanos() as f64;
+        }
+        area / self.wall.nanos() as f64
+    }
+
+    /// The lane of a given thread, if it exists.
+    pub fn lane(&self, t: ThreadId) -> Option<&Lane> {
+        self.lanes.iter().find(|l| l.thread == t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vppb_model::{
+        BlockReason, CpuId, LwpId, SourceMap, ThreadInfo, Transition,
+    };
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn sample_trace() -> ExecutionTrace {
+        let mut threads = BTreeMap::new();
+        threads.insert(
+            ThreadId(1),
+            ThreadInfo {
+                start_fn: "main".into(),
+                started: t(0),
+                ended: t(100),
+                cpu_time: vppb_model::Duration::from_micros(80),
+            },
+        );
+        threads.insert(
+            ThreadId(4),
+            ThreadInfo {
+                start_fn: "worker".into(),
+                started: t(10),
+                ended: t(60),
+                cpu_time: vppb_model::Duration::from_micros(40),
+            },
+        );
+        let running =
+            |c: u32| ThreadState::Running { cpu: CpuId(c), lwp: LwpId(c) };
+        ExecutionTrace {
+            program: "toy".into(),
+            cpus: 2,
+            wall_time: t(100),
+            transitions: vec![
+                Transition { time: t(0), thread: ThreadId(1), state: running(0) },
+                Transition { time: t(10), thread: ThreadId(4), state: ThreadState::Runnable },
+                Transition { time: t(20), thread: ThreadId(4), state: running(1) },
+                Transition {
+                    time: t(40),
+                    thread: ThreadId(4),
+                    state: ThreadState::Blocked(BlockReason::Timer),
+                },
+                Transition { time: t(50), thread: ThreadId(4), state: running(1) },
+                Transition { time: t(60), thread: ThreadId(4), state: ThreadState::Exited },
+                Transition { time: t(100), thread: ThreadId(1), state: ThreadState::Exited },
+            ],
+            events: vec![],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+
+    #[test]
+    fn lanes_cover_the_whole_run() {
+        let tl = Timeline::from_trace(&sample_trace());
+        assert_eq!(tl.lanes.len(), 2);
+        for lane in &tl.lanes {
+            assert_eq!(lane.segments.first().unwrap().start, Time::ZERO);
+            assert_eq!(lane.segments.last().unwrap().end, t(100));
+            for w in lane.segments.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "segments must tile");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_states_follow_transitions() {
+        let tl = Timeline::from_trace(&sample_trace());
+        let w = tl.lane(ThreadId(4)).unwrap();
+        // runnable 10-20, running 20-40, blocked 40-50, running 50-60, absent after
+        let states: Vec<LaneState> = w.segments.iter().map(|s| s.state).collect();
+        assert!(states.contains(&LaneState::Runnable));
+        assert!(states.contains(&LaneState::Running));
+        assert!(states.contains(&LaneState::Blocked));
+        assert_eq!(w.segments.last().unwrap().state, LaneState::Absent);
+    }
+
+    #[test]
+    fn profile_counts_running_and_runnable() {
+        let tl = Timeline::from_trace(&sample_trace());
+        // at 15us: main running, T4 runnable
+        let step = tl
+            .profile
+            .iter()
+            .rev()
+            .find(|p| p.time <= t(15))
+            .unwrap();
+        assert_eq!((step.running, step.runnable), (1, 1));
+        // at 30us: both running
+        let step = tl.profile.iter().rev().find(|p| p.time <= t(30)).unwrap();
+        assert_eq!((step.running, step.runnable), (2, 0));
+        assert_eq!(tl.peak_running(), 2);
+        assert_eq!(tl.peak_parallelism(), 2);
+    }
+
+    #[test]
+    fn avg_running_is_time_weighted() {
+        let tl = Timeline::from_trace(&sample_trace());
+        let avg = tl.avg_running();
+        // main runs 0-100 (1.0) plus T4 running 20-40 and 50-60 (0.3).
+        assert!((avg - 1.3).abs() < 0.01, "avg = {avg}");
+    }
+
+    #[test]
+    fn activity_predicate_for_compression() {
+        let tl = Timeline::from_trace(&sample_trace());
+        let w = tl.lane(ThreadId(4)).unwrap();
+        assert!(w.active_in(t(20), t(30)));
+        assert!(!w.active_in(t(70), t(90)), "T4 exited at 60");
+        assert!(!w.active_in(t(41), t(49)), "blocked is not active");
+    }
+}

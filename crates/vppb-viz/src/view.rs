@@ -1,0 +1,189 @@
+//! View state: zoom, interval selection and thread filtering.
+//!
+//! §3.3: "The zoom utility can increase (or decrease) the magnification to
+//! an arbitrary magnification degree in steps of a factor of 1.5 or 3. The
+//! zoom keeps the left-most time fixed in the execution flow graph. The
+//! user can mark a time interval in the parallelism graph, and the
+//! execution graph will automatically show only the marked interval. When
+//! there are too many threads to fit in one display, irrelevant threads
+//! can be removed automatically. [...] It is also possible to control
+//! which threads to be shown by hand."
+
+use crate::timeline::Timeline;
+use vppb_model::{ThreadId, Time};
+
+/// Zoom step factors offered by the tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoomStep {
+    /// Magnify by 1.5×.
+    X1_5,
+    /// Magnify by 3×.
+    X3,
+}
+
+impl ZoomStep {
+    /// The magnification factor of this step.
+    pub fn factor(self) -> f64 {
+        match self {
+            ZoomStep::X1_5 => 1.5,
+            ZoomStep::X3 => 3.0,
+        }
+    }
+}
+
+/// Which threads the execution-flow graph shows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ThreadFilter {
+    /// Every thread.
+    #[default]
+    All,
+    /// Only threads active in the visible interval (automatic
+    /// compression).
+    ActiveInView,
+    /// An explicit user-chosen list.
+    Manual(Vec<ThreadId>),
+}
+
+/// The visible window onto a timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    /// Left edge of the visible interval.
+    pub from: Time,
+    /// Right edge.
+    pub to: Time,
+    /// Which threads the flow graph shows.
+    pub filter: ThreadFilter,
+}
+
+impl View {
+    /// A view of the entire run.
+    pub fn full(tl: &Timeline) -> View {
+        View { from: Time::ZERO, to: tl.wall, filter: ThreadFilter::All }
+    }
+
+    /// Width of the visible interval.
+    pub fn span(&self) -> Time {
+        Time(self.to.nanos().saturating_sub(self.from.nanos()))
+    }
+
+    /// Zoom in by a step, keeping the left edge fixed (as the paper's tool
+    /// does).
+    pub fn zoom_in(&mut self, step: ZoomStep) {
+        let span = self.span().nanos() as f64 / step.factor();
+        self.to = self.from + vppb_model::Duration(span.max(1.0) as u64);
+    }
+
+    /// Zoom out by a step, keeping the left edge fixed; clamped to the
+    /// run's end by renderers.
+    pub fn zoom_out(&mut self, step: ZoomStep, wall: Time) {
+        let span = self.span().nanos() as f64 * step.factor();
+        self.to = Time::min_of(self.from + vppb_model::Duration(span as u64), wall);
+    }
+
+    /// Select an interval (marked in the parallelism graph; the execution
+    /// flow graph follows).
+    pub fn select(&mut self, from: Time, to: Time) {
+        assert!(from <= to, "interval must be ordered");
+        self.from = from;
+        self.to = to;
+    }
+
+    /// Threads visible under the current filter, in lane order.
+    pub fn visible_threads(&self, tl: &Timeline) -> Vec<ThreadId> {
+        match &self.filter {
+            ThreadFilter::All => tl.lanes.iter().map(|l| l.thread).collect(),
+            ThreadFilter::ActiveInView => tl
+                .lanes
+                .iter()
+                .filter(|l| l.active_in(self.from, self.to))
+                .map(|l| l.thread)
+                .collect(),
+            ThreadFilter::Manual(list) => list.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{Lane, LaneSegment, LaneState, Timeline};
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn tl_with_two_lanes() -> Timeline {
+        let seg = |s, e, st| LaneSegment { start: t(s), end: t(e), state: st };
+        Timeline {
+            program: "x".into(),
+            cpus: 2,
+            wall: t(1000),
+            lanes: vec![
+                Lane {
+                    thread: ThreadId(1),
+                    name: "main".into(),
+                    segments: vec![seg(0, 1000, LaneState::Running)],
+                    events: vec![],
+                },
+                Lane {
+                    thread: ThreadId(4),
+                    name: "w".into(),
+                    segments: vec![
+                        seg(0, 500, LaneState::Running),
+                        seg(500, 1000, LaneState::Absent),
+                    ],
+                    events: vec![],
+                },
+            ],
+            profile: vec![],
+        }
+    }
+
+    #[test]
+    fn zoom_in_keeps_left_edge() {
+        let tl = tl_with_two_lanes();
+        let mut v = View::full(&tl);
+        v.zoom_in(ZoomStep::X1_5);
+        assert_eq!(v.from, Time::ZERO);
+        assert_eq!(v.span().nanos(), (t(1000).nanos() as f64 / 1.5) as u64);
+        v.zoom_in(ZoomStep::X3);
+        assert_eq!(v.from, Time::ZERO);
+    }
+
+    #[test]
+    fn zoom_round_trip_restores_span() {
+        let tl = tl_with_two_lanes();
+        let mut v = View::full(&tl);
+        v.zoom_in(ZoomStep::X3);
+        v.zoom_out(ZoomStep::X3, tl.wall);
+        // Integer rounding can lose a nanosecond; must clamp to wall.
+        assert!(tl.wall.nanos() - v.to.nanos() <= 2);
+    }
+
+    #[test]
+    fn interval_selection() {
+        let tl = tl_with_two_lanes();
+        let mut v = View::full(&tl);
+        v.select(t(100), t(300));
+        assert_eq!((v.from, v.to), (t(100), t(300)));
+    }
+
+    #[test]
+    fn compression_hides_inactive_threads() {
+        let tl = tl_with_two_lanes();
+        let mut v = View::full(&tl);
+        v.filter = ThreadFilter::ActiveInView;
+        v.select(t(600), t(900));
+        assert_eq!(v.visible_threads(&tl), vec![ThreadId(1)], "T4 exited at 500");
+        v.select(t(0), t(400));
+        assert_eq!(v.visible_threads(&tl), vec![ThreadId(1), ThreadId(4)]);
+    }
+
+    #[test]
+    fn manual_filter_wins() {
+        let tl = tl_with_two_lanes();
+        let mut v = View::full(&tl);
+        v.filter = ThreadFilter::Manual(vec![ThreadId(4)]);
+        assert_eq!(v.visible_threads(&tl), vec![ThreadId(4)]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests on the render model: lanes tile the run, profiles are
+//! consistent step functions, and rendering never panics for arbitrary
+//! well-formed traces.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use vppb_model::{
+    BlockReason, CpuId, Duration, ExecutionTrace, LwpId, SourceMap, SyncObjId, ThreadId,
+    ThreadInfo, ThreadState, Time, Transition,
+};
+use vppb_viz::{ansi, svg, AnsiOptions, LaneState, ThreadFilter, Timeline, View};
+
+fn arb_state() -> impl Strategy<Value = ThreadState> {
+    prop_oneof![
+        (0u32..4).prop_map(|c| ThreadState::Running { cpu: CpuId(c), lwp: LwpId(c) }),
+        Just(ThreadState::Runnable),
+        Just(ThreadState::Blocked(BlockReason::Sync(SyncObjId::mutex(0)))),
+        Just(ThreadState::Blocked(BlockReason::Timer)),
+        Just(ThreadState::Blocked(BlockReason::Io)),
+    ]
+}
+
+prop_compose! {
+    fn arb_trace()(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec((1u64..5_000, arb_state()), 1..20),
+            1..6,
+        ),
+    ) -> ExecutionTrace {
+        // Build per-thread monotone transition sequences, then merge by
+        // time. Every thread ends with Exited.
+        let mut all: Vec<Transition> = Vec::new();
+        let mut threads = BTreeMap::new();
+        let mut wall = 0u64;
+        for (i, seq) in per_thread.iter().enumerate() {
+            let id = ThreadId(4 + i as u32);
+            let mut t = 0u64;
+            for (dt, state) in seq {
+                t += dt;
+                all.push(Transition { time: Time::from_micros(t), thread: id, state: *state });
+            }
+            t += 10;
+            all.push(Transition {
+                time: Time::from_micros(t),
+                thread: id,
+                state: ThreadState::Exited,
+            });
+            wall = wall.max(t);
+            threads.insert(
+                id,
+                ThreadInfo {
+                    start_fn: format!("w{i}"),
+                    started: Time::ZERO,
+                    ended: Time::from_micros(t),
+                    cpu_time: Duration::ZERO,
+                },
+            );
+        }
+        all.sort_by_key(|tr| tr.time);
+        // Cap concurrent running threads at the CPU count by construction:
+        // declare enough CPUs for the worst case instead of fixing states.
+        ExecutionTrace {
+            program: "prop".into(),
+            cpus: 8,
+            wall_time: Time::from_micros(wall),
+            transitions: all,
+            events: vec![],
+            threads,
+            source_map: SourceMap::new(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lanes_tile_the_whole_run(trace in arb_trace()) {
+        let tl = Timeline::from_trace(&trace);
+        for lane in &tl.lanes {
+            prop_assert!(!lane.segments.is_empty());
+            prop_assert_eq!(lane.segments.first().unwrap().start, Time::ZERO);
+            prop_assert_eq!(lane.segments.last().unwrap().end, trace.wall_time);
+            for w in lane.segments.windows(2) {
+                prop_assert_eq!(w[0].end, w[1].start, "gap/overlap in lane");
+                prop_assert!(w[0].state != w[1].state, "adjacent segments must differ");
+            }
+            // After exit the lane is Absent forever.
+            if let Some(pos) =
+                lane.segments.iter().position(|s| s.state == LaneState::Absent && s.start > Time::ZERO)
+            {
+                for s in &lane.segments[pos..] {
+                    prop_assert_eq!(s.state, LaneState::Absent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profile_is_a_merged_step_function(trace in arb_trace()) {
+        let tl = Timeline::from_trace(&trace);
+        for w in tl.profile.windows(2) {
+            prop_assert!(w[0].time < w[1].time, "steps strictly ordered");
+            prop_assert!(
+                (w[0].running, w[0].runnable) != (w[1].running, w[1].runnable),
+                "identical neighbours should be merged"
+            );
+        }
+        // Profile counts agree with direct state reconstruction.
+        for p in tl.profile.iter().take(10) {
+            let (run, ready) = trace.parallelism_at(p.time);
+            prop_assert_eq!((p.running, p.runnable), (run, ready));
+        }
+    }
+
+    #[test]
+    fn rendering_never_panics_and_is_wellformed(trace in arb_trace()) {
+        let s = svg::render_trace(&trace);
+        prop_assert!(s.starts_with("<svg"));
+        prop_assert!(s.trim_end().ends_with("</svg>"));
+        let a = ansi::render_trace(&trace, &AnsiOptions { color: false, ..Default::default() });
+        prop_assert!(a.contains(&trace.program));
+        let h = vppb_viz::render_html(&trace);
+        prop_assert!(h.contains("</html>"));
+    }
+
+    #[test]
+    fn compression_never_shows_more_than_all(trace in arb_trace(), a in 0u64..5000, b in 0u64..5000) {
+        let tl = Timeline::from_trace(&trace);
+        let (from, to) = if a <= b { (a, b) } else { (b, a) };
+        let mut view = View::full(&tl);
+        view.select(Time::from_micros(from), Time::from_micros(to));
+        view.filter = ThreadFilter::ActiveInView;
+        let visible = view.visible_threads(&tl);
+        prop_assert!(visible.len() <= tl.lanes.len());
+        // Every visible thread is genuinely active in the window.
+        for t in visible {
+            let lane = tl.lane(t).unwrap();
+            prop_assert!(lane.active_in(view.from, view.to));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared structure for the SPLASH-2-style kernels.
+//!
+//! The five validation programs of §4 are reproduced as synthetic kernels
+//! with the same *synchronization skeleton* as the originals: one thread
+//! per processor, barrier-separated compute phases, per-phase serial
+//! sections by a master thread, and reduction locks. Compute durations are
+//! calibrated so the kernels' *real* speed-up curves on the machine match
+//! Table 1 of the paper (see `calib` constants in each kernel module and
+//! DESIGN.md §2 for why this substitution is sound).
+//!
+//! Runs are scaled down ~50× from the paper's 60–210 s uni-processor
+//! executions to keep the suite fast; speed-ups are scale-invariant
+//! because every component scales together.
+
+use vppb_model::Duration;
+use vppb_threads::{App, AppBuilder, BarrierDecl, FnBuilder, FuncId};
+
+/// Parameters common to every kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// Number of worker threads — SPLASH-2 programs create one per
+    /// physical processor, so the harness sets this to the CPU count.
+    pub threads: u32,
+    /// Global time scale (1.0 = the calibrated defaults, ≈1–4 s of
+    /// virtual uni-processor time).
+    pub scale: f64,
+}
+
+impl KernelParams {
+    /// Calibrated defaults for the given thread count.
+    pub fn new(threads: u32) -> KernelParams {
+        assert!(threads >= 1, "kernels need at least one thread");
+        KernelParams { threads, scale: 1.0 }
+    }
+
+    /// Like [`KernelParams::new`] with a custom time scale.
+    pub fn scaled(threads: u32, scale: f64) -> KernelParams {
+        KernelParams { scale, ..KernelParams::new(threads) }
+    }
+
+    pub(crate) fn dur(&self, secs: f64) -> Duration {
+        Duration::from_secs_f64(secs * self.scale)
+    }
+}
+
+/// A barrier-synchronized SPMD skeleton: `main` creates `threads` workers
+/// that all run `body`, then joins them. The worker body receives the
+/// thread's rank.
+pub(crate) fn spmd(
+    name: &str,
+    file: &str,
+    params: KernelParams,
+    declare: impl FnOnce(&mut AppBuilder) -> Box<dyn Fn(&mut FnBuilder, u32)>,
+) -> App {
+    let mut b = AppBuilder::new(name, file);
+    let body = declare(&mut b);
+    let p = params.threads;
+    // One function per rank: SPLASH workers are identical code, but ranks
+    // differ in data; build-time unrolling gives each rank its skeleton.
+    let workers: Vec<FuncId> = (1..p)
+        .map(|rank| {
+            let body = &body;
+            b.func(format!("worker_{rank}"), move |f| body(f, rank))
+        })
+        .collect();
+    b.main(move |f| {
+        let s = f.slot();
+        for &w in &workers {
+            f.create_into(w, s);
+        }
+        // Rank 0 work runs on the main thread, as SPLASH programs do.
+        body(f, 0);
+        for _ in 1..p {
+            f.join(s);
+        }
+    });
+    b.build().expect("kernel builds")
+}
+
+/// Emit a barrier-delimited parallel phase: every rank computes
+/// `work(rank)`, rank 0 additionally runs `serial` *after* the barrier
+/// (the others wait at a second barrier meanwhile) when `serial > 0`.
+pub(crate) fn phase(
+    f: &mut FnBuilder,
+    rank: u32,
+    bar: &BarrierDecl,
+    work: Duration,
+    serial_master: Duration,
+) {
+    if !work.is_zero() {
+        f.work(work);
+    }
+    bar.wait(f);
+    if !serial_master.is_zero() {
+        if rank == 0 {
+            f.work(serial_master);
+        }
+        bar.wait(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_machine::{run, NullHooks, RunOptions};
+    use vppb_model::{LwpPolicy, MachineConfig};
+
+    #[test]
+    fn spmd_skeleton_runs_to_completion() {
+        let params = KernelParams::scaled(4, 1.0);
+        let app = spmd("t", "t.c", params, |b| {
+            let bar = BarrierDecl::declare(b, params.threads);
+            Box::new(move |f, rank| {
+                phase(f, rank, &bar, Duration::from_micros(100), Duration::from_micros(10));
+            })
+        });
+        let mut hooks = NullHooks;
+        let cfg = MachineConfig::sun_enterprise(4).with_lwps(LwpPolicy::PerThread);
+        let r = run(&app, &cfg, RunOptions::new(&mut hooks)).unwrap();
+        assert_eq!(r.n_threads, 4);
+    }
+
+    #[test]
+    fn params_duration_scaling() {
+        let p = KernelParams::scaled(2, 0.5);
+        assert_eq!(p.dur(1.0), Duration::from_secs_f64(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = KernelParams::new(0);
+    }
+}

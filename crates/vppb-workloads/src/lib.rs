@@ -1,0 +1,68 @@
+//! # vppb-workloads — the programs the paper studies
+//!
+//! Synthetic reproductions of the five SPLASH-2 validation kernels (§4),
+//! the producer/consumer case study (§5), and the two program classes the
+//! Recorder cannot handle (§4/§6). See DESIGN.md §2 for the substitution
+//! rationale and per-kernel calibration notes.
+
+pub mod excluded;
+pub mod kernels;
+pub mod lu;
+pub mod prodcons;
+pub mod splash;
+
+pub use kernels::KernelParams;
+
+use vppb_threads::App;
+
+/// Paper Table 1, the "Real" rows: (cpus, speed-up).
+pub type PaperSpeedups = [(u32, f64); 3];
+
+/// One validation workload with its paper reference numbers.
+pub struct WorkloadSpec {
+    /// Display name, matching the paper's Table 1 row.
+    pub name: &'static str,
+    /// Real speed-ups from Table 1 of the paper.
+    pub paper_real: PaperSpeedups,
+    /// Predicted speed-ups from Table 1.
+    pub paper_predicted: PaperSpeedups,
+    /// Build the kernel for a thread count (one thread per CPU, as
+    /// SPLASH-2 programs do).
+    pub build: fn(KernelParams) -> App,
+}
+
+/// The five-program validation suite of §4.
+pub fn splash2_suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "Ocean",
+            paper_real: [(2, 1.97), (4, 3.87), (8, 6.65)],
+            paper_predicted: [(2, 1.98), (4, 3.89), (8, 7.06)],
+            build: splash::ocean,
+        },
+        WorkloadSpec {
+            name: "Water-Spatial",
+            paper_real: [(2, 1.99), (4, 3.95), (8, 7.67)],
+            paper_predicted: [(2, 2.00), (4, 3.99), (8, 7.78)],
+            build: splash::water_spatial,
+        },
+        WorkloadSpec {
+            name: "FFT",
+            paper_real: [(2, 1.55), (4, 2.14), (8, 2.62)],
+            paper_predicted: [(2, 1.55), (4, 2.14), (8, 2.61)],
+            build: splash::fft,
+        },
+        WorkloadSpec {
+            name: "Radix",
+            paper_real: [(2, 2.00), (4, 3.99), (8, 7.79)],
+            paper_predicted: [(2, 1.98), (4, 3.95), (8, 7.71)],
+            build: splash::radix,
+        },
+        WorkloadSpec {
+            name: "LU",
+            paper_real: [(2, 1.79), (4, 3.15), (8, 4.82)],
+            paper_predicted: [(2, 1.79), (4, 3.16), (8, 4.81)],
+            build: |p| lu::lu(p),
+        },
+    ]
+}

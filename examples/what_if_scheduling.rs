@@ -1,0 +1,107 @@
+//! What-if scheduling experiments (§3.2): from a *single* uni-processor
+//! recording, explore how LWP counts, priorities, CPU bindings and the
+//! communication delay would change a multiprocessor execution.
+//!
+//! Run with: `cargo run --release --example what_if_scheduling`
+
+use vppb::pipeline;
+use vppb::prelude::*;
+use vppb_model::CpuId;
+use vppb_sim::simulate;
+use vppb_threads::AppBuilder;
+
+fn main() -> Result<(), VppbError> {
+    // A pipeline-ish program: four stages hand items along semaphores.
+    let mut b = AppBuilder::new("pipeline4", "pipe4.c");
+    let stage_sems: Vec<_> = (0..4).map(|_| b.semaphore(0)).collect();
+    let mut stages = Vec::new();
+    for i in 0..4usize {
+        let input = if i > 0 { Some(stage_sems[i - 1]) } else { None };
+        let output = stage_sems[i];
+        stages.push(b.func(format!("stage{i}"), move |f| {
+            f.loop_n(200, |f| {
+                if let Some(inp) = input {
+                    f.sem_wait(inp);
+                }
+                f.work_us(150);
+                f.sem_post(output);
+            });
+        }));
+    }
+    let last = stage_sems[3];
+    b.main(move |f| {
+        let s = f.slot();
+        for &st in &stages {
+            f.create_into(st, s);
+        }
+        f.loop_n(200, |f| f.sem_wait(last));
+        f.loop_n(4, |f| f.join(s));
+    });
+    let app = b.build()?;
+
+    // One recording serves every scenario below.
+    let rec = pipeline::record_app(&app)?;
+    println!("recorded {} events from one uni-processor run\n", rec.log.len());
+    let wall = |params: &SimParams| -> Result<Time, VppbError> {
+        Ok(simulate(&rec.log, params)?.wall_time)
+    };
+
+    let base = wall(&SimParams::cpus(4))?;
+    println!("baseline: 4 CPUs, one LWP per thread           -> {base}");
+
+    // Scenario 1: how many LWPs does this program actually need?
+    for lwps in [1u32, 2, 4] {
+        let mut p = SimParams::cpus(4);
+        p.machine.lwps = LwpPolicy::Fixed(lwps);
+        println!("          4 CPUs, {lwps} LWP(s)                      -> {}", wall(&p)?);
+    }
+
+    // Scenario 2: bind all stages to one CPU (a misconfiguration).
+    let mut pinned = SimParams::cpus(4);
+    for t in [4u32, 5, 6, 7] {
+        pinned = pinned.bind_to_cpu(ThreadId(t), CpuId(0));
+    }
+    println!("          4 CPUs, all stages pinned to CPU0    -> {}", wall(&pinned)?);
+
+    // Scenario 3: boost the last stage's priority (§3.2: a priority
+    // override makes the simulator ignore recorded thr_setprio events).
+    // Thread priorities steer the *user-level* scheduler, so they matter
+    // when threads compete for a limited LWP pool.
+    // Boost stage2 — it blocks on its input semaphore every iteration, so
+    // it re-enters the user-level run queue constantly and a higher
+    // priority gets it an LWP sooner each time.
+    let mut two_lwps = SimParams::cpus(2);
+    two_lwps.machine.lwps = LwpPolicy::Fixed(2);
+    let boosted = {
+        let mut p = two_lwps.clone().override_priority(ThreadId(6), 60);
+        p.machine.lwps = LwpPolicy::Fixed(2);
+        p
+    };
+    let stage2_wait = |params: &SimParams| -> Result<Duration, VppbError> {
+        let info = &simulate(&rec.log, params)?.trace.threads[&ThreadId(6)];
+        Ok(info.total_time() - info.cpu_time)
+    };
+    println!(
+        "          2 CPUs/2 LWPs, stage2 prio boosted   -> stage2 off-CPU {}",
+        stage2_wait(&boosted)?
+    );
+    println!(
+        "          2 CPUs/2 LWPs, default priorities    -> stage2 off-CPU {}",
+        stage2_wait(&two_lwps)?
+    );
+    println!(
+        "          (the boost schedules stage2 ahead of its producer, so it now\n\
+         \x20          sits blocked on its input semaphore — priorities cannot beat\n\
+         \x20          data dependencies, a classic tuning dead end caught for free)"
+    );
+
+    // Scenario 4: communication delay sensitivity.
+    for us in [0u64, 10, 100] {
+        let mut p = SimParams::cpus(4);
+        p.machine.comm_delay = Duration::from_micros(us);
+        println!("          4 CPUs, comm delay {us:>3} us            -> {}", wall(&p)?);
+    }
+
+    println!("\nEvery number above came from the same log file — no re-execution needed.");
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! `vppb` — command-line front end for the record → simulate → visualize
+//! workflow, driving everything from log files like the original tool.
+//!
+//! ```text
+//! vppb workloads
+//! vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]
+//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats]
+//! vppb predict <LOG> [--cpus N]
+//! vppb report <LOG>
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use vppb::pipeline;
+use vppb_model::{Duration, LwpPolicy, SimParams, TraceLog, VppbError};
+use vppb_recorder as logio;
+use vppb_sim::simulate;
+use vppb_viz::{ansi, compute_stats, stats, svg, AnsiOptions};
+use vppb_workloads::{prodcons, splash2_suite, KernelParams};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("vppb: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let (pos, flags) = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "workloads" => {
+            println!("built-in workloads (record with `vppb record <name>`):");
+            for spec in splash2_suite() {
+                println!(
+                    "  {:<18} SPLASH-2-style kernel (paper 8p real speed-up {:.2})",
+                    spec.name.to_lowercase(),
+                    spec.paper_real[2].1
+                );
+            }
+            println!("  {:<18} §5 case study, 226 threads, one hot mutex", "prodcons-naive");
+            println!("  {:<18} §5 case study after the fix", "prodcons-improved");
+            Ok(())
+        }
+        "record" => {
+            let name = pos.first().ok_or("record: which workload? (see `vppb workloads`)")?;
+            let threads: u32 = flag(&flags, "threads", 8)?;
+            let scale: f64 = flag(&flags, "scale", 0.25)?;
+            let app = build_workload(name, threads, scale)?;
+            let rec = pipeline::record_app(&app).map_err(|e| e.to_string())?;
+            let default_out = format!("{name}.vppb");
+            let out = flags.get("o").map(String::as_str).unwrap_or(&default_out);
+            let format = flags.get("format").map(String::as_str).unwrap_or("text");
+            save_log(&rec.log, out, format).map_err(|e| e.to_string())?;
+            println!(
+                "recorded {} events over {} of monitored uni-processor time -> {out} ({format})",
+                rec.log.len(),
+                rec.wall_time()
+            );
+            Ok(())
+        }
+        "simulate" => {
+            let path = pos.first().ok_or("simulate: which log file?")?;
+            let log = load_log(path).map_err(|e| e.to_string())?;
+            let cpus: u32 = flag(&flags, "cpus", 8)?;
+            let mut params = SimParams::cpus(cpus);
+            if let Some(l) = flags.get("lwps") {
+                let n: u32 = l.parse().map_err(|_| "bad --lwps")?;
+                params.machine.lwps = LwpPolicy::Fixed(n);
+            }
+            if let Some(d) = flags.get("comm-delay-us") {
+                let us: u64 = d.parse().map_err(|_| "bad --comm-delay-us")?;
+                params.machine.comm_delay = Duration::from_micros(us);
+            }
+            let sim = simulate(&log, &params).map_err(|e| e.to_string())?;
+            println!(
+                "simulated `{}` on {cpus} CPUs: wall {}, speed-up vs monitored run {:.2}",
+                log.header.program,
+                sim.wall_time,
+                sim.speedup_vs_recorded()
+            );
+            if let Some(file) = flags.get("svg") {
+                std::fs::write(file, svg::render_trace(&sim.trace))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {file}");
+            }
+            if flags.contains_key("ansi") {
+                print!("{}", ansi::render_trace(&sim.trace, &AnsiOptions::default()));
+            }
+            if let Some(file) = flags.get("html") {
+                std::fs::write(file, vppb_viz::render_html(&sim.trace))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {file}");
+            }
+            if flags.contains_key("stats") {
+                print!("{}", stats::render(&compute_stats(&sim.trace)));
+            }
+            Ok(())
+        }
+        "predict" => {
+            let path = pos.first().ok_or("predict: which log file?")?;
+            let log = load_log(path).map_err(|e| e.to_string())?;
+            let cpus: u32 = flag(&flags, "cpus", 8)?;
+            let s = vppb_sim::predict_speedup(&log, cpus).map_err(|e| e.to_string())?;
+            println!("predicted speed-up of `{}` on {cpus} CPUs: {s:.2}", log.header.program);
+            Ok(())
+        }
+        "report" => {
+            let path = pos.first().ok_or("report: which log file?")?;
+            let log = load_log(path).map_err(|e| e.to_string())?;
+            println!("program:   {}", log.header.program);
+            println!("wall time: {} (monitored uni-processor)", log.header.wall_time);
+            println!("records:   {}", log.len());
+            println!("events/s:  {:.0}", log.events_per_second());
+            println!("threads:   {}", log.threads().len());
+            for (t, f) in &log.header.thread_start_fn {
+                println!("  {t} -> {f}()");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     vppb workloads\n  \
+     vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]\n  \
+     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats]\n  \
+     vppb predict <LOG> [--cpus N]\n  \
+     vppb report <LOG>"
+        .to_string()
+}
+
+/// Split positional args from `--key value` / `--switch` / `-o value` flags.
+fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            let is_switch = matches!(key, "ansi" | "stats");
+            if is_switch {
+                flags.insert(key.to_string(), "true".to_string());
+            } else if i + 1 < args.len() {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 1;
+            } else {
+                flags.insert(key.to_string(), String::new());
+            }
+        } else {
+            pos.push(a.clone());
+        }
+        i += 1;
+    }
+    (pos, flags)
+}
+
+fn flag<T: std::str::FromStr>(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad --{key} value `{v}`")),
+    }
+}
+
+fn build_workload(name: &str, threads: u32, scale: f64) -> Result<vppb_threads::App, String> {
+    let params = KernelParams::scaled(threads, scale);
+    for spec in splash2_suite() {
+        if spec.name.eq_ignore_ascii_case(name) {
+            return Ok((spec.build)(params));
+        }
+    }
+    match name {
+        "prodcons-naive" => Ok(prodcons::naive(scale)),
+        "prodcons-improved" => Ok(prodcons::improved(scale)),
+        _ => Err(format!("unknown workload `{name}` (see `vppb workloads`)")),
+    }
+}
+
+fn save_log(log: &TraceLog, path: &str, format: &str) -> Result<(), VppbError> {
+    match format {
+        "text" => logio::save_text(log, path),
+        "json" => logio::save_json(log, path),
+        "bin" => logio::save_bin(log, path),
+        other => Err(VppbError::InvalidConfig(format!("unknown format `{other}`"))),
+    }
+}
+
+fn load_log(path: &str) -> Result<TraceLog, VppbError> {
+    // Sniff the format: binary magic, JSON brace, else text.
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(b"VPPB") {
+        return logio::load_bin(path);
+    }
+    if bytes.first() == Some(&b'{') {
+        return logio::load_json(path);
+    }
+    logio::load_text(path)
+}

@@ -1,0 +1,22 @@
+//! # VPPB — Visualization and Performance Prediction of Parallel Program Behaviour
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture and `vppb::prelude` for the common imports.
+
+pub mod pipeline;
+
+pub use vppb_machine as machine;
+pub use vppb_model as model;
+pub use vppb_recorder as recorder;
+pub use vppb_sim as sim;
+pub use vppb_threads as threads;
+pub use vppb_viz as viz;
+pub use vppb_workloads as workloads;
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use vppb_model::{
+        Binding, Duration, EventKind, EventResult, LwpPolicy, MachineConfig, Phase, SimParams,
+        SyncObjId, ThreadId, ThreadManip, Time, TraceLog, VppbError,
+    };
+}

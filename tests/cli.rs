@@ -1,0 +1,117 @@
+//! Integration tests for the `vppb` command-line tool: the full
+//! file-based workflow, driven exactly as a user would.
+
+use std::process::Command;
+
+fn vppb(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vppb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vppb-cli-{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn workloads_lists_the_suite() {
+    let (ok, stdout, _) = vppb(&["workloads"]);
+    assert!(ok);
+    for name in ["ocean", "fft", "radix", "lu", "prodcons-naive"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn record_predict_report_round_trip() {
+    let dir = tmpdir("roundtrip");
+    let log = dir.join("fft.vppb");
+    let log_s = log.to_str().unwrap();
+
+    let (ok, stdout, stderr) = vppb(&[
+        "record", "fft", "--threads", "4", "--scale", "0.1", "-o", log_s,
+    ]);
+    assert!(ok, "record failed: {stderr}");
+    assert!(stdout.contains("recorded"));
+
+    let (ok, stdout, _) = vppb(&["report", log_s]);
+    assert!(ok);
+    assert!(stdout.contains("program:   fft"));
+    assert!(stdout.contains("threads:   4"));
+
+    let (ok, stdout, _) = vppb(&["predict", log_s, "--cpus", "4"]);
+    assert!(ok);
+    // FFT on 4 CPUs predicts ~2.14 (Table 1).
+    let speedup: f64 = stdout
+        .split(':')
+        .next_back()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("speed-up prints");
+    assert!((speedup - 2.14).abs() < 0.1, "fft@4p: {speedup}");
+}
+
+#[test]
+fn simulate_writes_svg_and_html() {
+    let dir = tmpdir("render");
+    let log = dir.join("radix.bin");
+    let log_s = log.to_str().unwrap();
+    let (ok, _, stderr) = vppb(&[
+        "record", "radix", "--threads", "2", "--scale", "0.05", "-o", log_s, "--format", "bin",
+    ]);
+    assert!(ok, "{stderr}");
+
+    let svg = dir.join("out.svg");
+    let html = dir.join("out.html");
+    let (ok, stdout, stderr) = vppb(&[
+        "simulate",
+        log_s,
+        "--cpus",
+        "2",
+        "--svg",
+        svg.to_str().unwrap(),
+        "--html",
+        html.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("simulated"));
+    assert!(stdout.contains("Contention by object"));
+    assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+    assert!(std::fs::read_to_string(&html).unwrap().starts_with("<!DOCTYPE html>"));
+}
+
+#[test]
+fn binary_and_text_formats_sniff_correctly() {
+    let dir = tmpdir("formats");
+    for fmt in ["text", "json", "bin"] {
+        let log = dir.join(format!("l.{fmt}"));
+        let log_s = log.to_str().unwrap();
+        let (ok, _, e) = vppb(&[
+            "record", "lu", "--threads", "2", "--scale", "0.02", "-o", log_s, "--format", fmt,
+        ]);
+        assert!(ok, "record {fmt}: {e}");
+        let (ok, stdout, e) = vppb(&["report", log_s]);
+        assert!(ok, "report {fmt}: {e}");
+        assert!(stdout.contains("program:   lu"));
+    }
+}
+
+#[test]
+fn unknown_commands_and_workloads_fail_cleanly() {
+    let (ok, _, stderr) = vppb(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, stderr) = vppb(&["record", "not-a-workload"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown workload"));
+}

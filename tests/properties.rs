@@ -1,0 +1,134 @@
+//! Property-based tests over the whole stack: log round-trips, machine
+//! conservation laws, and prediction invariants hold for *randomly
+//! generated* programs, not just hand-picked ones.
+
+use proptest::prelude::*;
+use vppb::pipeline;
+use vppb::prelude::*;
+use vppb_model::textlog;
+use vppb_sim::simulate;
+use vppb_threads::{App, AppBuilder};
+
+/// A randomly shaped fork-join program with optional mutex/semaphore use.
+#[derive(Debug, Clone)]
+struct RandomApp {
+    workers: u8,
+    iters: u8,
+    work_us: u32,
+    cs_us: u32,
+    use_mutex: bool,
+    use_sem: bool,
+}
+
+fn random_app_strategy() -> impl Strategy<Value = RandomApp> {
+    (1u8..6, 1u8..5, 10u32..2000, 0u32..200, any::<bool>(), any::<bool>()).prop_map(
+        |(workers, iters, work_us, cs_us, use_mutex, use_sem)| RandomApp {
+            workers,
+            iters,
+            work_us,
+            cs_us,
+            use_mutex,
+            use_sem,
+        },
+    )
+}
+
+fn build(spec: &RandomApp) -> App {
+    let mut b = AppBuilder::new("random", "random.c");
+    let m = b.mutex();
+    let s = b.semaphore(0);
+    let spec2 = spec.clone();
+    let w = b.func("worker", move |f| {
+        f.loop_n(spec2.iters as u64, |f| {
+            f.work_us(spec2.work_us as u64);
+            if spec2.use_mutex {
+                f.lock(m);
+                f.work_us(spec2.cs_us as u64);
+                f.unlock(m);
+            }
+            if spec2.use_sem {
+                f.sem_post(s);
+            }
+        });
+    });
+    let spec3 = spec.clone();
+    b.main(move |f| {
+        let slot = f.slot();
+        f.loop_n(spec3.workers as u64, |f| f.create_into(w, slot));
+        if spec3.use_sem {
+            f.loop_n(spec3.workers as u64 * spec3.iters as u64, |f| f.sem_wait(s));
+        }
+        f.loop_n(spec3.workers as u64, |f| f.join(slot));
+    });
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn recorded_logs_are_wellformed_and_roundtrip(spec in random_app_strategy()) {
+        let app = build(&spec);
+        let rec = pipeline::record_app(&app).unwrap();
+        rec.log.validate().unwrap();
+        // Text round trip is lossless.
+        let text = textlog::write_log(&rec.log);
+        let back = textlog::parse_log(&text).unwrap();
+        prop_assert_eq!(&back, &rec.log);
+        // JSON round trip too.
+        let json = serde_json::to_string(&rec.log).unwrap();
+        let back2: TraceLog = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back2, rec.log);
+    }
+
+    #[test]
+    fn machine_conservation_laws(spec in random_app_strategy(), cpus in 1u32..6) {
+        let app = build(&spec);
+        let run = pipeline::real_run(&app, cpus).unwrap();
+        // CPU busy time equals total thread CPU time.
+        let busy: u64 = run.cpu_busy.iter().map(|d| d.nanos()).sum();
+        prop_assert_eq!(busy, run.total_cpu_time.nanos());
+        // No CPU can be busier than the wall clock.
+        for b in &run.cpu_busy {
+            prop_assert!(*b <= run.wall_time - Time::ZERO);
+        }
+        // The timeline never oversubscribes the machine.
+        run.trace.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariants: {e}"))
+        })?;
+        // Every created thread started and ended within the run.
+        for (tid, info) in &run.trace.threads {
+            prop_assert!(info.ended <= run.wall_time, "{} ended late", tid);
+            prop_assert!(info.cpu_time <= info.total_time());
+        }
+    }
+
+    #[test]
+    fn predictions_respect_physical_bounds(spec in random_app_strategy(), cpus in 1u32..6) {
+        let app = build(&spec);
+        let rec = pipeline::record_app(&app).unwrap();
+        let uni = simulate(&rec.log, &SimParams::cpus(1)).unwrap();
+        let multi = simulate(&rec.log, &SimParams::cpus(cpus)).unwrap();
+        let speedup = uni.wall_time.nanos() as f64 / multi.wall_time.nanos() as f64;
+        let threads = (spec.workers + 1) as f64;
+        // Speed-up cannot exceed min(threads, cpus) (plus rounding).
+        prop_assert!(
+            speedup <= threads.min(cpus as f64) + 0.01,
+            "speedup {} with {} threads on {} cpus", speedup, threads, cpus
+        );
+        // More CPUs never slow the prediction down for these programs.
+        prop_assert!(multi.wall_time <= uni.wall_time + vppb_model::Duration::from_micros(1));
+        multi.trace.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("invariants: {e}"))
+        })?;
+    }
+
+    #[test]
+    fn determinism_across_repeated_runs(spec in random_app_strategy()) {
+        let app = build(&spec);
+        let a = pipeline::real_run(&app, 3).unwrap();
+        let b = pipeline::real_run(&app, 3).unwrap();
+        prop_assert_eq!(a.wall_time, b.wall_time);
+        prop_assert_eq!(a.trace.transitions.len(), b.trace.transitions.len());
+    }
+}
