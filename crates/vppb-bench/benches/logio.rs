@@ -8,8 +8,8 @@ use vppb_recorder::{record, RecordOptions};
 use vppb_workloads::{splash, KernelParams};
 
 fn bench_logio(c: &mut Criterion) {
-    let rec = record(&splash::ocean(KernelParams::scaled(8, 0.2)), &RecordOptions::default())
-        .unwrap();
+    let rec =
+        record(&splash::ocean(KernelParams::scaled(8, 0.2)), &RecordOptions::default()).unwrap();
     let text = textlog::write_log(&rec.log);
     let mut g = c.benchmark_group("logio");
     g.sample_size(20);
@@ -23,12 +23,8 @@ fn bench_logio(c: &mut Criterion) {
         })
     });
     let bin = vppb_model::binlog::encode(&rec.log).unwrap();
-    g.bench_function("binary_encode", |b| {
-        b.iter(|| vppb_model::binlog::encode(&rec.log).unwrap())
-    });
-    g.bench_function("binary_decode", |b| {
-        b.iter(|| vppb_model::binlog::decode(&bin).unwrap())
-    });
+    g.bench_function("binary_encode", |b| b.iter(|| vppb_model::binlog::encode(&rec.log).unwrap()));
+    g.bench_function("binary_decode", |b| b.iter(|| vppb_model::binlog::decode(&bin).unwrap()));
     g.finish();
 }
 

@@ -11,15 +11,14 @@ use vppb_workloads::{prodcons, splash, KernelParams};
 fn bench_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);
-    let rec = record(&splash::ocean(KernelParams::scaled(8, 0.2)), &RecordOptions::default())
-        .unwrap();
+    let rec =
+        record(&splash::ocean(KernelParams::scaled(8, 0.2)), &RecordOptions::default()).unwrap();
     g.bench_function("analyze_ocean_log", |b| b.iter(|| analyze(&rec.log).unwrap()));
     let plan = analyze(&rec.log).unwrap();
     g.bench_function("simulate_ocean_8cpu", |b| {
         b.iter(|| simulate_plan(&plan, &rec.log, &SimParams::cpus(8)).unwrap())
     });
-    let rec_pc =
-        record(&prodcons::naive(0.1), &RecordOptions::default()).unwrap();
+    let rec_pc = record(&prodcons::naive(0.1), &RecordOptions::default()).unwrap();
     let plan_pc = analyze(&rec_pc.log).unwrap();
     g.bench_function("simulate_prodcons_8cpu_226_threads", |b| {
         b.iter(|| simulate_plan(&plan_pc, &rec_pc.log, &SimParams::cpus(8)).unwrap())

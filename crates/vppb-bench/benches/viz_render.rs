@@ -6,19 +6,21 @@ use vppb_model::SimParams;
 use vppb_recorder::{record, RecordOptions};
 use vppb_sim::simulate;
 use vppb_viz::{ansi, svg, AnsiOptions, Timeline};
-use vppb_workloads::{prodcons, KernelParams};
 use vppb_workloads::splash;
+use vppb_workloads::{prodcons, KernelParams};
 
 fn bench_viz(c: &mut Criterion) {
-    let rec = record(&splash::fft(KernelParams::scaled(8, 0.5)), &RecordOptions::default())
-        .unwrap();
+    let rec =
+        record(&splash::fft(KernelParams::scaled(8, 0.5)), &RecordOptions::default()).unwrap();
     let sim = simulate(&rec.log, &SimParams::cpus(8)).unwrap();
     let mut g = c.benchmark_group("viz_render");
     g.sample_size(20);
     g.bench_function("timeline_build", |b| b.iter(|| Timeline::from_trace(&sim.trace)));
     g.bench_function("svg_fft", |b| b.iter(|| svg::render_trace(&sim.trace)));
     g.bench_function("ansi_fft", |b| {
-        b.iter(|| ansi::render_trace(&sim.trace, &AnsiOptions { color: false, ..Default::default() }))
+        b.iter(|| {
+            ansi::render_trace(&sim.trace, &AnsiOptions { color: false, ..Default::default() })
+        })
     });
     // The 226-thread case-study trace stresses lane handling.
     let rec2 = record(&prodcons::naive(0.05), &RecordOptions::default()).unwrap();

@@ -3,8 +3,7 @@
 //! Usage: `cargo run --release -p vppb-bench --bin case_study [scale]`
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let cs = vppb_bench::case_study::compute(scale).expect("case study computes");
     print!("{}", vppb_bench::case_study::render(&cs));
 }

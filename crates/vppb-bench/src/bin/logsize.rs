@@ -3,10 +3,11 @@
 //! Usage: `cargo run --release -p vppb-bench --bin logsize [scale]`
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let reports = vppb_bench::overhead_exp::compute(scale, 8).expect("log stats compute");
-    println!("Log-file statistics (paper maxima: 1.4 MB, 653 events/s; kernels here are ~50x shorter):");
+    println!(
+        "Log-file statistics (paper maxima: 1.4 MB, 653 events/s; kernels here are ~50x shorter):"
+    );
     println!("{:<16} {:>9} {:>12} {:>12}", "program", "records", "log bytes", "events/s");
     for r in &reports {
         println!(

@@ -3,8 +3,7 @@
 //! Usage: `cargo run --release -p vppb-bench --bin overhead [scale]`
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let reports = vppb_bench::overhead_exp::compute(scale, 8).expect("overhead computes");
     print!("{}", vppb_bench::overhead_exp::render(&reports));
 }

@@ -8,12 +8,11 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale: f64 = args
-        .iter()
-        .find(|a| a.parse::<f64>().is_ok())
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(1.0);
-    eprintln!("computing Table 1 at scale {scale} (5 real runs + recording + 2 simulations per cell)...");
+    let scale: f64 =
+        args.iter().find(|a| a.parse::<f64>().is_ok()).and_then(|a| a.parse().ok()).unwrap_or(1.0);
+    eprintln!(
+        "computing Table 1 at scale {scale} (5 real runs + recording + 2 simulations per cell)..."
+    );
     let t = vppb_bench::table1::compute(scale).expect("table computes");
     print!("{}", vppb_bench::table1::render(&t));
     if let Some(pos) = args.iter().position(|a| a == "--json") {

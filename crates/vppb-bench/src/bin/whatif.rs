@@ -3,7 +3,6 @@
 //! Usage: `cargo run --release -p vppb-bench --bin whatif [scale]`
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     print!("{}", vppb_bench::whatif::render_all(scale).expect("whatif computes"));
 }

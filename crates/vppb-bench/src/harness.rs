@@ -2,9 +2,11 @@
 //! recording, and prediction — the paper's §4 methodology.
 
 use vppb_machine::{run, JitterModel, NullHooks, RunOptions};
-use vppb_model::{LwpPolicy, MachineConfig, SimParams, Time, TraceLog, VppbError};
+use vppb_model::{
+    AuditReport, LwpPolicy, MachineConfig, SchedMetrics, SimParams, Time, TraceLog, VppbError,
+};
 use vppb_recorder::{record, RecordOptions, Recording};
-use vppb_sim::{analyze, simulate_plan};
+use vppb_sim::{analyze, simulate_metrics, simulate_plan};
 use vppb_threads::App;
 
 /// Per-segment jitter amplitude for "real" executions.
@@ -53,9 +55,7 @@ pub fn real_speedup(app_1: &App, app_p: &App, cpus: u32) -> Result<RealStats, Vp
             .collect::<Result<Vec<_>, VppbError>>()?,
     );
     let mut speedups = (0..REAL_RUNS)
-        .map(|i| {
-            Ok(base / real_run_wall(app_p, cpus, 2000 + 17 * i as u64)?.nanos() as f64)
-        })
+        .map(|i| Ok(base / real_run_wall(app_p, cpus, 2000 + 17 * i as u64)?.nanos() as f64))
         .collect::<Result<Vec<f64>, VppbError>>()?;
     speedups.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
     Ok(RealStats {
@@ -84,6 +84,19 @@ pub fn predicted_speedup(log: &TraceLog, cpus: u32) -> Result<f64, VppbError> {
     let uni = simulate_plan(&plan, log, &SimParams::cpus(1))?;
     let multi = simulate_plan(&plan, log, &SimParams::cpus(cpus))?;
     Ok(uni.wall_time.nanos() as f64 / multi.wall_time.nanos() as f64)
+}
+
+/// Like [`predicted_speedup`], additionally returning the N-CPU replay's
+/// scheduling metrics and conservation audit (Table 1 rows carry these).
+pub fn predicted_speedup_metrics(
+    log: &TraceLog,
+    cpus: u32,
+) -> Result<(f64, SchedMetrics, AuditReport), VppbError> {
+    let plan = analyze(log)?;
+    let uni = simulate_plan(&plan, log, &SimParams::cpus(1))?;
+    let (multi, metrics) = simulate_metrics(log, &SimParams::cpus(cpus))?;
+    let speedup = uni.wall_time.nanos() as f64 / multi.wall_time.nanos() as f64;
+    Ok((speedup, metrics, multi.audit))
 }
 
 /// The paper's error metric: `((real) - (predicted)) / (real)`.

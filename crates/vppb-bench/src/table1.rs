@@ -2,11 +2,13 @@
 //! for the five validation programs on 2, 4 and 8 processors.
 
 use crate::harness::{
-    prediction_error, predicted_speedup, real_speedup, record_app, RealStats,
+    predicted_speedup, predicted_speedup_metrics, prediction_error, real_speedup, record_app,
+    RealStats,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use vppb_model::VppbError;
+use std::sync::Mutex;
+use vppb_model::{AuditReport, SchedMetrics, VppbError};
 use vppb_workloads::{splash2_suite, KernelParams};
 
 pub const CPU_COUNTS: [u32; 3] = [2, 4, 8];
@@ -39,6 +41,10 @@ impl Cell {
 pub struct Row {
     pub name: &'static str,
     pub cells: Vec<Cell>,
+    /// Scheduling metrics of the largest (8-CPU) predicted run.
+    pub metrics: SchedMetrics,
+    /// Conservation-law audit of that run (expected clean).
+    pub audit: AuditReport,
 }
 
 /// The whole table.
@@ -52,25 +58,23 @@ pub struct Table1 {
 ///
 /// The 15 cells (5 programs × 3 CPU counts) are independent — each is a
 /// recording plus a handful of deterministic machine runs — so they are
-/// computed on crossbeam scoped threads, one per program row, collecting
-/// into a `parking_lot`-guarded map. Determinism is unaffected: every run
-/// is seeded, and rows are re-assembled in suite order.
+/// computed on scoped threads, one per program row, collecting into a
+/// mutex-guarded map. Determinism is unaffected: every run is seeded,
+/// and rows are re-assembled in suite order.
 pub fn compute(scale: f64) -> Result<Table1, VppbError> {
     let suite = splash2_suite();
-    let results: parking_lot::Mutex<BTreeMap<usize, Result<Row, VppbError>>> =
-        parking_lot::Mutex::new(BTreeMap::new());
-    crossbeam::thread::scope(|s| {
+    let results: Mutex<BTreeMap<usize, Result<Row, VppbError>>> = Mutex::new(BTreeMap::new());
+    std::thread::scope(|s| {
         for (idx, spec) in suite.iter().enumerate() {
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let row = compute_row(spec, scale);
-                results.lock().insert(idx, row);
+                results.lock().expect("no poisoned workers").insert(idx, row);
             });
         }
-    })
-    .expect("no worker panics");
+    });
     let mut rows = Vec::new();
-    for (_, row) in results.into_inner() {
+    for (_, row) in results.into_inner().expect("no poisoned workers") {
         rows.push(row?);
     }
     Ok(Table1 { rows })
@@ -79,12 +83,24 @@ pub fn compute(scale: f64) -> Result<Table1, VppbError> {
 fn compute_row(spec: &vppb_workloads::WorkloadSpec, scale: f64) -> Result<Row, VppbError> {
     let app_1 = (spec.build)(KernelParams::scaled(1, scale));
     let mut cells = Vec::new();
+    let mut metrics = SchedMetrics::default();
+    let mut audit = AuditReport::default();
+    let last = CPU_COUNTS.len() - 1;
     for (i, &cpus) in CPU_COUNTS.iter().enumerate() {
         // SPLASH-2 creates one thread per processor: one log per setup.
         let app_p = (spec.build)(KernelParams::scaled(cpus, scale));
         let real = real_speedup(&app_1, &app_p, cpus)?;
         let rec = record_app(&app_p)?;
-        let predicted = predicted_speedup(&rec.log, cpus)?;
+        // The largest configuration also reports its scheduling metrics
+        // and audit; the smaller cells only need the speed-up.
+        let predicted = if i == last {
+            let (s, m, a) = predicted_speedup_metrics(&rec.log, cpus)?;
+            metrics = m;
+            audit = a;
+            s
+        } else {
+            predicted_speedup(&rec.log, cpus)?
+        };
         cells.push(Cell {
             cpus,
             real,
@@ -93,17 +109,13 @@ fn compute_row(spec: &vppb_workloads::WorkloadSpec, scale: f64) -> Result<Row, V
             paper_predicted: spec.paper_predicted[i].1,
         });
     }
-    Ok(Row { name: spec.name, cells })
+    Ok(Row { name: spec.name, cells, metrics, audit })
 }
 
 /// Largest absolute prediction error in the table (the paper's headline:
 /// ≤ 6 %).
 pub fn max_abs_error(t: &Table1) -> f64 {
-    t.rows
-        .iter()
-        .flat_map(|r| &r.cells)
-        .map(|c| c.error().abs())
-        .fold(0.0, f64::max)
+    t.rows.iter().flat_map(|r| &r.cells).map(|c| c.error().abs()).fold(0.0, f64::max)
 }
 
 /// Render the table in the paper's layout.
@@ -116,9 +128,8 @@ pub fn render(t: &Table1) -> String {
         "Application", "Speed-up", "2 processors", "4 processors", "8 processors"
     );
     for row in &t.rows {
-        let fmt_real = |c: &Cell| {
-            format!("{:.2} ({:.2}-{:.2})", c.real.median, c.real.min, c.real.max)
-        };
+        let fmt_real =
+            |c: &Cell| format!("{:.2} ({:.2}-{:.2})", c.real.median, c.real.min, c.real.max);
         let _ = writeln!(
             s,
             "{:<14} {:<10} {:>22} {:>22} {:>22}",
@@ -170,6 +181,8 @@ mod tests {
                 assert!(c.real.median > 0.9, "{} @{}p: {:?}", row.name, c.cpus, c.real);
                 assert!(c.predicted > 0.9);
             }
+            assert!(row.audit.is_clean(), "{}: {}", row.name, row.audit.render());
+            assert!(row.metrics.dispatches > 0, "{}: empty metrics", row.name);
         }
         let rendered = render(&t);
         assert!(rendered.contains("Ocean"));

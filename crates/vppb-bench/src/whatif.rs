@@ -3,7 +3,7 @@
 
 use crate::harness::{predicted_speedup, real_speedup, record_app};
 use std::fmt::Write as _;
-use vppb_model::{Duration, DispatchTable, SimParams, Time, VppbError};
+use vppb_model::{DispatchTable, Duration, SimParams, Time, VppbError};
 use vppb_recorder::{record, RecordOptions};
 use vppb_sim::{analyze, simulate, simulate_plan};
 use vppb_threads::AppBuilder;
@@ -136,7 +136,10 @@ pub fn render_all(scale: f64) -> Result<String, VppbError> {
             let _ = writeln!(s, "  without model: error {:+.2}%", e * 100.0);
         }
         None => {
-            let _ = writeln!(s, "  without model: replay DIVERGED (deadlock) — the rule is load-bearing");
+            let _ = writeln!(
+                s,
+                "  without model: replay DIVERGED (deadlock) — the rule is load-bearing"
+            );
         }
     }
     let _ = writeln!(s, "\nSweep: bound-thread cost factor (paper: 6.7x create / 5.9x sync)");

@@ -1,0 +1,329 @@
+//! End-of-run conservation-law auditor (DESIGN.md §6).
+//!
+//! The engine summarizes its final state into an [`AuditInput`] and this
+//! module checks the invariants every sound run must satisfy: all locks
+//! released and sleep queues drained, CPU busy time exactly accounted to
+//! threads, makespan bounds respected, no CPU ever double-booked, and
+//! consistent per-thread lifecycles. The checks run on *every* engine run
+//! — they are cheap relative to the simulation itself — so any accounting
+//! bug in the engine or a replay rule surfaces as a structured
+//! [`AuditReport`] violation rather than a silently wrong prediction.
+
+use vppb_model::{
+    AuditReport, Duration, SyncObjId, ThreadId, ThreadState, Time, Transition, Violation,
+    ViolationKind,
+};
+
+/// Final state of one thread, as the engine saw it.
+#[derive(Debug, Clone)]
+pub(crate) struct ThreadAudit {
+    pub id: ThreadId,
+    pub cpu_time: Duration,
+    pub started: Option<Time>,
+    pub ended: Option<Time>,
+    /// The thread reached its exit (zombie or reaped).
+    pub exited: bool,
+}
+
+/// Final state of one synchronization object.
+#[derive(Debug, Clone)]
+pub(crate) struct SyncAudit {
+    pub obj: SyncObjId,
+    /// Threads still holding it (mutex owner, rwlock writer/readers).
+    pub held_by: Vec<ThreadId>,
+    /// Threads still parked on its sleep queue.
+    pub queued: usize,
+}
+
+/// Everything the auditor looks at.
+pub(crate) struct AuditInput<'a> {
+    pub wall: Time,
+    pub cpu_busy: &'a [Duration],
+    pub threads: &'a [ThreadAudit],
+    pub sync: &'a [SyncAudit],
+    /// Threads/LWPs still sitting on a run queue after the last exit.
+    pub runnable_left: usize,
+    /// Threads still blocked in `thr_join`.
+    pub joiners_left: usize,
+    /// Full state timeline, when the run recorded one. Transitions at
+    /// equal timestamps appear in causal order, so a sequential scan sees
+    /// every intermediate occupancy state.
+    pub transitions: Option<&'a [Transition]>,
+}
+
+/// Evaluate every conservation law against the run's final state.
+pub(crate) fn run_audit(input: &AuditInput<'_>) -> AuditReport {
+    let mut report = AuditReport::default();
+
+    check_sync_objects(input, &mut report);
+    check_cpu_time_conservation(input, &mut report);
+    check_makespan_bounds(input, &mut report);
+    check_lifecycles(input, &mut report);
+    if let Some(transitions) = input.transitions {
+        check_cpu_occupancy(transitions, &mut report);
+    }
+
+    report
+}
+
+fn violation(report: &mut AuditReport, law: ViolationKind, detail: String) {
+    report.violations.push(Violation { law, detail });
+}
+
+/// Law 1: every lock acquired during the run was released, and nobody is
+/// left sleeping anywhere once the last thread has exited.
+fn check_sync_objects(input: &AuditInput<'_>, report: &mut AuditReport) {
+    for s in input.sync {
+        report.checks += 2;
+        if !s.held_by.is_empty() {
+            let holders: Vec<String> = s.held_by.iter().map(|t| t.to_string()).collect();
+            violation(
+                report,
+                ViolationKind::LockHeldAtExit,
+                format!("{} still held by {} after the run", s.obj, holders.join(", ")),
+            );
+        }
+        if s.queued > 0 {
+            violation(
+                report,
+                ViolationKind::WaitQueueNotEmpty,
+                format!("{} sleep queue still holds {} waiter(s)", s.obj, s.queued),
+            );
+        }
+    }
+    report.checks += 1;
+    if input.joiners_left > 0 {
+        violation(
+            report,
+            ViolationKind::WaitQueueNotEmpty,
+            format!("{} thread(s) still blocked in thr_join", input.joiners_left),
+        );
+    }
+}
+
+/// Law 2: CPU busy time and thread run time are two views of the same
+/// quantity — every busy nanosecond was charged to exactly one thread.
+fn check_cpu_time_conservation(input: &AuditInput<'_>, report: &mut AuditReport) {
+    report.checks += 1;
+    let busy: u64 = input.cpu_busy.iter().map(|d| d.nanos()).sum();
+    let run: u64 = input.threads.iter().map(|t| t.cpu_time.nanos()).sum();
+    if busy != run {
+        violation(
+            report,
+            ViolationKind::CpuTimeImbalance,
+            format!("sum of CPU busy time is {busy} ns but threads were charged {run} ns"),
+        );
+    }
+}
+
+/// Law 3: no CPU is busier than the wall clock, and total CPU time cannot
+/// exceed `wall x n_cpus` (the paper's upper bound on useful parallelism).
+fn check_makespan_bounds(input: &AuditInput<'_>, report: &mut AuditReport) {
+    let wall = input.wall.nanos();
+    for (c, busy) in input.cpu_busy.iter().enumerate() {
+        report.checks += 1;
+        if busy.nanos() > wall {
+            violation(
+                report,
+                ViolationKind::MakespanBound,
+                format!("CPU{c} busy {} ns exceeds wall time {wall} ns", busy.nanos()),
+            );
+        }
+    }
+    report.checks += 1;
+    let total: u64 = input.cpu_busy.iter().map(|d| d.nanos()).sum();
+    let bound = wall.saturating_mul(input.cpu_busy.len() as u64);
+    if total > bound {
+        violation(
+            report,
+            ViolationKind::MakespanBound,
+            format!("total busy time {total} ns exceeds wall x n_cpus = {bound} ns",),
+        );
+    }
+}
+
+/// Law 4: every thread's lifecycle is closed and consistent — it started
+/// before it ended, ended within the run, exited, and only charged CPU
+/// time if it ever ran. No runnable work may be left behind.
+fn check_lifecycles(input: &AuditInput<'_>, report: &mut AuditReport) {
+    for t in input.threads {
+        report.checks += 1;
+        let problem = if !t.exited {
+            Some("never exited".to_string())
+        } else {
+            match (t.started, t.ended) {
+                (None, _) if !t.cpu_time.is_zero() => {
+                    Some(format!("charged {} ns without ever starting", t.cpu_time.nanos()))
+                }
+                (None, Some(_)) => Some("ended without starting".to_string()),
+                (Some(s), Some(e)) if e < s => Some(format!("ended at {e} before starting at {s}")),
+                (Some(_), Some(e)) if e > input.wall => {
+                    Some(format!("ended at {e}, after the run's wall time {}", input.wall))
+                }
+                (Some(_), None) => Some("started but never ended".to_string()),
+                _ => None,
+            }
+        };
+        if let Some(p) = problem {
+            violation(report, ViolationKind::LifecycleIncomplete, format!("{}: {p}", t.id));
+        }
+    }
+    report.checks += 1;
+    if input.runnable_left > 0 {
+        violation(
+            report,
+            ViolationKind::LifecycleIncomplete,
+            format!(
+                "{} runnable item(s) left on run queues after the last exit",
+                input.runnable_left
+            ),
+        );
+    }
+}
+
+/// Law 5: replay the recorded state timeline and verify mutual exclusion
+/// of CPUs — at no instant do two threads run on one CPU, or one thread
+/// on two CPUs.
+fn check_cpu_occupancy(transitions: &[Transition], report: &mut AuditReport) {
+    use std::collections::BTreeMap;
+    report.checks += 1;
+    // cpu index -> occupying thread, thread -> cpu index.
+    let mut on_cpu: BTreeMap<u32, ThreadId> = BTreeMap::new();
+    let mut cpu_of: BTreeMap<ThreadId, u32> = BTreeMap::new();
+    for tr in transitions {
+        // Whatever the new state is, the thread first leaves its old CPU.
+        if let Some(c) = cpu_of.remove(&tr.thread) {
+            on_cpu.remove(&c);
+        }
+        if let ThreadState::Running { cpu, .. } = tr.state {
+            if let Some(&other) = on_cpu.get(&cpu.0) {
+                violation(
+                    report,
+                    ViolationKind::CpuOversubscribed,
+                    format!(
+                        "at t={}: {} dispatched onto {cpu} while {other} still runs there",
+                        tr.time, tr.thread
+                    ),
+                );
+            }
+            on_cpu.insert(cpu.0, tr.thread);
+            cpu_of.insert(tr.thread, cpu.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::{CpuId, LwpId};
+
+    fn clean_thread(id: u32, cpu_ns: u64, wall: u64) -> ThreadAudit {
+        ThreadAudit {
+            id: ThreadId(id),
+            cpu_time: Duration(cpu_ns),
+            started: Some(Time(0)),
+            ended: Some(Time(wall)),
+            exited: true,
+        }
+    }
+
+    fn base_input<'a>(
+        cpu_busy: &'a [Duration],
+        threads: &'a [ThreadAudit],
+        sync: &'a [SyncAudit],
+    ) -> AuditInput<'a> {
+        AuditInput {
+            wall: Time(100),
+            cpu_busy,
+            threads,
+            sync,
+            runnable_left: 0,
+            joiners_left: 0,
+            transitions: None,
+        }
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let busy = [Duration(60), Duration(40)];
+        let threads = [clean_thread(1, 70, 100), clean_thread(4, 30, 100)];
+        let report = run_audit(&base_input(&busy, &threads, &[]));
+        assert!(report.is_clean(), "unexpected violations: {}", report.render());
+        assert!(report.checks >= 4);
+    }
+
+    #[test]
+    fn held_lock_and_queued_waiter_are_caught() {
+        let busy = [Duration(10)];
+        let threads = [clean_thread(1, 10, 100)];
+        let sync = [SyncAudit { obj: SyncObjId::mutex(0), held_by: vec![ThreadId(1)], queued: 2 }];
+        let report = run_audit(&base_input(&busy, &threads, &sync));
+        let laws: Vec<ViolationKind> = report.violations.iter().map(|v| v.law).collect();
+        assert!(laws.contains(&ViolationKind::LockHeldAtExit));
+        assert!(laws.contains(&ViolationKind::WaitQueueNotEmpty));
+    }
+
+    #[test]
+    fn busy_time_must_match_thread_time() {
+        let busy = [Duration(50)];
+        let threads = [clean_thread(1, 49, 100)];
+        let report = run_audit(&base_input(&busy, &threads, &[]));
+        assert!(report.violations.iter().any(|v| v.law == ViolationKind::CpuTimeImbalance));
+    }
+
+    #[test]
+    fn cpu_busier_than_wall_breaks_makespan() {
+        let busy = [Duration(150)];
+        let threads = [clean_thread(1, 150, 100)];
+        let report = run_audit(&base_input(&busy, &threads, &[]));
+        assert!(report.violations.iter().any(|v| v.law == ViolationKind::MakespanBound));
+    }
+
+    #[test]
+    fn incomplete_lifecycle_is_caught() {
+        let busy = [Duration(10)];
+        let mut t = clean_thread(1, 10, 100);
+        t.exited = false;
+        let report = run_audit(&base_input(&busy, &[t], &[]));
+        assert!(report.violations.iter().any(|v| v.law == ViolationKind::LifecycleIncomplete));
+    }
+
+    #[test]
+    fn oversubscribed_cpu_is_caught_in_timeline() {
+        let running = |t: u64, th: u32| Transition {
+            time: Time(t),
+            thread: ThreadId(th),
+            state: ThreadState::Running { cpu: CpuId(0), lwp: LwpId(0) },
+        };
+        let busy = [Duration(20)];
+        let threads = [clean_thread(1, 10, 100), clean_thread(4, 10, 100)];
+        let mut input = base_input(&busy, &threads, &[]);
+        let timeline = [running(0, 1), running(5, 4)]; // T4 lands on CPU0 while T1 runs
+        input.transitions = Some(&timeline);
+        let report = run_audit(&input);
+        assert!(report.violations.iter().any(|v| v.law == ViolationKind::CpuOversubscribed));
+    }
+
+    #[test]
+    fn clean_timeline_passes_occupancy() {
+        let busy = [Duration(20)];
+        let threads = [clean_thread(1, 10, 100), clean_thread(4, 10, 100)];
+        let mut input = base_input(&busy, &threads, &[]);
+        let timeline = [
+            Transition {
+                time: Time(0),
+                thread: ThreadId(1),
+                state: ThreadState::Running { cpu: CpuId(0), lwp: LwpId(0) },
+            },
+            Transition { time: Time(5), thread: ThreadId(1), state: ThreadState::Runnable },
+            Transition {
+                time: Time(5),
+                thread: ThreadId(4),
+                state: ThreadState::Running { cpu: CpuId(0), lwp: LwpId(0) },
+            },
+        ];
+        input.transitions = Some(&timeline);
+        let report = run_audit(&input);
+        assert!(report.is_clean(), "unexpected violations: {}", report.render());
+    }
+}

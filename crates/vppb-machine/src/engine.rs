@@ -14,20 +14,20 @@
 //! configuration), and *predicted* runs (the Simulator feeds replayer
 //! programs plus a [`CallInterceptor`] implementing the §3.2 replay rules).
 
+use crate::audit::{self, AuditInput, SyncAudit, ThreadAudit};
 use crate::hooks::{event_kind_of, Hooks};
 use crate::jitter::JitterModel;
+use crate::observer::{SchedEvent, SchedObserver};
 use crate::result::{RunLimits, RunResult};
 use crate::sync::{CondState, MutexState, RwState, RwWaiter, SemState};
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use vppb_model::{
-    Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, LwpId,
-    LwpPolicy, MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip,
-    ThreadState, Time, Transition, VppbError,
+    Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, LwpId, LwpPolicy,
+    MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip, ThreadState, Time,
+    Transition, VppbError,
 };
-use vppb_threads::{
-    Action, App, FuncId, LibCall, Outcome, Program, ResumeCtx, VarOp,
-};
+use vppb_threads::{Action, App, FuncId, LibCall, Outcome, Program, ResumeCtx, VarOp};
 
 /// Maximum consecutive zero-time actions before a thread is declared
 /// livelocked (a spin loop with no `Work` in its body).
@@ -71,6 +71,12 @@ pub struct RunOptions<'a> {
     /// Collect the full transition/event timeline (costs memory on long
     /// runs; speed-up measurements can turn it off).
     pub record_trace: bool,
+    /// Structured scheduling observer ([`crate::MetricsObserver`],
+    /// [`crate::SchedTrace`], …). `None` skips every emission.
+    pub observer: Option<&'a mut dyn SchedObserver>,
+    /// Deliberate invariant breakage, so tests can prove the end-of-run
+    /// auditor catches real corruption. All off by default.
+    pub faults: FaultInjection,
 }
 
 impl<'a> RunOptions<'a> {
@@ -84,7 +90,35 @@ impl<'a> RunOptions<'a> {
             jitter: JitterModel::none(),
             limits: RunLimits::default(),
             record_trace: true,
+            observer: None,
+            faults: FaultInjection::default(),
         }
+    }
+}
+
+/// Test-only corruption knobs. Each one deliberately breaks a conservation
+/// law the auditor must then report; production callers leave everything
+/// `None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Skip the release semantics of `mutex_unlock` on this mutex: the
+    /// call completes normally but the lock stays held (and any waiters
+    /// stay queued), so a sound run ends with `lock-held-at-exit`.
+    pub leak_mutex: Option<u32>,
+    /// Charge this CPU's busy time twice while threads are charged once,
+    /// breaking `Σ busy == Σ thread time`.
+    pub double_charge_cpu: Option<u32>,
+}
+
+impl FaultInjection {
+    /// No faults (the default).
+    pub fn none() -> FaultInjection {
+        FaultInjection::default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn any(&self) -> bool {
+        self.leak_mutex.is_some() || self.double_charge_cpu.is_some()
     }
 }
 
@@ -295,6 +329,21 @@ impl<'a, 'o> Engine<'a, 'o> {
         self.heap.push(Reverse((at, self.seq, ev)));
     }
 
+    /// Report a scheduling decision to the attached observer, if any.
+    #[inline]
+    fn observe(&mut self, ev: SchedEvent) {
+        if let Some(o) = self.opts.observer.as_deref_mut() {
+            o.on_sched(self.now, &ev);
+        }
+    }
+
+    /// Whether an observer is attached (guard for emissions whose event
+    /// payload is not free to compute, e.g. queue depths).
+    #[inline]
+    fn observing(&self) -> bool {
+        self.opts.observer.is_some()
+    }
+
     fn viz_state(&self, tix: Tix) -> ThreadState {
         let t = &self.threads[tix];
         match t.state {
@@ -360,6 +409,11 @@ impl<'a, 'o> Engine<'a, 'o> {
         } else {
             q.push_back(tix);
         }
+        if self.observing() {
+            let depth = self.user_rq.values().map(|q| q.len() as u32).sum();
+            let thread = self.threads[tix].id;
+            self.observe(SchedEvent::UserEnqueue { thread, prio, depth });
+        }
     }
 
     fn user_rq_pop(&mut self) -> Option<Tix> {
@@ -392,6 +446,11 @@ impl<'a, 'o> Engine<'a, 'o> {
         self.lwps[lix].state = LState::Ready;
         let prio = self.lwps[lix].prio;
         self.kernel_rq.entry(prio).or_default().push_back(lix);
+        if self.observing() {
+            let depth = self.kernel_rq.values().map(|q| q.len() as u32).sum();
+            let lwp = self.lwps[lix].id;
+            self.observe(SchedEvent::KernelEnqueue { lwp, prio, depth });
+        }
     }
 
     fn kernel_remove(&mut self, lix: Lix) {
@@ -508,7 +567,7 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 
     /// Grant CPU `c` to ready LWP `l` and start running its thread.
-    fn grant(&mut self, c: Cix, l: Lix, ) -> Result<(), VppbError> {
+    fn grant(&mut self, c: Cix, l: Lix) -> Result<(), VppbError> {
         debug_assert!(self.cpus[c].lwp.is_none());
         let tix = self.lwps[l].thread.expect("ready LWP carries a thread");
         self.lwps[l].state = LState::Running(c);
@@ -518,19 +577,29 @@ impl<'a, 'o> Engine<'a, 'o> {
         }
         // Context-switch costs are charged to the incoming thread.
         let mut charge = Duration::ZERO;
-        if self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(tix) {
+        let uthread_switch =
+            self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(tix);
+        if uthread_switch {
             charge += self.cfg.base_costs.uthread_switch;
         }
-        if self.cpus[c].last_lwp.is_some() && self.cpus[c].last_lwp != Some(l) {
+        let lwp_switch = self.cpus[c].last_lwp.is_some() && self.cpus[c].last_lwp != Some(l);
+        if lwp_switch {
             charge += self.cfg.base_costs.lwp_switch;
         }
         // Cache-affinity: a thread migrating between CPUs refills caches.
-        if let Some(prev) = self.threads[tix].last_cpu {
-            if prev != c {
-                charge += self.cfg.migration_penalty;
-            }
+        let migrated = self.threads[tix].last_cpu.is_some_and(|prev| prev != c);
+        if migrated {
+            charge += self.cfg.migration_penalty;
         }
         self.threads[tix].pre_charge += charge;
+        self.observe(SchedEvent::Dispatch {
+            cpu: CpuId(c as u32),
+            lwp: self.lwps[l].id,
+            thread: self.threads[tix].id,
+            uthread_switch,
+            lwp_switch,
+            migrated,
+        });
         self.lwps[l].last_thread = Some(tix);
         self.cpus[c].lwp = Some(l);
         self.cpus[c].last_lwp = Some(l);
@@ -554,6 +623,12 @@ impl<'a, 'o> Engine<'a, 'o> {
             return;
         }
         self.cpus[c].busy += elapsed;
+        if self.opts.faults.double_charge_cpu == Some(c as u32) {
+            // Deliberate corruption (FaultInjection): busy time diverges
+            // from the per-thread charges so the auditor has a real
+            // imbalance to catch.
+            self.cpus[c].busy += elapsed;
+        }
         let l = self.cpus[c].lwp.expect("charging a busy cpu");
         self.lwps[l].quantum_left = self.lwps[l].quantum_left.saturating_sub(elapsed);
         let tix = self.lwps[l].thread.expect("running lwp has thread");
@@ -574,6 +649,11 @@ impl<'a, 'o> Engine<'a, 'o> {
         let l = self.cpus[c].lwp.take().expect("preempting a busy cpu");
         self.cpus[c].last_lwp = Some(l);
         let tix = self.lwps[l].thread.expect("running lwp has thread");
+        self.observe(SchedEvent::Preempt {
+            cpu: CpuId(c as u32),
+            lwp: self.lwps[l].id,
+            thread: self.threads[tix].id,
+        });
         self.set_state(tix, TState::Runnable);
         self.kernel_enqueue(l);
     }
@@ -597,15 +677,24 @@ impl<'a, 'o> Engine<'a, 'o> {
                 self.cpus[c].run_start = self.now;
                 // Same CPU continues with the new thread.
                 let mut charge = Duration::ZERO;
-                if self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(next) {
+                let uthread_switch =
+                    self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(next);
+                if uthread_switch {
                     charge = self.cfg.base_costs.uthread_switch;
                 }
-                if let Some(prev) = self.threads[next].last_cpu {
-                    if prev != c {
-                        charge += self.cfg.migration_penalty;
-                    }
+                let migrated = self.threads[next].last_cpu.is_some_and(|prev| prev != c);
+                if migrated {
+                    charge += self.cfg.migration_penalty;
                 }
                 self.threads[next].pre_charge += charge;
+                self.observe(SchedEvent::Dispatch {
+                    cpu: CpuId(c as u32),
+                    lwp: self.lwps[l].id,
+                    thread: self.threads[next].id,
+                    uthread_switch,
+                    lwp_switch: false,
+                    migrated,
+                });
                 self.lwps[l].last_thread = Some(next);
                 self.threads[next].last_cpu = Some(c);
                 if self.threads[next].started.is_none() {
@@ -654,9 +743,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                         _ => unreachable!(),
                     }
                     let stop = if self.cfg.time_slicing && !self.lwps[l].dedicated_solo() {
-                        Duration::from_nanos(
-                            total.nanos().min(self.lwps[l].quantum_left.nanos()),
-                        )
+                        Duration::from_nanos(total.nanos().min(self.lwps[l].quantum_left.nanos()))
                     } else {
                         total
                     };
@@ -689,6 +776,11 @@ impl<'a, 'o> Engine<'a, 'o> {
                     self.threads[tix].gen += 1;
                     let gen = self.threads[tix].gen;
                     self.push_ev(self.now + d, Ev::Timer { thread: tix, gen });
+                    self.observe(SchedEvent::Block {
+                        thread: id,
+                        reason: BlockReason::Timer,
+                        queue_depth: 0,
+                    });
                     self.set_state(tix, TState::Blocked(BlockReason::Timer));
                     self.detach_thread(tix);
                     self.lwp_continue_or_park(c)?;
@@ -844,6 +936,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             self.set_state(tix, TState::Blocked(BlockReason::Suspended));
             return Ok(());
         }
+        self.observe(SchedEvent::Wakeup { thread: self.threads[tix].id });
         self.make_runnable(tix)?;
         self.dispatch()
     }
@@ -867,7 +960,12 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     // -- thread lifecycle --------------------------------------------------------
 
-    fn spawn_thread(&mut self, func: FuncId, bound_flag: bool, creator: Option<Tix>) -> Result<Tix, VppbError> {
+    fn spawn_thread(
+        &mut self,
+        func: FuncId,
+        bound_flag: bool,
+        creator: Option<Tix>,
+    ) -> Result<Tix, VppbError> {
         let id = match (&mut self.opts.id_assigner, creator) {
             (Some(assign), Some(cix)) => {
                 let seq = self.threads[cix].create_seq;
@@ -889,11 +987,8 @@ impl<'a, 'o> Engine<'a, 'o> {
             return Err(VppbError::ProgramError(format!("duplicate thread id {id}")));
         }
         let manip = self.opts.manips.get(&id).copied().unwrap_or_default();
-        let binding = manip.binding.unwrap_or(if bound_flag {
-            Binding::BoundLwp
-        } else {
-            Binding::Unbound
-        });
+        let binding =
+            manip.binding.unwrap_or(if bound_flag { Binding::BoundLwp } else { Binding::Unbound });
         let tix = self.threads.len();
         self.threads.push(ThreadRt {
             id,
@@ -1055,6 +1150,18 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     // -- call semantics ----------------------------------------------------------
 
+    /// Current sleep-queue population behind `reason` (observer metadata).
+    fn sleep_queue_len(&self, reason: BlockReason) -> u32 {
+        let BlockReason::Sync(obj) = reason else { return 0 };
+        let ix = obj.index as usize;
+        (match obj.kind {
+            vppb_model::ObjKind::Mutex => self.mutexes[ix].queue.len(),
+            vppb_model::ObjKind::Semaphore => self.sems[ix].queue.len(),
+            vppb_model::ObjKind::Condvar => self.conds[ix].queue.len(),
+            vppb_model::ObjKind::RwLock => self.rws[ix].queue.len(),
+        }) as u32
+    }
+
     fn perform_call(&mut self, tix: Tix, c: Cix) -> Result<(), VppbError> {
         let call = self.threads[tix].call.as_ref().expect("in call").call;
         let id = self.threads[tix].id;
@@ -1066,9 +1173,12 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
             CallOutcome::Blocked(reason) => {
                 self.charge_elapsed(c);
+                if self.observing() {
+                    let queue_depth = self.sleep_queue_len(reason);
+                    self.observe(SchedEvent::Block { thread: id, reason, queue_depth });
+                }
                 self.set_state(tix, TState::Blocked(reason));
                 self.detach_thread(tix);
-                let _ = id;
                 self.lwp_continue_or_park(c)
             }
             CallOutcome::BlockedIo(latency) => {
@@ -1078,6 +1188,11 @@ impl<'a, 'o> Engine<'a, 'o> {
                 // the syscall (this extension) restore soundness: the
                 // whole wait lands inside the call span.
                 self.charge_elapsed(c);
+                self.observe(SchedEvent::Block {
+                    thread: id,
+                    reason: BlockReason::Io,
+                    queue_depth: 0,
+                });
                 self.set_state(tix, TState::Blocked(BlockReason::Io));
                 self.threads[tix].gen += 1;
                 let gen = self.threads[tix].gen;
@@ -1203,9 +1318,14 @@ impl<'a, 'o> Engine<'a, 'o> {
                 CallOutcome::Done
             }
             MutexUnlock(m) => {
-                let next = self.mutexes[m.0 as usize]
-                    .unlock(id)
-                    .map_err(VppbError::ProgramError)?;
+                if self.opts.faults.leak_mutex == Some(m.0) {
+                    // Deliberate corruption (FaultInjection): the unlock
+                    // "succeeds" but the lock is never released, so the
+                    // auditor must flag lock-held-at-exit.
+                    return Ok(CallOutcome::Done);
+                }
+                let next =
+                    self.mutexes[m.0 as usize].unlock(id).map_err(VppbError::ProgramError)?;
                 if let Some(w) = next {
                     let wix = self.by_id[&w];
                     // The woken thread may be re-acquiring after a
@@ -1236,9 +1356,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 CallOutcome::Done
             }
 
-            CondWait { cond, mutex } => {
-                self.begin_cond_wait(tix, c, cond.0, mutex.0, None)?
-            }
+            CondWait { cond, mutex } => self.begin_cond_wait(tix, c, cond.0, mutex.0, None)?,
             CondTimedWait { cond, mutex, timeout } => {
                 self.begin_cond_wait(tix, c, cond.0, mutex.0, Some(timeout))?
             }
@@ -1284,9 +1402,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 CallOutcome::Done
             }
             RwUnlock(r) => {
-                let granted = self.rws[r.0 as usize]
-                    .unlock(id)
-                    .map_err(VppbError::ProgramError)?;
+                let granted = self.rws[r.0 as usize].unlock(id).map_err(VppbError::ProgramError)?;
                 for w in granted {
                     let wix = self.by_id[&w];
                     self.finish_blocking_wake(wix, c);
@@ -1336,10 +1452,8 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// A condvar waiter was signalled (or timed out): stage its outcome and
     /// re-acquire the mutex before the wait can return.
     fn cond_wake(&mut self, wix: Tix, waker_cpu: Cix, timed_out: bool) -> Result<(), VppbError> {
-        let (_, m) = self.threads[wix]
-            .cv_wait
-            .take()
-            .expect("cond_wake on thread not in cond_wait");
+        let (_, m) =
+            self.threads[wix].cv_wait.take().expect("cond_wake on thread not in cond_wait");
         let is_timed = matches!(
             self.threads[wix].call.as_ref().map(|i| i.call),
             Some(LibCall::CondTimedWait { .. })
@@ -1419,7 +1533,13 @@ impl<'a, 'o> Engine<'a, 'o> {
         } else {
             // Quantum expiry: age the LWP and requeue it.
             debug_assert!(self.lwps[l].quantum_left.is_zero());
-            self.lwps[l].prio = self.cfg.dispatch.on_quantum_expiry(self.lwps[l].prio);
+            let from_prio = self.lwps[l].prio;
+            self.lwps[l].prio = self.cfg.dispatch.on_quantum_expiry(from_prio);
+            self.observe(SchedEvent::Age {
+                lwp: self.lwps[l].id,
+                from_prio,
+                to_prio: self.lwps[l].prio,
+            });
             self.lwps[l].fresh_quantum = true;
             self.cpus[c].token += 1;
             self.cpus[c].lwp = None;
@@ -1528,7 +1648,71 @@ impl<'a, 'o> Engine<'a, 'o> {
         parts.join(", ")
     }
 
+    /// Summarize the engine's final state for the conservation auditor.
+    fn audit_input_sync(&self) -> Vec<SyncAudit> {
+        let mut sync = Vec::new();
+        for (i, m) in self.mutexes.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::mutex(i as u32),
+                held_by: m.owner.into_iter().collect(),
+                queued: m.queue.len(),
+            });
+        }
+        for (i, s) in self.sems.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::semaphore(i as u32),
+                held_by: Vec::new(), // leftover units are legal
+                queued: s.queue.len(),
+            });
+        }
+        for (i, cv) in self.conds.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::condvar(i as u32),
+                held_by: Vec::new(),
+                queued: cv.queue.len(),
+            });
+        }
+        for (i, rw) in self.rws.iter().enumerate() {
+            let mut held_by = rw.readers.clone();
+            held_by.extend(rw.writer);
+            sync.push(SyncAudit {
+                obj: SyncObjId::rwlock(i as u32),
+                held_by,
+                queued: rw.queue.len(),
+            });
+        }
+        sync
+    }
+
+    fn run_audit(&self) -> vppb_model::AuditReport {
+        let cpu_busy: Vec<Duration> = self.cpus.iter().map(|c| c.busy).collect();
+        let thread_audits: Vec<ThreadAudit> = self
+            .threads
+            .iter()
+            .map(|t| ThreadAudit {
+                id: t.id,
+                cpu_time: t.cpu_time,
+                started: t.started,
+                ended: t.ended,
+                exited: matches!(t.state, TState::Zombie | TState::Done),
+            })
+            .collect();
+        let sync = self.audit_input_sync();
+        let runnable_left = self.user_rq.values().map(|q| q.len()).sum::<usize>()
+            + self.kernel_rq.values().map(|q| q.len()).sum::<usize>();
+        audit::run_audit(&AuditInput {
+            wall: self.now,
+            cpu_busy: &cpu_busy,
+            threads: &thread_audits,
+            sync: &sync,
+            runnable_left,
+            joiners_left: self.joiners.len(),
+            transitions: if self.opts.record_trace { Some(&self.transitions) } else { None },
+        })
+    }
+
     fn into_result(mut self) -> RunResult {
+        let audit = self.run_audit();
         let wall_time = self.now;
         let mut threads = BTreeMap::new();
         for t in &self.threads {
@@ -1560,6 +1744,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             des_events: self.des_events,
             total_cpu_time,
             n_threads,
+            audit,
         }
     }
 }

@@ -12,13 +12,16 @@
 //! predictions all execute on this one engine — see `DESIGN.md` §2 for why
 //! that substitution preserves the paper's claims.
 
+mod audit;
 pub mod engine;
 pub mod hooks;
 pub mod jitter;
+pub mod observer;
 pub mod result;
 pub mod sync;
 
-pub use engine::{run, CallInterceptor, IdAssigner, Intercept, RunOptions};
+pub use engine::{run, CallInterceptor, FaultInjection, IdAssigner, Intercept, RunOptions};
 pub use hooks::{event_kind_of, Hooks, NullHooks};
 pub use jitter::JitterModel;
+pub use observer::{MetricsObserver, SchedEvent, SchedObserver, SchedTrace, Tee};
 pub use result::{RunLimits, RunResult};

@@ -1,0 +1,299 @@
+//! Structured scheduling observability.
+//!
+//! The engine reports every scheduling decision — dispatches, preemptions,
+//! migrations, sleep-queue traffic, priority aging — to an optional
+//! [`SchedObserver`]. With no observer attached the engine pays nothing:
+//! every emission site is guarded by an `Option` check and the event value
+//! is never built.
+//!
+//! Two ready-made observers cover the common uses: [`MetricsObserver`]
+//! aggregates a serializable [`SchedMetrics`], and [`SchedTrace`] keeps the
+//! last N events in a ring buffer so a failing run can dump the scheduling
+//! history that led up to the failure.
+
+use crate::result::RunResult;
+use std::collections::{BTreeMap, VecDeque};
+use vppb_model::{
+    BlockReason, CpuId, LwpId, ObjContention, SchedMetrics, SyncObjId, ThreadId, Time,
+};
+
+/// One scheduling decision, as reported to observers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A thread was granted a CPU. The flags say which context-switch
+    /// costs the grant charged.
+    Dispatch {
+        /// The CPU granted.
+        cpu: CpuId,
+        /// The LWP carrying the thread.
+        lwp: LwpId,
+        /// The thread now running.
+        thread: ThreadId,
+        /// A user-level thread switch was charged.
+        uthread_switch: bool,
+        /// A kernel LWP switch was charged.
+        lwp_switch: bool,
+        /// The thread moved between CPUs (cache-refill penalty charged).
+        migrated: bool,
+    },
+    /// A running LWP was kicked off its CPU by a higher-priority one.
+    Preempt {
+        /// The CPU being vacated.
+        cpu: CpuId,
+        /// The preempted LWP.
+        lwp: LwpId,
+        /// The thread it was running.
+        thread: ThreadId,
+    },
+    /// An LWP joined the kernel run queue.
+    KernelEnqueue {
+        /// The queued LWP.
+        lwp: LwpId,
+        /// Its priority class.
+        prio: i32,
+        /// Total LWPs queued after the insert.
+        depth: u32,
+    },
+    /// An unbound thread joined the user-level run queue.
+    UserEnqueue {
+        /// The queued thread.
+        thread: ThreadId,
+        /// Its user priority.
+        prio: i32,
+        /// Total threads queued after the insert.
+        depth: u32,
+    },
+    /// A thread went to sleep.
+    Block {
+        /// The sleeping thread.
+        thread: ThreadId,
+        /// Why it sleeps.
+        reason: BlockReason,
+        /// Waiters on the object's sleep queue after the insert
+        /// (0 for non-object reasons such as timers).
+        queue_depth: u32,
+    },
+    /// A wakeup was delivered to a blocked thread.
+    Wakeup {
+        /// The thread made runnable.
+        thread: ThreadId,
+    },
+    /// An LWP's priority aged at quantum expiry.
+    Age {
+        /// The aged LWP.
+        lwp: LwpId,
+        /// Priority before.
+        from_prio: i32,
+        /// Priority after.
+        to_prio: i32,
+    },
+}
+
+/// Receives every scheduling decision of a run, in virtual-time order.
+pub trait SchedObserver {
+    /// Called at each scheduling decision.
+    fn on_sched(&mut self, now: Time, ev: &SchedEvent);
+}
+
+/// Aggregates [`SchedMetrics`] from the event stream.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    m: SchedMetrics,
+    contention: BTreeMap<SyncObjId, (u64, u32)>,
+}
+
+impl MetricsObserver {
+    /// A fresh, zeroed observer.
+    pub fn new() -> MetricsObserver {
+        MetricsObserver::default()
+    }
+
+    /// Copy the run-level numbers (wall time, busy/idle, DES events) out
+    /// of a finished run. Call once, after the run.
+    pub fn finish(&mut self, result: &RunResult) {
+        self.m.wall_ns = result.wall_time.nanos();
+        self.m.total_cpu_ns = result.total_cpu_time.nanos();
+        self.m.des_events = result.des_events;
+        self.m.n_threads = result.n_threads;
+        self.m.cpu_busy_ns = result.cpu_busy.iter().map(|d| d.nanos()).collect();
+        self.m.cpu_idle_ns = result
+            .cpu_busy
+            .iter()
+            .map(|d| result.wall_time.nanos().saturating_sub(d.nanos()))
+            .collect();
+    }
+
+    /// The aggregated metrics.
+    pub fn into_metrics(mut self) -> SchedMetrics {
+        self.m.contention = self
+            .contention
+            .into_iter()
+            .map(|(obj, (blocks, max_queue))| ObjContention { obj, blocks, max_queue })
+            .collect();
+        self.m
+    }
+}
+
+impl SchedObserver for MetricsObserver {
+    fn on_sched(&mut self, _now: Time, ev: &SchedEvent) {
+        match *ev {
+            SchedEvent::Dispatch { uthread_switch, lwp_switch, migrated, .. } => {
+                self.m.dispatches += 1;
+                self.m.uthread_switches += uthread_switch as u64;
+                self.m.lwp_switches += lwp_switch as u64;
+                self.m.migrations += migrated as u64;
+            }
+            SchedEvent::Preempt { .. } => self.m.preemptions += 1,
+            SchedEvent::KernelEnqueue { depth, .. } => {
+                self.m.max_kernel_rq_depth = self.m.max_kernel_rq_depth.max(depth);
+            }
+            SchedEvent::UserEnqueue { depth, .. } => {
+                self.m.max_user_rq_depth = self.m.max_user_rq_depth.max(depth);
+            }
+            SchedEvent::Block { reason, queue_depth, .. } => {
+                self.m.blocks += 1;
+                if let BlockReason::Sync(obj) = reason {
+                    let e = self.contention.entry(obj).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 = e.1.max(queue_depth);
+                }
+            }
+            SchedEvent::Wakeup { .. } => self.m.wakeups += 1,
+            SchedEvent::Age { .. } => self.m.agings += 1,
+        }
+    }
+}
+
+/// Keeps the last `capacity` scheduling events in a ring buffer. Attach it
+/// for a failing run and [`SchedTrace::dump`] the history from the error
+/// path.
+#[derive(Debug)]
+pub struct SchedTrace {
+    capacity: usize,
+    buf: VecDeque<(Time, SchedEvent)>,
+    dropped: u64,
+}
+
+impl SchedTrace {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> SchedTrace {
+        SchedTrace { capacity: capacity.max(1), buf: VecDeque::new(), dropped: 0 }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(Time, SchedEvent)> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events that fell out of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained history, one event per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", self.dropped));
+        }
+        for (t, ev) in &self.buf {
+            out.push_str(&format!("[{t}] {ev:?}\n"));
+        }
+        out
+    }
+}
+
+impl SchedObserver for SchedTrace {
+    fn on_sched(&mut self, now: Time, ev: &SchedEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((now, *ev));
+    }
+}
+
+/// Fans one event stream out to two observers (e.g. metrics + ring trace).
+pub struct Tee<'a>(pub &'a mut dyn SchedObserver, pub &'a mut dyn SchedObserver);
+
+impl SchedObserver for Tee<'_> {
+    fn on_sched(&mut self, now: Time, ev: &SchedEvent) {
+        self.0.on_sched(now, ev);
+        self.1.on_sched(now, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatch(th: u32) -> SchedEvent {
+        SchedEvent::Dispatch {
+            cpu: CpuId(0),
+            lwp: LwpId(0),
+            thread: ThreadId(th),
+            uthread_switch: true,
+            lwp_switch: false,
+            migrated: th.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn metrics_observer_counts() {
+        let mut o = MetricsObserver::new();
+        o.on_sched(Time(1), &dispatch(1));
+        o.on_sched(Time(2), &dispatch(2));
+        o.on_sched(
+            Time(3),
+            &SchedEvent::Block {
+                thread: ThreadId(1),
+                reason: BlockReason::Sync(SyncObjId::mutex(0)),
+                queue_depth: 3,
+            },
+        );
+        o.on_sched(Time(4), &SchedEvent::Wakeup { thread: ThreadId(1) });
+        let m = o.into_metrics();
+        assert_eq!(m.dispatches, 2);
+        assert_eq!(m.uthread_switches, 2);
+        assert_eq!(m.migrations, 1);
+        assert_eq!(m.blocks, 1);
+        assert_eq!(m.wakeups, 1);
+        assert_eq!(m.contention.len(), 1);
+        assert_eq!(m.contention[0].max_queue, 3);
+    }
+
+    #[test]
+    fn ring_trace_wraps_and_counts_drops() {
+        let mut tr = SchedTrace::new(2);
+        for i in 0..5 {
+            tr.on_sched(Time(i), &dispatch(i as u32));
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        let dump = tr.dump();
+        assert!(dump.contains("3 earlier events dropped"));
+        assert!(dump.contains("Dispatch"));
+    }
+
+    #[test]
+    fn tee_feeds_both() {
+        let mut a = MetricsObserver::new();
+        let mut b = SchedTrace::new(8);
+        {
+            let mut tee = Tee(&mut a, &mut b);
+            tee.on_sched(Time(0), &dispatch(1));
+        }
+        assert_eq!(a.into_metrics().dispatches, 1);
+        assert_eq!(b.len(), 1);
+    }
+}

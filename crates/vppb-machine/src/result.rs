@@ -1,6 +1,6 @@
 //! Results of a machine run.
 
-use vppb_model::{Duration, ExecutionTrace, Time};
+use vppb_model::{AuditReport, Duration, ExecutionTrace, Time};
 
 /// Everything a completed run reports.
 #[derive(Debug, Clone)]
@@ -19,6 +19,9 @@ pub struct RunResult {
     pub total_cpu_time: Duration,
     /// Number of threads that existed during the run.
     pub n_threads: u32,
+    /// Conservation-law audit of the final engine state, evaluated on
+    /// every run (DESIGN.md §6). Clean unless the engine miscounted.
+    pub audit: AuditReport,
 }
 
 impl RunResult {
@@ -61,6 +64,7 @@ mod tests {
             des_events: 0,
             total_cpu_time: Duration(150),
             n_threads: 1,
+            audit: AuditReport::default(),
         };
         assert!((r.utilization() - 0.75).abs() < 1e-9);
     }
@@ -74,6 +78,7 @@ mod tests {
             des_events: 0,
             total_cpu_time: Duration::ZERO,
             n_threads: 0,
+            audit: AuditReport::default(),
         };
         assert_eq!(r.utilization(), 0.0);
     }

@@ -23,7 +23,9 @@ fn exact(mut c: MachineConfig) -> MachineConfig {
 
 fn go(app: &vppb_threads::App, c: &MachineConfig) -> vppb_machine::RunResult {
     let mut hooks = NullHooks;
-    run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds")
+    let r = run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds");
+    assert!(r.audit.is_clean(), "conservation audit failed:\n{}", r.audit.render());
+    r
 }
 
 fn two_worker_app(work_ms: u64) -> vppb_threads::App {
@@ -164,10 +166,7 @@ fn condvar_barrier_synchronizes_all_parties() {
     // trailing 10ms puts their exits at >= 60ms.
     for t in [4u32, 5, 6] {
         let ended = r.trace.threads[&ThreadId(t)].ended;
-        assert!(
-            ended >= Time::from_millis(60),
-            "T{t} passed the barrier early: ended at {ended}"
-        );
+        assert!(ended >= Time::from_millis(60), "T{t} passed the barrier early: ended at {ended}");
     }
 }
 
@@ -206,8 +205,8 @@ fn trylock_outcomes_follow_lock_state() {
         f.work_ms(5); // holder owns the lock now
         let r1 = f.local();
         f.trylock(m); // fails
-        // Outcome of trylock is not directly observable in scripts; use
-        // a second trylock after the holder exits instead.
+                      // Outcome of trylock is not directly observable in scripts; use
+                      // a second trylock after the holder exits instead.
         f.join(h);
         f.trylock(m); // succeeds
         f.unlock(m);
@@ -505,10 +504,7 @@ fn priority_manipulation_orders_threads_on_one_lwp() {
     let c = exact(MachineConfig::default().with_cpus(1).with_lwps(LwpPolicy::Fixed(1)));
     let mut hooks = NullHooks;
     let mut opts = RunOptions::new(&mut hooks);
-    opts.manips.insert(
-        ThreadId(5),
-        ThreadManip { binding: None, priority: Some(10) },
-    );
+    opts.manips.insert(ThreadId(5), ThreadManip { binding: None, priority: Some(10) });
     let r = run(&app, &c, opts).unwrap();
     let e4 = r.trace.threads[&ThreadId(4)].ended;
     let e5 = r.trace.threads[&ThreadId(5)].ended;
@@ -546,10 +542,8 @@ fn jitter_varies_wall_time_but_same_seed_reproduces() {
     let app = two_worker_app(50);
     let run_seed = |seed| {
         let mut hooks = NullHooks;
-        let opts = RunOptions {
-            jitter: JitterModel::uniform(0.05, seed),
-            ..RunOptions::new(&mut hooks)
-        };
+        let opts =
+            RunOptions { jitter: JitterModel::uniform(0.05, seed), ..RunOptions::new(&mut hooks) };
         run(&app, &cfg(2), opts).unwrap().wall_time
     };
     assert_eq!(run_seed(1), run_seed(1));

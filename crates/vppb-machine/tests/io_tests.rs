@@ -17,7 +17,9 @@ fn exact(mut c: MachineConfig) -> MachineConfig {
 
 fn go(app: &vppb_threads::App, c: &MachineConfig) -> vppb_machine::RunResult {
     let mut hooks = NullHooks;
-    run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds")
+    let r = run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds");
+    assert!(r.audit.is_clean(), "conservation audit failed:\n{}", r.audit.render());
+    r
 }
 
 fn io_and_compute_app() -> vppb_threads::App {
@@ -82,10 +84,7 @@ fn io_prediction_round_trips_through_the_simulator() {
 
     // Prediction on 2 CPUs matches the real 2-CPU run.
     let sim = simulate(&rec.log, &SimParams::cpus(2)).unwrap();
-    let real = go(
-        &app,
-        &MachineConfig::sun_enterprise(2).with_lwps(LwpPolicy::PerThread),
-    );
+    let real = go(&app, &MachineConfig::sun_enterprise(2).with_lwps(LwpPolicy::PerThread));
     let err = (sim.wall_time.nanos() as f64 - real.wall_time.nanos() as f64).abs()
         / real.wall_time.nanos() as f64;
     assert!(err < 0.02, "predicted {} vs real {}", sim.wall_time, real.wall_time);
@@ -93,7 +92,6 @@ fn io_prediction_round_trips_through_the_simulator() {
 
 #[test]
 fn io_bound_program_speedup_is_predictable() {
-    
     use vppb_recorder::{record, RecordOptions};
     use vppb_sim::predict_speedup;
 

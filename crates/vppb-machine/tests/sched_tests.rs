@@ -2,14 +2,14 @@
 //! preemption, and LWP-pool dynamics.
 
 use vppb_machine::{run, NullHooks, RunOptions};
-use vppb_model::{
-    DispatchTable, Duration, LwpPolicy, MachineConfig, ThreadId, Time,
-};
+use vppb_model::{DispatchTable, Duration, LwpPolicy, MachineConfig, ThreadId, Time};
 use vppb_threads::AppBuilder;
 
 fn go(app: &vppb_threads::App, c: &MachineConfig) -> vppb_machine::RunResult {
     let mut hooks = NullHooks;
-    run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds")
+    let r = run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds");
+    assert!(r.audit.is_clean(), "conservation audit failed:\n{}", r.audit.render());
+    r
 }
 
 fn compute_bound_pair() -> vppb_threads::App {
@@ -80,10 +80,7 @@ fn quantum_expiry_ages_priority_downward() {
     // Ideal: 20 * (5ms io + 1ms work) = 120ms (+ the hog's head start of
     // one quantum). If the sleeper had to wait behind the whole hog it
     // would end after 2000ms.
-    assert!(
-        sleeper_end < Time::from_millis(700),
-        "interactive thread starved until {sleeper_end}"
-    );
+    assert!(sleeper_end < Time::from_millis(700), "interactive thread starved until {sleeper_end}");
 }
 
 #[test]
@@ -141,10 +138,7 @@ fn wake_preempts_lower_priority_lwp() {
     // 1 ms *immediately*; without, it would wait out the hog's current
     // low-priority quantum (200 ms at priority 9).
     let waker_end = r.trace.threads[&ThreadId(5)].ended;
-    assert!(
-        waker_end < Time::from_millis(430),
-        "woken thread waited too long: {waker_end}"
-    );
+    assert!(waker_end < Time::from_millis(430), "woken thread waited too long: {waker_end}");
     // And the preemption is visible: the hog went back to Runnable at the
     // instant the waker woke.
     let wake_time = r
@@ -159,12 +153,9 @@ fn wake_preempts_lower_priority_lwp() {
         .expect("waker wakes")
         .time;
     assert!(
-        r.trace
-            .transitions
-            .iter()
-            .any(|t| t.thread == ThreadId(4)
-                && t.time == wake_time
-                && t.state == vppb_model::ThreadState::Runnable),
+        r.trace.transitions.iter().any(|t| t.thread == ThreadId(4)
+            && t.time == wake_time
+            && t.state == vppb_model::ThreadState::Runnable),
         "hog should be preempted at the wake instant {wake_time}"
     );
 }

@@ -288,16 +288,10 @@ pub fn decode(data: &[u8]) -> Result<TraceLog, VppbError> {
                 prio: get_varint(&mut buf)? as i32,
             },
             T_SETCONC => EventKind::ThrSetConcurrency { n: get_varint(&mut buf)? as u32 },
-            T_SUSPEND => {
-                EventKind::ThrSuspend { target: ThreadId(get_varint(&mut buf)? as u32) }
-            }
-            T_CONTINUE => {
-                EventKind::ThrContinue { target: ThreadId(get_varint(&mut buf)? as u32) }
-            }
+            T_SUSPEND => EventKind::ThrSuspend { target: ThreadId(get_varint(&mut buf)? as u32) },
+            T_CONTINUE => EventKind::ThrContinue { target: ThreadId(get_varint(&mut buf)? as u32) },
             T_MUTEX_LOCK => EventKind::MutexLock { obj: obj(&mut buf, SyncObjId::mutex)? },
-            T_MUTEX_TRYLOCK => {
-                EventKind::MutexTryLock { obj: obj(&mut buf, SyncObjId::mutex)? }
-            }
+            T_MUTEX_TRYLOCK => EventKind::MutexTryLock { obj: obj(&mut buf, SyncObjId::mutex)? },
             T_MUTEX_UNLOCK => EventKind::MutexUnlock { obj: obj(&mut buf, SyncObjId::mutex)? },
             T_SEM_WAIT => EventKind::SemWait { obj: obj(&mut buf, SyncObjId::semaphore)? },
             T_SEM_TRYWAIT => EventKind::SemTryWait { obj: obj(&mut buf, SyncObjId::semaphore)? },
@@ -311,9 +305,7 @@ pub fn decode(data: &[u8]) -> Result<TraceLog, VppbError> {
                 mutex: SyncObjId::mutex(get_varint(&mut buf)? as u32),
                 timeout: Duration(get_varint(&mut buf)?),
             },
-            T_COND_SIGNAL => {
-                EventKind::CondSignal { cond: obj(&mut buf, SyncObjId::condvar)? }
-            }
+            T_COND_SIGNAL => EventKind::CondSignal { cond: obj(&mut buf, SyncObjId::condvar)? },
             T_COND_BROADCAST => {
                 EventKind::CondBroadcast { cond: obj(&mut buf, SyncObjId::condvar)? }
             }
@@ -393,10 +385,7 @@ mod tests {
         let bin_records = bin.len() - 10 - serde_json::to_vec(&log.header).unwrap().len();
         let text_records: usize =
             text.lines().filter(|l| !l.starts_with('#')).map(|l| l.len() + 1).sum();
-        assert!(
-            bin_records * 2 < text_records,
-            "binary {bin_records}B vs text {text_records}B"
-        );
+        assert!(bin_records * 2 < text_records, "binary {bin_records}B vs text {text_records}B");
     }
 
     #[test]

@@ -14,9 +14,10 @@ pub mod binlog;
 pub mod config;
 pub mod dispatch;
 pub mod error;
-pub mod exec;
 pub mod event;
+pub mod exec;
 pub mod ids;
+pub mod metrics;
 pub mod source;
 pub mod textlog;
 pub mod time;
@@ -27,11 +28,10 @@ pub use config::{
 };
 pub use dispatch::{DispatchRow, DispatchTable, TS_DEFAULT_PRI, TS_LEVELS, TS_MAX_PRI};
 pub use error::VppbError;
-pub use exec::{
-    BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState, Transition,
-};
 pub use event::{EventKind, EventResult, Phase};
+pub use exec::{BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState, Transition};
 pub use ids::{parse_obj_id, CpuId, LwpId, ObjKind, SyncObjId, ThreadId};
+pub use metrics::{AuditReport, ObjContention, SchedMetrics, Violation, ViolationKind};
 pub use source::{CodeAddr, SourceLoc, SourceMap};
 pub use time::{parse_time, Duration, Time};
 pub use trace::{LogHeader, TraceLog, TraceRecord};

@@ -1,0 +1,190 @@
+//! Scheduler observability: machine-readable run metrics and the
+//! conservation-law audit report (DESIGN.md §6).
+//!
+//! These types live in `vppb-model` so the machine produces them, the
+//! simulator forwards them, and the CLI / evaluation harness serialize
+//! them without extra glue.
+
+use crate::ids::SyncObjId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Counters and high-water marks collected by the engine's scheduling
+/// observer over one run. All times are virtual nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedMetrics {
+    /// Times a thread was granted a CPU (context switches onto CPUs).
+    pub dispatches: u64,
+    /// Kernel preemptions (a higher-priority LWP took the CPU).
+    pub preemptions: u64,
+    /// Thread migrations between CPUs (cache-refill penalty charged).
+    pub migrations: u64,
+    /// User-level thread switches on an LWP.
+    pub uthread_switches: u64,
+    /// Kernel LWP switches on a CPU.
+    pub lwp_switches: u64,
+    /// Quantum-expiry priority agings.
+    pub agings: u64,
+    /// Threads blocked (any reason: sync object, sleep, I/O, join).
+    pub blocks: u64,
+    /// Wakeups delivered to blocked threads.
+    pub wakeups: u64,
+    /// Deepest kernel run queue observed.
+    pub max_kernel_rq_depth: u32,
+    /// Deepest user-level run queue observed.
+    pub max_user_rq_depth: u32,
+    /// Per-synchronization-object contention, sorted by object id.
+    pub contention: Vec<ObjContention>,
+    /// Busy time of each CPU.
+    pub cpu_busy_ns: Vec<u64>,
+    /// Idle time of each CPU (`wall - busy`).
+    pub cpu_idle_ns: Vec<u64>,
+    /// Virtual wall-clock time of the run.
+    pub wall_ns: u64,
+    /// Total CPU time charged to threads.
+    pub total_cpu_ns: u64,
+    /// Discrete-event steps the engine processed.
+    pub des_events: u64,
+    /// Threads that existed during the run.
+    pub n_threads: u32,
+}
+
+impl SchedMetrics {
+    /// Context switches of any kind (user-level plus kernel-level).
+    pub fn context_switches(&self) -> u64 {
+        self.uthread_switches + self.lwp_switches
+    }
+
+    /// The most contended object, if any thread ever blocked on one.
+    pub fn hottest_object(&self) -> Option<&ObjContention> {
+        self.contention.iter().max_by_key(|c| c.blocks)
+    }
+}
+
+/// Sleep-queue pressure on one synchronization object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjContention {
+    /// Which object.
+    pub obj: SyncObjId,
+    /// Times a thread blocked on it.
+    pub blocks: u64,
+    /// Deepest wait queue observed (including the thread about to sleep).
+    pub max_queue: u32,
+}
+
+/// Which conservation law a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViolationKind {
+    /// A lock is still held (or readers remain) after the last thread
+    /// exited.
+    LockHeldAtExit,
+    /// A sleep queue still has waiters after the run.
+    WaitQueueNotEmpty,
+    /// Σ per-CPU busy time ≠ Σ per-thread run time.
+    CpuTimeImbalance,
+    /// Two threads ran on one CPU at once, or one thread on two CPUs.
+    CpuOversubscribed,
+    /// A busy/makespan bound fails (CPU busier than the wall clock,
+    /// total CPU time above `wall × n_cpus`, …).
+    MakespanBound,
+    /// A thread's start/end bookkeeping is inconsistent with the run.
+    LifecycleIncomplete,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::LockHeldAtExit => "lock-held-at-exit",
+            ViolationKind::WaitQueueNotEmpty => "wait-queue-not-empty",
+            ViolationKind::CpuTimeImbalance => "cpu-time-imbalance",
+            ViolationKind::CpuOversubscribed => "cpu-oversubscribed",
+            ViolationKind::MakespanBound => "makespan-bound",
+            ViolationKind::LifecycleIncomplete => "lifecycle-incomplete",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One broken invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The law that failed.
+    pub law: ViolationKind,
+    /// Human-readable specifics (object, thread, amounts).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.law, self.detail)
+    }
+}
+
+/// Result of the end-of-run conservation audit. Produced on every engine
+/// run; a clean report is the expected outcome.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Individual checks evaluated.
+    pub checks: u32,
+    /// Everything that failed (empty on a sound run).
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// `true` when no law was broken.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the violations one per line (empty string when clean).
+    pub fn render(&self) -> String {
+        self.violations.iter().map(|v| format!("{v}\n")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_round_trips_as_json() {
+        let r = AuditReport { checks: 7, violations: vec![] };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert!(back.is_clean());
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn violations_round_trip_and_render() {
+        let r = AuditReport {
+            checks: 3,
+            violations: vec![Violation {
+                law: ViolationKind::LockHeldAtExit,
+                detail: "mtx0 owned by T1".into(),
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.render().contains("lock-held-at-exit"));
+    }
+
+    #[test]
+    fn metrics_helpers() {
+        let m = SchedMetrics {
+            uthread_switches: 3,
+            lwp_switches: 4,
+            contention: vec![
+                ObjContention { obj: SyncObjId::mutex(0), blocks: 2, max_queue: 1 },
+                ObjContention { obj: SyncObjId::mutex(1), blocks: 9, max_queue: 4 },
+            ],
+            ..SchedMetrics::default()
+        };
+        assert_eq!(m.context_switches(), 7);
+        assert_eq!(m.hottest_object().unwrap().obj, SyncObjId::mutex(1));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SchedMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

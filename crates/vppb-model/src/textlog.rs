@@ -80,9 +80,17 @@ fn write_record(out: &mut String, r: &TraceRecord) {
         IoWait { latency } => {
             let _ = write!(out, " latency={}", latency.nanos());
         }
-        MutexLock { obj } | MutexTryLock { obj } | MutexUnlock { obj } | SemWait { obj }
-        | SemTryWait { obj } | SemPost { obj } | RwRdLock { obj } | RwWrLock { obj }
-        | RwTryRdLock { obj } | RwTryWrLock { obj } | RwUnlock { obj } => {
+        MutexLock { obj }
+        | MutexTryLock { obj }
+        | MutexUnlock { obj }
+        | SemWait { obj }
+        | SemTryWait { obj }
+        | SemPost { obj }
+        | RwRdLock { obj }
+        | RwWrLock { obj }
+        | RwTryRdLock { obj }
+        | RwTryWrLock { obj }
+        | RwUnlock { obj } => {
             let _ = write!(out, " obj={obj}");
         }
         CondWait { cond, mutex } => {
@@ -146,8 +154,7 @@ fn parse_header_line(rest: &str, h: &mut LogHeader) -> Result<(), String> {
             h.wall_time = parse_time(val).ok_or_else(|| format!("bad walltime {val:?}"))?
         }
         "probecost" => {
-            h.probe_cost =
-                Duration(val.parse().map_err(|_| format!("bad probecost {val:?}"))?)
+            h.probe_cost = Duration(val.parse().map_err(|_| format!("bad probecost {val:?}"))?)
         }
         "thread" => {
             let (t, f) = val.split_once(' ').ok_or("bad thread header")?;
@@ -208,9 +215,7 @@ fn parse_record_line(line: &str) -> Result<TraceRecord, String> {
     }
 
     let obj = |kv: &BTreeMap<&str, &str>, key: &str| -> Result<crate::ids::SyncObjId, String> {
-        kv.get(key)
-            .and_then(|v| parse_obj_id(v))
-            .ok_or_else(|| format!("missing/bad {key}="))
+        kv.get(key).and_then(|v| parse_obj_id(v)).ok_or_else(|| format!("missing/bad {key}="))
     };
     let target = |kv: &BTreeMap<&str, &str>| -> Result<ThreadId, String> {
         parse_thread(kv.get("target").ok_or("missing target=")?)
@@ -374,7 +379,10 @@ mod tests {
         let back = parse_log(&text).unwrap();
         assert_eq!(back.header.program, "toy");
         assert_eq!(back.header.probe_cost, Duration::from_micros(2));
-        assert_eq!(back.header.thread_start_fn.get(&ThreadId(4)).map(String::as_str), Some("thread"));
+        assert_eq!(
+            back.header.thread_start_fn.get(&ThreadId(4)).map(String::as_str),
+            Some("thread")
+        );
         assert_eq!(back.header.source_map.len(), 2);
     }
 

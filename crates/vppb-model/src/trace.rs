@@ -202,8 +202,7 @@ mod tests {
     }
 
     fn bracketed(mut inner: Vec<TraceRecord>) -> TraceLog {
-        let mut records =
-            vec![rec(0, 0, 1, Phase::Mark, EventKind::StartCollect)];
+        let mut records = vec![rec(0, 0, 1, Phase::Mark, EventKind::StartCollect)];
         records.append(&mut inner);
         let end_us = records.last().map(|r| r.time.as_micros() + 1).unwrap_or(1);
         records.push(rec(0, end_us, 1, Phase::Mark, EventKind::EndCollect));

@@ -15,10 +15,8 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
     prop_oneof![
         Just(EventKind::ThrExit),
         Just(EventKind::ThrYield),
-        (any::<bool>(), 0u64..1_000_000).prop_map(|(bound, a)| EventKind::ThrCreate {
-            bound,
-            func: CodeAddr(a),
-        }),
+        (any::<bool>(), 0u64..1_000_000)
+            .prop_map(|(bound, a)| EventKind::ThrCreate { bound, func: CodeAddr(a) }),
         proptest::option::of(1u32..100)
             .prop_map(|t| EventKind::ThrJoin { target: t.map(ThreadId) }),
         (1u32..100, 0i32..128)

@@ -24,8 +24,7 @@ pub fn load_text(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
 
 /// Write a log as JSON (lossless, machine-friendly).
 pub fn save_json(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
-    let json =
-        serde_json::to_string(log).map_err(|e| VppbError::Io(format!("serialize: {e}")))?;
+    let json = serde_json::to_string(log).map_err(|e| VppbError::Io(format!("serialize: {e}")))?;
     fs::write(path, json)?;
     Ok(())
 }
@@ -117,10 +116,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            load_text("/nonexistent/vppb.log"),
-            Err(VppbError::Io(_))
-        ));
+        assert!(matches!(load_text("/nonexistent/vppb.log"), Err(VppbError::Io(_))));
     }
 
     #[test]

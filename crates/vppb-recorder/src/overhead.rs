@@ -41,11 +41,8 @@ impl OverheadReport {
 /// Measure the intrusion of recording `app`.
 pub fn measure_overhead(app: &App, opts: &RecordOptions) -> Result<OverheadReport, VppbError> {
     let mut hooks = NullHooks;
-    let bare_opts = RunOptions {
-        limits: opts.limits,
-        record_trace: false,
-        ..RunOptions::new(&mut hooks)
-    };
+    let bare_opts =
+        RunOptions { limits: opts.limits, record_trace: false, ..RunOptions::new(&mut hooks) };
     let bare = run(app, &opts.machine, bare_opts)?;
     let rec = record(app, opts)?;
     let text = textlog::write_log(&rec.log);

@@ -8,13 +8,13 @@
 //! to the calling thread — the source of the ≤ 3 % recording overhead the
 //! paper measures.
 
+use std::collections::BTreeMap;
 use vppb_machine::{run, Hooks, RunLimits, RunOptions, RunResult};
 use vppb_model::{
     CodeAddr, Duration, EventKind, EventResult, LogHeader, MachineConfig, Phase, ThreadId, Time,
     TraceLog, TraceRecord, VppbError,
 };
 use vppb_threads::App;
-use std::collections::BTreeMap;
 
 /// Options for a monitored run.
 #[derive(Debug, Clone)]
@@ -145,8 +145,7 @@ pub fn record(app: &App, opts: &RecordOptions) -> Result<Recording, VppbError> {
     }
     if opts.machine.lwps.pool_size(1, 1) != 1 {
         return Err(VppbError::InvalidConfig(
-            "the Recorder requires exactly one LWP (it cannot observe kernel LWP switches)"
-                .into(),
+            "the Recorder requires exactly one LWP (it cannot observe kernel LWP switches)".into(),
         ));
     }
     let mut hooks = RecorderHooks {

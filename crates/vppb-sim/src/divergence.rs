@@ -1,0 +1,203 @@
+//! Replay-divergence reports: where a predicted execution departs from
+//! its ground truth.
+//!
+//! Two comparisons matter in practice. [`DivergenceReport::vs_log`] checks
+//! a simulated execution against the recorded information it replays: for
+//! every thread, the non-condvar events must come back in exactly the
+//! recorded order (the §3.2 replay rules are allowed to rewrite
+//! `cond_wait`/`cond_signal`/`cond_broadcast` dynamically, so condvar
+//! traffic is exempt). [`DivergenceReport::between`] strictly compares two
+//! simulated executions event-for-event including placement times — the
+//! determinism regression check: the same log and parameters must
+//! reproduce the identical prediction.
+
+use serde::{Deserialize, Serialize};
+use vppb_model::{EventKind, ExecutionTrace, Phase, ThreadId, TraceLog};
+
+/// The first point where two executions disagree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Thread whose event stream diverged.
+    pub thread: ThreadId,
+    /// Position in that thread's (filtered) event sequence.
+    pub index: usize,
+    /// What the ground truth has at that position.
+    pub expected: String,
+    /// What the replay produced instead.
+    pub got: String,
+}
+
+/// Outcome of comparing a replay against its ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceReport {
+    /// No divergence found.
+    pub identical: bool,
+    /// Events compared before finishing or diverging.
+    pub compared_events: u64,
+    /// The earliest divergence (by thread id, then position), if any.
+    pub first: Option<Divergence>,
+}
+
+impl DivergenceReport {
+    fn clean(compared: u64) -> DivergenceReport {
+        DivergenceReport { identical: true, compared_events: compared, first: None }
+    }
+
+    fn diverged(compared: u64, d: Divergence) -> DivergenceReport {
+        DivergenceReport { identical: false, compared_events: compared, first: Some(d) }
+    }
+
+    /// Compare the replayed execution against the recorded log it came
+    /// from. Condvar events are exempt (replay rules rewrite them); every
+    /// other call must replay per-thread in exactly the recorded order.
+    pub fn vs_log(log: &TraceLog, got: &ExecutionTrace) -> DivergenceReport {
+        let mut threads: Vec<ThreadId> = log.threads();
+        for t in got.threads.keys() {
+            if !threads.contains(t) {
+                threads.push(*t);
+            }
+        }
+        threads.sort_unstable();
+
+        let mut compared = 0u64;
+        for &t in &threads {
+            let expected: Vec<EventKind> = log
+                .records_of(t)
+                .filter(|r| r.phase == Phase::Before && !replay_flexible(&r.kind))
+                .map(|r| r.kind)
+                .collect();
+            let actual: Vec<EventKind> = got
+                .events
+                .iter()
+                .filter(|e| e.thread == t && !replay_flexible(&e.kind))
+                .map(|e| e.kind)
+                .collect();
+            if let Some(d) = first_mismatch(t, &expected, &actual, &mut compared) {
+                return DivergenceReport::diverged(compared, d);
+            }
+        }
+        DivergenceReport::clean(compared)
+    }
+
+    /// Strictly compare two executions: same threads, and per thread the
+    /// same events with the same start/end placement. Proves bit-identical
+    /// replays (determinism), or pinpoints the first difference.
+    pub fn between(expected: &ExecutionTrace, got: &ExecutionTrace) -> DivergenceReport {
+        let mut threads: Vec<ThreadId> = expected.threads.keys().copied().collect();
+        for t in got.threads.keys() {
+            if !threads.contains(t) {
+                threads.push(*t);
+            }
+        }
+        threads.sort_unstable();
+
+        let mut compared = 0u64;
+        for &t in &threads {
+            // Raw nanoseconds, not `Display` (which rounds to the
+            // microsecond and would hide one-nanosecond drifts).
+            let key = |e: &vppb_model::PlacedEvent| {
+                format!("{:?} @ [{}, {}]", e.kind, e.start.nanos(), e.end.nanos())
+            };
+            let exp: Vec<String> =
+                expected.events.iter().filter(|e| e.thread == t).map(key).collect();
+            let act: Vec<String> = got.events.iter().filter(|e| e.thread == t).map(key).collect();
+            if let Some(d) = first_mismatch(t, &exp, &act, &mut compared) {
+                return DivergenceReport::diverged(compared, d);
+            }
+        }
+        DivergenceReport::clean(compared)
+    }
+}
+
+/// Whether the replay rules may legitimately rewrite this event.
+fn replay_flexible(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::CondWait { .. }
+            | EventKind::CondTimedWait { .. }
+            | EventKind::CondSignal { .. }
+            | EventKind::CondBroadcast { .. }
+    )
+}
+
+fn first_mismatch<T: PartialEq + std::fmt::Debug>(
+    thread: ThreadId,
+    expected: &[T],
+    actual: &[T],
+    compared: &mut u64,
+) -> Option<Divergence> {
+    let n = expected.len().max(actual.len());
+    for i in 0..n {
+        *compared += 1;
+        match (expected.get(i), actual.get(i)) {
+            (Some(e), Some(a)) if e == a => {}
+            (e, a) => {
+                return Some(Divergence {
+                    thread,
+                    index: i,
+                    expected: e.map_or("<end of sequence>".into(), |v| format!("{v:?}")),
+                    got: a.map_or("<end of sequence>".into(), |v| format!("{v:?}")),
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::{CodeAddr, CpuId, PlacedEvent, SyncObjId, Time};
+
+    fn lock_event(thread: u32, start: u64, mutex: u32) -> PlacedEvent {
+        PlacedEvent {
+            start: Time(start),
+            end: Time(start + 1),
+            thread: ThreadId(thread),
+            kind: EventKind::MutexLock { obj: SyncObjId::mutex(mutex) },
+            cpu: CpuId(0),
+            caller: CodeAddr(0),
+        }
+    }
+
+    fn trace_with(events: Vec<PlacedEvent>) -> ExecutionTrace {
+        let mut tr = ExecutionTrace::default();
+        for e in &events {
+            tr.threads.entry(e.thread).or_default();
+        }
+        tr.events = events;
+        tr
+    }
+
+    #[test]
+    fn identical_traces_report_clean() {
+        let a = trace_with(vec![lock_event(1, 0, 0), lock_event(1, 5, 1)]);
+        let b = trace_with(vec![lock_event(1, 0, 0), lock_event(1, 5, 1)]);
+        let rep = DivergenceReport::between(&a, &b);
+        assert!(rep.identical);
+        assert_eq!(rep.compared_events, 2);
+        assert!(rep.first.is_none());
+    }
+
+    #[test]
+    fn moved_event_pinpoints_first_divergence() {
+        let a = trace_with(vec![lock_event(1, 0, 0), lock_event(1, 5, 1)]);
+        let b = trace_with(vec![lock_event(1, 0, 0), lock_event(1, 6, 1)]);
+        let rep = DivergenceReport::between(&a, &b);
+        assert!(!rep.identical);
+        let d = rep.first.unwrap();
+        assert_eq!(d.thread, ThreadId(1));
+        assert_eq!(d.index, 1);
+        assert!(d.expected.contains("[5, 6]"));
+        assert!(d.got.contains("[6, 7]"));
+    }
+
+    #[test]
+    fn missing_tail_event_is_a_divergence() {
+        let a = trace_with(vec![lock_event(1, 0, 0), lock_event(1, 5, 1)]);
+        let b = trace_with(vec![lock_event(1, 0, 0)]);
+        let rep = DivergenceReport::between(&a, &b);
+        assert!(!rep.identical);
+        assert_eq!(rep.first.unwrap().got, "<end of sequence>");
+    }
+}

@@ -10,14 +10,19 @@
 //! the requested configuration with [`rules::ReplayRules`] applying the
 //! dynamic condition-variable rules (§6's barrier model).
 
+pub mod divergence;
 pub mod plan;
 pub mod replayer;
 pub mod rules;
 pub mod sim;
 pub mod sorter;
 
+pub use divergence::{Divergence, DivergenceReport};
 pub use plan::{CvEpisode, CvPlan, ReplayOp, ReplayPlan, ThreadPlan};
 pub use replayer::Replayer;
 pub use rules::ReplayRules;
-pub use sim::{build_replay_app, predict_speedup, simulate, simulate_plan, SimulatedExecution};
+pub use sim::{
+    build_replay_app, predict_speedup, simulate, simulate_metrics, simulate_plan,
+    simulate_plan_with, SimulatedExecution,
+};
 pub use sorter::analyze;

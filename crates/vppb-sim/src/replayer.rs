@@ -3,8 +3,8 @@
 
 use crate::plan::ReplayOp;
 use std::sync::Arc;
-use vppb_threads::{Action, LibCall, Program, ResumeCtx};
 use vppb_model::CodeAddr;
+use vppb_threads::{Action, LibCall, Program, ResumeCtx};
 
 /// A coroutine stepping through one thread's replay ops. Outcomes of the
 /// replayed calls are ignored — the log already fixed every decision the
@@ -47,11 +47,8 @@ mod tests {
 
     #[test]
     fn ops_are_replayed_in_order() {
-        let ops: Arc<[ReplayOp]> = vec![
-            Action::Work(Duration(5)),
-            Action::Call(LibCall::Exit, CodeAddr(0x10)),
-        ]
-        .into();
+        let ops: Arc<[ReplayOp]> =
+            vec![Action::Work(Duration(5)), Action::Call(LibCall::Exit, CodeAddr(0x10))].into();
         let mut r = Replayer::new(ops);
         assert_eq!(r.resume(ctx()), Action::Work(Duration(5)));
         assert_eq!(r.resume(ctx()), Action::Call(LibCall::Exit, CodeAddr(0x10)));

@@ -69,10 +69,7 @@ pub struct ReplayRules {
 impl ReplayRules {
     /// Rules seeded from a plan's condvar analysis.
     pub fn new(plan: &ReplayPlan, barrier_aware: bool) -> ReplayRules {
-        ReplayRules {
-            cvs: plan.cvs.iter().map(CvState::from_plan).collect(),
-            barrier_aware,
-        }
+        ReplayRules { cvs: plan.cvs.iter().map(CvState::from_plan).collect(), barrier_aware }
     }
 
     fn on_wait(&mut self, cv: u32, mutex: u32) -> Intercept {
@@ -86,10 +83,7 @@ impl ReplayRules {
                 s.arrived = 0;
                 Intercept::Proceed(LibCall::CondBroadcast(CondRef(cv)))
             } else {
-                Intercept::Proceed(LibCall::CondWait {
-                    cond: CondRef(cv),
-                    mutex: MutexRef(mutex),
-                })
+                Intercept::Proceed(LibCall::CondWait { cond: CondRef(cv), mutex: MutexRef(mutex) })
             }
         } else if s.credits > 0 {
             // A signal already "happened" for this wait.
@@ -134,10 +128,7 @@ impl ReplayRules {
         } else {
             // The recorded broadcaster arrived early: in reality it would
             // have found count < N and taken the wait branch.
-            Intercept::Proceed(LibCall::CondWait {
-                cond: CondRef(cv),
-                mutex: MutexRef(ep.mutex),
-            })
+            Intercept::Proceed(LibCall::CondWait { cond: CondRef(cv), mutex: MutexRef(ep.mutex) })
         }
     }
 }

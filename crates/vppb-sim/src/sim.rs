@@ -1,15 +1,19 @@
 //! The Simulator's front door: log in, predicted execution out (boxes
 //! d → g of the paper's fig. 1).
 
+use crate::divergence::DivergenceReport;
 use crate::plan::ReplayPlan;
 use crate::replayer::Replayer;
 use crate::rules::ReplayRules;
 use crate::sorter::analyze;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use vppb_machine::{run, JitterModel, NullHooks, RunLimits, RunOptions};
+use vppb_machine::{
+    run, JitterModel, MetricsObserver, NullHooks, RunLimits, RunOptions, RunResult, SchedObserver,
+};
 use vppb_model::{
-    Duration, ExecutionTrace, SimParams, ThreadId, Time, TraceLog, VppbError,
+    AuditReport, Duration, ExecutionTrace, SchedMetrics, SimParams, ThreadId, Time, TraceLog,
+    VppbError,
 };
 use vppb_threads::{Action, App, FuncDecl, FuncId, LibCall, Program, ProgramFactory};
 
@@ -26,6 +30,9 @@ pub struct SimulatedExecution {
     pub cpu_busy: Vec<Duration>,
     /// Parameters the prediction was made under.
     pub params: SimParams,
+    /// Conservation-law audit of the replay run (clean unless the engine
+    /// or a replay rule miscounted).
+    pub audit: AuditReport,
 }
 
 impl SimulatedExecution {
@@ -37,6 +44,13 @@ impl SimulatedExecution {
             return 0.0;
         }
         self.recorded_wall.nanos() as f64 / self.wall_time.nanos() as f64
+    }
+
+    /// Where (if anywhere) this replay departs from the recorded log's
+    /// per-thread event order. Condvar traffic is exempt — the §3.2 replay
+    /// rules rewrite it on purpose.
+    pub fn divergence_from(&self, log: &TraceLog) -> DivergenceReport {
+        DivergenceReport::vs_log(log, &self.trace)
     }
 }
 
@@ -102,6 +116,43 @@ pub fn simulate_plan(
     log: &TraceLog,
     params: &SimParams,
 ) -> Result<SimulatedExecution, VppbError> {
+    simulate_plan_with(plan, log, params, None)
+}
+
+/// Like [`simulate_plan`], with a scheduling observer attached to the
+/// replay run (metrics, ring traces).
+pub fn simulate_plan_with(
+    plan: &ReplayPlan,
+    log: &TraceLog,
+    params: &SimParams,
+    observer: Option<&mut dyn SchedObserver>,
+) -> Result<SimulatedExecution, VppbError> {
+    let result = run_replay(plan, log, params, observer)?;
+    Ok(to_execution(plan, params, result))
+}
+
+/// Like [`simulate`], additionally returning the scheduling metrics of
+/// the replay run (context switches, migrations, contention, queue
+/// depths).
+pub fn simulate_metrics(
+    log: &TraceLog,
+    params: &SimParams,
+) -> Result<(SimulatedExecution, SchedMetrics), VppbError> {
+    let plan = analyze(log)?;
+    let mut metrics = MetricsObserver::new();
+    let result = run_replay(&plan, log, params, Some(&mut metrics))?;
+    metrics.finish(&result);
+    let exec = to_execution(&plan, params, result);
+    Ok((exec, metrics.into_metrics()))
+}
+
+/// Execute the replay on the engine.
+fn run_replay(
+    plan: &ReplayPlan,
+    log: &TraceLog,
+    params: &SimParams,
+    observer: Option<&mut dyn SchedObserver>,
+) -> Result<RunResult, VppbError> {
     let app = build_replay_app(plan, log.header.source_map.clone());
 
     // The paper's Simulator does not model kernel LWP context-switch
@@ -109,34 +160,48 @@ pub fn simulate_plan(
     let mut machine = params.machine.clone();
     machine.base_costs.lwp_switch = Duration::ZERO;
 
+    // `RunOptions` borrows everything under one lifetime; wrapping the
+    // caller's observer in a local forwarder lets it coexist with the
+    // locally owned rules/hooks.
+    struct Fwd<'x>(&'x mut dyn SchedObserver);
+    impl SchedObserver for Fwd<'_> {
+        fn on_sched(&mut self, now: Time, ev: &vppb_machine::SchedEvent) {
+            self.0.on_sched(now, ev);
+        }
+    }
+    let mut fwd = observer.map(Fwd);
+
     let mut rules = ReplayRules::new(plan, params.barrier_aware_broadcast);
     let create_map = plan.create_map.clone();
     let mut hooks = NullHooks;
     let opts = RunOptions {
         interceptor: Some(&mut rules),
         id_assigner: Some(Box::new(move |creator, seq| {
-            create_map
-                .get(&(creator, seq))
-                .copied()
-                .unwrap_or(ThreadId(u32::MAX)) // unreachable for valid plans
+            create_map.get(&(creator, seq)).copied().unwrap_or(ThreadId(u32::MAX))
+            // unreachable for valid plans
         })),
         manips: params.manips.clone(),
         jitter: JitterModel::none(),
         limits: RunLimits::default(),
         record_trace: true,
+        observer: fwd.as_mut().map(|f| f as &mut dyn SchedObserver),
         ..RunOptions::new(&mut hooks)
     };
-    let result = run(&app, &machine, opts).map_err(|e| match e {
+    run(&app, &machine, opts).map_err(|e| match e {
         VppbError::ProgramError(msg) => VppbError::ReplayDiverged(msg),
         other => other,
-    })?;
-    Ok(SimulatedExecution {
+    })
+}
+
+fn to_execution(plan: &ReplayPlan, params: &SimParams, result: RunResult) -> SimulatedExecution {
+    SimulatedExecution {
         wall_time: result.wall_time,
         recorded_wall: plan.recorded_wall,
         cpu_busy: result.cpu_busy,
+        audit: result.audit,
         trace: result.trace,
         params: params.clone(),
-    })
+    }
 }
 
 /// Predict the speed-up on `cpus` processors the way Table 1 reports it:

@@ -129,9 +129,7 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
                     .collect();
                 let released = spanning.len() as u32;
                 let mutex = spanning.first().map(|(_, _, _, m)| *m).unwrap_or(0);
-                cvs[cv as usize]
-                    .episodes
-                    .push(CvEpisode { parties: released + 1, mutex });
+                cvs[cv as usize].episodes.push(CvEpisode { parties: released + 1, mutex });
             }
             EventKind::CondSignal { cond } => {
                 let cv = cond.index;
@@ -192,12 +190,13 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
         }
         threads.push(ThreadPlan {
             id: tid,
-            start_fn: log
-                .header
-                .thread_start_fn
-                .get(&tid)
-                .cloned()
-                .unwrap_or_else(|| if tid == ThreadId::MAIN { "main".into() } else { "thread".into() }),
+            start_fn: log.header.thread_start_fn.get(&tid).cloned().unwrap_or_else(|| {
+                if tid == ThreadId::MAIN {
+                    "main".into()
+                } else {
+                    "thread".into()
+                }
+            }),
             entry: entries.get(&tid).copied().unwrap_or(CodeAddr::NULL),
             ops,
         });
@@ -269,8 +268,7 @@ fn translate_call(
             mutex: MutexRef(mutex.index),
         })),
         CondTimedWait { cond, mutex, timeout } => {
-            let timed_out =
-                matches!(after.map(|a| a.result), Some(EventResult::TimedOut(true)));
+            let timed_out = matches!(after.map(|a| a.result), Some(EventResult::TimedOut(true)));
             if timed_out {
                 // Replay "as a delay" (§3.2): release the mutex for the
                 // recorded timeout, then re-acquire it.
@@ -305,4 +303,3 @@ fn translate_call(
     }
     Ok(())
 }
-

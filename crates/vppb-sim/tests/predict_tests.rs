@@ -3,9 +3,7 @@
 //! same program on the machine — the paper's §4 validation in miniature.
 
 use vppb_machine::{run, NullHooks, RunOptions};
-use vppb_model::{
-    Duration, LwpPolicy, MachineConfig, SimParams, ThreadId, Time, VppbError,
-};
+use vppb_model::{Duration, LwpPolicy, MachineConfig, SimParams, ThreadId, Time, VppbError};
 use vppb_recorder::{record, RecordOptions};
 use vppb_sim::{analyze, predict_speedup, simulate, simulate_plan};
 use vppb_threads::{AppBuilder, BarrierDecl};
@@ -207,9 +205,7 @@ fn trylock_outcomes_replay_from_log() {
     let locks = main_plan
         .ops
         .iter()
-        .filter(|o| {
-            matches!(o, vppb_threads::Action::Call(vppb_threads::LibCall::MutexLock(_), _))
-        })
+        .filter(|o| matches!(o, vppb_threads::Action::Call(vppb_threads::LibCall::MutexLock(_), _)))
         .count();
     assert_eq!(locks, 1, "one acquired trylock -> one lock op");
     let sim = simulate_plan(&plan, &rec.log, &SimParams::cpus(2)).unwrap();

@@ -1,9 +1,7 @@
 //! Replay-fidelity tests: specific §3.2 behaviours of the Simulator.
 
 use vppb_machine::{run, NullHooks, RunOptions};
-use vppb_model::{
-    LwpPolicy, MachineConfig, SimParams, ThreadId, ThreadManip, Time, VppbError,
-};
+use vppb_model::{LwpPolicy, MachineConfig, SimParams, ThreadId, ThreadManip, Time, VppbError};
 use vppb_recorder::{record, RecordOptions};
 use vppb_sim::{analyze, simulate};
 use vppb_threads::AppBuilder;
@@ -129,10 +127,7 @@ fn recorded_setprio_is_replayed_unless_overridden() {
     // (T4 no longer strictly first by a full run).
     let mut params2 = SimParams::new(MachineConfig::uniprocessor_one_lwp());
     params2.machine.lwps = LwpPolicy::Fixed(1);
-    params2.manips.insert(
-        ThreadId(4),
-        ThreadManip { binding: None, priority: Some(0) },
-    );
+    params2.manips.insert(ThreadId(4), ThreadManip { binding: None, priority: Some(0) });
     let sim2 = simulate(&rec.log, &params2).unwrap();
     let g4 = sim2.trace.threads[&ThreadId(4)].ended;
     let g5 = sim2.trace.threads[&ThreadId(5)].ended;
@@ -207,4 +202,44 @@ fn concurrency_requests_in_the_log_are_honoured_by_follow_program() {
         sim_follow.wall_time,
         sim_fixed.wall_time
     );
+}
+
+#[test]
+fn identical_configs_produce_bit_identical_replays() {
+    // Determinism regression: the same log simulated twice under the same
+    // parameters must place every event at the same nanosecond. The strict
+    // divergence report proves it (or pinpoints the first drift).
+    let mut b = AppBuilder::new("det", "det.c");
+    let m = b.mutex();
+    let items = b.semaphore(0);
+    let w = b.func("w", move |f| {
+        f.loop_n(12, |f| {
+            f.work_us(300);
+            f.lock(m);
+            f.work_us(40);
+            f.unlock(m);
+            f.sem_post(items);
+        });
+    });
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(4, |f| f.create_into(w, s));
+        f.loop_n(48, |f| f.sem_wait(items));
+        f.loop_n(4, |f| f.join(s));
+    });
+    let app = b.build().unwrap();
+    let rec = record(&app, &RecordOptions::default()).unwrap();
+    let a = simulate(&rec.log, &SimParams::cpus(4)).unwrap();
+    let b2 = simulate(&rec.log, &SimParams::cpus(4)).unwrap();
+    let rep = vppb_sim::DivergenceReport::between(&a.trace, &b2.trace);
+    assert!(rep.identical, "replay is nondeterministic: {:?}", rep.first);
+    assert!(rep.compared_events > 0);
+
+    // Against the recorded ground truth, a condvar-free program must
+    // replay every thread's call sequence in exactly the logged order.
+    let vs = a.divergence_from(&rec.log);
+    assert!(vs.identical, "replay departed from the log: {:?}", vs.first);
+
+    // And both replays keep clean books.
+    assert!(a.audit.is_clean(), "{}", a.audit.render());
 }

@@ -133,7 +133,8 @@ impl AppBuilder {
         assert_eq!(blocks.len(), 1, "unbalanced block nesting in `{name}`");
         let body_block: Block = blocks.pop().expect("root block").into();
         let exit_site = self.intern(&name);
-        let script = ScriptFn { name: name.clone(), body: body_block, n_locals, n_slots, entry, exit_site };
+        let script =
+            ScriptFn { name: name.clone(), body: body_block, n_locals, n_slots, entry, exit_site };
         let factory: ProgramFactory = {
             let script = Arc::new(script);
             Arc::new(move || Box::new(script.runner()) as Box<dyn Program>)
@@ -166,8 +167,7 @@ impl AppBuilder {
 
     /// Finish the app.
     pub fn build(self) -> Result<App, VppbError> {
-        let main =
-            self.main.ok_or_else(|| VppbError::InvalidConfig("app has no main".into()))?;
+        let main = self.main.ok_or_else(|| VppbError::InvalidConfig("app has no main".into()))?;
         let app = App {
             name: self.name,
             functions: self.functions,
@@ -500,24 +500,12 @@ impl<'a> FnBuilder<'a> {
     }
 
     /// `if lhs cmp rhs { then }`.
-    pub fn if_(
-        &mut self,
-        lhs: Operand,
-        cmp: Cmp,
-        rhs: Operand,
-        then: impl FnOnce(&mut Self),
-    ) {
+    pub fn if_(&mut self, lhs: Operand, cmp: Cmp, rhs: Operand, then: impl FnOnce(&mut Self)) {
         self.if_else(lhs, cmp, rhs, then, |_| {});
     }
 
     /// `while lhs cmp rhs { body }`.
-    pub fn while_(
-        &mut self,
-        lhs: Operand,
-        cmp: Cmp,
-        rhs: Operand,
-        body: impl FnOnce(&mut Self),
-    ) {
+    pub fn while_(&mut self, lhs: Operand, cmp: Cmp, rhs: Operand, body: impl FnOnce(&mut Self)) {
         let b = self.nested(body);
         self.push(Stmt::While(Cond::new(lhs, cmp, rhs), b));
     }
@@ -637,11 +625,14 @@ mod tests {
             vec![Outcome::None, Outcome::Created(ThreadId(4)), Outcome::Joined(ThreadId(4))],
         );
         assert!(matches!(acts[0], Action::Call(LibCall::Create { .. }, _)));
-        assert_eq!(acts[1], match acts[1] {
-            Action::Call(LibCall::Join(Some(ThreadId(4))), s) =>
-                Action::Call(LibCall::Join(Some(ThreadId(4))), s),
-            other => panic!("expected join of T4, got {other:?}"),
-        });
+        assert_eq!(
+            acts[1],
+            match acts[1] {
+                Action::Call(LibCall::Join(Some(ThreadId(4))), s) =>
+                    Action::Call(LibCall::Join(Some(ThreadId(4))), s),
+                other => panic!("expected join of T4, got {other:?}"),
+            }
+        );
     }
 
     #[test]
@@ -678,8 +669,7 @@ mod tests {
         let main = b.main(move |f| bar.wait(f));
         let app = b.build().unwrap();
         let mut p = app.instantiate(main);
-        let ctx =
-            |o| ResumeCtx { outcome: o, self_id: ThreadId(1), now: Time::ZERO };
+        let ctx = |o| ResumeCtx { outcome: o, self_id: ThreadId(1), now: Time::ZERO };
         // lock
         assert!(matches!(p.resume(ctx(Outcome::None)), Action::Call(LibCall::MutexLock(_), _)));
         // fetch_add(count)
@@ -704,8 +694,7 @@ mod tests {
         let main = b.main(move |f| bar.wait(f));
         let app = b.build().unwrap();
         let mut p = app.instantiate(main);
-        let ctx =
-            |o| ResumeCtx { outcome: o, self_id: ThreadId(1), now: Time::ZERO };
+        let ctx = |o| ResumeCtx { outcome: o, self_id: ThreadId(1), now: Time::ZERO };
         assert!(matches!(p.resume(ctx(Outcome::None)), Action::Call(LibCall::MutexLock(_), _)));
         assert!(matches!(p.resume(ctx(Outcome::None)), Action::Var(VarOp::FetchAdd(_, 1))));
         // old = 0, parties-1 = 1 -> waiter: read gen into local

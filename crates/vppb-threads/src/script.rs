@@ -161,7 +161,11 @@ enum Pending {
     /// Store the created thread id into a slot.
     CreateInto(Option<SlotId>),
     /// Mid-condition: waiting for shared-operand reads.
-    CondEval { cond: Cond, lhs: Option<i64>, dest: CondDest },
+    CondEval {
+        cond: Cond,
+        lhs: Option<i64>,
+        dest: CondDest,
+    },
     /// Waiting for a shared read to finish an assignment.
     AssignFrom(LocalId),
     /// Waiting for a fetch-add's old value.
@@ -242,7 +246,10 @@ impl ScriptRunner {
 
     fn slot_front(&self, slot: SlotId) -> ThreadId {
         *self.slots[slot.0].front().unwrap_or_else(|| {
-            panic!("script `{}`: slot {} is empty (join/target before create?)", self.fn_name, slot.0)
+            panic!(
+                "script `{}`: slot {} is empty (join/target before create?)",
+                self.fn_name, slot.0
+            )
         })
     }
 
@@ -263,8 +270,7 @@ impl ScriptRunner {
                 None
             }
             Pending::AssignFrom(local) => {
-                self.locals[local.0] =
-                    outcome.value().expect("shared read must yield a value");
+                self.locals[local.0] = outcome.value().expect("shared read must yield a value");
                 None
             }
             Pending::FetchAddOld(local) => {
@@ -282,8 +288,7 @@ impl ScriptRunner {
                         match self.operand_now(cond.rhs) {
                             None => {
                                 let Operand::Shared(rv) = cond.rhs else { unreachable!() };
-                                self.pending =
-                                    Pending::CondEval { cond, lhs: Some(v), dest };
+                                self.pending = Pending::CondEval { cond, lhs: Some(v), dest };
                                 Some(Action::Var(VarOp::Read(rv)))
                             }
                             Some(rhs) => {
@@ -347,14 +352,11 @@ impl ScriptRunner {
                     frame.idx += 1;
                     let target = match from {
                         JoinFrom::Any => None,
-                        JoinFrom::Slot(s) => Some(
-                            self.slots[s.0].pop_front().unwrap_or_else(|| {
-                                panic!(
-                                    "script `{}`: join from empty slot {}",
-                                    self.fn_name, s.0
-                                )
-                            }),
-                        ),
+                        JoinFrom::Slot(s) => {
+                            Some(self.slots[s.0].pop_front().unwrap_or_else(|| {
+                                panic!("script `{}`: join from empty slot {}", self.fn_name, s.0)
+                            }))
+                        }
                     };
                     return Action::Call(LibCall::Join(target), site);
                 }
@@ -513,10 +515,7 @@ mod tests {
         let else_b: Block = vec![Stmt::Work(Duration(222))].into();
         let cond = Cond::new(Operand::Local(LocalId(0)), crate::action::Cmp::Eq, Operand::Const(7));
         let f = func(
-            vec![
-                Stmt::Assign(LocalId(0), Operand::Const(7)),
-                Stmt::If(cond, then_b, else_b),
-            ],
+            vec![Stmt::Assign(LocalId(0), Operand::Const(7)), Stmt::If(cond, then_b, else_b)],
             1,
             0,
         );
@@ -526,8 +525,7 @@ mod tests {
 
     #[test]
     fn if_on_shared_variable_issues_read_first() {
-        let cond =
-            Cond::new(Operand::Shared(VarId(3)), crate::action::Cmp::Gt, Operand::Const(0));
+        let cond = Cond::new(Operand::Shared(VarId(3)), crate::action::Cmp::Gt, Operand::Const(0));
         let f = func(
             vec![Stmt::If(
                 cond,
@@ -545,8 +543,7 @@ mod tests {
 
     #[test]
     fn while_re_reads_condition_each_iteration() {
-        let cond =
-            Cond::new(Operand::Shared(VarId(0)), crate::action::Cmp::Eq, Operand::Const(0));
+        let cond = Cond::new(Operand::Shared(VarId(0)), crate::action::Cmp::Eq, Operand::Const(0));
         let f = func(vec![Stmt::While(cond, vec![Stmt::Work(Duration(9))].into())], 0, 0);
         let mut r = f.runner();
         assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(0))));
@@ -582,11 +579,7 @@ mod tests {
     fn shared_read_in_both_cond_operands() {
         let cond =
             Cond::new(Operand::Shared(VarId(0)), crate::action::Cmp::Lt, Operand::Shared(VarId(1)));
-        let f = func(
-            vec![Stmt::While(cond, vec![Stmt::Work(Duration(5))].into())],
-            0,
-            0,
-        );
+        let f = func(vec![Stmt::While(cond, vec![Stmt::Work(Duration(5))].into())], 0, 0);
         let mut r = f.runner();
         assert_eq!(r.resume(ctx(Outcome::None)), Action::Var(VarOp::Read(VarId(0))));
         assert_eq!(r.resume(ctx(Outcome::Value(1))), Action::Var(VarOp::Read(VarId(1))));
@@ -635,6 +628,9 @@ mod tests {
         let m = MutexRef(2);
         let f = func(vec![Stmt::Call(LibCall::MutexLock(m), CodeAddr(0x20))], 0, 0);
         let mut r = f.runner();
-        assert_eq!(r.resume(ctx(Outcome::None)), Action::Call(LibCall::MutexLock(m), CodeAddr(0x20)));
+        assert_eq!(
+            r.resume(ctx(Outcome::None)),
+            Action::Call(LibCall::MutexLock(m), CodeAddr(0x20))
+        );
     }
 }

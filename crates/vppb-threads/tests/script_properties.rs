@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use vppb_model::{CodeAddr, Duration, ThreadId, Time};
 use vppb_threads::{
-    Action, Block, Cmp, Cond, LibCall, LocalId, MutexRef, Operand, Outcome, Program,
-    ResumeCtx, ScriptFn, SemRef, Stmt, VarId, VarOp,
+    Action, Block, Cmp, Cond, LibCall, LocalId, MutexRef, Operand, Outcome, Program, ResumeCtx,
+    ScriptFn, SemRef, Stmt, VarId, VarOp,
 };
 
 /// A recursive statement generator. `depth` bounds nesting; the returned
@@ -15,9 +15,8 @@ use vppb_threads::{
 fn arb_stmt(depth: u32) -> BoxedStrategy<(Stmt, u64)> {
     let leaf = prop_oneof![
         (1u64..1000).prop_map(|ns| (Stmt::Work(Duration(ns)), 1u64)),
-        (0u32..4).prop_map(|m| {
-            (Stmt::Call(LibCall::MutexLock(MutexRef(m)), CodeAddr(0x100)), 1u64)
-        }),
+        (0u32..4)
+            .prop_map(|m| { (Stmt::Call(LibCall::MutexLock(MutexRef(m)), CodeAddr(0x100)), 1u64) }),
         (0u32..4).prop_map(|m| {
             (Stmt::Call(LibCall::MutexUnlock(MutexRef(m)), CodeAddr(0x104)), 1u64)
         }),
@@ -32,9 +31,8 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<(Stmt, u64)> {
                 1u64,
             )
         }),
-        (0usize..3, -5i64..5).prop_map(|(l, c)| {
-            (Stmt::Assign(LocalId(l), Operand::Const(c)), 0u64)
-        }),
+        (0usize..3, -5i64..5)
+            .prop_map(|(l, c)| { (Stmt::Assign(LocalId(l), Operand::Const(c)), 0u64) }),
     ];
     if depth == 0 {
         return leaf.boxed();

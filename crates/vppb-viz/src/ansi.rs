@@ -36,8 +36,7 @@ pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &AnsiOpt
     let mut out = String::new();
     let span = view.span().nanos().max(1);
     let col_of = |t: Time| -> usize {
-        ((t.nanos().saturating_sub(view.from.nanos())) as u128 * opts.width as u128
-            / span as u128)
+        ((t.nanos().saturating_sub(view.from.nanos())) as u128 * opts.width as u128 / span as u128)
             .min(opts.width as u128 - 1) as usize
     };
     let paint = |s: &str, code: &str| -> String {
@@ -88,7 +87,8 @@ pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &AnsiOpt
                 line.push(' ');
             }
         }
-        let _ = writeln!(out, "{:>4} |{}", if row == opts.profile_rows { max_par } else { 0 }, line);
+        let _ =
+            writeln!(out, "{:>4} |{}", if row == opts.profile_rows { max_par } else { 0 }, line);
     }
     let _ = writeln!(out, "     +{}", "-".repeat(opts.width));
 
@@ -146,8 +146,8 @@ mod tests {
     use super::*;
     use std::collections::BTreeMap;
     use vppb_model::{
-        CodeAddr, CpuId, Duration, EventKind, LwpId, PlacedEvent, SourceMap, SyncObjId,
-        ThreadId, ThreadInfo, ThreadState, Transition,
+        CodeAddr, CpuId, Duration, EventKind, LwpId, PlacedEvent, SourceMap, SyncObjId, ThreadId,
+        ThreadInfo, ThreadState, Transition,
     };
 
     fn t(us: u64) -> Time {

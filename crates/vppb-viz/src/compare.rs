@@ -46,15 +46,9 @@ pub struct Comparison {
 impl Comparison {
     /// The thread whose end time diverges most (by |relative error|).
     pub fn worst_thread(&self) -> Option<&ThreadDelta> {
-        self.threads
-            .iter()
-            .filter(|t| t.only_in.is_none())
-            .max_by(|x, y| {
-                x.end_error
-                    .abs()
-                    .partial_cmp(&y.end_error.abs())
-                    .expect("errors are finite")
-            })
+        self.threads.iter().filter(|t| t.only_in.is_none()).max_by(|x, y| {
+            x.end_error.abs().partial_cmp(&y.end_error.abs()).expect("errors are finite")
+        })
     }
 
     /// Largest per-thread |end-time error|.
@@ -71,14 +65,8 @@ fn rel(a: Time, b: Time) -> f64 {
 }
 
 /// Compare two executions of the same program.
-pub fn compare(
-    a_label: &str,
-    a: &ExecutionTrace,
-    b_label: &str,
-    b: &ExecutionTrace,
-) -> Comparison {
-    let ids: BTreeSet<ThreadId> =
-        a.threads.keys().chain(b.threads.keys()).copied().collect();
+pub fn compare(a_label: &str, a: &ExecutionTrace, b_label: &str, b: &ExecutionTrace) -> Comparison {
+    let ids: BTreeSet<ThreadId> = a.threads.keys().chain(b.threads.keys()).copied().collect();
     let mut threads = Vec::new();
     for id in ids {
         match (a.threads.get(&id), b.threads.get(&id)) {
@@ -148,7 +136,8 @@ pub fn render(c: &Comparison) -> String {
     );
     for t in c.threads.iter().take(20) {
         if let Some(side) = t.only_in {
-            let _ = writeln!(s, "{:<6} {:<14} only in trace {side}", t.thread.to_string(), t.start_fn);
+            let _ =
+                writeln!(s, "{:<6} {:<14} only in trace {side}", t.thread.to_string(), t.start_fn);
             continue;
         }
         let _ = writeln!(

@@ -8,9 +8,7 @@
 //! caused by the same event type or variable, e.g., the next operation on
 //! the same mutex variable, will be found."
 
-use vppb_model::{
-    Duration, ExecutionTrace, PlacedEvent, SourceLoc, SyncObjId, ThreadId, Time,
-};
+use vppb_model::{Duration, ExecutionTrace, PlacedEvent, SourceLoc, SyncObjId, ThreadId, Time};
 
 /// Everything the popup window shows for one selected event.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,10 +141,7 @@ impl<'a> Inspector<'a> {
     ) -> Option<EventDetails> {
         let cur_idx = self.selected?;
         let found = if forward {
-            self.trace.events[cur_idx + 1..]
-                .iter()
-                .position(&pred)
-                .map(|off| cur_idx + 1 + off)
+            self.trace.events[cur_idx + 1..].iter().position(&pred).map(|off| cur_idx + 1 + off)
         } else {
             self.trace.events[..cur_idx].iter().rposition(&pred)
         }?;

@@ -55,7 +55,11 @@ fn object_table(s: &mut String, stats: &ExecutionStats) {
         let _ = writeln!(
             s,
             "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
-            o.object, o.operations, o.blocking_waits, o.total_blocked, o.max_queue,
+            o.object,
+            o.operations,
+            o.blocking_waits,
+            o.total_blocked,
+            o.max_queue,
             o.threads_blocked
         );
     }

@@ -9,9 +9,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use vppb_model::{
-    BlockReason, Duration, ExecutionTrace, SyncObjId, ThreadId, ThreadState, Time,
-};
+use vppb_model::{BlockReason, Duration, ExecutionTrace, SyncObjId, ThreadId, ThreadState, Time};
 
 /// Contention summary for one synchronization object.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,9 +97,7 @@ pub fn compute(trace: &ExecutionTrace) -> ExecutionStats {
         threads.entry(ev.thread).or_default().events += 1;
     }
 
-    let settle = |acc: &mut ThreadAcc,
-                      objects: &mut BTreeMap<SyncObjId, ObjAcc>,
-                      until: Time| {
+    let settle = |acc: &mut ThreadAcc, objects: &mut BTreeMap<SyncObjId, ObjAcc>, until: Time| {
         if let Some((since, state)) = acc.last {
             let span = until - since;
             match state {
@@ -161,11 +157,7 @@ pub fn compute(trace: &ExecutionTrace) -> ExecutionStats {
         .into_iter()
         .map(|(thread, a)| ThreadStats {
             thread,
-            start_fn: trace
-                .threads
-                .get(&thread)
-                .map(|i| i.start_fn.clone())
-                .unwrap_or_default(),
+            start_fn: trace.threads.get(&thread).map(|i| i.start_fn.clone()).unwrap_or_default(),
             running: a.running,
             runnable: a.runnable,
             blocked: a.blocked,

@@ -124,13 +124,7 @@ pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &SvgOpti
     for (row, &tid) in threads.iter().enumerate() {
         let Some(lane) = tl.lane(tid) else { continue };
         let y = f_top + row as f64 * opts.lane_height as f64 + opts.lane_height as f64 / 2.0;
-        let _ = writeln!(
-            s,
-            r#"<text x="5" y="{:.1}">{} {}</text>"#,
-            y + 3.0,
-            tid,
-            esc(&lane.name)
-        );
+        let _ = writeln!(s, r#"<text x="5" y="{:.1}">{} {}</text>"#, y + 3.0, tid, esc(&lane.name));
         for seg in &lane.segments {
             if seg.end < view.from || seg.start > view.to {
                 continue;
@@ -161,10 +155,7 @@ pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &SvgOpti
                 ev.thread,
                 ev.kind.name(),
                 ev.start,
-                ev.kind
-                    .object()
-                    .map(|o| format!(" on {o}"))
-                    .unwrap_or_default()
+                ev.kind.object().map(|o| format!(" on {o}")).unwrap_or_default()
             );
             let _ = write!(s, r#"<g>{}"#, format_args!("<title>{}</title>", esc(&title)));
             match shape {
@@ -172,21 +163,38 @@ pub fn render(tl: &Timeline, trace: &ExecutionTrace, view: &View, opts: &SvgOpti
                     let _ = write!(
                         s,
                         r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{c}"/>"#,
-                        cx, cy - 5.0, cx - 4.0, cy + 3.0, cx + 4.0, cy + 3.0
+                        cx,
+                        cy - 5.0,
+                        cx - 4.0,
+                        cy + 3.0,
+                        cx + 4.0,
+                        cy + 3.0
                     );
                 }
                 Shape::ArrowDown => {
                     let _ = write!(
                         s,
                         r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{c}"/>"#,
-                        cx, cy + 5.0, cx - 4.0, cy - 3.0, cx + 4.0, cy - 3.0
+                        cx,
+                        cy + 5.0,
+                        cx - 4.0,
+                        cy - 3.0,
+                        cx + 4.0,
+                        cy - 3.0
                     );
                 }
                 Shape::Diamond => {
                     let _ = write!(
                         s,
                         r#"<polygon points="{:.1},{:.1} {:.1},{:.1} {:.1},{:.1} {:.1},{:.1}" fill="{c}"/>"#,
-                        cx, cy - 5.0, cx + 4.0, cy, cx, cy + 5.0, cx - 4.0, cy
+                        cx,
+                        cy - 5.0,
+                        cx + 4.0,
+                        cy,
+                        cx,
+                        cy + 5.0,
+                        cx - 4.0,
+                        cy
                     );
                 }
                 Shape::Circle => {
@@ -236,8 +244,8 @@ mod tests {
     use super::*;
     use std::collections::BTreeMap;
     use vppb_model::{
-        CodeAddr, CpuId, Duration, EventKind, LwpId, PlacedEvent, SourceMap, SyncObjId,
-        ThreadId, ThreadInfo, ThreadState, Transition,
+        CodeAddr, CpuId, Duration, EventKind, LwpId, PlacedEvent, SourceMap, SyncObjId, ThreadId,
+        ThreadInfo, ThreadState, Transition,
     };
 
     fn t(us: u64) -> Time {

@@ -231,9 +231,7 @@ impl Timeline {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
-    use vppb_model::{
-        BlockReason, CpuId, LwpId, SourceMap, ThreadInfo, Transition,
-    };
+    use vppb_model::{BlockReason, CpuId, LwpId, SourceMap, ThreadInfo, Transition};
 
     fn t(us: u64) -> Time {
         Time::from_micros(us)
@@ -259,8 +257,7 @@ mod tests {
                 cpu_time: vppb_model::Duration::from_micros(40),
             },
         );
-        let running =
-            |c: u32| ThreadState::Running { cpu: CpuId(c), lwp: LwpId(c) };
+        let running = |c: u32| ThreadState::Running { cpu: CpuId(c), lwp: LwpId(c) };
         ExecutionTrace {
             program: "toy".into(),
             cpus: 2,
@@ -313,12 +310,7 @@ mod tests {
     fn profile_counts_running_and_runnable() {
         let tl = Timeline::from_trace(&sample_trace());
         // at 15us: main running, T4 runnable
-        let step = tl
-            .profile
-            .iter()
-            .rev()
-            .find(|p| p.time <= t(15))
-            .unwrap();
+        let step = tl.profile.iter().rev().find(|p| p.time <= t(15)).unwrap();
         assert_eq!((step.running, step.runnable), (1, 1));
         // at 30us: both running
         let step = tl.profile.iter().rev().find(|p| p.time <= t(30)).unwrap();

@@ -152,10 +152,7 @@ mod tests {
         // rather than hang (the Barnes exclusion).
         let app = spin_variable(3, 0.1);
         let opts = RecordOptions {
-            limits: RunLimits {
-                max_des_events: 2_000_000,
-                max_time: Time::from_secs_f64(100.0),
-            },
+            limits: RunLimits { max_des_events: 2_000_000, max_time: Time::from_secs_f64(100.0) },
             ..RecordOptions::default()
         };
         match record(&app, &opts) {
@@ -198,10 +195,7 @@ mod tests {
         assert!(real > 3.0, "real stealing scales: {real:.2}");
         let rec = record(&app(4), &RecordOptions::default()).expect("records fine");
         let predicted = predict_speedup(&rec.log, 8).unwrap();
-        assert!(
-            predicted < 1.5,
-            "prediction sees one greedy thread: {predicted:.2}"
-        );
+        assert!(predicted < 1.5, "prediction sees one greedy thread: {predicted:.2}");
         let _ = SimParams::cpus(8);
     }
 }

@@ -11,8 +11,8 @@
 //! fitted curve. Paper targets (real): 1.79 / 3.15 / 4.82.
 
 use crate::kernels::{spmd, KernelParams};
-use vppb_threads::{App, BarrierDecl};
 use vppb_model::Duration;
+use vppb_threads::{App, BarrierDecl};
 
 /// Number of blocks along one dimension.
 const N: u32 = 24;
@@ -135,10 +135,7 @@ mod tests {
     fn lu_matches_paper_speedups() {
         for (p, target) in [(2u32, 1.79), (4, 3.15), (8, 4.82)] {
             let s = speedup(p);
-            assert!(
-                (s - target).abs() / target < 0.05,
-                "lu @{p}p: got {s:.2}, paper {target}"
-            );
+            assert!((s - target).abs() / target < 0.05, "lu @{p}p: got {s:.2}, paper {target}");
         }
     }
 }

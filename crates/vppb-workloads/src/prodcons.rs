@@ -27,8 +27,7 @@ pub const CONSUMERS: u64 = 75;
 /// Each producer "inserts ten items in the buffer and then exits".
 pub const ITEMS_PER_PRODUCER: u64 = 10;
 /// Each consumer drains its share (20 items) so production balances.
-pub const ITEMS_PER_CONSUMER: u64 =
-    PRODUCERS * ITEMS_PER_PRODUCER / CONSUMERS;
+pub const ITEMS_PER_CONSUMER: u64 = PRODUCERS * ITEMS_PER_PRODUCER / CONSUMERS;
 /// The improved version uses "100 buffers with their own mutex locks".
 pub const SUB_BUFFERS: u64 = 100;
 

@@ -154,9 +154,7 @@ mod tests {
     #[test]
     fn all_kernels_complete_on_various_cpu_counts() {
         for p in [1u32, 2, 4] {
-            for build in
-                [ocean, water_spatial, fft, radix] as [fn(KernelParams) -> App; 4]
-            {
+            for build in [ocean, water_spatial, fft, radix] as [fn(KernelParams) -> App; 4] {
                 let t = wall(&build(KernelParams::scaled(p, 0.05)), p);
                 assert!(t > Time::ZERO);
             }
@@ -177,10 +175,7 @@ mod tests {
         // must land within ±4 %.
         for (p, target) in [(2u32, 1.97), (4, 3.87), (8, 6.65)] {
             let s = speedup(ocean, p, 1.0);
-            assert!(
-                (s - target).abs() / target < 0.04,
-                "ocean @{p}p: got {s:.2}, paper {target}"
-            );
+            assert!((s - target).abs() / target < 0.04, "ocean @{p}p: got {s:.2}, paper {target}");
         }
     }
 
@@ -188,10 +183,7 @@ mod tests {
     fn water_matches_paper_speedups() {
         for (p, target) in [(2u32, 1.99), (4, 3.95), (8, 7.67)] {
             let s = speedup(water_spatial, p, 1.0);
-            assert!(
-                (s - target).abs() / target < 0.04,
-                "water @{p}p: got {s:.2}, paper {target}"
-            );
+            assert!((s - target).abs() / target < 0.04, "water @{p}p: got {s:.2}, paper {target}");
         }
     }
 
@@ -199,10 +191,7 @@ mod tests {
     fn fft_matches_paper_speedups() {
         for (p, target) in [(2u32, 1.55), (4, 2.14), (8, 2.62)] {
             let s = speedup(fft, p, 1.0);
-            assert!(
-                (s - target).abs() / target < 0.04,
-                "fft @{p}p: got {s:.2}, paper {target}"
-            );
+            assert!((s - target).abs() / target < 0.04, "fft @{p}p: got {s:.2}, paper {target}");
         }
     }
 
@@ -210,10 +199,7 @@ mod tests {
     fn radix_matches_paper_speedups() {
         for (p, target) in [(2u32, 2.00), (4, 3.99), (8, 7.79)] {
             let s = speedup(radix, p, 1.0);
-            assert!(
-                (s - target).abs() / target < 0.04,
-                "radix @{p}p: got {s:.2}, paper {target}"
-            );
+            assert!((s - target).abs() / target < 0.04, "radix @{p}p: got {s:.2}, paper {target}");
         }
     }
 }

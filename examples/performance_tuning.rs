@@ -61,7 +61,10 @@ fn main() -> Result<(), VppbError> {
     let real8 = pipeline::real_run(&improved, 8)?.wall_time;
     let real_speedup = real1.nanos() as f64 / real8.nanos() as f64;
     let err = (real_speedup - speedup2) / real_speedup;
-    println!("validation:       real speed-up = {real_speedup:.2}, prediction error = {:.1}%", err * 100.0);
+    println!(
+        "validation:       real speed-up = {real_speedup:.2}, prediction error = {:.1}%",
+        err * 100.0
+    );
     println!("                  (the paper's error was 1.9%)");
     Ok(())
 }

@@ -40,11 +40,7 @@ fn main() -> Result<(), VppbError> {
     for line in textlog::write_log(&rec.log).lines().take(18) {
         println!("  {line}");
     }
-    println!(
-        "  ... {} records, monitored run took {}\n",
-        rec.log.len(),
-        rec.wall_time()
-    );
+    println!("  ... {} records, monitored run took {}\n", rec.log.len(), rec.wall_time());
 
     // --- simulate two processors -----------------------------------------
     let sim = pipeline::predict(&rec.log, 2)?;
@@ -62,9 +58,8 @@ fn main() -> Result<(), VppbError> {
 
     // --- the event popup (fig. 5's circled join) ----------------------------
     let mut inspector = Inspector::new(&sim.trace);
-    let mut details = inspector
-        .select_near(ThreadId::MAIN, sim.wall_time)
-        .expect("main has events");
+    let mut details =
+        inspector.select_near(ThreadId::MAIN, sim.wall_time).expect("main has events");
     // Walk back to the join of T4.
     while details.routine != "thr_join" {
         details = inspector.prev_event().expect("join exists");
@@ -80,11 +75,7 @@ fn main() -> Result<(), VppbError> {
     );
     println!(
         "  event:         {} on CPU{}, {} -> {} (took {})",
-        details.routine,
-        details.cpu.0,
-        details.started,
-        details.ended,
-        details.duration
+        details.routine, details.cpu.0, details.started, details.ended, details.duration
     );
     if let Some(src) = &details.source {
         println!("  source:        {src}   <- the line the editor would open");

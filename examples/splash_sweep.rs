@@ -12,8 +12,7 @@ use vppb::pipeline;
 use vppb_workloads::{splash2_suite, KernelParams};
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
     let cpu_counts = [1u32, 2, 3, 4, 6, 8, 12, 16];
 
     println!("Predicted speed-ups from uni-processor recordings (scale {scale}):\n");
@@ -36,5 +35,7 @@ fn main() {
     println!(
         "\nPaper reference (real, 8 CPUs): Ocean 6.65, Water 7.67, FFT 2.62, Radix 7.79, LU 4.82"
     );
-    println!("Note the FFT plateau and LU's sub-linear curve — visible without any multiprocessor.");
+    println!(
+        "Note the FFT plateau and LU's sub-linear curve — visible without any multiprocessor."
+    );
 }

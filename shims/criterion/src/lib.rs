@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`: just enough to compile and run the
+//! workspace's `harness = false` bench targets.
+//!
+//! Under `cargo test` (cargo passes `--test` to bench binaries) each
+//! bench body runs exactly once as a smoke test. Under `cargo bench` it
+//! runs `sample_size` timed iterations and prints a mean ns/iter line.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10, test_mode: self.test_mode }
+    }
+}
+
+/// Throughput annotation; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark name, e.g. `radix/4`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { full: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed iterations a full bench run uses.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput (ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        self.run(&label, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Mark the group finished (no-op).
+    pub fn finish(self) {}
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = if self.test_mode { 1 } else { self.sample_size as u64 };
+        let mut b = Bencher { iters, total_ns: 0, timed: 0 };
+        f(&mut b);
+        if self.test_mode {
+            println!("test bench {label} ... ok");
+        } else if let Some(per_iter) = b.total_ns.checked_div(b.timed) {
+            println!("bench {label}: {per_iter} ns/iter");
+        }
+    }
+}
+
+/// Passed to each bench body; times the closure given to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+    timed: u128,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            self.total_ns += start.elapsed().as_nanos();
+            self.timed += 1;
+        }
+    }
+}
+
+/// Group bench functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

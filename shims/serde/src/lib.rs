@@ -1,0 +1,289 @@
+//! Offline stand-in for `serde`, API-compatible with the subset this
+//! workspace uses.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so the real `serde` cannot be compiled. This crate provides the same
+//! surface — `Serialize` / `Deserialize` traits plus `#[derive(...)]`
+//! macros (from the sibling `serde_derive` crate) — over an explicit
+//! JSON-like [`Value`] tree instead of serde's visitor architecture.
+//! `serde_json` (also shimmed) renders and parses that tree.
+//!
+//! Supported derive shapes are exactly those the workspace needs:
+//! non-generic named structs, `#[serde(transparent)]` newtypes, and
+//! externally-tagged enums with unit, tuple and struct variants.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like data tree. Integers keep full 64-bit fidelity (JSON
+/// numbers are only lowered to `f64` when they actually carry a decimal
+/// point or exponent), so `u64::MAX` survives a round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved for stable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the target type.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A new error with this message.
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Map keys: JSON objects force string keys, so map-key types must
+/// round-trip through strings. Implemented for strings, integers, and
+/// (via the derive) `#[serde(transparent)]` newtypes over them.
+pub trait JsonKey: Sized {
+    /// Render the key as a string.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    other => Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+        impl JsonKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::msg(format!("bad integer key `{s}`")))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError::msg(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::msg(format!("{n} out of range"))),
+                    other => Err(DeError::msg(format!("expected integer, got {other:?}"))),
+                }
+            }
+        }
+        impl JsonKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::msg(format!("bad integer key `{s}`")))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::msg(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => {
+                fields.iter().map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?))).collect()
+            }
+            other => Err(DeError::msg(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::msg(format!("expected 2-array, got {other:?}"))),
+        }
+    }
+}

@@ -4,19 +4,46 @@
 //! ```text
 //! vppb workloads
 //! vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]
-//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats]
-//! vppb predict <LOG> [--cpus N]
+//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE]
+//! vppb predict <LOG> [--cpus N] [--metrics-json FILE]
 //! vppb report <LOG>
 //! ```
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use vppb::pipeline;
-use vppb_model::{Duration, LwpPolicy, SimParams, TraceLog, VppbError};
+use vppb_model::{AuditReport, Duration, LwpPolicy, SchedMetrics, SimParams, TraceLog, VppbError};
 use vppb_recorder as logio;
-use vppb_sim::simulate;
+use vppb_sim::{simulate, simulate_metrics, DivergenceReport};
 use vppb_viz::{ansi, compute_stats, stats, svg, AnsiOptions};
 use vppb_workloads::{prodcons, splash2_suite, KernelParams};
+
+/// Machine-readable per-run dump written by `--metrics-json`.
+#[derive(serde::Serialize)]
+struct MetricsDump {
+    /// Monitored program the prediction came from.
+    program: String,
+    /// Simulated CPU count.
+    cpus: u32,
+    /// Predicted wall time of the run, in virtual nanoseconds.
+    wall_ns: u64,
+    /// `simulate`: speed-up vs the monitored run; `predict`: predicted
+    /// 1-CPU/N-CPU speed-up.
+    speedup: f64,
+    /// Scheduling counters of the N-CPU replay.
+    metrics: SchedMetrics,
+    /// Conservation-law audit of the N-CPU replay.
+    audit: AuditReport,
+    /// Where the replay departs from the recorded event order, if at all.
+    divergence: DivergenceReport,
+}
+
+fn write_metrics_json(path: &str, dump: &MetricsDump) -> Result<(), String> {
+    let json = serde_json::to_string(dump).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| e.to_string())?;
+    println!("wrote {path}");
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,16 +105,32 @@ fn run(args: &[String]) -> Result<(), String> {
                 let us: u64 = d.parse().map_err(|_| "bad --comm-delay-us")?;
                 params.machine.comm_delay = Duration::from_micros(us);
             }
-            let sim = simulate(&log, &params).map_err(|e| e.to_string())?;
+            let (sim, metrics) = if flags.contains_key("metrics-json") {
+                let (sim, m) = simulate_metrics(&log, &params).map_err(|e| e.to_string())?;
+                (sim, Some(m))
+            } else {
+                (simulate(&log, &params).map_err(|e| e.to_string())?, None)
+            };
             println!(
                 "simulated `{}` on {cpus} CPUs: wall {}, speed-up vs monitored run {:.2}",
                 log.header.program,
                 sim.wall_time,
                 sim.speedup_vs_recorded()
             );
+            if let (Some(file), Some(metrics)) = (flags.get("metrics-json"), metrics) {
+                let dump = MetricsDump {
+                    program: log.header.program.clone(),
+                    cpus,
+                    wall_ns: sim.wall_time.nanos(),
+                    speedup: sim.speedup_vs_recorded(),
+                    metrics,
+                    audit: sim.audit.clone(),
+                    divergence: sim.divergence_from(&log),
+                };
+                write_metrics_json(file, &dump)?;
+            }
             if let Some(file) = flags.get("svg") {
-                std::fs::write(file, svg::render_trace(&sim.trace))
-                    .map_err(|e| e.to_string())?;
+                std::fs::write(file, svg::render_trace(&sim.trace)).map_err(|e| e.to_string())?;
                 println!("wrote {file}");
             }
             if flags.contains_key("ansi") {
@@ -107,8 +150,33 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = pos.first().ok_or("predict: which log file?")?;
             let log = load_log(path).map_err(|e| e.to_string())?;
             let cpus: u32 = flag(&flags, "cpus", 8)?;
-            let s = vppb_sim::predict_speedup(&log, cpus).map_err(|e| e.to_string())?;
-            println!("predicted speed-up of `{}` on {cpus} CPUs: {s:.2}", log.header.program);
+            if let Some(file) = flags.get("metrics-json") {
+                // Table-1 style speed-up: predicted 1-CPU wall over
+                // predicted N-CPU wall, with the N-CPU run's metrics.
+                let (uni, _) =
+                    simulate_metrics(&log, &SimParams::cpus(1)).map_err(|e| e.to_string())?;
+                let (multi, metrics) =
+                    simulate_metrics(&log, &SimParams::cpus(cpus)).map_err(|e| e.to_string())?;
+                let s = if multi.wall_time.nanos() == 0 {
+                    0.0
+                } else {
+                    uni.wall_time.nanos() as f64 / multi.wall_time.nanos() as f64
+                };
+                println!("predicted speed-up of `{}` on {cpus} CPUs: {s:.2}", log.header.program);
+                let dump = MetricsDump {
+                    program: log.header.program.clone(),
+                    cpus,
+                    wall_ns: multi.wall_time.nanos(),
+                    speedup: s,
+                    metrics,
+                    audit: multi.audit.clone(),
+                    divergence: multi.divergence_from(&log),
+                };
+                write_metrics_json(file, &dump)?;
+            } else {
+                let s = vppb_sim::predict_speedup(&log, cpus).map_err(|e| e.to_string())?;
+                println!("predicted speed-up of `{}` on {cpus} CPUs: {s:.2}", log.header.program);
+            }
             Ok(())
         }
         "report" => {
@@ -136,8 +204,8 @@ fn usage() -> String {
     "usage:\n  \
      vppb workloads\n  \
      vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]\n  \
-     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats]\n  \
-     vppb predict <LOG> [--cpus N]\n  \
+     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE]\n  \
+     vppb predict <LOG> [--cpus N] [--metrics-json FILE]\n  \
      vppb report <LOG>"
         .to_string()
 }

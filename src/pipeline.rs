@@ -22,10 +22,7 @@ pub fn predict(log: &TraceLog, cpus: u32) -> Result<SimulatedExecution, VppbErro
 /// Record `app` and predict its speed-up on `cpus` processors in one call:
 /// returns (predicted speed-up, the simulated execution for the
 /// Visualizer).
-pub fn record_and_predict(
-    app: &App,
-    cpus: u32,
-) -> Result<(f64, SimulatedExecution), VppbError> {
+pub fn record_and_predict(app: &App, cpus: u32) -> Result<(f64, SimulatedExecution), VppbError> {
     let rec = record_app(app)?;
     let uni = predict(&rec.log, 1)?;
     let multi = predict(&rec.log, cpus)?;

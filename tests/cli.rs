@@ -4,10 +4,7 @@
 use std::process::Command;
 
 fn vppb(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_vppb"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_vppb")).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -36,9 +33,8 @@ fn record_predict_report_round_trip() {
     let log = dir.join("fft.vppb");
     let log_s = log.to_str().unwrap();
 
-    let (ok, stdout, stderr) = vppb(&[
-        "record", "fft", "--threads", "4", "--scale", "0.1", "-o", log_s,
-    ]);
+    let (ok, stdout, stderr) =
+        vppb(&["record", "fft", "--threads", "4", "--scale", "0.1", "-o", log_s]);
     assert!(ok, "record failed: {stderr}");
     assert!(stdout.contains("recorded"));
 
@@ -50,13 +46,8 @@ fn record_predict_report_round_trip() {
     let (ok, stdout, _) = vppb(&["predict", log_s, "--cpus", "4"]);
     assert!(ok);
     // FFT on 4 CPUs predicts ~2.14 (Table 1).
-    let speedup: f64 = stdout
-        .split(':')
-        .next_back()
-        .unwrap()
-        .trim()
-        .parse()
-        .expect("speed-up prints");
+    let speedup: f64 =
+        stdout.split(':').next_back().unwrap().trim().parse().expect("speed-up prints");
     assert!((speedup - 2.14).abs() < 0.1, "fft@4p: {speedup}");
 }
 
@@ -66,7 +57,16 @@ fn simulate_writes_svg_and_html() {
     let log = dir.join("radix.bin");
     let log_s = log.to_str().unwrap();
     let (ok, _, stderr) = vppb(&[
-        "record", "radix", "--threads", "2", "--scale", "0.05", "-o", log_s, "--format", "bin",
+        "record",
+        "radix",
+        "--threads",
+        "2",
+        "--scale",
+        "0.05",
+        "-o",
+        log_s,
+        "--format",
+        "bin",
     ]);
     assert!(ok, "{stderr}");
 
@@ -97,7 +97,16 @@ fn binary_and_text_formats_sniff_correctly() {
         let log = dir.join(format!("l.{fmt}"));
         let log_s = log.to_str().unwrap();
         let (ok, _, e) = vppb(&[
-            "record", "lu", "--threads", "2", "--scale", "0.02", "-o", log_s, "--format", fmt,
+            "record",
+            "lu",
+            "--threads",
+            "2",
+            "--scale",
+            "0.02",
+            "-o",
+            log_s,
+            "--format",
+            fmt,
         ]);
         assert!(ok, "record {fmt}: {e}");
         let (ok, stdout, e) = vppb(&["report", log_s]);

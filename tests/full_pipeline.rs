@@ -111,23 +111,15 @@ fn prediction_is_reusable_across_machine_configs_from_one_log() {
 fn parallelism_graph_shows_the_case_study_contrast() {
     // Fig. 6 vs fig. 7: the naive run has ~1 thread running; the improved
     // run keeps 8 running with a tall runnable band.
-    let naive = simulate(
-        &pipeline::record_app(&prodcons::naive(0.5)).unwrap().log,
-        &SimParams::cpus(8),
-    )
-    .unwrap();
-    let improved = simulate(
-        &pipeline::record_app(&prodcons::improved(0.5)).unwrap().log,
-        &SimParams::cpus(8),
-    )
-    .unwrap();
+    let naive =
+        simulate(&pipeline::record_app(&prodcons::naive(0.5)).unwrap().log, &SimParams::cpus(8))
+            .unwrap();
+    let improved =
+        simulate(&pipeline::record_app(&prodcons::improved(0.5)).unwrap().log, &SimParams::cpus(8))
+            .unwrap();
     let tl_naive = Timeline::from_trace(&naive.trace);
     let tl_improved = Timeline::from_trace(&improved.trace);
-    assert!(
-        tl_naive.avg_running() < 2.0,
-        "naive: {:.2} avg running",
-        tl_naive.avg_running()
-    );
+    assert!(tl_naive.avg_running() < 2.0, "naive: {:.2} avg running", tl_naive.avg_running());
     assert!(
         tl_improved.avg_running() > 6.0,
         "improved: {:.2} avg running",
@@ -148,16 +140,8 @@ fn comparison_view_aligns_prediction_with_reality() {
     let (_, sim) = pipeline::record_and_predict(&app, 4).unwrap();
     let real = pipeline::real_run(&app, 4).unwrap();
     let cmp = vppb_viz::compare("predicted", &sim.trace, "real", &real.trace);
-    assert!(
-        cmp.wall_error.abs() < 0.03,
-        "wall error {:.2}%",
-        cmp.wall_error * 100.0
-    );
-    assert!(
-        cmp.max_thread_error() < 0.05,
-        "worst thread {:?}",
-        cmp.worst_thread()
-    );
+    assert!(cmp.wall_error.abs() < 0.03, "wall error {:.2}%", cmp.wall_error * 100.0);
+    assert!(cmp.max_thread_error() < 0.05, "worst thread {:?}", cmp.worst_thread());
     // All four threads aligned (nothing "only in" one trace).
     assert!(cmp.threads.iter().all(|t| t.only_in.is_none()));
     let rendered = vppb_viz::compare::render(&cmp);
