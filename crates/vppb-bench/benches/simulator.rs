@@ -3,9 +3,9 @@
 //! the predicted speed-up values increases for large log files").
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vppb_model::SimParams;
+use vppb_model::{LwpPolicy, SimParams};
 use vppb_recorder::{record, RecordOptions};
-use vppb_sim::{analyze, simulate_plan};
+use vppb_sim::{analyze, simulate_plan, sweep_plan, SweepGrid};
 use vppb_workloads::{prodcons, splash, KernelParams};
 
 fn bench_sim(c: &mut Criterion) {
@@ -22,6 +22,15 @@ fn bench_sim(c: &mut Criterion) {
     let plan_pc = analyze(&rec_pc.log).unwrap();
     g.bench_function("simulate_prodcons_8cpu_226_threads", |b| {
         b.iter(|| simulate_plan(&plan_pc, &rec_pc.log, &SimParams::cpus(8)).unwrap())
+    });
+    // The what-if sweep: 8 configurations (4 CPU counts × 2 LWP policies)
+    // of the Ocean log, fanned over all available workers.
+    let grid =
+        SweepGrid::over_cpus([1, 2, 4, 8]).with_lwps([LwpPolicy::PerThread, LwpPolicy::Fixed(4)]);
+    let configs = grid.configs();
+    assert_eq!(configs.len(), 8);
+    g.bench_function("sweep_ocean_8_configs", |b| {
+        b.iter(|| sweep_plan(&plan, &rec.log, &configs, 0).unwrap())
     });
     g.finish();
 }

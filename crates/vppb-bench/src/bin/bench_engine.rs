@@ -1,0 +1,126 @@
+//! Emit `BENCH_engine.json`: the engine-throughput baseline the repo
+//! tracks across PRs — median wall time and ns per discrete-event step
+//! for (a) a raw 8-CPU engine run of a SPLASH-style kernel, (b) one
+//! 8-CPU trace-driven prediction, and (c) an 8-configuration what-if
+//! sweep.
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin bench_engine
+//! [--fast] [--out FILE]`. `--fast` shrinks the workloads and iteration
+//! count for CI smoke runs; the checked-in baseline comes from the full
+//! mode. Timings use `std::time::Instant` medians so the binary works
+//! without any bench framework.
+
+use serde::Serialize;
+use std::time::Instant;
+use vppb_machine::{run, NullHooks, RunOptions};
+use vppb_model::{LwpPolicy, MachineConfig, SimParams};
+use vppb_recorder::{record, RecordOptions};
+use vppb_sim::{analyze, simulate_plan, sweep_plan, SweepGrid};
+use vppb_workloads::{splash, KernelParams};
+
+#[derive(Serialize)]
+struct Bench {
+    /// Benchmark id, stable across PRs.
+    name: String,
+    /// Median wall time of one iteration, host nanoseconds.
+    median_ns: u64,
+    /// Discrete-event steps one iteration processes (deterministic).
+    des_events: u64,
+    /// Engine cost: median_ns / des_events.
+    ns_per_event: f64,
+    /// Timed iterations (after one warm-up).
+    iters: u32,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    mode: &'static str,
+    benches: Vec<Bench>,
+}
+
+/// Median-of-iterations timing: one warm-up, `iters` samples.
+fn time_median(iters: u32, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench(name: &str, iters: u32, des_events: u64, f: impl FnMut()) -> Bench {
+    let median_ns = time_median(iters, f);
+    let b = Bench {
+        name: name.to_string(),
+        median_ns,
+        des_events,
+        ns_per_event: if des_events == 0 { 0.0 } else { median_ns as f64 / des_events as f64 },
+        iters,
+    };
+    eprintln!(
+        "  {:<24} {:>12} ns/iter  {:>8.1} ns/event  ({} DES events)",
+        b.name, b.median_ns, b.ns_per_event, b.des_events
+    );
+    b
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).expect("--out needs a file path").clone())
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let (mode, scale, iters) = if fast { ("fast", 0.05, 5) } else { ("full", 0.2, 21) };
+    eprintln!("bench_engine: {mode} mode (workload scale {scale}, {iters} iters)");
+
+    let machine = MachineConfig::sun_enterprise(8).with_lwps(LwpPolicy::PerThread);
+    let engine_app = splash::radix(KernelParams::scaled(8, scale));
+    let engine_run = || {
+        let mut hooks = NullHooks;
+        let opts = RunOptions { record_trace: false, ..RunOptions::new(&mut hooks) };
+        run(&engine_app, &machine, opts).expect("engine run")
+    };
+    let engine_des = engine_run().des_events;
+
+    let rec = record(&splash::ocean(KernelParams::scaled(8, scale)), &RecordOptions::default())
+        .expect("record ocean");
+    let plan = analyze(&rec.log).expect("analyze");
+    let sim_des = simulate_plan(&plan, &rec.log, &SimParams::cpus(8)).expect("simulate").des_events;
+
+    let grid =
+        SweepGrid::over_cpus([1, 2, 4, 8]).with_lwps([LwpPolicy::PerThread, LwpPolicy::Fixed(4)]);
+    let configs = grid.configs();
+    assert_eq!(configs.len(), 8, "the tracked sweep is 8 configurations");
+    let sweep_des: u64 = sweep_plan(&plan, &rec.log, &configs, 0)
+        .expect("sweep")
+        .executions
+        .iter()
+        .map(|e| e.des_events)
+        .sum();
+
+    let report = Report {
+        schema: "vppb-bench-engine/v1",
+        mode,
+        benches: vec![
+            bench("engine_radix_8cpu", iters, engine_des, || {
+                engine_run();
+            }),
+            bench("simulate_ocean_8cpu", iters, sim_des, || {
+                simulate_plan(&plan, &rec.log, &SimParams::cpus(8)).expect("simulate");
+            }),
+            bench("sweep_ocean_8_configs", iters, sweep_des, || {
+                sweep_plan(&plan, &rec.log, &configs, 0).expect("sweep");
+            }),
+        ],
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&report).expect("serializable") + "\n")
+        .expect("write report");
+    eprintln!("wrote {out}");
+}

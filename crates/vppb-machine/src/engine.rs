@@ -18,6 +18,7 @@ use crate::audit::{self, AuditInput, SyncAudit, ThreadAudit};
 use crate::hooks::{event_kind_of, Hooks};
 use crate::jitter::JitterModel;
 use crate::observer::{SchedEvent, SchedObserver};
+use crate::prioq::PrioQueue;
 use crate::result::{RunLimits, RunResult};
 use crate::sync::{CondState, MutexState, RwState, RwWaiter, SemState};
 use std::cmp::Reverse;
@@ -77,6 +78,11 @@ pub struct RunOptions<'a> {
     /// Deliberate invariant breakage, so tests can prove the end-of-run
     /// auditor catches real corruption. All off by default.
     pub faults: FaultInjection,
+    /// Expected number of program events (library calls) this run will
+    /// execute — the Simulator passes the replay plan's op count. Used to
+    /// pre-size the transition/event buffers and the event heap so long
+    /// replays don't regrow them; `0` (the default) means unknown.
+    pub size_hint: usize,
 }
 
 impl<'a> RunOptions<'a> {
@@ -92,6 +98,7 @@ impl<'a> RunOptions<'a> {
             record_trace: true,
             observer: None,
             faults: FaultInjection::default(),
+            size_hint: 0,
         }
     }
 }
@@ -256,13 +263,22 @@ struct Engine<'a, 'o> {
     rws: Vec<RwState>,
     vars: Vec<i64>,
     /// Unbound runnable threads without an LWP, highest priority first.
-    user_rq: BTreeMap<i32, VecDeque<Tix>>,
+    user_rq: PrioQueue<Tix>,
     /// Ready LWPs awaiting a CPU, highest priority first.
-    kernel_rq: BTreeMap<i32, VecDeque<Lix>>,
+    kernel_rq: PrioQueue<Lix>,
+    /// Parked pool LWPs, lowest index first (the seed scanned the LWP
+    /// table for the first parked one; the min-heap picks the same LWP
+    /// without the O(n) walk).
+    parked: BinaryHeap<Reverse<Lix>>,
+    /// Count of LWPs carrying a CPU binding. While zero (the common
+    /// case) CPU dispatch takes the O(1) pop instead of the eligibility
+    /// scan.
+    cpu_bound_lwps: u32,
     /// Threads blocked in `thr_join`, in blocking order.
     joiners: VecDeque<(Tix, Option<ThreadId>)>,
-    /// Exited-but-unjoined threads, in exit order.
-    zombies: VecDeque<Tix>,
+    /// Exited-but-unjoined threads, in exit order (a single-level
+    /// [`PrioQueue`]: FIFO with O(1) removal at reap).
+    zombies: PrioQueue<Tix>,
     next_id: u32,
     live: u32,
     des_events: u64,
@@ -286,13 +302,19 @@ enum CallOutcome {
 
 impl<'a, 'o> Engine<'a, 'o> {
     fn new(app: &'a App, cfg: &'a MachineConfig, opts: RunOptions<'o>) -> Engine<'a, 'o> {
+        // Pre-size the growth-only buffers from the caller's hint: every
+        // program event lands in `events` once, produces a handful of
+        // transitions, and the heap never holds more than the in-flight
+        // timers/quanta (bounded by threads, itself bounded by events).
+        let hint = opts.size_hint;
+        let trace_hint = if opts.record_trace { hint } else { 0 };
         Engine {
             app,
             cfg,
             opts,
             now: Time::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(64 + hint / 8),
             threads: Vec::new(),
             by_id: BTreeMap::new(),
             lwps: Vec::new(),
@@ -310,15 +332,17 @@ impl<'a, 'o> Engine<'a, 'o> {
             conds: vec![CondState::default(); app.n_condvars as usize],
             rws: vec![RwState::default(); app.n_rwlocks as usize],
             vars: app.var_initial.clone(),
-            user_rq: BTreeMap::new(),
-            kernel_rq: BTreeMap::new(),
+            user_rq: PrioQueue::new(),
+            kernel_rq: PrioQueue::new(),
+            parked: BinaryHeap::new(),
+            cpu_bound_lwps: 0,
             joiners: VecDeque::new(),
-            zombies: VecDeque::new(),
+            zombies: PrioQueue::new(),
             next_id: ThreadId::FIRST_USER.0,
             live: 0,
             des_events: 0,
-            transitions: Vec::new(),
-            events: Vec::new(),
+            transitions: Vec::with_capacity(trace_hint.saturating_mul(3)),
+            events: Vec::with_capacity(trace_hint),
         }
     }
 
@@ -403,41 +427,24 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     fn user_rq_push(&mut self, tix: Tix, front: bool) {
         let prio = self.threads[tix].user_prio;
-        let q = self.user_rq.entry(prio).or_default();
         if front {
-            q.push_front(tix);
+            self.user_rq.push_front(tix, prio);
         } else {
-            q.push_back(tix);
+            self.user_rq.push_back(tix, prio);
         }
         if self.observing() {
-            let depth = self.user_rq.values().map(|q| q.len() as u32).sum();
+            let depth = self.user_rq.len() as u32;
             let thread = self.threads[tix].id;
             self.observe(SchedEvent::UserEnqueue { thread, prio, depth });
         }
     }
 
     fn user_rq_pop(&mut self) -> Option<Tix> {
-        let (&prio, _) = self.user_rq.iter().next_back()?;
-        let q = self.user_rq.get_mut(&prio).expect("key exists");
-        let t = q.pop_front();
-        if q.is_empty() {
-            self.user_rq.remove(&prio);
-        }
-        t
+        self.user_rq.pop_max()
     }
 
     fn user_rq_remove(&mut self, tix: Tix) -> bool {
-        let prio = self.threads[tix].user_prio;
-        if let Some(q) = self.user_rq.get_mut(&prio) {
-            if let Some(pos) = q.iter().position(|&x| x == tix) {
-                q.remove(pos);
-                if q.is_empty() {
-                    self.user_rq.remove(&prio);
-                }
-                return true;
-            }
-        }
-        false
+        self.user_rq.remove(tix)
     }
 
     // -- kernel run queue ----------------------------------------------------
@@ -445,28 +452,23 @@ impl<'a, 'o> Engine<'a, 'o> {
     fn kernel_enqueue(&mut self, lix: Lix) {
         self.lwps[lix].state = LState::Ready;
         let prio = self.lwps[lix].prio;
-        self.kernel_rq.entry(prio).or_default().push_back(lix);
+        self.kernel_rq.push_back(lix, prio);
         if self.observing() {
-            let depth = self.kernel_rq.values().map(|q| q.len() as u32).sum();
+            let depth = self.kernel_rq.len() as u32;
             let lwp = self.lwps[lix].id;
             self.observe(SchedEvent::KernelEnqueue { lwp, prio, depth });
         }
     }
 
-    fn kernel_remove(&mut self, lix: Lix) {
-        let prio = self.lwps[lix].prio;
-        if let Some(q) = self.kernel_rq.get_mut(&prio) {
-            if let Some(pos) = q.iter().position(|&x| x == lix) {
-                q.remove(pos);
-                if q.is_empty() {
-                    self.kernel_rq.remove(&prio);
-                }
-            }
-        }
+    /// Dequeue a ready LWP. Returns whether it was queued — callers that
+    /// *know* it must be (a `Ready` LWP is by definition in the queue)
+    /// assert on the result instead of silently succeeding.
+    fn kernel_remove(&mut self, lix: Lix) -> bool {
+        self.kernel_rq.remove(lix)
     }
 
-    fn eligible(&self, lix: Lix, cix: Cix) -> bool {
-        match self.lwps[lix].cpu_binding {
+    fn eligible(lwps: &[LwpRt], lix: Lix, cix: Cix) -> bool {
+        match lwps[lix].cpu_binding {
             None => true,
             Some(c) => c == cix,
         }
@@ -474,33 +476,30 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     /// Pick the best ready LWP that may run on `cix`.
     fn pick_for_cpu(&mut self, cix: Cix) -> Option<Lix> {
-        let mut found: Option<(i32, usize)> = None; // (prio, position)
-        for (&prio, q) in self.kernel_rq.iter().rev() {
-            if let Some(pos) = q.iter().position(|&l| self.eligible(l, cix)) {
-                found = Some((prio, pos));
-                break;
-            }
+        // With no CPU-bound LWP alive every ready LWP is eligible: take
+        // the head of the highest non-empty level, O(1).
+        if self.cpu_bound_lwps == 0 {
+            return self.kernel_rq.pop_max();
         }
-        let (prio, pos) = found?;
-        let q = self.kernel_rq.get_mut(&prio).expect("key exists");
-        let lix = q.remove(pos).expect("position valid");
-        if q.is_empty() {
-            self.kernel_rq.remove(&prio);
-        }
+        let lwps = &self.lwps;
+        let lix = self.kernel_rq.find_max(|l| Self::eligible(lwps, l, cix))?;
+        let removed = self.kernel_rq.remove(lix);
+        debug_assert!(removed, "found LWP must be queued");
         Some(lix)
     }
 
     // -- dispatch -------------------------------------------------------------
 
-    /// Attach runnable unbound threads to parked pool LWPs.
+    /// Attach runnable unbound threads to parked pool LWPs (lowest LWP
+    /// index first, as the seed's LWP-table scan did).
     fn attach_parked(&mut self) {
-        loop {
-            let Some(lix) =
-                self.lwps.iter().position(|l| l.state == LState::Parked && !l.dedicated)
-            else {
-                return;
-            };
+        while let Some(&Reverse(lix)) = self.parked.peek() {
+            debug_assert!(
+                self.lwps[lix].state == LState::Parked && !self.lwps[lix].dedicated,
+                "parked heap holds only parked pool LWPs"
+            );
             let Some(tix) = self.user_rq_pop() else { return };
+            self.parked.pop();
             self.attach(lix, tix, true);
             self.kernel_enqueue(lix);
         }
@@ -537,13 +536,11 @@ impl<'a, 'o> Engine<'a, 'o> {
                 }
             }
             // One preemption: the best queued LWP vs the worst running one.
-            if let Some((qprio, _)) = self.kernel_rq.iter().next_back().map(|(p, _)| (*p, ())) {
-                // Find the queued LWP (front of the best priority class).
-                let lix = *self.kernel_rq[&qprio].front().expect("non-empty class");
+            if let Some((qprio, lix)) = self.kernel_rq.peek_max() {
                 // Worst eligible running LWP.
                 let mut worst: Option<(i32, Cix)> = None;
                 for c in 0..self.cpus.len() {
-                    if !self.eligible(lix, c) {
+                    if !Self::eligible(&self.lwps, lix, c) {
                         continue;
                     }
                     if let Some(rl) = self.cpus[c].lwp {
@@ -709,6 +706,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             None => {
                 self.lwps[l].state = LState::Parked;
                 self.lwps[l].thread = None;
+                self.parked.push(Reverse(l));
                 self.cpus[c].lwp = None;
                 self.cpus[c].last_lwp = Some(l);
                 self.cpus[c].token += 1;
@@ -1043,6 +1041,9 @@ impl<'a, 'o> Engine<'a, 'o> {
                     _ => None,
                 };
                 let lix = self.lwps.len();
+                if cpu_binding.is_some() {
+                    self.cpu_bound_lwps += 1;
+                }
                 self.lwps.push(LwpRt {
                     id: LwpId(lix as u32),
                     state: LState::Sleeping,
@@ -1074,6 +1075,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             cpu_binding: None,
             last_thread: None,
         });
+        self.parked.push(Reverse(lix));
         lix
     }
 
@@ -1109,7 +1111,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 self.detach_thread(tix);
             }
         }
-        self.zombies.push_back(tix);
+        self.zombies.push_back(tix, 0);
         // Wake the first matching joiner, if any.
         let mut chosen: Option<usize> = None;
         for (i, (_, target)) in self.joiners.iter().enumerate() {
@@ -1143,9 +1145,8 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     fn reap(&mut self, tix: Tix) {
         self.threads[tix].state = TState::Done;
-        if let Some(pos) = self.zombies.iter().position(|&z| z == tix) {
-            self.zombies.remove(pos);
-        }
+        let removed = self.zombies.remove(tix);
+        assert!(removed, "reaping a thread not on the zombie list");
     }
 
     // -- call semantics ----------------------------------------------------------
@@ -1240,7 +1241,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                             _ => None,
                         },
                     },
-                    None => self.zombies.front().copied(),
+                    None => self.zombies.peek_max().map(|(_, z)| z),
                 };
                 match found {
                     Some(zix) => {
@@ -1485,19 +1486,25 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
             TState::Runnable => {
                 if let Some(l) = self.threads[xix].lwp {
+                    // A Runnable thread holding an LWP means the LWP is
+                    // Ready, i.e. definitely queued — anything else is an
+                    // engine invariant violation the old linear scans
+                    // would have papered over.
+                    let removed = self.kernel_remove(l);
+                    assert!(removed, "suspending a Runnable thread whose LWP was not queued");
                     if self.lwps[l].dedicated {
-                        self.kernel_remove(l);
                         self.lwps[l].state = LState::Sleeping;
                     } else {
                         // Attached to a pool LWP awaiting CPU: detach; the
                         // LWP parks (dispatch may re-attach it elsewhere).
-                        self.kernel_remove(l);
                         self.lwps[l].state = LState::Parked;
                         self.lwps[l].thread = None;
+                        self.parked.push(Reverse(l));
                         self.threads[xix].lwp = None;
                     }
                 } else {
-                    self.user_rq_remove(xix);
+                    let removed = self.user_rq_remove(xix);
+                    assert!(removed, "suspending a Runnable LWP-less thread not in the run queue");
                 }
                 self.set_state(xix, TState::Blocked(BlockReason::Suspended));
                 self.dispatch()?;
@@ -1698,8 +1705,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             })
             .collect();
         let sync = self.audit_input_sync();
-        let runnable_left = self.user_rq.values().map(|q| q.len()).sum::<usize>()
-            + self.kernel_rq.values().map(|q| q.len()).sum::<usize>();
+        let runnable_left = self.user_rq.len() + self.kernel_rq.len();
         audit::run_audit(&AuditInput {
             wall: self.now,
             cpu_busy: &cpu_busy,

@@ -17,6 +17,7 @@ pub mod engine;
 pub mod hooks;
 pub mod jitter;
 pub mod observer;
+pub mod prioq;
 pub mod result;
 pub mod sync;
 
@@ -24,4 +25,5 @@ pub use engine::{run, CallInterceptor, FaultInjection, IdAssigner, Intercept, Ru
 pub use hooks::{event_kind_of, Hooks, NullHooks};
 pub use jitter::JitterModel;
 pub use observer::{MetricsObserver, SchedEvent, SchedObserver, SchedTrace, Tee};
+pub use prioq::{PrioQueue, QueueIndex, PRIO_LEVELS};
 pub use result::{RunLimits, RunResult};

@@ -1,0 +1,343 @@
+//! Fixed-range priority run queue — the engine's dispatch hot path.
+//!
+//! Replaces the seed's `BTreeMap<i32, VecDeque<_>>` run queues. Three
+//! properties matter on the dispatch/preempt path:
+//!
+//! * **O(1) pick-highest** — a 128-level priority array plus a two-word
+//!   occupancy bitmap; the highest non-empty level is one `leading_zeros`
+//!   away, empty levels are skipped for free.
+//! * **O(1) removal** — items are woven into an intrusive doubly-linked
+//!   list through a per-item link table (the "queue-position backlinks"),
+//!   so removing a suspended thread or a re-prioritised LWP never scans.
+//! * **Allocation-free in steady state** — the link table grows to the
+//!   high-water item index once; pushes and pops after that touch no
+//!   allocator (the `BTreeMap` queues allocated a node and a `VecDeque`
+//!   every time a priority level went empty→non-empty).
+//!
+//! FIFO order within a level is part of the scheduling contract and is
+//! preserved exactly: `push_back` enqueues at the tail (wakeups, quantum
+//! expiry, yields), `push_front` at the head, `pop_max` takes the head of
+//! the highest non-empty level. Priorities outside `0..=127` are clamped;
+//! the Solaris TS table only produces `0..=59`.
+//!
+//! Items are small dense indices (the engine's `Tix`/`Lix`). The queue is
+//! generic over the index type so the user-level (thread) and kernel
+//! (LWP) run queues — and the single-level zombie list — share one
+//! implementation.
+
+use std::marker::PhantomData;
+
+/// Number of priority levels ([`PrioQueue`] clamps into `0..=127`).
+pub const PRIO_LEVELS: usize = 128;
+
+const WORDS: usize = PRIO_LEVELS / 64;
+const NIL: u32 = u32::MAX;
+
+/// A dense small-integer index usable as a [`PrioQueue`] item.
+pub trait QueueIndex: Copy + Eq {
+    /// This item's slot in the link table.
+    fn as_index(self) -> usize;
+    /// Rebuild the item from its slot.
+    fn from_index(i: usize) -> Self;
+}
+
+impl QueueIndex for usize {
+    #[inline]
+    fn as_index(self) -> usize {
+        self
+    }
+    #[inline]
+    fn from_index(i: usize) -> usize {
+        i
+    }
+}
+
+/// Backlink record for one item: where it sits, and in which level.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    prev: u32,
+    next: u32,
+    prio: u8,
+    queued: bool,
+}
+
+impl Default for Link {
+    fn default() -> Link {
+        Link { prev: NIL, next: NIL, prio: 0, queued: false }
+    }
+}
+
+/// Priority FIFO over dense indices: 128 levels, occupancy bitmap,
+/// intrusive links. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct PrioQueue<T> {
+    head: [u32; PRIO_LEVELS],
+    tail: [u32; PRIO_LEVELS],
+    occupied: [u64; WORDS],
+    links: Vec<Link>,
+    len: usize,
+    _items: PhantomData<T>,
+}
+
+impl<T: QueueIndex> Default for PrioQueue<T> {
+    fn default() -> PrioQueue<T> {
+        PrioQueue::new()
+    }
+}
+
+impl<T: QueueIndex> PrioQueue<T> {
+    /// An empty queue.
+    pub fn new() -> PrioQueue<T> {
+        PrioQueue {
+            head: [NIL; PRIO_LEVELS],
+            tail: [NIL; PRIO_LEVELS],
+            occupied: [0; WORDS],
+            links: Vec::new(),
+            len: 0,
+            _items: PhantomData,
+        }
+    }
+
+    /// Pre-size the link table for items up to index `n - 1`.
+    pub fn with_capacity(n: usize) -> PrioQueue<T> {
+        let mut q = PrioQueue::new();
+        q.links = vec![Link::default(); n];
+        q
+    }
+
+    /// Queued item count across all levels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no item is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `item` is currently queued.
+    #[inline]
+    pub fn contains(&self, item: T) -> bool {
+        self.links.get(item.as_index()).is_some_and(|l| l.queued)
+    }
+
+    #[inline]
+    fn clamp(prio: i32) -> usize {
+        prio.clamp(0, PRIO_LEVELS as i32 - 1) as usize
+    }
+
+    #[inline]
+    fn slot(&mut self, ix: usize) -> &mut Link {
+        if ix >= self.links.len() {
+            self.links.resize(ix + 1, Link::default());
+        }
+        &mut self.links[ix]
+    }
+
+    /// Enqueue at the tail of `prio`'s level (the normal case: wakeups,
+    /// quantum expiry, yields). Panics in debug builds if already queued.
+    pub fn push_back(&mut self, item: T, prio: i32) {
+        self.push(item, prio, false);
+    }
+
+    /// Enqueue at the head of `prio`'s level.
+    pub fn push_front(&mut self, item: T, prio: i32) {
+        self.push(item, prio, true);
+    }
+
+    fn push(&mut self, item: T, prio: i32, front: bool) {
+        let ix = item.as_index();
+        debug_assert!(ix < NIL as usize, "item index overflows the link table");
+        let p = Self::clamp(prio);
+        let link = self.slot(ix);
+        debug_assert!(!link.queued, "double-enqueue of item {ix}");
+        link.prio = p as u8;
+        link.queued = true;
+        if front {
+            let old = self.head[p];
+            self.links[ix].prev = NIL;
+            self.links[ix].next = old;
+            self.head[p] = ix as u32;
+            if old == NIL {
+                self.tail[p] = ix as u32;
+            } else {
+                self.links[old as usize].prev = ix as u32;
+            }
+        } else {
+            let old = self.tail[p];
+            self.links[ix].next = NIL;
+            self.links[ix].prev = old;
+            self.tail[p] = ix as u32;
+            if old == NIL {
+                self.head[p] = ix as u32;
+            } else {
+                self.links[old as usize].next = ix as u32;
+            }
+        }
+        self.occupied[p / 64] |= 1u64 << (p % 64);
+        self.len += 1;
+    }
+
+    /// Highest non-empty level, if any.
+    #[inline]
+    fn top_level(&self) -> Option<usize> {
+        for w in (0..WORDS).rev() {
+            if self.occupied[w] != 0 {
+                return Some(w * 64 + 63 - self.occupied[w].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The head of the highest non-empty level, without dequeuing.
+    #[inline]
+    pub fn peek_max(&self) -> Option<(i32, T)> {
+        let p = self.top_level()?;
+        Some((p as i32, T::from_index(self.head[p] as usize)))
+    }
+
+    /// Dequeue the head of the highest non-empty level.
+    pub fn pop_max(&mut self) -> Option<T> {
+        let p = self.top_level()?;
+        let ix = self.head[p] as usize;
+        self.unlink(ix, p);
+        Some(T::from_index(ix))
+    }
+
+    /// The first item, scanning levels high→low and each level
+    /// front→back, accepted by `eligible` (CPU-affinity dispatch).
+    pub fn find_max(&self, mut eligible: impl FnMut(T) -> bool) -> Option<T> {
+        for w in (0..WORDS).rev() {
+            let mut word = self.occupied[w];
+            while word != 0 {
+                let p = w * 64 + 63 - word.leading_zeros() as usize;
+                let mut cur = self.head[p];
+                while cur != NIL {
+                    let item = T::from_index(cur as usize);
+                    if eligible(item) {
+                        return Some(item);
+                    }
+                    cur = self.links[cur as usize].next;
+                }
+                word &= !(1u64 << (p % 64));
+            }
+        }
+        None
+    }
+
+    /// Dequeue `item` wherever it sits. Returns whether it was queued —
+    /// a definite outcome, unlike the seed's silent linear scans.
+    pub fn remove(&mut self, item: T) -> bool {
+        let ix = item.as_index();
+        match self.links.get(ix) {
+            Some(l) if l.queued => {
+                let p = l.prio as usize;
+                self.unlink(ix, p);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn unlink(&mut self, ix: usize, p: usize) {
+        let Link { prev, next, .. } = self.links[ix];
+        if prev == NIL {
+            self.head[p] = next;
+        } else {
+            self.links[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail[p] = prev;
+        } else {
+            self.links[next as usize].prev = prev;
+        }
+        if self.head[p] == NIL {
+            self.occupied[p / 64] &= !(1u64 << (p % 64));
+        }
+        let link = &mut self.links[ix];
+        link.queued = false;
+        link.prev = NIL;
+        link.next = NIL;
+        self.len -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_level() {
+        let mut q: PrioQueue<usize> = PrioQueue::new();
+        q.push_back(3, 10);
+        q.push_back(5, 10);
+        q.push_back(7, 10);
+        assert_eq!(q.pop_max(), Some(3));
+        assert_eq!(q.pop_max(), Some(5));
+        assert_eq!(q.pop_max(), Some(7));
+        assert_eq!(q.pop_max(), None);
+    }
+
+    #[test]
+    fn push_front_jumps_the_level_queue() {
+        let mut q: PrioQueue<usize> = PrioQueue::new();
+        q.push_back(1, 4);
+        q.push_front(2, 4);
+        assert_eq!(q.peek_max(), Some((4, 2)));
+        assert_eq!(q.pop_max(), Some(2));
+        assert_eq!(q.pop_max(), Some(1));
+    }
+
+    #[test]
+    fn higher_levels_win() {
+        let mut q: PrioQueue<usize> = PrioQueue::new();
+        q.push_back(1, 0);
+        q.push_back(2, 59);
+        q.push_back(3, 127);
+        q.push_back(4, 60);
+        assert_eq!(q.pop_max(), Some(3));
+        assert_eq!(q.pop_max(), Some(4));
+        assert_eq!(q.pop_max(), Some(2));
+        assert_eq!(q.pop_max(), Some(1));
+    }
+
+    #[test]
+    fn remove_reports_a_definite_outcome() {
+        let mut q: PrioQueue<usize> = PrioQueue::new();
+        q.push_back(1, 9);
+        q.push_back(2, 9);
+        q.push_back(3, 9);
+        assert!(q.remove(2), "queued item removes");
+        assert!(!q.remove(2), "second remove reports absence");
+        assert!(!q.remove(99), "never-seen item reports absence");
+        assert_eq!(q.pop_max(), Some(1));
+        assert_eq!(q.pop_max(), Some(3));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn out_of_range_priorities_clamp() {
+        let mut q: PrioQueue<usize> = PrioQueue::new();
+        q.push_back(1, -5);
+        q.push_back(2, 0);
+        q.push_back(3, 4000);
+        assert_eq!(q.peek_max(), Some((127, 3)));
+        assert_eq!(q.pop_max(), Some(3));
+        // -5 clamped to 0: same level as item 2, FIFO order.
+        assert_eq!(q.pop_max(), Some(1));
+        assert_eq!(q.pop_max(), Some(2));
+    }
+
+    #[test]
+    fn find_max_respects_eligibility_and_order() {
+        let mut q: PrioQueue<usize> = PrioQueue::new();
+        q.push_back(1, 20);
+        q.push_back(2, 20);
+        q.push_back(3, 10);
+        assert_eq!(q.find_max(|i| i != 1), Some(2), "second of the top level");
+        assert_eq!(q.find_max(|i| i == 3), Some(3), "falls through to lower level");
+        assert_eq!(q.find_max(|_| false), None);
+    }
+}

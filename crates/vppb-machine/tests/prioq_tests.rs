@@ -1,0 +1,216 @@
+//! Run-queue data-structure tests: the bitmap priority queue behind the
+//! engine's dispatch hot path, checked against a naive model, plus an
+//! engine-level regression for the FIFO-within-priority dispatch order
+//! the old `BTreeMap<prio, VecDeque>` queues guaranteed.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use std::collections::{BTreeMap, VecDeque};
+use vppb_machine::{run, NullHooks, PrioQueue, RunOptions};
+use vppb_model::{DispatchTable, Duration, LwpPolicy, MachineConfig, ThreadId, ThreadState};
+use vppb_threads::AppBuilder;
+
+/// Naive reference: a map from priority to FIFO, plus linear scans.
+#[derive(Default)]
+struct NaiveQueue {
+    levels: BTreeMap<i32, VecDeque<usize>>,
+}
+
+impl NaiveQueue {
+    fn clamp(prio: i32) -> i32 {
+        prio.clamp(0, 127)
+    }
+
+    fn push_back(&mut self, item: usize, prio: i32) {
+        self.levels.entry(Self::clamp(prio)).or_default().push_back(item);
+    }
+
+    fn push_front(&mut self, item: usize, prio: i32) {
+        self.levels.entry(Self::clamp(prio)).or_default().push_front(item);
+    }
+
+    fn pop_max(&mut self) -> Option<usize> {
+        let (&p, q) = self.levels.iter_mut().next_back()?;
+        let item = q.pop_front();
+        if q.is_empty() {
+            self.levels.remove(&p);
+        }
+        item
+    }
+
+    fn peek_max(&self) -> Option<(i32, usize)> {
+        let (&p, q) = self.levels.iter().next_back()?;
+        q.front().map(|&i| (p, i))
+    }
+
+    fn find_max(&self, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        for (_, q) in self.levels.iter().rev() {
+            if let Some(&i) = q.iter().find(|&&i| eligible(i)) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, item: usize) -> bool {
+        for (&p, q) in self.levels.iter_mut() {
+            if let Some(pos) = q.iter().position(|&i| i == item) {
+                q.remove(pos);
+                if q.is_empty() {
+                    self.levels.remove(&p);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.levels.values().map(VecDeque::len).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every operation sequence must leave the bitmap queue observably
+    /// identical to the naive per-priority-FIFO model.
+    #[test]
+    fn prioq_matches_naive_model(seed in 0u64..1 << 48, ops in 50u64..400) {
+        let mut rng = TestRng::seed(seed);
+        let universe = 24usize; // item ids 0..24, tight enough to collide
+        let mut fast = PrioQueue::<usize>::with_capacity(universe);
+        let mut naive = NaiveQueue::default();
+        let mut queued = vec![false; universe];
+        for step in 0..ops {
+            match rng.below(6) {
+                0 | 1 => {
+                    // Push an unqueued item at a random (possibly
+                    // out-of-range, so clamped) priority.
+                    let item = rng.below(universe as u64) as usize;
+                    if !queued[item] {
+                        let prio = rng.below(140) as i32 - 6;
+                        if rng.below(4) == 0 {
+                            fast.push_front(item, prio);
+                            naive.push_front(item, prio);
+                        } else {
+                            fast.push_back(item, prio);
+                            naive.push_back(item, prio);
+                        }
+                        queued[item] = true;
+                    }
+                }
+                2 => {
+                    let a = fast.pop_max();
+                    let b = naive.pop_max();
+                    prop_assert_eq!(a, b, "pop_max diverged at step {}", step);
+                    if let Some(i) = a {
+                        queued[i] = false;
+                    }
+                }
+                3 => {
+                    let item = rng.below(universe as u64) as usize;
+                    let a = fast.remove(item);
+                    let b = naive.remove(item);
+                    prop_assert_eq!(a, b, "remove({}) diverged at step {}", item, step);
+                    prop_assert_eq!(a, queued[item]);
+                    queued[item] = false;
+                }
+                4 => {
+                    // Pick-highest over an eligibility mask (the engine's
+                    // CPU-binding path): only items in one residue class.
+                    let class = rng.below(3) as usize;
+                    let a = fast.find_max(|i| i % 3 == class);
+                    let b = naive.find_max(|i| i % 3 == class);
+                    prop_assert_eq!(a, b, "find_max diverged at step {}", step);
+                    if let Some(i) = a {
+                        // The engine's dispatch path: find, then unlink.
+                        prop_assert!(fast.remove(i));
+                        prop_assert!(naive.remove(i));
+                        queued[i] = false;
+                    }
+                }
+                _ => {
+                    prop_assert_eq!(fast.peek_max(), naive.peek_max());
+                }
+            }
+            prop_assert_eq!(fast.len(), naive.len());
+            prop_assert_eq!(fast.is_empty(), naive.len() == 0);
+            for (item, &is_queued) in queued.iter().enumerate() {
+                prop_assert_eq!(fast.contains(item), is_queued);
+            }
+        }
+        // Drain: the full remaining order must match.
+        while let Some(a) = fast.pop_max() {
+            prop_assert_eq!(Some(a), naive.pop_max());
+        }
+        prop_assert_eq!(naive.pop_max(), None);
+    }
+}
+
+#[test]
+fn equal_priority_items_stay_fifo_across_removals() {
+    let mut q = PrioQueue::<usize>::new();
+    for i in [3, 1, 4, 1 + 4, 9, 2, 6] {
+        q.push_back(i, 10);
+    }
+    assert!(q.remove(4), "middle removal");
+    assert!(q.remove(3), "head removal");
+    assert!(q.remove(6), "tail removal");
+    let mut order = Vec::new();
+    while let Some(i) = q.pop_max() {
+        order.push(i);
+    }
+    assert_eq!(order, vec![1, 5, 9, 2], "insertion order survives unlinking");
+}
+
+#[test]
+fn higher_priority_always_wins_and_push_front_requeues_first() {
+    let mut q = PrioQueue::<usize>::new();
+    q.push_back(0, 10);
+    q.push_back(1, 50);
+    q.push_back(2, 50);
+    // A preempted item goes back to the *front* of its level, like the
+    // engine re-queuing a preempted LWP.
+    q.push_front(3, 50);
+    assert_eq!(q.peek_max(), Some((50, 3)));
+    assert_eq!(q.pop_max(), Some(3));
+    assert_eq!(q.pop_max(), Some(1));
+    assert_eq!(q.pop_max(), Some(2));
+    assert_eq!(q.pop_max(), Some(0));
+    assert_eq!(q.pop_max(), None);
+}
+
+/// Engine-level FIFO regression: two equal compute-bound threads on one
+/// CPU under a single-priority round-robin table must alternate strictly
+/// (ABAB…), which only holds if the run queue is FIFO within a priority
+/// level. A LIFO (or otherwise unfair) queue would starve one thread.
+#[test]
+fn round_robin_dispatch_alternates_equal_threads() {
+    let mut b = AppBuilder::new("pair", "pair.c");
+    let w = b.func("w", |f| f.work_ms(400));
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(2, |f| f.create_into(w, s));
+        f.loop_n(2, |f| f.join(s));
+    });
+    let app = b.build().unwrap();
+    let mut c = MachineConfig::default().with_cpus(1).with_lwps(LwpPolicy::PerThread);
+    c.dispatch = DispatchTable::round_robin(Duration::from_millis(50));
+    let mut hooks = NullHooks;
+    let r = run(&app, &c, RunOptions::new(&mut hooks)).expect("run");
+    assert!(r.audit.is_clean(), "{}", r.audit.render());
+    // Project the worker dispatches out of the transition stream.
+    let workers = [ThreadId(4), ThreadId(5)];
+    let dispatches: Vec<ThreadId> = r
+        .trace
+        .transitions
+        .iter()
+        .filter(|t| workers.contains(&t.thread) && matches!(t.state, ThreadState::Running { .. }))
+        .map(|t| t.thread)
+        .collect();
+    assert!(dispatches.len() >= 8, "expected many quanta, got {dispatches:?}");
+    for pair in dispatches.windows(2) {
+        assert_ne!(pair[0], pair[1], "equal-priority round-robin must alternate: {dispatches:?}");
+    }
+}

@@ -16,6 +16,7 @@ pub mod replayer;
 pub mod rules;
 pub mod sim;
 pub mod sorter;
+pub mod sweep;
 
 pub use divergence::{Divergence, DivergenceReport};
 pub use plan::{CvEpisode, CvPlan, ReplayOp, ReplayPlan, ThreadPlan};
@@ -26,3 +27,4 @@ pub use sim::{
     simulate_plan_with, SimulatedExecution,
 };
 pub use sorter::analyze;
+pub use sweep::{sweep, sweep_plan, SweepConfig, SweepGrid, SweepOutcome, SweepPoint};

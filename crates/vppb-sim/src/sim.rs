@@ -33,6 +33,9 @@ pub struct SimulatedExecution {
     /// Conservation-law audit of the replay run (clean unless the engine
     /// or a replay rule miscounted).
     pub audit: AuditReport,
+    /// Discrete-event steps the engine processed — the simulator's own
+    /// cost metric (benches report ns per DES event).
+    pub des_events: u64,
 }
 
 impl SimulatedExecution {
@@ -154,7 +157,17 @@ fn run_replay(
     observer: Option<&mut dyn SchedObserver>,
 ) -> Result<RunResult, VppbError> {
     let app = build_replay_app(plan, log.header.source_map.clone());
+    run_replay_on(&app, plan, params, observer)
+}
 
+/// Execute the replay of an already-built replay [`App`] — the sweep
+/// engine builds the app once and fans it out across worker threads.
+pub(crate) fn run_replay_on(
+    app: &App,
+    plan: &ReplayPlan,
+    params: &SimParams,
+    observer: Option<&mut dyn SchedObserver>,
+) -> Result<RunResult, VppbError> {
     // The paper's Simulator does not model kernel LWP context-switch
     // overhead (§6); mirror that unless the caller overrode the cost.
     let mut machine = params.machine.clone();
@@ -185,20 +198,26 @@ fn run_replay(
         limits: RunLimits::default(),
         record_trace: true,
         observer: fwd.as_mut().map(|f| f as &mut dyn SchedObserver),
+        size_hint: plan.total_ops(),
         ..RunOptions::new(&mut hooks)
     };
-    run(&app, &machine, opts).map_err(|e| match e {
+    run(app, &machine, opts).map_err(|e| match e {
         VppbError::ProgramError(msg) => VppbError::ReplayDiverged(msg),
         other => other,
     })
 }
 
-fn to_execution(plan: &ReplayPlan, params: &SimParams, result: RunResult) -> SimulatedExecution {
+pub(crate) fn to_execution(
+    plan: &ReplayPlan,
+    params: &SimParams,
+    result: RunResult,
+) -> SimulatedExecution {
     SimulatedExecution {
         wall_time: result.wall_time,
         recorded_wall: plan.recorded_wall,
         cpu_busy: result.cpu_busy,
         audit: result.audit,
+        des_events: result.des_events,
         trace: result.trace,
         params: params.clone(),
     }

@@ -1,0 +1,270 @@
+//! Parallel what-if configuration sweeps — the paper's cheap-exploration
+//! promise, industrialised.
+//!
+//! One recorded execution, many machine configurations: the sweep engine
+//! analyzes the log once, builds the replay [`App`] once, shares both
+//! immutably behind [`Arc`] across `std::thread::scope` workers, and
+//! replays every configuration of a grid (CPUs × LWP policies ×
+//! communication delays × per-thread manipulations) concurrently.
+//! Identical configurations are deduplicated by fingerprint and simulated
+//! once; every grid cell still gets its row in the resulting speed-up
+//! surface.
+//!
+//! Determinism is untouched: each replay is an independent, fully seeded
+//! engine run, so a parallel sweep produces bit-identical results to
+//! serial [`crate::simulate`] calls (there is a regression test for it).
+
+use crate::plan::ReplayPlan;
+use crate::sim::{build_replay_app, run_replay_on, to_execution, SimulatedExecution};
+use crate::sorter::analyze;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use vppb_model::{
+    Duration, LwpPolicy, SimParams, ThreadId, ThreadManip, Time, TraceLog, VppbError,
+};
+
+/// One labeled cell of a sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Human-readable cell label (`"8p"`, `"4p lwps=2"`, …).
+    pub label: String,
+    /// The full simulation parameters for this cell.
+    pub params: SimParams,
+}
+
+/// Grid builder: the cartesian product of the axes the paper's §3.2 lets
+/// the user vary. Axes left untouched contribute a single default value.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Simulated processor counts.
+    pub cpus: Vec<u32>,
+    /// LWP-pool policies (default: one LWP per thread, like `predict`).
+    pub lwps: Vec<LwpPolicy>,
+    /// Cross-CPU communication delays (default: the machine default).
+    pub comm_delays: Vec<Option<Duration>>,
+    /// Labeled per-thread manipulation sets (bindings / priority pins).
+    pub manip_sets: Vec<(String, BTreeMap<ThreadId, ThreadManip>)>,
+}
+
+impl SweepGrid {
+    /// A grid varying only the processor count.
+    pub fn over_cpus(cpus: impl Into<Vec<u32>>) -> SweepGrid {
+        SweepGrid {
+            cpus: cpus.into(),
+            lwps: vec![LwpPolicy::PerThread],
+            comm_delays: vec![None],
+            manip_sets: vec![(String::new(), BTreeMap::new())],
+        }
+    }
+
+    /// Builder-style: also vary the LWP policy.
+    pub fn with_lwps(mut self, lwps: impl Into<Vec<LwpPolicy>>) -> SweepGrid {
+        self.lwps = lwps.into();
+        self
+    }
+
+    /// Builder-style: also vary the communication delay.
+    pub fn with_comm_delays(mut self, delays: impl Into<Vec<Duration>>) -> SweepGrid {
+        self.comm_delays = delays.into().into_iter().map(Some).collect();
+        self
+    }
+
+    /// Builder-style: add a labeled manipulation set as a grid axis value
+    /// (the implicit unmanipulated baseline stays in the grid).
+    pub fn with_manip_set(
+        mut self,
+        label: impl Into<String>,
+        manips: BTreeMap<ThreadId, ThreadManip>,
+    ) -> SweepGrid {
+        self.manip_sets.push((label.into(), manips));
+        self
+    }
+
+    /// Expand the grid into labeled configurations, CPUs varying fastest.
+    pub fn configs(&self) -> Vec<SweepConfig> {
+        let mut out = Vec::new();
+        for (mlabel, manips) in &self.manip_sets {
+            for delay in &self.comm_delays {
+                for lwps in &self.lwps {
+                    for &cpus in &self.cpus {
+                        let mut params = SimParams::cpus(cpus);
+                        params.machine.lwps = *lwps;
+                        if let Some(d) = delay {
+                            params.machine.comm_delay = *d;
+                        }
+                        params.manips = manips.clone();
+                        let mut label = format!("{cpus}p");
+                        if self.lwps.len() > 1 {
+                            label += &match lwps {
+                                LwpPolicy::Fixed(n) => format!(" lwps={n}"),
+                                LwpPolicy::PerThread => " lwps=per-thread".to_string(),
+                                LwpPolicy::FollowProgram => " lwps=follow".to_string(),
+                            };
+                        }
+                        if self.comm_delays.len() > 1 {
+                            if let Some(d) = delay {
+                                label += &format!(" comm={d}");
+                            }
+                        }
+                        if !mlabel.is_empty() {
+                            label += &format!(" {mlabel}");
+                        }
+                        out.push(SweepConfig { label, params });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One row of the speed-up surface (serializes into the `--metrics-json`
+/// dump and the Table-1-style report).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepPoint {
+    /// Grid-cell label.
+    pub label: String,
+    /// Simulated processor count.
+    pub cpus: u32,
+    /// Predicted wall time, virtual nanoseconds.
+    pub wall_ns: u64,
+    /// Table-1-style speed-up: predicted 1-CPU wall over this wall.
+    pub speedup: f64,
+    /// Average CPU utilization of the predicted run, `0..=1`.
+    pub utilization: f64,
+    /// Engine cost of this cell (discrete-event steps).
+    pub des_events: u64,
+    /// Whether the conservation-law audit came back clean.
+    pub audit_clean: bool,
+    /// Whether this cell was a fingerprint-duplicate of an earlier one
+    /// (simulated once, reported per cell).
+    pub deduplicated: bool,
+}
+
+/// A completed sweep: the speed-up surface plus the full executions.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One row per grid cell, in grid order.
+    pub points: Vec<SweepPoint>,
+    /// The full predicted executions, in grid order (traces, audits).
+    pub executions: Vec<SimulatedExecution>,
+    /// Predicted 1-CPU wall time the speed-ups are relative to.
+    pub uni_wall: Time,
+    /// Distinct configurations actually simulated (after dedup; includes
+    /// the 1-CPU reference if it wasn't part of the grid).
+    pub unique_runs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Stable fingerprint of a configuration, for deduplication. `SimParams`
+/// has no `Hash` (it carries `f64` cost factors), but its derived `Debug`
+/// covers every field, so hashing the rendering is an exact identity.
+fn fingerprint(params: &SimParams) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{params:?}").hash(&mut h);
+    h.finish()
+}
+
+/// Sweep `configs` over `log` on up to `workers` threads (`0` = all
+/// available cores). Analyzes the log once; see the module docs.
+pub fn sweep(
+    log: &TraceLog,
+    configs: &[SweepConfig],
+    workers: usize,
+) -> Result<SweepOutcome, VppbError> {
+    let plan = analyze(log)?;
+    sweep_plan(&plan, log, configs, workers)
+}
+
+/// Like [`sweep`], reusing a precomputed plan.
+pub fn sweep_plan(
+    plan: &ReplayPlan,
+    log: &TraceLog,
+    configs: &[SweepConfig],
+    workers: usize,
+) -> Result<SweepOutcome, VppbError> {
+    // Build the replay program once; workers share it immutably.
+    let app = Arc::new(build_replay_app(plan, log.header.source_map.clone()));
+
+    // Deduplicate: map each grid cell to a unique job. The 1-CPU
+    // reference the speed-ups divide by is itself a job, so it also
+    // dedups against a 1-CPU grid cell.
+    let uni_params = SimParams::cpus(1);
+    let mut jobs: Vec<SimParams> = Vec::new();
+    let mut job_of_print: HashMap<u64, usize> = HashMap::new();
+    let mut cell_jobs: Vec<usize> = Vec::with_capacity(configs.len());
+    let mut intern = |params: &SimParams, jobs: &mut Vec<SimParams>| -> usize {
+        *job_of_print.entry(fingerprint(params)).or_insert_with(|| {
+            jobs.push(params.clone());
+            jobs.len() - 1
+        })
+    };
+    let uni_job = intern(&uni_params, &mut jobs);
+    for c in configs {
+        cell_jobs.push(intern(&c.params, &mut jobs));
+    }
+
+    // Fan the unique jobs out over scoped workers pulling from a shared
+    // atomic cursor; results land in a slot table, so completion order
+    // doesn't matter.
+    let n_workers = if workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(jobs.len())
+    .max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimulatedExecution, VppbError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..n_workers {
+            let app = Arc::clone(&app);
+            let (jobs, slots, cursor) = (&jobs, &slots, &cursor);
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(params) = jobs.get(i) else { return };
+                let result =
+                    run_replay_on(&app, plan, params, None).map(|r| to_execution(plan, params, r));
+                *slots[i].lock().expect("no poisoned sweep worker") = Some(result);
+            });
+        }
+    });
+
+    let mut results: Vec<SimulatedExecution> = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        results.push(slot.into_inner().expect("no poisoned sweep worker").expect("job ran")?);
+    }
+
+    let uni_wall = results[uni_job].wall_time;
+    let mut seen_job = vec![false; jobs.len()];
+    seen_job[uni_job] = true; // the reference doesn't claim a cell
+    let mut points = Vec::with_capacity(configs.len());
+    let mut executions = Vec::with_capacity(configs.len());
+    for (cell, &job) in configs.iter().zip(&cell_jobs) {
+        let exec = &results[job];
+        let wall = exec.wall_time;
+        let busy: u64 = exec.cpu_busy.iter().map(|d| d.nanos()).sum();
+        let capacity = wall.nanos().saturating_mul(exec.cpu_busy.len() as u64);
+        points.push(SweepPoint {
+            label: cell.label.clone(),
+            cpus: cell.params.machine.cpus,
+            wall_ns: wall.nanos(),
+            speedup: if wall == Time::ZERO {
+                0.0
+            } else {
+                uni_wall.nanos() as f64 / wall.nanos() as f64
+            },
+            utilization: if capacity == 0 { 0.0 } else { busy as f64 / capacity as f64 },
+            des_events: exec.des_events,
+            audit_clean: exec.audit.is_clean(),
+            deduplicated: std::mem::replace(&mut seen_job[job], true),
+        });
+        executions.push(exec.clone());
+    }
+    Ok(SweepOutcome { points, executions, uni_wall, unique_runs: jobs.len(), workers: n_workers })
+}

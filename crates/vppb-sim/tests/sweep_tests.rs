@@ -1,0 +1,143 @@
+//! Sweep-engine regression tests: a parallel sweep must be *bit-identical*
+//! to running [`vppb_sim::simulate`] serially for every configuration —
+//! same transitions, same events, same wall clock, same audit — and its
+//! speed-up surface must match what serial `predict` invocations compute.
+
+use vppb_model::{LwpPolicy, SimParams, Time, TraceLog};
+use vppb_recorder::{record, RecordOptions};
+use vppb_sim::{simulate, sweep, SweepConfig, SweepGrid};
+use vppb_threads::AppBuilder;
+use vppb_workloads::{prodcons, splash, KernelParams};
+
+fn record_app(app: &vppb_threads::App) -> TraceLog {
+    record(app, &RecordOptions::default()).expect("record").log
+}
+
+fn fork_join_app(workers: u64, work_ms: u64) -> vppb_threads::App {
+    let mut b = AppBuilder::new("forkjoin", "forkjoin.c");
+    let w = b.func("worker", move |f| f.work_ms(work_ms));
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(workers, |f| f.create_into(w, s));
+        f.loop_n(workers, |f| f.join(s));
+    });
+    b.build().unwrap()
+}
+
+/// The workloads the identity tests run over: a compute-bound kernel, a
+/// lock-heavy producer/consumer, and a plain fork/join.
+fn workloads() -> Vec<(&'static str, TraceLog)> {
+    vec![
+        ("ocean", record_app(&splash::ocean(KernelParams::scaled(8, 0.05)))),
+        ("prodcons", record_app(&prodcons::naive(0.05))),
+        ("forkjoin", record_app(&fork_join_app(4, 20))),
+    ]
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial_simulate() {
+    for (name, log) in workloads() {
+        let configs = SweepGrid::over_cpus([1, 2, 4, 8])
+            .with_lwps([LwpPolicy::PerThread, LwpPolicy::Fixed(2)])
+            .configs();
+        assert_eq!(configs.len(), 8, "{name}: 8-config grid");
+        let outcome = sweep(&log, &configs, 4).expect("sweep");
+        for (cell, exec) in configs.iter().zip(&outcome.executions) {
+            let serial = simulate(&log, &cell.params).expect("serial simulate");
+            assert_eq!(
+                exec.wall_time, serial.wall_time,
+                "{name}/{}: wall time differs",
+                cell.label
+            );
+            assert_eq!(
+                exec.trace.transitions, serial.trace.transitions,
+                "{name}/{}: transitions differ",
+                cell.label
+            );
+            assert_eq!(
+                exec.trace.events, serial.trace.events,
+                "{name}/{}: events differ",
+                cell.label
+            );
+            assert_eq!(
+                exec.des_events, serial.des_events,
+                "{name}/{}: DES step count differs",
+                cell.label
+            );
+            assert_eq!(
+                exec.audit.is_clean(),
+                serial.audit.is_clean(),
+                "{name}/{}: audit verdict differs",
+                cell.label
+            );
+            assert!(exec.audit.is_clean(), "{name}/{}: audit violated", cell.label);
+        }
+    }
+}
+
+#[test]
+fn sweep_speedups_match_serial_predict_invocations() {
+    let log = record_app(&splash::radix(KernelParams::scaled(8, 0.1)));
+    let configs = SweepGrid::over_cpus([1, 2, 4, 8]).configs();
+    let outcome = sweep(&log, &configs, 3).expect("sweep");
+    let uni = simulate(&log, &SimParams::cpus(1)).expect("uni");
+    assert_eq!(outcome.uni_wall, uni.wall_time);
+    for (cell, point) in configs.iter().zip(&outcome.points) {
+        let serial = simulate(&log, &cell.params).expect("serial");
+        let expected = uni.wall_time.nanos() as f64 / serial.wall_time.nanos() as f64;
+        assert!(
+            (point.speedup - expected).abs() < 1e-12,
+            "{}: sweep says {} but serial predict says {expected}",
+            cell.label,
+            point.speedup
+        );
+        assert_eq!(point.wall_ns, serial.wall_time.nanos());
+        assert_eq!(point.cpus, cell.params.machine.cpus);
+    }
+}
+
+#[test]
+fn identical_configs_are_deduplicated_but_still_reported() {
+    let log = record_app(&fork_join_app(3, 10));
+    // 4p appears twice; 1p duplicates the implicit uni-processor reference.
+    let configs: Vec<SweepConfig> = SweepGrid::over_cpus([1, 4, 4]).configs();
+    let outcome = sweep(&log, &configs, 2).expect("sweep");
+    assert_eq!(outcome.points.len(), 3, "every cell gets a row");
+    // Unique jobs: {1p (shared with the reference), 4p} -> 2.
+    assert_eq!(outcome.unique_runs, 2);
+    assert!(outcome.points[0].deduplicated, "1p cell shares the reference run");
+    assert!(!outcome.points[1].deduplicated, "first 4p cell is fresh");
+    assert!(outcome.points[2].deduplicated, "second 4p cell reuses it");
+    assert_eq!(outcome.points[1].wall_ns, outcome.points[2].wall_ns);
+    assert_eq!(outcome.executions[1].trace.transitions, outcome.executions[2].trace.transitions);
+}
+
+#[test]
+fn sweep_results_are_independent_of_worker_count() {
+    let log = record_app(&splash::fft(KernelParams::scaled(4, 0.1)));
+    let configs = SweepGrid::over_cpus([1, 2, 4, 8]).configs();
+    let serial = sweep(&log, &configs, 1).expect("1 worker");
+    assert_eq!(serial.workers, 1);
+    for workers in [2, 4, 8] {
+        let parallel = sweep(&log, &configs, workers).expect("sweep");
+        assert!(parallel.workers >= 1 && parallel.workers <= workers);
+        for (a, b) in serial.executions.iter().zip(&parallel.executions) {
+            assert_eq!(a.wall_time, b.wall_time);
+            assert_eq!(a.trace.transitions, b.trace.transitions);
+            assert_eq!(a.trace.events, b.trace.events);
+        }
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.wall_ns, b.wall_ns);
+            assert!((a.speedup - b.speedup).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn empty_grid_still_runs_the_reference() {
+    let log = record_app(&fork_join_app(2, 5));
+    let outcome = sweep(&log, &[], 2).expect("sweep");
+    assert!(outcome.points.is_empty());
+    assert_eq!(outcome.unique_runs, 1, "the 1-CPU reference still runs");
+    assert!(outcome.uni_wall > Time::ZERO);
+}

@@ -22,6 +22,7 @@ pub mod inspect;
 pub mod report;
 pub mod stats;
 pub mod svg;
+pub mod table;
 pub mod timeline;
 pub mod view;
 
@@ -32,5 +33,6 @@ pub use inspect::{EventDetails, Inspector};
 pub use report::render_html;
 pub use stats::{compute as compute_stats, ExecutionStats, ObjectStats, ThreadStats};
 pub use svg::SvgOptions;
+pub use table::{Align, TextTable};
 pub use timeline::{Lane, LaneSegment, LaneState, ParallelismStep, Timeline};
 pub use view::{ThreadFilter, View, ZoomStep};

@@ -1,0 +1,132 @@
+//! Generic ANSI table rendering — Table-1-style reports for the terminal.
+//!
+//! The sweep engine (and any other tabular report) hands over headers and
+//! string rows; this module lays them out with box-drawing rules, padding
+//! and per-column alignment, optionally colouring the header. Keeping the
+//! layout here keeps `vppb-sim` terminal-agnostic.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (labels).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// A simple text table: headers, alignment, rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers, all left-aligned.
+    pub fn new(headers: impl IntoIterator<Item = impl Into<String>>) -> TextTable {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; headers.len()];
+        TextTable { headers, aligns, rows: Vec::new() }
+    }
+
+    /// Builder-style: set the per-column alignment (short slices leave the
+    /// remaining columns left-aligned).
+    pub fn aligns(mut self, aligns: impl IntoIterator<Item = Align>) -> TextTable {
+        for (i, a) in aligns.into_iter().enumerate() {
+            if i < self.aligns.len() {
+                self.aligns[i] = a;
+            }
+        }
+        self
+    }
+
+    /// Append one row; missing cells render empty, extras are dropped.
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) -> &mut TextTable {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        row.truncate(self.headers.len());
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with box-drawing rules. `color` bolds the header row.
+    pub fn render(&self, color: bool) -> String {
+        let n = self.headers.len();
+        let mut width = vec![0usize; n];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let pad = |cell: &str, i: usize| -> String {
+            let fill = width[i].saturating_sub(cell.chars().count());
+            match self.aligns[i] {
+                Align::Left => format!("{cell}{}", " ".repeat(fill)),
+                Align::Right => format!("{}{cell}", " ".repeat(fill)),
+            }
+        };
+        let rule = |l: &str, m: &str, r: &str| -> String {
+            let bars: Vec<String> = width.iter().map(|w| "─".repeat(w + 2)).collect();
+            format!("{l}{}{r}\n", bars.join(m))
+        };
+        let mut out = String::new();
+        out += &rule("┌", "┬", "┐");
+        let header: Vec<String> = self.headers.iter().enumerate().map(|(i, h)| pad(h, i)).collect();
+        let header = header.join(" │ ");
+        if color {
+            let _ = writeln!(out, "│ \x1b[1m{header}\x1b[0m │");
+        } else {
+            let _ = writeln!(out, "│ {header} │");
+        }
+        out += &rule("├", "┼", "┤");
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().enumerate().map(|(i, c)| pad(c, i)).collect();
+            let _ = writeln!(out, "│ {} │", cells.join(" │ "));
+        }
+        out += &rule("└", "┴", "┘");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_pads_and_aligns() {
+        let mut t = TextTable::new(["config", "speed-up"]).aligns([Align::Left, Align::Right]);
+        t.row(["8p", "6.51"]);
+        t.row(["2p long-label", "1.99"]);
+        let s = t.render(false);
+        assert!(s.contains("│ config        │ speed-up │"), "{s}");
+        assert!(s.contains("│ 8p            │     6.51 │"), "{s}");
+        assert!(s.contains("│ 2p long-label │     1.99 │"), "{s}");
+        assert!(s.starts_with("┌"), "{s}");
+        assert!(s.trim_end().ends_with("┘"), "{s}");
+    }
+
+    #[test]
+    fn short_rows_fill_and_long_rows_truncate() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render(false);
+        assert_eq!(s.matches('\n').count(), 6, "{s}");
+        assert!(!s.contains('3'), "{s}");
+    }
+
+    #[test]
+    fn color_only_touches_the_header() {
+        let mut t = TextTable::new(["h"]);
+        t.row(["v"]);
+        let s = t.render(true);
+        assert!(s.contains("\x1b[1mh"), "{s}");
+        assert!(!s.contains("\x1b[1mv"), "{s}");
+    }
+}

@@ -6,6 +6,7 @@
 //! vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]
 //! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE]
 //! vppb predict <LOG> [--cpus N] [--metrics-json FILE]
+//! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE]
 //! vppb report <LOG>
 //! ```
 
@@ -14,9 +15,24 @@ use std::process::ExitCode;
 use vppb::pipeline;
 use vppb_model::{AuditReport, Duration, LwpPolicy, SchedMetrics, SimParams, TraceLog, VppbError};
 use vppb_recorder as logio;
-use vppb_sim::{simulate, simulate_metrics, DivergenceReport};
-use vppb_viz::{ansi, compute_stats, stats, svg, AnsiOptions};
+use vppb_sim::{simulate, simulate_metrics, DivergenceReport, SweepGrid, SweepPoint};
+use vppb_viz::{ansi, compute_stats, stats, svg, Align, AnsiOptions, TextTable};
 use vppb_workloads::{prodcons, splash2_suite, KernelParams};
+
+/// Machine-readable sweep dump written by `sweep --metrics-json`.
+#[derive(serde::Serialize)]
+struct SweepDump {
+    /// Monitored program the sweep predicted.
+    program: String,
+    /// Predicted 1-CPU wall time every speed-up divides by, ns.
+    uni_wall_ns: u64,
+    /// Distinct configurations simulated after deduplication.
+    unique_runs: usize,
+    /// Worker threads the sweep ran on.
+    workers: usize,
+    /// The speed-up surface, one row per grid cell.
+    points: Vec<SweepPoint>,
+}
 
 /// Machine-readable per-run dump written by `--metrics-json`.
 #[derive(serde::Serialize)]
@@ -179,6 +195,95 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "sweep" => {
+            let path = pos.first().ok_or("sweep: which log file?")?;
+            let log = load_log(path).map_err(|e| e.to_string())?;
+            let cpus = parse_list::<u32>(flags.get("cpus").map_or("1,2,4,8", String::as_str))
+                .map_err(|_| "bad --cpus list")?;
+            let mut grid = SweepGrid::over_cpus(cpus);
+            if let Some(l) = flags.get("lwps") {
+                let mut lwps = Vec::new();
+                for item in l.split(',') {
+                    lwps.push(match item {
+                        "per-thread" => LwpPolicy::PerThread,
+                        "follow" => LwpPolicy::FollowProgram,
+                        n => LwpPolicy::Fixed(n.parse().map_err(|_| "bad --lwps list")?),
+                    });
+                }
+                grid = grid.with_lwps(lwps);
+            }
+            if let Some(d) = flags.get("comm-delay-us") {
+                let delays: Vec<Duration> = parse_list::<u64>(d)
+                    .map_err(|_| "bad --comm-delay-us list")?
+                    .into_iter()
+                    .map(Duration::from_micros)
+                    .collect();
+                grid = grid.with_comm_delays(delays);
+            }
+            let jobs: usize = flag(&flags, "jobs", 0)?;
+            let configs = grid.configs();
+            let outcome = vppb_sim::sweep(&log, &configs, jobs).map_err(|e| e.to_string())?;
+            println!(
+                "swept `{}` over {} configurations ({} unique) on {} worker thread{}; \
+                 1-CPU reference wall {}",
+                log.header.program,
+                configs.len(),
+                outcome.unique_runs,
+                outcome.workers,
+                if outcome.workers == 1 { "" } else { "s" },
+                outcome.uni_wall,
+            );
+            let mut table = TextTable::new([
+                "config",
+                "cpus",
+                "wall",
+                "speed-up",
+                "util",
+                "DES events",
+                "audit",
+            ])
+            .aligns([
+                Align::Left,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Right,
+                Align::Left,
+            ]);
+            for (p, exec) in outcome.points.iter().zip(&outcome.executions) {
+                let mut audit = if p.audit_clean { "clean" } else { "VIOLATED" }.to_string();
+                if p.deduplicated {
+                    audit += " (dedup)";
+                }
+                table.row([
+                    p.label.clone(),
+                    p.cpus.to_string(),
+                    format!("{}", exec.wall_time),
+                    format!("{:.2}", p.speedup),
+                    format!("{:.0}%", p.utilization * 100.0),
+                    p.des_events.to_string(),
+                    audit,
+                ]);
+            }
+            print!("{}", table.render(!flags.contains_key("no-color")));
+            if outcome.points.iter().any(|p| !p.audit_clean) {
+                return Err("a sweep cell ended with a conservation-law violation".into());
+            }
+            if let Some(file) = flags.get("metrics-json") {
+                let dump = SweepDump {
+                    program: log.header.program.clone(),
+                    uni_wall_ns: outcome.uni_wall.nanos(),
+                    unique_runs: outcome.unique_runs,
+                    workers: outcome.workers,
+                    points: outcome.points,
+                };
+                let json = serde_json::to_string(&dump).map_err(|e| e.to_string())?;
+                std::fs::write(file, json).map_err(|e| e.to_string())?;
+                println!("wrote {file}");
+            }
+            Ok(())
+        }
         "report" => {
             let path = pos.first().ok_or("report: which log file?")?;
             let log = load_log(path).map_err(|e| e.to_string())?;
@@ -206,8 +311,15 @@ fn usage() -> String {
      vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]\n  \
      vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE]\n  \
      vppb predict <LOG> [--cpus N] [--metrics-json FILE]\n  \
+     vppb sweep <LOG> [--cpus N,N,..] [--lwps per-thread|follow|N,..] [--comm-delay-us D,..] \
+     [--jobs N] [--no-color] [--metrics-json FILE]\n  \
      vppb report <LOG>"
         .to_string()
+}
+
+/// Parse a `--flag a,b,c` list.
+fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, ()> {
+    s.split(',').map(|x| x.trim().parse().map_err(|_| ())).collect()
 }
 
 /// Split positional args from `--key value` / `--switch` / `-o value` flags.
@@ -218,7 +330,7 @@ fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-            let is_switch = matches!(key, "ansi" | "stats");
+            let is_switch = matches!(key, "ansi" | "stats" | "no-color");
             if is_switch {
                 flags.insert(key.to_string(), "true".to_string());
             } else if i + 1 < args.len() {

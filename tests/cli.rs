@@ -116,6 +116,66 @@ fn binary_and_text_formats_sniff_correctly() {
 }
 
 #[test]
+fn sweep_prints_the_surface_and_matches_predict() {
+    let dir = tmpdir("sweep");
+    let log = dir.join("fft.vppb");
+    let log_s = log.to_str().unwrap();
+    let (ok, _, stderr) = vppb(&["record", "fft", "--threads", "4", "--scale", "0.1", "-o", log_s]);
+    assert!(ok, "record failed: {stderr}");
+
+    let json = dir.join("sweep.json");
+    let (ok, stdout, stderr) = vppb(&[
+        "sweep",
+        log_s,
+        "--cpus",
+        "1,2,4,8",
+        "--lwps",
+        "per-thread,2",
+        "--jobs",
+        "3",
+        "--no-color",
+        "--metrics-json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(ok, "sweep failed: {stderr}");
+    assert!(stdout.contains("swept `fft` over 8 configurations"), "{stdout}");
+    assert!(stdout.contains("speed-up"), "{stdout}");
+    assert!(stdout.contains("8p"), "{stdout}");
+    assert!(!stdout.contains('\x1b'), "--no-color must strip ANSI:\n{stdout}");
+
+    // The JSON surface agrees with a serial predict of the same cell.
+    #[derive(serde::Deserialize)]
+    struct Dump {
+        points: Vec<Point>,
+    }
+    #[derive(serde::Deserialize)]
+    struct Point {
+        label: String,
+        speedup: f64,
+        audit_clean: bool,
+    }
+    let dump: Dump = serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(dump.points.len(), 8);
+    let cell_4p = dump
+        .points
+        .iter()
+        .find(|p| p.label == "4p lwps=per-thread")
+        .expect("4p per-thread cell present");
+    let (ok, stdout, _) = vppb(&["predict", log_s, "--cpus", "4"]);
+    assert!(ok);
+    let predicted: f64 =
+        stdout.split(':').next_back().unwrap().trim().parse().expect("speed-up prints");
+    assert!(
+        (cell_4p.speedup - predicted).abs() < 0.01,
+        "sweep {} vs serial predict {predicted}",
+        cell_4p.speedup
+    );
+    for p in &dump.points {
+        assert!(p.audit_clean, "audit violated in cell {}", p.label);
+    }
+}
+
+#[test]
 fn unknown_commands_and_workloads_fail_cleanly() {
     let (ok, _, stderr) = vppb(&["frobnicate"]);
     assert!(!ok);
