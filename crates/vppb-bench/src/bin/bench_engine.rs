@@ -102,7 +102,7 @@ fn main() {
         .expect("sweep")
         .executions
         .iter()
-        .map(|e| e.des_events)
+        .map(|e| e.as_ref().map_or(0, |e| e.des_events))
         .sum();
 
     let report = Report {

@@ -1,0 +1,128 @@
+//! Chaos smoke run for CI: mutate serialized logs ≥1000 times with a
+//! fixed seed and drive every mutant through the full ingestion pipeline
+//! (lenient load → salvage → validate → 4-CPU prediction), proving the
+//! salvage-or-diagnose contract holds at scale — no input panics the
+//! tool, and everything the salvager accepts is simulable.
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin chaos_smoke
+//! [--cases N] [--seed S]`. Fully offline and deterministic: the same
+//! seed replays the same damage, and every failure prints the format,
+//! case seed and mutation chain needed to reproduce it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use vppb_model::corrupt::{self, ChaosRng};
+use vppb_model::{binlog, textlog, SimParams, TraceLog};
+use vppb_recorder::{load_lenient_bytes, record, RecordOptions};
+use vppb_sim::simulate;
+use vppb_workloads::{splash, KernelParams};
+
+/// Outcome tally over the whole run.
+#[derive(Default)]
+struct Tally {
+    pristine: u64,
+    salvaged: u64,
+    rejected: u64,
+    failures: u64,
+}
+
+fn parse_arg(args: &[String], key: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {key} value `{v}`")))
+        .unwrap_or(default)
+}
+
+fn quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic".into())
+    })
+}
+
+/// One mutant through the pipeline. Returns an error message on any
+/// contract violation (panic anywhere, or unsound salvage output).
+fn run_case(bytes: &[u8], tally: &mut Tally) -> Result<(), String> {
+    let loaded = match quiet(|| load_lenient_bytes(bytes)) {
+        Err(panic) => return Err(format!("load panicked: {panic}")),
+        Ok(Err(_)) => {
+            tally.rejected += 1;
+            return Ok(());
+        }
+        Ok(Ok(loaded)) => loaded,
+    };
+    if let Err(e) = loaded.log.validate() {
+        return Err(format!("salvaged log fails validate: {e}"));
+    }
+    // An Err verdict from simulate is a legitimate outcome; a panic is not.
+    if let Err(panic) = quiet(|| simulate(&loaded.log, &SimParams::cpus(4))) {
+        return Err(format!("simulate panicked: {panic}"));
+    }
+    if loaded.is_pristine() {
+        tally.pristine += 1;
+    } else {
+        tally.salvaged += 1;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cases = parse_arg(&args, "--cases", 1200);
+    let seed = parse_arg(&args, "--seed", 0x1998_0330); // the paper's year, fixed
+    eprintln!("chaos_smoke: {cases} cases, base seed {seed:#x}");
+
+    let log: TraceLog =
+        match record(&splash::fft(KernelParams::scaled(2, 0.02)), &RecordOptions::default()) {
+            Ok(rec) => rec.log,
+            Err(e) => {
+                eprintln!("chaos_smoke: cannot record the seed workload: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let encodings: Vec<(&str, Vec<u8>)> = vec![
+        ("text", textlog::write_log(&log).into_bytes()),
+        ("json", serde_json::to_string(&log).expect("serializable").into_bytes()),
+        ("bin", binlog::encode(&log).expect("encodable")),
+    ];
+
+    // The pipeline catches panics on purpose; keep CI output readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut tally = Tally::default();
+    for case in 0..cases {
+        let (format, pristine) = &encodings[(case % 3) as usize];
+        let mut bytes = pristine.clone();
+        let mut rng = ChaosRng::new(seed.wrapping_add(case));
+        // Escalate damage: 1–3 stacked mutations as the run progresses.
+        let stack = 1 + (case % 3);
+        let mut applied = Vec::new();
+        for _ in 0..stack {
+            applied.push(corrupt::mutate(&mut bytes, &mut rng).to_string());
+        }
+        if let Err(msg) = run_case(&bytes, &mut tally) {
+            tally.failures += 1;
+            eprintln!(
+                "FAIL case {case} [{format}] seed {:#x} ({}): {msg}",
+                seed.wrapping_add(case),
+                applied.join(" + ")
+            );
+        }
+    }
+    let _ = std::panic::take_hook();
+
+    eprintln!(
+        "chaos_smoke: {} pristine, {} salvaged, {} rejected, {} contract failures / {cases} cases",
+        tally.pristine, tally.salvaged, tally.rejected, tally.failures
+    );
+    if tally.failures > 0 {
+        eprintln!("chaos_smoke: FAILED");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("chaos_smoke: ok");
+    ExitCode::SUCCESS
+}

@@ -24,9 +24,9 @@ use crate::sync::{CondState, MutexState, RwState, RwWaiter, SemState};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use vppb_model::{
-    Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, LwpId, LwpPolicy,
-    MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip, ThreadState, Time,
-    Transition, VppbError,
+    Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, FaultInjection,
+    LwpId, LwpPolicy, MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip,
+    ThreadState, Time, Transition, VppbError,
 };
 use vppb_threads::{Action, App, FuncId, LibCall, Outcome, Program, ResumeCtx, VarOp};
 
@@ -100,32 +100,6 @@ impl<'a> RunOptions<'a> {
             faults: FaultInjection::default(),
             size_hint: 0,
         }
-    }
-}
-
-/// Test-only corruption knobs. Each one deliberately breaks a conservation
-/// law the auditor must then report; production callers leave everything
-/// `None`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultInjection {
-    /// Skip the release semantics of `mutex_unlock` on this mutex: the
-    /// call completes normally but the lock stays held (and any waiters
-    /// stay queued), so a sound run ends with `lock-held-at-exit`.
-    pub leak_mutex: Option<u32>,
-    /// Charge this CPU's busy time twice while threads are charged once,
-    /// breaking `Σ busy == Σ thread time`.
-    pub double_charge_cpu: Option<u32>,
-}
-
-impl FaultInjection {
-    /// No faults (the default).
-    pub fn none() -> FaultInjection {
-        FaultInjection::default()
-    }
-
-    /// Whether any fault is armed.
-    pub fn any(&self) -> bool {
-        self.leak_mutex.is_some() || self.double_charge_cpu.is_some()
     }
 }
 
@@ -1606,6 +1580,15 @@ impl<'a, 'o> Engine<'a, 'o> {
             debug_assert!(time >= self.now, "time must not run backwards");
             self.now = time;
             self.des_events += 1;
+            if self.opts.faults.panic_after_events.is_some_and(|n| self.des_events >= n) {
+                // Deliberate crash (FaultInjection): stands in for any
+                // unexpected engine bug so callers can prove their
+                // isolation boundaries actually contain a panic.
+                panic!(
+                    "fault injection: engine panicked after {} events at t={}",
+                    self.des_events, self.now
+                );
+            }
             if self.des_events > self.opts.limits.max_des_events {
                 return Err(VppbError::ProgramError(format!(
                     "run exceeded {} engine events at t={} — livelock or runaway program ({})",

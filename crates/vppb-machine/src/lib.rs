@@ -21,9 +21,10 @@ pub mod prioq;
 pub mod result;
 pub mod sync;
 
-pub use engine::{run, CallInterceptor, FaultInjection, IdAssigner, Intercept, RunOptions};
+pub use engine::{run, CallInterceptor, IdAssigner, Intercept, RunOptions};
 pub use hooks::{event_kind_of, Hooks, NullHooks};
 pub use jitter::JitterModel;
 pub use observer::{MetricsObserver, SchedEvent, SchedObserver, SchedTrace, Tee};
 pub use prioq::{PrioQueue, QueueIndex, PRIO_LEVELS};
 pub use result::{RunLimits, RunResult};
+pub use vppb_model::FaultInjection;

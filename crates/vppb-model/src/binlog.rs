@@ -11,13 +11,30 @@
 //!
 //! ```text
 //! magic "VPPB" | version u16 | header (JSON, u32-length-prefixed)
-//! record*:  tag u8 | phase u8 | dt-micros varint | thread varint
-//!           | payload (per tag) | result u8 [payload] | caller varint
+//! v2 record*: len u32 | body
+//! body:       tag u8 | phase u8 | dt-micros varint | thread varint
+//!             | payload (per tag) | result u8 [payload] | caller varint
 //! ```
 //!
 //! Varints are LEB128. The JSON header keeps the uncommon, schema-rich
 //! part (source map, thread names) simple while records stay tight.
+//!
+//! Version 2 adds the `u32` record length prefix. It costs four bytes per
+//! record but buys *resynchronization*: a lenient decoder can skip an
+//! unknown or damaged record and keep reading, and the chaos mutators can
+//! frame their record-level damage. Version 1 streams (no prefix) remain
+//! fully readable; logs with a version field beyond 2 are rejected with a
+//! dedicated diagnostic rather than misparsed.
+//!
+//! Decoding comes in two modes, mirroring `textlog`: [`decode`] fails
+//! fast on the first malformation with a byte-positioned
+//! [`Diagnostic`], while [`decode_lenient`] recovers what it can —
+//! unknown tags are skipped via the length prefix, a truncated final
+//! record is dropped — and reports every repair as a warning.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::diag::{DiagCode, Diagnostic, Pos};
 use crate::event::{EventKind, EventResult, Phase};
 use crate::ids::{SyncObjId, ThreadId};
 use crate::source::CodeAddr;
@@ -27,7 +44,12 @@ use crate::VppbError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"VPPB";
-const VERSION: u16 = 1;
+/// Current write version (length-prefixed records).
+pub const VERSION: u16 = 2;
+/// Oldest version [`decode`] still reads.
+pub const MIN_VERSION: u16 = 1;
+/// Upper bound on a sane record body; lengths beyond this are damage.
+const MAX_RECORD_LEN: u32 = 1 << 20;
 
 // Record tags. Keep stable: this is an on-disk format.
 const T_START_COLLECT: u8 = 0;
@@ -67,6 +89,9 @@ const R_ACQUIRED_TRUE: u8 = 4;
 const R_TIMEDOUT_FALSE: u8 = 5;
 const R_TIMEDOUT_TRUE: u8 = 6;
 
+/// A decode failure before it has been given a byte position.
+type Fail = (DiagCode, String);
+
 fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let b = (v & 0x7f) as u8;
@@ -79,12 +104,12 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, VppbError> {
+fn get_varint(buf: &mut Bytes) -> Result<u64, Fail> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         if !buf.has_remaining() {
-            return Err(VppbError::MalformedLog("truncated varint".into()));
+            return Err((DiagCode::TruncatedRecord, "truncated varint".into()));
         }
         let b = buf.get_u8();
         v |= ((b & 0x7f) as u64) << shift;
@@ -93,16 +118,25 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, VppbError> {
         }
         shift += 7;
         if shift >= 64 {
-            return Err(VppbError::MalformedLog("varint overflow".into()));
+            return Err((DiagCode::VarintOverflow, "varint exceeds 64 bits".into()));
         }
     }
 }
 
-/// Encode a log to the binary format.
+/// Encode a log to the current binary format (version 2).
 pub fn encode(log: &TraceLog) -> Result<Vec<u8>, VppbError> {
-    let mut buf = BytesMut::with_capacity(64 + log.records.len() * 20);
+    encode_version(log, VERSION)
+}
+
+/// Encode a log as a specific format version; version 1 is kept writable
+/// so the cross-version tests (and old tooling) have real inputs.
+pub fn encode_version(log: &TraceLog, version: u16) -> Result<Vec<u8>, VppbError> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(VppbError::InvalidConfig(format!("cannot encode binlog version {version}")));
+    }
+    let mut buf = BytesMut::with_capacity(64 + log.records.len() * 24);
     buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
+    buf.put_u16_le(version);
     let header = serde_json::to_vec(&log.header)
         .map_err(|e| VppbError::Io(format!("header encode: {e}")))?;
     buf.put_u32_le(header.len() as u32);
@@ -110,66 +144,76 @@ pub fn encode(log: &TraceLog) -> Result<Vec<u8>, VppbError> {
 
     let mut prev_us = 0u64;
     for r in &log.records {
-        let (tag, payload) = tag_of(&r.kind)?;
-        buf.put_u8(tag);
-        buf.put_u8(match r.phase {
-            Phase::Before => 0,
-            Phase::After => 1,
-            Phase::Mark => 2,
-        });
-        let us = r.time.as_micros();
-        put_varint(&mut buf, us - prev_us);
-        prev_us = us;
-        put_varint(&mut buf, r.thread.0 as u64);
-        match payload {
-            Payload::None => {}
-            Payload::Obj(i) => put_varint(&mut buf, i as u64),
-            Payload::Addr(a) => put_varint(&mut buf, a.0),
-            Payload::CreateLike { bound, func } => {
-                buf.put_u8(bound as u8);
-                put_varint(&mut buf, func.0);
-            }
-            Payload::JoinTarget(t) => match t {
-                None => put_varint(&mut buf, 0),
-                Some(t) => put_varint(&mut buf, t.0 as u64 + 1),
-            },
-            Payload::Thread(t) => put_varint(&mut buf, t.0 as u64),
-            Payload::ThreadPrio(t, p) => {
-                put_varint(&mut buf, t.0 as u64);
-                put_varint(&mut buf, p as u64); // priorities are >= 0 here
-            }
-            Payload::Count(n) => put_varint(&mut buf, n as u64),
-            Payload::CondMutex(cv, m) => {
-                put_varint(&mut buf, cv as u64);
-                put_varint(&mut buf, m as u64);
-            }
-            Payload::Dur(d) => put_varint(&mut buf, d.nanos()),
-            Payload::CondMutexTimeout(cv, m, d) => {
-                put_varint(&mut buf, cv as u64);
-                put_varint(&mut buf, m as u64);
-                put_varint(&mut buf, d.nanos());
-            }
+        let mut body = BytesMut::new();
+        write_record_body(&mut body, r, &mut prev_us)?;
+        if version >= 2 {
+            buf.put_u32_le(body.len() as u32);
         }
-        match r.result {
-            EventResult::None => buf.put_u8(R_NONE),
-            EventResult::Created(t) => {
-                buf.put_u8(R_CREATED);
-                put_varint(&mut buf, t.0 as u64);
-            }
-            EventResult::Joined(t) => {
-                buf.put_u8(R_JOINED);
-                put_varint(&mut buf, t.0 as u64);
-            }
-            EventResult::Acquired(b) => {
-                buf.put_u8(if b { R_ACQUIRED_TRUE } else { R_ACQUIRED_FALSE })
-            }
-            EventResult::TimedOut(b) => {
-                buf.put_u8(if b { R_TIMEDOUT_TRUE } else { R_TIMEDOUT_FALSE })
-            }
-        }
-        put_varint(&mut buf, r.caller.0);
+        buf.put_slice(&body);
     }
     Ok(buf.to_vec())
+}
+
+fn write_record_body(
+    buf: &mut BytesMut,
+    r: &TraceRecord,
+    prev_us: &mut u64,
+) -> Result<(), VppbError> {
+    let (tag, payload) = tag_of(&r.kind)?;
+    buf.put_u8(tag);
+    buf.put_u8(match r.phase {
+        Phase::Before => 0,
+        Phase::After => 1,
+        Phase::Mark => 2,
+    });
+    let us = r.time.as_micros();
+    put_varint(buf, us - *prev_us);
+    *prev_us = us;
+    put_varint(buf, r.thread.0 as u64);
+    match payload {
+        Payload::None => {}
+        Payload::Obj(i) => put_varint(buf, i as u64),
+        Payload::Addr(a) => put_varint(buf, a.0),
+        Payload::CreateLike { bound, func } => {
+            buf.put_u8(bound as u8);
+            put_varint(buf, func.0);
+        }
+        Payload::JoinTarget(t) => match t {
+            None => put_varint(buf, 0),
+            Some(t) => put_varint(buf, t.0 as u64 + 1),
+        },
+        Payload::Thread(t) => put_varint(buf, t.0 as u64),
+        Payload::ThreadPrio(t, p) => {
+            put_varint(buf, t.0 as u64);
+            put_varint(buf, p as u64); // priorities are >= 0 here
+        }
+        Payload::Count(n) => put_varint(buf, n as u64),
+        Payload::CondMutex(cv, m) => {
+            put_varint(buf, cv as u64);
+            put_varint(buf, m as u64);
+        }
+        Payload::Dur(d) => put_varint(buf, d.nanos()),
+        Payload::CondMutexTimeout(cv, m, d) => {
+            put_varint(buf, cv as u64);
+            put_varint(buf, m as u64);
+            put_varint(buf, d.nanos());
+        }
+    }
+    match r.result {
+        EventResult::None => buf.put_u8(R_NONE),
+        EventResult::Created(t) => {
+            buf.put_u8(R_CREATED);
+            put_varint(buf, t.0 as u64);
+        }
+        EventResult::Joined(t) => {
+            buf.put_u8(R_JOINED);
+            put_varint(buf, t.0 as u64);
+        }
+        EventResult::Acquired(b) => buf.put_u8(if b { R_ACQUIRED_TRUE } else { R_ACQUIRED_FALSE }),
+        EventResult::TimedOut(b) => buf.put_u8(if b { R_TIMEDOUT_TRUE } else { R_TIMEDOUT_FALSE }),
+    }
+    put_varint(buf, r.caller.0);
+    Ok(())
 }
 
 enum Payload {
@@ -226,120 +270,329 @@ fn tag_of(kind: &EventKind) -> Result<(u8, Payload), VppbError> {
     })
 }
 
-/// Decode a binary log.
+/// Decode a binary log, failing fast on the first malformation with a
+/// byte-positioned diagnostic ([`VppbError::Diag`]).
 pub fn decode(data: &[u8]) -> Result<TraceLog, VppbError> {
+    let (log, diags) = decode_modes(data, false)?;
+    debug_assert!(diags.is_empty(), "strict decode reported diagnostics");
+    Ok(log)
+}
+
+/// Decode a binary log leniently: skip unknown tags (version 2 length
+/// prefixes allow resynchronization), drop a truncated final record, and
+/// report every recovery as a warning [`Diagnostic`].
+///
+/// Still fails when the file cannot be interpreted as a binary log at all
+/// (bad magic, unsupported version, destroyed header framing).
+pub fn decode_lenient(data: &[u8]) -> Result<(TraceLog, Vec<Diagnostic>), VppbError> {
+    decode_modes(data, true)
+}
+
+fn decode_modes(data: &[u8], lenient: bool) -> Result<(TraceLog, Vec<Diagnostic>), VppbError> {
     let mut buf = Bytes::copy_from_slice(data);
+    let total = data.len();
+    let pos = |buf: &Bytes| Pos::Byte((total - buf.remaining()) as u64);
     if buf.remaining() < 10 {
-        return Err(VppbError::MalformedLog("binary log too short".into()));
+        return Err(Diagnostic::error(
+            DiagCode::TruncatedHeader,
+            Pos::Byte(total as u64),
+            format!("file is {total} bytes; a binary log header needs at least 10"),
+        )
+        .into());
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(VppbError::MalformedLog("bad magic".into()));
+        return Err(Diagnostic::error(
+            DiagCode::BadMagic,
+            Pos::Byte(0),
+            format!("expected magic \"VPPB\", found {magic:02x?}"),
+        )
+        .into());
     }
     let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(VppbError::MalformedLog(format!("unsupported version {version}")));
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(Diagnostic::error(
+            DiagCode::UnsupportedVersion,
+            Pos::Byte(4),
+            format!(
+                "log claims format version {version}; this build reads {MIN_VERSION}..={VERSION}"
+            ),
+        )
+        .into());
     }
     let hlen = buf.get_u32_le() as usize;
     if buf.remaining() < hlen {
-        return Err(VppbError::MalformedLog("truncated header".into()));
+        return Err(Diagnostic::error(
+            DiagCode::TruncatedHeader,
+            Pos::Byte(10),
+            format!("header claims {hlen} bytes but only {} remain", buf.remaining()),
+        )
+        .into());
     }
-    let header: LogHeader = serde_json::from_slice(&buf.copy_to_bytes(hlen))
-        .map_err(|e| VppbError::MalformedLog(format!("header: {e}")))?;
+    let mut diags = Vec::new();
+    let header_bytes = buf.copy_to_bytes(hlen);
+    let header: LogHeader = match serde_json::from_slice(&header_bytes) {
+        Ok(h) => h,
+        Err(e) => {
+            let d = Diagnostic::error(
+                DiagCode::BadHeaderJson,
+                Pos::Byte(10),
+                format!("header JSON does not parse: {e}"),
+            );
+            if !lenient {
+                return Err(d.into());
+            }
+            // The header only carries metadata (names, source map, wall
+            // time); records are still worth salvaging under a default.
+            diags.push(Diagnostic::warning(
+                DiagCode::BadHeaderJson,
+                Pos::Byte(10),
+                format!("header JSON does not parse ({e}); substituted an empty header"),
+            ));
+            LogHeader::default()
+        }
+    };
 
     let mut records = Vec::new();
     let mut prev_us = 0u64;
     let mut seq = 0u64;
-    while buf.has_remaining() {
-        if buf.remaining() < 2 {
-            return Err(VppbError::MalformedLog("truncated record".into()));
-        }
-        let tag = buf.get_u8();
-        let phase = match buf.get_u8() {
-            0 => Phase::Before,
-            1 => Phase::After,
-            2 => Phase::Mark,
-            p => return Err(VppbError::MalformedLog(format!("bad phase byte {p}"))),
-        };
-        prev_us += get_varint(&mut buf)?;
-        let thread = ThreadId(get_varint(&mut buf)? as u32);
-        let obj = |buf: &mut Bytes, mk: fn(u32) -> SyncObjId| -> Result<SyncObjId, VppbError> {
-            Ok(mk(get_varint(buf)? as u32))
-        };
-        let kind = match tag {
-            T_START_COLLECT => EventKind::StartCollect,
-            T_END_COLLECT => EventKind::EndCollect,
-            T_THREAD_START => EventKind::ThreadStart { func: CodeAddr(get_varint(&mut buf)?) },
-            T_CREATE => {
-                let bound = buf.get_u8() != 0;
-                EventKind::ThrCreate { bound, func: CodeAddr(get_varint(&mut buf)?) }
+    if version >= 2 {
+        // Length-prefixed records: damage is skippable.
+        while buf.has_remaining() {
+            let at = pos(&buf);
+            if buf.remaining() < 4 {
+                let d = Diagnostic::error(
+                    DiagCode::TruncatedRecord,
+                    at,
+                    format!("{} trailing bytes cannot hold a record length", buf.remaining()),
+                );
+                if !lenient {
+                    return Err(d.into());
+                }
+                diags.push(Diagnostic::warning(
+                    DiagCode::DroppedPartialRecord,
+                    at,
+                    "trailing bytes too short for a record length; dropped".to_string(),
+                ));
+                break;
             }
-            T_JOIN => {
-                let t = get_varint(&mut buf)?;
-                EventKind::ThrJoin {
-                    target: if t == 0 { None } else { Some(ThreadId((t - 1) as u32)) },
+            let len = buf.get_u32_le();
+            if len == 0 || len > MAX_RECORD_LEN {
+                let d = Diagnostic::error(
+                    DiagCode::BadRecordLength,
+                    at,
+                    format!("record length {len} is outside 1..={MAX_RECORD_LEN}"),
+                );
+                if !lenient {
+                    return Err(d.into());
+                }
+                diags.push(Diagnostic::warning(
+                    DiagCode::DroppedPartialRecord,
+                    at,
+                    format!("implausible record length {len}; rest of log dropped"),
+                ));
+                break;
+            }
+            if (buf.remaining() as u64) < len as u64 {
+                let d = Diagnostic::error(
+                    DiagCode::TruncatedRecord,
+                    at,
+                    format!("record claims {len} bytes but only {} remain", buf.remaining()),
+                );
+                if !lenient {
+                    return Err(d.into());
+                }
+                diags.push(Diagnostic::warning(
+                    DiagCode::DroppedPartialRecord,
+                    at,
+                    format!("final record truncated ({} of {len} bytes); dropped", buf.remaining()),
+                ));
+                break;
+            }
+            let mut body = buf.copy_to_bytes(len as usize);
+            match parse_record_body(&mut body, prev_us, seq) {
+                Ok((record, new_prev)) => {
+                    if body.has_remaining() {
+                        // The length and the content disagree — most likely
+                        // a flipped length byte. The parsed record is
+                        // coherent; keep it but say so.
+                        let d = Diagnostic::error(
+                            DiagCode::BadRecordLength,
+                            at,
+                            format!("record has {} unread trailing bytes", body.remaining()),
+                        );
+                        if !lenient {
+                            return Err(d.into());
+                        }
+                        diags.push(Diagnostic::warning(
+                            DiagCode::BadRecordLength,
+                            at,
+                            format!(
+                                "record length exceeds its content by {} bytes; kept",
+                                body.remaining()
+                            ),
+                        ));
+                    }
+                    prev_us = new_prev;
+                    records.push(record);
+                    seq += 1;
+                }
+                Err((code, msg)) => {
+                    if !lenient {
+                        return Err(Diagnostic::error(code, at, msg).into());
+                    }
+                    // Resynchronize past the bad record. Keep the time
+                    // chain if its prefix (tag, phase, dt) is readable so
+                    // later absolute times stay right.
+                    if let Some(dt) = record_dt(&buf_slice(data, at, len)) {
+                        prev_us += dt;
+                    }
+                    let (wcode, action) = if code == DiagCode::UnknownTag {
+                        (DiagCode::SkippedUnknownTag, "skipped")
+                    } else {
+                        (DiagCode::DroppedPartialRecord, "dropped")
+                    };
+                    diags.push(Diagnostic::warning(wcode, at, format!("{msg}; record {action}")));
                 }
             }
-            T_EXIT => EventKind::ThrExit,
-            T_YIELD => EventKind::ThrYield,
-            T_SETPRIO => EventKind::ThrSetPrio {
-                target: ThreadId(get_varint(&mut buf)? as u32),
-                prio: get_varint(&mut buf)? as i32,
-            },
-            T_SETCONC => EventKind::ThrSetConcurrency { n: get_varint(&mut buf)? as u32 },
-            T_SUSPEND => EventKind::ThrSuspend { target: ThreadId(get_varint(&mut buf)? as u32) },
-            T_CONTINUE => EventKind::ThrContinue { target: ThreadId(get_varint(&mut buf)? as u32) },
-            T_MUTEX_LOCK => EventKind::MutexLock { obj: obj(&mut buf, SyncObjId::mutex)? },
-            T_MUTEX_TRYLOCK => EventKind::MutexTryLock { obj: obj(&mut buf, SyncObjId::mutex)? },
-            T_MUTEX_UNLOCK => EventKind::MutexUnlock { obj: obj(&mut buf, SyncObjId::mutex)? },
-            T_SEM_WAIT => EventKind::SemWait { obj: obj(&mut buf, SyncObjId::semaphore)? },
-            T_SEM_TRYWAIT => EventKind::SemTryWait { obj: obj(&mut buf, SyncObjId::semaphore)? },
-            T_SEM_POST => EventKind::SemPost { obj: obj(&mut buf, SyncObjId::semaphore)? },
-            T_COND_WAIT => EventKind::CondWait {
-                cond: SyncObjId::condvar(get_varint(&mut buf)? as u32),
-                mutex: SyncObjId::mutex(get_varint(&mut buf)? as u32),
-            },
-            T_COND_TIMEDWAIT => EventKind::CondTimedWait {
-                cond: SyncObjId::condvar(get_varint(&mut buf)? as u32),
-                mutex: SyncObjId::mutex(get_varint(&mut buf)? as u32),
-                timeout: Duration(get_varint(&mut buf)?),
-            },
-            T_COND_SIGNAL => EventKind::CondSignal { cond: obj(&mut buf, SyncObjId::condvar)? },
-            T_COND_BROADCAST => {
-                EventKind::CondBroadcast { cond: obj(&mut buf, SyncObjId::condvar)? }
+        }
+    } else {
+        // Version 1: an unframed stream. Damage ends the readable part.
+        while buf.has_remaining() {
+            let at = pos(&buf);
+            match parse_record_body(&mut buf, prev_us, seq) {
+                Ok((record, new_prev)) => {
+                    prev_us = new_prev;
+                    records.push(record);
+                    seq += 1;
+                }
+                Err((code, msg)) => {
+                    if !lenient {
+                        return Err(Diagnostic::error(code, at, msg).into());
+                    }
+                    diags.push(Diagnostic::warning(
+                        DiagCode::DroppedPartialRecord,
+                        at,
+                        format!("{msg}; rest of unframed v1 log dropped"),
+                    ));
+                    break;
+                }
             }
-            T_RW_RDLOCK => EventKind::RwRdLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
-            T_RW_WRLOCK => EventKind::RwWrLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
-            T_RW_TRYRDLOCK => EventKind::RwTryRdLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
-            T_RW_TRYWRLOCK => EventKind::RwTryWrLock { obj: obj(&mut buf, SyncObjId::rwlock)? },
-            T_RW_UNLOCK => EventKind::RwUnlock { obj: obj(&mut buf, SyncObjId::rwlock)? },
-            T_IO_WAIT => EventKind::IoWait { latency: Duration(get_varint(&mut buf)?) },
-            t => return Err(VppbError::MalformedLog(format!("unknown record tag {t}"))),
-        };
-        let result = match buf.get_u8() {
-            R_NONE => EventResult::None,
-            R_CREATED => EventResult::Created(ThreadId(get_varint(&mut buf)? as u32)),
-            R_JOINED => EventResult::Joined(ThreadId(get_varint(&mut buf)? as u32)),
-            R_ACQUIRED_FALSE => EventResult::Acquired(false),
-            R_ACQUIRED_TRUE => EventResult::Acquired(true),
-            R_TIMEDOUT_FALSE => EventResult::TimedOut(false),
-            R_TIMEDOUT_TRUE => EventResult::TimedOut(true),
-            r => return Err(VppbError::MalformedLog(format!("unknown result tag {r}"))),
-        };
-        let caller = CodeAddr(get_varint(&mut buf)?);
-        records.push(TraceRecord {
-            seq,
-            time: Time::from_micros(prev_us),
-            thread,
-            phase,
-            kind,
-            result,
-            caller,
-        });
-        seq += 1;
+        }
     }
-    Ok(TraceLog { header, records })
+    Ok((TraceLog { header, records }, diags))
+}
+
+/// The bytes of a v2 record body, given the position just after its
+/// length prefix was consumed.
+fn buf_slice(data: &[u8], at: Pos, len: u32) -> Vec<u8> {
+    let start = match at {
+        Pos::Byte(b) => b as usize + 4,
+        _ => return Vec::new(),
+    };
+    let end = (start + len as usize).min(data.len());
+    data.get(start..end).map(<[u8]>::to_vec).unwrap_or_default()
+}
+
+/// Best-effort read of a record body's time delta (micros), used to keep
+/// the delta chain intact across a skipped record.
+fn record_dt(body: &[u8]) -> Option<u64> {
+    if body.len() < 3 {
+        return None;
+    }
+    let mut b = Bytes::copy_from_slice(&body[2..]);
+    get_varint(&mut b).ok()
+}
+
+/// Parse one record body. On success returns the record and the updated
+/// time-delta accumulator; `prev_us` is only committed by the caller so a
+/// failed parse has no side effects.
+fn parse_record_body(buf: &mut Bytes, prev_us: u64, seq: u64) -> Result<(TraceRecord, u64), Fail> {
+    if buf.remaining() < 2 {
+        return Err((
+            DiagCode::TruncatedRecord,
+            format!("record needs at least 2 bytes, found {}", buf.remaining()),
+        ));
+    }
+    let tag = buf.get_u8();
+    let phase = match buf.get_u8() {
+        0 => Phase::Before,
+        1 => Phase::After,
+        2 => Phase::Mark,
+        p => return Err((DiagCode::BadPhaseByte, format!("phase byte {p} is not B/A/M (0/1/2)"))),
+    };
+    let us = prev_us + get_varint(buf)?;
+    let thread = ThreadId(get_varint(buf)? as u32);
+    let obj = |buf: &mut Bytes, mk: fn(u32) -> SyncObjId| -> Result<SyncObjId, Fail> {
+        Ok(mk(get_varint(buf)? as u32))
+    };
+    let kind = match tag {
+        T_START_COLLECT => EventKind::StartCollect,
+        T_END_COLLECT => EventKind::EndCollect,
+        T_THREAD_START => EventKind::ThreadStart { func: CodeAddr(get_varint(buf)?) },
+        T_CREATE => {
+            if !buf.has_remaining() {
+                return Err((DiagCode::TruncatedRecord, "truncated thr_create payload".into()));
+            }
+            let bound = buf.get_u8() != 0;
+            EventKind::ThrCreate { bound, func: CodeAddr(get_varint(buf)?) }
+        }
+        T_JOIN => {
+            let t = get_varint(buf)?;
+            EventKind::ThrJoin {
+                target: if t == 0 { None } else { Some(ThreadId((t - 1) as u32)) },
+            }
+        }
+        T_EXIT => EventKind::ThrExit,
+        T_YIELD => EventKind::ThrYield,
+        T_SETPRIO => EventKind::ThrSetPrio {
+            target: ThreadId(get_varint(buf)? as u32),
+            prio: get_varint(buf)? as i32,
+        },
+        T_SETCONC => EventKind::ThrSetConcurrency { n: get_varint(buf)? as u32 },
+        T_SUSPEND => EventKind::ThrSuspend { target: ThreadId(get_varint(buf)? as u32) },
+        T_CONTINUE => EventKind::ThrContinue { target: ThreadId(get_varint(buf)? as u32) },
+        T_MUTEX_LOCK => EventKind::MutexLock { obj: obj(buf, SyncObjId::mutex)? },
+        T_MUTEX_TRYLOCK => EventKind::MutexTryLock { obj: obj(buf, SyncObjId::mutex)? },
+        T_MUTEX_UNLOCK => EventKind::MutexUnlock { obj: obj(buf, SyncObjId::mutex)? },
+        T_SEM_WAIT => EventKind::SemWait { obj: obj(buf, SyncObjId::semaphore)? },
+        T_SEM_TRYWAIT => EventKind::SemTryWait { obj: obj(buf, SyncObjId::semaphore)? },
+        T_SEM_POST => EventKind::SemPost { obj: obj(buf, SyncObjId::semaphore)? },
+        T_COND_WAIT => EventKind::CondWait {
+            cond: SyncObjId::condvar(get_varint(buf)? as u32),
+            mutex: SyncObjId::mutex(get_varint(buf)? as u32),
+        },
+        T_COND_TIMEDWAIT => EventKind::CondTimedWait {
+            cond: SyncObjId::condvar(get_varint(buf)? as u32),
+            mutex: SyncObjId::mutex(get_varint(buf)? as u32),
+            timeout: Duration(get_varint(buf)?),
+        },
+        T_COND_SIGNAL => EventKind::CondSignal { cond: obj(buf, SyncObjId::condvar)? },
+        T_COND_BROADCAST => EventKind::CondBroadcast { cond: obj(buf, SyncObjId::condvar)? },
+        T_RW_RDLOCK => EventKind::RwRdLock { obj: obj(buf, SyncObjId::rwlock)? },
+        T_RW_WRLOCK => EventKind::RwWrLock { obj: obj(buf, SyncObjId::rwlock)? },
+        T_RW_TRYRDLOCK => EventKind::RwTryRdLock { obj: obj(buf, SyncObjId::rwlock)? },
+        T_RW_TRYWRLOCK => EventKind::RwTryWrLock { obj: obj(buf, SyncObjId::rwlock)? },
+        T_RW_UNLOCK => EventKind::RwUnlock { obj: obj(buf, SyncObjId::rwlock)? },
+        T_IO_WAIT => EventKind::IoWait { latency: Duration(get_varint(buf)?) },
+        t => return Err((DiagCode::UnknownTag, format!("unknown record tag {t}"))),
+    };
+    if !buf.has_remaining() {
+        return Err((DiagCode::TruncatedRecord, "record ends before its result tag".into()));
+    }
+    let result = match buf.get_u8() {
+        R_NONE => EventResult::None,
+        R_CREATED => EventResult::Created(ThreadId(get_varint(buf)? as u32)),
+        R_JOINED => EventResult::Joined(ThreadId(get_varint(buf)? as u32)),
+        R_ACQUIRED_FALSE => EventResult::Acquired(false),
+        R_ACQUIRED_TRUE => EventResult::Acquired(true),
+        R_TIMEDOUT_FALSE => EventResult::TimedOut(false),
+        R_TIMEDOUT_TRUE => EventResult::TimedOut(true),
+        r => return Err((DiagCode::UnknownResultTag, format!("unknown result tag {r}"))),
+    };
+    let caller = CodeAddr(get_varint(buf)?);
+    Ok((TraceRecord { seq, time: Time::from_micros(us), thread, phase, kind, result, caller }, us))
 }
 
 #[cfg(test)]
@@ -377,6 +630,15 @@ mod tests {
     }
 
     #[test]
+    fn version_1_streams_remain_readable() {
+        let log = sample_log();
+        let v1 = encode_version(&log, 1).unwrap();
+        let v2 = encode_version(&log, 2).unwrap();
+        assert_eq!(decode(&v1).unwrap(), log);
+        assert_eq!(v2.len(), v1.len() + 4 * log.records.len(), "prefix costs 4 bytes/record");
+    }
+
+    #[test]
     fn binary_is_much_smaller_than_text() {
         let log = sample_log();
         let bin = encode(&log).unwrap();
@@ -389,20 +651,85 @@ mod tests {
     }
 
     #[test]
-    fn rejects_corruption() {
+    fn rejects_corruption_with_positioned_diagnostics() {
         let log = sample_log();
         let mut bin = encode(&log).unwrap();
-        assert!(decode(&bin[..5]).is_err(), "truncation detected");
+        match decode(&bin[..5]) {
+            Err(VppbError::Diag(d)) => assert_eq!(d.code, DiagCode::TruncatedHeader),
+            other => panic!("expected truncation diagnostic, got {other:?}"),
+        }
         bin[0] = b'X';
-        assert!(matches!(decode(&bin), Err(VppbError::MalformedLog(_))), "bad magic");
+        match decode(&bin) {
+            Err(VppbError::Diag(d)) => {
+                assert_eq!(d.code, DiagCode::BadMagic);
+                assert_eq!(d.pos, Pos::Byte(0));
+            }
+            other => panic!("expected bad-magic diagnostic, got {other:?}"),
+        }
     }
 
     #[test]
-    fn rejects_unknown_version() {
+    fn rejects_future_versions_with_dedicated_code() {
         let log = sample_log();
         let mut bin = encode(&log).unwrap();
         bin[4] = 0xff;
+        match decode(&bin) {
+            Err(VppbError::Diag(d)) => {
+                assert_eq!(d.code, DiagCode::UnsupportedVersion);
+                assert!(d.render().contains("E0202"), "{}", d.render());
+            }
+            other => panic!("expected version diagnostic, got {other:?}"),
+        }
+        // Lenient mode must not paper over a version it cannot read.
+        assert!(decode_lenient(&bin).is_err());
+    }
+
+    #[test]
+    fn lenient_drops_truncated_final_record() {
+        let log = sample_log();
+        let bin = encode(&log).unwrap();
+        let cut = &bin[..bin.len() - 3];
+        assert!(decode(cut).is_err(), "strict mode refuses");
+        let (salvaged, diags) = decode_lenient(cut).unwrap();
+        assert_eq!(salvaged.records.len(), log.records.len() - 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::DroppedPartialRecord);
+        assert_eq!(salvaged.records[..], log.records[..log.records.len() - 1]);
+    }
+
+    #[test]
+    fn lenient_skips_unknown_tags_and_keeps_the_time_chain() {
+        let log = sample_log();
+        let mut bin = encode(&log).unwrap();
+        // Locate the second record's tag byte (header + first record) and
+        // give it a tag from the future.
+        let hlen = u32::from_le_bytes([bin[6], bin[7], bin[8], bin[9]]) as usize;
+        let first_len =
+            u32::from_le_bytes([bin[10 + hlen], bin[11 + hlen], bin[12 + hlen], bin[13 + hlen]])
+                as usize;
+        let second_tag = 10 + hlen + 4 + first_len + 4;
+        bin[second_tag] = 200;
+        match decode(&bin) {
+            Err(VppbError::Diag(d)) => assert_eq!(d.code, DiagCode::UnknownTag),
+            other => panic!("expected unknown-tag diagnostic, got {other:?}"),
+        }
+        let (salvaged, diags) = decode_lenient(&bin).unwrap();
+        assert_eq!(salvaged.records.len(), log.records.len() - 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::SkippedUnknownTag);
+        // Absolute times after the skipped record are unchanged.
+        assert_eq!(salvaged.records.last().unwrap().time, log.records.last().unwrap().time);
+    }
+
+    #[test]
+    fn lenient_substitutes_default_header_when_json_is_garbled() {
+        let log = sample_log();
+        let mut bin = encode(&log).unwrap();
+        bin[12] = b'!'; // inside the header JSON
         assert!(decode(&bin).is_err());
+        let (salvaged, diags) = decode_lenient(&bin).unwrap();
+        assert_eq!(salvaged.records, log.records);
+        assert!(diags.iter().any(|d| d.code == DiagCode::BadHeaderJson));
     }
 
     #[test]

@@ -194,6 +194,42 @@ impl Default for MachineConfig {
     }
 }
 
+/// Deliberate corruption knobs for robustness tests. Each one breaks an
+/// invariant some later layer must catch — conservation faults feed the
+/// end-of-run auditor, the panic fault feeds the sweep's worker isolation.
+/// Production callers leave everything `None`.
+///
+/// Lives in the model crate (not the machine crate that consumes it) so
+/// [`SimParams`] can carry it through serialized sweep configurations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultInjection {
+    /// Skip the release semantics of `mutex_unlock` on this mutex: the
+    /// call completes normally but the lock stays held (and any waiters
+    /// stay queued), so a sound run ends with `lock-held-at-exit`.
+    pub leak_mutex: Option<u32>,
+    /// Charge this CPU's busy time twice while threads are charged once,
+    /// breaking `Σ busy == Σ thread time`.
+    pub double_charge_cpu: Option<u32>,
+    /// Panic the simulation engine after this many discrete events — a
+    /// stand-in for "any unexpected bug in a worker", used to prove that
+    /// one poisoned sweep configuration cannot take down its siblings.
+    pub panic_after_events: Option<u64>,
+}
+
+impl FaultInjection {
+    /// No faults (the default).
+    pub fn none() -> FaultInjection {
+        FaultInjection::default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn any(&self) -> bool {
+        self.leak_mutex.is_some()
+            || self.double_charge_cpu.is_some()
+            || self.panic_after_events.is_some()
+    }
+}
+
 /// Full parameter set for one Simulator run: the simulated machine plus the
 /// per-thread what-if manipulations and the replay-rule switches that the
 /// ablation study exercises.
@@ -207,12 +243,19 @@ pub struct SimParams {
     /// until the recorded number of waiters have arrived — §6). On by
     /// default; the `whatif` ablation turns it off.
     pub barrier_aware_broadcast: bool,
+    /// Deliberate corruption for robustness tests; all off by default.
+    pub faults: FaultInjection,
 }
 
 impl SimParams {
     /// Simulate on the given machine, with no manipulations.
     pub fn new(machine: MachineConfig) -> SimParams {
-        SimParams { machine, manips: BTreeMap::new(), barrier_aware_broadcast: true }
+        SimParams {
+            machine,
+            manips: BTreeMap::new(),
+            barrier_aware_broadcast: true,
+            faults: FaultInjection::none(),
+        }
     }
 
     /// Convenience: simulate `cpus` processors with one LWP per thread.
@@ -236,6 +279,12 @@ impl SimParams {
     /// `thr_setprio` events for it (§3.2).
     pub fn override_priority(mut self, thread: ThreadId, prio: i32) -> SimParams {
         self.manips.entry(thread).or_default().priority = Some(prio);
+        self
+    }
+
+    /// Builder-style: arm fault injection for this run (tests only).
+    pub fn with_faults(mut self, faults: FaultInjection) -> SimParams {
+        self.faults = faults;
         self
     }
 }

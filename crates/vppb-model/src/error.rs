@@ -7,6 +7,10 @@ use std::fmt;
 pub enum VppbError {
     /// A log file violates the structural rules the Simulator relies on.
     MalformedLog(String),
+    /// A positioned, coded ingestion diagnostic (strict-mode parse and
+    /// decode failures). Carries the full structure so `vppb check` can
+    /// render it rustc-style and emit it as JSON.
+    Diag(crate::diag::Diagnostic),
     /// The monitored program cannot be recorded on a single LWP — e.g. it
     /// spins on a variable or never yields (the Barnes/Raytrace classes of
     /// §4). Carries a description of the detected pattern.
@@ -27,6 +31,7 @@ impl fmt::Display for VppbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VppbError::MalformedLog(m) => write!(f, "malformed log: {m}"),
+            VppbError::Diag(d) => write!(f, "{d}"),
             VppbError::Unrecordable(m) => write!(f, "program cannot be recorded: {m}"),
             VppbError::ReplayDiverged(m) => write!(f, "replay diverged from log: {m}"),
             VppbError::ProgramError(m) => write!(f, "program error: {m}"),

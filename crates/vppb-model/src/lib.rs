@@ -12,26 +12,32 @@
 
 pub mod binlog;
 pub mod config;
+pub mod corrupt;
+pub mod diag;
 pub mod dispatch;
 pub mod error;
 pub mod event;
 pub mod exec;
 pub mod ids;
 pub mod metrics;
+pub mod salvage;
 pub mod source;
 pub mod textlog;
 pub mod time;
 pub mod trace;
 
 pub use config::{
-    BaseCosts, Binding, BoundCosts, LwpPolicy, MachineConfig, SimParams, ThreadManip,
+    BaseCosts, Binding, BoundCosts, FaultInjection, LwpPolicy, MachineConfig, SimParams,
+    ThreadManip,
 };
+pub use diag::{DiagCode, Diagnostic, Pos, Severity};
 pub use dispatch::{DispatchRow, DispatchTable, TS_DEFAULT_PRI, TS_LEVELS, TS_MAX_PRI};
 pub use error::VppbError;
 pub use event::{EventKind, EventResult, Phase};
 pub use exec::{BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState, Transition};
 pub use ids::{parse_obj_id, CpuId, LwpId, ObjKind, SyncObjId, ThreadId};
 pub use metrics::{AuditReport, ObjContention, SchedMetrics, Violation, ViolationKind};
+pub use salvage::{salvage, SalvageEdit, SalvageReport};
 pub use source::{CodeAddr, SourceLoc, SourceMap};
 pub use time::{parse_time, Duration, Time};
 pub use trace::{LogHeader, TraceLog, TraceRecord};

@@ -20,6 +20,9 @@
 //! microseconds before emitting, so writing and re-parsing a log is
 //! lossless (a property test asserts this).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::diag::{DiagCode, Diagnostic, Pos};
 use crate::event::{EventKind, EventResult, Phase};
 use crate::ids::{parse_obj_id, ThreadId};
 use crate::source::{CodeAddr, SourceLoc};
@@ -28,6 +31,9 @@ use crate::trace::{LogHeader, TraceLog, TraceRecord};
 use crate::VppbError;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// A parse failure before it is positioned: the code plus the specifics.
+type ParseFail = (DiagCode, String);
 
 /// Serialize a log to the text format.
 pub fn write_log(log: &TraceLog) -> String {
@@ -121,29 +127,63 @@ fn write_record(out: &mut String, r: &TraceRecord) {
     let _ = writeln!(out, " @{}", r.caller);
 }
 
-/// Parse the text format back into a [`TraceLog`].
+/// Parse the text format back into a [`TraceLog`], failing fast on the
+/// first defect with a positioned [`VppbError::Diag`].
 pub fn parse_log(text: &str) -> Result<TraceLog, VppbError> {
+    let (log, diags) = parse_modes(text, false);
+    match diags.into_iter().next() {
+        None => Ok(log),
+        Some(d) => Err(VppbError::Diag(d)),
+    }
+}
+
+/// Lenient parse: unparseable lines become positioned [`Diagnostic`]s and
+/// are dropped; everything readable survives. The caller decides whether
+/// the result is usable (typically by running [`crate::salvage`] and then
+/// [`TraceLog::validate`]).
+pub fn parse_log_lenient(text: &str) -> (TraceLog, Vec<Diagnostic>) {
+    parse_modes(text, true)
+}
+
+/// Shared parse loop. In strict mode (`lenient == false`) the first defect
+/// stops the parse; in lenient mode each bad line is reported and skipped.
+fn parse_modes(text: &str, lenient: bool) -> (TraceLog, Vec<Diagnostic>) {
     let mut log = TraceLog::default();
+    let mut diags = Vec::new();
     let mut seq = 0u64;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let bad = |msg: &str| VppbError::MalformedLog(format!("line {}: {msg}", lineno + 1));
-        if let Some(rest) = line.strip_prefix("# ") {
-            parse_header_line(rest, &mut log.header).map_err(|m| bad(&m))?;
-            continue;
+        let pos = Pos::Line(lineno as u32 + 1);
+        let fail = if let Some(rest) = line.strip_prefix("# ") {
+            parse_header_line(rest, &mut log.header).err()
+        } else {
+            match parse_record_line(line) {
+                Ok(mut rec) => {
+                    rec.seq = seq;
+                    seq += 1;
+                    log.records.push(rec);
+                    None
+                }
+                Err(f) => Some(f),
+            }
+        };
+        if let Some((code, msg)) = fail {
+            if lenient {
+                diags.push(Diagnostic::warning(code, pos, format!("{msg}; line dropped")));
+            } else {
+                diags.push(Diagnostic::error(code, pos, msg));
+                return (log, diags);
+            }
         }
-        let mut rec = parse_record_line(line).map_err(|m| bad(&m))?;
-        rec.seq = seq;
-        seq += 1;
-        log.records.push(rec);
     }
-    Ok(log)
+    (log, diags)
 }
 
-fn parse_header_line(rest: &str, h: &mut LogHeader) -> Result<(), String> {
+fn parse_header_line(rest: &str, h: &mut LogHeader) -> Result<(), ParseFail> {
+    let bad = |msg: String| (DiagCode::BadHeaderField, msg);
     let mut it = rest.splitn(2, ' ');
     let key = it.next().unwrap_or("");
     let val = it.next().unwrap_or("").trim();
@@ -151,23 +191,24 @@ fn parse_header_line(rest: &str, h: &mut LogHeader) -> Result<(), String> {
         "vppb-log" => {}
         "program" => h.program = val.to_string(),
         "walltime" => {
-            h.wall_time = parse_time(val).ok_or_else(|| format!("bad walltime {val:?}"))?
+            h.wall_time = parse_time(val).ok_or_else(|| bad(format!("bad walltime {val:?}")))?
         }
         "probecost" => {
-            h.probe_cost = Duration(val.parse().map_err(|_| format!("bad probecost {val:?}"))?)
+            h.probe_cost = Duration(val.parse().map_err(|_| bad(format!("bad probecost {val:?}")))?)
         }
         "thread" => {
-            let (t, f) = val.split_once(' ').ok_or("bad thread header")?;
+            let (t, f) = val.split_once(' ').ok_or_else(|| bad("bad thread header".into()))?;
             h.thread_start_fn.insert(parse_thread(t)?, f.to_string());
         }
         "src" => {
             // `# src 0x1000 main.c:12 main`
             let mut parts = val.splitn(3, ' ');
-            let addr = parse_addr(parts.next().ok_or("missing src addr")?)?;
-            let fileline = parts.next().ok_or("missing src file:line")?;
-            let func = parts.next().ok_or("missing src function")?;
-            let (file, line) = fileline.rsplit_once(':').ok_or("bad file:line")?;
-            let line: u32 = line.parse().map_err(|_| "bad line number".to_string())?;
+            let addr = parse_addr(parts.next().ok_or_else(|| bad("missing src addr".into()))?)?;
+            let fileline = parts.next().ok_or_else(|| bad("missing src file:line".into()))?;
+            let func = parts.next().ok_or_else(|| bad("missing src function".into()))?;
+            let (file, line) =
+                fileline.rsplit_once(':').ok_or_else(|| bad("bad file:line".into()))?;
+            let line: u32 = line.parse().map_err(|_| bad("bad line number".into()))?;
             // Re-intern preserving the original address.
             h.source_map.insert_raw(addr, SourceLoc::new(file, line, func));
         }
@@ -176,31 +217,33 @@ fn parse_header_line(rest: &str, h: &mut LogHeader) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_thread(s: &str) -> Result<ThreadId, String> {
+fn parse_thread(s: &str) -> Result<ThreadId, ParseFail> {
     s.strip_prefix('T')
         .and_then(|n| n.parse().ok())
         .map(ThreadId)
-        .ok_or_else(|| format!("bad thread id {s:?}"))
+        .ok_or_else(|| (DiagCode::BadThreadId, format!("bad thread id {s:?}")))
 }
 
-fn parse_addr(s: &str) -> Result<CodeAddr, String> {
+fn parse_addr(s: &str) -> Result<CodeAddr, ParseFail> {
     s.strip_prefix("0x")
         .and_then(|h| u64::from_str_radix(h, 16).ok())
         .map(CodeAddr)
-        .ok_or_else(|| format!("bad address {s:?}"))
+        .ok_or_else(|| (DiagCode::BadToken, format!("bad address {s:?}")))
 }
 
-fn parse_record_line(line: &str) -> Result<TraceRecord, String> {
+fn parse_record_line(line: &str) -> Result<TraceRecord, ParseFail> {
+    let missing = |what: &str| (DiagCode::MissingField, format!("missing {what}"));
     let mut tokens = line.split_whitespace();
-    let time = parse_time(tokens.next().ok_or("missing time")?).ok_or("bad time")?;
-    let thread = parse_thread(tokens.next().ok_or("missing thread")?)?;
-    let phase = match tokens.next().ok_or("missing phase")? {
+    let time = parse_time(tokens.next().ok_or_else(|| missing("time"))?)
+        .ok_or_else(|| (DiagCode::BadTime, format!("bad time in {line:?}")))?;
+    let thread = parse_thread(tokens.next().ok_or_else(|| missing("thread"))?)?;
+    let phase = match tokens.next().ok_or_else(|| missing("phase"))? {
         "B" => Phase::Before,
         "A" => Phase::After,
         "M" => Phase::Mark,
-        p => return Err(format!("bad phase {p:?}")),
+        p => return Err((DiagCode::BadPhase, format!("bad phase {p:?}"))),
     };
-    let name = tokens.next().ok_or("missing routine name")?;
+    let name = tokens.next().ok_or_else(|| missing("routine name"))?;
 
     let mut kv: BTreeMap<&str, &str> = BTreeMap::new();
     let mut caller = CodeAddr::NULL;
@@ -210,43 +253,51 @@ fn parse_record_line(line: &str) -> Result<TraceRecord, String> {
         } else if let Some((k, v)) = tok.split_once('=') {
             kv.insert(k, v);
         } else {
-            return Err(format!("unparseable token {tok:?}"));
+            return Err((DiagCode::BadToken, format!("unparseable token {tok:?}")));
         }
     }
 
-    let obj = |kv: &BTreeMap<&str, &str>, key: &str| -> Result<crate::ids::SyncObjId, String> {
-        kv.get(key).and_then(|v| parse_obj_id(v)).ok_or_else(|| format!("missing/bad {key}="))
+    let obj = |kv: &BTreeMap<&str, &str>, key: &str| -> Result<crate::ids::SyncObjId, ParseFail> {
+        kv.get(key)
+            .and_then(|v| parse_obj_id(v))
+            .ok_or_else(|| (DiagCode::MissingField, format!("missing/bad {key}=")))
     };
-    let target = |kv: &BTreeMap<&str, &str>| -> Result<ThreadId, String> {
-        parse_thread(kv.get("target").ok_or("missing target=")?)
+    let target = |kv: &BTreeMap<&str, &str>| -> Result<ThreadId, ParseFail> {
+        parse_thread(
+            kv.get("target").ok_or((DiagCode::MissingField, "missing target=".to_string()))?,
+        )
     };
 
     use EventKind::*;
     let kind = match name {
         "start_collect" => StartCollect,
         "end_collect" => EndCollect,
-        "thread_start" => ThreadStart { func: parse_addr(kv.get("func").ok_or("missing func=")?)? },
+        "thread_start" => {
+            ThreadStart { func: parse_addr(kv.get("func").ok_or_else(|| missing("func="))?)? }
+        }
         "thr_create" => ThrCreate {
             bound: kv.get("bound").copied() == Some("1"),
-            func: parse_addr(kv.get("func").ok_or("missing func=")?)?,
+            func: parse_addr(kv.get("func").ok_or_else(|| missing("func="))?)?,
         },
         "thr_join" => {
-            let t = kv.get("target").copied().ok_or("missing target=")?;
+            let t = kv.get("target").copied().ok_or_else(|| missing("target="))?;
             ThrJoin { target: if t == "*" { None } else { Some(parse_thread(t)?) } }
         }
         "thr_exit" => ThrExit,
         "thr_yield" => ThrYield,
         "thr_setprio" => ThrSetPrio {
             target: target(&kv)?,
-            prio: kv.get("prio").and_then(|v| v.parse().ok()).ok_or("missing/bad prio=")?,
+            prio: kv.get("prio").and_then(|v| v.parse().ok()).ok_or_else(|| missing("prio="))?,
         },
         "thr_setconcurrency" => ThrSetConcurrency {
-            n: kv.get("n").and_then(|v| v.parse().ok()).ok_or("missing/bad n=")?,
+            n: kv.get("n").and_then(|v| v.parse().ok()).ok_or_else(|| missing("n="))?,
         },
         "thr_suspend" => ThrSuspend { target: target(&kv)? },
         "io_wait" => IoWait {
             latency: Duration(
-                kv.get("latency").and_then(|v| v.parse().ok()).ok_or("missing/bad latency=")?,
+                kv.get("latency")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| missing("latency="))?,
             ),
         },
         "thr_continue" => ThrContinue { target: target(&kv)? },
@@ -261,7 +312,9 @@ fn parse_record_line(line: &str) -> Result<TraceRecord, String> {
             cond: obj(&kv, "cond")?,
             mutex: obj(&kv, "mutex")?,
             timeout: Duration(
-                kv.get("timeout").and_then(|v| v.parse().ok()).ok_or("missing/bad timeout=")?,
+                kv.get("timeout")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| missing("timeout="))?,
             ),
         },
         "cond_signal" => CondSignal { cond: obj(&kv, "cond")? },
@@ -271,7 +324,7 @@ fn parse_record_line(line: &str) -> Result<TraceRecord, String> {
         "rw_tryrdlock" => RwTryRdLock { obj: obj(&kv, "obj")? },
         "rw_trywrlock" => RwTryWrLock { obj: obj(&kv, "obj")? },
         "rw_unlock" => RwUnlock { obj: obj(&kv, "obj")? },
-        other => return Err(format!("unknown routine {other:?}")),
+        other => return Err((DiagCode::UnknownRoutine, format!("unknown routine {other:?}"))),
     };
 
     let result = if let Some(t) = kv.get("created") {

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use vppb_model::{
-    binlog, textlog, CodeAddr, Duration, EventKind, EventResult, LogHeader, Phase, SourceLoc,
-    SyncObjId, ThreadId, Time, TraceLog, TraceRecord,
+    binlog, corrupt, textlog, CodeAddr, Duration, EventKind, EventResult, LogHeader, Phase,
+    SourceLoc, SyncObjId, ThreadId, Time, TraceLog, TraceRecord,
 };
 
 fn arb_obj_index() -> impl Strategy<Value = u32> {
@@ -146,5 +146,86 @@ proptest! {
         let cut = cut % (text.len() + 1);
         text.truncate(cut);
         let _ = textlog::parse_log(&text); // must not panic
+    }
+
+    #[test]
+    fn lenient_binary_decode_survives_truncation_at_any_byte(
+        log in arb_log(),
+        cut in 0usize..100_000,
+    ) {
+        let bin = binlog::encode(&log).unwrap();
+        let cut = cut % (bin.len() + 1);
+        // An Err verdict (e.g. header gone) is valid; on recovery, never
+        // more records than were written, and a full-length "cut" must be
+        // byte-exact with no diagnostics.
+        if let Ok((back, diags)) = binlog::decode_lenient(&bin[..cut]) {
+            prop_assert!(back.records.len() <= log.records.len());
+            if cut == bin.len() {
+                prop_assert!(diags.is_empty(), "pristine input drew {diags:?}");
+                prop_assert_eq!(back, log);
+            }
+        }
+    }
+
+    #[test]
+    fn lenient_binary_decode_survives_one_random_mutation(
+        log in arb_log(),
+        seed in any::<u64>(),
+    ) {
+        let mut bin = binlog::encode(&log).unwrap();
+        let mutation = corrupt::mutate(&mut bin, &mut corrupt::ChaosRng::new(seed));
+        // Must not panic; salvage-or-diagnose is checked by the chaos suite.
+        if let Ok((back, _)) = binlog::decode_lenient(&bin) {
+            prop_assert!(
+                back.records.len() <= log.records.len() + 1,
+                "{mutation} grew the log beyond one duplicated record"
+            );
+        }
+    }
+
+    #[test]
+    fn lenient_text_parse_survives_line_splices(
+        log in arb_log(),
+        seed in any::<u64>(),
+        splices in 1usize..4,
+    ) {
+        let mut bytes = textlog::write_log(&log).into_bytes();
+        let mut rng = corrupt::ChaosRng::new(seed);
+        for _ in 0..splices {
+            corrupt::mutate(&mut bytes, &mut rng);
+        }
+        let text = String::from_utf8_lossy(&bytes);
+        // Never panics; every dropped line is accounted for.
+        let (back, diags) = textlog::parse_log_lenient(&text);
+        let parsed_lines = text.lines().filter(|l| {
+            let l = l.trim();
+            !l.is_empty() && !l.starts_with('#')
+        }).count();
+        prop_assert!(back.records.len() + diags.len() >= parsed_lines.min(back.records.len()));
+    }
+
+    #[test]
+    fn salvage_never_panics_and_renumbers_densely(
+        log in arb_log(),
+        seed in any::<u64>(),
+    ) {
+        let mut bin = binlog::encode(&log).unwrap();
+        corrupt::mutate(&mut bin, &mut corrupt::ChaosRng::new(seed));
+        if let Ok((mut back, _)) = binlog::decode_lenient(&bin) {
+            let report = vppb_model::salvage(&mut back);
+            for (i, r) in back.records.iter().enumerate() {
+                prop_assert_eq!(r.seq, i as u64, "salvage left a seq gap");
+            }
+            let mut prev = Time::ZERO;
+            for r in &back.records {
+                prop_assert!(r.time >= prev, "salvage left time going backwards");
+                prev = r.time;
+            }
+            // Edits must carry displayable positions for the linter.
+            for edit in &report.edits {
+                let rendered = edit.to_diagnostic().to_string();
+                prop_assert!(!rendered.is_empty(), "edit renders empty");
+            }
+        }
     }
 }

@@ -11,6 +11,9 @@ pub mod logfile;
 pub mod overhead;
 pub mod recorder;
 
-pub use logfile::{load_bin, load_json, load_text, save_bin, save_json, save_text};
+pub use logfile::{
+    load_bin, load_json, load_lenient, load_lenient_bytes, load_text, save_bin, save_json,
+    save_text, LoadedLog,
+};
 pub use overhead::{measure_overhead, OverheadReport};
 pub use recorder::{record, RecordOptions, Recording};

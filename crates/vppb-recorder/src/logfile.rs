@@ -1,17 +1,52 @@
-//! Log-file I/O: the text format (human-readable, fig. 2-style) and JSON.
+//! Log-file I/O: the text format (human-readable, fig. 2-style), JSON and
+//! the compact binary format.
 //!
 //! The paper stores the recorded information in a file when the program
 //! terminates; the largest log in §4 was 1.4 MB and "could be handled
 //! without any problems".
+//!
+//! Two robustness properties live here:
+//!
+//! - **Writes are atomic.** Every save goes to a temporary file in the
+//!   destination directory, is fsynced, then renamed over the target — a
+//!   recorder killed mid-save leaves either the old log or the new one,
+//!   never a half-written hybrid. (The *monitored program* can still die
+//!   mid-run, which is what the salvage pipeline below is for.)
+//! - **Reads can be lenient.** [`load_lenient`] sniffs the format, decodes
+//!   with the recovering decoder, and if the result fails structural
+//!   validation hands it to [`vppb_model::salvage`], returning the log
+//!   together with every diagnostic and salvage edit.
 
 use std::fs;
+use std::io::Write;
 use std::path::Path;
-use vppb_model::{textlog, TraceLog, VppbError};
+use vppb_model::salvage::{salvage, SalvageReport};
+use vppb_model::{binlog, textlog, Diagnostic, TraceLog, VppbError};
+
+/// Write `bytes` to `path` atomically: temp file, fsync, rename.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), VppbError> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("log");
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    let write = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write {
+        let _ = fs::remove_file(&tmp);
+        return Err(VppbError::Io(format!("{}: {e}", path.display())));
+    }
+    Ok(())
+}
 
 /// Write a log in the text format.
 pub fn save_text(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
-    fs::write(path, textlog::write_log(log))?;
-    Ok(())
+    atomic_write(path.as_ref(), textlog::write_log(log).as_bytes())
 }
 
 /// Read a text-format log.
@@ -25,8 +60,7 @@ pub fn load_text(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
 /// Write a log as JSON (lossless, machine-friendly).
 pub fn save_json(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
     let json = serde_json::to_string(log).map_err(|e| VppbError::Io(format!("serialize: {e}")))?;
-    fs::write(path, json)?;
-    Ok(())
+    atomic_write(path.as_ref(), json.as_bytes())
 }
 
 /// Read a JSON log.
@@ -41,16 +75,72 @@ pub fn load_json(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
 /// Write a log in the compact binary format (roughly a third of the text
 /// size — §4 worries about log sizes for long fine-grained executions).
 pub fn save_bin(log: &TraceLog, path: impl AsRef<Path>) -> Result<(), VppbError> {
-    fs::write(path, vppb_model::binlog::encode(log)?)?;
-    Ok(())
+    atomic_write(path.as_ref(), &binlog::encode(log)?)
 }
 
 /// Read a binary log.
 pub fn load_bin(path: impl AsRef<Path>) -> Result<TraceLog, VppbError> {
     let data = fs::read(path)?;
-    let log = vppb_model::binlog::decode(&data)?;
+    let log = binlog::decode(&data)?;
     log.validate()?;
     Ok(log)
+}
+
+/// The result of a lenient load: the (possibly repaired) log plus the
+/// full account of what it took to read it.
+#[derive(Debug, Clone)]
+pub struct LoadedLog {
+    /// The decoded — and, if necessary, salvaged — log.
+    pub log: TraceLog,
+    /// Decoder diagnostics (dropped lines, skipped tags, ...).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Structural repairs applied after decoding.
+    pub salvage: SalvageReport,
+}
+
+impl LoadedLog {
+    /// Whether the log was read without any recovery at all.
+    pub fn is_pristine(&self) -> bool {
+        self.diagnostics.is_empty() && self.salvage.is_clean()
+    }
+}
+
+/// Load a log of any format, recovering what a strict load would refuse.
+///
+/// The format is sniffed from the first bytes (binary magic, then JSON,
+/// then text). Decode-level damage is reported as diagnostics; if the
+/// decoded log fails [`TraceLog::validate`], the salvager repairs it and
+/// the edits are reported too. Returns an error only when the damage is
+/// beyond salvage (no records survive, unsupported version, ...).
+pub fn load_lenient(path: impl AsRef<Path>) -> Result<LoadedLog, VppbError> {
+    let data = fs::read(path.as_ref())?;
+    load_lenient_bytes(&data)
+}
+
+/// [`load_lenient`] over an in-memory buffer — the chaos harness and the
+/// `vppb check` linter feed damaged bytes straight through without a file.
+pub fn load_lenient_bytes(data: &[u8]) -> Result<LoadedLog, VppbError> {
+    let (mut log, diagnostics) = if data.starts_with(b"VPPB") {
+        binlog::decode_lenient(data)?
+    } else if data.iter().find(|b| !b.is_ascii_whitespace()) == Some(&b'{') {
+        // JSON is all-or-nothing: serde either parses the value or not.
+        let text = String::from_utf8_lossy(data);
+        let log: TraceLog = serde_json::from_str(&text)
+            .map_err(|e| VppbError::MalformedLog(format!("json: {e}")))?;
+        (log, Vec::new())
+    } else {
+        let text = String::from_utf8_lossy(data);
+        textlog::parse_log_lenient(&text)
+    };
+    let salvage_report = match log.validate() {
+        Ok(()) => SalvageReport::default(),
+        Err(_) => {
+            let report = salvage(&mut log);
+            log.validate()?; // post-salvage failure is unrecoverable
+            report
+        }
+    };
+    Ok(LoadedLog { log, diagnostics, salvage: salvage_report })
 }
 
 #[cfg(test)]
@@ -115,16 +205,74 @@ mod tests {
     }
 
     #[test]
+    fn saves_leave_no_temp_files_behind() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("vppb-test-atomic");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        save_text(&log, dir.join("a.vppb")).unwrap();
+        save_bin(&log, dir.join("b.vppbb")).unwrap();
+        save_json(&log, dir.join("c.json")).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names.len(), 3, "{names:?}");
+        assert!(names.iter().all(|n| !n.ends_with(".tmp")), "{names:?}");
+    }
+
+    #[test]
+    fn save_to_unwritable_path_is_io_error() {
+        let log = sample_log();
+        let err = save_text(&log, "/nonexistent-dir/sub/log.vppb").unwrap_err();
+        assert!(matches!(err, VppbError::Io(_)), "{err:?}");
+    }
+
+    #[test]
     fn missing_file_is_io_error() {
         assert!(matches!(load_text("/nonexistent/vppb.log"), Err(VppbError::Io(_))));
     }
 
     #[test]
-    fn corrupt_text_is_malformed() {
+    fn corrupt_text_is_a_diagnostic() {
         let dir = std::env::temp_dir().join("vppb-test-corrupt");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.vppb");
         fs::write(&path, "0.000000 T1 Q wat @0x0\n").unwrap();
-        assert!(matches!(load_text(&path), Err(VppbError::MalformedLog(_))));
+        assert!(matches!(load_text(&path), Err(VppbError::Diag(_))));
+    }
+
+    #[test]
+    fn lenient_load_salvages_a_truncated_binary_log() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("vppb-test-lenient");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.vppbb");
+        let bytes = binlog::encode(&log).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(load_bin(&path).is_err(), "strict load refuses");
+        let loaded = load_lenient(&path).unwrap();
+        assert!(!loaded.is_pristine());
+        loaded.log.validate().unwrap();
+        assert!(
+            !loaded.diagnostics.is_empty() || !loaded.salvage.is_clean(),
+            "recovery must be reported"
+        );
+    }
+
+    #[test]
+    fn lenient_load_of_pristine_log_reports_nothing() {
+        let log = sample_log();
+        let dir = std::env::temp_dir().join("vppb-test-lenient-ok");
+        fs::create_dir_all(&dir).unwrap();
+        let save_t: fn(&TraceLog, &Path) -> Result<(), VppbError> = |l, p| save_text(l, p);
+        let save_b: fn(&TraceLog, &Path) -> Result<(), VppbError> = |l, p| save_bin(l, p);
+        for (name, save) in [("ok.vppb", save_t), ("ok.vppbb", save_b)] {
+            let path = dir.join(name);
+            save(&log, &path).unwrap();
+            let loaded = load_lenient(&path).unwrap();
+            assert!(loaded.is_pristine(), "{name}: {:?}", loaded.diagnostics);
+            assert_eq!(loaded.log, log);
+        }
     }
 }

@@ -58,7 +58,15 @@ impl SimulatedExecution {
 }
 
 /// Build the synthetic replay [`App`] from a plan.
-pub fn build_replay_app(plan: &ReplayPlan, source_map: vppb_model::SourceMap) -> App {
+///
+/// Fails (rather than panicking) on plans whose create bookkeeping is
+/// inconsistent — a `thr_create` with no recorded child, or a child with
+/// no thread plan. [`analyze`] never produces such plans; the checks
+/// guard hand-built or future deserialized ones.
+pub fn build_replay_app(
+    plan: &ReplayPlan,
+    source_map: vppb_model::SourceMap,
+) -> Result<App, VppbError> {
     // Function table: one function per recorded thread, in plan order.
     let func_of: BTreeMap<ThreadId, FuncId> =
         plan.threads.iter().enumerate().map(|(i, t)| (t.id, FuncId(i))).collect();
@@ -67,23 +75,27 @@ pub fn build_replay_app(plan: &ReplayPlan, source_map: vppb_model::SourceMap) ->
     for tp in &plan.threads {
         // Patch each Create op with the FuncId of the recorded child.
         let mut seq = 0u64;
-        let ops: Vec<Action> = tp
-            .ops
-            .iter()
-            .map(|op| match op {
+        let mut ops: Vec<Action> = Vec::with_capacity(tp.ops.len());
+        for op in &tp.ops {
+            ops.push(match op {
                 Action::Call(LibCall::Create { bound, .. }, site) => {
-                    let child = plan
-                        .create_map
-                        .get(&(tp.id, seq))
-                        .copied()
-                        .expect("create without recorded child");
+                    let child = plan.create_map.get(&(tp.id, seq)).copied().ok_or_else(|| {
+                        VppbError::MalformedLog(format!(
+                            "replay plan: create #{seq} on {} has no recorded child",
+                            tp.id
+                        ))
+                    })?;
                     seq += 1;
-                    let func = func_of[&child];
+                    let func = func_of.get(&child).copied().ok_or_else(|| {
+                        VppbError::MalformedLog(format!(
+                            "replay plan: created thread {child} has no thread plan"
+                        ))
+                    })?;
                     Action::Call(LibCall::Create { func, bound: *bound }, *site)
                 }
                 other => *other,
-            })
-            .collect();
+            });
+        }
         let ops: Arc<[Action]> = ops.into();
         let factory: ProgramFactory = {
             let ops = ops.clone();
@@ -92,17 +104,20 @@ pub fn build_replay_app(plan: &ReplayPlan, source_map: vppb_model::SourceMap) ->
         functions.push(FuncDecl { name: tp.start_fn.clone(), entry: tp.entry, factory });
     }
 
-    App {
+    let main = func_of.get(&ThreadId::MAIN).copied().ok_or_else(|| {
+        VppbError::MalformedLog("replay plan: no plan for the main thread".into())
+    })?;
+    Ok(App {
         name: format!("{} (replay)", plan.program),
         functions,
-        main: func_of[&ThreadId::MAIN],
+        main,
         source_map,
         sem_initial: plan.sem_initial.clone(),
         n_mutexes: plan.n_mutexes,
         n_condvars: plan.n_condvars,
         n_rwlocks: plan.n_rwlocks,
         var_initial: vec![],
-    }
+    })
 }
 
 /// Simulate the multiprocessor execution described by `params` from the
@@ -156,7 +171,7 @@ fn run_replay(
     params: &SimParams,
     observer: Option<&mut dyn SchedObserver>,
 ) -> Result<RunResult, VppbError> {
-    let app = build_replay_app(plan, log.header.source_map.clone());
+    let app = build_replay_app(plan, log.header.source_map.clone())?;
     run_replay_on(&app, plan, params, observer)
 }
 
@@ -198,6 +213,7 @@ pub(crate) fn run_replay_on(
         limits: RunLimits::default(),
         record_trace: true,
         observer: fwd.as_mut().map(|f| f as &mut dyn SchedObserver),
+        faults: params.faults,
         size_hint: plan.total_ops(),
         ..RunOptions::new(&mut hooks)
     };

@@ -18,8 +18,8 @@
 use crate::plan::{CvEpisode, CvPlan, ReplayPlan, ThreadPlan};
 use std::collections::BTreeMap;
 use vppb_model::{
-    CodeAddr, EventKind, EventResult, ObjKind, Phase, ThreadId, Time, TraceLog, TraceRecord,
-    VppbError,
+    CodeAddr, DiagCode, Diagnostic, EventKind, EventResult, ObjKind, Phase, Pos, ThreadId, Time,
+    TraceLog, TraceRecord, VppbError,
 };
 use vppb_threads::{Action, CondRef, LibCall, MutexRef, RwRef, SemRef};
 
@@ -87,6 +87,24 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
         }
     }
     let sem_initial: Vec<u32> = sem_min.iter().map(|&m| (-m).max(0) as u32).collect();
+
+    // Consistency: a `thr_create` whose AFTER lost its created-child id
+    // cannot be replayed — the Simulator would not know which thread to
+    // spawn. `validate()` does not see this (the pair is well-formed), so
+    // check here, with a position, instead of panicking later.
+    for r in &log.records {
+        if r.phase == Phase::After
+            && matches!(r.kind, EventKind::ThrCreate { .. })
+            && !matches!(r.result, EventResult::Created(_))
+        {
+            return Err(Diagnostic::error(
+                DiagCode::OrphanCreate,
+                Pos::Record(r.seq),
+                format!("thr_create on {} returned no created-child id", r.thread),
+            )
+            .into());
+        }
+    }
 
     // ---- pass 3: condvar episodes and signal release counts -------------
     let mut cvs: Vec<CvPlan> = vec![CvPlan::default(); n_condvars as usize];
@@ -204,6 +222,26 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
 
     if threads.is_empty() || threads[0].id != ThreadId::MAIN {
         return Err(VppbError::MalformedLog("log has no main thread".into()));
+    }
+
+    // A child that was created but never produced a record (the log was
+    // truncated right after its spawn) gets an empty plan: it starts,
+    // does nothing observable, and exits — so creates and joins of it
+    // still replay instead of panicking on a missing thread plan.
+    for child in create_map.values() {
+        if !per_thread.contains_key(child) {
+            threads.push(ThreadPlan {
+                id: *child,
+                start_fn: log
+                    .header
+                    .thread_start_fn
+                    .get(child)
+                    .cloned()
+                    .unwrap_or_else(|| "thread".into()),
+                entry: CodeAddr::NULL,
+                ops: vec![Action::Call(LibCall::Exit, CodeAddr::NULL)],
+            });
+        }
     }
 
     Ok(ReplayPlan {

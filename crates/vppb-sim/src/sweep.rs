@@ -142,6 +142,10 @@ pub struct SweepPoint {
     /// Whether this cell was a fingerprint-duplicate of an earlier one
     /// (simulated once, reported per cell).
     pub deduplicated: bool,
+    /// Why this cell has no prediction: the error (or panic, contained by
+    /// the worker's unwind boundary) its replay died with. `None` for a
+    /// successful cell. Sibling cells are unaffected either way.
+    pub error: Option<String>,
 }
 
 /// A completed sweep: the speed-up surface plus the full executions.
@@ -149,8 +153,9 @@ pub struct SweepPoint {
 pub struct SweepOutcome {
     /// One row per grid cell, in grid order.
     pub points: Vec<SweepPoint>,
-    /// The full predicted executions, in grid order (traces, audits).
-    pub executions: Vec<SimulatedExecution>,
+    /// The full predicted executions, in grid order (traces, audits);
+    /// `None` where the cell's point carries an error instead.
+    pub executions: Vec<Option<SimulatedExecution>>,
     /// Predicted 1-CPU wall time the speed-ups are relative to.
     pub uni_wall: Time,
     /// Distinct configurations actually simulated (after dedup; includes
@@ -158,6 +163,17 @@ pub struct SweepOutcome {
     pub unique_runs: usize,
     /// Worker threads used.
     pub workers: usize,
+}
+
+/// Extract the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 /// Stable fingerprint of a configuration, for deduplication. `SimParams`
@@ -188,7 +204,7 @@ pub fn sweep_plan(
     workers: usize,
 ) -> Result<SweepOutcome, VppbError> {
     // Build the replay program once; workers share it immutably.
-    let app = Arc::new(build_replay_app(plan, log.header.source_map.clone()));
+    let app = Arc::new(build_replay_app(plan, log.header.source_map.clone())?);
 
     // Deduplicate: map each grid cell to a unique job. The 1-CPU
     // reference the speed-ups divide by is itself a job, so it also
@@ -228,43 +244,82 @@ pub fn sweep_plan(
             s.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(params) = jobs.get(i) else { return };
-                let result =
-                    run_replay_on(&app, plan, params, None).map(|r| to_execution(plan, params, r));
+                // Unwind boundary: a panicking replay (an engine bug, or
+                // deliberate fault injection) poisons only its own cell.
+                // The closure owns no shared mutable state, so resuming
+                // after its unwind observes nothing broken.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_replay_on(&app, plan, params, None).map(|r| to_execution(plan, params, r))
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(VppbError::ProgramError(format!(
+                        "replay worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                });
                 *slots[i].lock().expect("no poisoned sweep worker") = Some(result);
             });
         }
     });
 
-    let mut results: Vec<SimulatedExecution> = Vec::with_capacity(jobs.len());
+    let mut results: Vec<Result<SimulatedExecution, VppbError>> = Vec::with_capacity(jobs.len());
     for slot in slots {
-        results.push(slot.into_inner().expect("no poisoned sweep worker").expect("job ran")?);
+        results.push(slot.into_inner().expect("no poisoned sweep worker").expect("job ran"));
     }
 
-    let uni_wall = results[uni_job].wall_time;
+    // The 1-CPU reference every speed-up divides by has no cell to carry
+    // its error; without it the surface is meaningless.
+    let uni_wall = match &results[uni_job] {
+        Ok(exec) => exec.wall_time,
+        Err(e) => {
+            return Err(VppbError::ProgramError(format!(
+                "the 1-CPU reference run failed, so no speed-up can be computed: {e}"
+            )))
+        }
+    };
     let mut seen_job = vec![false; jobs.len()];
     seen_job[uni_job] = true; // the reference doesn't claim a cell
     let mut points = Vec::with_capacity(configs.len());
     let mut executions = Vec::with_capacity(configs.len());
     for (cell, &job) in configs.iter().zip(&cell_jobs) {
-        let exec = &results[job];
-        let wall = exec.wall_time;
-        let busy: u64 = exec.cpu_busy.iter().map(|d| d.nanos()).sum();
-        let capacity = wall.nanos().saturating_mul(exec.cpu_busy.len() as u64);
-        points.push(SweepPoint {
-            label: cell.label.clone(),
-            cpus: cell.params.machine.cpus,
-            wall_ns: wall.nanos(),
-            speedup: if wall == Time::ZERO {
-                0.0
-            } else {
-                uni_wall.nanos() as f64 / wall.nanos() as f64
-            },
-            utilization: if capacity == 0 { 0.0 } else { busy as f64 / capacity as f64 },
-            des_events: exec.des_events,
-            audit_clean: exec.audit.is_clean(),
-            deduplicated: std::mem::replace(&mut seen_job[job], true),
-        });
-        executions.push(exec.clone());
+        let deduplicated = std::mem::replace(&mut seen_job[job], true);
+        match &results[job] {
+            Ok(exec) => {
+                let wall = exec.wall_time;
+                let busy: u64 = exec.cpu_busy.iter().map(|d| d.nanos()).sum();
+                let capacity = wall.nanos().saturating_mul(exec.cpu_busy.len() as u64);
+                points.push(SweepPoint {
+                    label: cell.label.clone(),
+                    cpus: cell.params.machine.cpus,
+                    wall_ns: wall.nanos(),
+                    speedup: if wall == Time::ZERO {
+                        0.0
+                    } else {
+                        uni_wall.nanos() as f64 / wall.nanos() as f64
+                    },
+                    utilization: if capacity == 0 { 0.0 } else { busy as f64 / capacity as f64 },
+                    des_events: exec.des_events,
+                    audit_clean: exec.audit.is_clean(),
+                    deduplicated,
+                    error: None,
+                });
+                executions.push(Some(exec.clone()));
+            }
+            Err(e) => {
+                points.push(SweepPoint {
+                    label: cell.label.clone(),
+                    cpus: cell.params.machine.cpus,
+                    wall_ns: 0,
+                    speedup: 0.0,
+                    utilization: 0.0,
+                    des_events: 0,
+                    audit_clean: false,
+                    deduplicated,
+                    error: Some(e.to_string()),
+                });
+                executions.push(None);
+            }
+        }
     }
     Ok(SweepOutcome { points, executions, uni_wall, unique_runs: jobs.len(), workers: n_workers })
 }

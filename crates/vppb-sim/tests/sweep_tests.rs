@@ -3,7 +3,7 @@
 //! same transitions, same events, same wall clock, same audit — and its
 //! speed-up surface must match what serial `predict` invocations compute.
 
-use vppb_model::{LwpPolicy, SimParams, Time, TraceLog};
+use vppb_model::{FaultInjection, LwpPolicy, SimParams, Time, TraceLog};
 use vppb_recorder::{record, RecordOptions};
 use vppb_sim::{simulate, sweep, SweepConfig, SweepGrid};
 use vppb_threads::AppBuilder;
@@ -43,6 +43,7 @@ fn parallel_sweep_is_bit_identical_to_serial_simulate() {
         assert_eq!(configs.len(), 8, "{name}: 8-config grid");
         let outcome = sweep(&log, &configs, 4).expect("sweep");
         for (cell, exec) in configs.iter().zip(&outcome.executions) {
+            let exec = exec.as_ref().expect("cell succeeded");
             let serial = simulate(&log, &cell.params).expect("serial simulate");
             assert_eq!(
                 exec.wall_time, serial.wall_time,
@@ -109,7 +110,10 @@ fn identical_configs_are_deduplicated_but_still_reported() {
     assert!(!outcome.points[1].deduplicated, "first 4p cell is fresh");
     assert!(outcome.points[2].deduplicated, "second 4p cell reuses it");
     assert_eq!(outcome.points[1].wall_ns, outcome.points[2].wall_ns);
-    assert_eq!(outcome.executions[1].trace.transitions, outcome.executions[2].trace.transitions);
+    assert_eq!(
+        outcome.executions[1].as_ref().unwrap().trace.transitions,
+        outcome.executions[2].as_ref().unwrap().trace.transitions
+    );
 }
 
 #[test]
@@ -122,6 +126,7 @@ fn sweep_results_are_independent_of_worker_count() {
         let parallel = sweep(&log, &configs, workers).expect("sweep");
         assert!(parallel.workers >= 1 && parallel.workers <= workers);
         for (a, b) in serial.executions.iter().zip(&parallel.executions) {
+            let (a, b) = (a.as_ref().expect("serial cell"), b.as_ref().expect("parallel cell"));
             assert_eq!(a.wall_time, b.wall_time);
             assert_eq!(a.trace.transitions, b.trace.transitions);
             assert_eq!(a.trace.events, b.trace.events);
@@ -140,4 +145,50 @@ fn empty_grid_still_runs_the_reference() {
     assert!(outcome.points.is_empty());
     assert_eq!(outcome.unique_runs, 1, "the 1-CPU reference still runs");
     assert!(outcome.uni_wall > Time::ZERO);
+}
+
+#[test]
+fn panicking_cell_is_contained_and_siblings_match_serial() {
+    let log = record_app(&fork_join_app(4, 10));
+    // A panic hook that swallows the injected panic's default stderr spew
+    // (the unwind itself is what we're testing, not the report).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut configs = SweepGrid::over_cpus([2, 4, 8]).configs();
+    // Poison the middle cell: its engine run panics after 5 events.
+    configs[1].params.faults =
+        FaultInjection { panic_after_events: Some(5), ..FaultInjection::none() };
+    configs[1].label = "4p (poisoned)".into();
+    let outcome = sweep(&log, &configs, 3).expect("sweep survives a panicking worker");
+    std::panic::set_hook(prev_hook);
+
+    // The poisoned cell reports its crash instead of a prediction...
+    let poisoned = &outcome.points[1];
+    assert!(poisoned.error.as_deref().unwrap_or("").contains("panicked"), "{poisoned:?}");
+    assert_eq!(poisoned.wall_ns, 0);
+    assert!(outcome.executions[1].is_none());
+
+    // ...while its siblings complete bit-identical to serial simulate.
+    for i in [0usize, 2] {
+        let exec = outcome.executions[i].as_ref().expect("sibling cell completed");
+        let serial = simulate(&log, &configs[i].params).expect("serial");
+        assert_eq!(exec.wall_time, serial.wall_time, "{}", configs[i].label);
+        assert_eq!(exec.trace.transitions, serial.trace.transitions);
+        assert_eq!(exec.trace.events, serial.trace.events);
+        assert!(outcome.points[i].error.is_none());
+    }
+}
+
+#[test]
+fn failing_cell_is_error_valued_without_a_panic() {
+    let log = record_app(&fork_join_app(2, 5));
+    let mut configs = SweepGrid::over_cpus([2, 4]).configs();
+    // Leaking a mutex makes the audit dirty but the run still completes;
+    // an invalid machine (0 CPUs) makes the run itself fail.
+    configs[0].params.machine.cpus = 0;
+    let outcome = sweep(&log, &configs, 2).expect("sweep survives a failing cell");
+    assert!(outcome.points[0].error.is_some());
+    assert!(outcome.points[1].error.is_none());
+    assert!(outcome.executions[0].is_none());
+    assert!(outcome.executions[1].is_some());
 }

@@ -4,20 +4,36 @@
 //! ```text
 //! vppb workloads
 //! vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]
-//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE]
-//! vppb predict <LOG> [--cpus N] [--metrics-json FILE]
-//! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE]
+//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE] [--lenient]
+//! vppb predict <LOG> [--cpus N] [--metrics-json FILE] [--lenient]
+//! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE] [--lenient]
+//! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
 //! ```
+//!
+//! Exit codes are uniform across the log-consuming verbs: **0** the input
+//! was clean and the verb fully succeeded, **1** the verb completed but
+//! only after reported recovery (a salvaged log, an error-valued sweep
+//! cell, a conservation-audit violation), **2** unrecoverable (unusable
+//! input, bad usage, a failed simulation). Diagnostics always go to
+//! stderr; stdout carries only results, so `--json` output stays clean.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use vppb::pipeline;
-use vppb_model::{AuditReport, Duration, LwpPolicy, SchedMetrics, SimParams, TraceLog, VppbError};
+use vppb_model::{
+    AuditReport, Diagnostic, Duration, LwpPolicy, SalvageReport, SchedMetrics, SimParams, TraceLog,
+    VppbError,
+};
 use vppb_recorder as logio;
 use vppb_sim::{simulate, simulate_metrics, DivergenceReport, SweepGrid, SweepPoint};
 use vppb_viz::{ansi, compute_stats, stats, svg, Align, AnsiOptions, TextTable};
 use vppb_workloads::{prodcons, splash2_suite, KernelParams};
+
+/// Exit code for "completed, but only after reported recovery".
+const EXIT_RECOVERED: u8 = 1;
+/// Exit code for "unrecoverable input or failed operation".
+const EXIT_UNRECOVERABLE: u8 = 2;
 
 /// Machine-readable sweep dump written by `sweep --metrics-json`.
 #[derive(serde::Serialize)]
@@ -51,7 +67,11 @@ struct MetricsDump {
     /// Conservation-law audit of the N-CPU replay.
     audit: AuditReport,
     /// Where the replay departs from the recorded event order, if at all.
+    /// Computed against the (possibly salvaged) log, so salvage edits act
+    /// as the exemption set: synthesized records replay like recorded ones.
     divergence: DivergenceReport,
+    /// Repairs applied to the log before simulating (empty on strict loads).
+    salvage: SalvageReport,
 }
 
 fn write_metrics_json(path: &str, dump: &MetricsDump) -> Result<(), String> {
@@ -64,15 +84,61 @@ fn write_metrics_json(path: &str, dump: &MetricsDump) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("vppb: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_UNRECOVERABLE)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+/// A log brought in by a verb, with everything recovery reported.
+struct LoadedInput {
+    log: TraceLog,
+    diagnostics: Vec<Diagnostic>,
+    salvage: SalvageReport,
+}
+
+impl LoadedInput {
+    fn is_pristine(&self) -> bool {
+        self.diagnostics.is_empty() && self.salvage.is_clean()
+    }
+
+    /// The verb's exit code when everything else succeeded.
+    fn exit(&self) -> ExitCode {
+        if self.is_pristine() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(EXIT_RECOVERED)
+        }
+    }
+}
+
+/// Load a log for a verb: strict by default, recovering under
+/// `--lenient` with every diagnostic and salvage edit printed to stderr.
+fn load_input(path: &str, flags: &BTreeMap<String, String>) -> Result<LoadedInput, String> {
+    if !flags.contains_key("lenient") {
+        let log = load_log(path).map_err(|e| e.to_string())?;
+        return Ok(LoadedInput { log, diagnostics: Vec::new(), salvage: SalvageReport::default() });
+    }
+    let loaded = logio::load_lenient(path).map_err(|e| e.to_string())?;
+    for d in &loaded.diagnostics {
+        eprintln!("{d}");
+    }
+    for e in &loaded.salvage.edits {
+        eprintln!("{}", e.to_diagnostic());
+    }
+    if !loaded.is_pristine() {
+        eprintln!(
+            "vppb: salvaged `{path}`: {} decoder diagnostic(s), {} repair(s)",
+            loaded.diagnostics.len(),
+            loaded.salvage.edits.len()
+        );
+    }
+    Ok(LoadedInput { log: loaded.log, diagnostics: loaded.diagnostics, salvage: loaded.salvage })
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
@@ -89,7 +155,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             println!("  {:<18} §5 case study, 226 threads, one hot mutex", "prodcons-naive");
             println!("  {:<18} §5 case study after the fix", "prodcons-improved");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "record" => {
             let name = pos.first().ok_or("record: which workload? (see `vppb workloads`)")?;
@@ -106,11 +172,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 rec.log.len(),
                 rec.wall_time()
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "simulate" => {
             let path = pos.first().ok_or("simulate: which log file?")?;
-            let log = load_log(path).map_err(|e| e.to_string())?;
+            let input = load_input(path, &flags)?;
+            let log = &input.log;
             let cpus: u32 = flag(&flags, "cpus", 8)?;
             let mut params = SimParams::cpus(cpus);
             if let Some(l) = flags.get("lwps") {
@@ -122,10 +189,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 params.machine.comm_delay = Duration::from_micros(us);
             }
             let (sim, metrics) = if flags.contains_key("metrics-json") {
-                let (sim, m) = simulate_metrics(&log, &params).map_err(|e| e.to_string())?;
+                let (sim, m) = simulate_metrics(log, &params).map_err(|e| e.to_string())?;
                 (sim, Some(m))
             } else {
-                (simulate(&log, &params).map_err(|e| e.to_string())?, None)
+                (simulate(log, &params).map_err(|e| e.to_string())?, None)
             };
             println!(
                 "simulated `{}` on {cpus} CPUs: wall {}, speed-up vs monitored run {:.2}",
@@ -141,7 +208,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     speedup: sim.speedup_vs_recorded(),
                     metrics,
                     audit: sim.audit.clone(),
-                    divergence: sim.divergence_from(&log),
+                    divergence: sim.divergence_from(log),
+                    salvage: input.salvage.clone(),
                 };
                 write_metrics_json(file, &dump)?;
             }
@@ -160,19 +228,20 @@ fn run(args: &[String]) -> Result<(), String> {
             if flags.contains_key("stats") {
                 print!("{}", stats::render(&compute_stats(&sim.trace)));
             }
-            Ok(())
+            Ok(input.exit())
         }
         "predict" => {
             let path = pos.first().ok_or("predict: which log file?")?;
-            let log = load_log(path).map_err(|e| e.to_string())?;
+            let input = load_input(path, &flags)?;
+            let log = &input.log;
             let cpus: u32 = flag(&flags, "cpus", 8)?;
             if let Some(file) = flags.get("metrics-json") {
                 // Table-1 style speed-up: predicted 1-CPU wall over
                 // predicted N-CPU wall, with the N-CPU run's metrics.
                 let (uni, _) =
-                    simulate_metrics(&log, &SimParams::cpus(1)).map_err(|e| e.to_string())?;
+                    simulate_metrics(log, &SimParams::cpus(1)).map_err(|e| e.to_string())?;
                 let (multi, metrics) =
-                    simulate_metrics(&log, &SimParams::cpus(cpus)).map_err(|e| e.to_string())?;
+                    simulate_metrics(log, &SimParams::cpus(cpus)).map_err(|e| e.to_string())?;
                 let s = if multi.wall_time.nanos() == 0 {
                     0.0
                 } else {
@@ -186,18 +255,20 @@ fn run(args: &[String]) -> Result<(), String> {
                     speedup: s,
                     metrics,
                     audit: multi.audit.clone(),
-                    divergence: multi.divergence_from(&log),
+                    divergence: multi.divergence_from(log),
+                    salvage: input.salvage.clone(),
                 };
                 write_metrics_json(file, &dump)?;
             } else {
-                let s = vppb_sim::predict_speedup(&log, cpus).map_err(|e| e.to_string())?;
+                let s = vppb_sim::predict_speedup(log, cpus).map_err(|e| e.to_string())?;
                 println!("predicted speed-up of `{}` on {cpus} CPUs: {s:.2}", log.header.program);
             }
-            Ok(())
+            Ok(input.exit())
         }
         "sweep" => {
             let path = pos.first().ok_or("sweep: which log file?")?;
-            let log = load_log(path).map_err(|e| e.to_string())?;
+            let input = load_input(path, &flags)?;
+            let log = &input.log;
             let cpus = parse_list::<u32>(flags.get("cpus").map_or("1,2,4,8", String::as_str))
                 .map_err(|_| "bad --cpus list")?;
             let mut grid = SweepGrid::over_cpus(cpus);
@@ -222,7 +293,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             let jobs: usize = flag(&flags, "jobs", 0)?;
             let configs = grid.configs();
-            let outcome = vppb_sim::sweep(&log, &configs, jobs).map_err(|e| e.to_string())?;
+            let outcome = vppb_sim::sweep(log, &configs, jobs).map_err(|e| e.to_string())?;
             println!(
                 "swept `{}` over {} configurations ({} unique) on {} worker thread{}; \
                  1-CPU reference wall {}",
@@ -252,14 +323,28 @@ fn run(args: &[String]) -> Result<(), String> {
                 Align::Left,
             ]);
             for (p, exec) in outcome.points.iter().zip(&outcome.executions) {
+                if let Some(err) = &p.error {
+                    table.row([
+                        p.label.clone(),
+                        p.cpus.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("ERROR: {err}"),
+                    ]);
+                    continue;
+                }
                 let mut audit = if p.audit_clean { "clean" } else { "VIOLATED" }.to_string();
                 if p.deduplicated {
                     audit += " (dedup)";
                 }
+                let wall =
+                    exec.as_ref().map_or_else(|| "-".to_string(), |e| e.wall_time.to_string());
                 table.row([
                     p.label.clone(),
                     p.cpus.to_string(),
-                    format!("{}", exec.wall_time),
+                    wall,
                     format!("{:.2}", p.speedup),
                     format!("{:.0}%", p.utilization * 100.0),
                     p.des_events.to_string(),
@@ -267,9 +352,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 ]);
             }
             print!("{}", table.render(!flags.contains_key("no-color")));
-            if outcome.points.iter().any(|p| !p.audit_clean) {
-                return Err("a sweep cell ended with a conservation-law violation".into());
-            }
+            let violated = outcome.points.iter().any(|p| p.error.is_none() && !p.audit_clean);
+            let failed_cells = outcome.points.iter().filter(|p| p.error.is_some()).count();
             if let Some(file) = flags.get("metrics-json") {
                 let dump = SweepDump {
                     program: log.header.program.clone(),
@@ -282,7 +366,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 std::fs::write(file, json).map_err(|e| e.to_string())?;
                 println!("wrote {file}");
             }
-            Ok(())
+            // Degraded-but-complete outcomes exit 1, like a salvaged load.
+            if violated {
+                eprintln!("vppb: a sweep cell ended with a conservation-law violation");
+            }
+            if failed_cells > 0 {
+                eprintln!("vppb: {failed_cells} sweep cell(s) failed; see the table for details");
+            }
+            if violated || failed_cells > 0 {
+                return Ok(ExitCode::from(EXIT_RECOVERED));
+            }
+            Ok(input.exit())
+        }
+        "check" => {
+            let path = pos.first().ok_or("check: which log file?")?;
+            check_log(path, &flags)
         }
         "report" => {
             let path = pos.first().ok_or("report: which log file?")?;
@@ -295,13 +393,145 @@ fn run(args: &[String]) -> Result<(), String> {
             for (t, f) in &log.header.thread_start_fn {
                 println!("  {t} -> {f}()");
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// `vppb check`: run the linter/salvager standalone. Diagnostics render
+/// rustc-style on stderr; stdout carries the verdict (or, with `--json`,
+/// the machine-readable report). Exit codes: 0 clean, 1 salvaged with
+/// warnings, 2 unrecoverable.
+fn check_log(path: &str, flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
+    if flags.contains_key("strict") && flags.contains_key("lenient") {
+        return Err("check: --strict and --lenient are mutually exclusive".into());
+    }
+    let json = flags.contains_key("json");
+
+    /// The machine-readable half of the `check` contract.
+    #[derive(serde::Serialize)]
+    struct CheckDump {
+        file: String,
+        /// Mode the check ran in: `strict` or `lenient`.
+        mode: &'static str,
+        /// Whether a usable log came out at all.
+        usable: bool,
+        /// Whether it came out without any recovery.
+        clean: bool,
+        /// Records in the (possibly salvaged) log.
+        records: usize,
+        /// Decoder diagnostics, in input order.
+        diagnostics: Vec<Diagnostic>,
+        /// Structural repairs applied after decoding.
+        salvage: SalvageReport,
+    }
+
+    if flags.contains_key("strict") {
+        // Strict: the log must load with zero recovery, or the check fails.
+        match load_log(path) {
+            Ok(log) => {
+                if json {
+                    let dump = CheckDump {
+                        file: path.to_string(),
+                        mode: "strict",
+                        usable: true,
+                        clean: true,
+                        records: log.len(),
+                        diagnostics: Vec::new(),
+                        salvage: SalvageReport::default(),
+                    };
+                    println!("{}", serde_json::to_string(&dump).map_err(|e| e.to_string())?);
+                } else {
+                    println!("{path}: clean ({} records)", log.len());
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                if json {
+                    let dump = CheckDump {
+                        file: path.to_string(),
+                        mode: "strict",
+                        usable: false,
+                        clean: false,
+                        records: 0,
+                        diagnostics: match e {
+                            VppbError::Diag(d) => vec![d],
+                            _ => Vec::new(),
+                        },
+                        salvage: SalvageReport::default(),
+                    };
+                    println!("{}", serde_json::to_string(&dump).map_err(|e| e.to_string())?);
+                } else {
+                    println!("{path}: unrecoverable");
+                }
+                return Ok(ExitCode::from(EXIT_UNRECOVERABLE));
+            }
+        }
+    }
+
+    // Lenient (the default): salvage what a strict load would refuse.
+    match logio::load_lenient(path) {
+        Ok(loaded) => {
+            for d in &loaded.diagnostics {
+                eprintln!("{d}");
+            }
+            for e in &loaded.salvage.edits {
+                eprintln!("{}", e.to_diagnostic());
+            }
+            let clean = loaded.is_pristine();
+            if json {
+                let dump = CheckDump {
+                    file: path.to_string(),
+                    mode: "lenient",
+                    usable: true,
+                    clean,
+                    records: loaded.log.len(),
+                    diagnostics: loaded.diagnostics,
+                    salvage: loaded.salvage,
+                };
+                println!("{}", serde_json::to_string(&dump).map_err(|e| e.to_string())?);
+            } else if clean {
+                println!("{path}: clean ({} records)", loaded.log.len());
+            } else {
+                println!(
+                    "{path}: salvaged ({} records kept, {} diagnostic(s), {} repair(s))",
+                    loaded.log.len(),
+                    loaded.diagnostics.len(),
+                    loaded.salvage.edits.len()
+                );
+                for (code, n) in loaded.salvage.counts() {
+                    println!("  {code} x{n}");
+                }
+            }
+            Ok(if clean { ExitCode::SUCCESS } else { ExitCode::from(EXIT_RECOVERED) })
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            if json {
+                let dump = CheckDump {
+                    file: path.to_string(),
+                    mode: "lenient",
+                    usable: false,
+                    clean: false,
+                    records: 0,
+                    diagnostics: match e {
+                        VppbError::Diag(d) => vec![d],
+                        _ => Vec::new(),
+                    },
+                    salvage: SalvageReport::default(),
+                };
+                println!("{}", serde_json::to_string(&dump).map_err(|e| e.to_string())?);
+            } else {
+                println!("{path}: unrecoverable");
+            }
+            Ok(ExitCode::from(EXIT_UNRECOVERABLE))
+        }
     }
 }
 
@@ -309,11 +539,14 @@ fn usage() -> String {
     "usage:\n  \
      vppb workloads\n  \
      vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]\n  \
-     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE]\n  \
-     vppb predict <LOG> [--cpus N] [--metrics-json FILE]\n  \
+     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE] [--lenient]\n  \
+     vppb predict <LOG> [--cpus N] [--metrics-json FILE] [--lenient]\n  \
      vppb sweep <LOG> [--cpus N,N,..] [--lwps per-thread|follow|N,..] [--comm-delay-us D,..] \
-     [--jobs N] [--no-color] [--metrics-json FILE]\n  \
-     vppb report <LOG>"
+     [--jobs N] [--no-color] [--metrics-json FILE] [--lenient]\n  \
+     vppb check <LOG> [--strict|--lenient] [--json]\n  \
+     vppb report <LOG>\n\
+     \n\
+     exit codes: 0 clean, 1 completed after reported recovery, 2 unrecoverable"
         .to_string()
 }
 
@@ -330,7 +563,8 @@ fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-            let is_switch = matches!(key, "ansi" | "stats" | "no-color");
+            let is_switch =
+                matches!(key, "ansi" | "stats" | "no-color" | "strict" | "lenient" | "json");
             if is_switch {
                 flags.insert(key.to_string(), "true".to_string());
             } else if i + 1 < args.len() {

@@ -1,0 +1,144 @@
+//! Chaos harness over the full ingestion pipeline.
+//!
+//! Every test here records a real workload, serializes it, damages the
+//! bytes with the seeded mutators from `vppb_model::corrupt`, and drives
+//! the result through `load_lenient_bytes` → `validate` → `simulate`.
+//! The contract under test is the robustness story of the PR: **any**
+//! input either loads (possibly after reported salvage) or is rejected
+//! with a diagnostic — the pipeline never panics, and whatever it
+//! salvages is structurally valid and simulable without crashing.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use vppb_model::corrupt::{self, ChaosRng};
+use vppb_model::{binlog, textlog, SimParams, TraceLog};
+use vppb_recorder::{load_lenient_bytes, record, LoadedLog, RecordOptions, Recording};
+use vppb_sim::simulate;
+use vppb_workloads::{splash, KernelParams};
+
+fn recorded_log() -> TraceLog {
+    let rec: Recording =
+        record(&splash::fft(KernelParams::scaled(2, 0.02)), &RecordOptions::default())
+            .expect("record fft");
+    rec.log
+}
+
+/// The three on-disk encodings of one log.
+fn encodings(log: &TraceLog) -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("text", textlog::write_log(log).into_bytes()),
+        ("json", serde_json::to_string(log).expect("json").into_bytes()),
+        ("bin", binlog::encode(log).expect("bin")),
+    ]
+}
+
+/// Run the panic hook-silenced closure, reporting panics as `Err`.
+fn quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic".into())
+    })
+}
+
+/// Feed one (possibly damaged) byte buffer through load → validate →
+/// simulate, panicking the test with a reproducible message on any
+/// contract violation.
+fn exercise(bytes: &[u8], what: &str) {
+    let loaded = match quiet(|| load_lenient_bytes(bytes)) {
+        Err(panic) => panic!("{what}: load panicked: {panic}"),
+        Ok(Err(_diagnostic)) => return, // rejected with an error — allowed
+        Ok(Ok(loaded)) => loaded,
+    };
+    // Whatever the salvager let through must be structurally sound.
+    if let Err(e) = loaded.log.validate() {
+        panic!("{what}: salvaged log fails validate: {e}");
+    }
+    // And the simulator must never panic on it (an error verdict is a
+    // legitimate outcome for semantically damaged logs).
+    if let Err(panic) = quiet(|| simulate(&loaded.log, &SimParams::cpus(4))) {
+        panic!("{what}: simulate panicked on salvaged log: {panic}");
+    }
+}
+
+#[test]
+fn truncated_binary_log_salvages_and_predicts() {
+    let log = recorded_log();
+    let bytes = binlog::encode(&log).expect("encode");
+    // Cut mid-record, well into the stream — the acceptance scenario.
+    let cut = bytes.len() * 4 / 5;
+    let loaded: LoadedLog = load_lenient_bytes(&bytes[..cut]).expect("salvageable");
+    assert!(!loaded.is_pristine(), "an 80% cut must be reported");
+    loaded.log.validate().expect("salvaged log validates");
+    let exec = simulate(&loaded.log, &SimParams::cpus(8)).expect("salvaged log simulates");
+    assert!(exec.audit.is_clean(), "audit after salvage: {:?}", exec.audit);
+}
+
+#[test]
+fn truncated_text_log_salvages_and_predicts() {
+    let log = recorded_log();
+    let text = textlog::write_log(&log);
+    // Keep the header and the first two thirds of the record lines.
+    let keep = text.lines().count() * 2 / 3;
+    let cut: String = text.lines().take(keep).map(|l| format!("{l}\n")).collect();
+    let loaded = load_lenient_bytes(cut.as_bytes()).expect("salvageable");
+    assert!(!loaded.is_pristine(), "a truncated text log must be reported");
+    loaded.log.validate().expect("salvaged log validates");
+    let exec = simulate(&loaded.log, &SimParams::cpus(8)).expect("salvaged log simulates");
+    assert!(exec.audit.is_clean(), "audit after salvage: {:?}", exec.audit);
+}
+
+#[test]
+fn single_mutation_chaos_sweep_never_panics() {
+    let log = recorded_log();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // the sweep catches on purpose
+    let result = quiet(|| {
+        for (format, pristine) in encodings(&log) {
+            for seed in 0..100u64 {
+                let mut bytes = pristine.clone();
+                let mutation = corrupt::mutate(&mut bytes, &mut ChaosRng::new(seed));
+                exercise(&bytes, &format!("{format} seed {seed} ({mutation})"));
+            }
+        }
+    });
+    std::panic::set_hook(prev);
+    if let Err(msg) = result {
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn compound_mutation_chaos_sweep_never_panics() {
+    let log = recorded_log();
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = quiet(|| {
+        for (format, pristine) in encodings(&log) {
+            for seed in 0..40u64 {
+                let mut bytes = pristine.clone();
+                let mut rng = ChaosRng::new(0x5EED_0000 + seed);
+                let mut applied = Vec::new();
+                for _ in 0..3 {
+                    applied.push(corrupt::mutate(&mut bytes, &mut rng).to_string());
+                }
+                exercise(&bytes, &format!("{format} seed {seed} ({})", applied.join(" + ")));
+            }
+        }
+    });
+    std::panic::set_hook(prev);
+    if let Err(msg) = result {
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn pristine_logs_pass_through_untouched() {
+    let log = recorded_log();
+    for (format, bytes) in encodings(&log) {
+        let loaded = load_lenient_bytes(&bytes).expect("pristine loads");
+        assert!(loaded.is_pristine(), "{format}: {:?}", loaded.diagnostics);
+        assert_eq!(loaded.log, log, "{format} round trip");
+    }
+}

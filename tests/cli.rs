@@ -4,9 +4,16 @@
 use std::process::Command;
 
 fn vppb(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = vppb_code(args);
+    (code == 0, stdout, stderr)
+}
+
+/// Like [`vppb`], exposing the exact exit code — the CLI contract is
+/// 0 clean, 1 completed after reported recovery, 2 unrecoverable.
+fn vppb_code(args: &[&str]) -> (i32, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_vppb")).args(args).output().expect("binary runs");
     (
-        out.status.success(),
+        out.status.code().expect("no signal"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -177,10 +184,151 @@ fn sweep_prints_the_surface_and_matches_predict() {
 
 #[test]
 fn unknown_commands_and_workloads_fail_cleanly() {
-    let (ok, _, stderr) = vppb(&["frobnicate"]);
-    assert!(!ok);
+    let (code, _, stderr) = vppb_code(&["frobnicate"]);
+    assert_eq!(code, 2);
     assert!(stderr.contains("usage"));
-    let (ok, _, stderr) = vppb(&["record", "not-a-workload"]);
-    assert!(!ok);
+    let (code, _, stderr) = vppb_code(&["record", "not-a-workload"]);
+    assert_eq!(code, 2);
     assert!(stderr.contains("unknown workload"));
+}
+
+/// Record one binary log and return (pristine bytes, its path, dir).
+fn recorded_bin(name: &str) -> (Vec<u8>, std::path::PathBuf, std::path::PathBuf) {
+    let dir = tmpdir(name);
+    let log = dir.join("ocean.vppbb");
+    let log_s = log.to_str().unwrap();
+    let (ok, _, stderr) = vppb(&[
+        "record",
+        "ocean",
+        "--threads",
+        "4",
+        "--scale",
+        "0.05",
+        "-o",
+        log_s,
+        "--format",
+        "bin",
+    ]);
+    assert!(ok, "record failed: {stderr}");
+    let bytes = std::fs::read(&log).unwrap();
+    (bytes, log, dir)
+}
+
+#[test]
+fn check_exit_codes_cover_clean_salvaged_unrecoverable() {
+    let (bytes, log, dir) = recorded_bin("check-codes");
+    let log_s = log.to_str().unwrap();
+
+    // Clean log: exit 0, verdict on stdout, silent stderr.
+    let (code, stdout, stderr) = vppb_code(&["check", log_s]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("clean"), "{stdout}");
+    assert!(stderr.is_empty(), "clean check must not warn: {stderr}");
+
+    // Byte-truncated log: exit 1, diagnostics on stderr, salvage summary
+    // (synthesized exits among it) on stdout.
+    let cut = dir.join("cut.vppbb");
+    std::fs::write(&cut, &bytes[..bytes.len() * 4 / 5]).unwrap();
+    let (code, stdout, stderr) = vppb_code(&["check", cut.to_str().unwrap()]);
+    assert_eq!(code, 1, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("salvaged"), "{stdout}");
+    assert!(stdout.contains("W0404"), "synthesized exits missing from report: {stdout}");
+    assert!(stderr.contains("warning["), "rustc-style diagnostics go to stderr: {stderr}");
+
+    // Unsalvageable garbage: exit 2.
+    let junk = dir.join("junk.log");
+    std::fs::write(&junk, "not a log at all").unwrap();
+    let (code, stdout, _) = vppb_code(&["check", junk.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(stdout.contains("unrecoverable"), "{stdout}");
+
+    // Strict mode refuses what lenient salvages.
+    let (code, _, stderr) = vppb_code(&["check", cut.to_str().unwrap(), "--strict"]);
+    assert_eq!(code, 2, "strict must refuse a truncated log");
+    assert!(stderr.contains("error["), "{stderr}");
+}
+
+#[test]
+fn check_json_output_is_clean_on_stdout() {
+    let (bytes, _, dir) = recorded_bin("check-json");
+    let cut = dir.join("cut.vppbb");
+    std::fs::write(&cut, &bytes[..bytes.len() * 4 / 5]).unwrap();
+
+    let (code, stdout, stderr) = vppb_code(&["check", cut.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("warning["), "diagnostics stay on stderr: {stderr}");
+
+    #[derive(serde::Deserialize)]
+    struct Edit {
+        code: String,
+    }
+    #[derive(serde::Deserialize)]
+    struct Salvage {
+        edits: Vec<Edit>,
+    }
+    #[derive(serde::Deserialize)]
+    struct Dump {
+        usable: bool,
+        clean: bool,
+        records: usize,
+        salvage: Salvage,
+    }
+    // The whole of stdout must be one parseable JSON document.
+    let dump: Dump = serde_json::from_str(stdout.trim()).expect("stdout is pure JSON");
+    assert!(dump.usable && !dump.clean);
+    assert!(dump.records > 0);
+    assert!(dump.salvage.edits.iter().any(|e| e.code == "SynthesizedExit"), "exit edits");
+}
+
+#[test]
+fn lenient_predict_salvages_with_exit_one_and_clean_audit() {
+    let (bytes, _, dir) = recorded_bin("lenient-predict");
+    let cut = dir.join("cut.vppbb");
+    std::fs::write(&cut, &bytes[..bytes.len() * 4 / 5]).unwrap();
+    let cut_s = cut.to_str().unwrap();
+
+    // Strict predict refuses the damaged log outright.
+    let (code, _, _) = vppb_code(&["predict", cut_s, "--cpus", "8"]);
+    assert_eq!(code, 2);
+
+    // Lenient predict salvages, predicts, and reports via exit code 1.
+    let json = dir.join("m.json");
+    let (code, stdout, stderr) = vppb_code(&[
+        "predict",
+        cut_s,
+        "--cpus",
+        "8",
+        "--lenient",
+        "--metrics-json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stdout.contains("predicted speed-up"), "{stdout}");
+    assert!(stderr.contains("salvaged"), "{stderr}");
+
+    #[derive(serde::Deserialize)]
+    struct Audit {
+        violations: Vec<String>,
+    }
+    #[derive(serde::Deserialize)]
+    struct Edit {
+        code: String,
+    }
+    #[derive(serde::Deserialize)]
+    struct Salvage {
+        edits: Vec<Edit>,
+    }
+    #[derive(serde::Deserialize)]
+    struct Dump {
+        speedup: f64,
+        audit: Audit,
+        salvage: Salvage,
+    }
+    let dump: Dump = serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert!(dump.speedup > 1.0, "8-CPU prediction from the salvaged log: {}", dump.speedup);
+    assert!(dump.audit.violations.is_empty(), "conservation audit: {:?}", dump.audit.violations);
+    assert!(
+        dump.salvage.edits.iter().any(|e| e.code.starts_with("Synthesized")),
+        "salvage report must ride in the metrics dump"
+    );
 }
