@@ -13,8 +13,9 @@
 use serde::Serialize;
 use std::time::Instant;
 use vppb_machine::{run, NullHooks, RunOptions};
-use vppb_model::{LwpPolicy, MachineConfig, SimParams};
+use vppb_model::{binlog, LwpPolicy, MachineConfig, SimParams};
 use vppb_recorder::{record, RecordOptions};
+use vppb_serve::{PredictRequest, PredictionService};
 use vppb_sim::{analyze, simulate_plan, sweep_plan, SweepGrid};
 use vppb_workloads::{splash, KernelParams};
 
@@ -105,6 +106,15 @@ fn main() {
         .map(|e| e.as_ref().map_or(0, |e| e.des_events))
         .sum();
 
+    // Service-path pair: a cold prediction pays upload + salvage + analyze
+    // + both simulations; a cached one is a memo lookup. The ratio is the
+    // headline number `vppb serve` exists for, so the full run pins it.
+    let ocean_bytes = binlog::encode(&rec.log).expect("encode ocean");
+    let warm_svc = PredictionService::new(64 * 1024 * 1024);
+    let warm_id = warm_svc.upload(&ocean_bytes).expect("upload").id;
+    let warm_req = PredictRequest::new(&warm_id, 8);
+    warm_svc.predict(&warm_req).expect("warm predict");
+
     let report = Report {
         schema: "vppb-bench-engine/v1",
         mode,
@@ -118,8 +128,24 @@ fn main() {
             bench("sweep_ocean_8_configs", iters, sweep_des, || {
                 sweep_plan(&plan, &rec.log, &configs, 0).expect("sweep");
             }),
+            bench("predict_cold", iters, sim_des, || {
+                let svc = PredictionService::new(64 * 1024 * 1024);
+                let id = svc.upload(&ocean_bytes).expect("upload").id;
+                svc.predict(&PredictRequest::new(&id, 8)).expect("cold predict");
+            }),
+            bench("predict_cached", iters, sim_des, || {
+                warm_svc.predict(&warm_req).expect("cached predict");
+            }),
         ],
     };
+    let cold = report.benches.iter().find(|b| b.name == "predict_cold").unwrap().median_ns;
+    let cached = report.benches.iter().find(|b| b.name == "predict_cached").unwrap().median_ns;
+    let ratio = cold as f64 / cached.max(1) as f64;
+    eprintln!("  cached speed-up: {ratio:.0}x (cold {cold} ns vs cached {cached} ns)");
+    assert!(
+        ratio >= 5.0,
+        "cached predictions must be at least 5x faster than cold (got {ratio:.1}x)"
+    );
     std::fs::write(&out, serde_json::to_string_pretty(&report).expect("serializable") + "\n")
         .expect("write report");
     eprintln!("wrote {out}");

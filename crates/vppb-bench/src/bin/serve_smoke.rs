@@ -1,0 +1,99 @@
+//! Smoke-test driver for `vppb serve`, run by CI's `serve-smoke` job:
+//! start an in-process server, upload a recorded workload, fire 100
+//! concurrent predictions at it, scrape `GET /metrics`, and drain.
+//!
+//! The run fails (non-zero exit via panic) unless every request
+//! succeeds, every response body is bit-identical, the result-cache hit
+//! rate clears 0.9, and the server reports zero 5xx responses.
+
+use vppb_model::binlog;
+use vppb_recorder::{record, RecordOptions};
+use vppb_serve::{client, start, ServeOptions};
+use vppb_workloads::{splash, KernelParams};
+
+/// Predictions fired after the single warming request.
+const PREDICTS: usize = 100;
+/// Client threads the predictions are spread over (divides `PREDICTS`).
+const CLIENTS: usize = 10;
+const _: () = assert!(PREDICTS.is_multiple_of(CLIENTS));
+
+fn json_number(v: &serde::Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("metrics missing `{}`", path.join(".")));
+    }
+    match cur {
+        serde::Value::UInt(n) => *n as f64,
+        serde::Value::Int(n) => *n as f64,
+        serde::Value::Float(f) => *f,
+        other => panic!("metrics `{}` is not a number: {other:?}", path.join(".")),
+    }
+}
+
+fn main() {
+    let server = start(ServeOptions { addr: "127.0.0.1:0".to_string(), ..ServeOptions::default() })
+        .expect("start server");
+    let addr = server.local_addr();
+    eprintln!("serve_smoke: server on {addr}");
+
+    let rec = record(&splash::ocean(KernelParams::scaled(8, 0.05)), &RecordOptions::default())
+        .expect("record ocean");
+    let bytes = binlog::encode(&rec.log).expect("encode");
+    let (status, body) = client::request(addr, "POST", "/logs", &bytes).expect("upload");
+    assert_eq!(status, 200, "upload: {}", String::from_utf8_lossy(&body));
+    let up: serde::Value = serde_json::from_slice(&body).expect("upload json");
+    let id = match up.get("id") {
+        Some(serde::Value::Str(s)) => s.clone(),
+        other => panic!("upload response id: {other:?}"),
+    };
+    eprintln!("serve_smoke: uploaded {} records as {id}", rec.log.len());
+
+    // One warming request, then the measured fleet: with a shared memo the
+    // other `PREDICTS` lookups must all hit.
+    let req = format!("{{\"id\":\"{id}\",\"cpus\":8}}");
+    let (status, reference) =
+        client::request(addr, "POST", "/predict", req.as_bytes()).expect("warm predict");
+    assert_eq!(status, 200, "warm predict: {}", String::from_utf8_lossy(&reference));
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let req = req.clone();
+            let share = PREDICTS / CLIENTS;
+            std::thread::spawn(move || {
+                (0..share)
+                    .map(|_| {
+                        client::request(addr, "POST", "/predict", req.as_bytes()).expect("predict")
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    for h in handles {
+        for (status, body) in h.join().expect("client thread") {
+            assert_eq!(status, 200, "predict: {}", String::from_utf8_lossy(&body));
+            assert_eq!(body, reference, "concurrent responses must be bit-identical");
+            served += 1;
+        }
+    }
+    assert_eq!(served, PREDICTS);
+    eprintln!("serve_smoke: {served} concurrent predictions, all 200 and bit-identical");
+
+    let (status, body) = client::request(addr, "GET", "/metrics", b"").expect("metrics");
+    assert_eq!(status, 200);
+    let metrics: serde::Value = serde_json::from_slice(&body).expect("metrics json");
+    let hit_rate = json_number(&metrics, &["service", "result_cache", "hit_rate"]);
+    let server_5xx = json_number(&metrics, &["http", "server_5xx"]);
+    let predictions = json_number(&metrics, &["service", "predictions"]);
+    eprintln!(
+        "serve_smoke: hit rate {hit_rate:.3} over {predictions} predictions, {server_5xx} 5xx"
+    );
+    assert!(hit_rate > 0.9, "result-cache hit rate {hit_rate} must clear 0.9");
+    assert_eq!(server_5xx, 0.0, "smoke run must produce zero 5xx responses");
+
+    let (status, body) = client::request(addr, "POST", "/shutdown", b"").expect("shutdown");
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("\"draining\":true"));
+    server.join();
+    eprintln!("serve_smoke: drained cleanly — PASS");
+}

@@ -18,6 +18,7 @@ pub mod dispatch;
 pub mod error;
 pub mod event;
 pub mod exec;
+pub mod hash;
 pub mod ids;
 pub mod metrics;
 pub mod salvage;
@@ -35,6 +36,7 @@ pub use dispatch::{DispatchRow, DispatchTable, TS_DEFAULT_PRI, TS_LEVELS, TS_MAX
 pub use error::VppbError;
 pub use event::{EventKind, EventResult, Phase};
 pub use exec::{BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState, Transition};
+pub use hash::{canonical_f64_bits, ContentId, StableHash, StableHasher};
 pub use ids::{parse_obj_id, CpuId, LwpId, ObjKind, SyncObjId, ThreadId};
 pub use metrics::{AuditReport, ObjContention, SchedMetrics, Violation, ViolationKind};
 pub use salvage::{salvage, SalvageEdit, SalvageReport};

@@ -1,0 +1,254 @@
+//! A minimal HTTP/1.1 codec over `std::net::TcpStream` — just enough for
+//! the prediction service's five endpoints, with no external dependency.
+//!
+//! One request per connection (`Connection: close`), which keeps the
+//! server's bounded-queue backpressure exact: one queued connection is
+//! one pending job. Requests larger than the configured body cap are
+//! rejected during the read, before any bytes are buffered past the cap.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path component of the request target (query string untouched).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Look up a header by (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Maps onto a 4xx response.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Socket error or timeout mid-request (per-request deadline).
+    Io(std::io::Error),
+    /// The bytes were not parseable HTTP/1.1.
+    Malformed(String),
+    /// `Content-Length` exceeded the server's cap.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o while reading request: {e}"),
+            ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ReadError::TooLarge(n) => write!(f, "request body of {n} bytes exceeds the cap"),
+        }
+    }
+}
+
+/// Read one request from the stream, honouring its configured read
+/// timeout as the per-request deadline.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    // Accumulate until the blank line; everything after it is body.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ReadError::Malformed("header block exceeds 16 KiB".into()));
+        }
+        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("connection closed before headers ended".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Malformed("non-UTF-8 header block".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!("bad request line `{request_line}`")));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().map_err(|_| ReadError::Malformed("bad Content-Length".into())))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::TooLarge(content_length));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, headers, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the framing ones.
+    pub headers: Vec<(String, String)>,
+    /// The body (always JSON here).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from any serializable value.
+    pub fn json<T: serde::Serialize + ?Sized>(status: u16, value: &T) -> Response {
+        let body = serde_json::to_vec(value)
+            .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}").into_bytes());
+        Response { status, headers: Vec::new(), body }
+    }
+
+    /// An error response with a JSON `{"error": ...}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        #[derive(serde::Serialize)]
+        struct ErrorBody {
+            error: String,
+        }
+        Response::json(status, &ErrorBody { error: message.to_string() })
+    }
+
+    /// Builder-style: attach a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Serialize onto the stream. Errors are swallowed: the peer hanging
+    /// up mid-response must not take a worker down.
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(&self.body);
+        let _ = stream.flush();
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /predict?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = round_trip(raw, 1 << 20).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        assert!(matches!(round_trip(raw, 10), Err(ReadError::TooLarge(100))));
+        let raw = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(round_trip(raw, 10), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_wire_format_is_parseable() {
+        let r = Response::error(503, "queue full").with_header("retry-after", "1");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut all = Vec::new();
+            c.read_to_end(&mut all).unwrap();
+            all
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        r.write_to(&mut stream);
+        drop(stream);
+        let all = t.join().unwrap();
+        let text = String::from_utf8(all).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+    }
+}

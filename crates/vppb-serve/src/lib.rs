@@ -1,0 +1,26 @@
+//! # vppb-serve — prediction as a service
+//!
+//! An std-only HTTP/1.1 front end over the record → salvage → analyze →
+//! simulate pipeline: upload a (possibly damaged) log once, then ask for
+//! predictions and what-if sweeps against it by content id. The expensive
+//! middle of the pipeline is shared across queries through the
+//! content-addressed [`vppb_sim::PlanCache`] plus a whole-response memo,
+//! both keyed by stable content hashes ([`vppb_model::ContentId`],
+//! [`vppb_model::hash`]), so repeated queries are answered orders of
+//! magnitude faster — and, because the simulator is deterministic,
+//! byte-identically.
+//!
+//! Endpoints: `POST /logs`, `POST /predict`, `POST /sweep`,
+//! `GET /metrics`, `GET /healthz`, `POST /shutdown`. See DESIGN.md §6d
+//! for the serving architecture (bounded queue, backpressure, unwind
+//! isolation, graceful drain).
+
+pub mod http;
+pub mod server;
+pub mod service;
+
+pub use server::{client, signals, start, ServeOptions, Server};
+pub use service::{
+    PredictRequest, PredictResponse, PredictionService, ResultCacheStats, ServeError,
+    ServiceMetrics, SweepRequest, SweepResponse, UploadResponse,
+};

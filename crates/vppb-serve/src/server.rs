@@ -1,0 +1,434 @@
+//! The std-only HTTP server around [`PredictionService`].
+//!
+//! Architecture: one non-blocking accept loop feeding a **bounded**
+//! connection queue drained by a fixed pool of worker threads (the same
+//! `std::thread::scope`-era primitives the sweep engine uses — here the
+//! threads are long-lived, so plain `spawn` + join handles).
+//!
+//! * **Backpressure** — a connection arriving while the queue is full is
+//!   answered `503` immediately (by a transient thread, so the accept
+//!   loop never blocks on a slow peer) instead of queueing unboundedly.
+//! * **Isolation** — each request runs inside `catch_unwind`; a panicking
+//!   job (an engine bug, or the deliberate `panic_after_events` fault)
+//!   becomes that request's `500` and nothing else. Workers never die.
+//! * **Deadlines** — per-request socket read/write timeouts bound how
+//!   long a slow or stalled peer can hold a worker.
+//! * **Graceful drain** — on `POST /shutdown` or SIGTERM/SIGINT the
+//!   accept loop stops accepting, queued requests are still served, and
+//!   [`Server::join`] returns once the last worker finishes.
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::service::{PredictionService, ServeError};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`start`]; `vppb serve` flags map onto these 1:1.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:7979`; use port 0 to let the OS pick).
+    pub addr: String,
+    /// Worker threads (0 = one per available core).
+    pub workers: usize,
+    /// Plan-cache byte budget.
+    pub cache_bytes: u64,
+    /// Bounded connection-queue depth; beyond it, arrivals get 503.
+    pub queue_depth: usize,
+    /// Per-request socket read/write deadline, milliseconds.
+    pub request_timeout_ms: u64,
+    /// Largest accepted request body (uploaded logs), bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7979".to_string(),
+            workers: 0,
+            cache_bytes: 64 * 1024 * 1024,
+            queue_depth: 128,
+            request_timeout_ms: 30_000,
+            max_body_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// HTTP-level counters for `GET /metrics`.
+#[derive(Default)]
+struct HttpCounters {
+    requests: AtomicU64,
+    ok_2xx: AtomicU64,
+    client_4xx: AtomicU64,
+    server_5xx: AtomicU64,
+    rejected_503: AtomicU64,
+}
+
+#[derive(serde::Serialize)]
+struct HttpStats {
+    /// Requests a worker picked up.
+    requests: u64,
+    /// Responses in the 2xx class.
+    ok_2xx: u64,
+    /// Responses in the 4xx class.
+    client_4xx: u64,
+    /// Responses in the 5xx class (including backpressure 503s).
+    server_5xx: u64,
+    /// Backpressure rejections alone (also counted in `server_5xx`).
+    rejected_503: u64,
+}
+
+/// The full `GET /metrics` document.
+#[derive(serde::Serialize)]
+struct MetricsDoc {
+    http: HttpStats,
+    service: crate::service::ServiceMetrics,
+}
+
+struct Shared {
+    service: PredictionService,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    /// Set by `POST /shutdown`, [`Server::shutdown`], or a signal.
+    draining: std::sync::atomic::AtomicBool,
+    http: HttpCounters,
+    opts: ServeOptions,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signals::terminated()
+    }
+
+    fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+/// A running server: its bound address plus the thread handles to join.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The address actually bound (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Direct access to the service (in-process callers: benches, tests).
+    pub fn service(&self) -> &PredictionService {
+        &self.shared.service
+    }
+
+    /// Begin a graceful drain: stop accepting, finish what's queued.
+    pub fn shutdown(&self) {
+        self.shared.start_drain();
+    }
+
+    /// Wait until the server has fully drained (after [`Server::shutdown`],
+    /// `POST /shutdown`, or SIGTERM). Joins every thread.
+    pub fn join(self) {
+        let _ = self.accept.join();
+        self.shared.start_drain(); // wake any idle worker
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Bind and start serving. Returns once the listener and workers are up.
+pub fn start(opts: ServeOptions) -> io::Result<Server> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let n_workers = if opts.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+    } else {
+        opts.workers
+    };
+    let shared = Arc::new(Shared {
+        service: PredictionService::new(opts.cache_bytes),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        draining: std::sync::atomic::AtomicBool::new(false),
+        http: HttpCounters::default(),
+        opts,
+    });
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&listener, &shared))
+    };
+    let workers = (0..n_workers)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+    Ok(Server { shared, addr, accept, workers })
+}
+
+/// Poll-accept until drain. Full queue → transient 503 responder thread,
+/// so a slow rejected peer cannot stall the accept loop.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut queue = shared.queue.lock().expect("queue lock");
+                if queue.len() >= shared.opts.queue_depth {
+                    drop(queue);
+                    shared.http.rejected_503.fetch_add(1, Ordering::Relaxed);
+                    shared.http.server_5xx.fetch_add(1, Ordering::Relaxed);
+                    std::thread::spawn(move || reject_overload(stream));
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    shared.available.notify_all();
+}
+
+/// Answer a connection rejected by backpressure. Reads (and discards) the
+/// request head first so the peer sees the 503 rather than a reset.
+fn reject_overload(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = read_request(&mut stream, 64 * 1024);
+    Response::error(503, "job queue is full, retry later")
+        .with_header("retry-after", "1")
+        .write_to(&mut stream);
+}
+
+/// Pop-and-serve until the queue is empty *and* the server is draining.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if shared.is_draining() {
+                    return;
+                }
+                let (q, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock");
+                queue = q;
+            }
+        };
+        serve_connection(stream, shared);
+    }
+}
+
+/// Read, dispatch, respond. The dispatch runs inside an unwind boundary:
+/// a panicking prediction answers 500 and the worker moves on.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let deadline = Duration::from_millis(shared.opts.request_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(deadline));
+    let _ = stream.set_write_timeout(Some(deadline));
+    shared.http.requests.fetch_add(1, Ordering::Relaxed);
+    let response = match read_request(&mut stream, shared.opts.max_body_bytes) {
+        Ok(request) => {
+            // The service owns no lock across a simulation and every
+            // mutex is re-acquired per operation, so observing its state
+            // after an unwind is sound (the sweep engine makes the same
+            // argument for its per-cell isolation).
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, shared)))
+                .unwrap_or_else(|payload| {
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        s
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s
+                    } else {
+                        "non-string panic payload"
+                    };
+                    Response::error(500, &format!("request handler panicked: {msg}"))
+                })
+        }
+        Err(ReadError::TooLarge(n)) => {
+            Response::error(413, &format!("body of {n} bytes exceeds the cap"))
+        }
+        Err(ReadError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+            Response::error(408, "request did not arrive within the deadline")
+        }
+        Err(e) => Response::error(400, &e.to_string()),
+    };
+    match response.status {
+        200..=299 => shared.http.ok_2xx.fetch_add(1, Ordering::Relaxed),
+        400..=499 => shared.http.client_4xx.fetch_add(1, Ordering::Relaxed),
+        _ => shared.http.server_5xx.fetch_add(1, Ordering::Relaxed),
+    };
+    response.write_to(&mut stream);
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/logs") => match shared.service.upload(&request.body) {
+            Ok(up) => Response::json(200, &up),
+            Err(e) => Response::error(e.status(), e.message()),
+        },
+        ("POST", "/predict") => match serde_json::from_slice(&request.body) {
+            Ok(req) => match shared.service.predict(&req) {
+                Ok((response, cached)) => Response::json(200, &*response)
+                    .with_header("x-vppb-cache", if cached { "hit" } else { "miss" }),
+                Err(e) => Response::error(e.status(), e.message()),
+            },
+            Err(e) => Response::error(400, &format!("bad predict request: {e}")),
+        },
+        ("POST", "/sweep") => match serde_json::from_slice(&request.body) {
+            Ok(req) => match shared.service.sweep(&req) {
+                Ok(response) => Response::json(200, &response),
+                Err(e) => Response::error(e.status(), e.message()),
+            },
+            Err(e) => Response::error(400, &format!("bad sweep request: {e}")),
+        },
+        ("GET", "/metrics") => {
+            let http = HttpStats {
+                requests: shared.http.requests.load(Ordering::Relaxed),
+                ok_2xx: shared.http.ok_2xx.load(Ordering::Relaxed),
+                client_4xx: shared.http.client_4xx.load(Ordering::Relaxed),
+                server_5xx: shared.http.server_5xx.load(Ordering::Relaxed),
+                rejected_503: shared.http.rejected_503.load(Ordering::Relaxed),
+            };
+            Response::json(200, &MetricsDoc { http, service: shared.service.metrics() })
+        }
+        ("GET", "/healthz") => {
+            #[derive(serde::Serialize)]
+            struct Health {
+                ok: bool,
+                draining: bool,
+            }
+            Response::json(200, &Health { ok: true, draining: shared.is_draining() })
+        }
+        ("POST", "/shutdown") => {
+            shared.start_drain();
+            #[derive(serde::Serialize)]
+            struct Draining {
+                draining: bool,
+            }
+            Response::json(200, &Draining { draining: true })
+        }
+        (_, "/logs" | "/predict" | "/sweep" | "/metrics" | "/healthz" | "/shutdown") => {
+            Response::error(405, "wrong method for this endpoint")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Map [`ServeError`] → HTTP directly (used by in-process callers).
+impl From<ServeError> for Response {
+    fn from(e: ServeError) -> Response {
+        Response::error(e.status(), e.message())
+    }
+}
+
+/// SIGTERM/SIGINT → graceful drain, with no libc *crate*: std already
+/// links the platform libc, so the C `signal` entry point is declared
+/// here directly. The handler only stores to an atomic (async-signal-safe)
+/// which the accept and worker loops poll.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether a termination signal has been observed.
+    pub fn terminated() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    /// Install SIGTERM/SIGINT handlers that request a graceful drain.
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// No-op off unix; `POST /shutdown` still drains gracefully.
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// A blocking single-request HTTP client, just enough for tests, benches
+/// and the smoke driver to talk to the server without external tooling.
+pub mod client {
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// Send one request; return `(status, body)`.
+    pub fn request(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Vec<u8>)> {
+        let (status, _headers, body) = request_full(addr, method, path, body)?;
+        Ok((status, body))
+    }
+
+    /// One parsed response: `(status, headers, body)`.
+    pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+    /// Send one request; return `(status, headers, body)`.
+    pub fn request_full(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<RawResponse> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: vppb\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+    }
+
+    fn parse_response(raw: &[u8]) -> Option<RawResponse> {
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+        let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        Some((status, headers, raw[head_end + 4..].to_vec()))
+    }
+}

@@ -1,0 +1,630 @@
+//! The prediction service: uploaded logs, the content-addressed plan
+//! cache, and a memo of finished predictions.
+//!
+//! Everything a prediction returns is a pure function of (salvaged log
+//! bytes, simulation parameters) — the simulator is deterministic by
+//! construction (the sweep engine's bit-identical regression test pins
+//! it). The service exploits that twice:
+//!
+//! * the **plan cache** ([`PlanCache`]) shares the `analyze` output per
+//!   distinct log, keyed by the content hash of the salvaged log's
+//!   canonical binary encoding, and
+//! * the **result memo** shares whole prediction responses per
+//!   `(log, params-fingerprint)` pair, so a repeated query costs a hash
+//!   lookup instead of a replay.
+//!
+//! Cached and cold answers are therefore bit-identical by design, and
+//! both are bit-identical to the `vppb predict` CLI, which runs the same
+//! `analyze → simulate_plan(1 CPU) / simulate_plan(N CPUs)` pipeline.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use vppb_model::{
+    binlog, ContentId, Duration, LwpPolicy, SalvageReport, SchedMetrics, SimParams, TraceLog,
+};
+use vppb_recorder::load_lenient_bytes;
+use vppb_sim::{
+    analyze, simulate_plan, simulate_plan_metrics, sweep_plan, CacheStats, PlanCache, SweepGrid,
+    SweepPoint,
+};
+
+/// Entries the result memo holds before being wholesale cleared (the memo
+/// is a pure optimization: clearing costs one recompute per key).
+const RESULT_MEMO_CAP: usize = 8192;
+
+/// A service-level failure, mapped onto an HTTP status by the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request itself is unusable (bad id, bad grid, unsalvageable
+    /// log bytes) — 400.
+    BadRequest(String),
+    /// The named log is not stored — 404.
+    NotFound(String),
+    /// The pipeline failed on stored state — 500.
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::BadRequest(m) | ServeError::NotFound(m) | ServeError::Internal(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+/// `POST /logs` response.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct UploadResponse {
+    /// Content id of the salvaged log — the handle every later query uses.
+    pub id: String,
+    /// Recorded program name.
+    pub program: String,
+    /// Records in the (possibly salvaged) log.
+    pub records: usize,
+    /// Whether the upload needed no recovery at all.
+    pub clean: bool,
+    /// Decoder diagnostics, rendered, in input order.
+    pub diagnostics: Vec<String>,
+    /// Structural repairs applied after decoding.
+    pub salvage: SalvageReport,
+}
+
+/// `POST /predict` request body. Every field except `id` is optional in
+/// the JSON; absent fields take the defaults below.
+#[derive(Debug, Clone)]
+pub struct PredictRequest {
+    /// Content id returned by `POST /logs`.
+    pub id: String,
+    /// Simulated processor count (default 8).
+    pub cpus: u32,
+    /// Fixed LWP-pool size (default: one LWP per thread, like the CLI).
+    pub lwps: Option<u32>,
+    /// Cross-CPU communication delay in µs (default: machine default).
+    pub comm_delay_us: Option<u64>,
+    /// Test/ops knob: hold the worker this long before predicting, to
+    /// make deadlines and backpressure observable deterministically.
+    pub delay_ms: u64,
+    /// Test knob: arm the engine's panic fault after N events — the
+    /// request must die with a 500 while the server keeps serving.
+    pub panic_after_events: Option<u64>,
+}
+
+/// Read an optional field from a JSON object value.
+fn opt_field<T: serde::Deserialize>(
+    v: &serde::Value,
+    key: &str,
+) -> Result<Option<T>, serde::DeError> {
+    match v.get(key) {
+        None | Some(serde::Value::Null) => Ok(None),
+        Some(x) => T::from_value(x).map(Some),
+    }
+}
+
+impl serde::Deserialize for PredictRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::DeError::msg("predict request must be a JSON object"));
+        }
+        Ok(PredictRequest {
+            id: opt_field::<String>(v, "id")?
+                .ok_or_else(|| serde::DeError::msg("missing field `id`"))?,
+            cpus: opt_field(v, "cpus")?.unwrap_or(8),
+            lwps: opt_field(v, "lwps")?,
+            comm_delay_us: opt_field(v, "comm_delay_us")?,
+            delay_ms: opt_field(v, "delay_ms")?.unwrap_or(0),
+            panic_after_events: opt_field(v, "panic_after_events")?,
+        })
+    }
+}
+
+impl PredictRequest {
+    /// A predict request with defaults for everything but id and CPUs.
+    pub fn new(id: impl Into<String>, cpus: u32) -> PredictRequest {
+        PredictRequest {
+            id: id.into(),
+            cpus,
+            lwps: None,
+            comm_delay_us: None,
+            delay_ms: 0,
+            panic_after_events: None,
+        }
+    }
+
+    /// The simulation parameters this request describes. Mirrors the
+    /// `vppb predict`/`simulate` flag handling so service and CLI agree.
+    fn params(&self) -> SimParams {
+        let mut params = SimParams::cpus(self.cpus);
+        if let Some(l) = self.lwps {
+            params.machine.lwps = LwpPolicy::Fixed(l);
+        }
+        if let Some(us) = self.comm_delay_us {
+            params.machine.comm_delay = Duration::from_micros(us);
+        }
+        params.faults.panic_after_events = self.panic_after_events;
+        params
+    }
+}
+
+/// `POST /predict` response. Deliberately carries no cache marker: hit
+/// and miss answers must be byte-identical (the marker travels as the
+/// `x-vppb-cache` response header instead).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PredictResponse {
+    /// Content id the prediction is for.
+    pub id: String,
+    /// Recorded program name.
+    pub program: String,
+    /// Simulated processor count.
+    pub cpus: u32,
+    /// Predicted N-CPU wall time, virtual ns.
+    pub wall_ns: u64,
+    /// Predicted 1-CPU wall time the speed-up divides by, virtual ns.
+    pub uni_wall_ns: u64,
+    /// Table-1-style speed-up (1-CPU wall / N-CPU wall).
+    pub speedup: f64,
+    /// Whether the N-CPU replay's conservation-law audit came back clean.
+    pub audit_clean: bool,
+    /// Discrete-event steps of the N-CPU replay.
+    pub des_events: u64,
+}
+
+/// `POST /sweep` request body: a [`SweepGrid`] over a stored log.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Content id returned by `POST /logs`.
+    pub id: String,
+    /// Simulated processor counts (default `[1, 2, 4, 8]`).
+    pub cpus: Vec<u32>,
+    /// LWP policies: `"per-thread"`, `"follow"`, or a fixed count.
+    pub lwps: Option<Vec<String>>,
+    /// Cross-CPU communication delays in µs.
+    pub comm_delay_us: Option<Vec<u64>>,
+    /// Worker threads for the sweep (0 = all cores).
+    pub jobs: usize,
+}
+
+impl serde::Deserialize for SweepRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::DeError::msg("sweep request must be a JSON object"));
+        }
+        Ok(SweepRequest {
+            id: opt_field::<String>(v, "id")?
+                .ok_or_else(|| serde::DeError::msg("missing field `id`"))?,
+            cpus: opt_field(v, "cpus")?.unwrap_or_else(|| vec![1, 2, 4, 8]),
+            lwps: opt_field(v, "lwps")?,
+            comm_delay_us: opt_field(v, "comm_delay_us")?,
+            jobs: opt_field(v, "jobs")?.unwrap_or(0),
+        })
+    }
+}
+
+/// `POST /sweep` response: the speed-up surface.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SweepResponse {
+    /// Content id the sweep ran over.
+    pub id: String,
+    /// Recorded program name.
+    pub program: String,
+    /// Predicted 1-CPU wall time the speed-ups divide by, ns.
+    pub uni_wall_ns: u64,
+    /// Distinct configurations simulated after deduplication.
+    pub unique_runs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// One row per grid cell, in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Result-memo counters for `GET /metrics`.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ResultCacheStats {
+    /// Predictions answered from the memo.
+    pub hits: u64,
+    /// Predictions that had to simulate.
+    pub misses: u64,
+    /// Responses currently memoized.
+    pub entries: usize,
+    /// Hits over lookups, 0.0 before the first lookup.
+    pub hit_rate: f64,
+}
+
+/// `GET /metrics` service half (the server wraps HTTP counters around it).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ServiceMetrics {
+    /// Distinct logs stored.
+    pub logs_stored: usize,
+    /// `POST /logs` requests accepted.
+    pub uploads: u64,
+    /// Predictions served (hit or cold).
+    pub predictions: u64,
+    /// Sweeps served.
+    pub sweeps: u64,
+    /// Result-memo counters.
+    pub result_cache: ResultCacheStats,
+    /// Plan-cache counters.
+    pub plan_cache: CacheStats,
+    /// Cold runs whose conservation-law audit came back clean.
+    pub audits_clean: u64,
+    /// Cold runs whose audit reported a violation.
+    pub audits_violated: u64,
+    /// Scheduling counters aggregated over every cold prediction run
+    /// (sums; queue depths and thread counts as maxima; the per-object
+    /// and per-CPU vectors are left empty in the rollup).
+    pub sched: SchedMetrics,
+}
+
+/// A stored upload: the salvaged log plus what recovery reported.
+struct StoredLog {
+    log: TraceLog,
+    salvage: SalvageReport,
+    diagnostics: Vec<String>,
+}
+
+#[derive(Default)]
+struct Counters {
+    uploads: u64,
+    predictions: u64,
+    sweeps: u64,
+    result_hits: u64,
+    result_misses: u64,
+    audits_clean: u64,
+    audits_violated: u64,
+    sched: SchedMetrics,
+}
+
+/// Fold one cold run's counters into the rollup.
+fn absorb(agg: &mut SchedMetrics, m: &SchedMetrics) {
+    agg.dispatches += m.dispatches;
+    agg.preemptions += m.preemptions;
+    agg.migrations += m.migrations;
+    agg.uthread_switches += m.uthread_switches;
+    agg.lwp_switches += m.lwp_switches;
+    agg.agings += m.agings;
+    agg.blocks += m.blocks;
+    agg.wakeups += m.wakeups;
+    agg.max_kernel_rq_depth = agg.max_kernel_rq_depth.max(m.max_kernel_rq_depth);
+    agg.max_user_rq_depth = agg.max_user_rq_depth.max(m.max_user_rq_depth);
+    agg.wall_ns += m.wall_ns;
+    agg.total_cpu_ns += m.total_cpu_ns;
+    agg.des_events += m.des_events;
+    agg.n_threads = agg.n_threads.max(m.n_threads);
+}
+
+/// The shared, thread-safe service state behind every endpoint.
+pub struct PredictionService {
+    logs: Mutex<HashMap<ContentId, Arc<StoredLog>>>,
+    plans: PlanCache,
+    results: Mutex<HashMap<(ContentId, u64), Arc<PredictResponse>>>,
+    uni_walls: Mutex<HashMap<ContentId, u64>>,
+    counters: Mutex<Counters>,
+}
+
+impl PredictionService {
+    /// A fresh service whose plan cache holds at most `cache_bytes`.
+    pub fn new(cache_bytes: u64) -> PredictionService {
+        PredictionService {
+            logs: Mutex::new(HashMap::new()),
+            plans: PlanCache::new(cache_bytes),
+            results: Mutex::new(HashMap::new()),
+            uni_walls: Mutex::new(HashMap::new()),
+            counters: Mutex::new(Counters::default()),
+        }
+    }
+
+    /// Ingest raw log bytes: lenient salvage, canonical re-encode, content
+    /// hash, store. Idempotent — re-uploading the same content returns the
+    /// same id without replacing the stored log.
+    pub fn upload(&self, raw: &[u8]) -> Result<UploadResponse, ServeError> {
+        let loaded = load_lenient_bytes(raw)
+            .map_err(|e| ServeError::BadRequest(format!("unsalvageable log: {e}")))?;
+        // The id is the hash of the *salvaged* log's canonical binary
+        // encoding: two damaged uploads that salvage to the same log — or
+        // the same log in text vs binary form — share an id, a plan, and
+        // every memoized prediction.
+        let canonical = binlog::encode(&loaded.log)
+            .map_err(|e| ServeError::Internal(format!("canonical encode: {e}")))?;
+        let id = ContentId::of_bytes(&canonical);
+        let response = UploadResponse {
+            id: id.to_string(),
+            program: loaded.log.header.program.clone(),
+            records: loaded.log.len(),
+            clean: loaded.is_pristine(),
+            diagnostics: loaded.diagnostics.iter().map(|d| d.to_string()).collect(),
+            salvage: loaded.salvage.clone(),
+        };
+        self.logs.lock().expect("logs lock").entry(id).or_insert_with(|| {
+            Arc::new(StoredLog {
+                log: loaded.log,
+                salvage: loaded.salvage,
+                diagnostics: response.diagnostics.clone(),
+            })
+        });
+        self.counters.lock().expect("counters lock").uploads += 1;
+        Ok(response)
+    }
+
+    /// What recovery reported for a stored log (`GET`-style lookup used
+    /// by tests; the upload response carries the same data).
+    pub fn salvage_of(&self, id: &str) -> Result<(SalvageReport, Vec<String>), ServeError> {
+        let id = self.parse_id(id)?;
+        let stored = self.stored(id)?;
+        Ok((stored.salvage.clone(), stored.diagnostics.clone()))
+    }
+
+    /// Serve one prediction. Returns the response and whether it came from
+    /// the result memo.
+    pub fn predict(
+        &self,
+        req: &PredictRequest,
+    ) -> Result<(Arc<PredictResponse>, bool), ServeError> {
+        let id = self.parse_id(&req.id)?;
+        let stored = self.stored(id)?;
+        if req.delay_ms > 0 {
+            // Documented test/ops knob; occupies the worker like a long
+            // replay would, making queue backpressure deterministic.
+            std::thread::sleep(std::time::Duration::from_millis(req.delay_ms));
+        }
+        let params = req.params();
+        let key = (id, params.fingerprint());
+        if let Some(hit) = self.results.lock().expect("results lock").get(&key).cloned() {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.predictions += 1;
+            c.result_hits += 1;
+            return Ok((hit, true));
+        }
+        self.counters.lock().expect("counters lock").result_misses += 1;
+
+        let (plan, _) = self
+            .plans
+            .get_or_build(id, || analyze(&stored.log))
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        // Copy out of the guard: a guard in the match scrutinee would
+        // live across the `None` arm and deadlock on the re-lock below.
+        let memoized_uni = self.uni_walls.lock().expect("uni lock").get(&id).copied();
+        let uni_wall_ns = match memoized_uni {
+            Some(w) => w,
+            None => {
+                let uni = simulate_plan(&plan, &stored.log, &SimParams::cpus(1))
+                    .map_err(|e| ServeError::Internal(e.to_string()))?;
+                let w = uni.wall_time.nanos();
+                self.uni_walls.lock().expect("uni lock").insert(id, w);
+                w
+            }
+        };
+        let (multi, metrics) = simulate_plan_metrics(&plan, &stored.log, &params)
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        let wall_ns = multi.wall_time.nanos();
+        let response = Arc::new(PredictResponse {
+            id: req.id.clone(),
+            program: stored.log.header.program.clone(),
+            cpus: req.cpus,
+            wall_ns,
+            uni_wall_ns,
+            speedup: if wall_ns == 0 { 0.0 } else { uni_wall_ns as f64 / wall_ns as f64 },
+            audit_clean: multi.audit.is_clean(),
+            des_events: multi.des_events,
+        });
+        {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.predictions += 1;
+            if response.audit_clean {
+                c.audits_clean += 1;
+            } else {
+                c.audits_violated += 1;
+            }
+            absorb(&mut c.sched, &metrics);
+        }
+        let mut results = self.results.lock().expect("results lock");
+        if results.len() >= RESULT_MEMO_CAP {
+            results.clear();
+        }
+        results.insert(key, Arc::clone(&response));
+        Ok((response, false))
+    }
+
+    /// Serve one what-if sweep, reusing the cached plan.
+    pub fn sweep(&self, req: &SweepRequest) -> Result<SweepResponse, ServeError> {
+        let id = self.parse_id(&req.id)?;
+        let stored = self.stored(id)?;
+        if req.cpus.is_empty() {
+            return Err(ServeError::BadRequest("sweep needs at least one CPU count".into()));
+        }
+        let mut grid = SweepGrid::over_cpus(req.cpus.clone());
+        if let Some(specs) = &req.lwps {
+            let mut lwps = Vec::new();
+            for s in specs {
+                lwps.push(match s.as_str() {
+                    "per-thread" => LwpPolicy::PerThread,
+                    "follow" => LwpPolicy::FollowProgram,
+                    n => LwpPolicy::Fixed(
+                        n.parse()
+                            .map_err(|_| ServeError::BadRequest(format!("bad lwp policy `{n}`")))?,
+                    ),
+                });
+            }
+            grid = grid.with_lwps(lwps);
+        }
+        if let Some(delays) = &req.comm_delay_us {
+            let delays: Vec<Duration> = delays.iter().copied().map(Duration::from_micros).collect();
+            grid = grid.with_comm_delays(delays);
+        }
+        let configs = grid.configs();
+        let (plan, _) = self
+            .plans
+            .get_or_build(id, || analyze(&stored.log))
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        let outcome = sweep_plan(&plan, &stored.log, &configs, req.jobs)
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.sweeps += 1;
+            for p in &outcome.points {
+                if p.error.is_none() && !p.deduplicated {
+                    if p.audit_clean {
+                        c.audits_clean += 1;
+                    } else {
+                        c.audits_violated += 1;
+                    }
+                }
+            }
+        }
+        Ok(SweepResponse {
+            id: req.id.clone(),
+            program: stored.log.header.program.clone(),
+            uni_wall_ns: outcome.uni_wall.nanos(),
+            unique_runs: outcome.unique_runs,
+            workers: outcome.workers,
+            points: outcome.points,
+        })
+    }
+
+    /// The service half of `GET /metrics`.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let c = self.counters.lock().expect("counters lock");
+        let lookups = c.result_hits + c.result_misses;
+        ServiceMetrics {
+            logs_stored: self.logs.lock().expect("logs lock").len(),
+            uploads: c.uploads,
+            predictions: c.predictions,
+            sweeps: c.sweeps,
+            result_cache: ResultCacheStats {
+                hits: c.result_hits,
+                misses: c.result_misses,
+                entries: self.results.lock().expect("results lock").len(),
+                hit_rate: if lookups == 0 { 0.0 } else { c.result_hits as f64 / lookups as f64 },
+            },
+            plan_cache: self.plans.stats(),
+            audits_clean: c.audits_clean,
+            audits_violated: c.audits_violated,
+            sched: c.sched.clone(),
+        }
+    }
+
+    fn parse_id(&self, id: &str) -> Result<ContentId, ServeError> {
+        id.parse().map_err(ServeError::BadRequest)
+    }
+
+    fn stored(&self, id: ContentId) -> Result<Arc<StoredLog>, ServeError> {
+        self.logs
+            .lock()
+            .expect("logs lock")
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| ServeError::NotFound(format!("no stored log with id `{id}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_recorder::{record, RecordOptions};
+    use vppb_threads::AppBuilder;
+
+    fn recorded_bytes() -> Vec<u8> {
+        let mut b = AppBuilder::new("svc", "svc.c");
+        let w = b.func("w", |f| f.work_us(200));
+        b.main(move |f| {
+            let s = f.slot();
+            f.loop_n(3, |f| f.create_into(w, s));
+            f.loop_n(3, |f| f.join(s));
+        });
+        let log = record(&b.build().unwrap(), &RecordOptions::default()).unwrap().log;
+        binlog::encode(&log).unwrap()
+    }
+
+    #[test]
+    fn upload_predict_and_memoize() {
+        let svc = PredictionService::new(1 << 20);
+        let up = svc.upload(&recorded_bytes()).unwrap();
+        assert!(up.clean);
+        assert_eq!(up.program, "svc");
+
+        let req = PredictRequest::new(&up.id, 4);
+        let (cold, hit) = svc.predict(&req).unwrap();
+        assert!(!hit);
+        let (warm, hit) = svc.predict(&req).unwrap();
+        assert!(hit);
+        // Bit-identical: the memo returns the same allocation, and the
+        // serialized bodies match byte for byte.
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(serde_json::to_vec(&*cold).unwrap(), serde_json::to_vec(&*warm).unwrap());
+        assert!(cold.speedup > 1.0, "3 parallel workers must speed up");
+
+        let m = svc.metrics();
+        assert_eq!(m.predictions, 2);
+        assert_eq!(m.result_cache.hits, 1);
+        assert_eq!(m.plan_cache.misses, 1);
+        assert!(m.sched.des_events > 0, "cold run feeds the rollup");
+    }
+
+    #[test]
+    fn upload_is_idempotent_and_content_addressed() {
+        let svc = PredictionService::new(1 << 20);
+        let bytes = recorded_bytes();
+        let a = svc.upload(&bytes).unwrap();
+        let b = svc.upload(&bytes).unwrap();
+        assert_eq!(a.id, b.id);
+        assert_eq!(svc.metrics().logs_stored, 1);
+        assert_eq!(svc.metrics().uploads, 2);
+    }
+
+    #[test]
+    fn unknown_id_is_not_found_and_bad_id_is_bad_request() {
+        let svc = PredictionService::new(1 << 20);
+        let missing = ContentId::of_bytes(b"never uploaded").to_string();
+        let err = svc.predict(&PredictRequest::new(missing, 2)).unwrap_err();
+        assert_eq!(err.status(), 404);
+        let err = svc.predict(&PredictRequest::new("not-a-hash", 2)).unwrap_err();
+        assert_eq!(err.status(), 400);
+        let err = svc.upload(b"complete garbage that cannot be salvaged").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn sweep_reuses_the_cached_plan() {
+        let svc = PredictionService::new(1 << 20);
+        let up = svc.upload(&recorded_bytes()).unwrap();
+        svc.predict(&PredictRequest::new(&up.id, 2)).unwrap();
+        let sweep = svc
+            .sweep(&SweepRequest {
+                id: up.id.clone(),
+                cpus: vec![1, 2, 4],
+                lwps: None,
+                comm_delay_us: None,
+                jobs: 2,
+            })
+            .unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        assert!(sweep.points.iter().all(|p| p.error.is_none()));
+        let m = svc.metrics();
+        assert_eq!(m.plan_cache.misses, 1, "sweep hit the plan from predict");
+        assert_eq!(m.plan_cache.hits, 1);
+    }
+
+    #[test]
+    fn predict_request_json_defaults_apply() {
+        let req: PredictRequest =
+            serde_json::from_str("{\"id\": \"abc123\", \"cpus\": 4}").unwrap();
+        assert_eq!((req.cpus, req.delay_ms, req.lwps), (4, 0, None));
+        let req: PredictRequest = serde_json::from_str("{\"id\": \"abc123\"}").unwrap();
+        assert_eq!(req.cpus, 8);
+        assert!(serde_json::from_str::<PredictRequest>("{\"cpus\": 4}").is_err());
+    }
+}

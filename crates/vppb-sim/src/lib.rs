@@ -10,6 +10,7 @@
 //! the requested configuration with [`rules::ReplayRules`] applying the
 //! dynamic condition-variable rules (§6's barrier model).
 
+pub mod cache;
 pub mod divergence;
 pub mod plan;
 pub mod replayer;
@@ -18,13 +19,14 @@ pub mod sim;
 pub mod sorter;
 pub mod sweep;
 
+pub use cache::{CacheStats, PlanCache};
 pub use divergence::{Divergence, DivergenceReport};
 pub use plan::{CvEpisode, CvPlan, ReplayOp, ReplayPlan, ThreadPlan};
 pub use replayer::Replayer;
 pub use rules::ReplayRules;
 pub use sim::{
     build_replay_app, predict_speedup, simulate, simulate_metrics, simulate_plan,
-    simulate_plan_with, SimulatedExecution,
+    simulate_plan_metrics, simulate_plan_with, SimulatedExecution,
 };
 pub use sorter::analyze;
 pub use sweep::{sweep, sweep_plan, SweepConfig, SweepGrid, SweepOutcome, SweepPoint};

@@ -94,6 +94,24 @@ impl ReplayPlan {
     pub fn thread(&self, id: ThreadId) -> Option<&ThreadPlan> {
         self.threads.iter().find(|t| t.id == id)
     }
+
+    /// Approximate resident size of this plan in bytes — the charge the
+    /// byte-budgeted [`crate::cache::PlanCache`] accounts an entry at.
+    /// Counts the dominant owned allocations (op vectors, the create
+    /// map, condvar seeds); constant per-struct overhead is folded into
+    /// a fixed base so even an empty plan has a nonzero cost.
+    pub fn approx_bytes(&self) -> u64 {
+        let ops: usize = self
+            .threads
+            .iter()
+            .map(|t| t.ops.len() * std::mem::size_of::<ReplayOp>() + t.start_fn.len() + 64)
+            .sum();
+        let create = self.create_map.len() * 32;
+        let cvs: usize =
+            self.cvs.iter().map(|cv| (cv.episodes.len() + cv.signal_released.len()) * 8 + 48).sum();
+        let sems = self.sem_initial.len() * 4;
+        (256 + ops + create + cvs + sems) as u64
+    }
 }
 
 /// Convenience for tests: does an op sequence contain a given call?

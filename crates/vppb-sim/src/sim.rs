@@ -164,6 +164,21 @@ pub fn simulate_metrics(
     Ok((exec, metrics.into_metrics()))
 }
 
+/// Like [`simulate_metrics`], reusing a precomputed plan — the prediction
+/// service pulls plans from its content-addressed cache and still wants
+/// the scheduling counters of every cold run for its `/metrics` rollup.
+pub fn simulate_plan_metrics(
+    plan: &ReplayPlan,
+    log: &TraceLog,
+    params: &SimParams,
+) -> Result<(SimulatedExecution, SchedMetrics), VppbError> {
+    let mut metrics = MetricsObserver::new();
+    let result = run_replay(plan, log, params, Some(&mut metrics))?;
+    metrics.finish(&result);
+    let exec = to_execution(plan, params, result);
+    Ok((exec, metrics.into_metrics()))
+}
+
 /// Execute the replay on the engine.
 fn run_replay(
     plan: &ReplayPlan,

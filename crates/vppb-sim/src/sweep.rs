@@ -17,9 +17,7 @@
 use crate::plan::ReplayPlan;
 use crate::sim::{build_replay_app, run_replay_on, to_execution, SimulatedExecution};
 use crate::sorter::analyze;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use vppb_model::{
@@ -176,13 +174,16 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// Stable fingerprint of a configuration, for deduplication. `SimParams`
-/// has no `Hash` (it carries `f64` cost factors), but its derived `Debug`
-/// covers every field, so hashing the rendering is an exact identity.
+/// Stable fingerprint of a configuration, for deduplication.
+///
+/// Delegates to [`SimParams::fingerprint`], which hashes every field
+/// explicitly (floats through `f64::to_bits` with `-0.0` and NaN
+/// canonicalized). The previous implementation hashed the derived
+/// `Debug` rendering, which aliased configurations whenever two
+/// distinct values formatted alike (`0.0` vs `-0.0`) and split
+/// identical ones whenever formatting changed.
 fn fingerprint(params: &SimParams) -> u64 {
-    let mut h = DefaultHasher::new();
-    format!("{params:?}").hash(&mut h);
-    h.finish()
+    params.fingerprint()
 }
 
 /// Sweep `configs` over `log` on up to `workers` threads (`0` = all

@@ -179,6 +179,45 @@ fn panicking_cell_is_contained_and_siblings_match_serial() {
     }
 }
 
+/// Regression (fingerprint aliasing): two grid cells that differ *only*
+/// in one `f64` cost factor used to be at the mercy of `Debug`
+/// formatting for their dedup identity. Field-wise hashing must keep
+/// them distinct — each gets its own simulation — while `-0.0` vs `0.0`
+/// (equal values with different bit patterns and different renderings)
+/// must still collapse into one job.
+#[test]
+fn fingerprint_never_aliases_cost_factors_and_folds_signed_zero() {
+    let log = record_app(&fork_join_app(3, 10));
+
+    // Differ only in the bound-sync cost factor: two unique jobs.
+    let mut configs = SweepGrid::over_cpus([4, 4]).configs();
+    configs[1].params.machine.bound_costs.sync_factor = 11.8;
+    configs[1].label = "4p sync=11.8".into();
+    let outcome = sweep(&log, &configs, 2).expect("sweep");
+    assert_eq!(outcome.unique_runs, 3, "reference + two distinct 4p cells");
+    assert!(
+        !outcome.points[1].deduplicated,
+        "a config differing in one cost factor must not alias its sibling"
+    );
+
+    // Differ only in the sign of a zero cost factor: equal configs, one job.
+    let mut configs = SweepGrid::over_cpus([4, 4]).configs();
+    configs[0].params.machine.migration_penalty = vppb_model::Duration::ZERO;
+    configs[0].params.machine.bound_costs.create_factor = 0.0;
+    configs[1].params.machine.bound_costs.create_factor = -0.0;
+    assert_eq!(configs[0].params, configs[1].params, "-0.0 == 0.0");
+    let outcome = sweep(&log, &configs, 2).expect("sweep");
+    assert_eq!(outcome.unique_runs, 2, "reference + one shared 4p cell");
+    assert!(outcome.points[1].deduplicated, "0.0 and -0.0 must share one job");
+
+    // And the fingerprint itself is a stable pure function of the fields.
+    let a = SimParams::cpus(4);
+    let mut b = SimParams::cpus(4);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    b.machine.bound_costs.sync_factor += 1e-9;
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
 #[test]
 fn failing_cell_is_error_valued_without_a_panic() {
     let log = record_app(&fork_join_app(2, 5));

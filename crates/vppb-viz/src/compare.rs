@@ -45,10 +45,15 @@ pub struct Comparison {
 
 impl Comparison {
     /// The thread whose end time diverges most (by |relative error|).
+    ///
+    /// Sorted with [`f64::total_cmp`]: [`rel`] is total but can yield
+    /// `inf` (a thread the reference says finished instantly), and a
+    /// comparison must never panic on the values its own report carries.
     pub fn worst_thread(&self) -> Option<&ThreadDelta> {
-        self.threads.iter().filter(|t| t.only_in.is_none()).max_by(|x, y| {
-            x.end_error.abs().partial_cmp(&y.end_error.abs()).expect("errors are finite")
-        })
+        self.threads
+            .iter()
+            .filter(|t| t.only_in.is_none())
+            .max_by(|x, y| x.end_error.abs().total_cmp(&y.end_error.abs()))
     }
 
     /// Largest per-thread |end-time error|.
@@ -57,11 +62,21 @@ impl Comparison {
     }
 }
 
-fn rel(a: Time, b: Time) -> f64 {
-    if b == Time::ZERO {
-        return 0.0;
+/// Relative error `(a - b) / b`, made total over zero-duration reference
+/// values: `0/0` is a perfect match (`0.0`), and `x/0` for `x > 0` is an
+/// infinite relative error (`+inf`) rather than a silent `0.0` that would
+/// hide the divergence — a zero-CPU-time reference thread is exactly the
+/// case where the prediction being nonzero matters most. Callers sort
+/// with [`f64::total_cmp`], so the infinity is ordered, not a panic.
+fn rel_nanos(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        return if a == 0 { 0.0 } else { f64::INFINITY };
     }
-    (a.nanos() as f64 - b.nanos() as f64) / b.nanos() as f64
+    (a as f64 - b as f64) / b as f64
+}
+
+fn rel(a: Time, b: Time) -> f64 {
+    rel_nanos(a.nanos(), b.nanos())
 }
 
 /// Compare two executions of the same program.
@@ -76,14 +91,7 @@ pub fn compare(a_label: &str, a: &ExecutionTrace, b_label: &str, b: &ExecutionTr
                 a_ended: ta.ended,
                 b_ended: tb.ended,
                 end_error: rel(ta.ended, tb.ended),
-                cpu_error: {
-                    let (x, y) = (ta.cpu_time.nanos() as f64, tb.cpu_time.nanos() as f64);
-                    if y == 0.0 {
-                        0.0
-                    } else {
-                        (x - y) / y
-                    }
-                },
+                cpu_error: rel_nanos(ta.cpu_time.nanos(), tb.cpu_time.nanos()),
                 only_in: None,
             }),
             (Some(ta), None) => threads.push(ThreadDelta {
@@ -212,6 +220,36 @@ mod tests {
         let c = compare("a", &a, "b", &a);
         assert_eq!(c.wall_error, 0.0);
         assert_eq!(c.max_thread_error(), 0.0);
+    }
+
+    /// Regression (zero-duration `worst_thread`): a reference thread with
+    /// zero end time / zero CPU time used to make the error ratios
+    /// non-finite and `worst_thread`'s `partial_cmp(..).expect(..)` a
+    /// panic waiting to happen. `rel` is now total (`0/0 = 0`, `x/0 =
+    /// +inf`) and the sort uses `total_cmp`, so the comparison completes
+    /// and the infinitely-mispredicted thread surfaces as the worst.
+    #[test]
+    fn zero_duration_reference_thread_does_not_panic_worst_thread() {
+        let a = trace(&[(1, 100), (4, 50)], 100);
+        let mut b = trace(&[(1, 100), (4, 0)], 100);
+        let t4 = b.threads.get_mut(&ThreadId(4)).unwrap();
+        assert_eq!(t4.ended, Time::ZERO);
+        assert_eq!(t4.cpu_time, Duration::ZERO);
+
+        let c = compare("pred", &a, "real", &b);
+        let worst = c.worst_thread().expect("comparison completes without a panic");
+        assert_eq!(worst.thread, ThreadId(4), "the ∞-relative-error thread is worst");
+        assert_eq!(worst.end_error, f64::INFINITY);
+        assert_eq!(worst.cpu_error, f64::INFINITY);
+        assert_eq!(c.max_thread_error(), f64::INFINITY);
+        // Rendering the report must not panic either.
+        assert!(render(&c).contains("T4"));
+
+        // Both sides zero: a perfect (0.0) match, not NaN.
+        let z = trace(&[(1, 0)], 0);
+        let c = compare("pred", &z, "real", &z);
+        assert_eq!(c.wall_error, 0.0);
+        assert_eq!(c.worst_thread().unwrap().end_error, 0.0);
     }
 
     #[test]

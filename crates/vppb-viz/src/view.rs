@@ -29,6 +29,16 @@ impl ZoomStep {
             ZoomStep::X3 => 3.0,
         }
     }
+
+    /// The factor as an exact rational `(numerator, denominator)` — zoom
+    /// arithmetic is done in integers so that spans above 2^53 ns (where
+    /// `f64` loses nanosecond resolution) scale exactly.
+    pub fn ratio(self) -> (u128, u128) {
+        match self {
+            ZoomStep::X1_5 => (3, 2),
+            ZoomStep::X3 => (3, 1),
+        }
+    }
 }
 
 /// Which threads the execution-flow graph shows.
@@ -67,17 +77,24 @@ impl View {
     }
 
     /// Zoom in by a step, keeping the left edge fixed (as the paper's tool
-    /// does).
+    /// does). Pure integer arithmetic (`span·2/3` or `span/3`, floored at
+    /// 1 ns): the old `nanos() as f64 / factor` round-trip lost precision
+    /// above 2^53 ns and silently truncated on the way back to `u64`.
     pub fn zoom_in(&mut self, step: ZoomStep) {
-        let span = self.span().nanos() as f64 / step.factor();
-        self.to = self.from + vppb_model::Duration(span.max(1.0) as u64);
+        let (num, den) = step.ratio();
+        let span = (self.span().nanos() as u128 * den / num).max(1) as u64;
+        self.to = self.from + vppb_model::Duration(span);
     }
 
     /// Zoom out by a step, keeping the left edge fixed; clamped to the
-    /// run's end by renderers.
+    /// run's end. Integer arithmetic in `u128` (`span·3/2` or `span·3`
+    /// cannot overflow before the clamp), exact for any span.
     pub fn zoom_out(&mut self, step: ZoomStep, wall: Time) {
-        let span = self.span().nanos() as f64 * step.factor();
-        self.to = Time::min_of(self.from + vppb_model::Duration(span as u64), wall);
+        let (num, den) = step.ratio();
+        let span = self.span().nanos() as u128 * num / den;
+        // Clamp to the run's end but never below the (fixed) left edge.
+        let cap = (wall.nanos() as u128).max(self.from.nanos() as u128);
+        self.to = Time((self.from.nanos() as u128 + span).min(cap) as u64);
     }
 
     /// Select an interval (marked in the parallelism graph; the execution

@@ -8,7 +8,7 @@ use vppb_model::{
     BlockReason, CpuId, Duration, ExecutionTrace, LwpId, SourceMap, SyncObjId, ThreadId,
     ThreadInfo, ThreadState, Time, Transition,
 };
-use vppb_viz::{ansi, svg, AnsiOptions, LaneState, ThreadFilter, Timeline, View};
+use vppb_viz::{ansi, svg, AnsiOptions, LaneState, ThreadFilter, Timeline, View, ZoomStep};
 
 fn arb_state() -> impl Strategy<Value = ThreadState> {
     prop_oneof![
@@ -137,6 +137,62 @@ proptest! {
         for t in visible {
             let lane = tl.lane(t).unwrap();
             prop_assert!(lane.active_in(view.from, view.to));
+        }
+    }
+}
+
+// Regression (zoom precision): the 1.5×/3× zoom steps used to round-trip
+// the span through `f64`, losing nanoseconds above 2^53 ns and silently
+// truncating on the way back. The steps now scale in integer arithmetic;
+// these properties pin the exact rational semantics over the full `u64`
+// time domain.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn zoom_round_trip_is_exact_integer_arithmetic(
+        from in proptest::strategy::any::<u64>(),
+        span in proptest::strategy::any::<u64>(),
+        which in 0u8..2,
+        clamp_wall in proptest::strategy::any::<bool>(),
+    ) {
+        // A window anywhere in the u64 nanosecond domain, including far
+        // above 2^53 where f64 cannot represent adjacent nanoseconds.
+        let from = Time(from);
+        let to = Time(from.nanos().saturating_add(span));
+        let span = to.nanos() - from.nanos(); // post-saturation truth
+        let step = if which == 0 { ZoomStep::X1_5 } else { ZoomStep::X3 };
+        let (num, den) = step.ratio();
+        let wall = if clamp_wall { to } else { Time::MAX };
+
+        let mut v = View { from, to, filter: ThreadFilter::All };
+        v.zoom_in(step);
+        // zoom_in: exactly floor(span·den/num), floored at 1 ns.
+        prop_assert_eq!(v.from, from, "left edge is fixed");
+        prop_assert!(v.from <= v.to, "zoom_in must not invert the window");
+        let in_span = v.span().nanos();
+        prop_assert_eq!(in_span as u128, (span as u128 * den / num).max(1));
+
+        v.zoom_out(step, wall);
+        prop_assert_eq!(v.from, from, "left edge is fixed");
+        prop_assert!(v.from <= v.to, "zoom_out must not invert the window");
+        prop_assert!(v.to <= Time(wall.nanos().max(from.nanos())), "clamped to the run");
+        let out_span = v.span().nanos();
+        // Within 1 ns of the rational result in_span·num/den (exactly on
+        // it when the wall clamp bites first).
+        let rational_num = in_span as u128 * num; // over denominator `den`
+        let unclamped = out_span as u128 * den;
+        let clamped = wall.nanos().saturating_sub(from.nanos()) == out_span;
+        prop_assert!(
+            clamped || (unclamped <= rational_num && rational_num - unclamped < den),
+            "span {out_span} is not within 1 ns of {rational_num}/{den}"
+        );
+        // And the round trip itself lands within 2 ns of where it started
+        // (one floor per direction), never above the original span —
+        // unless the span was so small that zoom_in's 1 ns floor applied.
+        if !clamp_wall && span as u128 * den / num >= 1 {
+            prop_assert!(out_span <= span);
+            prop_assert!(span - out_span <= 2, "round trip drifted: {span} -> {out_span}");
         }
     }
 }

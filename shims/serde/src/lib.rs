@@ -51,6 +51,21 @@ impl Value {
     }
 }
 
+// Identity impls, mirroring `serde_json::Value`: a `Value` serializes to
+// itself and deserializes from anything, so callers can capture arbitrary
+// JSON without declaring a matching struct.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Error produced when a [`Value`] does not match the target type.
 #[derive(Debug, Clone)]
 pub struct DeError(pub String);

@@ -9,6 +9,7 @@
 //! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE] [--lenient]
 //! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
+//! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]
 //! ```
 //!
 //! Exit codes are uniform across the log-consuming verbs: **0** the input
@@ -378,6 +379,26 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             Ok(input.exit())
         }
+        "serve" => {
+            let opts = vppb_serve::ServeOptions {
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| vppb_serve::ServeOptions::default().addr),
+                workers: flag(&flags, "workers", 0usize)?,
+                cache_bytes: flag(&flags, "cache-bytes", 64 * 1024 * 1024u64)?,
+                queue_depth: flag(&flags, "queue-depth", 128usize)?,
+                ..Default::default()
+            };
+            vppb_serve::signals::install();
+            let server = vppb_serve::start(opts).map_err(|e| e.to_string())?;
+            // The e2e tests and the smoke bench scrape this line to learn
+            // the bound port, so its shape is part of the CLI contract.
+            println!("vppb serve: listening on http://{}", server.local_addr());
+            server.join();
+            println!("vppb serve: drained, shutting down");
+            Ok(ExitCode::SUCCESS)
+        }
         "check" => {
             let path = pos.first().ok_or("check: which log file?")?;
             check_log(path, &flags)
@@ -544,7 +565,8 @@ fn usage() -> String {
      vppb sweep <LOG> [--cpus N,N,..] [--lwps per-thread|follow|N,..] [--comm-delay-us D,..] \
      [--jobs N] [--no-color] [--metrics-json FILE] [--lenient]\n  \
      vppb check <LOG> [--strict|--lenient] [--json]\n  \
-     vppb report <LOG>\n\
+     vppb report <LOG>\n  \
+     vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]\n\
      \n\
      exit codes: 0 clean, 1 completed after reported recovery, 2 unrecoverable"
         .to_string()

@@ -1,0 +1,278 @@
+//! End-to-end tests for `vppb serve`: a real child process, real sockets,
+//! and the blocking client from `vppb_serve::client`.
+//!
+//! Each test spawns its own server on an OS-assigned port (`--addr
+//! 127.0.0.1:0`) and learns the port by scraping the CLI's `listening on`
+//! line, which is part of the CLI contract for exactly this reason.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+use vppb_recorder::{record, save_bin, save_text, RecordOptions};
+use vppb_serve::client;
+use vppb_threads::AppBuilder;
+
+/// A running `vppb serve` child plus the scraped bound address.
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ServerProc {
+    fn spawn(extra: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_vppb"))
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn vppb serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read server stdout");
+            assert!(n > 0, "server exited before announcing its address");
+            if let Some(rest) = line.trim().strip_prefix("vppb serve: listening on http://") {
+                break rest.parse().expect("bound address");
+            }
+        };
+        ServerProc { child, addr, stdout }
+    }
+
+    /// Wait up to `secs` for the child to exit; `None` on timeout.
+    fn wait_exit(&mut self, secs: u64) -> Option<std::process::ExitStatus> {
+        for _ in 0..secs * 20 {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        None
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Record a small parallel app and return its log.
+fn recorded_log(workers: u64) -> vppb_model::TraceLog {
+    let mut b = AppBuilder::new("e2e", "e2e.c");
+    let w = b.func("w", |f| f.work_us(300));
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(workers, |f| f.create_into(w, s));
+        f.loop_n(workers, |f| f.join(s));
+    });
+    record(&b.build().unwrap(), &RecordOptions::default()).unwrap().log
+}
+
+/// A unique scratch path for this test process.
+fn scratch(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vppb-serve-e2e-{}-{name}", std::process::id()))
+}
+
+fn upload(addr: SocketAddr, bytes: &[u8]) -> serde::Value {
+    let (status, body) = client::request(addr, "POST", "/logs", bytes).expect("upload");
+    assert_eq!(status, 200, "upload failed: {}", String::from_utf8_lossy(&body));
+    serde_json::from_slice(&body).expect("upload response json")
+}
+
+fn str_field(v: &serde::Value, key: &str) -> String {
+    match v.get(key) {
+        Some(serde::Value::Str(s)) => s.clone(),
+        other => panic!("field `{key}`: expected string, got {other:?}"),
+    }
+}
+
+fn f64_field(v: &serde::Value, key: &str) -> f64 {
+    match v.get(key) {
+        Some(serde::Value::Float(f)) => *f,
+        Some(serde::Value::UInt(n)) => *n as f64,
+        other => panic!("field `{key}`: expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_upload_is_salvaged_and_reported() {
+    let server = ServerProc::spawn(&[]);
+    let log = recorded_log(3);
+    let path = scratch("corrupt.vppb");
+    save_text(&log, path.to_str().unwrap()).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    // Chop off the final 40% — joins and exits vanish mid-record, which
+    // the lenient loader must repair and *report*.
+    bytes.truncate(bytes.len() * 6 / 10);
+
+    let up = upload(server.addr, &bytes);
+    assert_eq!(up.get("clean"), Some(&serde::Value::Bool(false)), "truncated log is not clean");
+    let diagnostics = match up.get("diagnostics") {
+        Some(serde::Value::Array(a)) => a.len(),
+        other => panic!("diagnostics: {other:?}"),
+    };
+    let repairs = match up.get("salvage").and_then(|s| s.get("edits")) {
+        Some(serde::Value::Array(a)) => a.len(),
+        other => panic!("salvage.edits: {other:?}"),
+    };
+    assert!(
+        diagnostics + repairs > 0,
+        "a truncated upload must carry a salvage report (got neither diagnostics nor edits)"
+    );
+    // The salvaged log is usable: a prediction against it succeeds.
+    let id = str_field(&up, "id");
+    let (status, body) =
+        client::request(server.addr, "POST", "/predict", format!("{{\"id\":\"{id}\"}}").as_bytes())
+            .unwrap();
+    assert_eq!(status, 200, "predict on salvaged log: {}", String::from_utf8_lossy(&body));
+}
+
+#[test]
+fn concurrent_predictions_are_bit_identical_to_the_cli() {
+    let server = ServerProc::spawn(&[]);
+    let log = recorded_log(4);
+    let path = scratch("clean.vppb");
+    save_bin(&log, path.to_str().unwrap()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    let up = upload(server.addr, &bytes);
+    let id = str_field(&up, "id");
+    let req = format!("{{\"id\":\"{id}\",\"cpus\":4}}");
+
+    // Hammer the same query from N concurrent clients.
+    let addr = server.addr;
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let req = req.clone();
+            std::thread::spawn(move || {
+                client::request(addr, "POST", "/predict", req.as_bytes()).expect("predict")
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, Vec<u8>)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for (status, _) in &responses {
+        assert_eq!(*status, 200);
+    }
+    let first = &responses[0].1;
+    for (_, body) in &responses {
+        assert_eq!(body, first, "concurrent responses must be byte-identical");
+    }
+
+    // After the dust settles the memo must answer, flagged via the header.
+    let (status, headers, warm) =
+        client::request_full(addr, "POST", "/predict", req.as_bytes()).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.iter().find(|(k, _)| k == "x-vppb-cache").map(|(_, v)| v.as_str()),
+        Some("hit")
+    );
+    assert_eq!(&warm, first, "memoized response must be byte-identical to the cold one");
+
+    // And the served speed-up agrees with `vppb predict` digit for digit.
+    let parsed: serde::Value = serde_json::from_slice(first).unwrap();
+    let served = format!("{:.2}", f64_field(&parsed, "speedup"));
+    let out = Command::new(env!("CARGO_BIN_EXE_vppb"))
+        .args(["predict", path.to_str().unwrap(), "--cpus", "4"])
+        .output()
+        .expect("run vppb predict");
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let cli = stdout.trim().rsplit(' ').next().unwrap().to_string();
+    assert_eq!(served, cli, "service and CLI disagree on the speed-up (cli line: {stdout:?})");
+}
+
+#[test]
+fn full_queue_rejects_with_503_while_in_flight_requests_complete() {
+    let server = ServerProc::spawn(&["--workers", "1", "--queue-depth", "1"]);
+    let up = upload(server.addr, &vppb_model::binlog::encode(&recorded_log(2)).unwrap());
+    let id = str_field(&up, "id");
+    let slow = format!("{{\"id\":\"{id}\",\"cpus\":2,\"delay_ms\":1200}}");
+
+    // Occupy the only worker...
+    let addr = server.addr;
+    let in_flight = {
+        let slow = slow.clone();
+        std::thread::spawn(move || client::request(addr, "POST", "/predict", slow.as_bytes()))
+    };
+    std::thread::sleep(Duration::from_millis(400));
+
+    // ...then flood: one connection fits the queue, the rest must bounce.
+    let flood: Vec<_> = (0..5)
+        .map(|_| {
+            let slow = slow.clone();
+            std::thread::spawn(move || {
+                client::request(addr, "POST", "/predict", slow.as_bytes()).expect("flood request")
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = flood.into_iter().map(|h| h.join().unwrap().0).collect();
+
+    let (status, _) = in_flight.join().unwrap().expect("in-flight request");
+    assert_eq!(status, 200, "the in-flight request must complete");
+    assert!(
+        statuses.contains(&503),
+        "an overloaded queue must shed load with 503s (got {statuses:?})"
+    );
+    assert!(
+        statuses.iter().all(|s| *s == 200 || *s == 503),
+        "overload must not corrupt accepted requests (got {statuses:?})"
+    );
+}
+
+#[test]
+fn panicking_job_gets_a_500_and_the_server_keeps_serving() {
+    let server = ServerProc::spawn(&[]);
+    let up = upload(server.addr, &vppb_model::binlog::encode(&recorded_log(2)).unwrap());
+    let id = str_field(&up, "id");
+
+    // Arm the engine's panic fault: this request must die alone.
+    let poison = format!("{{\"id\":\"{id}\",\"cpus\":2,\"panic_after_events\":1}}");
+    let (status, body) =
+        client::request(server.addr, "POST", "/predict", poison.as_bytes()).unwrap();
+    assert_eq!(status, 500, "armed panic must surface as a 500");
+    assert!(
+        String::from_utf8_lossy(&body).contains("panic"),
+        "500 body should say the handler panicked: {}",
+        String::from_utf8_lossy(&body)
+    );
+
+    // The worker survived the unwind: the next request is served normally.
+    let ok = format!("{{\"id\":\"{id}\",\"cpus\":2}}");
+    let (status, _) = client::request(server.addr, "POST", "/predict", ok.as_bytes()).unwrap();
+    assert_eq!(status, 200, "server must keep serving after a panicking job");
+    let (status, body) = client::request(server.addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("\"ok\":true"));
+}
+
+#[test]
+fn shutdown_drains_and_the_process_exits_cleanly() {
+    let mut server = ServerProc::spawn(&[]);
+    let up = upload(server.addr, &vppb_model::binlog::encode(&recorded_log(2)).unwrap());
+    let id = str_field(&up, "id");
+    let (status, _) = client::request(
+        server.addr,
+        "POST",
+        "/predict",
+        format!("{{\"id\":\"{id}\",\"cpus\":2}}").as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+
+    let (status, body) = client::request(server.addr, "POST", "/shutdown", b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("\"draining\":true"));
+
+    let exit = server.wait_exit(30).expect("server must exit after drain");
+    assert_eq!(exit.code(), Some(0), "graceful drain exits 0");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut server.stdout, &mut rest).unwrap();
+    assert!(rest.contains("drained"), "drain message missing from stdout: {rest:?}");
+}
