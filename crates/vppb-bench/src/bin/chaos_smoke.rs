@@ -9,12 +9,12 @@
 //! seed replays the same damage, and every failure prints the format,
 //! case seed and mutation chain needed to reproduce it.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use vppb_model::corrupt::{self, ChaosRng};
 use vppb_model::{binlog, textlog, SimParams, TraceLog};
 use vppb_recorder::{load_lenient_bytes, record, RecordOptions};
 use vppb_sim::simulate;
+use vppb_testkit::quiet;
 use vppb_workloads::{splash, KernelParams};
 
 /// Outcome tally over the whole run.
@@ -32,16 +32,6 @@ fn parse_arg(args: &[String], key: &str, default: u64) -> u64 {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {key} value `{v}`")))
         .unwrap_or(default)
-}
-
-fn quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {
-    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic".into())
-    })
 }
 
 /// One mutant through the pipeline. Returns an error message on any
@@ -91,7 +81,7 @@ fn main() -> ExitCode {
     ];
 
     // The pipeline catches panics on purpose; keep CI output readable.
-    std::panic::set_hook(Box::new(|_| {}));
+    let hook = vppb_testkit::SilencedPanicHook::install();
 
     let mut tally = Tally::default();
     for case in 0..cases {
@@ -113,7 +103,7 @@ fn main() -> ExitCode {
             );
         }
     }
-    let _ = std::panic::take_hook();
+    drop(hook);
 
     eprintln!(
         "chaos_smoke: {} pristine, {} salvaged, {} rejected, {} contract failures / {cases} cases",

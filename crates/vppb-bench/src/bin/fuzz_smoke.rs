@@ -1,0 +1,130 @@
+//! Differential-fuzz smoke run for CI: replay a fixed seed corpus of
+//! generated programs through both the optimized engine and the naive
+//! scheduler oracle across the full CPU × LWP grid, requiring
+//! bit-identical scheduling-decision streams, then self-test the harness
+//! by inverting a dispatch tie-break inside the oracle and insisting the
+//! mutation is caught and shrinks to a tiny reproducer.
+//!
+//! Usage: `cargo run --release -p vppb-bench --bin fuzz_smoke
+//! [--seeds N] [--seed S] [--repro-dir DIR]`. Fully offline and
+//! deterministic. On divergence, every offending seed is delta-debugged
+//! and its minimal reproducer written to `--repro-dir` (default
+//! `fuzz-repros/`) as a replayable text log plus a note with the seed,
+//! the spec and the first divergent dispatch decision — CI uploads that
+//! directory as an artifact.
+
+use std::process::ExitCode;
+use vppb_oracle::{fuzz_corpus, shrink, ConfigGrid, GenParams, OracleTweaks, ProgSpec};
+use vppb_recorder::{record, RecordOptions};
+
+/// Largest acceptable minimized reproducer, in replay-plan ops.
+const MAX_SHRUNK_OPS: usize = 20;
+
+fn parse_arg(args: &[String], key: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {key} value `{v}`")))
+        .unwrap_or(default)
+}
+
+/// Shrink a diverging seed and dump the minimized reproducer for the CI
+/// artifact. Best-effort: a failure to dump must not mask the divergence.
+fn dump_repro(seed: u64, gen: &GenParams, grid: &ConfigGrid, tweaks: OracleTweaks, dir: &str) {
+    let spec = ProgSpec::generate(seed, gen);
+    let Some(r) = shrink(&spec, grid, tweaks, 200) else {
+        eprintln!("fuzz_smoke: seed {seed:#018x} no longer diverges when re-checked");
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("fuzz_smoke: cannot create {dir}: {e}");
+        return;
+    }
+    let log_path = format!("{dir}/fuzz-repro-{seed:016x}.vppb");
+    match record(&r.spec.build_app(), &RecordOptions::default()) {
+        Ok(rec) => {
+            if let Err(e) = vppb_recorder::save_text(&rec.log, &log_path) {
+                eprintln!("fuzz_smoke: cannot write {log_path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("fuzz_smoke: cannot re-record shrunk seed {seed:#018x}: {e}"),
+    }
+    let note = format!(
+        "minimized divergence: {}\n\nshrunk spec ({} candidate(s) tried, {} accepted):\n{:#?}\n",
+        r.divergence, r.attempts, r.accepted, r.spec
+    );
+    if let Err(e) = std::fs::write(format!("{dir}/fuzz-repro-{seed:016x}.txt"), note) {
+        eprintln!("fuzz_smoke: cannot write repro note for {seed:#018x}: {e}");
+    }
+    eprintln!(
+        "fuzz_smoke: shrunk seed {seed:#018x} to {} plan ops -> {log_path}",
+        r.divergence.plan_ops
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds = parse_arg(&args, "--seeds", 200);
+    let base = parse_arg(&args, "--seed", 0x1998); // the paper's year, fixed
+    let repro_dir = args
+        .iter()
+        .position(|a| a == "--repro-dir")
+        .and_then(|i| args.get(i + 1))
+        .map_or("fuzz-repros", String::as_str);
+    let gen = GenParams::default();
+    let grid = ConfigGrid::default();
+    eprintln!("fuzz_smoke: {seeds} seeds from {base:#x} over {} grid points each", grid.len());
+
+    // Phase 1: the engine must agree with the oracle on every seed.
+    let report = fuzz_corpus(base..base + seeds, &gen, &grid, OracleTweaks::default());
+    eprintln!(
+        "fuzz_smoke: {} comparisons, {} divergence(s)",
+        report.configs_checked,
+        report.divergences.len()
+    );
+    let mut failed = false;
+    for d in &report.divergences {
+        failed = true;
+        eprintln!("FAIL divergence at {d}");
+        dump_repro(d.seed, &gen, &grid, OracleTweaks::default(), repro_dir);
+    }
+
+    // Phase 2: self-test — an inverted dispatch tie-break must be caught
+    // quickly and shrink to a tiny reproducer, or the fuzzer has no teeth.
+    let mutated = OracleTweaks { invert_dispatch_tiebreak: true };
+    let mutated_report = fuzz_corpus(base..base + 24, &gen, &grid, mutated);
+    match mutated_report.divergences.first() {
+        None => {
+            failed = true;
+            eprintln!("FAIL self-test: the injected tie-break inversion went unnoticed");
+        }
+        Some(d) => {
+            let spec = ProgSpec::generate(d.seed, &gen);
+            match shrink(&spec, &grid, mutated, 200) {
+                Some(r) if r.divergence.plan_ops <= MAX_SHRUNK_OPS => eprintln!(
+                    "fuzz_smoke: self-test caught the mutation at seed {:#018x}, shrunk to {} \
+                     plan ops",
+                    d.seed, r.divergence.plan_ops
+                ),
+                Some(r) => {
+                    failed = true;
+                    eprintln!(
+                        "FAIL self-test: repro stuck at {} plan ops (> {MAX_SHRUNK_OPS})",
+                        r.divergence.plan_ops
+                    );
+                }
+                None => {
+                    failed = true;
+                    eprintln!("FAIL self-test: divergent seed did not re-diverge while shrinking");
+                }
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("fuzz_smoke: FAILED");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("fuzz_smoke: ok");
+    ExitCode::SUCCESS
+}

@@ -16,10 +16,14 @@ use vppb_model::{
 
 /// Final state of one thread, as the engine saw it.
 #[derive(Debug, Clone)]
-pub(crate) struct ThreadAudit {
+pub struct ThreadAudit {
+    /// The thread.
     pub id: ThreadId,
+    /// Total CPU time charged to it.
     pub cpu_time: Duration,
+    /// When it first ran, if ever.
     pub started: Option<Time>,
+    /// When it exited, if ever.
     pub ended: Option<Time>,
     /// The thread reached its exit (zombie or reaped).
     pub exited: bool,
@@ -27,7 +31,8 @@ pub(crate) struct ThreadAudit {
 
 /// Final state of one synchronization object.
 #[derive(Debug, Clone)]
-pub(crate) struct SyncAudit {
+pub struct SyncAudit {
+    /// The object.
     pub obj: SyncObjId,
     /// Threads still holding it (mutex owner, rwlock writer/readers).
     pub held_by: Vec<ThreadId>,
@@ -36,10 +41,19 @@ pub(crate) struct SyncAudit {
 }
 
 /// Everything the auditor looks at.
-pub(crate) struct AuditInput<'a> {
+///
+/// Public so the executable-specification oracle in `vppb-oracle` audits
+/// its runs through the very same checker — the auditor verifies
+/// bookkeeping, not scheduling decisions, so sharing it does not weaken
+/// the differential comparison.
+pub struct AuditInput<'a> {
+    /// Wall-clock time of the finished run.
     pub wall: Time,
+    /// Busy time per CPU.
     pub cpu_busy: &'a [Duration],
+    /// Final state of every thread.
     pub threads: &'a [ThreadAudit],
+    /// Final state of every synchronization object.
     pub sync: &'a [SyncAudit],
     /// Threads/LWPs still sitting on a run queue after the last exit.
     pub runnable_left: usize,
@@ -52,7 +66,7 @@ pub(crate) struct AuditInput<'a> {
 }
 
 /// Evaluate every conservation law against the run's final state.
-pub(crate) fn run_audit(input: &AuditInput<'_>) -> AuditReport {
+pub fn run_audit(input: &AuditInput<'_>) -> AuditReport {
     let mut report = AuditReport::default();
 
     check_sync_objects(input, &mut report);

@@ -12,7 +12,7 @@
 //! predictions all execute on this one engine — see `DESIGN.md` §2 for why
 //! that substitution preserves the paper's claims.
 
-mod audit;
+pub mod audit;
 pub mod engine;
 pub mod hooks;
 pub mod jitter;
@@ -24,7 +24,10 @@ pub mod sync;
 pub use engine::{run, CallInterceptor, IdAssigner, Intercept, RunOptions};
 pub use hooks::{event_kind_of, Hooks, NullHooks};
 pub use jitter::JitterModel;
-pub use observer::{MetricsObserver, SchedEvent, SchedObserver, SchedTrace, Tee};
+pub use observer::{
+    first_divergence, MetricsObserver, SchedEvent, SchedObserver, SchedTrace, StepDivergence,
+    StepRecorder, Tee,
+};
 pub use prioq::{PrioQueue, QueueIndex, PRIO_LEVELS};
 pub use result::{RunLimits, RunResult};
 pub use vppb_model::FaultInjection;

@@ -233,6 +233,92 @@ impl SchedObserver for Tee<'_> {
     }
 }
 
+/// Records the *complete* scheduling-decision stream of a run, unabridged.
+///
+/// This is the capture side of differential testing: two runs whose
+/// recorded streams compare equal made bit-identical scheduling decisions
+/// at bit-identical virtual times. Unlike [`SchedTrace`] nothing is ever
+/// dropped, so the recorder is only appropriate for bounded test programs.
+#[derive(Debug, Default)]
+pub struct StepRecorder {
+    steps: Vec<(Time, SchedEvent)>,
+}
+
+impl StepRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> StepRecorder {
+        StepRecorder::default()
+    }
+
+    /// The recorded decisions, in virtual-time order.
+    pub fn steps(&self) -> &[(Time, SchedEvent)] {
+        &self.steps
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Consume the recorder, yielding the owned stream.
+    pub fn into_steps(self) -> Vec<(Time, SchedEvent)> {
+        self.steps
+    }
+}
+
+impl SchedObserver for StepRecorder {
+    fn on_sched(&mut self, now: Time, ev: &SchedEvent) {
+        self.steps.push((now, *ev));
+    }
+}
+
+/// The first point at which two scheduling-decision streams disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepDivergence {
+    /// Index into both streams of the first disagreeing step.
+    pub index: usize,
+    /// The left stream's step at that index (`None` if it ended early).
+    pub left: Option<(Time, SchedEvent)>,
+    /// The right stream's step at that index (`None` if it ended early).
+    pub right: Option<(Time, SchedEvent)>,
+}
+
+impl std::fmt::Display for StepDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "first divergent scheduling decision at step {}:", self.index)?;
+        match &self.left {
+            Some((t, ev)) => writeln!(f, "  left : [{t}] {ev:?}")?,
+            None => writeln!(f, "  left : <stream ended>")?,
+        }
+        match &self.right {
+            Some((t, ev)) => write!(f, "  right: [{t}] {ev:?}"),
+            None => write!(f, "  right: <stream ended>"),
+        }
+    }
+}
+
+/// Compare two decision streams step by step and report the first
+/// disagreement, or `None` if they are identical (same length, same
+/// decisions, same times).
+pub fn first_divergence(
+    a: &[(Time, SchedEvent)],
+    b: &[(Time, SchedEvent)],
+) -> Option<StepDivergence> {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let (l, r) = (a.get(i).copied(), b.get(i).copied());
+        if l != r {
+            return Some(StepDivergence { index: i, left: l, right: r });
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +369,31 @@ mod tests {
         let dump = tr.dump();
         assert!(dump.contains("3 earlier events dropped"));
         assert!(dump.contains("Dispatch"));
+    }
+
+    #[test]
+    fn step_recorder_keeps_everything_and_diffs_pinpoint() {
+        let mut a = StepRecorder::new();
+        let mut b = StepRecorder::new();
+        for i in 0..4 {
+            a.on_sched(Time(i), &dispatch(i as u32));
+            b.on_sched(Time(i), &dispatch(i as u32));
+        }
+        assert_eq!(a.len(), 4);
+        assert!(first_divergence(a.steps(), b.steps()).is_none());
+
+        // A differing step is found at its exact index...
+        b.on_sched(Time(9), &SchedEvent::Wakeup { thread: ThreadId(7) });
+        a.on_sched(Time(9), &SchedEvent::Wakeup { thread: ThreadId(8) });
+        let d = first_divergence(a.steps(), b.steps()).expect("diverges");
+        assert_eq!(d.index, 4);
+        assert!(d.to_string().contains("step 4"));
+
+        // ...and a truncated stream reports the missing side.
+        let d = first_divergence(a.steps(), &a.steps()[..3]).expect("length mismatch");
+        assert_eq!(d.index, 3);
+        assert!(d.right.is_none());
+        assert!(d.to_string().contains("<stream ended>"));
     }
 
     #[test]

@@ -8,12 +8,10 @@
 
 use proptest::prelude::*;
 use vppb_machine::{run, FaultInjection, MetricsObserver, NullHooks, RunOptions, SchedTrace, Tee};
-use vppb_model::{LwpPolicy, MachineConfig, ViolationKind};
+use vppb_model::ViolationKind;
 use vppb_threads::{App, AppBuilder};
 
-fn cfg(cpus: u32) -> MachineConfig {
-    MachineConfig::sun_enterprise(cpus).with_lwps(LwpPolicy::PerThread)
-}
+use vppb_testkit::cfg;
 
 /// Fork-join workers hammering one mutex and signalling a semaphore —
 /// enough traffic to exercise every audit check.

@@ -7,38 +7,8 @@ use vppb_model::{
 };
 use vppb_threads::{op, Action, AppBuilder, BarrierDecl, Cmp, LibCall, ResumeCtx};
 
-fn cfg(cpus: u32) -> MachineConfig {
-    MachineConfig::sun_enterprise(cpus).with_lwps(LwpPolicy::PerThread)
-}
-
-/// Zero all latency knobs so timing assertions are exact.
-fn exact(mut c: MachineConfig) -> MachineConfig {
-    c.base_costs.create = Duration::ZERO;
-    c.base_costs.sync_op = Duration::ZERO;
-    c.base_costs.uthread_switch = Duration::ZERO;
-    c.base_costs.lwp_switch = Duration::ZERO;
-    c.comm_delay = Duration::ZERO;
-    c
-}
-
-fn go(app: &vppb_threads::App, c: &MachineConfig) -> vppb_machine::RunResult {
-    let mut hooks = NullHooks;
-    let r = run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds");
-    assert!(r.audit.is_clean(), "conservation audit failed:\n{}", r.audit.render());
-    r
-}
-
-fn two_worker_app(work_ms: u64) -> vppb_threads::App {
-    let mut b = AppBuilder::new("toy", "toy.c");
-    let w = b.func("thread", move |f| f.work_ms(work_ms));
-    b.main(move |f| {
-        let a = f.create(w);
-        let c2 = f.create(w);
-        f.join(a);
-        f.join(c2);
-    });
-    b.build().unwrap()
-}
+use vppb_testkit::fixtures::two_worker_app;
+use vppb_testkit::{cfg, exact, go};
 
 #[test]
 fn single_thread_work_sets_wall_time() {

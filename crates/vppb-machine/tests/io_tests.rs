@@ -2,41 +2,11 @@
 //! blocking syscalls sleep the *LWP*, with everything that implies for
 //! single-LWP executions.
 
-use vppb_machine::{run, NullHooks, RunOptions};
 use vppb_model::{Duration, LwpPolicy, MachineConfig, ThreadId, Time};
 use vppb_threads::AppBuilder;
 
-fn exact(mut c: MachineConfig) -> MachineConfig {
-    c.base_costs.create = Duration::ZERO;
-    c.base_costs.sync_op = Duration::ZERO;
-    c.base_costs.uthread_switch = Duration::ZERO;
-    c.base_costs.lwp_switch = Duration::ZERO;
-    c.comm_delay = Duration::ZERO;
-    c
-}
-
-fn go(app: &vppb_threads::App, c: &MachineConfig) -> vppb_machine::RunResult {
-    let mut hooks = NullHooks;
-    let r = run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds");
-    assert!(r.audit.is_clean(), "conservation audit failed:\n{}", r.audit.render());
-    r
-}
-
-fn io_and_compute_app() -> vppb_threads::App {
-    let mut b = AppBuilder::new("io", "io.c");
-    let reader = b.func("reader", |f| {
-        f.io_ms(50); // read() from a slow device
-        f.work_ms(10);
-    });
-    let cruncher = b.func("cruncher", |f| f.work_ms(50));
-    b.main(move |f| {
-        let r = f.create(reader);
-        let c = f.create(cruncher);
-        f.join(r);
-        f.join(c);
-    });
-    b.build().unwrap()
-}
+use vppb_testkit::fixtures::io_and_compute_app;
+use vppb_testkit::{exact, go};
 
 #[test]
 fn io_does_not_consume_cpu() {

@@ -5,28 +5,12 @@ use vppb_machine::{run, NullHooks, RunOptions};
 use vppb_model::{DispatchTable, Duration, LwpPolicy, MachineConfig, ThreadId, Time};
 use vppb_threads::AppBuilder;
 
-fn go(app: &vppb_threads::App, c: &MachineConfig) -> vppb_machine::RunResult {
-    let mut hooks = NullHooks;
-    let r = run(app, c, RunOptions::new(&mut hooks)).expect("run succeeds");
-    assert!(r.audit.is_clean(), "conservation audit failed:\n{}", r.audit.render());
-    r
-}
-
-fn compute_bound_pair() -> vppb_threads::App {
-    // Two CPU-bound workers with the same demand.
-    let mut b = AppBuilder::new("pair", "pair.c");
-    let w = b.func("w", |f| f.work_ms(500));
-    b.main(move |f| {
-        let s = f.slot();
-        f.loop_n(2, |f| f.create_into(w, s));
-        f.loop_n(2, |f| f.join(s));
-    });
-    b.build().unwrap()
-}
+use vppb_testkit::fixtures::compute_bound_pair;
+use vppb_testkit::go;
 
 #[test]
 fn time_slicing_interleaves_equal_threads_on_one_cpu() {
-    let app = compute_bound_pair();
+    let app = compute_bound_pair(500);
     let c = MachineConfig::default().with_cpus(1).with_lwps(LwpPolicy::PerThread);
     let r = go(&app, &c);
     // Both live nearly the whole run (interleaved), rather than one
@@ -40,7 +24,7 @@ fn time_slicing_interleaves_equal_threads_on_one_cpu() {
 
 #[test]
 fn without_time_slicing_threads_run_to_block() {
-    let app = compute_bound_pair();
+    let app = compute_bound_pair(500);
     let mut c = MachineConfig::default().with_cpus(1).with_lwps(LwpPolicy::PerThread);
     c.time_slicing = false;
     let r = go(&app, &c);

@@ -1,0 +1,268 @@
+//! The differential driver: engine vs. oracle over a configuration grid.
+//!
+//! For each seed: synthesize a program ([`crate::gen`]), record it on the
+//! monitored 1-CPU/1-LWP machine, analyze the log into a replay plan, and
+//! replay that plan through **both** schedulers — the optimized
+//! [`vppb_machine::run`] and the naive [`crate::engine::run_with`] — under
+//! every point of a CPU-count × LWP-policy grid. The two runs must agree
+//! *bit for bit*: same wall time and the same full stream of scheduling
+//! decisions (every dispatch, preemption, enqueue, block, wakeup and
+//! priority change, via [`vppb_machine::StepRecorder`]), not just the same
+//! makespan. The first disagreement is reported as the first divergent
+//! dispatch decision.
+
+use crate::engine::OracleTweaks;
+use crate::gen::{GenParams, ProgSpec};
+use vppb_machine::{first_divergence, StepRecorder};
+use vppb_model::{Binding, LwpPolicy, SimParams, ThreadManip, VppbError};
+use vppb_recorder::{record, RecordOptions};
+use vppb_sim::{analyze, build_replay_app, replay_with_engine, ReplayPlan};
+
+/// LWP-policy axis of the replay grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LwpMode {
+    /// One LWP per unbound thread (`SimParams::cpus` default).
+    PerThread,
+    /// Two pool LWPs multiplexing all unbound threads.
+    FixedTwo,
+    /// Per-thread LWPs, but every other recorded thread re-bound to a
+    /// dedicated LWP via what-if manipulation.
+    BoundMix,
+}
+
+impl LwpMode {
+    /// All modes, in grid order.
+    pub const ALL: [LwpMode; 3] = [LwpMode::PerThread, LwpMode::FixedTwo, LwpMode::BoundMix];
+}
+
+impl std::fmt::Display for LwpMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LwpMode::PerThread => write!(f, "per-thread"),
+            LwpMode::FixedTwo => write!(f, "2-lwp"),
+            LwpMode::BoundMix => write!(f, "bound-mix"),
+        }
+    }
+}
+
+/// The CPU × LWP-policy grid a seed is checked over.
+#[derive(Debug, Clone)]
+pub struct ConfigGrid {
+    /// Simulated CPU counts.
+    pub cpus: Vec<u32>,
+    /// LWP policies.
+    pub modes: Vec<LwpMode>,
+}
+
+impl Default for ConfigGrid {
+    fn default() -> ConfigGrid {
+        ConfigGrid { cpus: vec![1, 2, 4, 8], modes: LwpMode::ALL.to_vec() }
+    }
+}
+
+impl ConfigGrid {
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.cpus.len() * self.modes.len()
+    }
+
+    /// Whether the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.cpus.is_empty() || self.modes.is_empty()
+    }
+}
+
+/// One engine/oracle disagreement.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Generator seed of the offending program.
+    pub seed: u64,
+    /// Grid point where the schedules split.
+    pub cpus: u32,
+    /// Grid point where the schedules split.
+    pub mode: LwpMode,
+    /// Human-readable account: the first divergent scheduling decision,
+    /// a wall-time mismatch, or a one-sided error.
+    pub detail: String,
+    /// Size of the offending replay plan in ops — the shrinker's metric.
+    pub plan_ops: usize,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "seed {:#018x} on {} cpu(s), {} lwps ({} plan ops):\n{}",
+            self.seed, self.cpus, self.mode, self.plan_ops, self.detail
+        )
+    }
+}
+
+/// Result of checking one seed over the whole grid.
+#[derive(Debug, Clone)]
+pub enum FuzzOutcome {
+    /// Engine and oracle agreed bit-for-bit at every grid point.
+    Clean {
+        /// Grid points checked.
+        configs: usize,
+        /// Replay-plan size, for reporting.
+        plan_ops: usize,
+    },
+    /// They disagreed (or one of them errored).
+    Diverged(Divergence),
+}
+
+/// Aggregate over a seed corpus.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Seeds checked.
+    pub seeds: usize,
+    /// Total (seed × grid point) comparisons performed.
+    pub configs_checked: usize,
+    /// Every divergence found (one per offending seed, first grid point).
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// Whether the whole corpus agreed.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+}
+
+/// Build the `SimParams` for one grid point. `BoundMix` needs the plan to
+/// know which thread ids exist.
+pub fn params_for(cpus: u32, mode: LwpMode, plan: &ReplayPlan) -> SimParams {
+    let mut p = SimParams::cpus(cpus);
+    match mode {
+        LwpMode::PerThread => {}
+        LwpMode::FixedTwo => p.machine.lwps = LwpPolicy::Fixed(2),
+        LwpMode::BoundMix => {
+            for (i, t) in plan.threads.iter().enumerate() {
+                // Re-bind every other non-main thread.
+                if i > 0 && i % 2 == 1 {
+                    p = p.manip(
+                        t.id,
+                        ThreadManip { binding: Some(Binding::BoundLwp), priority: None },
+                    );
+                }
+            }
+        }
+    }
+    p
+}
+
+/// Record `spec`, then replay its plan through engine and oracle at every
+/// grid point. Returns the first divergence, or `None` if all points
+/// agree. Errors are *pipeline* failures (record/analyze), which the
+/// generator rules out by construction — they indicate harness bugs, not
+/// scheduling divergences.
+pub fn check_spec(
+    spec: &ProgSpec,
+    grid: &ConfigGrid,
+    tweaks: OracleTweaks,
+) -> Result<Option<Divergence>, VppbError> {
+    let app = spec.build_app();
+    let rec = record(&app, &RecordOptions::default())?;
+    let plan = analyze(&rec.log)?;
+    let replay_app = build_replay_app(&plan, rec.log.header.source_map.clone())?;
+    let plan_ops = plan.total_ops();
+
+    for &cpus in &grid.cpus {
+        for &mode in &grid.modes {
+            let params = params_for(cpus, mode, &plan);
+            let mut engine_steps = StepRecorder::new();
+            let engine_run = replay_with_engine(
+                &replay_app,
+                &plan,
+                &params,
+                Some(&mut engine_steps),
+                vppb_machine::run,
+            );
+            let mut oracle_steps = StepRecorder::new();
+            let oracle_run = replay_with_engine(
+                &replay_app,
+                &plan,
+                &params,
+                Some(&mut oracle_steps),
+                |a, c, o| crate::engine::run_with(a, c, o, tweaks),
+            );
+            let diverged =
+                |detail: String| Divergence { seed: spec.seed, cpus, mode, detail, plan_ops };
+            let (engine_run, oracle_run) = match (engine_run, oracle_run) {
+                (Ok(e), Ok(o)) => (e, o),
+                (Err(e), Ok(_)) => {
+                    return Ok(Some(diverged(format!("engine errored, oracle succeeded: {e}"))))
+                }
+                (Ok(_), Err(o)) => {
+                    return Ok(Some(diverged(format!("oracle errored, engine succeeded: {o}"))))
+                }
+                // Both failing identically is agreement; differing
+                // messages are a divergence.
+                (Err(e), Err(o)) => {
+                    if e.to_string() == o.to_string() {
+                        continue;
+                    }
+                    return Ok(Some(diverged(format!(
+                        "both errored, differently:\n  engine: {e}\n  oracle: {o}"
+                    ))));
+                }
+            };
+            if let Some(d) = first_divergence(engine_steps.steps(), oracle_steps.steps()) {
+                return Ok(Some(diverged(d.to_string())));
+            }
+            if engine_run.wall_time != oracle_run.wall_time {
+                return Ok(Some(diverged(format!(
+                    "identical decision streams but different wall times: engine {} vs oracle {}",
+                    engine_run.wall_time, oracle_run.wall_time
+                ))));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Check one seed: generate, record, and compare over the grid.
+pub fn fuzz_one(
+    seed: u64,
+    gen: &GenParams,
+    grid: &ConfigGrid,
+    tweaks: OracleTweaks,
+) -> Result<FuzzOutcome, VppbError> {
+    let spec = ProgSpec::generate(seed, gen);
+    let plan_ops_hint = spec.total_segs();
+    Ok(match check_spec(&spec, grid, tweaks)? {
+        Some(d) => FuzzOutcome::Diverged(d),
+        None => FuzzOutcome::Clean { configs: grid.len(), plan_ops: plan_ops_hint },
+    })
+}
+
+/// Run a whole seed corpus. Pipeline errors are folded into the report as
+/// divergences (detail-tagged), so CI sees them without aborting the
+/// sweep.
+pub fn fuzz_corpus(
+    seeds: impl IntoIterator<Item = u64>,
+    gen: &GenParams,
+    grid: &ConfigGrid,
+    tweaks: OracleTweaks,
+) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for seed in seeds {
+        report.seeds += 1;
+        match fuzz_one(seed, gen, grid, tweaks) {
+            Ok(FuzzOutcome::Clean { configs, .. }) => report.configs_checked += configs,
+            Ok(FuzzOutcome::Diverged(d)) => {
+                report.configs_checked += 1;
+                report.divergences.push(d);
+            }
+            Err(e) => report.divergences.push(Divergence {
+                seed,
+                cpus: 0,
+                mode: LwpMode::PerThread,
+                detail: format!("pipeline error (not a scheduling divergence): {e}"),
+                plan_ops: 0,
+            }),
+        }
+    }
+    report
+}

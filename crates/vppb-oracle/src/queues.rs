@@ -1,0 +1,217 @@
+//! Deliberately naive scheduling containers.
+//!
+//! The optimized engine keeps its run queues in a bitmap-indexed,
+//! intrusively-linked [`vppb_machine::PrioQueue`], its pending events in a
+//! `BinaryHeap`, and its parked-LWP set in a min-heap. The oracle replaces
+//! every one of them with a plain `Vec` and a linear scan, so that the
+//! scheduling *contract* — 128 priority levels, FIFO within a level,
+//! highest level first, earliest-pushed event first at equal times — is
+//! written out in the most obvious way possible and can be checked by
+//! reading, not by trusting bit tricks.
+//!
+//! The contracts these containers must match exactly:
+//!
+//! * run queues: priorities clamp into `0..=127`; `pop_max` takes the
+//!   *front* of the highest non-empty level; `find_max` scans levels
+//!   high→low and each level front→back; `remove` reports whether the
+//!   item was queued.
+//! * event list: events at equal times fire in push order (the engine
+//!   tags each push with a monotonically increasing sequence number; the
+//!   oracle scans for the smallest `(time, seq)` pair).
+//! * parked set: the lowest LWP index is taken first.
+
+/// Number of priority levels (same clamp range as the engine's queue).
+const LEVELS: usize = 128;
+
+#[inline]
+fn clamp(prio: i32) -> usize {
+    prio.clamp(0, LEVELS as i32 - 1) as usize
+}
+
+/// A priority FIFO over `usize` items: one `Vec` per level, no occupancy
+/// bitmap, no backlinks — every operation is a scan.
+#[derive(Debug, Clone)]
+pub struct NaiveRq {
+    levels: Vec<Vec<usize>>,
+}
+
+impl Default for NaiveRq {
+    fn default() -> NaiveRq {
+        NaiveRq::new()
+    }
+}
+
+impl NaiveRq {
+    /// An empty queue.
+    pub fn new() -> NaiveRq {
+        NaiveRq { levels: vec![Vec::new(); LEVELS] }
+    }
+
+    /// Queued item count across all levels (a scan, of course).
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Whether no item is queued.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(|l| l.is_empty())
+    }
+
+    /// Enqueue at the tail of `prio`'s level.
+    pub fn push_back(&mut self, item: usize, prio: i32) {
+        self.levels[clamp(prio)].push(item);
+    }
+
+    /// Enqueue at the head of `prio`'s level.
+    pub fn push_front(&mut self, item: usize, prio: i32) {
+        self.levels[clamp(prio)].insert(0, item);
+    }
+
+    /// The head of the highest non-empty level, without dequeuing.
+    pub fn peek_max(&self) -> Option<(i32, usize)> {
+        for p in (0..LEVELS).rev() {
+            if let Some(&item) = self.levels[p].first() {
+                return Some((p as i32, item));
+            }
+        }
+        None
+    }
+
+    /// Dequeue the head of the highest non-empty level.
+    pub fn pop_max(&mut self) -> Option<usize> {
+        for p in (0..LEVELS).rev() {
+            if !self.levels[p].is_empty() {
+                return Some(self.levels[p].remove(0));
+            }
+        }
+        None
+    }
+
+    /// Dequeue the *tail* of the highest non-empty level — a deliberately
+    /// wrong tie-break (LIFO within a level) used only by the fuzzer's
+    /// self-test to prove the differential oracle catches scheduling
+    /// mutations. Never correct.
+    pub fn pop_max_inverted(&mut self) -> Option<usize> {
+        for p in (0..LEVELS).rev() {
+            if !self.levels[p].is_empty() {
+                return self.levels[p].pop();
+            }
+        }
+        None
+    }
+
+    /// The first item, scanning levels high→low and each level
+    /// front→back, accepted by `eligible`.
+    pub fn find_max(&self, mut eligible: impl FnMut(usize) -> bool) -> Option<usize> {
+        for p in (0..LEVELS).rev() {
+            for &item in &self.levels[p] {
+                if eligible(item) {
+                    return Some(item);
+                }
+            }
+        }
+        None
+    }
+
+    /// Dequeue `item` wherever it sits; reports whether it was queued.
+    pub fn remove(&mut self, item: usize) -> bool {
+        for level in &mut self.levels {
+            if let Some(pos) = level.iter().position(|&q| q == item) {
+                level.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The pending-event list: a flat `Vec` of `(time, seq, payload)`,
+/// popped by scanning for the smallest `(time, seq)`. `seq` is unique, so
+/// the payload never participates in the ordering — exactly the tie-break
+/// the engine's `BinaryHeap<Reverse<(Time, u64, Ev)>>` implements.
+#[derive(Debug, Clone)]
+pub struct NaiveEvents<T> {
+    items: Vec<(vppb_model::Time, u64, T)>,
+    seq: u64,
+}
+
+impl<T> Default for NaiveEvents<T> {
+    fn default() -> NaiveEvents<T> {
+        NaiveEvents { items: Vec::new(), seq: 0 }
+    }
+}
+
+impl<T> NaiveEvents<T> {
+    /// Schedule `ev` at `at` (later pushes at the same time fire later).
+    pub fn push(&mut self, at: vppb_model::Time, ev: T) {
+        self.seq += 1;
+        self.items.push((at, self.seq, ev));
+    }
+
+    /// Remove and return the earliest event (earliest push wins ties).
+    pub fn pop(&mut self) -> Option<(vppb_model::Time, T)> {
+        let mut best: Option<usize> = None;
+        for (i, (t, s, _)) in self.items.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => (*t, *s) < (self.items[b].0, self.items[b].1),
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best.map(|i| {
+            let (t, _, ev) = self.items.remove(i);
+            (t, ev)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::Time;
+
+    #[test]
+    fn rq_matches_the_engine_queue_contract() {
+        let mut q = NaiveRq::new();
+        q.push_back(1, 10);
+        q.push_back(2, 10);
+        q.push_front(3, 10);
+        q.push_back(4, 50);
+        q.push_back(5, -9); // clamps to 0
+        q.push_back(6, 4000); // clamps to 127
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.peek_max(), Some((127, 6)));
+        assert_eq!(q.pop_max(), Some(6));
+        assert_eq!(q.pop_max(), Some(4));
+        assert_eq!(q.pop_max(), Some(3), "push_front jumps the level queue");
+        assert!(q.remove(2));
+        assert!(!q.remove(2));
+        assert_eq!(q.find_max(|i| i != 1), Some(5), "scan falls through levels");
+        assert_eq!(q.pop_max(), Some(1));
+        assert_eq!(q.pop_max(), Some(5));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn inverted_pop_takes_the_tail() {
+        let mut q = NaiveRq::new();
+        q.push_back(1, 7);
+        q.push_back(2, 7);
+        assert_eq!(q.pop_max_inverted(), Some(2));
+        assert_eq!(q.pop_max_inverted(), Some(1));
+    }
+
+    #[test]
+    fn events_fire_in_time_then_push_order() {
+        let mut e: NaiveEvents<&str> = NaiveEvents::default();
+        e.push(Time(5), "late");
+        e.push(Time(1), "first-at-1");
+        e.push(Time(1), "second-at-1");
+        assert_eq!(e.pop(), Some((Time(1), "first-at-1")));
+        assert_eq!(e.pop(), Some((Time(1), "second-at-1")));
+        assert_eq!(e.pop(), Some((Time(5), "late")));
+        assert_eq!(e.pop(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Delta-debugging of divergent seeds down to minimal reproducers.
+//!
+//! Shrinking operates on the [`ProgSpec`] intermediate representation,
+//! never on the op list of a built program: each candidate edit (drop a
+//! worker, drop a segment, remove barrier rounds, strip a priority or a
+//! binding) *rebuilds* the program, so structural invariants — barrier
+//! parties equal to the worker count, deadlock-free lock regions,
+//! scheduling-independent trylock outcomes — hold for every candidate by
+//! construction. A candidate is kept if the engine and the oracle still
+//! disagree anywhere on the grid (any divergence, not necessarily the
+//! original one — standard ddmin practice).
+
+use crate::diff::{check_spec, ConfigGrid, Divergence};
+use crate::engine::OracleTweaks;
+use crate::gen::ProgSpec;
+
+/// A minimized reproducer.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest still-diverging spec found.
+    pub spec: ProgSpec,
+    /// The divergence the minimized spec exhibits.
+    pub divergence: Divergence,
+    /// Candidate programs evaluated while shrinking.
+    pub attempts: usize,
+    /// Candidates that kept the divergence (accepted edits).
+    pub accepted: usize,
+}
+
+/// Every single-edit reduction of `spec`, roughly largest-first so the
+/// greedy loop shrinks fast: whole workers, then barrier rounds, then
+/// segments, then attributes.
+fn candidates(spec: &ProgSpec) -> Vec<ProgSpec> {
+    let mut out = Vec::new();
+    for i in 0..spec.workers.len() {
+        let mut c = spec.clone();
+        c.workers.remove(i);
+        out.push(c);
+    }
+    if spec.barrier_rounds > 0 {
+        let mut c = spec.clone();
+        c.barrier_rounds = 0;
+        out.push(c);
+    }
+    for (w, worker) in spec.workers.iter().enumerate() {
+        for s in 0..worker.segs.len() {
+            let mut c = spec.clone();
+            c.workers[w].segs.remove(s);
+            out.push(c);
+        }
+    }
+    for (w, worker) in spec.workers.iter().enumerate() {
+        if worker.prio.is_some() {
+            let mut c = spec.clone();
+            c.workers[w].prio = None;
+            out.push(c);
+        }
+        if worker.bound {
+            let mut c = spec.clone();
+            c.workers[w].bound = false;
+            out.push(c);
+        }
+    }
+    if spec.wildcard_join {
+        let mut c = spec.clone();
+        c.wildcard_join = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Greedily minimize a diverging spec. `budget` caps the number of
+/// candidate evaluations (each one records and replays a program over the
+/// whole grid); 200 is plenty for generated sizes.
+///
+/// Returns `None` if `spec` does not actually diverge under `tweaks`.
+pub fn shrink(
+    spec: &ProgSpec,
+    grid: &ConfigGrid,
+    tweaks: OracleTweaks,
+    budget: usize,
+) -> Option<ShrinkResult> {
+    // An error on the *original* is not a divergence to minimize.
+    let mut best_div = check_spec(spec, grid, tweaks).ok()??;
+    let mut best = spec.clone();
+    let mut attempts = 0usize;
+    let mut accepted = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if attempts >= budget {
+                return Some(ShrinkResult { spec: best, divergence: best_div, attempts, accepted });
+            }
+            attempts += 1;
+            // Candidates that error out are simply not reductions.
+            if let Ok(Some(d)) = check_spec(&cand, grid, tweaks) {
+                best = cand;
+                best_div = d;
+                accepted += 1;
+                improved = true;
+                break; // restart candidate enumeration from the smaller spec
+            }
+        }
+        if !improved {
+            return Some(ShrinkResult { spec: best, divergence: best_div, attempts, accepted });
+        }
+    }
+}

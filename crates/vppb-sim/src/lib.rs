@@ -25,8 +25,8 @@ pub use plan::{CvEpisode, CvPlan, ReplayOp, ReplayPlan, ThreadPlan};
 pub use replayer::Replayer;
 pub use rules::ReplayRules;
 pub use sim::{
-    build_replay_app, predict_speedup, simulate, simulate_metrics, simulate_plan,
-    simulate_plan_metrics, simulate_plan_with, SimulatedExecution,
+    build_replay_app, predict_speedup, replay_with_engine, simulate, simulate_metrics,
+    simulate_plan, simulate_plan_metrics, simulate_plan_with, SimulatedExecution,
 };
 pub use sorter::analyze;
 pub use sweep::{sweep, sweep_plan, SweepConfig, SweepGrid, SweepOutcome, SweepPoint};

@@ -198,6 +198,28 @@ pub(crate) fn run_replay_on(
     params: &SimParams,
     observer: Option<&mut dyn SchedObserver>,
 ) -> Result<RunResult, VppbError> {
+    replay_with_engine(app, plan, params, observer, run)
+}
+
+/// Execute a plan replay on an arbitrary *engine* — any function with the
+/// shape of [`vppb_machine::run`].
+///
+/// This is the seam differential testing hangs off: the replay rules,
+/// id assignment, thread manipulations and cost conventions are set up
+/// here exactly once, so the optimized engine and the `vppb-oracle`
+/// executable specification replay the *same plan under the same
+/// options* and any disagreement in their decision streams is a
+/// scheduling bug, not a harness artifact.
+pub fn replay_with_engine<E>(
+    app: &App,
+    plan: &ReplayPlan,
+    params: &SimParams,
+    observer: Option<&mut dyn SchedObserver>,
+    engine: E,
+) -> Result<RunResult, VppbError>
+where
+    E: FnOnce(&App, &vppb_model::MachineConfig, RunOptions<'_>) -> Result<RunResult, VppbError>,
+{
     // The paper's Simulator does not model kernel LWP context-switch
     // overhead (§6); mirror that unless the caller overrode the cost.
     let mut machine = params.machine.clone();
@@ -232,7 +254,7 @@ pub(crate) fn run_replay_on(
         size_hint: plan.total_ops(),
         ..RunOptions::new(&mut hooks)
     };
-    run(app, &machine, opts).map_err(|e| match e {
+    engine(app, &machine, opts).map_err(|e| match e {
         VppbError::ProgramError(msg) => VppbError::ReplayDiverged(msg),
         other => other,
     })

@@ -152,15 +152,14 @@ fn panicking_cell_is_contained_and_siblings_match_serial() {
     let log = record_app(&fork_join_app(4, 10));
     // A panic hook that swallows the injected panic's default stderr spew
     // (the unwind itself is what we're testing, not the report).
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
+    let hook = vppb_testkit::SilencedPanicHook::install();
     let mut configs = SweepGrid::over_cpus([2, 4, 8]).configs();
     // Poison the middle cell: its engine run panics after 5 events.
     configs[1].params.faults =
         FaultInjection { panic_after_events: Some(5), ..FaultInjection::none() };
     configs[1].label = "4p (poisoned)".into();
     let outcome = sweep(&log, &configs, 3).expect("sweep survives a panicking worker");
-    std::panic::set_hook(prev_hook);
+    drop(hook);
 
     // The poisoned cell reports its crash instead of a prediction...
     let poisoned = &outcome.points[1];

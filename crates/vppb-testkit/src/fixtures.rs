@@ -1,0 +1,60 @@
+//! Small workload fixtures shared across integration suites.
+
+use vppb_model::TraceLog;
+use vppb_recorder::{record, RecordOptions, Recording};
+use vppb_threads::{App, AppBuilder};
+use vppb_workloads::{splash, KernelParams};
+
+/// Two identical unbound workers created and joined by main.
+pub fn two_worker_app(work_ms: u64) -> App {
+    let mut b = AppBuilder::new("toy", "toy.c");
+    let w = b.func("thread", move |f| f.work_ms(work_ms));
+    b.main(move |f| {
+        let a = f.create(w);
+        let c2 = f.create(w);
+        f.join(a);
+        f.join(c2);
+    });
+    b.build().expect("fixture builds")
+}
+
+/// Two CPU-bound workers with the same demand, created through a shared
+/// slot (exercises `create_into` / wildcard-ish joins).
+pub fn compute_bound_pair(work_ms: u64) -> App {
+    let mut b = AppBuilder::new("pair", "pair.c");
+    let w = b.func("w", move |f| f.work_ms(work_ms));
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(2, |f| f.create_into(w, s));
+        f.loop_n(2, |f| f.join(s));
+    });
+    b.build().expect("fixture builds")
+}
+
+/// One thread blocking on I/O while another crunches — the canonical
+/// LWP-sleeps-in-the-kernel scenario.
+pub fn io_and_compute_app() -> App {
+    let mut b = AppBuilder::new("io", "io.c");
+    let reader = b.func("reader", |f| {
+        f.io_ms(50); // read() from a slow device
+        f.work_ms(10);
+    });
+    let cruncher = b.func("cruncher", |f| f.work_ms(50));
+    b.main(move |f| {
+        let r = f.create(reader);
+        let c = f.create(cruncher);
+        f.join(r);
+        f.join(c);
+    });
+    b.build().expect("fixture builds")
+}
+
+/// A real recorded log: the scaled-down SPLASH FFT kernel, recorded on
+/// the 1-CPU/1-LWP monitored machine. The chaos and salvage suites use
+/// this as their pristine input.
+pub fn recorded_fft_log() -> TraceLog {
+    let rec: Recording =
+        record(&splash::fft(KernelParams::scaled(2, 0.02)), &RecordOptions::default())
+            .expect("record fft");
+    rec.log
+}

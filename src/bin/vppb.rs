@@ -10,6 +10,7 @@
 //! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
 //! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]
+//! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--shrink] [--self-test] [--repro-dir DIR] [--json]
 //! ```
 //!
 //! Exit codes are uniform across the log-consuming verbs: **0** the input
@@ -399,6 +400,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!("vppb serve: drained, shutting down");
             Ok(ExitCode::SUCCESS)
         }
+        "fuzz" => fuzz(&flags),
         "check" => {
             let path = pos.first().ok_or("check: which log file?")?;
             check_log(path, &flags)
@@ -556,6 +558,196 @@ fn check_log(path: &str, flags: &BTreeMap<String, String>) -> Result<ExitCode, S
     }
 }
 
+/// `vppb fuzz`: differential fuzzing of the scheduler. Seeded random
+/// programs are recorded on the monitored machine, then each replay plan
+/// runs through both the optimized engine and the naive oracle across a
+/// CPU-count × LWP-policy grid; the two must agree on the full stream of
+/// scheduling decisions, bit for bit. `--shrink` delta-debugs any
+/// divergence to a minimal reproducer and writes it out as a replayable
+/// text log; `--self-test` inverts a dispatch tie-break inside the oracle
+/// and *expects* the harness to catch it, proving the fuzzer has teeth.
+/// Exit codes: 0 all comparisons agreed (or, under `--self-test`, the
+/// mutation was caught), 2 otherwise.
+fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
+    use vppb_oracle::{
+        ConfigGrid, Divergence, FuzzOutcome, GenParams, LwpMode, OracleTweaks, ProgSpec,
+    };
+
+    let seeds: u64 = flag(flags, "seeds", 100)?;
+    let start: u64 = flag(flags, "seed-start", 0)?;
+    let cpus = parse_list::<u32>(flags.get("cpus").map_or("1,2,4,8", String::as_str))
+        .map_err(|_| "bad --cpus list")?;
+    let grid = ConfigGrid { cpus, modes: LwpMode::ALL.to_vec() };
+    if grid.is_empty() {
+        return Err("fuzz: empty configuration grid".into());
+    }
+    let self_test = flags.contains_key("self-test");
+    let tweaks = OracleTweaks { invert_dispatch_tiebreak: self_test };
+    let gen = GenParams::default();
+    let do_shrink = flags.contains_key("shrink");
+    let budget: usize = flag(flags, "shrink-budget", 200)?;
+    let json = flags.contains_key("json");
+
+    // Same folding as `fuzz_corpus`, inlined for progress reporting.
+    let mut report = vppb_oracle::FuzzReport::default();
+    for (i, seed) in (start..start.saturating_add(seeds)).enumerate() {
+        report.seeds += 1;
+        match vppb_oracle::fuzz_one(seed, &gen, &grid, tweaks) {
+            Ok(FuzzOutcome::Clean { configs, .. }) => report.configs_checked += configs,
+            Ok(FuzzOutcome::Diverged(d)) => {
+                report.configs_checked += 1;
+                report.divergences.push(d);
+            }
+            Err(e) => report.divergences.push(Divergence {
+                seed,
+                cpus: 0,
+                mode: LwpMode::PerThread,
+                detail: format!("pipeline error (not a scheduling divergence): {e}"),
+                plan_ops: 0,
+            }),
+        }
+        if (i + 1) % 100 == 0 && ((i + 1) as u64) < seeds {
+            eprintln!(
+                "vppb fuzz: {}/{seeds} seeds, {} divergence(s) so far",
+                i + 1,
+                report.divergences.len()
+            );
+        }
+    }
+
+    /// Minimized reproducer, as reported under `--json`.
+    #[derive(serde::Serialize)]
+    struct ShrunkDump {
+        /// Replay-plan size of the minimized program, in ops.
+        plan_ops: usize,
+        /// Candidate reductions evaluated / accepted while shrinking.
+        attempts: usize,
+        accepted: usize,
+        /// Path of the replayable text log written for this reproducer.
+        log: String,
+    }
+
+    /// One divergence, as reported under `--json`.
+    #[derive(serde::Serialize)]
+    struct DivergenceDump {
+        /// Generator seed, zero-padded hex (regenerate with `--seed-start`).
+        seed: String,
+        /// Grid point where the schedules split (`cpus` 0 = pipeline error).
+        cpus: u32,
+        lwps: String,
+        plan_ops: usize,
+        detail: String,
+        shrunk: Option<ShrunkDump>,
+    }
+
+    /// The machine-readable half of the `fuzz` contract.
+    #[derive(serde::Serialize)]
+    struct FuzzDump {
+        seeds: u64,
+        seed_start: u64,
+        /// CPU-count × LWP-policy points each seed was replayed under.
+        grid_points: usize,
+        /// Total engine-vs-oracle comparisons performed.
+        comparisons: usize,
+        self_test: bool,
+        clean: bool,
+        divergences: Vec<DivergenceDump>,
+    }
+
+    let repro_dir = flags.get("repro-dir").map(String::as_str).unwrap_or(".");
+    let mut dumps = Vec::new();
+    for d in &report.divergences {
+        if !json {
+            eprintln!("vppb fuzz: divergence at {d}");
+        }
+        let mut shrunk = None;
+        if do_shrink {
+            let spec = ProgSpec::generate(d.seed, &gen);
+            if let Some(r) = vppb_oracle::shrink(&spec, &grid, tweaks, budget) {
+                std::fs::create_dir_all(repro_dir).map_err(|e| e.to_string())?;
+                let log_path = format!("{repro_dir}/fuzz-repro-{:016x}.vppb", d.seed);
+                let app = r.spec.build_app();
+                let rec = logio::record(&app, &logio::RecordOptions::default())
+                    .map_err(|e| e.to_string())?;
+                logio::save_text(&rec.log, &log_path).map_err(|e| e.to_string())?;
+                let note_path = format!("{repro_dir}/fuzz-repro-{:016x}.txt", d.seed);
+                std::fs::write(
+                    &note_path,
+                    format!(
+                        "minimized divergence: {}\n\nshrunk spec ({} candidate(s) tried, {} \
+                         accepted):\n{:#?}\n",
+                        r.divergence, r.attempts, r.accepted, r.spec
+                    ),
+                )
+                .map_err(|e| e.to_string())?;
+                if !json {
+                    eprintln!(
+                        "vppb fuzz: shrunk seed {:#018x} to {} plan ops ({} candidate(s) tried, \
+                         {} accepted) -> {log_path}",
+                        d.seed, r.divergence.plan_ops, r.attempts, r.accepted
+                    );
+                }
+                shrunk = Some(ShrunkDump {
+                    plan_ops: r.divergence.plan_ops,
+                    attempts: r.attempts,
+                    accepted: r.accepted,
+                    log: log_path,
+                });
+            }
+        }
+        dumps.push(DivergenceDump {
+            seed: format!("{:#018x}", d.seed),
+            cpus: d.cpus,
+            lwps: d.mode.to_string(),
+            plan_ops: d.plan_ops,
+            detail: d.detail.clone(),
+            shrunk,
+        });
+    }
+
+    let caught = !report.is_clean();
+    if json {
+        let dump = FuzzDump {
+            seeds,
+            seed_start: start,
+            grid_points: grid.len(),
+            comparisons: report.configs_checked,
+            self_test,
+            clean: report.is_clean(),
+            divergences: dumps,
+        };
+        println!("{}", serde_json::to_string(&dump).map_err(|e| e.to_string())?);
+    } else {
+        println!(
+            "fuzzed {} seed(s) (from {:#x}) over {} grid point(s) each: {} comparison(s), {} \
+             divergence(s)",
+            report.seeds,
+            start,
+            grid.len(),
+            report.configs_checked,
+            report.divergences.len()
+        );
+    }
+    if self_test {
+        if caught {
+            if !json {
+                println!("self-test passed: the injected tie-break inversion was caught");
+            }
+            Ok(ExitCode::SUCCESS)
+        } else {
+            eprintln!(
+                "vppb: fuzz self-test FAILED: the injected scheduling mutation went unnoticed"
+            );
+            Ok(ExitCode::from(EXIT_UNRECOVERABLE))
+        }
+    } else if caught {
+        eprintln!("vppb: engine and oracle disagree on a schedule; see the divergences above");
+        Ok(ExitCode::from(EXIT_UNRECOVERABLE))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn usage() -> String {
     "usage:\n  \
      vppb workloads\n  \
@@ -566,7 +758,9 @@ fn usage() -> String {
      [--jobs N] [--no-color] [--metrics-json FILE] [--lenient]\n  \
      vppb check <LOG> [--strict|--lenient] [--json]\n  \
      vppb report <LOG>\n  \
-     vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]\n\
+     vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]\n  \
+     vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--shrink] [--self-test] \
+     [--repro-dir DIR] [--json]\n\
      \n\
      exit codes: 0 clean, 1 completed after reported recovery, 2 unrecoverable"
         .to_string()
@@ -585,8 +779,17 @@ fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
     while i < args.len() {
         let a = &args[i];
         if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-            let is_switch =
-                matches!(key, "ansi" | "stats" | "no-color" | "strict" | "lenient" | "json");
+            let is_switch = matches!(
+                key,
+                "ansi"
+                    | "stats"
+                    | "no-color"
+                    | "strict"
+                    | "lenient"
+                    | "json"
+                    | "shrink"
+                    | "self-test"
+            );
             if is_switch {
                 flags.insert(key.to_string(), "true".to_string());
             } else if i + 1 < args.len() {

@@ -8,19 +8,13 @@
 //! with a diagnostic — the pipeline never panics, and whatever it
 //! salvages is structurally valid and simulable without crashing.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use vppb_model::corrupt::{self, ChaosRng};
 use vppb_model::{binlog, textlog, SimParams, TraceLog};
-use vppb_recorder::{load_lenient_bytes, record, LoadedLog, RecordOptions, Recording};
+use vppb_recorder::load_lenient_bytes;
+use vppb_recorder::LoadedLog;
 use vppb_sim::simulate;
-use vppb_workloads::{splash, KernelParams};
-
-fn recorded_log() -> TraceLog {
-    let rec: Recording =
-        record(&splash::fft(KernelParams::scaled(2, 0.02)), &RecordOptions::default())
-            .expect("record fft");
-    rec.log
-}
+use vppb_testkit::fixtures::recorded_fft_log as recorded_log;
+use vppb_testkit::{quiet, SilencedPanicHook};
 
 /// The three on-disk encodings of one log.
 fn encodings(log: &TraceLog) -> Vec<(&'static str, Vec<u8>)> {
@@ -29,17 +23,6 @@ fn encodings(log: &TraceLog) -> Vec<(&'static str, Vec<u8>)> {
         ("json", serde_json::to_string(log).expect("json").into_bytes()),
         ("bin", binlog::encode(log).expect("bin")),
     ]
-}
-
-/// Run the panic hook-silenced closure, reporting panics as `Err`.
-fn quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {
-    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
-        payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "non-string panic".into())
-    })
 }
 
 /// Feed one (possibly damaged) byte buffer through load → validate →
@@ -92,8 +75,7 @@ fn truncated_text_log_salvages_and_predicts() {
 #[test]
 fn single_mutation_chaos_sweep_never_panics() {
     let log = recorded_log();
-    let prev = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {})); // the sweep catches on purpose
+    let _hook = SilencedPanicHook::install(); // the sweep catches on purpose
     let result = quiet(|| {
         for (format, pristine) in encodings(&log) {
             for seed in 0..100u64 {
@@ -103,7 +85,7 @@ fn single_mutation_chaos_sweep_never_panics() {
             }
         }
     });
-    std::panic::set_hook(prev);
+    drop(_hook);
     if let Err(msg) = result {
         panic!("{msg}");
     }
@@ -112,8 +94,7 @@ fn single_mutation_chaos_sweep_never_panics() {
 #[test]
 fn compound_mutation_chaos_sweep_never_panics() {
     let log = recorded_log();
-    let prev = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
+    let _hook = SilencedPanicHook::install();
     let result = quiet(|| {
         for (format, pristine) in encodings(&log) {
             for seed in 0..40u64 {
@@ -127,7 +108,7 @@ fn compound_mutation_chaos_sweep_never_panics() {
             }
         }
     });
-    std::panic::set_hook(prev);
+    drop(_hook);
     if let Err(msg) = result {
         panic!("{msg}");
     }

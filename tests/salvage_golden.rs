@@ -1,0 +1,149 @@
+//! Golden tests for the salvage pipeline: one damaged fixture per repair
+//! rule, pinning the **exact** sequence of `SalvageEdit`s (code, position
+//! and message, in application order) and their rendered `W04xx`
+//! diagnostics. A change to repair behaviour or diagnostic wording shows
+//! up as a snapshot diff; regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test --test salvage_golden`.
+
+use vppb_model::{salvage, textlog, Time, TraceLog};
+use vppb_testkit::assert_golden;
+
+/// A healthy single-thread log each fixture damages differently.
+const HEALTHY: &str = "\
+# vppb-log v1
+# program toy
+# walltime 0.100000
+0.000000 T1 M start_collect @0x0
+0.000010 T1 B mutex_lock obj=mtx0 @0x10
+0.000012 T1 A mutex_lock obj=mtx0 @0x10
+0.000020 T1 B mutex_unlock obj=mtx0 @0x14
+0.000021 T1 A mutex_unlock obj=mtx0 @0x14
+0.000030 T1 B thr_exit @0x18
+0.100000 T1 M end_collect @0x0
+";
+
+/// Salvage `log` and render the full edit sequence, one diagnostic per
+/// line, exactly as `vppb check` prints it to stderr.
+fn salvage_transcript(log: &mut TraceLog) -> String {
+    let report = salvage::salvage(log);
+    assert!(!report.is_clean(), "fixture must actually need repairs");
+    log.validate().expect("salvaged log validates");
+    let mut out = String::new();
+    for e in &report.edits {
+        out.push_str(&e.to_diagnostic().render());
+        out.push('\n');
+    }
+    out
+}
+
+fn golden(name: &str, transcript: &str) {
+    let path = format!("{}/tests/golden/salvage/{name}.golden", env!("CARGO_MANIFEST_DIR"));
+    assert_golden(path, transcript);
+}
+
+/// W0406 `ClampedTime`: a timestamp that went backwards.
+#[test]
+fn clamped_time() {
+    let mut log = textlog::parse_log(HEALTHY).expect("fixture parses");
+    log.records[3].time = Time::from_micros(1);
+    golden("clamped_time", &salvage_transcript(&mut log));
+}
+
+/// W0410 `DroppedDanglingBefore` (plus the W0405 release its loss
+/// implies): the log ends inside `mutex_unlock`, BEFORE without AFTER.
+#[test]
+fn dropped_dangling_before() {
+    let cut: String = HEALTHY.lines().take(7).map(|l| format!("{l}\n")).collect();
+    let (mut log, diags) = textlog::parse_log_lenient(&cut);
+    assert!(diags.is_empty());
+    golden("dropped_dangling_before", &salvage_transcript(&mut log));
+}
+
+/// W0411 `DroppedStrayAfter`: an AFTER with no matching BEFORE.
+#[test]
+fn dropped_stray_after() {
+    let text = "\
+# vppb-log v1
+# program toy
+# walltime 0.100000
+0.000000 T1 M start_collect @0x0
+0.000012 T1 A mutex_lock obj=mtx0 @0x10
+0.000030 T1 B thr_exit @0x18
+0.100000 T1 M end_collect @0x0
+";
+    let mut log = textlog::parse_log(text).expect("fixture parses");
+    golden("dropped_stray_after", &salvage_transcript(&mut log));
+}
+
+/// W0411 `DroppedStrayAfter`, post-exit variant: `thr_exit` never
+/// returns, so records following it on the same thread are corruption.
+#[test]
+fn dropped_records_after_exit() {
+    let text = "\
+# vppb-log v1
+# program toy
+# walltime 0.100000
+0.000000 T1 M start_collect @0x0
+0.000030 T1 B thr_exit @0x18
+0.000040 T1 B thr_yield @0x20
+0.000041 T1 A thr_yield @0x20
+0.100000 T1 M end_collect @0x0
+";
+    let mut log = textlog::parse_log(text).expect("fixture parses");
+    golden("dropped_records_after_exit", &salvage_transcript(&mut log));
+}
+
+/// W0411 `DroppedStrayAfter`, lost-child variant: a `thr_create` pair
+/// whose AFTER lost the created-child id cannot be replayed.
+#[test]
+fn dropped_create_without_child_id() {
+    let text = "\
+# vppb-log v1
+# program toy
+# walltime 0.100000
+0.000000 T1 M start_collect @0x0
+0.000010 T1 B thr_create bound=0 func=0x1000 @0x10
+0.000012 T1 A thr_create bound=0 func=0x1000 @0x10
+0.000030 T1 B thr_exit @0x18
+0.100000 T1 M end_collect @0x0
+";
+    let mut log = textlog::parse_log(text).expect("fixture parses");
+    golden("dropped_create_without_child_id", &salvage_transcript(&mut log));
+}
+
+/// W0405 `SynthesizedRelease` + W0404 `SynthesizedExit` + W0409
+/// `SynthesizedEnd`: truncation right after a lock acquisition — the
+/// canonical crashed-recorder log.
+#[test]
+fn truncated_after_lock_acquire() {
+    let cut: String = HEALTHY.lines().take(6).map(|l| format!("{l}\n")).collect();
+    let (mut log, diags) = textlog::parse_log_lenient(&cut);
+    assert!(diags.is_empty());
+    golden("truncated_after_lock_acquire", &salvage_transcript(&mut log));
+}
+
+/// W0408 `SynthesizedStart` + W0409 `SynthesizedEnd`: the collection
+/// brackets are gone entirely.
+#[test]
+fn missing_collection_brackets() {
+    let (mut log, _) = textlog::parse_log_lenient("0.000030 T1 B thr_exit @0x18\n");
+    golden("missing_collection_brackets", &salvage_transcript(&mut log));
+}
+
+/// W0412 `ClampedWallTime`: the header claims the run ended before its
+/// own last record.
+#[test]
+fn clamped_wall_time() {
+    let mut log = textlog::parse_log(HEALTHY).expect("fixture parses");
+    log.header.wall_time = Time::from_micros(5);
+    golden("clamped_wall_time", &salvage_transcript(&mut log));
+}
+
+/// W0407 `RenumberedSeq`: sequence numbers left sparse (here by another
+/// repair dropping records) are renumbered densely.
+#[test]
+fn renumbered_sequence_numbers() {
+    let mut log = textlog::parse_log(HEALTHY).expect("fixture parses");
+    log.records[2].seq = 77;
+    golden("renumbered_sequence_numbers", &salvage_transcript(&mut log));
+}

@@ -1,0 +1,113 @@
+//! Snapshot tests for the machine-readable halves of the CLI contract:
+//! the `vppb check --json` report and the `--metrics-json` prediction
+//! dump. The full pretty-printed documents are pinned as golden files, so
+//! any schema change — a renamed field, a moved subobject, a new counter
+//! — shows up as a reviewable diff. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test --test snapshot_json`.
+//!
+//! Inputs are deterministic: hand-written text fixtures for `check`, and
+//! a virtual-time recording (bit-stable across runs) for the prediction
+//! dump. The one volatile field — the temp-file path echoed back as
+//! `file` — is normalized to `<LOG>` before comparison.
+
+use serde::Value;
+use std::process::Command;
+
+fn vppb(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_vppb")).args(args).output().expect("binary runs");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vppb-snap-{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Normalize volatile fields, then pretty-print for a reviewable golden.
+fn normalize(json: &str) -> String {
+    let mut v: Value = serde_json::from_str(json.trim()).expect("valid JSON");
+    if let Value::Object(fields) = &mut v {
+        for (key, val) in fields.iter_mut() {
+            if key == "file" {
+                *val = Value::Str("<LOG>".to_string());
+            }
+        }
+    }
+    let mut out = serde_json::to_string_pretty(&v).expect("re-serializes");
+    out.push('\n');
+    out
+}
+
+fn golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/json/{name}.golden", env!("CARGO_MANIFEST_DIR"));
+    vppb_testkit::assert_golden(path, actual);
+}
+
+/// A healthy toy log (mirrors the salvage suite's fixture).
+const HEALTHY: &str = "\
+# vppb-log v1
+# program toy
+# walltime 0.100000
+0.000000 T1 M start_collect @0x0
+0.000010 T1 B mutex_lock obj=mtx0 @0x10
+0.000012 T1 A mutex_lock obj=mtx0 @0x10
+0.000020 T1 B mutex_unlock obj=mtx0 @0x14
+0.000021 T1 A mutex_unlock obj=mtx0 @0x14
+0.000030 T1 B thr_exit @0x18
+0.100000 T1 M end_collect @0x0
+";
+
+#[test]
+fn check_json_clean_log() {
+    let dir = tmpdir("check-clean");
+    let log = dir.join("healthy.vppb");
+    std::fs::write(&log, HEALTHY).unwrap();
+    let (code, stdout, stderr) = vppb(&["check", log.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    golden("check_clean", &normalize(&stdout));
+}
+
+#[test]
+fn check_json_salvaged_log() {
+    // Truncated right after the lock acquisition: release + exit + end
+    // are synthesized, and the report carries every edit.
+    let cut: String = HEALTHY.lines().take(6).map(|l| format!("{l}\n")).collect();
+    let dir = tmpdir("check-salvaged");
+    let log = dir.join("cut.vppb");
+    std::fs::write(&log, cut).unwrap();
+    let (code, stdout, stderr) = vppb(&["check", log.to_str().unwrap(), "--json"]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    golden("check_salvaged", &normalize(&stdout));
+}
+
+#[test]
+fn check_json_strict_refusal() {
+    let cut: String = HEALTHY.lines().take(6).map(|l| format!("{l}\n")).collect();
+    let dir = tmpdir("check-strict");
+    let log = dir.join("cut.vppb");
+    std::fs::write(&log, cut).unwrap();
+    let (code, stdout, _) = vppb(&["check", log.to_str().unwrap(), "--strict", "--json"]);
+    assert_eq!(code, 2);
+    golden("check_strict_refusal", &normalize(&stdout));
+}
+
+#[test]
+fn predict_metrics_json() {
+    // Record → predict is virtual-time DES: the dump is bit-stable.
+    let dir = tmpdir("predict-metrics");
+    let log = dir.join("fft.vppb");
+    let log_s = log.to_str().unwrap();
+    let (code, _, stderr) =
+        vppb(&["record", "fft", "--threads", "2", "--scale", "0.05", "-o", log_s]);
+    assert_eq!(code, 0, "record: {stderr}");
+    let json = dir.join("metrics.json");
+    let (code, _, stderr) =
+        vppb(&["predict", log_s, "--cpus", "4", "--metrics-json", json.to_str().unwrap()]);
+    assert_eq!(code, 0, "predict: {stderr}");
+    golden("predict_metrics", &normalize(&std::fs::read_to_string(&json).unwrap()));
+}
