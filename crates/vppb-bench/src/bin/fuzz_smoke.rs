@@ -89,6 +89,34 @@ fn main() -> ExitCode {
         dump_repro(d.seed, &gen, &grid, OracleTweaks::default(), repro_dir);
     }
 
+    // Phase 1.5: the same corpus streamed chunk by chunk — every rolling
+    // incremental prediction must be bit-identical to a cold run of the
+    // same byte prefix (`vppb fuzz --chunked` exercises the same check).
+    let mut chunk_comparisons = 0usize;
+    for seed in base..base + seeds {
+        let spec = ProgSpec::generate(seed, &gen);
+        let rec = match record(&spec.build_app(), &RecordOptions::default()) {
+            Ok(r) => r,
+            Err(_) => continue, // unrecordable spec; phase 1 already reported it
+        };
+        let bytes = match vppb_model::binlog::encode(&rec.log) {
+            Ok(b) => b,
+            Err(e) => {
+                failed = true;
+                eprintln!("FAIL chunked: seed {seed:#018x} did not encode: {e}");
+                continue;
+            }
+        };
+        match vppb_sim::check_chunked_equivalence(&bytes, &vppb_model::SimParams::cpus(4), seed) {
+            Ok(n) => chunk_comparisons += n,
+            Err(detail) => {
+                failed = true;
+                eprintln!("FAIL chunked: seed {seed:#018x}: {detail}");
+            }
+        }
+    }
+    eprintln!("fuzz_smoke: {chunk_comparisons} incremental-vs-cold prefix comparison(s)");
+
     // Phase 2: self-test — an inverted dispatch tie-break must be caught
     // quickly and shrink to a tiny reproducer, or the fuzzer has no teeth.
     let mutated = OracleTweaks { invert_dispatch_tiebreak: true };

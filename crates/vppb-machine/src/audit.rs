@@ -199,18 +199,27 @@ fn check_lifecycles(input: &AuditInput<'_>, report: &mut AuditReport) {
 /// of CPUs — at no instant do two threads run on one CPU, or one thread
 /// on two CPUs.
 fn check_cpu_occupancy(transitions: &[Transition], report: &mut AuditReport) {
-    use std::collections::BTreeMap;
     report.checks += 1;
-    // cpu index -> occupying thread, thread -> cpu index.
-    let mut on_cpu: BTreeMap<u32, ThreadId> = BTreeMap::new();
-    let mut cpu_of: BTreeMap<ThreadId, u32> = BTreeMap::new();
+    // Flat tables indexed by cpu / thread id — this scan runs over the
+    // whole timeline on every streaming prediction, so it must stay a
+    // few ns per transition. Ids are small and dense; grow on demand.
+    let mut on_cpu: Vec<Option<ThreadId>> = Vec::new();
+    let mut cpu_of: Vec<Option<u32>> = Vec::new();
     for tr in transitions {
+        let tix = tr.thread.0 as usize;
+        if tix >= cpu_of.len() {
+            cpu_of.resize(tix + 1, None);
+        }
         // Whatever the new state is, the thread first leaves its old CPU.
-        if let Some(c) = cpu_of.remove(&tr.thread) {
-            on_cpu.remove(&c);
+        if let Some(c) = cpu_of[tix].take() {
+            on_cpu[c as usize] = None;
         }
         if let ThreadState::Running { cpu, .. } = tr.state {
-            if let Some(&other) = on_cpu.get(&cpu.0) {
+            let cix = cpu.0 as usize;
+            if cix >= on_cpu.len() {
+                on_cpu.resize(cix + 1, None);
+            }
+            if let Some(other) = on_cpu[cix] {
                 violation(
                     report,
                     ViolationKind::CpuOversubscribed,
@@ -220,8 +229,8 @@ fn check_cpu_occupancy(transitions: &[Transition], report: &mut AuditReport) {
                     ),
                 );
             }
-            on_cpu.insert(cpu.0, tr.thread);
-            cpu_of.insert(tr.thread, cpu.0);
+            on_cpu[cix] = Some(tr.thread);
+            cpu_of[tix] = Some(cpu.0);
         }
     }
 }

@@ -23,6 +23,7 @@ use crate::result::{RunLimits, RunResult};
 use crate::sync::{CondState, MutexState, RwState, RwWaiter, SemState};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::Arc;
 use vppb_model::{
     Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, FaultInjection,
     LwpId, LwpPolicy, MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip,
@@ -112,6 +113,141 @@ pub fn run(app: &App, cfg: &MachineConfig, opts: RunOptions<'_>) -> Result<RunRe
     Engine::new(app, cfg, opts).run()
 }
 
+/// Where a streaming run starts and where it must stop.
+#[derive(Default)]
+pub struct StreamControl {
+    /// Resume from this snapshot instead of bootstrapping a fresh run.
+    pub resume_from: Option<Box<EngineSnapshot>>,
+    /// Pause at the boundary before DES event number `m` is processed
+    /// (events are numbered from 1). `Some(0)` pauses immediately.
+    pub stop_before: Option<u64>,
+}
+
+/// How a streaming run ended.
+pub enum StreamOutcome {
+    /// Every thread exited; the result is bit-identical to what [`run`]
+    /// would have produced for the same program and options.
+    Done(Box<RunResult>),
+    /// Paused at the requested event boundary with resumable state.
+    Paused(Box<EngineSnapshot>),
+    /// A program returned [`Action::Stall`] while DES event `event` was
+    /// being processed (`0` = during bootstrap, before any event). The
+    /// run's state is unrecoverable — rerun with `stop_before = event`.
+    Stalled {
+        /// DES event number during which the first stall occurred.
+        event: u64,
+    },
+}
+
+impl std::fmt::Debug for StreamOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamOutcome::Done(r) => {
+                write!(f, "Done({} after {} events)", r.wall_time, r.des_events)
+            }
+            StreamOutcome::Paused(s) => write!(f, "Paused(at event {})", s.des_events()),
+            StreamOutcome::Stalled { event } => write!(f, "Stalled {{ event: {event} }}"),
+        }
+    }
+}
+
+/// Checkpointable variant of [`run`]: execute `app`, optionally resuming
+/// from a snapshot and/or pausing at an event boundary.
+///
+/// Determinism contract: a paused run resumed with the same app, config,
+/// and (re-created, stateless) options evolves exactly as the uninterrupted
+/// run would — callers must pass `JitterModel::none()`, since jitter RNG
+/// state lives in the options, not the snapshot.
+pub fn run_stream(
+    app: &App,
+    cfg: &MachineConfig,
+    opts: RunOptions<'_>,
+    control: StreamControl,
+) -> Result<StreamOutcome, VppbError> {
+    if cfg.cpus == 0 {
+        return Err(VppbError::InvalidConfig("machine needs at least one CPU".into()));
+    }
+    app.validate()?;
+    let mut engine = match control.resume_from {
+        Some(snap) => Engine::from_snapshot(app, cfg, opts, *snap)?,
+        None => {
+            let mut e = Engine::new(app, cfg, opts);
+            e.bootstrap()?;
+            e
+        }
+    };
+    match engine.event_loop(control.stop_before)? {
+        LoopEnd::Finished => {
+            engine.opts.hooks.on_collect(false, engine.now);
+            Ok(StreamOutcome::Done(Box::new(engine.into_result())))
+        }
+        LoopEnd::Paused => Ok(StreamOutcome::Paused(Box::new(engine.into_snapshot()))),
+        LoopEnd::Stalled(event) => Ok(StreamOutcome::Stalled { event }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// shared trace storage
+// ---------------------------------------------------------------------------
+
+/// Append-only trace buffer whose frozen prefix is shared between
+/// snapshot clones. Pushes land in a plain mutable tail; sealing moves
+/// the tail into an `Arc`d segment, after which `clone` costs O(segments)
+/// instead of O(trace). A run that never snapshots (the cold path) never
+/// seals, so `into_vec` hands its tail back without copying.
+struct SegVec<T> {
+    sealed: Vec<Arc<Vec<T>>>,
+    sealed_len: usize,
+    tail: Vec<T>,
+}
+
+impl<T> Default for SegVec<T> {
+    fn default() -> SegVec<T> {
+        SegVec { sealed: Vec::new(), sealed_len: 0, tail: Vec::new() }
+    }
+}
+
+impl<T: Clone> Clone for SegVec<T> {
+    fn clone(&self) -> SegVec<T> {
+        SegVec { sealed: self.sealed.clone(), sealed_len: self.sealed_len, tail: self.tail.clone() }
+    }
+}
+
+impl<T: Clone> SegVec<T> {
+    fn with_capacity(cap: usize) -> SegVec<T> {
+        SegVec { sealed: Vec::new(), sealed_len: 0, tail: Vec::with_capacity(cap) }
+    }
+
+    fn push(&mut self, v: T) {
+        self.tail.push(v);
+    }
+
+    fn len(&self) -> usize {
+        self.sealed_len + self.tail.len()
+    }
+
+    /// Freeze the tail into a shared segment so clones stop copying it.
+    fn seal(&mut self) {
+        if !self.tail.is_empty() {
+            self.sealed_len += self.tail.len();
+            self.sealed.push(Arc::new(std::mem::take(&mut self.tail)));
+        }
+    }
+
+    /// Flatten into a single contiguous vector (segment order, then tail).
+    fn into_vec(mut self) -> Vec<T> {
+        if self.sealed.is_empty() {
+            return self.tail;
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.sealed {
+            out.extend_from_slice(seg);
+        }
+        out.append(&mut self.tail);
+        out
+    }
+}
+
 // ---------------------------------------------------------------------------
 // internal state
 // ---------------------------------------------------------------------------
@@ -153,6 +289,7 @@ enum TState {
     Done,
 }
 
+#[derive(Clone, Copy)]
 struct Inflight {
     call: LibCall,
     site: CodeAddr,
@@ -199,6 +336,7 @@ enum LState {
     Dead,
 }
 
+#[derive(Clone)]
 struct LwpRt {
     id: LwpId,
     state: LState,
@@ -212,6 +350,7 @@ struct LwpRt {
     last_thread: Option<Tix>,
 }
 
+#[derive(Clone)]
 struct CpuRt {
     lwp: Option<Lix>,
     run_start: Time,
@@ -256,8 +395,13 @@ struct Engine<'a, 'o> {
     next_id: u32,
     live: u32,
     des_events: u64,
-    transitions: Vec<Transition>,
-    events: Vec<PlacedEvent>,
+    transitions: SegVec<Transition>,
+    events: SegVec<PlacedEvent>,
+    /// First DES event during which a program returned [`Action::Stall`]
+    /// (streaming replay ran off its committed plan prefix). The event
+    /// loop stops at the next event boundary and reports it; a stalled
+    /// run's state is discarded by the caller.
+    stalled_at: Option<u64>,
 }
 
 /// What happened to the calling thread after call semantics ran.
@@ -272,6 +416,16 @@ enum CallOutcome {
     BlockedIo(Duration),
     /// Thread exited.
     Exited,
+}
+
+/// How the event loop ended.
+enum LoopEnd {
+    /// Every thread exited.
+    Finished,
+    /// Paused at the requested event boundary.
+    Paused,
+    /// A program returned [`Action::Stall`] during this event.
+    Stalled(u64),
 }
 
 impl<'a, 'o> Engine<'a, 'o> {
@@ -315,8 +469,9 @@ impl<'a, 'o> Engine<'a, 'o> {
             next_id: ThreadId::FIRST_USER.0,
             live: 0,
             des_events: 0,
-            transitions: Vec::with_capacity(trace_hint.saturating_mul(3)),
-            events: Vec::with_capacity(trace_hint),
+            transitions: SegVec::with_capacity(trace_hint.saturating_mul(3)),
+            events: SegVec::with_capacity(trace_hint),
+            stalled_at: None,
         }
     }
 
@@ -742,6 +897,31 @@ impl<'a, 'o> Engine<'a, 'o> {
                     let d = self.opts.jitter.apply(id, d);
                     self.threads[tix].phase = Phase::Compute { left: d };
                     return Ok(true);
+                }
+                Action::Stall => {
+                    if self.stalled_at.is_none() {
+                        self.stalled_at = Some(self.des_events);
+                    }
+                    // Unwind like a far-future sleep so the dispatch
+                    // cascade stays consistent; the streaming driver
+                    // discards the run at the next event boundary, so the
+                    // fake timer never fires.
+                    self.threads[tix].phase = Phase::Resume;
+                    self.threads[tix].gen += 1;
+                    let gen = self.threads[tix].gen;
+                    self.push_ev(
+                        self.now + Duration::from_nanos(1 << 60),
+                        Ev::Timer { thread: tix, gen },
+                    );
+                    self.observe(SchedEvent::Block {
+                        thread: id,
+                        reason: BlockReason::Timer,
+                        queue_depth: 0,
+                    });
+                    self.set_state(tix, TState::Blocked(BlockReason::Timer));
+                    self.detach_thread(tix);
+                    self.lwp_continue_or_park(c)?;
+                    return Ok(false);
                 }
                 Action::Sleep(d) => {
                     self.threads[tix].phase = Phase::Resume;
@@ -1561,7 +1741,10 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     // -- main loop --------------------------------------------------------------
 
-    fn run(mut self) -> Result<RunResult, VppbError> {
+    /// Start-of-run work: collection on, spawn `main`, create the initial
+    /// LWP pool, and dispatch. Only ever runs on a fresh engine — resuming
+    /// from a snapshot skips it entirely.
+    fn bootstrap(&mut self) -> Result<(), VppbError> {
         self.opts.hooks.on_collect(true, self.now);
         let main_tix = self.spawn_thread(self.app.main, false, None)?;
         debug_assert_eq!(main_tix, 0);
@@ -1574,9 +1757,31 @@ impl<'a, 'o> Engine<'a, 'o> {
         for _ in 0..initial {
             self.new_pool_lwp();
         }
-        self.dispatch()?;
+        self.dispatch()
+    }
 
-        while let Some(Reverse((time, _, ev))) = self.heap.pop() {
+    /// Pump DES events. With `stop_before = Some(m)` the loop pauses at the
+    /// boundary *before* event number `m` is popped, leaving the engine in
+    /// a consistent between-events state a snapshot can capture.
+    fn event_loop(&mut self, stop_before: Option<u64>) -> Result<LoopEnd, VppbError> {
+        // A program can stall during bootstrap (or immediately after a
+        // resume), before any event is popped.
+        if let Some(at) = self.stalled_at {
+            return Ok(LoopEnd::Stalled(at));
+        }
+        loop {
+            if self.live == 0 {
+                return Ok(LoopEnd::Finished);
+            }
+            if stop_before.is_some_and(|m| self.des_events + 1 >= m) {
+                return Ok(LoopEnd::Paused);
+            }
+            let Some(Reverse((time, _, ev))) = self.heap.pop() else {
+                return Err(VppbError::ProgramError(format!(
+                    "deadlock: no runnable threads ({})",
+                    self.progress_report()
+                )));
+            };
             debug_assert!(time >= self.now, "time must not run backwards");
             self.now = time;
             self.des_events += 1;
@@ -1608,18 +1813,136 @@ impl<'a, 'o> Engine<'a, 'o> {
                 Ev::Wake { thread, gen } => self.deliver_wake(thread, gen)?,
                 Ev::Timer { thread, gen } => self.on_timer(thread, gen)?,
             }
-            if self.live == 0 {
-                break;
+            if let Some(at) = self.stalled_at {
+                return Ok(LoopEnd::Stalled(at));
             }
         }
-        if self.live > 0 {
-            return Err(VppbError::ProgramError(format!(
-                "deadlock: no runnable threads ({})",
-                self.progress_report()
+    }
+
+    fn run(mut self) -> Result<RunResult, VppbError> {
+        self.bootstrap()?;
+        match self.event_loop(None)? {
+            LoopEnd::Finished => {
+                self.opts.hooks.on_collect(false, self.now);
+                Ok(self.into_result())
+            }
+            LoopEnd::Stalled(at) => Err(VppbError::ProgramError(format!(
+                "program stalled at event {at} outside streaming replay"
+            ))),
+            LoopEnd::Paused => unreachable!("run() never passes stop_before"),
+        }
+    }
+
+    /// Capture every piece of mutable scheduler state. Destructive because
+    /// thread coroutines are moved, not cloned — use
+    /// [`EngineSnapshot::try_clone`] to duplicate afterwards.
+    fn into_snapshot(mut self) -> EngineSnapshot {
+        // Freeze the trace so every snapshot clone shares it instead of
+        // copying it; the resumed engine keeps appending in a new tail.
+        self.transitions.seal();
+        self.events.seal();
+        EngineSnapshot {
+            now: self.now,
+            seq: self.seq,
+            heap: self.heap,
+            threads: self.threads,
+            by_id: self.by_id,
+            lwps: self.lwps,
+            cpus: self.cpus,
+            mutexes: self.mutexes,
+            sems: self.sems,
+            conds: self.conds,
+            rws: self.rws,
+            vars: self.vars,
+            user_rq: self.user_rq,
+            kernel_rq: self.kernel_rq,
+            parked: self.parked,
+            cpu_bound_lwps: self.cpu_bound_lwps,
+            joiners: self.joiners,
+            zombies: self.zombies,
+            next_id: self.next_id,
+            live: self.live,
+            des_events: self.des_events,
+            transitions: self.transitions,
+            events: self.events,
+        }
+    }
+
+    /// Rebuild an engine around a snapshot. `app` may declare *more* sync
+    /// objects, semaphores, and functions than existed when the snapshot
+    /// was taken (the incremental analyzer's object universe only grows);
+    /// the extra objects start fresh, exactly as a cold run would have
+    /// left objects it never touched.
+    fn from_snapshot(
+        app: &'a App,
+        cfg: &'a MachineConfig,
+        opts: RunOptions<'o>,
+        snap: EngineSnapshot,
+    ) -> Result<Engine<'a, 'o>, VppbError> {
+        if cfg.cpus as usize != snap.cpus.len() {
+            return Err(VppbError::InvalidConfig(format!(
+                "snapshot was taken on a {}-CPU machine, resuming on {}",
+                snap.cpus.len(),
+                cfg.cpus
             )));
         }
-        self.opts.hooks.on_collect(false, self.now);
-        Ok(self.into_result())
+        let shrunk = (app.n_mutexes as usize) < snap.mutexes.len()
+            || app.sem_initial.len() < snap.sems.len()
+            || (app.n_condvars as usize) < snap.conds.len()
+            || (app.n_rwlocks as usize) < snap.rws.len();
+        if shrunk {
+            return Err(VppbError::InvalidConfig(
+                "resume app declares fewer sync objects than the snapshot holds".into(),
+            ));
+        }
+        if snap.threads.iter().any(|t| t.func.0 >= app.functions.len()) {
+            return Err(VppbError::InvalidConfig(
+                "snapshot thread references a function the resume app lacks".into(),
+            ));
+        }
+        let mut mutexes = snap.mutexes;
+        mutexes.resize_with(app.n_mutexes as usize, MutexState::default);
+        let mut conds = snap.conds;
+        conds.resize_with(app.n_condvars as usize, CondState::default);
+        let mut rws = snap.rws;
+        rws.resize_with(app.n_rwlocks as usize, RwState::default);
+        let mut sems = snap.sems;
+        for &v in app.sem_initial.iter().skip(sems.len()) {
+            sems.push(SemState::new(v));
+        }
+        let mut vars = snap.vars;
+        for &v in app.var_initial.iter().skip(vars.len()) {
+            vars.push(v);
+        }
+        Ok(Engine {
+            app,
+            cfg,
+            opts,
+            now: snap.now,
+            seq: snap.seq,
+            heap: snap.heap,
+            threads: snap.threads,
+            by_id: snap.by_id,
+            lwps: snap.lwps,
+            cpus: snap.cpus,
+            mutexes,
+            sems,
+            conds,
+            rws,
+            vars,
+            user_rq: snap.user_rq,
+            kernel_rq: snap.kernel_rq,
+            parked: snap.parked,
+            cpu_bound_lwps: snap.cpu_bound_lwps,
+            joiners: snap.joiners,
+            zombies: snap.zombies,
+            next_id: snap.next_id,
+            live: snap.live,
+            des_events: snap.des_events,
+            transitions: snap.transitions,
+            events: snap.events,
+            stalled_at: None,
+        })
     }
 
     fn progress_report(&self) -> String {
@@ -1674,7 +1997,7 @@ impl<'a, 'o> Engine<'a, 'o> {
         sync
     }
 
-    fn run_audit(&self) -> vppb_model::AuditReport {
+    fn run_audit(&self, transitions: Option<&[Transition]>) -> vppb_model::AuditReport {
         let cpu_busy: Vec<Duration> = self.cpus.iter().map(|c| c.busy).collect();
         let thread_audits: Vec<ThreadAudit> = self
             .threads
@@ -1696,12 +2019,16 @@ impl<'a, 'o> Engine<'a, 'o> {
             sync: &sync,
             runnable_left,
             joiners_left: self.joiners.len(),
-            transitions: if self.opts.record_trace { Some(&self.transitions) } else { None },
+            transitions,
         })
     }
 
     fn into_result(mut self) -> RunResult {
-        let audit = self.run_audit();
+        // Flatten the (possibly segmented) trace first; the audit and the
+        // event sort both want the contiguous form the result carries.
+        let transitions = std::mem::take(&mut self.transitions).into_vec();
+        let mut events = std::mem::take(&mut self.events).into_vec();
+        let audit = self.run_audit(if self.opts.record_trace { Some(&transitions) } else { None });
         let wall_time = self.now;
         let mut threads = BTreeMap::new();
         for t in &self.threads {
@@ -1715,7 +2042,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 },
             );
         }
-        self.events.sort_by_key(|e| (e.start, e.thread.0));
+        events.sort_by_key(|e| (e.start, e.thread.0));
         let total_cpu_time = self.threads.iter().map(|t| t.cpu_time).sum();
         let n_threads = self.threads.len() as u32;
         RunResult {
@@ -1724,8 +2051,8 @@ impl<'a, 'o> Engine<'a, 'o> {
                 program: self.app.name.clone(),
                 cpus: self.cfg.cpus,
                 wall_time,
-                transitions: self.transitions,
-                events: self.events,
+                transitions,
+                events,
                 threads,
                 source_map: self.app.source_map.clone(),
             },
@@ -1744,5 +2071,174 @@ impl LwpRt {
     /// future optimization, always slices for now.
     fn dedicated_solo(&self) -> bool {
         false
+    }
+}
+
+impl ThreadRt {
+    /// Clone the runtime record, forking the coroutine. `None` if the
+    /// program is not forkable.
+    fn try_clone(&self) -> Option<ThreadRt> {
+        Some(ThreadRt {
+            id: self.id,
+            func: self.func,
+            program: self.program.fork()?,
+            state: self.state,
+            phase: self.phase,
+            binding: self.binding,
+            user_prio: self.user_prio,
+            prio_locked: self.prio_locked,
+            lwp: self.lwp,
+            last_cpu: self.last_cpu,
+            outcome: self.outcome,
+            call: self.call,
+            cv_wait: self.cv_wait,
+            started: self.started,
+            ended: self.ended,
+            cpu_time: self.cpu_time,
+            pre_charge: self.pre_charge,
+            create_seq: self.create_seq,
+            gen: self.gen,
+            yield_pending: self.yield_pending,
+            suspend_self_pending: self.suspend_self_pending,
+            suspended: self.suspended,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// snapshots
+// ---------------------------------------------------------------------------
+
+/// A paused engine: every piece of mutable scheduler state — run queues,
+/// the parked-LWP heap, sync-object wait sets, per-thread clocks and
+/// in-flight calls, the pending DES event heap, and the accumulated
+/// trace — detached from the app/config/options it ran under. Opaque by
+/// design: the only way to act on one is to resume it with [`run_stream`].
+pub struct EngineSnapshot {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Time, u64, Ev)>>,
+    threads: Vec<ThreadRt>,
+    by_id: BTreeMap<ThreadId, Tix>,
+    lwps: Vec<LwpRt>,
+    cpus: Vec<CpuRt>,
+    mutexes: Vec<MutexState>,
+    sems: Vec<SemState>,
+    conds: Vec<CondState>,
+    rws: Vec<RwState>,
+    vars: Vec<i64>,
+    user_rq: PrioQueue<Tix>,
+    kernel_rq: PrioQueue<Lix>,
+    parked: BinaryHeap<Reverse<Lix>>,
+    cpu_bound_lwps: u32,
+    joiners: VecDeque<(Tix, Option<ThreadId>)>,
+    zombies: PrioQueue<Tix>,
+    next_id: u32,
+    live: u32,
+    des_events: u64,
+    transitions: SegVec<Transition>,
+    events: SegVec<PlacedEvent>,
+}
+
+impl EngineSnapshot {
+    /// Number of DES events processed up to the pause point.
+    pub fn des_events(&self) -> u64 {
+        self.des_events
+    }
+
+    /// Virtual time at the pause point.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Thread ids known to the paused engine, in creation order.
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        self.threads.iter().map(|t| t.id).collect()
+    }
+
+    /// Duplicate the snapshot, forking every coroutine. `None` if any
+    /// thread's program does not support [`Program::fork`].
+    pub fn try_clone(&self) -> Option<EngineSnapshot> {
+        let threads = self.threads.iter().map(ThreadRt::try_clone).collect::<Option<Vec<_>>>()?;
+        Some(EngineSnapshot {
+            now: self.now,
+            seq: self.seq,
+            heap: self.heap.clone(),
+            threads,
+            by_id: self.by_id.clone(),
+            lwps: self.lwps.clone(),
+            cpus: self.cpus.clone(),
+            mutexes: self.mutexes.clone(),
+            sems: self.sems.clone(),
+            conds: self.conds.clone(),
+            rws: self.rws.clone(),
+            vars: self.vars.clone(),
+            user_rq: self.user_rq.clone(),
+            kernel_rq: self.kernel_rq.clone(),
+            parked: self.parked.clone(),
+            cpu_bound_lwps: self.cpu_bound_lwps,
+            joiners: self.joiners.clone(),
+            zombies: self.zombies.clone(),
+            next_id: self.next_id,
+            live: self.live,
+            des_events: self.des_events,
+            transitions: self.transitions.clone(),
+            events: self.events.clone(),
+        })
+    }
+
+    /// Replace every thread's coroutine. The incremental analyzer uses
+    /// this to re-bind snapshotted threads onto an *extended* replay plan:
+    /// the callback receives each thread's id and its current program
+    /// (whose [`Program::cursor`] gives the resume position) and returns
+    /// the replacement. An error aborts the rebind, leaving the already-
+    /// replaced threads in place — discard the snapshot on error.
+    pub fn rebind_programs(
+        &mut self,
+        mut f: impl FnMut(ThreadId, Box<dyn Program>) -> Result<Box<dyn Program>, VppbError>,
+    ) -> Result<(), VppbError> {
+        for t in &mut self.threads {
+            let placeholder: Box<dyn Program> = Box::new(|_ctx: ResumeCtx| Action::Stall);
+            let old = std::mem::replace(&mut t.program, placeholder);
+            t.program = f(t.id, old)?;
+        }
+        Ok(())
+    }
+
+    /// Remap function-table indices after the resume app's table changed
+    /// shape (replay plans keep one function per thread; a log chunk can
+    /// reveal a thread whose id sorts *between* existing ones, shifting
+    /// every later index). Applied to thread bodies and to the in-flight
+    /// `thr_create` a thread may be paused inside.
+    pub fn remap_funcs(&mut self, mut f: impl FnMut(FuncId) -> FuncId) {
+        for t in &mut self.threads {
+            t.func = f(t.func);
+            if let Some(inflight) = &mut t.call {
+                if let LibCall::Create { func, bound } = inflight.call {
+                    inflight.call = LibCall::Create { func: f(func), bound };
+                }
+            }
+        }
+    }
+
+    /// Overwrite semaphore seeds with a re-derived initial vector (the
+    /// incremental analyzer's `sem_initial` can deepen as more of the log
+    /// arrives). Only legal while no thread waits on any semaphore — the
+    /// streaming replayer guarantees that by stalling before the first
+    /// semaphore op.
+    pub fn reseed_sems(&mut self, initial: &[u32]) -> Result<(), VppbError> {
+        if self.sems.iter().any(|s| !s.queue.is_empty()) {
+            return Err(VppbError::InvalidConfig(
+                "cannot reseed semaphores while threads wait on them".into(),
+            ));
+        }
+        for (i, &v) in initial.iter().enumerate() {
+            if i < self.sems.len() {
+                self.sems[i] = SemState::new(v);
+            } else {
+                self.sems.push(SemState::new(v));
+            }
+        }
+        Ok(())
     }
 }

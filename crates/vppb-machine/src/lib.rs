@@ -21,7 +21,10 @@ pub mod prioq;
 pub mod result;
 pub mod sync;
 
-pub use engine::{run, CallInterceptor, IdAssigner, Intercept, RunOptions};
+pub use engine::{
+    run, run_stream, CallInterceptor, EngineSnapshot, IdAssigner, Intercept, RunOptions,
+    StreamControl, StreamOutcome,
+};
 pub use hooks::{event_kind_of, Hooks, NullHooks};
 pub use jitter::JitterModel;
 pub use observer::{

@@ -1,0 +1,102 @@
+//! Checkpoint/restore property tests: pausing the engine at any DES event
+//! boundary, snapshotting, and resuming — even from a forked copy of the
+//! snapshot — must be invisible in the final result.
+
+use proptest::prelude::*;
+use vppb_machine::{
+    run, run_stream, EngineSnapshot, NullHooks, RunOptions, RunResult, StreamControl, StreamOutcome,
+};
+use vppb_sim::result_fingerprint;
+use vppb_testkit::fixtures::{compute_bound_pair, io_and_compute_app, two_worker_app};
+use vppb_testkit::{cfg, exact};
+use vppb_threads::App;
+
+fn fixture(ix: usize) -> App {
+    match ix {
+        0 => two_worker_app(3),
+        1 => compute_bound_pair(2),
+        _ => io_and_compute_app(),
+    }
+}
+
+fn run_plain(app: &App, cpus: u32) -> RunResult {
+    let mut hooks = NullHooks;
+    run(app, &exact(cfg(cpus)), RunOptions::new(&mut hooks)).expect("uninterrupted run")
+}
+
+/// Run `app` pausing at every `step`-th DES event, restoring each pause
+/// into a fresh engine from a *forked* snapshot. Returns the final result
+/// and the number of pauses taken.
+fn run_paused_every(app: &App, cpus: u32, step: u64) -> (RunResult, u64) {
+    let c = exact(cfg(cpus));
+    let mut resume: Option<Box<EngineSnapshot>> = None;
+    let mut stop = step;
+    let mut pauses = 0;
+    loop {
+        let mut hooks = NullHooks;
+        let control = StreamControl { resume_from: resume.take(), stop_before: Some(stop) };
+        match run_stream(app, &c, RunOptions::new(&mut hooks), control).expect("segment runs") {
+            StreamOutcome::Done(r) => return (*r, pauses),
+            StreamOutcome::Paused(s) => {
+                // Resume the clone, not the original: restore must work
+                // from a duplicated checkpoint too.
+                let clone = s.try_clone().expect("fixture programs fork");
+                resume = Some(Box::new(clone));
+                stop += step;
+                pauses += 1;
+            }
+            StreamOutcome::Stalled { event } => panic!("unexpected stall at event {event}"),
+        }
+    }
+}
+
+#[test]
+fn pause_at_every_single_event_is_invisible() {
+    let app = two_worker_app(2);
+    for cpus in [1, 2] {
+        let base = run_plain(&app, cpus);
+        let (paused, pauses) = run_paused_every(&app, cpus, 1);
+        assert!(pauses > 0, "run too short to pause");
+        assert_eq!(
+            result_fingerprint(&base),
+            result_fingerprint(&paused),
+            "{cpus} cpus: pausing at every event changed the result"
+        );
+        assert!(paused.audit.is_clean(), "audit:\n{}", paused.audit.render());
+    }
+}
+
+#[test]
+fn snapshot_exposes_progress() {
+    let app = compute_bound_pair(2);
+    let mut hooks = NullHooks;
+    let control = StreamControl { resume_from: None, stop_before: Some(5) };
+    match run_stream(&app, &exact(cfg(2)), RunOptions::new(&mut hooks), control).unwrap() {
+        StreamOutcome::Paused(s) => {
+            assert!(s.des_events() <= 5);
+            assert!(!s.thread_ids().is_empty());
+        }
+        other => panic!("expected a pause, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn checkpointed_runs_are_bit_identical(
+        app_ix in 0usize..3,
+        cpus in 1u32..5,
+        step in 1u64..23,
+    ) {
+        let app = fixture(app_ix);
+        let base = run_plain(&app, cpus);
+        let (paused, _) = run_paused_every(&app, cpus, step);
+        prop_assert_eq!(
+            result_fingerprint(&base),
+            result_fingerprint(&paused),
+            "fixture {} on {} cpus, pause every {} events", app_ix, cpus, step
+        );
+        prop_assert!(paused.audit.is_clean());
+    }
+}

@@ -49,7 +49,7 @@ pub const VERSION: u16 = 2;
 /// Oldest version [`decode`] still reads.
 pub const MIN_VERSION: u16 = 1;
 /// Upper bound on a sane record body; lengths beyond this are damage.
-const MAX_RECORD_LEN: u32 = 1 << 20;
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 20;
 
 // Record tags. Keep stable: this is an on-disk format.
 const T_START_COLLECT: u8 = 0;
@@ -484,6 +484,121 @@ fn decode_modes(data: &[u8], lenient: bool) -> Result<(TraceLog, Vec<Diagnostic>
     Ok((TraceLog { header, records }, diags))
 }
 
+/// Outcome of probing a buffer for the fixed preamble (magic, version,
+/// JSON header) — the first step of *incremental* decoding, where a
+/// growing buffer is decoded frame by frame as appends arrive.
+#[derive(Debug)]
+pub enum Preamble {
+    /// A version-2 log with a parseable header; records start at
+    /// `body_start`. Only v2 qualifies: its length-prefixed frames are
+    /// what make incremental decoding possible.
+    Ready {
+        /// The decoded JSON header.
+        header: Box<LogHeader>,
+        /// Byte offset of the first record frame.
+        body_start: usize,
+    },
+    /// The buffer ends inside the preamble; a later append may complete
+    /// it. Nothing is committed.
+    NeedMore,
+    /// Not an incrementally decodable stream (not a binary log, version
+    /// other than 2, or a damaged header) — the caller must use the full
+    /// [`decode_lenient`] path, which also reproduces the exact error or
+    /// recovery a cold read of these bytes gets.
+    Fallback,
+}
+
+/// Probe `data` for an incrementally decodable v2 preamble.
+pub fn probe_preamble(data: &[u8]) -> Preamble {
+    if data.len() < 4 {
+        return if MAGIC.starts_with(&data[..data.len()]) {
+            Preamble::NeedMore
+        } else {
+            Preamble::Fallback
+        };
+    }
+    if &data[..4] != MAGIC {
+        return Preamble::Fallback;
+    }
+    if data.len() < 10 {
+        return Preamble::NeedMore;
+    }
+    if u16::from_le_bytes([data[4], data[5]]) != 2 {
+        return Preamble::Fallback;
+    }
+    let hlen = u32::from_le_bytes([data[6], data[7], data[8], data[9]]) as usize;
+    let Some(header_bytes) = data.get(10..10 + hlen) else {
+        return Preamble::NeedMore;
+    };
+    match serde_json::from_slice::<LogHeader>(header_bytes) {
+        Ok(header) => Preamble::Ready { header: Box::new(header), body_start: 10 + hlen },
+        Err(_) => Preamble::Fallback,
+    }
+}
+
+/// One step of incremental v2 frame decoding at offset `at`.
+#[derive(Debug)]
+pub enum FrameStep {
+    /// A complete, clean frame. `end` is the offset after it; `prev_us`
+    /// is the updated time-delta accumulator to thread into the next
+    /// step. Commits are final: a cold [`decode_lenient`] of any longer
+    /// buffer decodes this frame identically.
+    Record {
+        /// The decoded record, with `seq` already assigned.
+        rec: Box<TraceRecord>,
+        /// Offset of the next frame.
+        end: usize,
+        /// Updated delta-time accumulator.
+        prev_us: u64,
+    },
+    /// The buffer ends mid-frame. The diagnostic is exactly what a cold
+    /// lenient decode of this buffer reports for the torn tail (`None`
+    /// when `at` is the buffer end — a clean boundary). A later append
+    /// can complete the frame, so nothing about the tail is committed.
+    Tail(Option<Diagnostic>),
+    /// The frame is damaged (unknown tag, implausible length, trailing
+    /// bytes). Incremental decoding cannot reproduce the lenient
+    /// decoder's recovery choices cheaply — the caller must fall back to
+    /// [`decode_lenient`] over the full buffer, now and on every later
+    /// append.
+    Damage,
+}
+
+/// Decode the frame at byte offset `at`, if completely present.
+pub fn next_frame(data: &[u8], at: usize, prev_us: u64, seq: u64) -> FrameStep {
+    let remaining = data.len() - at;
+    if remaining == 0 {
+        return FrameStep::Tail(None);
+    }
+    if remaining < 4 {
+        return FrameStep::Tail(Some(Diagnostic::warning(
+            DiagCode::DroppedPartialRecord,
+            Pos::Byte(at as u64),
+            "trailing bytes too short for a record length; dropped".to_string(),
+        )));
+    }
+    let len = u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]]);
+    if len == 0 || len > MAX_RECORD_LEN {
+        return FrameStep::Damage;
+    }
+    let body_start = at + 4;
+    if data.len() - body_start < len as usize {
+        return FrameStep::Tail(Some(Diagnostic::warning(
+            DiagCode::DroppedPartialRecord,
+            Pos::Byte(at as u64),
+            format!("final record truncated ({} of {len} bytes); dropped", data.len() - body_start),
+        )));
+    }
+    let end = body_start + len as usize;
+    let mut body = Bytes::copy_from_slice(&data[body_start..end]);
+    match parse_record_body(&mut body, prev_us, seq) {
+        Ok((rec, new_prev)) if !body.has_remaining() => {
+            FrameStep::Record { rec: Box::new(rec), end, prev_us: new_prev }
+        }
+        _ => FrameStep::Damage,
+    }
+}
+
 /// The bytes of a v2 record body, given the position just after its
 /// length prefix was consumed.
 fn buf_slice(data: &[u8], at: Pos, len: u32) -> Vec<u8> {
@@ -730,6 +845,54 @@ mod tests {
         let (salvaged, diags) = decode_lenient(&bin).unwrap();
         assert_eq!(salvaged.records, log.records);
         assert!(diags.iter().any(|d| d.code == DiagCode::BadHeaderJson));
+    }
+
+    #[test]
+    fn incremental_walk_matches_lenient_decode_at_every_prefix() {
+        let log = sample_log();
+        let bin = encode(&log).unwrap();
+        for cut in 0..=bin.len() {
+            let data = &bin[..cut];
+            let (header, body_start) = match probe_preamble(data) {
+                Preamble::Ready { header, body_start } => (header, body_start),
+                Preamble::NeedMore => {
+                    assert!(decode_lenient(data).is_err(), "cut {cut}: cold must also fail");
+                    continue;
+                }
+                Preamble::Fallback => panic!("cut {cut}: pristine v2 log must not fall back"),
+            };
+            let mut at = body_start;
+            let mut prev_us = 0;
+            let mut records = Vec::new();
+            let tail = loop {
+                match next_frame(data, at, prev_us, records.len() as u64) {
+                    FrameStep::Record { rec, end, prev_us: p } => {
+                        records.push(*rec);
+                        at = end;
+                        prev_us = p;
+                    }
+                    FrameStep::Tail(d) => break d,
+                    FrameStep::Damage => panic!("cut {cut}: pristine frames must not be damage"),
+                }
+            };
+            let (cold, diags) = decode_lenient(data).unwrap();
+            assert_eq!(cold.header, *header, "cut {cut}");
+            assert_eq!(cold.records, records, "cut {cut}");
+            let tail_diags: Vec<Diagnostic> = tail.into_iter().collect();
+            assert_eq!(diags, tail_diags, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn incremental_walk_reports_damage_for_bad_frames() {
+        let log = sample_log();
+        let mut bin = encode(&log).unwrap();
+        assert!(matches!(probe_preamble(&encode_version(&log, 1).unwrap()), Preamble::Fallback));
+        assert!(matches!(probe_preamble(b"# vppb-log v1\n"), Preamble::Fallback));
+        // Corrupt the first record's tag: the frame is complete but bad.
+        let hlen = u32::from_le_bytes([bin[6], bin[7], bin[8], bin[9]]) as usize;
+        bin[10 + hlen + 4] = 200;
+        assert!(matches!(next_frame(&bin, 10 + hlen, 0, 0), FrameStep::Damage));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! of "an event" and "a log".
 
 pub mod binlog;
+pub mod chunk;
 pub mod config;
 pub mod corrupt;
 pub mod diag;
@@ -39,7 +40,7 @@ pub use exec::{BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState
 pub use hash::{canonical_f64_bits, ContentId, StableHash, StableHasher};
 pub use ids::{parse_obj_id, CpuId, LwpId, ObjKind, SyncObjId, ThreadId};
 pub use metrics::{AuditReport, ObjContention, SchedMetrics, Violation, ViolationKind};
-pub use salvage::{salvage, SalvageEdit, SalvageReport};
+pub use salvage::{salvage, salvage_traced, SalvageEdit, SalvageReport};
 pub use source::{CodeAddr, SourceLoc, SourceMap};
 pub use time::{parse_time, Duration, Time};
 pub use trace::{LogHeader, TraceLog, TraceRecord};

@@ -89,24 +89,47 @@ impl SalvageReport {
     }
 }
 
+/// Sequence-number sentinel carried by synthesized records until the final
+/// renumber pass. A crafted input record using this value is merely
+/// *over*-reported as synthetic, which is the safe direction for every
+/// consumer (the incremental analyzer treats synthetic-derived ops as
+/// unstable).
+const SYNTH_SEQ: u64 = u64::MAX;
+
 /// Repair `log` in place; every change is reported. After a successful
 /// salvage of a non-empty log, [`TraceLog::validate`] passes.
 pub fn salvage(log: &mut TraceLog) -> SalvageReport {
+    salvage_traced(log).0
+}
+
+/// [`salvage`], additionally returning the indices (== final sequence
+/// numbers) of the event records this run *synthesized* — the released
+/// locks and exits invented at each thread's last-seen time. Streaming
+/// ingestion uses them to tell the stable prefix of a growing log from
+/// the tail that will be re-derived when more records arrive.
+pub fn salvage_traced(log: &mut TraceLog) -> (SalvageReport, Vec<usize>) {
     let mut report = SalvageReport::default();
     if log.records.is_empty() {
-        return report; // nothing to repair; validation will say EmptyLog
+        return (report, Vec::new()); // nothing to repair; validation will say EmptyLog
     }
 
     clamp_times(log, &mut report);
     repair_pairing(log, &mut report);
     if log.records.is_empty() {
-        return report; // everything was damage
+        return (report, Vec::new()); // everything was damage
     }
     synthesize_releases_and_exits(log, &mut report);
     synthesize_brackets(log, &mut report);
     clamp_wall_time(log, &mut report);
+    let synthetic = log
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.seq == SYNTH_SEQ && r.phase != Phase::Mark)
+        .map(|(i, _)| i)
+        .collect();
     renumber(log, &mut report);
-    report
+    (report, synthetic)
 }
 
 /// Pass 1: make timestamps non-decreasing.
@@ -260,7 +283,7 @@ fn synthesize_releases_and_exits(log: &mut TraceLog, report: &mut SalvageReport)
     let mut insert_after: BTreeMap<usize, Vec<TraceRecord>> = BTreeMap::new();
     let mut synth = |thread: ThreadId, at: usize, time: Time, kind: EventKind, phase: Phase| {
         insert_after.entry(at).or_default().push(TraceRecord {
-            seq: 0, // renumbered later
+            seq: SYNTH_SEQ, // marks the record synthetic; renumbered later
             time,
             thread,
             phase,

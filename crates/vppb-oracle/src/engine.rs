@@ -703,6 +703,13 @@ impl<'a, 'o> Oracle<'a, 'o> {
             let ctx = ResumeCtx { outcome, self_id: id, now: self.now };
             let action = self.threads[tix].program.resume(ctx);
             match action {
+                Action::Stall => {
+                    // The oracle never replays streaming (stalling)
+                    // programs; a stall here is a harness bug.
+                    return Err(VppbError::ProgramError(format!(
+                        "{id} returned Stall under the oracle scheduler"
+                    )));
+                }
                 Action::Work(d) => {
                     let d = self.opts.jitter.apply(id, d);
                     self.threads[tix].phase = Phase::Compute { left: d };

@@ -20,7 +20,7 @@
 use std::fs;
 use std::io::Write;
 use std::path::Path;
-use vppb_model::salvage::{salvage, SalvageReport};
+use vppb_model::salvage::{salvage_traced, SalvageReport};
 use vppb_model::{binlog, textlog, Diagnostic, TraceLog, VppbError};
 
 /// Write `bytes` to `path` atomically: temp file, fsync, rename.
@@ -120,6 +120,15 @@ pub fn load_lenient(path: impl AsRef<Path>) -> Result<LoadedLog, VppbError> {
 /// [`load_lenient`] over an in-memory buffer — the chaos harness and the
 /// `vppb check` linter feed damaged bytes straight through without a file.
 pub fn load_lenient_bytes(data: &[u8]) -> Result<LoadedLog, VppbError> {
+    Ok(load_lenient_traced(data)?.0)
+}
+
+/// [`load_lenient_bytes`], additionally reporting which record seqs of the
+/// returned log were *synthesized* by the salvager rather than decoded from
+/// the input. Streaming ingestion treats those records (and everything a
+/// thread did after them) as provisional: a later append can replace a
+/// synthetic unlock/exit tail with the real continuation.
+pub fn load_lenient_traced(data: &[u8]) -> Result<(LoadedLog, Vec<usize>), VppbError> {
     let (mut log, diagnostics) = if data.starts_with(b"VPPB") {
         binlog::decode_lenient(data)?
     } else if data.iter().find(|b| !b.is_ascii_whitespace()) == Some(&b'{') {
@@ -132,15 +141,15 @@ pub fn load_lenient_bytes(data: &[u8]) -> Result<LoadedLog, VppbError> {
         let text = String::from_utf8_lossy(data);
         textlog::parse_log_lenient(&text)
     };
-    let salvage_report = match log.validate() {
-        Ok(()) => SalvageReport::default(),
+    let (salvage_report, synthetic) = match log.validate() {
+        Ok(()) => (SalvageReport::default(), Vec::new()),
         Err(_) => {
-            let report = salvage(&mut log);
+            let (report, synthetic) = salvage_traced(&mut log);
             log.validate()?; // post-salvage failure is unrecoverable
-            report
+            (report, synthetic)
         }
     };
-    Ok(LoadedLog { log, diagnostics, salvage: salvage_report })
+    Ok((LoadedLog { log, diagnostics, salvage: salvage_report }, synthetic))
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@ pub struct Request {
     pub method: String,
     /// Path component of the request target (query string untouched).
     pub path: String,
+    /// Raw query string after `?`, without the `?` (empty if none).
+    pub query: String,
     /// Header `(name, value)` pairs; names lowercased.
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
@@ -84,7 +86,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
         return Err(ReadError::Malformed(format!("bad request line `{request_line}`")));
     }
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.clone(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -116,7 +121,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Ok(Request { method, path, headers, body })
+    Ok(Request { method, path, query, headers, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -219,6 +224,7 @@ mod tests {
         let req = round_trip(raw, 1 << 20).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/predict");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"abcd");
     }

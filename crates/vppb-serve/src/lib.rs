@@ -10,10 +10,14 @@
 //! magnitude faster — and, because the simulator is deterministic,
 //! byte-identically.
 //!
-//! Endpoints: `POST /logs`, `POST /predict`, `POST /sweep`,
-//! `GET /metrics`, `GET /healthz`, `POST /shutdown`. See DESIGN.md §6d
-//! for the serving architecture (bounded queue, backpressure, unwind
-//! isolation, graceful drain).
+//! Endpoints: `POST /logs`, `POST /logs/{id}/append`, `POST /predict`,
+//! `GET /predict?follow=1`, `POST /sweep`, `GET /metrics`,
+//! `GET /healthz`, `POST /shutdown`. See DESIGN.md §6d for the serving
+//! architecture (bounded queue, backpressure, unwind isolation, graceful
+//! drain) and §6f for streaming ingestion: appends grow a
+//! [`vppb_sim::StreamSession`] whose engine checkpoints survive re-keying,
+//! so a follow prediction resumes replay instead of starting over — and
+//! stays bit-identical to a cold prediction of the same content.
 
 pub mod http;
 pub mod server;
@@ -21,6 +25,6 @@ pub mod service;
 
 pub use server::{client, signals, start, ServeOptions, Server};
 pub use service::{
-    PredictRequest, PredictResponse, PredictionService, ResultCacheStats, ServeError,
-    ServiceMetrics, SweepRequest, SweepResponse, UploadResponse,
+    AppendResponse, PredictRequest, PredictResponse, PredictionService, ResultCacheStats,
+    ServeError, ServiceMetrics, SweepRequest, SweepResponse, UploadResponse,
 };

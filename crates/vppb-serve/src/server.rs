@@ -278,7 +278,47 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     response.write_to(&mut stream);
 }
 
+/// Value of `key` in a raw `a=1&b=2` query string.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| match pair.split_once('=') {
+        Some((k, v)) if k == key => Some(v),
+        None if pair == key => Some(""),
+        _ => None,
+    })
+}
+
 fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    // `POST /logs/{id}/append`: grow a streaming session by one chunk.
+    if request.method == "POST" {
+        if let Some(id) =
+            request.path.strip_prefix("/logs/").and_then(|rest| rest.strip_suffix("/append"))
+        {
+            return match shared.service.append(id, &request.body) {
+                Ok(ap) => Response::json(200, &ap),
+                Err(e) => Response::error(e.status(), e.message()),
+            };
+        }
+    }
+    // `GET /predict?follow=1&id=...&cpus=N`: predict from the stream's
+    // last engine checkpoint instead of replaying from scratch.
+    if (request.method.as_str(), request.path.as_str()) == ("GET", "/predict") {
+        if query_param(&request.query, "follow") != Some("1") {
+            return Response::error(400, "GET /predict requires follow=1 (else POST /predict)");
+        }
+        let Some(id) = query_param(&request.query, "id") else {
+            return Response::error(400, "missing `id` query parameter");
+        };
+        let cpus: u32 = match query_param(&request.query, "cpus").map(str::parse) {
+            None => 8,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => return Response::error(400, "bad `cpus` query parameter"),
+        };
+        return match shared.service.predict_follow(id, cpus) {
+            Ok((response, cached)) => Response::json(200, &*response)
+                .with_header("x-vppb-cache", if cached { "hit" } else { "miss" }),
+            Err(e) => Response::error(e.status(), e.message()),
+        };
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/logs") => match shared.service.upload(&request.body) {
             Ok(up) => Response::json(200, &up),

@@ -250,8 +250,12 @@ pub struct ResultCacheStats {
 pub struct ServiceMetrics {
     /// Distinct logs stored.
     pub logs_stored: usize,
+    /// Live streaming sessions (`POST /logs/{id}/append` handles).
+    pub streams: usize,
     /// `POST /logs` requests accepted.
     pub uploads: u64,
+    /// `POST /logs/{id}/append` chunks accepted.
+    pub appends: u64,
     /// Predictions served (hit or cold).
     pub predictions: u64,
     /// Sweeps served.
@@ -270,16 +274,50 @@ pub struct ServiceMetrics {
     pub sched: SchedMetrics,
 }
 
-/// A stored upload: the salvaged log plus what recovery reported.
+/// A stored upload: the salvaged log plus what recovery reported, and the
+/// raw uploaded bytes so a streaming session can grow from them.
 struct StoredLog {
     log: TraceLog,
     salvage: SalvageReport,
     diagnostics: Vec<String>,
+    raw: Vec<u8>,
+}
+
+/// A live streaming session behind `POST /logs/{id}/append`. The stream
+/// handle is the content id of the *first* uploaded chunk and never
+/// changes; `current` is re-keyed to the grown content after each append,
+/// so an append invalidates only the memoized prediction (keyed by
+/// content) while the session's engine checkpoints carry over.
+struct FollowStream {
+    session: vppb_sim::StreamSession,
+    /// Content id of the current (grown, salvaged) log.
+    current: ContentId,
+}
+
+/// `POST /logs/{id}/append` response.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AppendResponse {
+    /// The stable stream handle (the id of the first uploaded chunk).
+    pub id: String,
+    /// Content id of the grown log — what plain `POST /predict` would use.
+    pub content_id: String,
+    /// Raw bytes buffered in the stream so far.
+    pub bytes: usize,
+    /// Records in the grown (possibly salvaged) log.
+    pub records: usize,
+    /// Whether this parse needed no recovery (a torn trailing record
+    /// flips this off until the next append completes it).
+    pub clean: bool,
+    /// Decoder diagnostics for the current parse, rendered.
+    pub diagnostics: Vec<String>,
+    /// Structural repairs applied after decoding the current buffer.
+    pub salvage: SalvageReport,
 }
 
 #[derive(Default)]
 struct Counters {
     uploads: u64,
+    appends: u64,
     predictions: u64,
     sweeps: u64,
     result_hits: u64,
@@ -313,6 +351,7 @@ pub struct PredictionService {
     plans: PlanCache,
     results: Mutex<HashMap<(ContentId, u64), Arc<PredictResponse>>>,
     uni_walls: Mutex<HashMap<ContentId, u64>>,
+    sessions: Mutex<HashMap<ContentId, Arc<Mutex<FollowStream>>>>,
     counters: Mutex<Counters>,
 }
 
@@ -324,6 +363,7 @@ impl PredictionService {
             plans: PlanCache::new(cache_bytes),
             results: Mutex::new(HashMap::new()),
             uni_walls: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
         }
     }
@@ -354,10 +394,145 @@ impl PredictionService {
                 log: loaded.log,
                 salvage: loaded.salvage,
                 diagnostics: response.diagnostics.clone(),
+                raw: raw.to_vec(),
             })
         });
         self.counters.lock().expect("counters lock").uploads += 1;
         Ok(response)
+    }
+
+    /// The streaming session for `id`, creating it from the stored upload's
+    /// raw bytes on first use. The handle stays valid across appends.
+    fn session(&self, id: ContentId) -> Result<Arc<Mutex<FollowStream>>, ServeError> {
+        if let Some(s) = self.sessions.lock().expect("sessions lock").get(&id).cloned() {
+            return Ok(s);
+        }
+        let stored = self.stored(id)?;
+        let mut session = vppb_sim::StreamSession::new();
+        session
+            .append(&stored.raw)
+            .map_err(|e| ServeError::Internal(format!("re-parsing stored upload: {e}")))?;
+        let fresh = Arc::new(Mutex::new(FollowStream { session, current: id }));
+        // Two racing first-appends both built a session from the same
+        // bytes; keep whichever registered first.
+        Ok(Arc::clone(self.sessions.lock().expect("sessions lock").entry(id).or_insert(fresh)))
+    }
+
+    /// `POST /logs/{id}/append`: grow the stream behind `id` by one raw
+    /// chunk. The whole buffer is re-salvaged, so a chunk that tears a
+    /// record mid-frame is repaired now and the repair dissolves once the
+    /// next chunk completes the record. A chunk that leaves the buffer
+    /// unparseable is a 400, but its bytes stay buffered — a later append
+    /// can still complete the log.
+    pub fn append(&self, id: &str, chunk: &[u8]) -> Result<AppendResponse, ServeError> {
+        let sid = self.parse_id(id)?;
+        let slot = self.session(sid)?;
+        let mut stream = slot.lock().expect("session lock");
+        stream
+            .session
+            .append(chunk)
+            .map_err(|e| ServeError::BadRequest(format!("buffer not parseable yet: {e}")))?;
+        let state =
+            stream.session.state().ok_or_else(|| ServeError::Internal("no parse state".into()))?;
+        let canonical = binlog::encode(&state.loaded.log)
+            .map_err(|e| ServeError::Internal(format!("canonical encode: {e}")))?;
+        let cid = ContentId::of_bytes(&canonical);
+        let diagnostics: Vec<String> =
+            state.loaded.diagnostics.iter().map(|d| d.to_string()).collect();
+        let response = AppendResponse {
+            id: id.to_string(),
+            content_id: cid.to_string(),
+            bytes: stream.session.bytes().len(),
+            records: state.loaded.log.len(),
+            clean: state.loaded.is_pristine(),
+            diagnostics: diagnostics.clone(),
+            salvage: state.loaded.salvage.clone(),
+        };
+        // Register the grown content like an upload, so plain predicts and
+        // sweeps over the new id work and the memo keys stay content-true.
+        self.logs.lock().expect("logs lock").entry(cid).or_insert_with(|| {
+            Arc::new(StoredLog {
+                log: state.loaded.log.clone(),
+                salvage: state.loaded.salvage.clone(),
+                diagnostics,
+                raw: stream.session.bytes().to_vec(),
+            })
+        });
+        stream.current = cid;
+        self.counters.lock().expect("counters lock").appends += 1;
+        Ok(response)
+    }
+
+    /// `GET /predict?follow=1`: predict from the streaming session's last
+    /// engine checkpoint instead of replaying from scratch. The response
+    /// is memoized under the *current* content id, so an append
+    /// invalidates the memo entry while the checkpoint chain carries over.
+    /// Bit-identical to a cold `POST /predict` of the same content — the
+    /// chunk-equivalence battery pins that invariant.
+    pub fn predict_follow(
+        &self,
+        id: &str,
+        cpus: u32,
+    ) -> Result<(Arc<PredictResponse>, bool), ServeError> {
+        let sid = self.parse_id(id)?;
+        let slot = self.session(sid)?;
+        let mut stream = slot.lock().expect("session lock");
+        let params = SimParams::cpus(cpus);
+        let key = (stream.current, params.fingerprint());
+        if let Some(hit) = self.results.lock().expect("results lock").get(&key).cloned() {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.predictions += 1;
+            c.result_hits += 1;
+            return Ok((hit, true));
+        }
+        self.counters.lock().expect("counters lock").result_misses += 1;
+
+        let memoized_uni = self.uni_walls.lock().expect("uni lock").get(&stream.current).copied();
+        let uni_wall_ns = match memoized_uni {
+            Some(w) => w,
+            None => {
+                let uni = stream
+                    .session
+                    .predict(&SimParams::cpus(1))
+                    .map_err(|e| ServeError::Internal(e.to_string()))?;
+                let w = uni.wall_time.nanos();
+                self.uni_walls.lock().expect("uni lock").insert(stream.current, w);
+                w
+            }
+        };
+        let multi =
+            stream.session.predict(&params).map_err(|e| ServeError::Internal(e.to_string()))?;
+        let wall_ns = multi.wall_time.nanos();
+        let program = stream
+            .session
+            .log()
+            .map(|l| l.header.program.clone())
+            .ok_or_else(|| ServeError::Internal("no parse state".into()))?;
+        let response = Arc::new(PredictResponse {
+            id: stream.current.to_string(),
+            program,
+            cpus,
+            wall_ns,
+            uni_wall_ns,
+            speedup: if wall_ns == 0 { 0.0 } else { uni_wall_ns as f64 / wall_ns as f64 },
+            audit_clean: multi.audit.is_clean(),
+            des_events: multi.des_events,
+        });
+        {
+            let mut c = self.counters.lock().expect("counters lock");
+            c.predictions += 1;
+            if response.audit_clean {
+                c.audits_clean += 1;
+            } else {
+                c.audits_violated += 1;
+            }
+        }
+        let mut results = self.results.lock().expect("results lock");
+        if results.len() >= RESULT_MEMO_CAP {
+            results.clear();
+        }
+        results.insert(key, Arc::clone(&response));
+        Ok((response, false))
     }
 
     /// What recovery reported for a stored log (`GET`-style lookup used
@@ -501,7 +676,9 @@ impl PredictionService {
         let lookups = c.result_hits + c.result_misses;
         ServiceMetrics {
             logs_stored: self.logs.lock().expect("logs lock").len(),
+            streams: self.sessions.lock().expect("sessions lock").len(),
             uploads: c.uploads,
+            appends: c.appends,
             predictions: c.predictions,
             sweeps: c.sweeps,
             result_cache: ResultCacheStats {
@@ -616,6 +793,60 @@ mod tests {
         let m = svc.metrics();
         assert_eq!(m.plan_cache.misses, 1, "sweep hit the plan from predict");
         assert_eq!(m.plan_cache.hits, 1);
+    }
+
+    #[test]
+    fn append_rekeys_content_and_follow_matches_cold_predict() {
+        let svc = PredictionService::new(1 << 20);
+        let bytes = recorded_bytes();
+        // Cut halfway through the records (an even byte split would put
+        // every record after the JSON header into the second chunk).
+        let b = vppb_model::chunk::record_boundaries(&bytes);
+        assert!(b.len() > 4, "fixture too small to split");
+        let cut = [&bytes[..b[b.len() / 2]], &bytes[b[b.len() / 2]..]];
+
+        let up = svc.upload(cut[0]).unwrap();
+        let (first, _) = svc.predict_follow(&up.id, 4).unwrap();
+        let ap = svc.append(&up.id, cut[1]).unwrap();
+        assert_eq!(ap.id, up.id, "the stream handle must stay stable");
+        assert_ne!(ap.content_id, up.id, "an append must re-key the content");
+        assert_eq!(ap.bytes, bytes.len());
+
+        // The append invalidated the memo: the next follow is a miss, and
+        // its answer matches a cold predict of the full content exactly.
+        let (follow, hit) = svc.predict_follow(&up.id, 4).unwrap();
+        assert!(!hit, "grown content must not hit the stale memo");
+        assert_ne!(follow.wall_ns, first.wall_ns, "the log grew, the prediction must move");
+        let cold_svc = PredictionService::new(1 << 20);
+        let full = cold_svc.upload(&bytes).unwrap();
+        assert_eq!(full.id, ap.content_id, "grown stream and full upload share content");
+        let (cold, _) = cold_svc.predict(&PredictRequest::new(&full.id, 4)).unwrap();
+        assert_eq!(
+            serde_json::to_vec(&*follow).unwrap(),
+            serde_json::to_vec(&*cold).unwrap(),
+            "follow and cold predictions must be bit-identical"
+        );
+
+        // Same content, same service: a plain predict hits the follow memo.
+        let (_, hit) = svc.predict(&PredictRequest::new(&ap.content_id, 4)).unwrap();
+        assert!(hit, "plain predict of the grown content shares the memo");
+        assert_eq!(svc.metrics().appends, 1);
+        assert_eq!(svc.metrics().streams, 1);
+    }
+
+    #[test]
+    fn unparseable_append_is_rejected_but_bytes_are_retained() {
+        let svc = PredictionService::new(1 << 20);
+        let bytes = recorded_bytes();
+        let b = vppb_model::chunk::record_boundaries(&bytes);
+        let mid = b[b.len() / 2];
+        let up = svc.upload(&bytes[..mid]).unwrap();
+        // An empty append re-parses the same content: accepted, unchanged.
+        let same = svc.append(&up.id, b"").unwrap();
+        assert_eq!(same.bytes, mid);
+        let after = svc.append(&up.id, &bytes[mid..]).unwrap();
+        assert_eq!(after.bytes, bytes.len());
+        assert!(after.clean, "completed log needs no salvage");
     }
 
     #[test]

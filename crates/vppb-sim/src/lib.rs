@@ -12,11 +12,13 @@
 
 pub mod cache;
 pub mod divergence;
+mod feed;
 pub mod plan;
 pub mod replayer;
 pub mod rules;
 pub mod sim;
 pub mod sorter;
+pub mod stream;
 pub mod sweep;
 
 pub use cache::{CacheStats, PlanCache};
@@ -28,5 +30,8 @@ pub use sim::{
     build_replay_app, predict_speedup, replay_with_engine, simulate, simulate_metrics,
     simulate_plan, simulate_plan_metrics, simulate_plan_with, SimulatedExecution,
 };
-pub use sorter::analyze;
+pub use sorter::{analyze, analyze_with_stability};
+pub use stream::{
+    check_chunked_equivalence, cold_run, extend_plan, result_fingerprint, PlanState, StreamSession,
+};
 pub use sweep::{sweep, sweep_plan, SweepConfig, SweepGrid, SweepOutcome, SweepPoint};

@@ -16,7 +16,7 @@
 //!   thread can run between two events of the same thread).
 
 use crate::plan::{CvEpisode, CvPlan, ReplayPlan, ThreadPlan};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use vppb_model::{
     CodeAddr, DiagCode, Diagnostic, EventKind, EventResult, ObjKind, Phase, Pos, ThreadId, Time,
     TraceLog, TraceRecord, VppbError,
@@ -25,6 +25,34 @@ use vppb_threads::{Action, CondRef, LibCall, MutexRef, RwRef, SemRef};
 
 /// Build the replay plan from a validated log.
 pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
+    Ok(analyze_inner(log, None)?.0)
+}
+
+/// Like [`analyze`], additionally reporting how many leading ops of each
+/// thread's plan are *stable under appends*: derived purely from closed
+/// BEFORE/AFTER pairs of real (non-salvaged) records. When the log grows,
+/// the stable prefix of each thread can only extend — appended records sort
+/// after the existing ones of their thread, closed pairs are permanent, and
+/// salvage-synthesized tails (which the count stops at) are recomputed from
+/// scratch each time. `synthetic_seqs` is the salvager's synthetic-record
+/// list for this log ([`vppb_model::salvage_traced`]); pass an empty slice
+/// for a log that validated cleanly.
+///
+/// The count excludes the auto-appended trailing `thr_exit` and everything
+/// from the first unpaired BEFORE on (its AFTER — or, for `thr_exit`, a
+/// successor record proving it really was the end — may still arrive).
+pub fn analyze_with_stability(
+    log: &TraceLog,
+    synthetic_seqs: &[usize],
+) -> Result<(ReplayPlan, BTreeMap<ThreadId, usize>), VppbError> {
+    let set: BTreeSet<u64> = synthetic_seqs.iter().map(|&i| i as u64).collect();
+    analyze_inner(log, Some(&set))
+}
+
+fn analyze_inner(
+    log: &TraceLog,
+    synthetic: Option<&BTreeSet<u64>>,
+) -> Result<(ReplayPlan, BTreeMap<ThreadId, usize>), VppbError> {
     log.validate()?;
 
     // ---- pass 1: group records per thread, track object universe --------
@@ -164,8 +192,13 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
 
     // ---- pass 4: per-thread op lists -------------------------------------
     let mut threads = Vec::new();
+    let mut stable_map: BTreeMap<ThreadId, usize> = BTreeMap::new();
     for (&tid, records) in &per_thread {
         let mut ops = Vec::new();
+        // Ops derived so far from closed pairs of real records only; stops
+        // advancing at the first synthetic or unpaired record.
+        let mut stable_ops = 0usize;
+        let mut stable = true;
         // Compute starts at the thread's first scheduling instant.
         let mut prev_end: Option<Time> = None;
         let mut i = 0;
@@ -188,6 +221,24 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
                     // except for thr_exit which never returns).
                     let after = records.get(i + 1).filter(|a| a.phase == Phase::After);
                     translate_call(kind, r.caller, after.map(|a| *(*a)), &mut ops)?;
+                    let synthetic_rec = synthetic.is_some_and(|s| {
+                        s.contains(&r.seq) || after.is_some_and(|a| s.contains(&a.seq))
+                    });
+                    // A Create is only final once the child's entry address
+                    // is known: until the child's ThreadStart arrives, the
+                    // plan carries a NULL entry that a later chunk will
+                    // backfill, changing the replayed ThrCreate event.
+                    let create_resolved = match after.map(|a| (a.kind, a.result)) {
+                        Some((EventKind::ThrCreate { .. }, EventResult::Created(child))) => {
+                            entries.contains_key(&child)
+                        }
+                        _ => true,
+                    };
+                    if stable && !synthetic_rec && create_resolved && after.is_some() {
+                        stable_ops = ops.len();
+                    } else {
+                        stable = false;
+                    }
                     prev_end = Some(after.map(|a| a.time).unwrap_or(r.time));
                     i += if after.is_some() { 2 } else { 1 };
                 }
@@ -202,6 +253,7 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
                 }
             }
         }
+        stable_map.insert(tid, stable_ops);
         // Ensure the thread terminates.
         if !matches!(ops.last(), Some(Action::Call(LibCall::Exit, _))) {
             ops.push(Action::Call(LibCall::Exit, CodeAddr::NULL));
@@ -241,25 +293,32 @@ pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
                 entry: CodeAddr::NULL,
                 ops: vec![Action::Call(LibCall::Exit, CodeAddr::NULL)],
             });
+            // Its real first record may still arrive: nothing is stable.
+            stable_map.insert(*child, 0);
         }
     }
 
-    Ok(ReplayPlan {
-        program: log.header.program.clone(),
-        threads,
-        create_map,
-        cvs,
-        sem_initial,
-        n_mutexes,
-        n_condvars,
-        n_rwlocks,
-        recorded_wall: log.header.wall_time,
-        bound: bound_flags,
-    })
+    Ok((
+        ReplayPlan {
+            program: log.header.program.clone(),
+            threads,
+            create_map,
+            cvs,
+            sem_initial,
+            n_mutexes,
+            n_condvars,
+            n_rwlocks,
+            recorded_wall: log.header.wall_time,
+            bound: bound_flags,
+        },
+        stable_map,
+    ))
 }
 
 /// Translate one recorded call into replay ops, applying the static rules.
-fn translate_call(
+/// `pub(crate)` so the incremental feed folds settled pairs through the
+/// exact same translation.
+pub(crate) fn translate_call(
     kind: EventKind,
     caller: CodeAddr,
     after: Option<TraceRecord>,

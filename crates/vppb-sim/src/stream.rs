@@ -1,0 +1,672 @@
+//! Streaming ingestion and checkpointable incremental replay.
+//!
+//! `vppb watch` and the prediction service's follow mode feed a growing
+//! log in chunks and want a fresh prediction after every append, with the
+//! invariant that each rolling prediction is **bit-identical** to a cold
+//! `simulate(analyze(salvage(parse(prefix))))` over the bytes received so
+//! far. A [`StreamSession`] owns the raw bytes, re-derives the plan after
+//! every append ([`extend_plan`]), and keeps per-configuration *checkpoint
+//! chains* — [`vppb_machine::EngineSnapshot`]s of the replay engine paused
+//! at the edge of the plan's *committed prefix* — so the expensive replay
+//! resumes from the checkpoint instead of re-simulating from time zero.
+//!
+//! ## Why this is exact (DESIGN.md §6f)
+//!
+//! A chunk boundary can tear a record, and the salvager closes the torn
+//! log with synthesized unlocks/exits that the next chunk replaces. The
+//! committed prefix of each thread therefore stops at the first salvaged
+//! record, the first unpaired BEFORE, and the first condvar/semaphore op
+//! (whose replay-rule seeds and inferred initial counts can change as the
+//! log grows). Within that prefix the per-thread ops are *append-stable*:
+//! later chunks extend them without rewriting. The chain replays only
+//! committed ops — a [`StallingReplayer`] returns [`Action::Stall`] at its
+//! commit horizon — so a snapshot paused before the first stall event is a
+//! true intermediate state of the cold replay of **every** future prefix.
+//! Completion then rebinds the coroutines to the full plan, reseeds the
+//! semaphores (no sem op ever ran, so no waiter exists), and runs to the
+//! end with fresh replay rules (no cv op ever ran, so fresh rules equal
+//! the cold rules state). Any structural surprise — an unforkable
+//! program, a shrunken plan, a bootstrap stall — simply falls back to the
+//! cold path, which is the definition of correct.
+
+use crate::feed::{FeedStep, IncrementalFeed};
+use crate::plan::ReplayPlan;
+use crate::rules::ReplayRules;
+use crate::sim::{run_replay_on, to_execution, SimulatedExecution};
+use crate::sorter::analyze_with_stability;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vppb_machine::{
+    run_stream, EngineSnapshot, JitterModel, NullHooks, RunLimits, RunOptions, RunResult,
+    StreamControl, StreamOutcome,
+};
+use vppb_model::{chunk, Duration, SimParams, StableHasher, ThreadId, TraceLog, VppbError};
+use vppb_recorder::{load_lenient_traced, LoadedLog};
+use vppb_threads::{Action, App, FuncDecl, FuncId, LibCall, Program, ProgramFactory, ResumeCtx};
+
+/// A [`crate::replayer::Replayer`] with a commit horizon: at `stall_at`
+/// it reports [`Action::Stall`] forever instead of advancing. With
+/// `stall_at == usize::MAX` it behaves exactly like the plain replayer,
+/// including the defensive exit past the end of the op list.
+#[derive(Clone)]
+struct StallingReplayer {
+    ops: Arc<[Action]>,
+    idx: usize,
+    stall_at: usize,
+}
+
+impl Program for StallingReplayer {
+    fn resume(&mut self, _ctx: ResumeCtx) -> Action {
+        if self.idx >= self.stall_at {
+            return Action::Stall;
+        }
+        match self.ops.get(self.idx) {
+            Some(op) => {
+                self.idx += 1;
+                *op
+            }
+            None => Action::Call(LibCall::Exit, vppb_model::CodeAddr::NULL),
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn cursor(&self) -> Option<usize> {
+        Some(self.idx)
+    }
+}
+
+/// Ops a chain must never execute before the log is complete: condvar
+/// traffic (replay-rule seeds grow with the log) and semaphore traffic
+/// (inferred initial counts grow with the log). Shared with the
+/// incremental feed, which applies the same cut to its fold.
+pub(crate) fn provisional_op(op: &Action) -> bool {
+    matches!(
+        op,
+        Action::Call(
+            LibCall::CondWait { .. }
+                | LibCall::CondSignal(_)
+                | LibCall::CondBroadcast(_)
+                | LibCall::SemWait(_)
+                | LibCall::SemPost(_),
+            _
+        )
+    )
+}
+
+/// Everything a session derives from the bytes received so far.
+pub struct PlanState {
+    /// The lenient-loaded log with its salvage report and diagnostics —
+    /// exactly what a cold load of the same bytes would produce.
+    pub loaded: LoadedLog,
+    /// The replay plan of the current prefix.
+    pub plan: ReplayPlan,
+    /// Per-thread committed op counts (stable prefix ∩ pre-cv/sem prefix).
+    pub(crate) committed: BTreeMap<ThreadId, usize>,
+}
+
+/// One per-configuration checkpoint: the replay engine paused at the edge
+/// of the committed prefix, plus the plan thread order its `FuncId`s were
+/// numbered under (a later chunk can reveal a thread id that sorts between
+/// existing ones, shifting every `FuncId` after it).
+struct Chain {
+    snapshot: EngineSnapshot,
+    funcs: Vec<ThreadId>,
+}
+
+/// Converted replayer op lists, cached across predictions. In fast-feed
+/// mode every thread's plan ops are append-only up to the committed
+/// horizon, so only the tail past the cached prefix needs re-converting;
+/// anything that breaks that guarantee (a full re-derive, a shift in the
+/// plan's thread order) discards the cache.
+struct ConvCache {
+    /// Plan thread order the cached `FuncId` patches were numbered under.
+    order: Vec<ThreadId>,
+    /// Per thread: converted ops for the committed prefix, plus the
+    /// number of Create ops consumed inside it (the `create_map` key
+    /// sequence resumes from there).
+    per: BTreeMap<ThreadId, (Vec<Action>, u64)>,
+}
+
+/// A growing log plus the checkpoint chains replaying it incrementally.
+#[derive(Default)]
+pub struct StreamSession {
+    bytes: Vec<u8>,
+    state: Option<PlanState>,
+    chains: BTreeMap<u64, Chain>,
+    feed: IncrementalFeed,
+    conv_cache: Option<ConvCache>,
+}
+
+impl StreamSession {
+    /// An empty session.
+    pub fn new() -> StreamSession {
+        StreamSession::default()
+    }
+
+    /// All bytes received so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The current plan state, if at least one append parsed.
+    pub fn state(&self) -> Option<&PlanState> {
+        self.state.as_ref()
+    }
+
+    /// The current (salvaged) log, if any.
+    pub fn log(&self) -> Option<&TraceLog> {
+        self.state.as_ref().map(|s| &s.loaded.log)
+    }
+
+    /// DES event count of the stored checkpoint for this configuration —
+    /// `None` when the last prediction fell back to the cold path.
+    /// Diagnostics for `vppb watch` and the streaming bench: a healthy
+    /// chain advances its checkpoint as the log grows.
+    pub fn checkpoint_events(&self, params: &SimParams) -> Option<u64> {
+        self.chains.get(&params.fingerprint()).map(|c| c.snapshot.des_events())
+    }
+
+    /// Append a chunk of raw log bytes and re-derive the plan. On parse
+    /// failure (e.g. a torn JSON document) the bytes are retained — a
+    /// later append can complete them — and the previous plan state stays
+    /// in force.
+    ///
+    /// For clean v2 binary streams the [`IncrementalFeed`] fast path
+    /// derives the new state in O(tail); anything it does not model falls
+    /// back to a bit-identical full re-derive over the whole buffer.
+    pub fn append(&mut self, chunk: &[u8]) -> Result<&PlanState, VppbError> {
+        self.bytes.extend_from_slice(chunk);
+        let state = match self.feed.append(&self.bytes)? {
+            FeedStep::Fast(state) => *state,
+            FeedStep::Full => {
+                // A full re-derive may rewrite ops wholesale; the cached
+                // converted prefixes are no longer trustworthy.
+                self.conv_cache = None;
+                derive_full(&self.bytes)?
+            }
+        };
+        self.state = Some(state);
+        Ok(self.state.as_ref().unwrap())
+    }
+
+    /// Whether the incremental decode/analyze fast path is serving this
+    /// session (diagnostics for `vppb watch` and the streaming bench).
+    pub fn incremental(&self) -> bool {
+        self.feed.is_fast()
+    }
+
+    /// Predict the replay of the current prefix under `params`,
+    /// bit-identical to a cold [`cold_run`] over [`Self::bytes`]. Uses the
+    /// configuration's checkpoint chain when possible and falls back to
+    /// the cold path otherwise.
+    pub fn predict(&mut self, params: &SimParams) -> Result<RunResult, VppbError> {
+        if self.state.is_none() {
+            return Err(VppbError::MalformedLog("streaming session has no log yet".into()));
+        }
+        let key = params.fingerprint();
+        if let Some(result) = self.advance_chain(key, params) {
+            return Ok(result);
+        }
+        cold_run_state(self.state.as_ref().unwrap(), params)
+    }
+
+    /// [`Self::predict`] packaged as a [`SimulatedExecution`] (what the
+    /// service and CLI render).
+    pub fn predict_execution(
+        &mut self,
+        params: &SimParams,
+    ) -> Result<SimulatedExecution, VppbError> {
+        let result = self.predict(params)?;
+        let state = self.state.as_ref().expect("predict succeeded");
+        Ok(to_execution(&state.plan, params, result))
+    }
+
+    /// Advance the chain for `key` over the current plan and produce the
+    /// completed replay, or `None` to fall back to a cold run. Errors are
+    /// deliberately swallowed into `None`: the cold path re-derives the
+    /// same outcome (including the same error) from first principles.
+    fn advance_chain(&mut self, key: u64, params: &SimParams) -> Option<RunResult> {
+        let state = self.state.as_ref()?;
+        let plan = &state.plan;
+        let source_map = state.loaded.log.header.source_map.clone();
+        let converted =
+            convert_plan_ops_cached(&mut self.conv_cache, plan, &state.committed).ok()?;
+        let (probe_app, parts) =
+            build_stalling_app(plan, &converted, Some(&state.committed), source_map.clone())
+                .ok()?;
+
+        // Resume point: the existing checkpoint rebound onto the new plan,
+        // or a fresh bootstrap when there is none (or rebinding fails).
+        let resume = match self.chains.get(&key) {
+            Some(chain) => match rebind_onto(chain, plan, &parts) {
+                Some(s) => Some(s),
+                None => {
+                    self.chains.remove(&key);
+                    None
+                }
+            },
+            None => None,
+        };
+
+        // Probe: run the committed plan until some thread stalls at its
+        // commit horizon. Event M is the first uncommitted decision.
+        let control = StreamControl { resume_from: resume.map(Box::new), stop_before: None };
+        let m = match run_chain_segment(&probe_app, plan, params, control).ok()? {
+            StreamOutcome::Stalled { event } => event,
+            // Done: the committed plan ran every thread to its exit. Caps
+            // cut at the first cv/sem op, so full caps mean the plan has
+            // none at all — stale semaphore seeds and fresh rules are
+            // unobservable, and the probe just performed the complete
+            // cold replay. Its result IS the prediction (the log is
+            // finished; keep no checkpoint).
+            StreamOutcome::Done(result) => {
+                self.chains.remove(&key);
+                return Some(*result);
+            }
+            _ => {
+                self.chains.remove(&key);
+                return None;
+            }
+        };
+        if m == 0 {
+            // Stalled during bootstrap: there is no clean pre-stall state.
+            self.chains.remove(&key);
+            return None;
+        }
+
+        // Re-run to the boundary *before* the stall: this snapshot carries
+        // no stall artifacts and is a true cold intermediate state.
+        let resume = match self.chains.get(&key) {
+            Some(chain) => Some(Box::new(rebind_onto(chain, plan, &parts)?)),
+            None => None,
+        };
+        let control = StreamControl { resume_from: resume, stop_before: Some(m) };
+        let snapshot = match run_chain_segment(&probe_app, plan, params, control).ok()? {
+            StreamOutcome::Paused(s) => *s,
+            _ => {
+                self.chains.remove(&key);
+                return None;
+            }
+        };
+
+        // Completion: finish the replay from the checkpoint with the full
+        // (uncapped) plan, fresh rules, and reseeded semaphores.
+        let kept = snapshot.try_clone()?;
+        let funcs: Vec<ThreadId> = plan.threads.iter().map(|t| t.id).collect();
+        let mut completion = snapshot;
+        completion.reseed_sems(&plan.sem_initial).ok()?;
+        let (full_app, full_parts) = build_stalling_app(plan, &converted, None, source_map).ok()?;
+        completion
+            .rebind_programs(|id, old| {
+                let (ops, stall_at) = full_parts
+                    .get(&id)
+                    .ok_or_else(|| stream_err(format!("no plan for running thread {id}")))?;
+                let idx = old
+                    .cursor()
+                    .ok_or_else(|| stream_err(format!("{id} has no resumable cursor")))?;
+                Ok(Box::new(StallingReplayer { ops: ops.clone(), idx, stall_at: *stall_at }))
+            })
+            .ok()?;
+        let control = StreamControl { resume_from: Some(Box::new(completion)), stop_before: None };
+        match run_chain_segment(&full_app, plan, params, control) {
+            Ok(StreamOutcome::Done(result)) => {
+                self.chains.insert(key, Chain { snapshot: kept, funcs });
+                Some(*result)
+            }
+            _ => {
+                self.chains.remove(&key);
+                None
+            }
+        }
+    }
+}
+
+fn stream_err(msg: String) -> VppbError {
+    VppbError::ReplayDiverged(format!("streaming replay: {msg}"))
+}
+
+/// Extend a session's plan in place from an appended chunk. Thin named
+/// wrapper so call sites read like the operation they perform.
+pub fn extend_plan<'s>(
+    session: &'s mut StreamSession,
+    chunk: &[u8],
+) -> Result<&'s PlanState, VppbError> {
+    session.append(chunk)
+}
+
+/// Full (non-incremental) derivation of a session's plan state: lenient
+/// load, salvage, analyze, and the committed-horizon computation from the
+/// analyzer's stability map. The feed's fallback target and the baseline
+/// the fast path must bit-match.
+fn derive_full(bytes: &[u8]) -> Result<PlanState, VppbError> {
+    let (loaded, synthetic) = load_lenient_traced(bytes)?;
+    let (plan, stable) = analyze_with_stability(&loaded.log, &synthetic)?;
+    let mut committed = BTreeMap::new();
+    for tp in &plan.threads {
+        let cap = tp.ops.iter().position(provisional_op).unwrap_or(tp.ops.len());
+        let stable_len = stable.get(&tp.id).copied().unwrap_or(0);
+        committed.insert(tp.id, cap.min(stable_len));
+    }
+    Ok(PlanState { loaded, plan, committed })
+}
+
+/// Cold reference run: parse, salvage, analyze and replay `bytes` from
+/// scratch — the function every rolling prediction must bit-match.
+pub fn cold_run(bytes: &[u8], params: &SimParams) -> Result<RunResult, VppbError> {
+    let (loaded, synthetic) = load_lenient_traced(bytes)?;
+    let (plan, _) = analyze_with_stability(&loaded.log, &synthetic)?;
+    let committed = BTreeMap::new();
+    cold_run_state(&PlanState { loaded, plan, committed }, params)
+}
+
+fn cold_run_state(state: &PlanState, params: &SimParams) -> Result<RunResult, VppbError> {
+    let app =
+        crate::sim::build_replay_app(&state.plan, state.loaded.log.header.source_map.clone())?;
+    run_replay_on(&app, &state.plan, params, None)
+}
+
+/// Convert every thread's plan ops into the replayer's action lists,
+/// patching each Create op with the FuncId of the recorded child —
+/// identical to the cold app builder, so the committed prefix of the op
+/// stream is byte-for-byte the cold one. This is the only O(total ops)
+/// step of app assembly, so it runs once per prediction (the capped and
+/// uncapped apps are stamped out of the same shared lists) and carries a
+/// cache across predictions: the converted prefix up to each thread's
+/// committed horizon is append-stable in fast-feed mode, so only the op
+/// tail past it is converted anew. The cache self-invalidates when the
+/// plan's thread order shifts, and [`StreamSession::append`] discards it
+/// on any full re-derive.
+fn convert_plan_ops_cached(
+    cache: &mut Option<ConvCache>,
+    plan: &ReplayPlan,
+    committed: &BTreeMap<ThreadId, usize>,
+) -> Result<BTreeMap<ThreadId, Arc<[Action]>>, VppbError> {
+    let order: Vec<ThreadId> = plan.threads.iter().map(|t| t.id).collect();
+    let func_of: BTreeMap<ThreadId, FuncId> =
+        order.iter().enumerate().map(|(i, &t)| (t, FuncId(i))).collect();
+    let mut cached = match cache.take() {
+        Some(c) if c.order == order => c.per,
+        _ => BTreeMap::new(),
+    };
+    let mut out = BTreeMap::new();
+    let mut next = BTreeMap::new();
+    for tp in &plan.threads {
+        let (mut ops, mut seq) = cached.remove(&tp.id).unwrap_or_default();
+        if ops.len() > tp.ops.len() {
+            // The plan shrank under the cache — never the case in fast
+            // mode, so distrust everything cached for this thread.
+            ops.clear();
+            seq = 0;
+        }
+        ops.reserve(tp.ops.len() - ops.len());
+        for op in &tp.ops[ops.len()..] {
+            ops.push(match op {
+                Action::Call(LibCall::Create { bound, .. }, site) => {
+                    let child = plan.create_map.get(&(tp.id, seq)).copied().ok_or_else(|| {
+                        VppbError::MalformedLog(format!(
+                            "replay plan: create #{seq} on {} has no recorded child",
+                            tp.id
+                        ))
+                    })?;
+                    seq += 1;
+                    let func = func_of.get(&child).copied().ok_or_else(|| {
+                        VppbError::MalformedLog(format!(
+                            "replay plan: created thread {child} has no thread plan"
+                        ))
+                    })?;
+                    Action::Call(LibCall::Create { func, bound: *bound }, *site)
+                }
+                other => *other,
+            });
+        }
+        out.insert(tp.id, ops[..].into());
+        // Trim the cache entry back to the committed horizon — the part
+        // guaranteed stable under future appends — rolling the create
+        // sequence back past the trimmed tail.
+        let cut = committed.get(&tp.id).copied().unwrap_or(0).min(ops.len());
+        let trimmed = ops[cut..]
+            .iter()
+            .filter(|a| matches!(a, Action::Call(LibCall::Create { .. }, _)))
+            .count() as u64;
+        ops.truncate(cut);
+        next.insert(tp.id, (ops, seq - trimmed));
+    }
+    *cache = Some(ConvCache { order, per: next });
+    Ok(out)
+}
+
+/// Build the replay app whose coroutines stall at the committed horizon
+/// (`caps = Some`) or never (`caps = None`; behaviorally identical to
+/// [`crate::sim::build_replay_app`]'s plain replayers) from pre-converted
+/// op lists. Also returns each thread's op list and horizon for snapshot
+/// rebinding. O(threads), not O(ops): the lists are Arc-shared.
+#[allow(clippy::type_complexity)]
+fn build_stalling_app(
+    plan: &ReplayPlan,
+    converted: &BTreeMap<ThreadId, Arc<[Action]>>,
+    caps: Option<&BTreeMap<ThreadId, usize>>,
+    source_map: vppb_model::SourceMap,
+) -> Result<(App, BTreeMap<ThreadId, (Arc<[Action]>, usize)>), VppbError> {
+    let mut functions = Vec::new();
+    let mut parts = BTreeMap::new();
+    let mut main = None;
+    for (i, tp) in plan.threads.iter().enumerate() {
+        let ops = converted
+            .get(&tp.id)
+            .ok_or_else(|| {
+                VppbError::MalformedLog(format!("replay plan: no converted ops for {}", tp.id))
+            })?
+            .clone();
+        let stall_at = match caps {
+            Some(c) => c.get(&tp.id).copied().unwrap_or(0),
+            None => usize::MAX,
+        };
+        parts.insert(tp.id, (ops.clone(), stall_at));
+        let factory: ProgramFactory = Arc::new(move || {
+            Box::new(StallingReplayer { ops: ops.clone(), idx: 0, stall_at }) as Box<dyn Program>
+        });
+        functions.push(FuncDecl { name: tp.start_fn.clone(), entry: tp.entry, factory });
+        if tp.id == ThreadId::MAIN {
+            main = Some(FuncId(i));
+        }
+    }
+
+    let main = main.ok_or_else(|| {
+        VppbError::MalformedLog("replay plan: no plan for the main thread".into())
+    })?;
+    Ok((
+        App {
+            name: format!("{} (replay)", plan.program),
+            functions,
+            main,
+            source_map,
+            sem_initial: plan.sem_initial.clone(),
+            n_mutexes: plan.n_mutexes,
+            n_condvars: plan.n_condvars,
+            n_rwlocks: plan.n_rwlocks,
+            var_initial: vec![],
+        },
+        parts,
+    ))
+}
+
+/// Clone a checkpoint and rebind it onto the current plan: remap `FuncId`s
+/// through the old plan order, then swap every coroutine for a
+/// [`StallingReplayer`] over the current (longer) op list at the same
+/// cursor. `None` when the snapshot cannot be carried forward.
+fn rebind_onto(
+    chain: &Chain,
+    plan: &ReplayPlan,
+    parts: &BTreeMap<ThreadId, (Arc<[Action]>, usize)>,
+) -> Option<EngineSnapshot> {
+    let new_pos: BTreeMap<ThreadId, usize> =
+        plan.threads.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+    let mut table = Vec::with_capacity(chain.funcs.len());
+    for id in &chain.funcs {
+        table.push(FuncId(*new_pos.get(id)?));
+    }
+    let mut snap = chain.snapshot.try_clone()?;
+    snap.remap_funcs(|f| table.get(f.0).copied().unwrap_or(f));
+    snap.rebind_programs(|id, old| {
+        let (ops, stall_at) =
+            parts.get(&id).ok_or_else(|| stream_err(format!("no plan for running thread {id}")))?;
+        let idx =
+            old.cursor().ok_or_else(|| stream_err(format!("{id} has no resumable cursor")))?;
+        Ok(Box::new(StallingReplayer { ops: ops.clone(), idx, stall_at: *stall_at }))
+    })
+    .ok()?;
+    Some(snap)
+}
+
+/// Replay one chain segment under exactly the cold replay configuration
+/// (mirrors [`crate::sim::replay_with_engine`]: no LWP-switch cost, fresh
+/// rules, recorded id assignment, no jitter).
+fn run_chain_segment(
+    app: &App,
+    plan: &ReplayPlan,
+    params: &SimParams,
+    control: StreamControl,
+) -> Result<StreamOutcome, VppbError> {
+    let mut machine = params.machine.clone();
+    machine.base_costs.lwp_switch = Duration::ZERO;
+    let mut rules = ReplayRules::new(plan, params.barrier_aware_broadcast);
+    let create_map = plan.create_map.clone();
+    let mut hooks = NullHooks;
+    let opts = RunOptions {
+        interceptor: Some(&mut rules),
+        id_assigner: Some(Box::new(move |creator, seq| {
+            create_map.get(&(creator, seq)).copied().unwrap_or(ThreadId(u32::MAX))
+        })),
+        manips: params.manips.clone(),
+        jitter: JitterModel::none(),
+        limits: RunLimits::default(),
+        record_trace: true,
+        observer: None,
+        faults: params.faults,
+        size_hint: plan.total_ops(),
+        ..RunOptions::new(&mut hooks)
+    };
+    run_stream(app, &machine, opts, control)
+}
+
+/// A stable field-wise fingerprint of a completed run — every field a
+/// prediction exposes (wall time, DES cost, CPU busy vector, the audit,
+/// and the full trace). Two runs fingerprint equal iff they are
+/// bit-identical for every consumer of a prediction.
+pub fn result_fingerprint(r: &RunResult) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(r.wall_time.nanos());
+    h.write_u64(r.des_events);
+    h.write_u32(r.n_threads);
+    h.write_u64(r.total_cpu_time.nanos());
+    h.write_len(r.cpu_busy.len());
+    for d in &r.cpu_busy {
+        h.write_u64(d.nanos());
+    }
+    h.write_u32(r.audit.checks);
+    h.write_len(r.audit.violations.len());
+    for v in &r.audit.violations {
+        h.write_str(&v.to_string());
+    }
+    let t = &r.trace;
+    h.write_str(&t.program);
+    h.write_u32(t.cpus);
+    h.write_u64(t.wall_time.nanos());
+    h.write_len(t.transitions.len());
+    for tr in &t.transitions {
+        h.write_u64(tr.time.nanos());
+        h.write_u32(tr.thread.0);
+        h.write_str(&format!("{:?}", tr.state));
+    }
+    h.write_len(t.events.len());
+    for e in &t.events {
+        h.write_u64(e.start.nanos());
+        h.write_u64(e.end.nanos());
+        h.write_u32(e.thread.0);
+        h.write_u32(e.cpu.0);
+        h.write_u64(e.caller.0);
+        h.write_str(&format!("{:?}", e.kind));
+    }
+    h.write_len(t.threads.len());
+    for (id, info) in &t.threads {
+        h.write_u32(id.0);
+        h.write_str(&info.start_fn);
+        h.write_u64(info.started.nanos());
+        h.write_u64(info.ended.nanos());
+        h.write_u64(info.cpu_time.nanos());
+    }
+    h.finish()
+}
+
+/// The chunk-equivalence check the test battery and `vppb fuzz --chunked`
+/// share: split `bytes` at record boundaries (seeded; every boundary for
+/// small logs), feed the chunks through a [`StreamSession`], and at every
+/// boundary compare the rolling prediction against a cold run of the
+/// concatenated prefix. Returns the number of boundaries checked, or a
+/// description of the first divergence.
+pub fn check_chunked_equivalence(
+    bytes: &[u8],
+    params: &SimParams,
+    seed: u64,
+) -> Result<usize, String> {
+    let chunks = chunk::split_random(bytes, seed, 8);
+    if chunks.is_empty() {
+        return Err("no chunks: empty input".into());
+    }
+    let mut session = StreamSession::new();
+    let mut prefix: Vec<u8> = Vec::new();
+    let mut checked = 0usize;
+    for (i, part) in chunks.iter().enumerate() {
+        prefix.extend_from_slice(part);
+        let append_err = session.append(part).err();
+        let inc = match append_err {
+            Some(e) => Err(e),
+            None => session.predict(params),
+        };
+        let cold = cold_run(&prefix, params);
+        match (inc, cold) {
+            (Ok(a), Ok(b)) => {
+                let (fa, fb) = (result_fingerprint(&a), result_fingerprint(&b));
+                if fa != fb {
+                    return Err(format!(
+                        "chunk {i}/{}: incremental {:016x} != cold {:016x} \
+                         (wall {} vs {}, des {} vs {})",
+                        chunks.len(),
+                        fa,
+                        fb,
+                        a.wall_time,
+                        b.wall_time,
+                        a.des_events,
+                        b.des_events,
+                    ));
+                }
+            }
+            (Err(ea), Err(eb)) => {
+                let (sa, sb) = (ea.to_string(), eb.to_string());
+                if sa != sb {
+                    return Err(format!(
+                        "chunk {i}/{}: incremental error {sa:?} != cold error {sb:?}",
+                        chunks.len()
+                    ));
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return Err(format!(
+                    "chunk {i}/{}: incremental succeeded but cold failed: {e}",
+                    chunks.len()
+                ));
+            }
+            (Err(e), Ok(_)) => {
+                return Err(format!(
+                    "chunk {i}/{}: cold succeeded but incremental failed: {e}",
+                    chunks.len()
+                ));
+            }
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}

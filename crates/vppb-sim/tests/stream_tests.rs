@@ -1,0 +1,128 @@
+//! Chunk-equivalence and session-behavior tests for streaming replay.
+
+use vppb_model::{binlog, textlog, SimParams};
+use vppb_recorder::{record, RecordOptions};
+use vppb_sim::{check_chunked_equivalence, cold_run, result_fingerprint, StreamSession};
+use vppb_testkit::fixtures;
+
+fn recorded_bytes_bin(app: &vppb_threads::App) -> Vec<u8> {
+    let log = record(app, &RecordOptions::default()).unwrap().log;
+    binlog::encode(&log).unwrap()
+}
+
+fn recorded_bytes_text(app: &vppb_threads::App) -> Vec<u8> {
+    let log = record(app, &RecordOptions::default()).unwrap().log;
+    textlog::write_log(&log).into_bytes()
+}
+
+#[test]
+fn two_worker_binlog_chunks_are_equivalent() {
+    let bytes = recorded_bytes_bin(&fixtures::two_worker_app(2));
+    for seed in 0..4u64 {
+        let n = check_chunked_equivalence(&bytes, &SimParams::cpus(4), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(n >= 1);
+    }
+}
+
+#[test]
+fn two_worker_textlog_chunks_are_equivalent() {
+    let bytes = recorded_bytes_text(&fixtures::two_worker_app(2));
+    for seed in 0..4u64 {
+        check_chunked_equivalence(&bytes, &SimParams::cpus(4), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn io_and_compute_chunks_are_equivalent() {
+    let bytes = recorded_bytes_bin(&fixtures::io_and_compute_app());
+    for seed in 0..4u64 {
+        check_chunked_equivalence(&bytes, &SimParams::cpus(2), seed)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn fft_log_chunks_are_equivalent_across_cpu_counts() {
+    let log = fixtures::recorded_fft_log();
+    let bytes = binlog::encode(&log).unwrap();
+    for cpus in [1, 4] {
+        check_chunked_equivalence(&bytes, &SimParams::cpus(cpus), 7)
+            .unwrap_or_else(|e| panic!("{cpus} cpus: {e}"));
+    }
+}
+
+#[test]
+fn byte_at_a_time_appends_match_cold() {
+    // Degenerate chunking: every append is a single byte. Most appends
+    // tear a record; every prediction must still equal the cold run.
+    let bytes = recorded_bytes_text(&fixtures::two_worker_app(1));
+    let params = SimParams::cpus(2);
+    let mut session = StreamSession::new();
+    let step = (bytes.len() / 40).max(1);
+    let mut upto = 0usize;
+    while upto < bytes.len() {
+        let next = (upto + step).min(bytes.len());
+        let appended = session.append(&bytes[upto..next]).is_ok();
+        let inc = if appended {
+            session.predict(&params)
+        } else {
+            Err(vppb_model::VppbError::MalformedLog("append failed".into()))
+        };
+        let cold = cold_run(&bytes[..next], &params);
+        match (inc, cold) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    result_fingerprint(&a),
+                    result_fingerprint(&b),
+                    "divergence at byte {next}/{}",
+                    bytes.len()
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("at byte {next}: inc {:?} vs cold {:?}", a.is_ok(), b.is_ok()),
+        }
+        upto = next;
+    }
+}
+
+#[test]
+fn checkpoint_chain_engages_and_advances() {
+    // The incremental path must actually be taken (a silent cold fallback
+    // on every chunk would pass the equivalence tests vacuously) and the
+    // checkpoint must move forward as the log grows.
+    let bytes = binlog::encode(&fixtures::recorded_fft_log()).unwrap();
+    let params = SimParams::cpus(4);
+    let chunks = vppb_model::chunk::split_random(&bytes, 3, 10);
+    assert!(chunks.len() >= 4, "fixture too small to chunk: {}", chunks.len());
+    let mut session = StreamSession::new();
+    let mut checkpoints = Vec::new();
+    for part in &chunks {
+        session.append(part).unwrap();
+        session.predict(&params).unwrap();
+        checkpoints.push(session.checkpoint_events(&params));
+    }
+    let engaged: Vec<u64> = checkpoints.iter().copied().flatten().collect();
+    assert!(
+        engaged.len() >= 2,
+        "chain never engaged across {} chunks: {checkpoints:?}",
+        chunks.len()
+    );
+    assert!(
+        engaged.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoint moved backwards: {checkpoints:?}"
+    );
+    assert!(*engaged.last().unwrap() > 0, "final checkpoint never advanced: {checkpoints:?}");
+}
+
+#[test]
+fn session_reports_parse_state() {
+    let mut s = StreamSession::new();
+    assert!(s.predict(&SimParams::cpus(2)).is_err(), "no data yet");
+    let bytes = recorded_bytes_text(&fixtures::two_worker_app(1));
+    s.append(&bytes).unwrap();
+    assert!(s.log().is_some());
+    assert_eq!(s.bytes().len(), bytes.len());
+    s.predict(&SimParams::cpus(2)).unwrap();
+}

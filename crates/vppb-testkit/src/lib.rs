@@ -42,6 +42,13 @@ pub fn go(app: &App, c: &MachineConfig) -> RunResult {
     r
 }
 
+/// Split raw log bytes at record boundaries for streaming tests: seeded
+/// and reproducible, using *every* boundary for small logs so prefix
+/// checks are exhaustive ([`vppb_model::chunk::split_random`]).
+pub fn chunked(bytes: &[u8], seed: u64) -> Vec<Vec<u8>> {
+    vppb_model::chunk::split_random(bytes, seed, 8)
+}
+
 /// Run the closure with panics captured, reporting the panic payload as
 /// `Err(message)` instead of unwinding into the test harness.
 pub fn quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {

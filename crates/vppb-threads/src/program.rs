@@ -28,6 +28,21 @@ pub struct ResumeCtx {
 pub trait Program: Send {
     /// Produce the next action, given the outcome of the previous one.
     fn resume(&mut self, ctx: ResumeCtx) -> Action;
+
+    /// Duplicate this coroutine mid-flight, preserving its position.
+    /// Checkpointable programs (script runners, replayers) override this so
+    /// an [`EngineSnapshot`](../vppb_machine) can be cloned; data-dependent
+    /// demo programs keep the `None` default and simply cannot be forked.
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        None
+    }
+
+    /// The program's resume position, for programs that step through a
+    /// linear op list (replayers). Streaming replay uses it to re-bind a
+    /// snapshotted thread onto an extended plan without losing its place.
+    fn cursor(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Boxed program factory: instantiates a fresh coroutine for every thread

@@ -435,6 +435,10 @@ impl Program for ScriptRunner {
         }
         self.step(ctx.self_id)
     }
+
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

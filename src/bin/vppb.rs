@@ -10,7 +10,8 @@
 //! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
 //! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]
-//! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--shrink] [--self-test] [--repro-dir DIR] [--json]
+//! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] [--repro-dir DIR] [--json]
+//! vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]
 //! ```
 //!
 //! Exit codes are uniform across the log-consuming verbs: **0** the input
@@ -401,6 +402,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "fuzz" => fuzz(&flags),
+        "watch" => {
+            let path = pos.first().ok_or("watch: which log file?")?;
+            watch(path, &flags)
+        }
         "check" => {
             let path = pos.first().ok_or("check: which log file?")?;
             check_log(path, &flags)
@@ -587,24 +592,54 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
     let do_shrink = flags.contains_key("shrink");
     let budget: usize = flag(flags, "shrink-budget", 200)?;
     let json = flags.contains_key("json");
+    let chunked = flags.contains_key("chunked");
 
     // Same folding as `fuzz_corpus`, inlined for progress reporting.
     let mut report = vppb_oracle::FuzzReport::default();
+    let mut chunk_comparisons = 0usize;
     for (i, seed) in (start..start.saturating_add(seeds)).enumerate() {
         report.seeds += 1;
-        match vppb_oracle::fuzz_one(seed, &gen, &grid, tweaks) {
-            Ok(FuzzOutcome::Clean { configs, .. }) => report.configs_checked += configs,
+        let recorded_ok = match vppb_oracle::fuzz_one(seed, &gen, &grid, tweaks) {
+            Ok(FuzzOutcome::Clean { configs, .. }) => {
+                report.configs_checked += configs;
+                true
+            }
             Ok(FuzzOutcome::Diverged(d)) => {
                 report.configs_checked += 1;
                 report.divergences.push(d);
+                true
             }
-            Err(e) => report.divergences.push(Divergence {
-                seed,
-                cpus: 0,
-                mode: LwpMode::PerThread,
-                detail: format!("pipeline error (not a scheduling divergence): {e}"),
-                plan_ops: 0,
-            }),
+            Err(e) => {
+                report.divergences.push(Divergence {
+                    seed,
+                    cpus: 0,
+                    mode: LwpMode::PerThread,
+                    detail: format!("pipeline error (not a scheduling divergence): {e}"),
+                    plan_ops: 0,
+                });
+                false
+            }
+        };
+        if chunked && recorded_ok {
+            // Second axis: the same recorded log, streamed in chunks split
+            // at seeded record boundaries — every rolling prediction must
+            // be bit-identical to a cold run of the same prefix.
+            let spec = ProgSpec::generate(seed, &gen);
+            let rec = logio::record(&spec.build_app(), &logio::RecordOptions::default())
+                .map_err(|e| format!("fuzz --chunked: re-record seed {seed:#x} failed: {e}"))?;
+            let bytes = vppb_model::binlog::encode(&rec.log).map_err(|e| e.to_string())?;
+            for &c in &grid.cpus {
+                match vppb_sim::check_chunked_equivalence(&bytes, &SimParams::cpus(c), seed) {
+                    Ok(n) => chunk_comparisons += n,
+                    Err(detail) => report.divergences.push(Divergence {
+                        seed,
+                        cpus: c,
+                        mode: LwpMode::PerThread,
+                        detail: format!("incremental replay diverged from cold run: {detail}"),
+                        plan_ops: 0,
+                    }),
+                }
+            }
         }
         if (i + 1) % 100 == 0 && ((i + 1) as u64) < seeds {
             eprintln!(
@@ -649,6 +684,9 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
         grid_points: usize,
         /// Total engine-vs-oracle comparisons performed.
         comparisons: usize,
+        /// Incremental-vs-cold prefix comparisons under `--chunked`
+        /// (0 when the flag is off).
+        chunk_comparisons: usize,
         self_test: bool,
         clean: bool,
         divergences: Vec<DivergenceDump>,
@@ -712,19 +750,26 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
             seed_start: start,
             grid_points: grid.len(),
             comparisons: report.configs_checked,
+            chunk_comparisons,
             self_test,
             clean: report.is_clean(),
             divergences: dumps,
         };
         println!("{}", serde_json::to_string(&dump).map_err(|e| e.to_string())?);
     } else {
+        let chunk_note = if chunked {
+            format!(", {chunk_comparisons} incremental-vs-cold prefix comparison(s)")
+        } else {
+            String::new()
+        };
         println!(
-            "fuzzed {} seed(s) (from {:#x}) over {} grid point(s) each: {} comparison(s), {} \
+            "fuzzed {} seed(s) (from {:#x}) over {} grid point(s) each: {} comparison(s){}, {} \
              divergence(s)",
             report.seeds,
             start,
             grid.len(),
             report.configs_checked,
+            chunk_note,
             report.divergences.len()
         );
     }
@@ -748,6 +793,109 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
     }
 }
 
+/// `vppb watch`: rolling prediction over a growing log. The file is
+/// tailed (or, under `--chunks N`, replayed as N synthetic appends) and
+/// after every append the incremental replay session re-predicts from its
+/// last committed checkpoint instead of re-simulating from scratch.
+/// Rolling updates go to stderr; stdout carries only the final line,
+/// which is digit-identical to `vppb predict` on the same bytes.
+/// Exit codes: 0 clean, 2 the log never became parseable.
+fn watch(path: &str, flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
+    let cpus: u32 = flag(flags, "cpus", 8)?;
+    let chunks: usize = flag(flags, "chunks", 0)?;
+    let interval_ms: u64 = flag(flags, "interval-ms", 500)?;
+    let idle_timeout_ms: u64 = flag(flags, "idle-timeout-ms", 0)?;
+    let once = flags.contains_key("once");
+    let uni = SimParams::cpus(1);
+    let multi = SimParams::cpus(cpus);
+    let mut session = vppb_sim::StreamSession::new();
+    let mut last: Option<f64> = None;
+
+    // One append + re-predict. `Ok(None)` means the buffer is not a
+    // parseable log yet (e.g. binlog header only) — keep tailing.
+    let feed = |session: &mut vppb_sim::StreamSession,
+                part: &[u8]|
+     -> Result<Option<f64>, String> {
+        if session.append(part).is_err() {
+            return Ok(None);
+        }
+        let u = session.predict(&uni).map_err(|e| e.to_string())?;
+        let m = session.predict(&multi).map_err(|e| e.to_string())?;
+        let s = if m.wall_time.nanos() == 0 {
+            0.0
+        } else {
+            u.wall_time.nanos() as f64 / m.wall_time.nanos() as f64
+        };
+        let ckpt = session
+            .checkpoint_events(&multi)
+            .map_or("cold".to_string(), |e| format!("checkpoint @{e}"));
+        eprintln!(
+            "vppb watch: {} byte(s), {} record(s), wall {} on {cpus} CPUs, speed-up {s:.2} ({ckpt})",
+            session.bytes().len(),
+            session.log().map_or(0, |l| l.len()),
+            m.wall_time,
+        );
+        Ok(Some(s))
+    };
+
+    if chunks > 0 {
+        // Synthetic streaming: replay the file as N appends split at
+        // record boundaries. Deterministic, good for demos and tests.
+        let bytes = std::fs::read(path).map_err(|e| format!("watch: {path}: {e}"))?;
+        for part in vppb_model::chunk::split_even(&bytes, chunks) {
+            last = feed(&mut session, &part)?.or(last);
+        }
+    } else {
+        let interval = std::time::Duration::from_millis(interval_ms.max(10));
+        let mut consumed = 0usize;
+        let mut idle = std::time::Duration::ZERO;
+        loop {
+            let bytes = std::fs::read(path).map_err(|e| format!("watch: {path}: {e}"))?;
+            if bytes.len() > consumed {
+                idle = std::time::Duration::ZERO;
+                last = feed(&mut session, &bytes[consumed..])?.or(last);
+                consumed = bytes.len();
+                if once {
+                    break;
+                }
+            } else {
+                idle += interval;
+                if once && last.is_some() {
+                    break;
+                }
+                if idle_timeout_ms > 0 && idle >= std::time::Duration::from_millis(idle_timeout_ms)
+                {
+                    eprintln!("vppb watch: no growth for {idle_timeout_ms} ms, stopping");
+                    break;
+                }
+            }
+            std::thread::sleep(interval);
+        }
+    }
+
+    let Some(s) = last else {
+        return Err(format!("watch: `{path}` never became a parseable log"));
+    };
+    let program = session.log().map(|l| l.header.program.clone()).unwrap_or_default();
+    println!("predicted speed-up of `{program}` on {cpus} CPUs: {s:.2}");
+    if let Some(file) = flags.get("metrics-json") {
+        let log = session.log().ok_or("watch: no parsed log")?;
+        let (m, metrics) = simulate_metrics(log, &multi).map_err(|e| e.to_string())?;
+        let dump = MetricsDump {
+            program,
+            cpus,
+            wall_ns: m.wall_time.nanos(),
+            speedup: s,
+            metrics,
+            audit: m.audit.clone(),
+            divergence: m.divergence_from(log),
+            salvage: SalvageReport::default(),
+        };
+        write_metrics_json(file, &dump)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn usage() -> String {
     "usage:\n  \
      vppb workloads\n  \
@@ -759,8 +907,9 @@ fn usage() -> String {
      vppb check <LOG> [--strict|--lenient] [--json]\n  \
      vppb report <LOG>\n  \
      vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]\n  \
-     vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--shrink] [--self-test] \
-     [--repro-dir DIR] [--json]\n\
+     vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] \
+     [--repro-dir DIR] [--json]\n  \
+     vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]\n\
      \n\
      exit codes: 0 clean, 1 completed after reported recovery, 2 unrecoverable"
         .to_string()
@@ -789,6 +938,8 @@ fn parse_flags(args: &[String]) -> (Vec<String>, BTreeMap<String, String>) {
                     | "json"
                     | "shrink"
                     | "self-test"
+                    | "chunked"
+                    | "once"
             );
             if is_switch {
                 flags.insert(key.to_string(), "true".to_string());

@@ -188,6 +188,92 @@ fn concurrent_predictions_are_bit_identical_to_the_cli() {
     assert_eq!(served, cli, "service and CLI disagree on the speed-up (cli line: {stdout:?})");
 }
 
+/// `vppb predict` on `bytes`, returning the formatted speed-up digits.
+/// Lenient, because streamed prefixes may end mid-record.
+fn cli_predict_speedup(bytes: &[u8], cpus: u32, name: &str) -> String {
+    let path = scratch(name);
+    std::fs::write(&path, bytes).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_vppb"))
+        .args(["predict", path.to_str().unwrap(), "--cpus", &cpus.to_string(), "--lenient"])
+        .output()
+        .expect("run vppb predict");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.code().is_some_and(|c| c <= 1),
+        "vppb predict failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    stdout.trim().rsplit(' ').next().unwrap().to_string()
+}
+
+#[test]
+fn follow_predictions_across_appends_match_the_cli_digit_for_digit() {
+    let server = ServerProc::spawn(&[]);
+    let log = recorded_log(4);
+    let bytes = vppb_model::binlog::encode(&log).unwrap();
+    let b = vppb_model::chunk::record_boundaries(&bytes);
+    assert!(b.len() > 12, "fixture too small: {} boundaries", b.len());
+    // Four cuts: three at record boundaries, one torn mid-record (+3
+    // bytes into a length-prefixed frame) that the salvage pipeline must
+    // repair — and the repair must dissolve on the next append.
+    let cuts = [b[b.len() / 5], b[2 * b.len() / 5], b[3 * b.len() / 5] + 3, b[4 * b.len() / 5]];
+    assert!(cuts.windows(2).all(|w| w[0] < w[1]) && cuts[3] < bytes.len());
+
+    let up = upload(server.addr, &bytes[..cuts[0]]);
+    let id = str_field(&up, "id");
+
+    let mut torn_seen = false;
+    for (i, pair) in
+        cuts.iter().chain([bytes.len()].iter()).collect::<Vec<_>>().windows(2).enumerate()
+    {
+        let (from, to) = (*pair[0], *pair[1]);
+        let (status, body) =
+            client::request(server.addr, "POST", &format!("/logs/{id}/append"), &bytes[from..to])
+                .expect("append");
+        assert_eq!(status, 200, "append {i}: {}", String::from_utf8_lossy(&body));
+        let ap: serde::Value = serde_json::from_slice(&body).unwrap();
+        if to == cuts[2] {
+            // The buffer now ends 3 bytes into a record frame: the parse
+            // must have salvaged it and said so with a W04xx edit.
+            assert_eq!(ap.get("clean"), Some(&serde::Value::Bool(false)));
+            let rendered = String::from_utf8_lossy(&body);
+            assert!(
+                rendered.contains("W04"),
+                "torn append must report a W04xx salvage edit: {rendered}"
+            );
+            torn_seen = true;
+        }
+
+        // The follow prediction must agree with the CLI on the same
+        // prefix, digit for digit — the CLI runs cold in its own process,
+        // so this cannot be satisfied vacuously by the server's memo.
+        let (status, _, resp) = client::request_full(
+            server.addr,
+            "GET",
+            &format!("/predict?follow=1&id={id}&cpus=4"),
+            b"",
+        )
+        .expect("follow predict");
+        assert_eq!(status, 200, "follow {i}: {}", String::from_utf8_lossy(&resp));
+        let parsed: serde::Value = serde_json::from_slice(&resp).unwrap();
+        let served = format!("{:.2}", f64_field(&parsed, "speedup"));
+        let cli = cli_predict_speedup(&bytes[..to], 4, &format!("follow-{i}.vppb"));
+        assert_eq!(served, cli, "prefix {i} (..{to}): follow and CLI disagree");
+    }
+    assert!(torn_seen, "the torn cut never happened — test wiring broke");
+
+    // Re-asking without an append hits the memo, flagged via the header.
+    let (status, headers, _) =
+        client::request_full(server.addr, "GET", &format!("/predict?follow=1&id={id}&cpus=4"), b"")
+            .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.iter().find(|(k, _)| k == "x-vppb-cache").map(|(_, v)| v.as_str()),
+        Some("hit")
+    );
+}
+
 #[test]
 fn full_queue_rejects_with_503_while_in_flight_requests_complete() {
     let server = ServerProc::spawn(&["--workers", "1", "--queue-depth", "1"]);
