@@ -15,7 +15,9 @@
 //! programs plus a [`CallInterceptor`] implementing the §3.2 replay rules).
 
 use crate::audit::{self, AuditInput, SyncAudit, ThreadAudit};
+use crate::calendar::Calendar;
 use crate::hooks::{event_kind_of, Hooks};
+use crate::idmap::{IdMap, ManipTable};
 use crate::jitter::JitterModel;
 use crate::observer::{SchedEvent, SchedObserver};
 use crate::prioq::PrioQueue;
@@ -25,11 +27,13 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
 use vppb_model::{
-    Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, FaultInjection,
-    LwpId, LwpPolicy, MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo, ThreadManip,
+    Binding, BlockReason, CodeAddr, CpuId, Duration, EventKind, EventResult, ExecutionTrace,
+    FaultInjection, LwpId, LwpPolicy, MachineConfig, PlacedEvent, SyncObjId, ThreadId, ThreadInfo,
     ThreadState, Time, Transition, VppbError,
 };
-use vppb_threads::{Action, App, FuncId, LibCall, Outcome, Program, ResumeCtx, VarOp};
+use vppb_threads::{
+    Action, App, FuncId, LibCall, Outcome, Program, ResumeCtx, TapeCursor, TapeProgram, VarOp,
+};
 
 /// Maximum consecutive zero-time actions before a thread is declared
 /// livelocked (a spin loop with no `Work` in its body).
@@ -64,8 +68,9 @@ pub struct RunOptions<'a> {
     pub interceptor: Option<&'a mut dyn CallInterceptor>,
     /// Thread-id pinning (the Simulator keeps log ids).
     pub id_assigner: Option<IdAssigner<'a>>,
-    /// Per-thread what-if manipulations (binding/priority overrides).
-    pub manips: BTreeMap<ThreadId, ThreadManip>,
+    /// Per-thread what-if manipulations (binding/priority overrides),
+    /// resolved to dense O(1) lookups at bind time ([`ManipTable`]).
+    pub manips: ManipTable,
     /// Work-duration variance for ground-truth runs.
     pub jitter: JitterModel,
     /// Livelock / runaway guards.
@@ -93,7 +98,7 @@ impl<'a> RunOptions<'a> {
             hooks,
             interceptor: None,
             id_assigner: None,
-            manips: BTreeMap::new(),
+            manips: ManipTable::default(),
             jitter: JitterModel::none(),
             limits: RunLimits::default(),
             record_trace: true,
@@ -248,6 +253,44 @@ impl<T: Clone> SegVec<T> {
     }
 }
 
+/// Sort placed events by `(start, thread)`, preserving insertion order on
+/// ties — the result contract `ExecutionTrace` promises.
+///
+/// Events arrive in *completion* order, which is nearly start order: an
+/// element lands a handful of slots from home (inverted only where call
+/// latencies overlap across CPUs), so an adaptive stable insertion sort
+/// runs in O(n + inversions) with no allocation — an order of magnitude
+/// cheaper per run than a general sort here. A shift budget of 16·n
+/// guards the pathological case (e.g. long sleeps displacing an event
+/// arbitrarily far): past it, the tail is finished by the allocating
+/// stable sort instead. Both paths preserve tie order, so the composed
+/// result is bit-identical to one stable `sort_by_key`.
+fn sort_events(events: &mut [PlacedEvent]) {
+    #[inline]
+    fn key(e: &PlacedEvent) -> (u64, u32) {
+        (e.start.0, e.thread.0)
+    }
+    let mut budget = 16 * events.len() as u64 + 1024;
+    for i in 1..events.len() {
+        if key(&events[i]) < key(&events[i - 1]) {
+            let tmp = events[i];
+            let mut j = i;
+            while j > 0 && key(&tmp) < key(&events[j - 1]) {
+                events[j] = events[j - 1];
+                j -= 1;
+                budget = budget.saturating_sub(1);
+            }
+            events[j] = tmp;
+            if budget == 0 {
+                // Stable sort of the partially-ordered whole: stability
+                // composes, the final order is unchanged.
+                events.sort_by_key(key);
+                return;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // internal state
 // ---------------------------------------------------------------------------
@@ -256,14 +299,41 @@ type Tix = usize;
 type Lix = usize;
 type Cix = usize;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Ev {
+/// A pending DES event, packed flat: 16 bytes instead of the 24 a
+/// `(tag, usize, u64)` enum needs, so a calendar entry (with its u128
+/// key) stays a power-of-two 32 bytes. `idx` is the CPU or thread
+/// index (both fit u32 by construction); `stamp` is the staleness
+/// token/generation and stays u64 so it can never wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    stamp: u64,
+    idx: u32,
+    tag: EvTag,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvTag {
     /// The CPU's current run (segment or quantum) ends.
-    CpuStop { cpu: Cix, token: u64 },
+    CpuStop,
     /// A wakeup becomes visible to the thread.
-    Wake { thread: Tix, gen: u64 },
+    Wake,
     /// A `cond_timedwait` timeout or `Sleep` expiry.
-    Timer { thread: Tix, gen: u64 },
+    Timer,
+}
+
+impl Ev {
+    #[inline]
+    fn cpu_stop(cpu: Cix, token: u64) -> Ev {
+        Ev { stamp: token, idx: cpu as u32, tag: EvTag::CpuStop }
+    }
+    #[inline]
+    fn wake(thread: Tix, gen: u64) -> Ev {
+        Ev { stamp: gen, idx: thread as u32, tag: EvTag::Wake }
+    }
+    #[inline]
+    fn timer(thread: Tix, gen: u64) -> Ev {
+        Ev { stamp: gen, idx: thread as u32, tag: EvTag::Timer }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -293,34 +363,176 @@ enum TState {
 struct Inflight {
     call: LibCall,
     site: CodeAddr,
+    /// Probe kind of `call`, computed once at issue (the BEFORE probe);
+    /// the AFTER probe and the placed event reuse it.
+    kind: EventKind,
     before: Time,
     cpu: Cix,
 }
 
-struct ThreadRt {
-    id: ThreadId,
-    func: FuncId,
-    program: Box<dyn Program>,
-    state: TState,
-    phase: Phase,
-    binding: Binding,
-    user_prio: i32,
-    prio_locked: bool,
-    lwp: Option<Lix>,
-    last_cpu: Option<Cix>,
-    outcome: Outcome,
-    call: Option<Inflight>,
+/// A thread body in the hot loop: either a flat replay tape walked by
+/// cursor (no virtual dispatch, no allocation) or a boxed coroutine for
+/// programs with data-dependent control flow.
+pub(crate) enum ProgSlot {
+    /// Compiled linear op list (replay apps).
+    Tape(TapeCursor),
+    /// General coroutine.
+    Boxed(Box<dyn Program>),
+}
+
+impl ProgSlot {
+    #[inline]
+    fn resume(&mut self, ctx: ResumeCtx) -> Action {
+        match self {
+            ProgSlot::Tape(t) => t.take(),
+            ProgSlot::Boxed(p) => p.resume(ctx),
+        }
+    }
+
+    fn fork(&self) -> Option<ProgSlot> {
+        match self {
+            ProgSlot::Tape(t) => Some(ProgSlot::Tape(t.clone())),
+            ProgSlot::Boxed(p) => p.fork().map(ProgSlot::Boxed),
+        }
+    }
+
+    /// Convert into a boxed [`Program`] (tape slots get the adapter that
+    /// exposes their cursor), for the snapshot re-bind callback.
+    fn into_program(self) -> Box<dyn Program> {
+        match self {
+            ProgSlot::Tape(t) => Box::new(TapeProgram(t)),
+            ProgSlot::Boxed(p) => p,
+        }
+    }
+}
+
+/// Struct-of-arrays thread table. Every column is indexed by the dense
+/// thread handle `Tix` (creation order, never reused); the hot loop
+/// touches only the columns an event needs instead of dragging whole
+/// 200-byte thread records through the cache.
+struct Threads {
+    id: Vec<ThreadId>,
+    func: Vec<FuncId>,
+    program: Vec<ProgSlot>,
+    state: Vec<TState>,
+    phase: Vec<Phase>,
+    binding: Vec<Binding>,
+    user_prio: Vec<i32>,
+    prio_locked: Vec<bool>,
+    lwp: Vec<Option<Lix>>,
+    last_cpu: Vec<Option<Cix>>,
+    outcome: Vec<Outcome>,
+    call: Vec<Option<Inflight>>,
     /// (condvar index, mutex index) while waiting on a condition.
-    cv_wait: Option<(u32, u32)>,
-    started: Option<Time>,
-    ended: Option<Time>,
-    cpu_time: Duration,
-    pre_charge: Duration,
-    create_seq: u64,
-    gen: u64,
-    yield_pending: bool,
-    suspend_self_pending: bool,
-    suspended: bool,
+    cv_wait: Vec<Option<(u32, u32)>>,
+    started: Vec<Option<Time>>,
+    ended: Vec<Option<Time>>,
+    cpu_time: Vec<Duration>,
+    pre_charge: Vec<Duration>,
+    create_seq: Vec<u64>,
+    gen: Vec<u64>,
+    yield_pending: Vec<bool>,
+    suspend_self_pending: Vec<bool>,
+    suspended: Vec<bool>,
+}
+
+impl Threads {
+    fn new() -> Threads {
+        Threads {
+            id: Vec::new(),
+            func: Vec::new(),
+            program: Vec::new(),
+            state: Vec::new(),
+            phase: Vec::new(),
+            binding: Vec::new(),
+            user_prio: Vec::new(),
+            prio_locked: Vec::new(),
+            lwp: Vec::new(),
+            last_cpu: Vec::new(),
+            outcome: Vec::new(),
+            call: Vec::new(),
+            cv_wait: Vec::new(),
+            started: Vec::new(),
+            ended: Vec::new(),
+            cpu_time: Vec::new(),
+            pre_charge: Vec::new(),
+            create_seq: Vec::new(),
+            gen: Vec::new(),
+            yield_pending: Vec::new(),
+            suspend_self_pending: Vec::new(),
+            suspended: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Append a freshly spawned thread; returns its handle.
+    fn push_new(
+        &mut self,
+        id: ThreadId,
+        func: FuncId,
+        program: ProgSlot,
+        binding: Binding,
+        user_prio: i32,
+        prio_locked: bool,
+    ) -> Tix {
+        let tix = self.id.len();
+        self.id.push(id);
+        self.func.push(func);
+        self.program.push(program);
+        self.state.push(TState::Embryo);
+        self.phase.push(Phase::Resume);
+        self.binding.push(binding);
+        self.user_prio.push(user_prio);
+        self.prio_locked.push(prio_locked);
+        self.lwp.push(None);
+        self.last_cpu.push(None);
+        self.outcome.push(Outcome::None);
+        self.call.push(None);
+        self.cv_wait.push(None);
+        self.started.push(None);
+        self.ended.push(None);
+        self.cpu_time.push(Duration::ZERO);
+        self.pre_charge.push(Duration::ZERO);
+        self.create_seq.push(0);
+        self.gen.push(0);
+        self.yield_pending.push(false);
+        self.suspend_self_pending.push(false);
+        self.suspended.push(false);
+        tix
+    }
+
+    /// Clone the table, forking every coroutine. `None` if any boxed
+    /// program is not forkable (tapes always fork).
+    fn try_clone(&self) -> Option<Threads> {
+        let program = self.program.iter().map(ProgSlot::fork).collect::<Option<Vec<_>>>()?;
+        Some(Threads {
+            id: self.id.clone(),
+            func: self.func.clone(),
+            program,
+            state: self.state.clone(),
+            phase: self.phase.clone(),
+            binding: self.binding.clone(),
+            user_prio: self.user_prio.clone(),
+            prio_locked: self.prio_locked.clone(),
+            lwp: self.lwp.clone(),
+            last_cpu: self.last_cpu.clone(),
+            outcome: self.outcome.clone(),
+            call: self.call.clone(),
+            cv_wait: self.cv_wait.clone(),
+            started: self.started.clone(),
+            ended: self.ended.clone(),
+            cpu_time: self.cpu_time.clone(),
+            pre_charge: self.pre_charge.clone(),
+            create_seq: self.create_seq.clone(),
+            gen: self.gen.clone(),
+            yield_pending: self.yield_pending.clone(),
+            suspend_self_pending: self.suspend_self_pending.clone(),
+            suspended: self.suspended.clone(),
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -336,18 +548,47 @@ enum LState {
     Dead,
 }
 
-#[derive(Clone)]
-struct LwpRt {
-    id: LwpId,
-    state: LState,
-    prio: i32,
-    quantum_left: Duration,
-    fresh_quantum: bool,
-    thread: Option<Tix>,
+/// Struct-of-arrays LWP table, indexed by the dense LWP handle `Lix`.
+#[derive(Clone, Default)]
+struct Lwps {
+    id: Vec<LwpId>,
+    state: Vec<LState>,
+    prio: Vec<i32>,
+    quantum_left: Vec<Duration>,
+    fresh_quantum: Vec<bool>,
+    thread: Vec<Option<Tix>>,
     /// Dedicated to one (bound) thread.
-    dedicated: bool,
-    cpu_binding: Option<Cix>,
-    last_thread: Option<Tix>,
+    dedicated: Vec<bool>,
+    cpu_binding: Vec<Option<Cix>>,
+    last_thread: Vec<Option<Tix>>,
+}
+
+impl Lwps {
+    fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// Append a new LWP; returns its handle.
+    fn push_new(&mut self, id: LwpId, state: LState, prio: i32, dedicated: bool) -> Lix {
+        let lix = self.id.len();
+        self.id.push(id);
+        self.state.push(state);
+        self.prio.push(prio);
+        self.quantum_left.push(Duration::ZERO);
+        self.fresh_quantum.push(true);
+        self.thread.push(None);
+        self.dedicated.push(dedicated);
+        self.cpu_binding.push(None);
+        self.last_thread.push(None);
+        lix
+    }
+
+    /// Whether time-slicing can be skipped for this LWP (nothing else can
+    /// ever need its CPU slot): never true in general — placeholder for a
+    /// future optimization, always slices for now.
+    fn dedicated_solo(&self, _lix: Lix) -> bool {
+        false
+    }
 }
 
 #[derive(Clone)]
@@ -365,11 +606,15 @@ struct Engine<'a, 'o> {
     opts: RunOptions<'o>,
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Reverse<(Time, u64, Ev)>>,
-    threads: Vec<ThreadRt>,
-    by_id: BTreeMap<ThreadId, Tix>,
-    lwps: Vec<LwpRt>,
+    cal: Calendar<Ev>,
+    threads: Threads,
+    by_id: IdMap,
+    lwps: Lwps,
     cpus: Vec<CpuRt>,
+    /// `opts.hooks.probe_cost()` resolved once at construction (the trait
+    /// documents it as a per-run constant) — the per-call hot path pays no
+    /// virtual dispatch for it.
+    probe_cost: Duration,
     mutexes: Vec<MutexState>,
     sems: Vec<SemState>,
     conds: Vec<CondState>,
@@ -436,16 +681,18 @@ impl<'a, 'o> Engine<'a, 'o> {
         // timers/quanta (bounded by threads, itself bounded by events).
         let hint = opts.size_hint;
         let trace_hint = if opts.record_trace { hint } else { 0 };
+        let probe_cost = opts.hooks.probe_cost();
         Engine {
             app,
             cfg,
             opts,
             now: Time::ZERO,
             seq: 0,
-            heap: BinaryHeap::with_capacity(64 + hint / 8),
-            threads: Vec::new(),
-            by_id: BTreeMap::new(),
-            lwps: Vec::new(),
+            cal: Calendar::with_capacity(64 + hint / 8),
+            threads: Threads::new(),
+            by_id: IdMap::default(),
+            lwps: Lwps::default(),
+            probe_cost,
             cpus: (0..cfg.cpus)
                 .map(|_| CpuRt {
                     lwp: None,
@@ -477,9 +724,13 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     // -- small helpers ------------------------------------------------------
 
+    #[inline]
     fn push_ev(&mut self, at: Time, ev: Ev) {
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, ev)));
+        // Unique key: time in the high 64 bits, strictly-increasing seq in
+        // the low 64 — one u128 comparison orders the calendar exactly as
+        // the seed's (Time, seq, Ev) tuple heap did.
+        self.cal.push((u128::from(at.0) << 64) | u128::from(self.seq), ev);
     }
 
     /// Report a scheduling decision to the attached observer, if any.
@@ -498,13 +749,12 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 
     fn viz_state(&self, tix: Tix) -> ThreadState {
-        let t = &self.threads[tix];
-        match t.state {
+        match self.threads.state[tix] {
             TState::Embryo => ThreadState::Blocked(BlockReason::NotStarted),
             TState::Runnable => ThreadState::Runnable,
             TState::Running(c) => ThreadState::Running {
                 cpu: CpuId(c as u32),
-                lwp: LwpId(self.lwps[t.lwp.expect("running thread has lwp")].id.0),
+                lwp: LwpId(self.lwps.id[self.threads.lwp[tix].expect("running thread has lwp")].0),
             },
             TState::Blocked(r) => ThreadState::Blocked(r),
             TState::Zombie | TState::Done => ThreadState::Exited,
@@ -512,19 +762,19 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 
     fn set_state(&mut self, tix: Tix, state: TState) {
-        self.threads[tix].state = state;
+        self.threads.state[tix] = state;
         if self.opts.record_trace {
             let s = self.viz_state(tix);
             self.transitions.push(Transition {
                 time: self.now,
-                thread: self.threads[tix].id,
+                thread: self.threads.id[tix],
                 state: s,
             });
         }
     }
 
     fn is_bound(&self, tix: Tix) -> bool {
-        self.threads[tix].binding.is_bound()
+        self.threads.binding[tix].is_bound()
     }
 
     fn call_cost(&self, call: &LibCall, bound: bool) -> Duration {
@@ -555,7 +805,7 @@ impl<'a, 'o> Engine<'a, 'o> {
     // -- user-level run queue ----------------------------------------------
 
     fn user_rq_push(&mut self, tix: Tix, front: bool) {
-        let prio = self.threads[tix].user_prio;
+        let prio = self.threads.user_prio[tix];
         if front {
             self.user_rq.push_front(tix, prio);
         } else {
@@ -563,7 +813,7 @@ impl<'a, 'o> Engine<'a, 'o> {
         }
         if self.observing() {
             let depth = self.user_rq.len() as u32;
-            let thread = self.threads[tix].id;
+            let thread = self.threads.id[tix];
             self.observe(SchedEvent::UserEnqueue { thread, prio, depth });
         }
     }
@@ -579,12 +829,12 @@ impl<'a, 'o> Engine<'a, 'o> {
     // -- kernel run queue ----------------------------------------------------
 
     fn kernel_enqueue(&mut self, lix: Lix) {
-        self.lwps[lix].state = LState::Ready;
-        let prio = self.lwps[lix].prio;
+        self.lwps.state[lix] = LState::Ready;
+        let prio = self.lwps.prio[lix];
         self.kernel_rq.push_back(lix, prio);
         if self.observing() {
             let depth = self.kernel_rq.len() as u32;
-            let lwp = self.lwps[lix].id;
+            let lwp = self.lwps.id[lix];
             self.observe(SchedEvent::KernelEnqueue { lwp, prio, depth });
         }
     }
@@ -596,8 +846,8 @@ impl<'a, 'o> Engine<'a, 'o> {
         self.kernel_rq.remove(lix)
     }
 
-    fn eligible(lwps: &[LwpRt], lix: Lix, cix: Cix) -> bool {
-        match lwps[lix].cpu_binding {
+    fn eligible(lwps: &Lwps, lix: Lix, cix: Cix) -> bool {
+        match lwps.cpu_binding[lix] {
             None => true,
             Some(c) => c == cix,
         }
@@ -622,9 +872,12 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Attach runnable unbound threads to parked pool LWPs (lowest LWP
     /// index first, as the seed's LWP-table scan did).
     fn attach_parked(&mut self) {
+        if self.user_rq.is_empty() {
+            return;
+        }
         while let Some(&Reverse(lix)) = self.parked.peek() {
             debug_assert!(
-                self.lwps[lix].state == LState::Parked && !self.lwps[lix].dedicated,
+                self.lwps.state[lix] == LState::Parked && !self.lwps.dedicated[lix],
                 "parked heap holds only parked pool LWPs"
             );
             let Some(tix) = self.user_rq_pop() else { return };
@@ -639,24 +892,32 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// created threads do *not* get the boost — they enter at whatever
     /// priority the LWP already has, like a new TS-class LWP.
     fn attach(&mut self, lix: Lix, tix: Tix, slept: bool) {
-        let boost = slept && self.threads[tix].started.is_some();
-        let l = &mut self.lwps[lix];
-        l.thread = Some(tix);
+        let boost = slept && self.threads.started[tix].is_some();
+        self.lwps.thread[lix] = Some(tix);
         if boost {
-            l.prio = self.cfg.dispatch.on_sleep_return(l.prio);
+            self.lwps.prio[lix] = self.cfg.dispatch.on_sleep_return(self.lwps.prio[lix]);
         }
         if slept {
-            l.fresh_quantum = true;
+            self.lwps.fresh_quantum[lix] = true;
         }
-        self.threads[tix].lwp = Some(lix);
+        self.threads.lwp[tix] = Some(lix);
     }
 
     fn dispatch(&mut self) -> Result<(), VppbError> {
         loop {
             self.attach_parked();
+            // Nothing ready: neither a CPU fill nor a preemption can
+            // happen, and attach_parked found no thread/LWP pair either.
+            if self.kernel_rq.is_empty() {
+                return Ok(());
+            }
             let mut changed = false;
-            // Fill idle CPUs.
+            // Fill idle CPUs. Once the run queue drains there is nothing
+            // left to place — skip the remaining idle-CPU scans.
             for c in 0..self.cpus.len() {
+                if self.kernel_rq.is_empty() {
+                    break;
+                }
                 if self.cpus[c].lwp.is_none() {
                     if let Some(l) = self.pick_for_cpu(c) {
                         self.grant(c, l)?;
@@ -673,7 +934,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                         continue;
                     }
                     if let Some(rl) = self.cpus[c].lwp {
-                        let p = self.lwps[rl].prio;
+                        let p = self.lwps.prio[rl];
                         if worst.is_none_or(|(wp, _)| p < wp) {
                             worst = Some((p, c));
                         }
@@ -695,16 +956,16 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Grant CPU `c` to ready LWP `l` and start running its thread.
     fn grant(&mut self, c: Cix, l: Lix) -> Result<(), VppbError> {
         debug_assert!(self.cpus[c].lwp.is_none());
-        let tix = self.lwps[l].thread.expect("ready LWP carries a thread");
-        self.lwps[l].state = LState::Running(c);
-        if self.lwps[l].fresh_quantum {
-            self.lwps[l].quantum_left = self.cfg.dispatch.quantum(self.lwps[l].prio);
-            self.lwps[l].fresh_quantum = false;
+        let tix = self.lwps.thread[l].expect("ready LWP carries a thread");
+        self.lwps.state[l] = LState::Running(c);
+        if self.lwps.fresh_quantum[l] {
+            self.lwps.quantum_left[l] = self.cfg.dispatch.quantum(self.lwps.prio[l]);
+            self.lwps.fresh_quantum[l] = false;
         }
         // Context-switch costs are charged to the incoming thread.
         let mut charge = Duration::ZERO;
         let uthread_switch =
-            self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(tix);
+            self.lwps.last_thread[l].is_some() && self.lwps.last_thread[l] != Some(tix);
         if uthread_switch {
             charge += self.cfg.base_costs.uthread_switch;
         }
@@ -713,28 +974,28 @@ impl<'a, 'o> Engine<'a, 'o> {
             charge += self.cfg.base_costs.lwp_switch;
         }
         // Cache-affinity: a thread migrating between CPUs refills caches.
-        let migrated = self.threads[tix].last_cpu.is_some_and(|prev| prev != c);
+        let migrated = self.threads.last_cpu[tix].is_some_and(|prev| prev != c);
         if migrated {
             charge += self.cfg.migration_penalty;
         }
-        self.threads[tix].pre_charge += charge;
+        self.threads.pre_charge[tix] += charge;
         self.observe(SchedEvent::Dispatch {
             cpu: CpuId(c as u32),
-            lwp: self.lwps[l].id,
-            thread: self.threads[tix].id,
+            lwp: self.lwps.id[l],
+            thread: self.threads.id[tix],
             uthread_switch,
             lwp_switch,
             migrated,
         });
-        self.lwps[l].last_thread = Some(tix);
+        self.lwps.last_thread[l] = Some(tix);
         self.cpus[c].lwp = Some(l);
         self.cpus[c].last_lwp = Some(l);
         self.cpus[c].run_start = self.now;
-        self.threads[tix].last_cpu = Some(c);
-        if self.threads[tix].started.is_none() {
-            self.threads[tix].started = Some(self.now);
-            let entry = self.app.func_entry(self.threads[tix].func);
-            let id = self.threads[tix].id;
+        self.threads.last_cpu[tix] = Some(c);
+        if self.threads.started[tix].is_none() {
+            self.threads.started[tix] = Some(self.now);
+            let entry = self.app.func_entry(self.threads.func[tix]);
+            let id = self.threads.id[tix];
             self.opts.hooks.on_thread_start(self.now, id, entry);
         }
         self.set_state(tix, TState::Running(c));
@@ -756,10 +1017,10 @@ impl<'a, 'o> Engine<'a, 'o> {
             self.cpus[c].busy += elapsed;
         }
         let l = self.cpus[c].lwp.expect("charging a busy cpu");
-        self.lwps[l].quantum_left = self.lwps[l].quantum_left.saturating_sub(elapsed);
-        let tix = self.lwps[l].thread.expect("running lwp has thread");
-        self.threads[tix].cpu_time += elapsed;
-        match &mut self.threads[tix].phase {
+        self.lwps.quantum_left[l] = self.lwps.quantum_left[l].saturating_sub(elapsed);
+        let tix = self.lwps.thread[l].expect("running lwp has thread");
+        self.threads.cpu_time[tix] += elapsed;
+        match &mut self.threads.phase[tix] {
             Phase::Compute { left } | Phase::CallLatency { left } => {
                 *left = left.saturating_sub(elapsed);
             }
@@ -774,11 +1035,11 @@ impl<'a, 'o> Engine<'a, 'o> {
         self.charge_elapsed(c);
         let l = self.cpus[c].lwp.take().expect("preempting a busy cpu");
         self.cpus[c].last_lwp = Some(l);
-        let tix = self.lwps[l].thread.expect("running lwp has thread");
+        let tix = self.lwps.thread[l].expect("running lwp has thread");
         self.observe(SchedEvent::Preempt {
             cpu: CpuId(c as u32),
-            lwp: self.lwps[l].id,
-            thread: self.threads[tix].id,
+            lwp: self.lwps.id[l],
+            thread: self.threads.id[tix],
         });
         self.set_state(tix, TState::Runnable);
         self.kernel_enqueue(l);
@@ -788,10 +1049,10 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// runnable unbound thread or park/sleep.
     fn lwp_continue_or_park(&mut self, c: Cix) -> Result<(), VppbError> {
         let l = self.cpus[c].lwp.expect("cpu busy");
-        if self.lwps[l].dedicated {
+        if self.lwps.dedicated[l] {
             // Bound LWP sleeps with its thread (or died with it).
-            let dead = self.lwps[l].thread.is_none();
-            self.lwps[l].state = if dead { LState::Dead } else { LState::Sleeping };
+            let dead = self.lwps.thread[l].is_none();
+            self.lwps.state[l] = if dead { LState::Dead } else { LState::Sleeping };
             self.cpus[c].lwp = None;
             self.cpus[c].last_lwp = Some(l);
             self.cpus[c].token += 1;
@@ -804,37 +1065,37 @@ impl<'a, 'o> Engine<'a, 'o> {
                 // Same CPU continues with the new thread.
                 let mut charge = Duration::ZERO;
                 let uthread_switch =
-                    self.lwps[l].last_thread.is_some() && self.lwps[l].last_thread != Some(next);
+                    self.lwps.last_thread[l].is_some() && self.lwps.last_thread[l] != Some(next);
                 if uthread_switch {
                     charge = self.cfg.base_costs.uthread_switch;
                 }
-                let migrated = self.threads[next].last_cpu.is_some_and(|prev| prev != c);
+                let migrated = self.threads.last_cpu[next].is_some_and(|prev| prev != c);
                 if migrated {
                     charge += self.cfg.migration_penalty;
                 }
-                self.threads[next].pre_charge += charge;
+                self.threads.pre_charge[next] += charge;
                 self.observe(SchedEvent::Dispatch {
                     cpu: CpuId(c as u32),
-                    lwp: self.lwps[l].id,
-                    thread: self.threads[next].id,
+                    lwp: self.lwps.id[l],
+                    thread: self.threads.id[next],
                     uthread_switch,
                     lwp_switch: false,
                     migrated,
                 });
-                self.lwps[l].last_thread = Some(next);
-                self.threads[next].last_cpu = Some(c);
-                if self.threads[next].started.is_none() {
-                    self.threads[next].started = Some(self.now);
-                    let entry = self.app.func_entry(self.threads[next].func);
-                    let id = self.threads[next].id;
+                self.lwps.last_thread[l] = Some(next);
+                self.threads.last_cpu[next] = Some(c);
+                if self.threads.started[next].is_none() {
+                    self.threads.started[next] = Some(self.now);
+                    let entry = self.app.func_entry(self.threads.func[next]);
+                    let id = self.threads.id[next];
                     self.opts.hooks.on_thread_start(self.now, id, entry);
                 }
                 self.set_state(next, TState::Running(c));
                 self.run_thread(c)
             }
             None => {
-                self.lwps[l].state = LState::Parked;
-                self.lwps[l].thread = None;
+                self.lwps.state[l] = LState::Parked;
+                self.lwps.thread[l] = None;
                 self.parked.push(Reverse(l));
                 self.cpus[c].lwp = None;
                 self.cpus[c].last_lwp = Some(l);
@@ -851,8 +1112,8 @@ impl<'a, 'o> Engine<'a, 'o> {
     fn run_thread(&mut self, c: Cix) -> Result<(), VppbError> {
         loop {
             let Some(l) = self.cpus[c].lwp else { return Ok(()) };
-            let Some(tix) = self.lwps[l].thread else { return Ok(()) };
-            match self.threads[tix].phase {
+            let Some(tix) = self.lwps.thread[l] else { return Ok(()) };
+            match self.threads.phase[tix] {
                 Phase::Resume => {
                     if !self.resume_loop(tix, c)? {
                         return Ok(());
@@ -864,19 +1125,19 @@ impl<'a, 'o> Engine<'a, 'o> {
                     }
                 }
                 Phase::Compute { left } | Phase::CallLatency { left } => {
-                    let total = left + std::mem::take(&mut self.threads[tix].pre_charge);
-                    match &mut self.threads[tix].phase {
+                    let total = left + std::mem::take(&mut self.threads.pre_charge[tix]);
+                    match &mut self.threads.phase[tix] {
                         Phase::Compute { left } | Phase::CallLatency { left } => *left = total,
                         _ => unreachable!(),
                     }
-                    let stop = if self.cfg.time_slicing && !self.lwps[l].dedicated_solo() {
-                        Duration::from_nanos(total.nanos().min(self.lwps[l].quantum_left.nanos()))
+                    let stop = if self.cfg.time_slicing && !self.lwps.dedicated_solo(l) {
+                        Duration::from_nanos(total.nanos().min(self.lwps.quantum_left[l].nanos()))
                     } else {
                         total
                     };
                     self.cpus[c].token += 1;
                     let token = self.cpus[c].token;
-                    self.push_ev(self.now + stop, Ev::CpuStop { cpu: c, token });
+                    self.push_ev(self.now + stop, Ev::cpu_stop(c, token));
                     return Ok(());
                 }
             }
@@ -888,14 +1149,14 @@ impl<'a, 'o> Engine<'a, 'o> {
     fn resume_loop(&mut self, tix: Tix, c: Cix) -> Result<bool, VppbError> {
         let mut spins: u64 = 0;
         loop {
-            let outcome = std::mem::take(&mut self.threads[tix].outcome);
-            let id = self.threads[tix].id;
+            let outcome = std::mem::take(&mut self.threads.outcome[tix]);
+            let id = self.threads.id[tix];
             let ctx = ResumeCtx { outcome, self_id: id, now: self.now };
-            let action = self.threads[tix].program.resume(ctx);
+            let action = self.threads.program[tix].resume(ctx);
             match action {
                 Action::Work(d) => {
                     let d = self.opts.jitter.apply(id, d);
-                    self.threads[tix].phase = Phase::Compute { left: d };
+                    self.threads.phase[tix] = Phase::Compute { left: d };
                     return Ok(true);
                 }
                 Action::Stall => {
@@ -906,13 +1167,10 @@ impl<'a, 'o> Engine<'a, 'o> {
                     // cascade stays consistent; the streaming driver
                     // discards the run at the next event boundary, so the
                     // fake timer never fires.
-                    self.threads[tix].phase = Phase::Resume;
-                    self.threads[tix].gen += 1;
-                    let gen = self.threads[tix].gen;
-                    self.push_ev(
-                        self.now + Duration::from_nanos(1 << 60),
-                        Ev::Timer { thread: tix, gen },
-                    );
+                    self.threads.phase[tix] = Phase::Resume;
+                    self.threads.gen[tix] += 1;
+                    let gen = self.threads.gen[tix];
+                    self.push_ev(self.now + Duration::from_nanos(1 << 60), Ev::timer(tix, gen));
                     self.observe(SchedEvent::Block {
                         thread: id,
                         reason: BlockReason::Timer,
@@ -924,10 +1182,10 @@ impl<'a, 'o> Engine<'a, 'o> {
                     return Ok(false);
                 }
                 Action::Sleep(d) => {
-                    self.threads[tix].phase = Phase::Resume;
-                    self.threads[tix].gen += 1;
-                    let gen = self.threads[tix].gen;
-                    self.push_ev(self.now + d, Ev::Timer { thread: tix, gen });
+                    self.threads.phase[tix] = Phase::Resume;
+                    self.threads.gen[tix] += 1;
+                    let gen = self.threads.gen[tix];
+                    self.push_ev(self.now + d, Ev::timer(tix, gen));
                     self.observe(SchedEvent::Block {
                         thread: id,
                         reason: BlockReason::Timer,
@@ -939,7 +1197,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                     return Ok(false);
                 }
                 Action::Var(op) => {
-                    self.threads[tix].outcome = self.apply_var(op);
+                    self.threads.outcome[tix] = self.apply_var(op);
                     spins += 1;
                     if spins > SPIN_LIMIT {
                         return Err(VppbError::ProgramError(format!(
@@ -955,7 +1213,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                     };
                     match resolved {
                         Intercept::Skip => {
-                            self.threads[tix].outcome = Outcome::None;
+                            self.threads.outcome[tix] = Outcome::None;
                             spins += 1;
                             if spins > SPIN_LIMIT {
                                 return Err(VppbError::ProgramError(format!(
@@ -967,10 +1225,10 @@ impl<'a, 'o> Engine<'a, 'o> {
                             let kind = event_kind_of(&call, self.app);
                             self.opts.hooks.on_before(self.now, id, kind, site);
                             let bound = self.is_bound(tix);
-                            let cost = self.opts.hooks.probe_cost() + self.call_cost(&call, bound);
-                            self.threads[tix].call =
-                                Some(Inflight { call, site, before: self.now, cpu: c });
-                            self.threads[tix].phase = Phase::CallLatency { left: cost };
+                            let cost = self.probe_cost + self.call_cost(&call, bound);
+                            self.threads.call[tix] =
+                                Some(Inflight { call, site, kind, before: self.now, cpu: c });
+                            self.threads.phase[tix] = Phase::CallLatency { left: cost };
                             return Ok(true);
                         }
                     }
@@ -997,10 +1255,10 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Emit the AFTER probe and the placed event; honour deferred
     /// yield/suspend. Returns `Ok(true)` if the thread keeps the CPU.
     fn finish_call(&mut self, tix: Tix, c: Cix) -> Result<bool, VppbError> {
-        let inflight = self.threads[tix].call.take().expect("CallFinish without call");
-        let id = self.threads[tix].id;
-        let kind = event_kind_of(&inflight.call, self.app);
-        let result = match self.threads[tix].outcome {
+        let inflight = self.threads.call[tix].take().expect("CallFinish without call");
+        let id = self.threads.id[tix];
+        let kind = inflight.kind;
+        let result = match self.threads.outcome[tix] {
             Outcome::Created(t) => EventResult::Created(t),
             Outcome::Joined(t) => EventResult::Joined(t),
             Outcome::Acquired(b) => EventResult::Acquired(b),
@@ -1018,13 +1276,13 @@ impl<'a, 'o> Engine<'a, 'o> {
                 caller: inflight.site,
             });
         }
-        self.threads[tix].pre_charge += self.opts.hooks.probe_cost();
-        self.threads[tix].phase = Phase::Resume;
-        if std::mem::take(&mut self.threads[tix].yield_pending) {
+        self.threads.pre_charge[tix] += self.probe_cost;
+        self.threads.phase[tix] = Phase::Resume;
+        if std::mem::take(&mut self.threads.yield_pending[tix]) {
             // thr_yield: go to the back of the user run queue (unbound) or
             // of the kernel queue (bound).
             if self.is_bound(tix) {
-                let l = self.threads[tix].lwp.expect("bound thread keeps lwp");
+                let l = self.threads.lwp[tix].expect("bound thread keeps lwp");
                 self.charge_elapsed(c);
                 self.cpus[c].token += 1;
                 self.cpus[c].lwp = None;
@@ -1041,9 +1299,9 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
             return Ok(false);
         }
-        if std::mem::take(&mut self.threads[tix].suspend_self_pending) {
+        if std::mem::take(&mut self.threads.suspend_self_pending[tix]) {
             self.charge_elapsed(c);
-            self.threads[tix].suspended = true;
+            self.threads.suspended[tix] = true;
             self.set_state(tix, TState::Blocked(BlockReason::Suspended));
             self.detach_thread(tix);
             self.lwp_continue_or_park(c)?;
@@ -1055,10 +1313,10 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Detach an unbound thread from its pool LWP (bound threads keep
     /// theirs; the LWP state is handled by the caller).
     fn detach_thread(&mut self, tix: Tix) {
-        if let Some(l) = self.threads[tix].lwp {
-            if !self.lwps[l].dedicated {
-                self.lwps[l].thread = None;
-                self.threads[tix].lwp = None;
+        if let Some(l) = self.threads.lwp[tix] {
+            if !self.lwps.dedicated[l] {
+                self.lwps.thread[l] = None;
+                self.threads.lwp[tix] = None;
             }
         }
     }
@@ -1068,41 +1326,41 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Make a blocked thread runnable after the communication delay (if the
     /// wake crosses CPUs).
     fn wake_thread(&mut self, tix: Tix, waker_cpu: Option<Cix>) {
-        let delay = match (waker_cpu, self.threads[tix].last_cpu) {
+        let delay = match (waker_cpu, self.threads.last_cpu[tix]) {
             (Some(a), Some(b)) if a != b => self.cfg.comm_delay,
             _ => Duration::ZERO,
         };
-        self.threads[tix].gen += 1;
-        let gen = self.threads[tix].gen;
-        self.push_ev(self.now + delay, Ev::Wake { thread: tix, gen });
+        self.threads.gen[tix] += 1;
+        let gen = self.threads.gen[tix];
+        self.push_ev(self.now + delay, Ev::wake(tix, gen));
     }
 
     fn deliver_wake(&mut self, tix: Tix, gen: u64) -> Result<(), VppbError> {
-        if self.threads[tix].gen != gen {
+        if self.threads.gen[tix] != gen {
             return Ok(()); // stale
         }
-        if !matches!(self.threads[tix].state, TState::Blocked(_) | TState::Embryo) {
+        if !matches!(self.threads.state[tix], TState::Blocked(_) | TState::Embryo) {
             return Ok(()); // already running/runnable
         }
-        if self.threads[tix].suspended {
+        if self.threads.suspended[tix] {
             self.set_state(tix, TState::Blocked(BlockReason::Suspended));
             return Ok(());
         }
-        self.observe(SchedEvent::Wakeup { thread: self.threads[tix].id });
+        self.observe(SchedEvent::Wakeup { thread: self.threads.id[tix] });
         self.make_runnable(tix)?;
         self.dispatch()
     }
 
     fn make_runnable(&mut self, tix: Tix) -> Result<(), VppbError> {
         self.set_state(tix, TState::Runnable);
-        if let Some(l) = self.threads[tix].lwp {
+        if let Some(l) = self.threads.lwp[tix] {
             // The thread kept its LWP while blocked (bound thread, or any
             // thread sleeping in a kernel syscall): the LWP wakes with it
             // (no boost on first start).
-            if self.threads[tix].started.is_some() {
-                self.lwps[l].prio = self.cfg.dispatch.on_sleep_return(self.lwps[l].prio);
+            if self.threads.started[tix].is_some() {
+                self.lwps.prio[l] = self.cfg.dispatch.on_sleep_return(self.lwps.prio[l]);
             }
-            self.lwps[l].fresh_quantum = true;
+            self.lwps.fresh_quantum[l] = true;
             self.kernel_enqueue(l);
         } else {
             self.user_rq_push(tix, false);
@@ -1120,9 +1378,9 @@ impl<'a, 'o> Engine<'a, 'o> {
     ) -> Result<Tix, VppbError> {
         let id = match (&mut self.opts.id_assigner, creator) {
             (Some(assign), Some(cix)) => {
-                let seq = self.threads[cix].create_seq;
-                self.threads[cix].create_seq += 1;
-                let creator_id = self.threads[cix].id;
+                let seq = self.threads.create_seq[cix];
+                self.threads.create_seq[cix] += 1;
+                let creator_id = self.threads.id[cix];
                 assign(creator_id, seq)
             }
             _ => {
@@ -1135,37 +1393,26 @@ impl<'a, 'o> Engine<'a, 'o> {
                 }
             }
         };
-        if self.by_id.contains_key(&id) {
+        if self.by_id.get(id).is_some() {
             return Err(VppbError::ProgramError(format!("duplicate thread id {id}")));
         }
-        let manip = self.opts.manips.get(&id).copied().unwrap_or_default();
+        let manip = self.opts.manips.lookup(id);
         let binding =
             manip.binding.unwrap_or(if bound_flag { Binding::BoundLwp } else { Binding::Unbound });
-        let tix = self.threads.len();
-        self.threads.push(ThreadRt {
+        // Prefer the function's compiled replay tape (flat cursor walk, no
+        // virtual dispatch); fall back to the boxed coroutine factory.
+        let program = match &self.app.functions[func.0].tape {
+            Some(ops) => ProgSlot::Tape(TapeCursor::new(ops.clone())),
+            None => ProgSlot::Boxed(self.app.instantiate(func)),
+        };
+        let tix = self.threads.push_new(
             id,
             func,
-            program: self.app.instantiate(func),
-            state: TState::Embryo,
-            phase: Phase::Resume,
+            program,
             binding,
-            user_prio: manip.priority.unwrap_or(0),
-            prio_locked: manip.priority.is_some(),
-            lwp: None,
-            last_cpu: None,
-            outcome: Outcome::None,
-            call: None,
-            cv_wait: None,
-            started: None,
-            ended: None,
-            cpu_time: Duration::ZERO,
-            pre_charge: Duration::ZERO,
-            create_seq: 0,
-            gen: 0,
-            yield_pending: false,
-            suspend_self_pending: false,
-            suspended: false,
-        });
+            manip.priority.unwrap_or(0),
+            manip.priority.is_some(),
+        );
         self.by_id.insert(id, tix);
         self.live += 1;
         if self.opts.record_trace {
@@ -1194,22 +1441,19 @@ impl<'a, 'o> Engine<'a, 'o> {
                     }
                     _ => None,
                 };
-                let lix = self.lwps.len();
                 if cpu_binding.is_some() {
                     self.cpu_bound_lwps += 1;
                 }
-                self.lwps.push(LwpRt {
-                    id: LwpId(lix as u32),
-                    state: LState::Sleeping,
-                    prio: self.cfg.initial_priority,
-                    quantum_left: Duration::ZERO,
-                    fresh_quantum: true,
-                    thread: Some(tix),
-                    dedicated: true,
-                    cpu_binding,
-                    last_thread: None,
-                });
-                self.threads[tix].lwp = Some(lix);
+                let lix = self.lwps.len();
+                let lix = self.lwps.push_new(
+                    LwpId(lix as u32),
+                    LState::Sleeping,
+                    self.cfg.initial_priority,
+                    true,
+                );
+                self.lwps.thread[lix] = Some(tix);
+                self.lwps.cpu_binding[lix] = cpu_binding;
+                self.threads.lwp[tix] = Some(lix);
             }
         }
         self.make_runnable(tix)?;
@@ -1217,50 +1461,40 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 
     fn new_pool_lwp(&mut self) -> Lix {
-        let lix = self.lwps.len();
-        self.lwps.push(LwpRt {
-            id: LwpId(lix as u32),
-            state: LState::Parked,
-            prio: self.cfg.initial_priority,
-            quantum_left: Duration::ZERO,
-            fresh_quantum: true,
-            thread: None,
-            dedicated: false,
-            cpu_binding: None,
-            last_thread: None,
-        });
+        let id = LwpId(self.lwps.len() as u32);
+        let lix = self.lwps.push_new(id, LState::Parked, self.cfg.initial_priority, false);
         self.parked.push(Reverse(lix));
         lix
     }
 
     fn pool_lwp_count(&self) -> u32 {
-        self.lwps.iter().filter(|l| !l.dedicated).count() as u32
+        self.lwps.dedicated.iter().filter(|&&d| !d).count() as u32
     }
 
     fn exit_thread(&mut self, tix: Tix, c: Cix) -> Result<(), VppbError> {
-        let id = self.threads[tix].id;
+        let id = self.threads.id[tix];
         // The placed event for thr_exit spans BEFORE to the exit instant
         // (thr_exit never returns, so there is no AFTER probe).
-        if let Some(inflight) = self.threads[tix].call.take() {
+        if let Some(inflight) = self.threads.call[tix].take() {
             if self.opts.record_trace {
                 self.events.push(PlacedEvent {
                     start: inflight.before,
                     end: self.now,
                     thread: id,
-                    kind: event_kind_of(&inflight.call, self.app),
+                    kind: inflight.kind,
                     cpu: CpuId(inflight.cpu as u32),
                     caller: inflight.site,
                 });
             }
         }
         self.charge_elapsed(c);
-        self.threads[tix].ended = Some(self.now);
+        self.threads.ended[tix] = Some(self.now);
         self.set_state(tix, TState::Zombie);
         self.live -= 1;
         // Release the LWP.
-        if let Some(l) = self.threads[tix].lwp {
-            if self.lwps[l].dedicated {
-                self.lwps[l].thread = None;
+        if let Some(l) = self.threads.lwp[tix] {
+            if self.lwps.dedicated[l] {
+                self.lwps.thread[l] = None;
             } else {
                 self.detach_thread(tix);
             }
@@ -1291,14 +1525,14 @@ impl<'a, 'o> Engine<'a, 'o> {
                 None => tix,
             };
             self.reap(reaped);
-            self.threads[jix].outcome = Outcome::Joined(self.threads[reaped].id);
+            self.threads.outcome[jix] = Outcome::Joined(self.threads.id[reaped]);
             self.finish_blocking_wake(jix, c);
         }
         self.lwp_continue_or_park(c)
     }
 
     fn reap(&mut self, tix: Tix) {
-        self.threads[tix].state = TState::Done;
+        self.threads.state[tix] = TState::Done;
         let removed = self.zombies.remove(tix);
         assert!(removed, "reaping a thread not on the zombie list");
     }
@@ -1318,12 +1552,12 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 
     fn perform_call(&mut self, tix: Tix, c: Cix) -> Result<(), VppbError> {
-        let call = self.threads[tix].call.as_ref().expect("in call").call;
-        let id = self.threads[tix].id;
+        let call = self.threads.call[tix].as_ref().expect("in call").call;
+        let id = self.threads.id[tix];
         let sem = self.call_semantics(tix, c, call)?;
         match sem {
             CallOutcome::Done => {
-                self.threads[tix].phase = Phase::CallFinish;
+                self.threads.phase[tix] = Phase::CallFinish;
                 self.run_thread(c)
             }
             CallOutcome::Blocked(reason) => {
@@ -1349,11 +1583,11 @@ impl<'a, 'o> Engine<'a, 'o> {
                     queue_depth: 0,
                 });
                 self.set_state(tix, TState::Blocked(BlockReason::Io));
-                self.threads[tix].gen += 1;
-                let gen = self.threads[tix].gen;
-                self.push_ev(self.now + latency, Ev::Timer { thread: tix, gen });
+                self.threads.gen[tix] += 1;
+                let gen = self.threads.gen[tix];
+                self.push_ev(self.now + latency, Ev::timer(tix, gen));
                 let l = self.cpus[c].lwp.take().expect("io on busy cpu");
-                self.lwps[l].state = LState::Sleeping;
+                self.lwps.state[l] = LState::Sleeping;
                 self.cpus[c].last_lwp = Some(l);
                 self.cpus[c].token += 1;
                 self.dispatch()
@@ -1368,24 +1602,24 @@ impl<'a, 'o> Engine<'a, 'o> {
         c: Cix,
         call: LibCall,
     ) -> Result<CallOutcome, VppbError> {
-        let id = self.threads[tix].id;
+        let id = self.threads.id[tix];
         use LibCall::*;
         Ok(match call {
             Create { func, bound } => {
                 let child = self.spawn_thread(func, bound, Some(tix))?;
-                self.threads[tix].outcome = Outcome::Created(self.threads[child].id);
+                self.threads.outcome[tix] = Outcome::Created(self.threads.id[child]);
                 self.dispatch()?;
                 CallOutcome::Done
             }
             Join(target) => {
                 let found = match target {
-                    Some(t) => match self.by_id.get(&t) {
+                    Some(t) => match self.by_id.get(t) {
                         None => {
                             return Err(VppbError::ProgramError(format!(
                                 "{id} joins unknown thread {t}"
                             )))
                         }
-                        Some(&zix) => match self.threads[zix].state {
+                        Some(zix) => match self.threads.state[zix] {
                             TState::Zombie => Some(zix),
                             TState::Done => {
                                 return Err(VppbError::ProgramError(format!(
@@ -1400,7 +1634,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 match found {
                     Some(zix) => {
                         self.reap(zix);
-                        self.threads[tix].outcome = Outcome::Joined(self.threads[zix].id);
+                        self.threads.outcome[tix] = Outcome::Joined(self.threads.id[zix]);
                         CallOutcome::Done
                     }
                     None => {
@@ -1411,14 +1645,14 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
             Exit => CallOutcome::Exited,
             Yield => {
-                self.threads[tix].yield_pending = true;
+                self.threads.yield_pending[tix] = true;
                 CallOutcome::Done
             }
             SetPrio { target, prio } => {
-                if let Some(&xix) = self.by_id.get(&target) {
-                    if !self.threads[xix].prio_locked {
+                if let Some(xix) = self.by_id.get(target) {
+                    if !self.threads.prio_locked[xix] {
                         let was_queued = self.user_rq_remove(xix);
-                        self.threads[xix].user_prio = prio;
+                        self.threads.user_prio[xix] = prio;
                         if was_queued {
                             self.user_rq_push(xix, false);
                         }
@@ -1437,18 +1671,18 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
             Suspend(target) => {
                 if target == id {
-                    self.threads[tix].suspend_self_pending = true;
-                } else if let Some(&xix) = self.by_id.get(&target) {
+                    self.threads.suspend_self_pending[tix] = true;
+                } else if let Some(xix) = self.by_id.get(target) {
                     self.suspend_thread(xix)?;
                 }
                 CallOutcome::Done
             }
             IoWait(latency) => CallOutcome::BlockedIo(latency),
             Continue(target) => {
-                if let Some(&xix) = self.by_id.get(&target) {
-                    if std::mem::take(&mut self.threads[xix].suspended)
+                if let Some(xix) = self.by_id.get(target) {
+                    if std::mem::take(&mut self.threads.suspended[xix])
                         && matches!(
-                            self.threads[xix].state,
+                            self.threads.state[xix],
                             TState::Blocked(BlockReason::Suspended)
                         )
                     {
@@ -1460,16 +1694,16 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
 
             MutexLock(m) => {
-                if self.mutexes[m.0 as usize].try_lock(id) {
+                if self.mutexes[m.0 as usize].try_lock(tix as u32) {
                     CallOutcome::Done
                 } else {
-                    self.mutexes[m.0 as usize].queue.push_back(id);
+                    self.mutexes[m.0 as usize].queue.push_back(tix as u32);
                     CallOutcome::Blocked(BlockReason::Sync(SyncObjId::mutex(m.0)))
                 }
             }
             MutexTryLock(m) => {
-                let got = self.mutexes[m.0 as usize].try_lock(id);
-                self.threads[tix].outcome = Outcome::Acquired(got);
+                let got = self.mutexes[m.0 as usize].try_lock(tix as u32);
+                self.threads.outcome[tix] = Outcome::Acquired(got);
                 CallOutcome::Done
             }
             MutexUnlock(m) => {
@@ -1479,13 +1713,19 @@ impl<'a, 'o> Engine<'a, 'o> {
                     // auditor must flag lock-held-at-exit.
                     return Ok(CallOutcome::Done);
                 }
-                let next =
-                    self.mutexes[m.0 as usize].unlock(id).map_err(VppbError::ProgramError)?;
-                if let Some(w) = next {
-                    let wix = self.by_id[&w];
-                    // The woken thread may be re-acquiring after a
-                    // cond_wait; its outcome was staged then.
-                    self.finish_blocking_wake(wix, c);
+                match self.mutexes[m.0 as usize].unlock(tix as u32) {
+                    Err(owner) => {
+                        return Err(VppbError::ProgramError(format!(
+                            "{id} unlocked a mutex owned by {:?}",
+                            owner.map(|o| self.threads.id[o as usize])
+                        )))
+                    }
+                    Ok(Some(w)) => {
+                        // The woken thread may be re-acquiring after a
+                        // cond_wait; its outcome was staged then.
+                        self.finish_blocking_wake(w as Tix, c);
+                    }
+                    Ok(None) => {}
                 }
                 CallOutcome::Done
             }
@@ -1494,19 +1734,18 @@ impl<'a, 'o> Engine<'a, 'o> {
                 if self.sems[s.0 as usize].try_wait() {
                     CallOutcome::Done
                 } else {
-                    self.sems[s.0 as usize].queue.push_back(id);
+                    self.sems[s.0 as usize].queue.push_back(tix as u32);
                     CallOutcome::Blocked(BlockReason::Sync(SyncObjId::semaphore(s.0)))
                 }
             }
             SemTryWait(s) => {
                 let got = self.sems[s.0 as usize].try_wait();
-                self.threads[tix].outcome = Outcome::Acquired(got);
+                self.threads.outcome[tix] = Outcome::Acquired(got);
                 CallOutcome::Done
             }
             SemPost(s) => {
                 if let Some(w) = self.sems[s.0 as usize].post() {
-                    let wix = self.by_id[&w];
-                    self.finish_blocking_wake(wix, c);
+                    self.finish_blocking_wake(w as Tix, c);
                 }
                 CallOutcome::Done
             }
@@ -1517,50 +1756,49 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
             CondSignal(cv) => {
                 if let Some(w) = self.conds[cv.0 as usize].signal() {
-                    let wix = self.by_id[&w];
-                    self.cond_wake(wix, c, false)?;
+                    self.cond_wake(w as Tix, c, false)?;
                 }
                 CallOutcome::Done
             }
             CondBroadcast(cv) => {
                 for w in self.conds[cv.0 as usize].broadcast() {
-                    let wix = self.by_id[&w];
-                    self.cond_wake(wix, c, false)?;
+                    self.cond_wake(w as Tix, c, false)?;
                 }
                 CallOutcome::Done
             }
 
             RwRdLock(r) => {
-                if self.rws[r.0 as usize].try_read(id) {
+                if self.rws[r.0 as usize].try_read(tix as u32) {
                     CallOutcome::Done
                 } else {
-                    self.rws[r.0 as usize].queue.push_back(RwWaiter::Reader(id));
+                    self.rws[r.0 as usize].queue.push_back(RwWaiter::Reader(tix as u32));
                     CallOutcome::Blocked(BlockReason::Sync(SyncObjId::rwlock(r.0)))
                 }
             }
             RwWrLock(r) => {
-                if self.rws[r.0 as usize].try_write(id) {
+                if self.rws[r.0 as usize].try_write(tix as u32) {
                     CallOutcome::Done
                 } else {
-                    self.rws[r.0 as usize].queue.push_back(RwWaiter::Writer(id));
+                    self.rws[r.0 as usize].queue.push_back(RwWaiter::Writer(tix as u32));
                     CallOutcome::Blocked(BlockReason::Sync(SyncObjId::rwlock(r.0)))
                 }
             }
             RwTryRdLock(r) => {
-                let got = self.rws[r.0 as usize].try_read(id);
-                self.threads[tix].outcome = Outcome::Acquired(got);
+                let got = self.rws[r.0 as usize].try_read(tix as u32);
+                self.threads.outcome[tix] = Outcome::Acquired(got);
                 CallOutcome::Done
             }
             RwTryWrLock(r) => {
-                let got = self.rws[r.0 as usize].try_write(id);
-                self.threads[tix].outcome = Outcome::Acquired(got);
+                let got = self.rws[r.0 as usize].try_write(tix as u32);
+                self.threads.outcome[tix] = Outcome::Acquired(got);
                 CallOutcome::Done
             }
             RwUnlock(r) => {
-                let granted = self.rws[r.0 as usize].unlock(id).map_err(VppbError::ProgramError)?;
+                let granted = self.rws[r.0 as usize].unlock(tix as u32).ok_or_else(|| {
+                    VppbError::ProgramError(format!("{id} rw-unlocked a lock it does not hold"))
+                })?;
                 for w in granted {
-                    let wix = self.by_id[&w];
-                    self.finish_blocking_wake(wix, c);
+                    self.finish_blocking_wake(w as Tix, c);
                 }
                 CallOutcome::Done
             }
@@ -1570,7 +1808,7 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Wake a thread whose blocking call just succeeded (mutex handoff,
     /// semaphore grant, rwlock grant).
     fn finish_blocking_wake(&mut self, wix: Tix, waker_cpu: Cix) {
-        self.threads[wix].phase = Phase::CallFinish;
+        self.threads.phase[wix] = Phase::CallFinish;
         self.wake_thread(wix, Some(waker_cpu));
     }
 
@@ -1582,24 +1820,24 @@ impl<'a, 'o> Engine<'a, 'o> {
         m: u32,
         timeout: Option<Duration>,
     ) -> Result<CallOutcome, VppbError> {
-        let id = self.threads[tix].id;
-        if self.mutexes[m as usize].owner != Some(id) {
+        if self.mutexes[m as usize].owner != Some(tix as u32) {
+            let id = self.threads.id[tix];
             return Err(VppbError::ProgramError(format!(
                 "{id} cond_waits without holding the mutex mtx{m}"
             )));
         }
-        // Atomically release the mutex and sleep on the condvar.
-        let next = self.mutexes[m as usize].unlock(id).map_err(VppbError::ProgramError)?;
+        // Atomically release the mutex and sleep on the condvar. The
+        // unlock cannot fail: the owner check above just passed.
+        let next = self.mutexes[m as usize].unlock(tix as u32).expect("owner checked");
         if let Some(w) = next {
-            let wix = self.by_id[&w];
-            self.finish_blocking_wake(wix, c);
+            self.finish_blocking_wake(w as Tix, c);
         }
-        self.conds[cv as usize].queue.push_back(id);
-        self.threads[tix].cv_wait = Some((cv, m));
+        self.conds[cv as usize].queue.push_back(tix as u32);
+        self.threads.cv_wait[tix] = Some((cv, m));
         if let Some(d) = timeout {
-            self.threads[tix].gen += 1;
-            let gen = self.threads[tix].gen;
-            self.push_ev(self.now + d, Ev::Timer { thread: tix, gen });
+            self.threads.gen[tix] += 1;
+            let gen = self.threads.gen[tix];
+            self.push_ev(self.now + d, Ev::timer(tix, gen));
         }
         Ok(CallOutcome::Blocked(BlockReason::Sync(SyncObjId::condvar(cv))))
     }
@@ -1608,19 +1846,18 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// re-acquire the mutex before the wait can return.
     fn cond_wake(&mut self, wix: Tix, waker_cpu: Cix, timed_out: bool) -> Result<(), VppbError> {
         let (_, m) =
-            self.threads[wix].cv_wait.take().expect("cond_wake on thread not in cond_wait");
+            self.threads.cv_wait[wix].take().expect("cond_wake on thread not in cond_wait");
         let is_timed = matches!(
-            self.threads[wix].call.as_ref().map(|i| i.call),
+            self.threads.call[wix].as_ref().map(|i| i.call),
             Some(LibCall::CondTimedWait { .. })
         );
-        self.threads[wix].outcome =
+        self.threads.outcome[wix] =
             if is_timed { Outcome::TimedOut(timed_out) } else { Outcome::None };
-        let w_id = self.threads[wix].id;
-        if self.mutexes[m as usize].try_lock(w_id) {
+        if self.mutexes[m as usize].try_lock(wix as u32) {
             self.finish_blocking_wake(wix, waker_cpu);
         } else {
-            self.mutexes[m as usize].queue.push_back(w_id);
-            self.threads[wix].phase = Phase::CallFinish;
+            self.mutexes[m as usize].queue.push_back(wix as u32);
+            self.threads.phase[wix] = Phase::CallFinish;
             // Still blocked, now on the mutex; record the reason change.
             self.set_state(wix, TState::Blocked(BlockReason::Sync(SyncObjId::mutex(m))));
         }
@@ -1628,8 +1865,8 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 
     fn suspend_thread(&mut self, xix: Tix) -> Result<(), VppbError> {
-        self.threads[xix].suspended = true;
-        match self.threads[xix].state {
+        self.threads.suspended[xix] = true;
+        match self.threads.state[xix] {
             TState::Running(c) => {
                 self.cpus[c].token += 1;
                 self.charge_elapsed(c);
@@ -1639,22 +1876,22 @@ impl<'a, 'o> Engine<'a, 'o> {
                 self.lwp_continue_or_park(c)?;
             }
             TState::Runnable => {
-                if let Some(l) = self.threads[xix].lwp {
+                if let Some(l) = self.threads.lwp[xix] {
                     // A Runnable thread holding an LWP means the LWP is
                     // Ready, i.e. definitely queued — anything else is an
                     // engine invariant violation the old linear scans
                     // would have papered over.
                     let removed = self.kernel_remove(l);
                     assert!(removed, "suspending a Runnable thread whose LWP was not queued");
-                    if self.lwps[l].dedicated {
-                        self.lwps[l].state = LState::Sleeping;
+                    if self.lwps.dedicated[l] {
+                        self.lwps.state[l] = LState::Sleeping;
                     } else {
                         // Attached to a pool LWP awaiting CPU: detach; the
                         // LWP parks (dispatch may re-attach it elsewhere).
-                        self.lwps[l].state = LState::Parked;
-                        self.lwps[l].thread = None;
+                        self.lwps.state[l] = LState::Parked;
+                        self.lwps.thread[l] = None;
                         self.parked.push(Reverse(l));
-                        self.threads[xix].lwp = None;
+                        self.threads.lwp[xix] = None;
                     }
                 } else {
                     let removed = self.user_rq_remove(xix);
@@ -1677,61 +1914,55 @@ impl<'a, 'o> Engine<'a, 'o> {
         }
         self.charge_elapsed(c);
         let l = self.cpus[c].lwp.expect("stop on busy cpu");
-        let tix = self.lwps[l].thread.expect("running lwp has thread");
-        let left = match self.threads[tix].phase {
-            Phase::Compute { left } | Phase::CallLatency { left } => left,
-            _ => Duration::ZERO,
-        };
-        if left.is_zero() {
-            match self.threads[tix].phase {
-                Phase::Compute { .. } => {
-                    self.threads[tix].phase = Phase::Resume;
-                    self.run_thread(c)
-                }
-                Phase::CallLatency { .. } => self.perform_call(tix, c),
-                _ => unreachable!("CpuStop in non-running phase"),
+        let tix = self.lwps.thread[l].expect("running lwp has thread");
+        match self.threads.phase[tix] {
+            Phase::Compute { left } if left.is_zero() => {
+                self.threads.phase[tix] = Phase::Resume;
+                self.run_thread(c)
             }
-        } else {
-            // Quantum expiry: age the LWP and requeue it.
-            debug_assert!(self.lwps[l].quantum_left.is_zero());
-            let from_prio = self.lwps[l].prio;
-            self.lwps[l].prio = self.cfg.dispatch.on_quantum_expiry(from_prio);
-            self.observe(SchedEvent::Age {
-                lwp: self.lwps[l].id,
-                from_prio,
-                to_prio: self.lwps[l].prio,
-            });
-            self.lwps[l].fresh_quantum = true;
-            self.cpus[c].token += 1;
-            self.cpus[c].lwp = None;
-            self.cpus[c].last_lwp = Some(l);
-            self.set_state(tix, TState::Runnable);
-            self.kernel_enqueue(l);
-            self.dispatch()
+            Phase::CallLatency { left } if left.is_zero() => self.perform_call(tix, c),
+            Phase::Compute { .. } | Phase::CallLatency { .. } => {
+                // Quantum expiry: age the LWP and requeue it.
+                debug_assert!(self.lwps.quantum_left[l].is_zero());
+                let from_prio = self.lwps.prio[l];
+                self.lwps.prio[l] = self.cfg.dispatch.on_quantum_expiry(from_prio);
+                self.observe(SchedEvent::Age {
+                    lwp: self.lwps.id[l],
+                    from_prio,
+                    to_prio: self.lwps.prio[l],
+                });
+                self.lwps.fresh_quantum[l] = true;
+                self.cpus[c].token += 1;
+                self.cpus[c].lwp = None;
+                self.cpus[c].last_lwp = Some(l);
+                self.set_state(tix, TState::Runnable);
+                self.kernel_enqueue(l);
+                self.dispatch()
+            }
+            _ => unreachable!("CpuStop in non-running phase"),
         }
     }
 
     fn on_timer(&mut self, tix: Tix, gen: u64) -> Result<(), VppbError> {
-        if self.threads[tix].gen != gen {
+        if self.threads.gen[tix] != gen {
             return Ok(()); // cancelled (signalled first, or woken)
         }
-        match self.threads[tix].cv_wait {
+        match self.threads.cv_wait[tix] {
             Some((cv, _)) => {
-                let id = self.threads[tix].id;
-                if self.conds[cv as usize].remove(id) {
+                if self.conds[cv as usize].remove(tix as u32) {
                     self.cond_wake(tix, usize::MAX, true)?;
                     self.dispatch()
                 } else {
                     Ok(())
                 }
             }
-            None => match self.threads[tix].state {
+            None => match self.threads.state[tix] {
                 // A Sleep() expiry.
                 TState::Blocked(BlockReason::Timer) => self.deliver_wake(tix, gen),
                 // An I/O completion: the call finishes once back on a CPU.
                 TState::Blocked(BlockReason::Io) => {
-                    self.threads[tix].phase = Phase::CallFinish;
-                    self.threads[tix].outcome = Outcome::None;
+                    self.threads.phase[tix] = Phase::CallFinish;
+                    self.threads.outcome[tix] = Outcome::None;
                     self.deliver_wake(tix, gen)
                 }
                 _ => Ok(()),
@@ -1776,12 +2007,14 @@ impl<'a, 'o> Engine<'a, 'o> {
             if stop_before.is_some_and(|m| self.des_events + 1 >= m) {
                 return Ok(LoopEnd::Paused);
             }
-            let Some(Reverse((time, _, ev))) = self.heap.pop() else {
+            let Some(entry) = self.cal.pop() else {
                 return Err(VppbError::ProgramError(format!(
                     "deadlock: no runnable threads ({})",
                     self.progress_report()
                 )));
             };
+            let time = Time((entry.key >> 64) as u64);
+            let ev = entry.ev;
             debug_assert!(time >= self.now, "time must not run backwards");
             self.now = time;
             self.des_events += 1;
@@ -1808,10 +2041,10 @@ impl<'a, 'o> Engine<'a, 'o> {
                     self.progress_report()
                 )));
             }
-            match ev {
-                Ev::CpuStop { cpu, token } => self.on_cpu_stop(cpu, token)?,
-                Ev::Wake { thread, gen } => self.deliver_wake(thread, gen)?,
-                Ev::Timer { thread, gen } => self.on_timer(thread, gen)?,
+            match ev.tag {
+                EvTag::CpuStop => self.on_cpu_stop(ev.idx as usize, ev.stamp)?,
+                EvTag::Wake => self.deliver_wake(ev.idx as usize, ev.stamp)?,
+                EvTag::Timer => self.on_timer(ev.idx as usize, ev.stamp)?,
             }
             if let Some(at) = self.stalled_at {
                 return Ok(LoopEnd::Stalled(at));
@@ -1844,7 +2077,7 @@ impl<'a, 'o> Engine<'a, 'o> {
         EngineSnapshot {
             now: self.now,
             seq: self.seq,
-            heap: self.heap,
+            cal: self.cal,
             threads: self.threads,
             by_id: self.by_id,
             lwps: self.lwps,
@@ -1895,7 +2128,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 "resume app declares fewer sync objects than the snapshot holds".into(),
             ));
         }
-        if snap.threads.iter().any(|t| t.func.0 >= app.functions.len()) {
+        if snap.threads.func.iter().any(|f| f.0 >= app.functions.len()) {
             return Err(VppbError::InvalidConfig(
                 "snapshot thread references a function the resume app lacks".into(),
             ));
@@ -1914,13 +2147,15 @@ impl<'a, 'o> Engine<'a, 'o> {
         for &v in app.var_initial.iter().skip(vars.len()) {
             vars.push(v);
         }
+        let probe_cost = opts.hooks.probe_cost();
         Ok(Engine {
             app,
             cfg,
             opts,
             now: snap.now,
             seq: snap.seq,
-            heap: snap.heap,
+            cal: snap.cal,
+            probe_cost,
             threads: snap.threads,
             by_id: snap.by_id,
             lwps: snap.lwps,
@@ -1947,8 +2182,8 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     fn progress_report(&self) -> String {
         let mut parts = Vec::new();
-        for t in &self.threads {
-            let s = match t.state {
+        for tix in 0..self.threads.len() {
+            let s = match self.threads.state[tix] {
                 TState::Embryo => "embryo".to_string(),
                 TState::Runnable => "runnable".to_string(),
                 TState::Running(c) => format!("running on CPU{c}"),
@@ -1956,7 +2191,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 TState::Zombie => "zombie".to_string(),
                 TState::Done => continue,
             };
-            parts.push(format!("{}={s}", t.id));
+            parts.push(format!("{}={s}", self.threads.id[tix]));
         }
         parts.join(", ")
     }
@@ -1967,7 +2202,7 @@ impl<'a, 'o> Engine<'a, 'o> {
         for (i, m) in self.mutexes.iter().enumerate() {
             sync.push(SyncAudit {
                 obj: SyncObjId::mutex(i as u32),
-                held_by: m.owner.into_iter().collect(),
+                held_by: m.owner.into_iter().map(|t| self.threads.id[t as usize]).collect(),
                 queued: m.queue.len(),
             });
         }
@@ -1986,8 +2221,9 @@ impl<'a, 'o> Engine<'a, 'o> {
             });
         }
         for (i, rw) in self.rws.iter().enumerate() {
-            let mut held_by = rw.readers.clone();
-            held_by.extend(rw.writer);
+            let mut held_by: Vec<ThreadId> =
+                rw.readers.iter().map(|&t| self.threads.id[t as usize]).collect();
+            held_by.extend(rw.writer.map(|t| self.threads.id[t as usize]));
             sync.push(SyncAudit {
                 obj: SyncObjId::rwlock(i as u32),
                 held_by,
@@ -1999,15 +2235,13 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     fn run_audit(&self, transitions: Option<&[Transition]>) -> vppb_model::AuditReport {
         let cpu_busy: Vec<Duration> = self.cpus.iter().map(|c| c.busy).collect();
-        let thread_audits: Vec<ThreadAudit> = self
-            .threads
-            .iter()
-            .map(|t| ThreadAudit {
-                id: t.id,
-                cpu_time: t.cpu_time,
-                started: t.started,
-                ended: t.ended,
-                exited: matches!(t.state, TState::Zombie | TState::Done),
+        let thread_audits: Vec<ThreadAudit> = (0..self.threads.len())
+            .map(|tix| ThreadAudit {
+                id: self.threads.id[tix],
+                cpu_time: self.threads.cpu_time[tix],
+                started: self.threads.started[tix],
+                ended: self.threads.ended[tix],
+                exited: matches!(self.threads.state[tix], TState::Zombie | TState::Done),
             })
             .collect();
         let sync = self.audit_input_sync();
@@ -2031,19 +2265,19 @@ impl<'a, 'o> Engine<'a, 'o> {
         let audit = self.run_audit(if self.opts.record_trace { Some(&transitions) } else { None });
         let wall_time = self.now;
         let mut threads = BTreeMap::new();
-        for t in &self.threads {
+        for tix in 0..self.threads.len() {
             threads.insert(
-                t.id,
+                self.threads.id[tix],
                 ThreadInfo {
-                    start_fn: self.app.func_name(t.func).to_string(),
-                    started: t.started.unwrap_or(Time::ZERO),
-                    ended: t.ended.unwrap_or(Time::MAX),
-                    cpu_time: t.cpu_time,
+                    start_fn: self.app.func_name(self.threads.func[tix]).to_string(),
+                    started: self.threads.started[tix].unwrap_or(Time::ZERO),
+                    ended: self.threads.ended[tix].unwrap_or(Time::MAX),
+                    cpu_time: self.threads.cpu_time[tix],
                 },
             );
         }
-        events.sort_by_key(|e| (e.start, e.thread.0));
-        let total_cpu_time = self.threads.iter().map(|t| t.cpu_time).sum();
+        sort_events(&mut events);
+        let total_cpu_time = self.threads.cpu_time.iter().copied().sum();
         let n_threads = self.threads.len() as u32;
         RunResult {
             wall_time,
@@ -2065,46 +2299,6 @@ impl<'a, 'o> Engine<'a, 'o> {
     }
 }
 
-impl LwpRt {
-    /// Whether time-slicing can be skipped for this LWP (nothing else can
-    /// ever need its CPU slot): never true in general — placeholder for a
-    /// future optimization, always slices for now.
-    fn dedicated_solo(&self) -> bool {
-        false
-    }
-}
-
-impl ThreadRt {
-    /// Clone the runtime record, forking the coroutine. `None` if the
-    /// program is not forkable.
-    fn try_clone(&self) -> Option<ThreadRt> {
-        Some(ThreadRt {
-            id: self.id,
-            func: self.func,
-            program: self.program.fork()?,
-            state: self.state,
-            phase: self.phase,
-            binding: self.binding,
-            user_prio: self.user_prio,
-            prio_locked: self.prio_locked,
-            lwp: self.lwp,
-            last_cpu: self.last_cpu,
-            outcome: self.outcome,
-            call: self.call,
-            cv_wait: self.cv_wait,
-            started: self.started,
-            ended: self.ended,
-            cpu_time: self.cpu_time,
-            pre_charge: self.pre_charge,
-            create_seq: self.create_seq,
-            gen: self.gen,
-            yield_pending: self.yield_pending,
-            suspend_self_pending: self.suspend_self_pending,
-            suspended: self.suspended,
-        })
-    }
-}
-
 // ---------------------------------------------------------------------------
 // snapshots
 // ---------------------------------------------------------------------------
@@ -2117,10 +2311,10 @@ impl ThreadRt {
 pub struct EngineSnapshot {
     now: Time,
     seq: u64,
-    heap: BinaryHeap<Reverse<(Time, u64, Ev)>>,
-    threads: Vec<ThreadRt>,
-    by_id: BTreeMap<ThreadId, Tix>,
-    lwps: Vec<LwpRt>,
+    cal: Calendar<Ev>,
+    threads: Threads,
+    by_id: IdMap,
+    lwps: Lwps,
     cpus: Vec<CpuRt>,
     mutexes: Vec<MutexState>,
     sems: Vec<SemState>,
@@ -2153,17 +2347,17 @@ impl EngineSnapshot {
 
     /// Thread ids known to the paused engine, in creation order.
     pub fn thread_ids(&self) -> Vec<ThreadId> {
-        self.threads.iter().map(|t| t.id).collect()
+        self.threads.id.clone()
     }
 
     /// Duplicate the snapshot, forking every coroutine. `None` if any
     /// thread's program does not support [`Program::fork`].
     pub fn try_clone(&self) -> Option<EngineSnapshot> {
-        let threads = self.threads.iter().map(ThreadRt::try_clone).collect::<Option<Vec<_>>>()?;
+        let threads = self.threads.try_clone()?;
         Some(EngineSnapshot {
             now: self.now,
             seq: self.seq,
-            heap: self.heap.clone(),
+            cal: self.cal.clone(),
             threads,
             by_id: self.by_id.clone(),
             lwps: self.lwps.clone(),
@@ -2197,10 +2391,11 @@ impl EngineSnapshot {
         &mut self,
         mut f: impl FnMut(ThreadId, Box<dyn Program>) -> Result<Box<dyn Program>, VppbError>,
     ) -> Result<(), VppbError> {
-        for t in &mut self.threads {
-            let placeholder: Box<dyn Program> = Box::new(|_ctx: ResumeCtx| Action::Stall);
-            let old = std::mem::replace(&mut t.program, placeholder);
-            t.program = f(t.id, old)?;
+        for tix in 0..self.threads.len() {
+            let placeholder = ProgSlot::Boxed(Box::new(|_ctx: ResumeCtx| Action::Stall));
+            let old = std::mem::replace(&mut self.threads.program[tix], placeholder);
+            self.threads.program[tix] =
+                ProgSlot::Boxed(f(self.threads.id[tix], old.into_program())?);
         }
         Ok(())
     }
@@ -2211,12 +2406,12 @@ impl EngineSnapshot {
     /// every later index). Applied to thread bodies and to the in-flight
     /// `thr_create` a thread may be paused inside.
     pub fn remap_funcs(&mut self, mut f: impl FnMut(FuncId) -> FuncId) {
-        for t in &mut self.threads {
-            t.func = f(t.func);
-            if let Some(inflight) = &mut t.call {
-                if let LibCall::Create { func, bound } = inflight.call {
-                    inflight.call = LibCall::Create { func: f(func), bound };
-                }
+        for func in &mut self.threads.func {
+            *func = f(*func);
+        }
+        for inflight in self.threads.call.iter_mut().flatten() {
+            if let LibCall::Create { func, bound } = inflight.call {
+                inflight.call = LibCall::Create { func: f(func), bound };
             }
         }
     }

@@ -1,0 +1,139 @@
+//! Dense id→index tables: thread-id resolution and per-thread what-if
+//! manipulations as O(1) array indexing instead of `BTreeMap` walks.
+//!
+//! Thread ids in this system are small, nearly contiguous integers (log
+//! ids start at `ThreadId::MAIN` and grow by one per create), so a flat
+//! `Vec` indexed by `id.0` resolves the common case in one load. Ids
+//! outside the dense range — a hand-built plan, or the `u32::MAX`
+//! sentinel the replay id-assigner returns for inconsistent create maps —
+//! fall back to a `BTreeMap` overflow so correctness never depends on the
+//! id distribution.
+
+use std::collections::BTreeMap;
+use vppb_model::{ThreadId, ThreadManip};
+
+/// Ids below this resolve through the dense array; anything larger (or
+/// the id-assigner's `u32::MAX` error sentinel) goes to the overflow map.
+const DENSE_CAP: u32 = 1 << 20;
+
+/// Sentinel for "no entry" in the dense array.
+const EMPTY: u32 = u32::MAX;
+
+/// `ThreadId` → dense thread index (`Tix`).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IdMap {
+    dense: Vec<u32>,
+    overflow: BTreeMap<u32, u32>,
+}
+
+impl IdMap {
+    /// Resolve an id. O(1) for dense ids.
+    #[inline]
+    pub fn get(&self, id: ThreadId) -> Option<usize> {
+        match self.dense.get(id.0 as usize) {
+            Some(&v) if v != EMPTY => Some(v as usize),
+            Some(_) => None,
+            None => {
+                if id.0 < DENSE_CAP {
+                    None
+                } else {
+                    self.overflow.get(&id.0).map(|&v| v as usize)
+                }
+            }
+        }
+    }
+
+    /// Record `id → tix`. The caller checks for duplicates via [`get`]
+    /// first (the engine rejects duplicate thread ids).
+    pub fn insert(&mut self, id: ThreadId, tix: usize) {
+        let tix = tix as u32;
+        debug_assert_ne!(tix, EMPTY, "thread index collides with the empty sentinel");
+        if id.0 < DENSE_CAP {
+            if self.dense.len() <= id.0 as usize {
+                self.dense.resize(id.0 as usize + 1, EMPTY);
+            }
+            self.dense[id.0 as usize] = tix;
+        } else {
+            self.overflow.insert(id.0, tix);
+        }
+    }
+}
+
+/// Per-thread what-if manipulations, resolved to O(1) lookups at bind
+/// time. A missing entry is the identity manipulation, so the dense array
+/// can hold defaults without a presence bitmap.
+#[derive(Debug, Clone, Default)]
+pub struct ManipTable {
+    dense: Vec<ThreadManip>,
+    overflow: BTreeMap<u32, ThreadManip>,
+}
+
+impl ManipTable {
+    /// Build from the user-facing `SimParams::manips` map.
+    pub fn from_map(map: &BTreeMap<ThreadId, ThreadManip>) -> ManipTable {
+        let mut t = ManipTable::default();
+        for (&id, &m) in map {
+            t.insert(id, m);
+        }
+        t
+    }
+
+    /// Set the manipulation for `id` (replacing any previous one).
+    pub fn insert(&mut self, id: ThreadId, m: ThreadManip) {
+        if id.0 < DENSE_CAP {
+            if self.dense.len() <= id.0 as usize {
+                self.dense.resize(id.0 as usize + 1, ThreadManip::default());
+            }
+            self.dense[id.0 as usize] = m;
+        } else {
+            self.overflow.insert(id.0, m);
+        }
+    }
+
+    /// The manipulation for `id`; the default (no-op) when none was set.
+    #[inline]
+    pub fn lookup(&self, id: ThreadId) -> ThreadManip {
+        match self.dense.get(id.0 as usize) {
+            Some(&m) => m,
+            None if id.0 < DENSE_CAP => ThreadManip::default(),
+            None => self.overflow.get(&id.0).copied().unwrap_or_default(),
+        }
+    }
+}
+
+impl From<&BTreeMap<ThreadId, ThreadManip>> for ManipTable {
+    fn from(map: &BTreeMap<ThreadId, ThreadManip>) -> ManipTable {
+        ManipTable::from_map(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idmap_dense_and_overflow() {
+        let mut m = IdMap::default();
+        assert_eq!(m.get(ThreadId(1)), None);
+        m.insert(ThreadId(1), 0);
+        m.insert(ThreadId(4), 1);
+        m.insert(ThreadId(u32::MAX), 7);
+        assert_eq!(m.get(ThreadId(1)), Some(0));
+        assert_eq!(m.get(ThreadId(4)), Some(1));
+        assert_eq!(m.get(ThreadId(2)), None);
+        assert_eq!(m.get(ThreadId(u32::MAX)), Some(7));
+        assert_eq!(m.get(ThreadId(DENSE_CAP + 3)), None);
+    }
+
+    #[test]
+    fn manip_table_roundtrips_map() {
+        let mut map = BTreeMap::new();
+        map.insert(ThreadId(5), ThreadManip { binding: None, priority: Some(10) });
+        map.insert(ThreadId(DENSE_CAP + 9), ThreadManip { binding: None, priority: Some(3) });
+        let t = ManipTable::from_map(&map);
+        assert_eq!(t.lookup(ThreadId(5)).priority, Some(10));
+        assert_eq!(t.lookup(ThreadId(DENSE_CAP + 9)).priority, Some(3));
+        assert_eq!(t.lookup(ThreadId(2)), ThreadManip::default());
+        assert_eq!(t.lookup(ThreadId(DENSE_CAP + 1)), ThreadManip::default());
+    }
+}

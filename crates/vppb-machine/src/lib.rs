@@ -13,8 +13,10 @@
 //! that substitution preserves the paper's claims.
 
 pub mod audit;
+pub(crate) mod calendar;
 pub mod engine;
 pub mod hooks;
+pub(crate) mod idmap;
 pub mod jitter;
 pub mod observer;
 pub mod prioq;
@@ -26,6 +28,7 @@ pub use engine::{
     StreamControl, StreamOutcome,
 };
 pub use hooks::{event_kind_of, Hooks, NullHooks};
+pub use idmap::ManipTable;
 pub use jitter::JitterModel;
 pub use observer::{
     first_divergence, MetricsObserver, SchedEvent, SchedObserver, SchedTrace, StepDivergence,

@@ -5,22 +5,32 @@
 //! charges costs. Mutex release hands the lock directly to the first
 //! waiter ("direct handoff"), which keeps executions deterministic — the
 //! machine has no adaptive barging.
+//!
+//! Waiters and owners are stored as the engine's dense thread handles
+//! (`Th`, the index into its struct-of-arrays thread table), not
+//! `ThreadId`s: the hot wake paths (mutex handoff, semaphore grant,
+//! condvar signal) then index straight into the thread table with no id
+//! lookup. Ownership violations are reported structurally (the offending
+//! handle) so the engine can format the error with real thread ids.
 
 use std::collections::VecDeque;
-use vppb_model::ThreadId;
+
+/// Dense thread handle: the engine's index into its thread table. Stable
+/// for the lifetime of a run (threads are never removed from the table).
+pub type Th = u32;
 
 /// A Solaris `mutex_t`.
 #[derive(Debug, Clone, Default)]
 pub struct MutexState {
     /// Current holder.
-    pub owner: Option<ThreadId>,
+    pub owner: Option<Th>,
     /// FIFO wait queue.
-    pub queue: VecDeque<ThreadId>,
+    pub queue: VecDeque<Th>,
 }
 
 impl MutexState {
     /// Try to take the lock for `t`; returns `true` on success.
-    pub fn try_lock(&mut self, t: ThreadId) -> bool {
+    pub fn try_lock(&mut self, t: Th) -> bool {
         if self.owner.is_none() {
             self.owner = Some(t);
             true
@@ -29,11 +39,12 @@ impl MutexState {
         }
     }
 
-    /// Release by `t`; returns `Err` if `t` is not the owner, otherwise the
-    /// thread the lock was handed to (now the new owner), if any.
-    pub fn unlock(&mut self, t: ThreadId) -> Result<Option<ThreadId>, String> {
+    /// Release by `t`; returns `Err(actual owner)` if `t` is not the
+    /// owner, otherwise the thread the lock was handed to (now the new
+    /// owner), if any.
+    pub fn unlock(&mut self, t: Th) -> Result<Option<Th>, Option<Th>> {
         if self.owner != Some(t) {
-            return Err(format!("{t} unlocked a mutex owned by {:?}", self.owner));
+            return Err(self.owner);
         }
         self.owner = self.queue.pop_front();
         Ok(self.owner)
@@ -46,7 +57,7 @@ pub struct SemState {
     /// Available units.
     pub count: u32,
     /// FIFO wait queue.
-    pub queue: VecDeque<ThreadId>,
+    pub queue: VecDeque<Th>,
 }
 
 impl SemState {
@@ -67,7 +78,7 @@ impl SemState {
 
     /// Post one unit; if a waiter exists the unit is handed to it directly
     /// (returned), otherwise the count is incremented.
-    pub fn post(&mut self) -> Option<ThreadId> {
+    pub fn post(&mut self) -> Option<Th> {
         match self.queue.pop_front() {
             Some(t) => Some(t),
             None => {
@@ -82,23 +93,23 @@ impl SemState {
 #[derive(Debug, Clone, Default)]
 pub struct CondState {
     /// FIFO wait queue.
-    pub queue: VecDeque<ThreadId>,
+    pub queue: VecDeque<Th>,
 }
 
 impl CondState {
     /// Remove and return the first waiter (for `cond_signal`).
-    pub fn signal(&mut self) -> Option<ThreadId> {
+    pub fn signal(&mut self) -> Option<Th> {
         self.queue.pop_front()
     }
 
     /// Remove and return all waiters in FIFO order (for `cond_broadcast`).
-    pub fn broadcast(&mut self) -> Vec<ThreadId> {
+    pub fn broadcast(&mut self) -> Vec<Th> {
         self.queue.drain(..).collect()
     }
 
     /// Remove a specific waiter (timed-wait timeout); `true` if it was
     /// still queued.
-    pub fn remove(&mut self, t: ThreadId) -> bool {
+    pub fn remove(&mut self, t: Th) -> bool {
         if let Some(pos) = self.queue.iter().position(|&q| q == t) {
             self.queue.remove(pos);
             true
@@ -112,18 +123,18 @@ impl CondState {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RwWaiter {
     /// Queued for shared access.
-    Reader(ThreadId),
+    Reader(Th),
     /// Queued for exclusive access.
-    Writer(ThreadId),
+    Writer(Th),
 }
 
 /// A Solaris `rwlock_t` with writer preference.
 #[derive(Debug, Clone, Default)]
 pub struct RwState {
     /// Threads currently holding shared access.
-    pub readers: Vec<ThreadId>,
+    pub readers: Vec<Th>,
     /// Thread currently holding exclusive access.
-    pub writer: Option<ThreadId>,
+    pub writer: Option<Th>,
     /// FIFO wait queue (writer preference on grant).
     pub queue: VecDeque<RwWaiter>,
 }
@@ -135,7 +146,7 @@ impl RwState {
 
     /// Try a read acquisition. Writer preference: a queued writer blocks
     /// new readers.
-    pub fn try_read(&mut self, t: ThreadId) -> bool {
+    pub fn try_read(&mut self, t: Th) -> bool {
         if self.writer.is_none() && !self.writers_queued() {
             self.readers.push(t);
             true
@@ -145,7 +156,7 @@ impl RwState {
     }
 
     /// Try a write acquisition.
-    pub fn try_write(&mut self, t: ThreadId) -> bool {
+    pub fn try_write(&mut self, t: Th) -> bool {
         if self.writer.is_none() && self.readers.is_empty() {
             self.writer = Some(t);
             true
@@ -155,22 +166,23 @@ impl RwState {
     }
 
     /// Unlock by `t` (reader or writer); returns threads granted the lock
-    /// as a result (the grants are applied already).
-    pub fn unlock(&mut self, t: ThreadId) -> Result<Vec<ThreadId>, String> {
+    /// as a result (the grants are applied already). `None` if `t` holds
+    /// neither the write lock nor a read share.
+    pub fn unlock(&mut self, t: Th) -> Option<Vec<Th>> {
         if self.writer == Some(t) {
             self.writer = None;
         } else if let Some(pos) = self.readers.iter().position(|&r| r == t) {
             self.readers.remove(pos);
         } else {
-            return Err(format!("{t} rw-unlocked a lock it does not hold"));
+            return None;
         }
-        Ok(self.grant())
+        Some(self.grant())
     }
 
     /// Hand the lock to queued waiters: the first waiter decides the mode
     /// (writer gets it alone; a reader is granted together with all
     /// immediately following readers).
-    fn grant(&mut self) -> Vec<ThreadId> {
+    fn grant(&mut self) -> Vec<Th> {
         let mut granted = Vec::new();
         if self.writer.is_some() || !self.readers.is_empty() {
             // Still held (other readers remain).
@@ -200,9 +212,9 @@ impl RwState {
 mod tests {
     use super::*;
 
-    const T1: ThreadId = ThreadId(1);
-    const T4: ThreadId = ThreadId(4);
-    const T5: ThreadId = ThreadId(5);
+    const T1: Th = 1;
+    const T4: Th = 4;
+    const T5: Th = 5;
 
     #[test]
     fn mutex_handoff_is_fifo() {
@@ -218,11 +230,11 @@ mod tests {
     }
 
     #[test]
-    fn mutex_unlock_by_non_owner_fails() {
+    fn mutex_unlock_by_non_owner_reports_owner() {
         let mut m = MutexState::default();
         assert!(m.try_lock(T1));
-        assert!(m.unlock(T4).is_err());
-        assert!(MutexState::default().unlock(T1).is_err());
+        assert_eq!(m.unlock(T4), Err(Some(T1)));
+        assert_eq!(MutexState::default().unlock(T1), Err(None));
     }
 
     #[test]
@@ -257,8 +269,8 @@ mod tests {
         assert!(!rw.try_write(T5));
         rw.queue.push_back(RwWaiter::Writer(T5));
         // Writer queued -> new readers must wait (writer preference).
-        assert!(!rw.try_read(ThreadId(6)));
-        assert_eq!(rw.unlock(T1).unwrap(), Vec::<ThreadId>::new());
+        assert!(!rw.try_read(6));
+        assert_eq!(rw.unlock(T1).unwrap(), Vec::<Th>::new());
         assert_eq!(rw.unlock(T4).unwrap(), vec![T5]);
         assert_eq!(rw.writer, Some(T5));
     }
@@ -269,7 +281,7 @@ mod tests {
         assert!(rw.try_write(T1));
         rw.queue.push_back(RwWaiter::Reader(T4));
         rw.queue.push_back(RwWaiter::Reader(T5));
-        rw.queue.push_back(RwWaiter::Writer(ThreadId(6)));
+        rw.queue.push_back(RwWaiter::Writer(6));
         let granted = rw.unlock(T1).unwrap();
         assert_eq!(granted, vec![T4, T5]);
         assert_eq!(rw.readers, vec![T4, T5]);
@@ -280,6 +292,6 @@ mod tests {
     fn rwlock_unlock_by_stranger_fails() {
         let mut rw = RwState::default();
         assert!(rw.try_read(T1));
-        assert!(rw.unlock(T5).is_err());
+        assert!(rw.unlock(T5).is_none());
     }
 }

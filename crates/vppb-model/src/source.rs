@@ -64,16 +64,23 @@ impl fmt::Display for SourceLoc {
 ///
 /// Also resolves the start-routine addresses recorded by `thr_create` to
 /// function names, which the Visualizer shows in the event popup.
+///
+/// The table is copy-on-write: the map is built once (recording, or log
+/// parsing) and then cloned into every app, trace, and run result. Those
+/// clones are reference-count bumps — a run result carrying a thousand
+/// call sites no longer deep-copies a `BTreeMap` of strings per run.
+/// Mutation after sharing still works ([`std::sync::Arc::make_mut`]
+/// detaches a private copy), it just stops being free.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SourceMap {
-    locs: BTreeMap<CodeAddr, SourceLoc>,
+    locs: std::sync::Arc<BTreeMap<CodeAddr, SourceLoc>>,
     next_addr: u64,
 }
 
 impl SourceMap {
     /// An empty map; interned addresses start at `0x1000`.
     pub fn new() -> SourceMap {
-        SourceMap { locs: BTreeMap::new(), next_addr: 0x1000 }
+        SourceMap { locs: std::sync::Arc::new(BTreeMap::new()), next_addr: 0x1000 }
     }
 
     /// Register a call site, returning the pseudo-address a probe at that
@@ -82,7 +89,7 @@ impl SourceMap {
     pub fn intern(&mut self, loc: SourceLoc) -> CodeAddr {
         let addr = CodeAddr(self.next_addr);
         self.next_addr += 4; // one SPARC call instruction per site
-        self.locs.insert(addr, loc);
+        std::sync::Arc::make_mut(&mut self.locs).insert(addr, loc);
         addr
     }
 
@@ -91,7 +98,7 @@ impl SourceMap {
     /// preserved exactly.
     pub fn insert_raw(&mut self, addr: CodeAddr, loc: SourceLoc) {
         self.next_addr = self.next_addr.max(addr.0 + 4);
-        self.locs.insert(addr, loc);
+        std::sync::Arc::make_mut(&mut self.locs).insert(addr, loc);
     }
 
     /// Resolve an address, as the debugger+parser pipeline would.

@@ -930,7 +930,7 @@ impl<'a, 'o> Oracle<'a, 'o> {
         if self.by_id.contains_key(&id) {
             return Err(VppbError::ProgramError(format!("duplicate thread id {id}")));
         }
-        let manip = self.opts.manips.get(&id).copied().unwrap_or_default();
+        let manip = self.opts.manips.lookup(id);
         let binding =
             manip.binding.unwrap_or(if bound_flag { Binding::BoundLwp } else { Binding::Unbound });
         let tix = self.threads.len();

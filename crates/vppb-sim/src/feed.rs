@@ -703,6 +703,7 @@ impl FastState {
             n_rwlocks: self.n_rwlocks,
             recorded_wall: header.wall_time,
             bound: self.bound.clone(),
+            tapes: std::sync::OnceLock::new(),
         };
         let loaded = LoadedLog {
             log: TraceLog { header, records: out },

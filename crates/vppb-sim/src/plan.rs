@@ -2,8 +2,9 @@
 //! replaying it.
 
 use std::collections::BTreeMap;
-use vppb_model::{CodeAddr, Duration, ThreadId};
-use vppb_threads::{Action, LibCall};
+use std::sync::{Arc, OnceLock};
+use vppb_model::{CodeAddr, Duration, ThreadId, VppbError};
+use vppb_threads::{Action, FuncId, LibCall};
 
 /// One replayable step of a thread. `Action` already expresses everything
 /// needed: compute gaps (`Work`), timed-out waits (`Sleep`) and library
@@ -70,6 +71,14 @@ pub struct ReplayPlan {
     pub recorded_wall: vppb_model::Time,
     /// Per-call `bound` flags recorded at `thr_create` (child id → bound).
     pub bound: BTreeMap<ThreadId, bool>,
+    /// Lazily compiled replay tapes — one flat op list per thread, in
+    /// plan order, with every `Create` patched to the child's dense
+    /// [`FuncId`]. Compiled once per plan ([`ReplayPlan::tapes`]) and
+    /// shared by every replay app built from it, so a CPU-count sweep or
+    /// a cache hit pays the plan→tape compile exactly once. Derived data:
+    /// excluded from [`ReplayPlan::approx_bytes`] (reclaimable, and absent
+    /// until first use).
+    pub(crate) tapes: OnceLock<Arc<Vec<Arc<[Action]>>>>,
 }
 
 impl ReplayPlan {
@@ -93,6 +102,52 @@ impl ReplayPlan {
     /// Find a thread plan by id.
     pub fn thread(&self, id: ThreadId) -> Option<&ThreadPlan> {
         self.threads.iter().find(|t| t.id == id)
+    }
+
+    /// The compiled replay tapes, one per thread in plan order (the
+    /// function table built from this plan uses the same order, so tape
+    /// `i` belongs to `FuncId(i)`).
+    ///
+    /// Fails (rather than panicking) on plans whose create bookkeeping is
+    /// inconsistent — a `thr_create` with no recorded child, or a child
+    /// with no thread plan. `analyze` never produces such plans; the
+    /// checks guard hand-built or future deserialized ones. Errors are
+    /// not cached (the error path is cold); success is compiled once.
+    pub fn tapes(&self) -> Result<Arc<Vec<Arc<[Action]>>>, VppbError> {
+        if let Some(t) = self.tapes.get() {
+            return Ok(t.clone());
+        }
+        let func_of: BTreeMap<ThreadId, FuncId> =
+            self.threads.iter().enumerate().map(|(i, t)| (t.id, FuncId(i))).collect();
+        let mut tapes: Vec<Arc<[Action]>> = Vec::with_capacity(self.threads.len());
+        for tp in &self.threads {
+            // Patch each Create op with the FuncId of the recorded child.
+            let mut seq = 0u64;
+            let mut ops: Vec<Action> = Vec::with_capacity(tp.ops.len());
+            for op in &tp.ops {
+                ops.push(match op {
+                    Action::Call(LibCall::Create { bound, .. }, site) => {
+                        let child =
+                            self.create_map.get(&(tp.id, seq)).copied().ok_or_else(|| {
+                                VppbError::MalformedLog(format!(
+                                    "replay plan: create #{seq} on {} has no recorded child",
+                                    tp.id
+                                ))
+                            })?;
+                        seq += 1;
+                        let func = func_of.get(&child).copied().ok_or_else(|| {
+                            VppbError::MalformedLog(format!(
+                                "replay plan: created thread {child} has no thread plan"
+                            ))
+                        })?;
+                        Action::Call(LibCall::Create { func, bound: *bound }, *site)
+                    }
+                    other => *other,
+                });
+            }
+            tapes.push(ops.into());
+        }
+        Ok(self.tapes.get_or_init(|| Arc::new(tapes)).clone())
     }
 
     /// Approximate resident size of this plan in bytes — the charge the

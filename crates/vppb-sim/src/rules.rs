@@ -161,6 +161,7 @@ mod tests {
             n_rwlocks: 0,
             recorded_wall: Time::ZERO,
             bound: Default::default(),
+            tapes: std::sync::OnceLock::new(),
         }
     }
 

@@ -6,16 +6,16 @@ use crate::plan::ReplayPlan;
 use crate::replayer::Replayer;
 use crate::rules::ReplayRules;
 use crate::sorter::analyze;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use vppb_machine::{
-    run, JitterModel, MetricsObserver, NullHooks, RunLimits, RunOptions, RunResult, SchedObserver,
+    run, JitterModel, ManipTable, MetricsObserver, NullHooks, RunLimits, RunOptions, RunResult,
+    SchedObserver,
 };
 use vppb_model::{
     AuditReport, Duration, ExecutionTrace, SchedMetrics, SimParams, ThreadId, Time, TraceLog,
     VppbError,
 };
-use vppb_threads::{Action, App, FuncDecl, FuncId, LibCall, Program, ProgramFactory};
+use vppb_threads::{App, FuncDecl, FuncId, Program, ProgramFactory};
 
 /// A predicted multiprocessor execution.
 #[derive(Debug, Clone)]
@@ -68,45 +68,29 @@ pub fn build_replay_app(
     source_map: vppb_model::SourceMap,
 ) -> Result<App, VppbError> {
     // Function table: one function per recorded thread, in plan order.
-    let func_of: BTreeMap<ThreadId, FuncId> =
-        plan.threads.iter().enumerate().map(|(i, t)| (t.id, FuncId(i))).collect();
-
-    let mut functions = Vec::new();
-    for tp in &plan.threads {
-        // Patch each Create op with the FuncId of the recorded child.
-        let mut seq = 0u64;
-        let mut ops: Vec<Action> = Vec::with_capacity(tp.ops.len());
-        for op in &tp.ops {
-            ops.push(match op {
-                Action::Call(LibCall::Create { bound, .. }, site) => {
-                    let child = plan.create_map.get(&(tp.id, seq)).copied().ok_or_else(|| {
-                        VppbError::MalformedLog(format!(
-                            "replay plan: create #{seq} on {} has no recorded child",
-                            tp.id
-                        ))
-                    })?;
-                    seq += 1;
-                    let func = func_of.get(&child).copied().ok_or_else(|| {
-                        VppbError::MalformedLog(format!(
-                            "replay plan: created thread {child} has no thread plan"
-                        ))
-                    })?;
-                    Action::Call(LibCall::Create { func, bound: *bound }, *site)
-                }
-                other => *other,
-            });
-        }
-        let ops: Arc<[Action]> = ops.into();
+    // The op lists come pre-compiled from the plan's tape cache, so a
+    // sweep over CPU counts pays the plan→tape compile exactly once.
+    let tapes = plan.tapes()?;
+    let mut functions = Vec::with_capacity(plan.threads.len());
+    for (tp, ops) in plan.threads.iter().zip(tapes.iter()) {
         let factory: ProgramFactory = {
             let ops = ops.clone();
             Arc::new(move || Box::new(Replayer::new(ops.clone())) as Box<dyn Program>)
         };
-        functions.push(FuncDecl { name: tp.start_fn.clone(), entry: tp.entry, factory });
+        functions.push(FuncDecl {
+            name: tp.start_fn.clone(),
+            entry: tp.entry,
+            factory,
+            // Engines that understand flat tapes walk the ops directly,
+            // with no boxed coroutine per thread.
+            tape: Some(ops.clone()),
+        });
     }
 
-    let main = func_of.get(&ThreadId::MAIN).copied().ok_or_else(|| {
-        VppbError::MalformedLog("replay plan: no plan for the main thread".into())
-    })?;
+    let main =
+        plan.threads.iter().position(|t| t.id == ThreadId::MAIN).map(FuncId).ok_or_else(|| {
+            VppbError::MalformedLog("replay plan: no plan for the main thread".into())
+        })?;
     Ok(App {
         name: format!("{} (replay)", plan.program),
         functions,
@@ -245,7 +229,7 @@ where
             create_map.get(&(creator, seq)).copied().unwrap_or(ThreadId(u32::MAX))
             // unreachable for valid plans
         })),
-        manips: params.manips.clone(),
+        manips: ManipTable::from_map(&params.manips),
         jitter: JitterModel::none(),
         limits: RunLimits::default(),
         record_trace: true,

@@ -310,6 +310,7 @@ fn analyze_inner(
             n_rwlocks,
             recorded_wall: log.header.wall_time,
             bound: bound_flags,
+            tapes: std::sync::OnceLock::new(),
         },
         stable_map,
     ))

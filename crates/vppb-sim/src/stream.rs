@@ -37,8 +37,8 @@ use crate::sorter::analyze_with_stability;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use vppb_machine::{
-    run_stream, EngineSnapshot, JitterModel, NullHooks, RunLimits, RunOptions, RunResult,
-    StreamControl, StreamOutcome,
+    run_stream, EngineSnapshot, JitterModel, ManipTable, NullHooks, RunLimits, RunOptions,
+    RunResult, StreamControl, StreamOutcome,
 };
 use vppb_model::{chunk, Duration, SimParams, StableHasher, ThreadId, TraceLog, VppbError};
 use vppb_recorder::{load_lenient_traced, LoadedLog};
@@ -468,7 +468,14 @@ fn build_stalling_app(
         let factory: ProgramFactory = Arc::new(move || {
             Box::new(StallingReplayer { ops: ops.clone(), idx: 0, stall_at }) as Box<dyn Program>
         });
-        functions.push(FuncDecl { name: tp.start_fn.clone(), entry: tp.entry, factory });
+        // No tape: stalling replayers carry per-thread horizons the flat
+        // tape walk cannot express, so the engine must use the factory.
+        functions.push(FuncDecl {
+            name: tp.start_fn.clone(),
+            entry: tp.entry,
+            factory,
+            tape: None,
+        });
         if tp.id == ThreadId::MAIN {
             main = Some(FuncId(i));
         }
@@ -540,7 +547,7 @@ fn run_chain_segment(
         id_assigner: Some(Box::new(move |creator, seq| {
             create_map.get(&(creator, seq)).copied().unwrap_or(ThreadId(u32::MAX))
         })),
-        manips: params.manips.clone(),
+        manips: ManipTable::from_map(&params.manips),
         jitter: JitterModel::none(),
         limits: RunLimits::default(),
         record_trace: true,

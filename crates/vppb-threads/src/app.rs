@@ -7,8 +7,9 @@
 //! machine five times with different jitter seeds, and so on — exactly how
 //! the paper reuses one compiled binary for all of its runs.
 
-use crate::action::FuncId;
+use crate::action::{Action, FuncId};
 use crate::program::{Program, ProgramFactory};
+use std::sync::Arc;
 use vppb_model::{CodeAddr, SourceMap, VppbError};
 
 /// One entry of the function table.
@@ -21,6 +22,11 @@ pub struct FuncDecl {
     pub entry: CodeAddr,
     /// Creates a fresh coroutine executing this function's body.
     pub factory: ProgramFactory,
+    /// Flat replay tape for this body, when it is a linear op list (replay
+    /// apps compiled from a plan). Engines that understand tapes walk this
+    /// array directly instead of instantiating a boxed coroutine; `factory`
+    /// must still produce an equivalent program for engines that don't.
+    pub tape: Option<Arc<[Action]>>,
 }
 
 impl std::fmt::Debug for FuncDecl {
@@ -107,6 +113,7 @@ mod tests {
                 name: "main".into(),
                 entry: CodeAddr(0x1000),
                 factory: exit_factory(),
+                tape: None,
             }],
             main: FuncId(0),
             source_map: SourceMap::new(),

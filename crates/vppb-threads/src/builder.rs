@@ -139,7 +139,7 @@ impl AppBuilder {
             let script = Arc::new(script);
             Arc::new(move || Box::new(script.runner()) as Box<dyn Program>)
         };
-        self.functions.push(FuncDecl { name, entry, factory });
+        self.functions.push(FuncDecl { name, entry, factory, tape: None });
         FuncId(self.functions.len() - 1)
     }
 
@@ -148,7 +148,7 @@ impl AppBuilder {
     pub fn raw_func(&mut self, name: impl Into<String>, factory: ProgramFactory) -> FuncId {
         let name = name.into();
         let entry = self.intern(&name);
-        self.functions.push(FuncDecl { name, entry, factory });
+        self.functions.push(FuncDecl { name, entry, factory, tape: None });
         FuncId(self.functions.len() - 1)
     }
 

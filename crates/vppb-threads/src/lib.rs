@@ -18,6 +18,7 @@ pub mod builder;
 pub mod posix;
 pub mod program;
 pub mod script;
+pub mod tape;
 
 pub use action::{
     Action, Cmp, Cond, CondRef, FuncId, LibCall, LocalId, MutexRef, Operand, Outcome, RwRef,
@@ -28,3 +29,4 @@ pub use builder::{op, AppBuilder, BarrierDecl, FnBuilder};
 pub use posix::{PthreadApi, Scope};
 pub use program::{Program, ProgramFactory, ResumeCtx};
 pub use script::{Block, JoinFrom, ScriptFn, ScriptRunner, SlotCallKind, Stmt};
+pub use tape::{TapeCursor, TapeProgram};

@@ -257,6 +257,12 @@ impl ScriptRunner {
     /// continuation. Returns an action if the continuation itself needs
     /// another one (chained shared reads in a condition).
     fn settle(&mut self, outcome: Outcome) -> Option<Action> {
+        // Fast path: most resumes have no pending continuation, and
+        // `Pending` is a wide enum (it embeds a `Cond` plus two block
+        // handles) — skip the full-width `replace` unless needed.
+        if matches!(self.pending, Pending::None) {
+            return None;
+        }
         match std::mem::replace(&mut self.pending, Pending::None) {
             Pending::None => None,
             Pending::CreateInto(slot) => {
@@ -330,13 +336,19 @@ impl ScriptRunner {
                 }
                 continue;
             }
-            let stmt = frame.block[frame.idx].clone();
-            match stmt {
+            // Match the statement in place: hot statements (`Work`, `Call`)
+            // are `Copy`, and cloning the whole `Stmt` per step would bump
+            // the block `Arc`s of every control-flow variant. Each arm
+            // copies out exactly what it needs, releasing the borrow of
+            // `frame.block` before any frame-stack mutation.
+            match &frame.block[frame.idx] {
                 Stmt::Work(d) => {
+                    let d = *d;
                     frame.idx += 1;
                     return Action::Work(d);
                 }
                 Stmt::Call(call, site) => {
+                    let (call, site) = (*call, *site);
                     frame.idx += 1;
                     if call == LibCall::Exit {
                         self.exited = true;
@@ -344,11 +356,13 @@ impl ScriptRunner {
                     return Action::Call(call, site);
                 }
                 Stmt::Create { func, bound, into, site } => {
+                    let (func, bound, into, site) = (*func, *bound, *into, *site);
                     frame.idx += 1;
                     self.pending = Pending::CreateInto(into);
                     return Action::Call(LibCall::Create { func, bound }, site);
                 }
                 Stmt::Join { from, site } => {
+                    let (from, site) = (*from, *site);
                     frame.idx += 1;
                     let target = match from {
                         JoinFrom::Any => None,
@@ -361,10 +375,12 @@ impl ScriptRunner {
                     return Action::Call(LibCall::Join(target), site);
                 }
                 Stmt::SetPrioSelf { prio, site } => {
+                    let (prio, site) = (*prio, *site);
                     frame.idx += 1;
                     return Action::Call(LibCall::SetPrio { target: self_id, prio }, site);
                 }
                 Stmt::SlotCall { slot, kind, site } => {
+                    let (slot, kind, site) = (*slot, *kind, *site);
                     frame.idx += 1;
                     let target = self.slot_front(slot);
                     let call = match kind {
@@ -375,6 +391,7 @@ impl ScriptRunner {
                     return Action::Call(call, site);
                 }
                 Stmt::Assign(local, op) => {
+                    let (local, op) = (*local, *op);
                     frame.idx += 1;
                     match self.operand_now(op) {
                         Some(v) => self.locals[local.0] = v,
@@ -386,6 +403,7 @@ impl ScriptRunner {
                     }
                 }
                 Stmt::SharedSet { var, value } => {
+                    let (var, value) = (*var, *value);
                     frame.idx += 1;
                     let v = self
                         .operand_now(value)
@@ -393,6 +411,7 @@ impl ScriptRunner {
                     return Action::Var(VarOp::Set(var, v));
                 }
                 Stmt::SharedFetchAdd { var, delta, old_into } => {
+                    let (var, delta, old_into) = (*var, *delta, *old_into);
                     frame.idx += 1;
                     let d = self
                         .operand_now(delta)
@@ -401,18 +420,21 @@ impl ScriptRunner {
                     return Action::Var(VarOp::FetchAdd(var, d));
                 }
                 Stmt::If(cond, then, els) => {
+                    let (cond, then, els) = (*cond, then.clone(), els.clone());
                     frame.idx += 1;
                     if let Some(action) = self.start_cond(cond, CondDest::If { then, els }) {
                         return action;
                     }
                 }
                 Stmt::While(cond, body) => {
+                    let (cond, body) = (*cond, body.clone());
                     // Index NOT advanced: re-evaluated each iteration.
                     if let Some(action) = self.start_cond(cond, CondDest::While { body }) {
                         return action;
                     }
                 }
                 Stmt::Loop(n, body) => {
+                    let (n, body) = (*n, body.clone());
                     frame.idx += 1;
                     if n > 0 && !body.is_empty() {
                         self.frames.push(Frame {

@@ -1,0 +1,111 @@
+//! Flat replay tapes: a thread body as a dense array of fixed-size
+//! [`Action`] records walked by cursor.
+//!
+//! A tape is the pre-compiled form of a linear op list (a replay plan's
+//! per-thread program). The machine's hot loop advances a [`TapeCursor`]
+//! with a bounds check and an index increment — no `Box<dyn Program>`
+//! virtual dispatch, no per-event allocation. Semantics are identical to
+//! a `Replayer` over the same ops: each resume yields the next op, and a
+//! cursor that runs off the end keeps returning a defensive `thr_exit`
+//! (a correct plan ends with an explicit `Exit`, so the fallback only
+//! matters for malformed hand-built plans).
+
+use crate::action::{Action, LibCall};
+use crate::program::{Program, ResumeCtx};
+use std::sync::Arc;
+use vppb_model::CodeAddr;
+
+/// A position in a flat replay tape. Cloning is O(1) (the op array is
+/// shared), so snapshots fork tape-driven threads for free.
+#[derive(Debug, Clone)]
+pub struct TapeCursor {
+    ops: Arc<[Action]>,
+    pos: usize,
+}
+
+impl TapeCursor {
+    /// A cursor at the start of `ops`.
+    pub fn new(ops: Arc<[Action]>) -> TapeCursor {
+        TapeCursor { ops, pos: 0 }
+    }
+
+    /// A cursor resumed at `pos` (re-binding a snapshotted thread onto an
+    /// extended tape).
+    pub fn at(ops: Arc<[Action]>, pos: usize) -> TapeCursor {
+        TapeCursor { ops, pos }
+    }
+
+    /// Take the next op, advancing the cursor. Past the end: a defensive
+    /// `thr_exit`, exactly like `Replayer`. (Named `take`, not `next`, so
+    /// it cannot be confused with `Iterator::next` — it never ends.)
+    #[inline]
+    pub fn take(&mut self) -> Action {
+        match self.ops.get(self.pos) {
+            Some(&a) => {
+                self.pos += 1;
+                a
+            }
+            None => Action::Call(LibCall::Exit, CodeAddr::NULL),
+        }
+    }
+
+    /// Resume position (ops consumed so far).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+}
+
+/// [`Program`] adapter over a [`TapeCursor`], for seams that need a boxed
+/// coroutine (snapshot re-binding hands the old program to a callback that
+/// reads its [`Program::cursor`]).
+pub struct TapeProgram(pub TapeCursor);
+
+impl Program for TapeProgram {
+    fn resume(&mut self, _ctx: ResumeCtx) -> Action {
+        self.0.take()
+    }
+
+    fn fork(&self) -> Option<Box<dyn Program>> {
+        Some(Box::new(TapeProgram(self.0.clone())))
+    }
+
+    fn cursor(&self) -> Option<usize> {
+        Some(self.0.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vppb_model::Duration;
+
+    fn ops() -> Arc<[Action]> {
+        vec![Action::Work(Duration::from_nanos(5)), Action::Call(LibCall::Exit, CodeAddr(0x40))]
+            .into()
+    }
+
+    #[test]
+    fn cursor_walks_and_falls_back_to_exit() {
+        let mut c = TapeCursor::new(ops());
+        assert!(matches!(c.take(), Action::Work(_)));
+        assert!(matches!(c.take(), Action::Call(LibCall::Exit, CodeAddr(0x40))));
+        // Off the end: defensive exit, forever.
+        assert!(matches!(c.take(), Action::Call(LibCall::Exit, CodeAddr::NULL)));
+        assert!(matches!(c.take(), Action::Call(LibCall::Exit, CodeAddr::NULL)));
+    }
+
+    #[test]
+    fn program_adapter_reports_cursor_and_forks() {
+        let mut p = TapeProgram(TapeCursor::new(ops()));
+        assert_eq!(p.cursor(), Some(0));
+        let ctx = ResumeCtx {
+            outcome: Default::default(),
+            self_id: vppb_model::ThreadId(1),
+            now: vppb_model::Time::ZERO,
+        };
+        p.resume(ctx);
+        assert_eq!(p.cursor(), Some(1));
+        let fork = p.fork().expect("tapes fork");
+        assert_eq!(fork.cursor(), Some(1));
+    }
+}

@@ -1,0 +1,88 @@
+//! Tape-vs-boxed equivalence battery: the engine's flat replay-tape path
+//! must make **bit-identical** scheduling decisions to the boxed
+//! `dyn Program` coroutine path — same decision stream, same wall time,
+//! same DES event count — over a 200-seed corpus of fuzzer programs.
+//!
+//! The two paths share nothing past `resume`: the tape walker advances a
+//! cursor over an `Arc<[Action]>` while the boxed path drives a fresh
+//! coroutine through its state machine. Any disagreement is a bug in the
+//! tape compiler or the cursor, never "expected drift".
+
+use vppb_machine::{first_divergence, StepRecorder};
+use vppb_model::SimParams;
+use vppb_oracle::{GenParams, ProgSpec};
+use vppb_recorder::{record, RecordOptions};
+use vppb_sim::{analyze, build_replay_app, replay_with_engine};
+use vppb_testkit::{quiet, SilencedPanicHook};
+
+/// Replay one app (tape or boxed) and capture its decision stream.
+fn run_recorded(
+    app: &vppb_threads::App,
+    plan: &vppb_sim::ReplayPlan,
+    params: &SimParams,
+) -> Result<(StepRecorder, vppb_machine::RunResult), vppb_model::VppbError> {
+    let mut steps = StepRecorder::new();
+    let result = replay_with_engine(app, plan, params, Some(&mut steps), vppb_machine::run)?;
+    Ok((steps, result))
+}
+
+#[test]
+fn tape_replay_matches_boxed_program_on_fuzz_corpus() {
+    let _quiet_hook = SilencedPanicHook::install();
+    let gen = GenParams::default();
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    for seed in 0..200u64 {
+        let spec = ProgSpec::generate(seed, &gen);
+        // Spin/greedy classes the Recorder rejects on one LWP are skipped
+        // but counted — most of the corpus must replay.
+        let rec = match quiet(|| record(&spec.build_app(), &RecordOptions::default())) {
+            Ok(Ok(r)) => r,
+            _ => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let plan = analyze(&rec.log).expect("fuzzer log analyzes");
+        let tape_app =
+            build_replay_app(&plan, rec.log.header.source_map.clone()).expect("replay app builds");
+        assert!(
+            tape_app.functions.iter().all(|f| f.tape.is_some()),
+            "seed {seed}: replay app missing a tape — corpus no longer exercises the fast path"
+        );
+        // Same app with the tapes stripped: the engine falls back to the
+        // boxed coroutine the factory produces.
+        let mut boxed_app = tape_app.clone();
+        for f in &mut boxed_app.functions {
+            f.tape = None;
+        }
+        for cpus in [1u32, 2, 4] {
+            let params = SimParams::cpus(cpus);
+            let (tape_steps, tape_run) =
+                run_recorded(&tape_app, &plan, &params).expect("tape replay runs");
+            let (boxed_steps, boxed_run) =
+                run_recorded(&boxed_app, &plan, &params).expect("boxed replay runs");
+            if let Some(d) = first_divergence(tape_steps.steps(), boxed_steps.steps()) {
+                panic!("seed {seed} cpus {cpus}: decision streams diverge: {d}");
+            }
+            assert_eq!(
+                tape_run.wall_time, boxed_run.wall_time,
+                "seed {seed} cpus {cpus}: wall times differ"
+            );
+            assert_eq!(
+                tape_run.des_events, boxed_run.des_events,
+                "seed {seed} cpus {cpus}: DES event counts differ"
+            );
+            assert_eq!(
+                tape_run.audit.violations.len(),
+                0,
+                "seed {seed} cpus {cpus}: tape run failed audit"
+            );
+        }
+        compared += 1;
+    }
+    assert!(
+        compared >= 150,
+        "only {compared}/200 seeds compared ({skipped} skipped) — corpus degenerated"
+    );
+}
