@@ -8,7 +8,8 @@
 
 use vppb_model::binlog;
 use vppb_recorder::{record, RecordOptions};
-use vppb_serve::{client, start, ServeOptions};
+use vppb_serve::{start, ServeOptions};
+use vppb_testkit::httpc::HttpClient;
 use vppb_workloads::{splash, KernelParams};
 
 /// Predictions fired after the single warming request.
@@ -34,12 +35,13 @@ fn main() {
     let server = start(ServeOptions { addr: "127.0.0.1:0".to_string(), ..ServeOptions::default() })
         .expect("start server");
     let addr = server.local_addr();
+    let http = HttpClient::new(addr);
     eprintln!("serve_smoke: server on {addr}");
 
     let rec = record(&splash::ocean(KernelParams::scaled(8, 0.05)), &RecordOptions::default())
         .expect("record ocean");
     let bytes = binlog::encode(&rec.log).expect("encode");
-    let (status, body) = client::request(addr, "POST", "/logs", &bytes).expect("upload");
+    let (status, body) = http.request("POST", "/logs", &bytes).expect("upload");
     assert_eq!(status, 200, "upload: {}", String::from_utf8_lossy(&body));
     let up: serde::Value = serde_json::from_slice(&body).expect("upload json");
     let id = match up.get("id") {
@@ -52,18 +54,17 @@ fn main() {
     // other `PREDICTS` lookups must all hit.
     let req = format!("{{\"id\":\"{id}\",\"cpus\":8}}");
     let (status, reference) =
-        client::request(addr, "POST", "/predict", req.as_bytes()).expect("warm predict");
+        http.request("POST", "/predict", req.as_bytes()).expect("warm predict");
     assert_eq!(status, 200, "warm predict: {}", String::from_utf8_lossy(&reference));
 
     let handles: Vec<_> = (0..CLIENTS)
         .map(|_| {
             let req = req.clone();
+            let http = http.clone();
             let share = PREDICTS / CLIENTS;
             std::thread::spawn(move || {
                 (0..share)
-                    .map(|_| {
-                        client::request(addr, "POST", "/predict", req.as_bytes()).expect("predict")
-                    })
+                    .map(|_| http.request("POST", "/predict", req.as_bytes()).expect("predict"))
                     .collect::<Vec<_>>()
             })
         })
@@ -79,7 +80,7 @@ fn main() {
     assert_eq!(served, PREDICTS);
     eprintln!("serve_smoke: {served} concurrent predictions, all 200 and bit-identical");
 
-    let (status, body) = client::request(addr, "GET", "/metrics", b"").expect("metrics");
+    let (status, body) = http.request("GET", "/metrics", b"").expect("metrics");
     assert_eq!(status, 200);
     let metrics: serde::Value = serde_json::from_slice(&body).expect("metrics json");
     let hit_rate = json_number(&metrics, &["service", "result_cache", "hit_rate"]);
@@ -91,7 +92,7 @@ fn main() {
     assert!(hit_rate > 0.9, "result-cache hit rate {hit_rate} must clear 0.9");
     assert_eq!(server_5xx, 0.0, "smoke run must produce zero 5xx responses");
 
-    let (status, body) = client::request(addr, "POST", "/shutdown", b"").expect("shutdown");
+    let (status, body) = http.request("POST", "/shutdown", b"").expect("shutdown");
     assert_eq!(status, 200);
     assert!(String::from_utf8_lossy(&body).contains("\"draining\":true"));
     server.join();

@@ -38,8 +38,9 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `E01xx` text parse, `E02xx` binary decode,
-/// `E03xx` structural validation, `W04xx` salvage edits. Keep the numeric
-/// codes stable: they are part of the `vppb check --json` contract.
+/// `E03xx` structural validation, `W04xx` salvage edits, `E05xx`/`W05xx`
+/// durable-store recovery. Keep the numeric codes stable: they are part
+/// of the `vppb check --json` contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum DiagCode {
     // ---- text parse -------------------------------------------------------
@@ -127,6 +128,30 @@ pub enum DiagCode {
     DroppedStrayAfter,
     /// The header wall time was clamped to cover the last record.
     ClampedWallTime,
+    // ---- durable store recovery (E05xx / W05xx) ----------------------------
+    /// A stored object's footer is missing or malformed (torn/truncated
+    /// write); the object was quarantined.
+    TornObject,
+    /// A stored object's payload fails its CRC footer; quarantined.
+    ObjectCrcMismatch,
+    /// The manifest names an object whose file is absent — a lost
+    /// acknowledged write. Must never happen under the store's
+    /// object-before-manifest write ordering.
+    MissingObject,
+    /// A stored object disagrees with the manifest's recorded length/CRC;
+    /// quarantined.
+    ManifestMismatch,
+    /// A torn trailing journal record (crash debris) was dropped and the
+    /// journal truncated back to the last clean frame.
+    TornJournalTail,
+    /// A CRC-valid object on disk was not in the manifest (the process
+    /// died between object write and manifest append); it was adopted.
+    AdoptedOrphanObject,
+    /// A stale atomic-writer temp file was swept away during recovery.
+    RemovedTempFile,
+    /// A journal frame is damaged before the tail — real corruption, not
+    /// crash debris. Replay stops at the damage.
+    BadJournalRecord,
 }
 
 impl DiagCode {
@@ -174,6 +199,14 @@ impl DiagCode {
             DroppedDanglingBefore => "W0410",
             DroppedStrayAfter => "W0411",
             ClampedWallTime => "W0412",
+            TornObject => "E0501",
+            ObjectCrcMismatch => "E0502",
+            MissingObject => "E0503",
+            ManifestMismatch => "E0504",
+            TornJournalTail => "W0505",
+            AdoptedOrphanObject => "W0506",
+            RemovedTempFile => "W0507",
+            BadJournalRecord => "E0508",
         }
     }
 
@@ -196,6 +229,12 @@ impl DiagCode {
             }
             UnknownRoutine | UnknownTag => {
                 Some("the log may come from a newer recorder; unknown v2 records are skippable")
+            }
+            TornObject | ObjectCrcMismatch | ManifestMismatch => {
+                Some("the damaged object was moved to quarantine/; re-upload the log to restore it")
+            }
+            MissingObject => {
+                Some("an acknowledged write is gone; check the disk and restore from quarantine or backup")
             }
             _ => None,
         }
@@ -350,6 +389,14 @@ mod tests {
             DroppedDanglingBefore,
             DroppedStrayAfter,
             ClampedWallTime,
+            TornObject,
+            ObjectCrcMismatch,
+            MissingObject,
+            ManifestMismatch,
+            TornJournalTail,
+            AdoptedOrphanObject,
+            RemovedTempFile,
+            BadJournalRecord,
         ];
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();
@@ -357,7 +404,7 @@ mod tests {
         codes.dedup();
         assert_eq!(codes.len(), n, "duplicate diagnostic code");
         for c in all {
-            assert_eq!(c.is_salvage(), c.code().starts_with("W04"), "{c:?}");
+            assert_eq!(c.is_salvage(), c.code().starts_with('W'), "{c:?}");
         }
     }
 

@@ -312,6 +312,14 @@ impl fmt::Display for ContentId {
     }
 }
 
+impl ContentId {
+    /// The two-hex-digit shard prefix the disk-backed content store
+    /// fans objects out under (256 shards).
+    pub fn shard_prefix(&self) -> String {
+        format!("{:02x}", (self.0 >> 120) as u8)
+    }
+}
+
 impl FromStr for ContentId {
     type Err = String;
 
@@ -323,10 +331,58 @@ impl FromStr for ContentId {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte string — the per-object and per-journal-record
+/// integrity check of the durable store. Unlike the FNV streams above it
+/// detects *burst* damage (torn writes, zero-filled tails) with guaranteed
+/// Hamming properties, which is what an fsck wants from a footer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ids::ThreadId;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard CRC-32 check value: crc32("123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Single-bit damage anywhere must change the CRC.
+        let base = crc32(b"durable object payload");
+        let mut flipped = b"durable object payload".to_vec();
+        flipped[7] ^= 0x10;
+        assert_ne!(crc32(&flipped), base);
+    }
+
+    #[test]
+    fn shard_prefix_is_the_leading_hex_pair() {
+        let id = ContentId::of_bytes(b"sharded");
+        assert_eq!(id.shard_prefix(), id.to_string()[..2]);
+    }
 
     #[test]
     fn equal_params_fingerprint_equal() {

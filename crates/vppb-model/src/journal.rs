@@ -1,0 +1,289 @@
+//! A CRC-framed, fsynced, append-only journal — the write-ahead log under
+//! streaming appends, the content-store manifest, and the prediction-memo
+//! spill.
+//!
+//! Every record is length-prefixed and CRC-32-guarded:
+//!
+//! ```text
+//! [0x57 0x4A marker][len: u32 LE][crc32(payload): u32 LE][payload]
+//! ```
+//!
+//! [`Journal::append`] builds the whole frame in memory and hands it to
+//! [`Vfs::append_sync`] as **one** write, so on a healthy disk a record is
+//! either fully present or fully absent; the fsync inside `append_sync`
+//! makes "fully present" mean *durable* — the caller may acknowledge the
+//! write to its client as soon as `append` returns.
+//!
+//! [`Journal::open`] replays the file: complete, CRC-clean records are
+//! returned in order; a torn *tail* (the half-written frame a crash or a
+//! torn-write fault leaves) is dropped with a `W0505` diagnostic and the
+//! file is truncated back to the last clean frame, which is exactly the
+//! prefix that was ever acknowledged. Damage *before* the tail — a frame
+//! whose CRC fails mid-file — is not crash debris but real corruption:
+//! replay stops there with an `E0508` and the caller decides (the serve
+//! layer quarantines the journal and degrades).
+
+use crate::diag::{DiagCode, Diagnostic, Pos};
+use crate::hash::crc32;
+use crate::vfs::Vfs;
+use crate::VppbError;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Per-record frame marker (`"WJ"` little-endian).
+const MARKER: [u8; 2] = [0x57, 0x4A];
+/// Frame header bytes before the payload.
+const HEADER: usize = 2 + 4 + 4;
+/// Refuse to believe a single journal record exceeds this (a corrupt
+/// length prefix must not allocate gigabytes).
+const MAX_RECORD: u32 = 1 << 30;
+
+/// What replaying a journal file recovered.
+pub struct JournalReplay {
+    /// The payloads of every clean record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Recovery findings (torn tail dropped, corrupt frame hit).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether the file held damage *before* the tail (real corruption,
+    /// not crash debris). The caller should quarantine, not trust.
+    pub corrupt: bool,
+}
+
+/// An open append-only journal.
+pub struct Journal {
+    path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`, replaying what is already
+    /// there. A torn tail is truncated away on the spot so later appends
+    /// extend a clean frame boundary.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(Journal, JournalReplay), VppbError> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            vfs.create_dir_all(dir).map_err(|e| journal_io(&path, "create dir", &e))?;
+        }
+        let bytes = if vfs.exists(&path) {
+            vfs.read(&path).map_err(|e| journal_io(&path, "read", &e))?
+        } else {
+            Vec::new()
+        };
+        let (replay, clean_len) = replay_bytes(&bytes);
+        if clean_len < bytes.len() as u64 && !replay.corrupt {
+            // Crash debris past the last clean frame: cut it off so the
+            // next append starts at a frame boundary.
+            vfs.truncate(&path, clean_len).map_err(|e| journal_io(&path, "truncate", &e))?;
+        }
+        Ok((Journal { path, vfs }, replay))
+    }
+
+    /// Append one record durably. When this returns `Ok`, the record will
+    /// survive any crash — acknowledge away.
+    pub fn append(&self, payload: &[u8]) -> Result<(), VppbError> {
+        self.vfs
+            .append_sync(&self.path, &encode_frame(payload))
+            .map_err(|e| journal_io(&self.path, "append", &e))
+    }
+
+    /// Atomically replace the whole journal with `payloads` (compaction
+    /// after a recovery pass). All-or-nothing via the Vfs atomic writer.
+    pub fn rewrite(&self, payloads: &[Vec<u8>]) -> Result<(), VppbError> {
+        let mut bytes = Vec::new();
+        for p in payloads {
+            bytes.extend_from_slice(&encode_frame(p));
+        }
+        self.vfs.write_atomic(&self.path, &bytes).map_err(|e| journal_io(&self.path, "rewrite", &e))
+    }
+
+    /// The journal's path (quarantine moves, diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One record, framed for the wire: marker, length, CRC, payload.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER + payload.len());
+    frame.extend_from_slice(&MARKER);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+fn journal_io(path: &Path, op: &str, e: &std::io::Error) -> VppbError {
+    VppbError::Io(format!("journal {}: {op}: {e}", path.display()))
+}
+
+/// Decode `bytes` into clean records plus the byte length of the clean
+/// prefix. Pure, so the fsck tests can drive it without a filesystem.
+pub fn replay_bytes(bytes: &[u8]) -> (JournalReplay, u64) {
+    let mut records = Vec::new();
+    let mut diagnostics = Vec::new();
+    let mut corrupt = false;
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        // A frame that does not even fit its header is a torn tail.
+        if rest.len() < HEADER {
+            diagnostics.push(torn_tail(at, "frame header cut short"));
+            break;
+        }
+        if rest[..2] != MARKER {
+            // A bad marker mid-file means the previous length lied or the
+            // bytes rotted: corruption, not crash debris.
+            diagnostics.push(Diagnostic::error(
+                DiagCode::BadJournalRecord,
+                Pos::Byte(at as u64),
+                "journal frame marker mismatch",
+            ));
+            corrupt = true;
+            break;
+        }
+        let len = u32::from_le_bytes([rest[2], rest[3], rest[4], rest[5]]);
+        let crc = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]);
+        if len > MAX_RECORD {
+            diagnostics.push(Diagnostic::error(
+                DiagCode::BadJournalRecord,
+                Pos::Byte(at as u64),
+                format!("journal record claims {len} bytes"),
+            ));
+            corrupt = true;
+            break;
+        }
+        let len = len as usize;
+        if rest.len() < HEADER + len {
+            diagnostics.push(torn_tail(at, "frame payload cut short"));
+            break;
+        }
+        let payload = &rest[HEADER..HEADER + len];
+        if crc32(payload) != crc {
+            if at + HEADER + len == bytes.len() {
+                // Last frame, wrong CRC: a torn write inside the payload.
+                diagnostics.push(torn_tail(at, "trailing frame fails its CRC"));
+                break;
+            }
+            diagnostics.push(Diagnostic::error(
+                DiagCode::BadJournalRecord,
+                Pos::Byte(at as u64),
+                "journal frame fails its CRC mid-file",
+            ));
+            corrupt = true;
+            break;
+        }
+        records.push(payload.to_vec());
+        at += HEADER + len;
+    }
+    (JournalReplay { records, diagnostics, corrupt }, at as u64)
+}
+
+fn torn_tail(at: usize, what: &str) -> Diagnostic {
+    Diagnostic::warning(
+        DiagCode::TornJournalTail,
+        Pos::Byte(at as u64),
+        format!("dropped torn journal tail: {what}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultSpec, FaultVfs, RealVfs};
+    use std::sync::Arc;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vppb-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_then_replay_round_trips_in_order() {
+        let path = scratch("rt").join("j.waj");
+        let vfs: Arc<dyn Vfs> = Arc::new(RealVfs);
+        let (j, replay) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+        assert!(replay.records.is_empty() && replay.diagnostics.is_empty());
+        j.append(b"one").unwrap();
+        j.append(b"").unwrap();
+        j.append(&[0xFF; 300]).unwrap();
+        let (_, replay) = Journal::open(&path, vfs).unwrap();
+        assert_eq!(replay.records.len(), 3);
+        assert_eq!(replay.records[0], b"one");
+        assert_eq!(replay.records[1], b"");
+        assert_eq!(replay.records[2], vec![0xFF; 300]);
+        assert!(!replay.corrupt);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_truncated_and_reported_at_every_cut() {
+        let dir = scratch("torn");
+        let vfs: Arc<dyn Vfs> = Arc::new(RealVfs);
+        let path = dir.join("j.waj");
+        let (j, _) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+        j.append(b"acked-one").unwrap();
+        j.append(b"acked-two").unwrap();
+        let whole = std::fs::read(&path).unwrap();
+        let second_frame_at = HEADER + b"acked-one".len();
+        // Cut the file at every byte inside the second frame: replay must
+        // always keep record one exactly and drop the tail with a W0505.
+        for cut in second_frame_at + 1..whole.len() {
+            std::fs::write(&path, &whole[..cut]).unwrap();
+            let (_, replay) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+            assert_eq!(replay.records, vec![b"acked-one".to_vec()], "cut at {cut}");
+            assert!(!replay.corrupt, "a torn tail is not corruption (cut {cut})");
+            assert!(
+                replay.diagnostics.iter().any(|d| d.code == DiagCode::TornJournalTail),
+                "cut at {cut} must report the torn tail"
+            );
+            // And the truncation healed the file: re-open is clean.
+            let (re, replay) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+            assert!(replay.diagnostics.is_empty(), "cut at {cut} left debris");
+            re.append(b"after").unwrap();
+            let (_, replay) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+            assert_eq!(replay.records.len(), 2, "cut at {cut}: append after heal");
+        }
+    }
+
+    #[test]
+    fn mid_file_corruption_stops_replay_and_flags_corrupt() {
+        let dir = scratch("corrupt");
+        let vfs: Arc<dyn Vfs> = Arc::new(RealVfs);
+        let path = dir.join("j.waj");
+        let (j, _) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+        j.append(b"first").unwrap();
+        j.append(b"second").unwrap();
+        j.append(b"third").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit inside the second record.
+        let off = 2 * HEADER + b"first".len() + 2;
+        bytes[off] ^= 0x40;
+        let (replay, _) = replay_bytes(&bytes);
+        assert!(replay.corrupt, "mid-file CRC failure is corruption");
+        assert_eq!(replay.records, vec![b"first".to_vec()], "replay stops at the damage");
+        assert!(replay.diagnostics.iter().any(|d| d.code == DiagCode::BadJournalRecord));
+    }
+
+    #[test]
+    fn torn_append_fault_loses_only_the_unacked_record() {
+        let dir = scratch("fault");
+        let path = dir.join("j.waj");
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(
+            Arc::new(RealVfs),
+            FaultSpec { torn_write_at: Some(3), ..FaultSpec::default() },
+        ));
+        let (j, _) = Journal::open(&path, Arc::clone(&vfs)).unwrap();
+        j.append(b"acked-1").unwrap();
+        j.append(b"acked-2").unwrap();
+        let err = j.append(b"torn-never-acked").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        // Recovery: both acknowledged records survive, the torn one is
+        // dropped as a tail — zero lost acknowledged writes.
+        let (_, replay) = Journal::open(&path, vfs).unwrap();
+        assert_eq!(replay.records, vec![b"acked-1".to_vec(), b"acked-2".to_vec()]);
+        assert!(!replay.corrupt);
+    }
+}

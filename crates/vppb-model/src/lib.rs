@@ -21,12 +21,15 @@ pub mod event;
 pub mod exec;
 pub mod hash;
 pub mod ids;
+pub mod journal;
 pub mod metrics;
 pub mod salvage;
 pub mod source;
+pub mod store;
 pub mod textlog;
 pub mod time;
 pub mod trace;
+pub mod vfs;
 
 pub use config::{
     BaseCosts, Binding, BoundCosts, FaultInjection, LwpPolicy, MachineConfig, SimParams,
@@ -37,10 +40,13 @@ pub use dispatch::{DispatchRow, DispatchTable, TS_DEFAULT_PRI, TS_LEVELS, TS_MAX
 pub use error::VppbError;
 pub use event::{EventKind, EventResult, Phase};
 pub use exec::{BlockReason, ExecutionTrace, PlacedEvent, ThreadInfo, ThreadState, Transition};
-pub use hash::{canonical_f64_bits, ContentId, StableHash, StableHasher};
+pub use hash::{canonical_f64_bits, crc32, ContentId, StableHash, StableHasher};
 pub use ids::{parse_obj_id, CpuId, LwpId, ObjKind, SyncObjId, ThreadId};
+pub use journal::{Journal, JournalReplay};
 pub use metrics::{AuditReport, ObjContention, SchedMetrics, Violation, ViolationKind};
 pub use salvage::{salvage, salvage_traced, SalvageEdit, SalvageReport};
 pub use source::{CodeAddr, SourceLoc, SourceMap};
+pub use store::{ContentStore, RecoveryReport};
 pub use time::{parse_time, Duration, Time};
 pub use trace::{LogHeader, TraceLog, TraceRecord};
+pub use vfs::{FaultSpec, FaultVfs, RealVfs, Vfs};

@@ -1,0 +1,616 @@
+//! The disk-backed, crash-only content store under `vppb serve`.
+//!
+//! Objects are content-addressed by [`ContentId`] and fanned out under
+//! 256 shard directories keyed by the id's leading hex pair:
+//!
+//! ```text
+//! <root>/objs/<2-hex>/<32-hex>.obj    payload ++ [crc32][len][  "VOBJ"]
+//! <root>/manifest.waj                 journal of `P <id> <len> <crc>` records
+//! <root>/quarantine/                  damaged objects, moved aside, never served
+//! ```
+//!
+//! The id is the hash of the *canonical salvaged encoding*, not of the
+//! raw bytes stored here, so the store cannot verify an object by
+//! re-hashing; instead every object carries a trailing CRC-32/length
+//! footer. Putting the footer at the *end* means any truncation — the
+//! signature damage of a crash — fails the magic check immediately.
+//!
+//! Crash safety is a write-ordering argument, not a locking one:
+//! [`ContentStore::put`] writes the object (atomic tmp+fsync+rename),
+//! *then* appends the manifest record (fsynced), and only then returns —
+//! the caller acknowledges after that. So at any kill point:
+//!
+//! - object present, manifest record absent → the write was never
+//!   acknowledged; recovery **adopts** the CRC-verified orphan (`W0506`).
+//! - manifest record present, object absent → a lost acknowledged write
+//!   (`E0503`). The ordering makes this impossible under SIGKILL; the
+//!   chaos harness asserts it stays impossible.
+//! - either file torn mid-write → the CRC catches it; objects are
+//!   quarantined (`E0501`/`E0502`), journal tails truncated (`W0505`).
+//!
+//! [`ContentStore::open`] is the fsck: replay the manifest, verify every
+//! object's footer, quarantine damage, adopt orphans, sweep stale temp
+//! files, and compact the manifest if anything changed — all reported as
+//! the same positioned [`Diagnostic`]s the log-salvage machinery uses.
+
+use crate::diag::{DiagCode, Diagnostic, Pos};
+use crate::hash::{crc32, ContentId};
+use crate::journal::Journal;
+use crate::vfs::Vfs;
+use crate::VppbError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Trailing object magic — last four bytes of every healthy object file.
+const OBJ_MAGIC: [u8; 4] = *b"VOBJ";
+/// Footer bytes: crc32 (4) + payload length (8) + magic (4).
+const FOOTER: usize = 4 + 8 + 4;
+
+/// What the manifest records about one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ManifestEntry {
+    len: u64,
+    crc: u32,
+}
+
+/// The outcome of the fsck pass [`ContentStore::open`] runs.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Objects alive and servable after recovery.
+    pub objects: usize,
+    /// CRC-valid orphans (object written, crash before manifest append)
+    /// adopted into the manifest.
+    pub adopted: usize,
+    /// Damaged objects moved to `quarantine/`.
+    pub quarantined: usize,
+    /// Manifest entries whose object is gone — lost *acknowledged*
+    /// writes. The store's write ordering makes this impossible under
+    /// crashes; nonzero means real disk damage.
+    pub missing: usize,
+    /// Stale atomic-writer temp files swept away.
+    pub swept_tmp: usize,
+    /// Every recovery finding, in the standard diagnostic vocabulary.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl RecoveryReport {
+    /// True when recovery found nothing to repair or report.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// One human line for the serve startup banner.
+    pub fn summary(&self) -> String {
+        format!(
+            "store recovery: {} object(s), {} adopted, {} quarantined, {} missing, {} tmp swept",
+            self.objects, self.adopted, self.quarantined, self.missing, self.swept_tmp
+        )
+    }
+}
+
+/// A sharded, CRC-guarded, manifest-journaled object store.
+pub struct ContentStore {
+    root: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    manifest: Journal,
+    index: Mutex<BTreeMap<ContentId, ManifestEntry>>,
+}
+
+impl ContentStore {
+    /// Open the store at `root`, running the full fsck-style recovery
+    /// pass. Never aborts on damaged objects — it quarantines them and
+    /// reports diagnostics instead.
+    pub fn open(
+        root: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(ContentStore, RecoveryReport), VppbError> {
+        let root = root.into();
+        let objs = root.join("objs");
+        let quarantine = root.join("quarantine");
+        vfs.create_dir_all(&objs).map_err(store_io("create objs dir"))?;
+        vfs.create_dir_all(&quarantine).map_err(store_io("create quarantine dir"))?;
+
+        let mut report = RecoveryReport::default();
+
+        // 1. Replay the manifest journal. A torn tail is healed inside
+        //    Journal::open; mid-file corruption keeps the clean prefix
+        //    (every object is still on disk and will be re-adopted).
+        let (manifest, replay) = Journal::open(root.join("manifest.waj"), Arc::clone(&vfs))?;
+        report.diagnostics.extend(replay.diagnostics);
+        let mut needs_compaction = replay.corrupt || !report.diagnostics.is_empty();
+        let mut index: BTreeMap<ContentId, ManifestEntry> = BTreeMap::new();
+        for record in &replay.records {
+            match parse_manifest_record(record) {
+                Some((id, entry)) => {
+                    index.insert(id, entry);
+                }
+                None => {
+                    report.diagnostics.push(Diagnostic::error(
+                        DiagCode::BadJournalRecord,
+                        Pos::None,
+                        "unparseable manifest record dropped",
+                    ));
+                    needs_compaction = true;
+                }
+            }
+        }
+
+        // 2. Walk every shard, verify every object, sweep crash debris.
+        for shard in vfs.list(&objs).map_err(store_io("list shards"))? {
+            for file in vfs.list(&shard).map_err(store_io("list shard"))? {
+                let name = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.ends_with(".tmp") {
+                    vfs.remove(&file).map_err(store_io("sweep tmp"))?;
+                    report.swept_tmp += 1;
+                    report.diagnostics.push(Diagnostic::warning(
+                        DiagCode::RemovedTempFile,
+                        Pos::None,
+                        format!("swept stale temp file {name}"),
+                    ));
+                    needs_compaction = true;
+                    continue;
+                }
+                let Some(id) =
+                    name.strip_suffix(".obj").and_then(|stem| stem.parse::<ContentId>().ok())
+                else {
+                    continue; // not ours; leave it alone
+                };
+                let bytes = vfs.read(&file).map_err(store_io("read object"))?;
+                match decode_object(&bytes) {
+                    Ok(payload) => {
+                        let found =
+                            ManifestEntry { len: payload.len() as u64, crc: crc32(payload) };
+                        match index.get(&id) {
+                            Some(entry) if *entry == found => {} // healthy
+                            Some(_) => {
+                                // Manifest disagrees with a CRC-valid
+                                // object: something other than a crash
+                                // rewrote one of them. Trust neither.
+                                quarantine_object(
+                                    &vfs,
+                                    &quarantine,
+                                    &file,
+                                    name,
+                                    &mut report,
+                                    Diagnostic::error(
+                                        DiagCode::ManifestMismatch,
+                                        Pos::None,
+                                        format!("object {id} disagrees with its manifest entry"),
+                                    ),
+                                )?;
+                                index.remove(&id);
+                                report.missing += 1;
+                                needs_compaction = true;
+                            }
+                            None => {
+                                // Orphan: written, crashed before the
+                                // manifest append — never acknowledged,
+                                // but CRC-verified, so keep it.
+                                index.insert(id, found);
+                                report.adopted += 1;
+                                report.diagnostics.push(Diagnostic::warning(
+                                    DiagCode::AdoptedOrphanObject,
+                                    Pos::None,
+                                    format!("adopted verified orphan object {id}"),
+                                ));
+                                needs_compaction = true;
+                            }
+                        }
+                    }
+                    Err(reason) => {
+                        let code = if reason.torn {
+                            DiagCode::TornObject
+                        } else {
+                            DiagCode::ObjectCrcMismatch
+                        };
+                        quarantine_object(
+                            &vfs,
+                            &quarantine,
+                            &file,
+                            name,
+                            &mut report,
+                            Diagnostic::error(
+                                code,
+                                Pos::Byte(bytes.len() as u64),
+                                format!("object {id}: {}", reason.what),
+                            ),
+                        )?;
+                        if index.remove(&id).is_some() {
+                            // The damaged object was acknowledged: it is
+                            // both quarantined and lost.
+                            report.missing += 1;
+                        }
+                        needs_compaction = true;
+                    }
+                }
+            }
+        }
+
+        // 3. Manifest entries with no surviving object are lost
+        //    acknowledged writes — report loudly, then drop them so the
+        //    index only names servable objects.
+        let gone: Vec<ContentId> =
+            index.keys().copied().filter(|id| !vfs.exists(&object_path(&objs, *id))).collect();
+        for id in gone {
+            index.remove(&id);
+            report.missing += 1;
+            report.diagnostics.push(Diagnostic::error(
+                DiagCode::MissingObject,
+                Pos::None,
+                format!("manifest names object {id} but the file is gone"),
+            ));
+            needs_compaction = true;
+        }
+
+        // 4. Compact: one atomic rewrite leaves the manifest exactly
+        //    matching the verified on-disk state.
+        if needs_compaction {
+            let records: Vec<Vec<u8>> =
+                index.iter().map(|(id, e)| manifest_record(*id, *e)).collect();
+            manifest.rewrite(&records)?;
+        }
+
+        report.objects = index.len();
+        Ok((ContentStore { root, vfs, manifest, index: Mutex::new(index) }, report))
+    }
+
+    /// Store `payload` under `id`. Durable — object file first, manifest
+    /// record second, both fsynced — so the caller may acknowledge as
+    /// soon as this returns. Returns `false` when the object was already
+    /// present (content-addressed stores are idempotent).
+    pub fn put(&self, id: ContentId, payload: &[u8]) -> Result<bool, VppbError> {
+        let mut index = self.lock();
+        if index.contains_key(&id) {
+            return Ok(false);
+        }
+        let path = object_path(&self.root.join("objs"), id);
+        if let Some(dir) = path.parent() {
+            self.vfs.create_dir_all(dir).map_err(store_io("create shard"))?;
+        }
+        let entry = ManifestEntry { len: payload.len() as u64, crc: crc32(payload) };
+        self.vfs.write_atomic(&path, &encode_object(payload)).map_err(store_io("write object"))?;
+        self.manifest.append(&manifest_record(id, entry))?;
+        index.insert(id, entry);
+        Ok(true)
+    }
+
+    /// Fetch and CRC-verify an object. `Ok(None)` when the id is not in
+    /// the manifest; an error when the stored bytes fail verification
+    /// (short read, bit rot) — damaged data is never returned.
+    pub fn get(&self, id: ContentId) -> Result<Option<Vec<u8>>, VppbError> {
+        let Some(entry) = self.lock().get(&id).copied() else {
+            return Ok(None);
+        };
+        let path = object_path(&self.root.join("objs"), id);
+        let bytes = self.vfs.read(&path).map_err(store_io("read object"))?;
+        let payload = decode_object(&bytes).map_err(|reason| {
+            let code = if reason.torn { DiagCode::TornObject } else { DiagCode::ObjectCrcMismatch };
+            VppbError::from(Diagnostic::error(
+                code,
+                Pos::Byte(bytes.len() as u64),
+                format!("object {id}: {}", reason.what),
+            ))
+        })?;
+        if payload.len() as u64 != entry.len || crc32(payload) != entry.crc {
+            return Err(Diagnostic::error(
+                DiagCode::ManifestMismatch,
+                Pos::None,
+                format!("object {id} disagrees with its manifest entry"),
+            )
+            .into());
+        }
+        Ok(Some(payload.to_vec()))
+    }
+
+    /// Whether `id` is servable.
+    pub fn contains(&self, id: ContentId) -> bool {
+        self.lock().contains_key(&id)
+    }
+
+    /// Every servable id, ascending.
+    pub fn ids(&self) -> Vec<ContentId> {
+        self.lock().keys().copied().collect()
+    }
+
+    /// Number of servable objects.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<ContentId, ManifestEntry>> {
+        // A poisoned lock means a writer panicked between map and disk;
+        // the map only ever mirrors *completed* durable writes, so it is
+        // still sound to read.
+        self.index.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn store_io(op: &'static str) -> impl Fn(std::io::Error) -> VppbError {
+    move |e| VppbError::Io(format!("content store: {op}: {e}"))
+}
+
+fn object_path(objs: &Path, id: ContentId) -> PathBuf {
+    objs.join(id.shard_prefix()).join(format!("{id}.obj"))
+}
+
+fn manifest_record(id: ContentId, e: ManifestEntry) -> Vec<u8> {
+    format!("P {id} {} {:08x}", e.len, e.crc).into_bytes()
+}
+
+fn parse_manifest_record(record: &[u8]) -> Option<(ContentId, ManifestEntry)> {
+    let text = std::str::from_utf8(record).ok()?;
+    let mut parts = text.split(' ');
+    if parts.next()? != "P" {
+        return None;
+    }
+    let id: ContentId = parts.next()?.parse().ok()?;
+    let len: u64 = parts.next()?.parse().ok()?;
+    let crc = u32::from_str_radix(parts.next()?, 16).ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((id, ManifestEntry { len, crc }))
+}
+
+fn encode_object(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + FOOTER);
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&OBJ_MAGIC);
+    bytes
+}
+
+struct DecodeFailure {
+    /// True for truncation/torn-write shapes; false for CRC-only rot.
+    torn: bool,
+    what: &'static str,
+}
+
+fn decode_object(bytes: &[u8]) -> Result<&[u8], DecodeFailure> {
+    let torn = |what| DecodeFailure { torn: true, what };
+    if bytes.len() < FOOTER {
+        return Err(torn("shorter than the footer"));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER);
+    if footer[12..16] != OBJ_MAGIC {
+        return Err(torn("trailing magic missing (truncated or torn write)"));
+    }
+    let len = u64::from_le_bytes([
+        footer[4], footer[5], footer[6], footer[7], footer[8], footer[9], footer[10], footer[11],
+    ]);
+    if len != body.len() as u64 {
+        return Err(torn("footer length disagrees with the file"));
+    }
+    let crc = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+    if crc32(body) != crc {
+        return Err(DecodeFailure { torn: false, what: "payload fails its CRC footer" });
+    }
+    Ok(body)
+}
+
+fn quarantine_object(
+    vfs: &Arc<dyn Vfs>,
+    quarantine: &Path,
+    file: &Path,
+    name: &str,
+    report: &mut RecoveryReport,
+    diag: Diagnostic,
+) -> Result<(), VppbError> {
+    vfs.rename(file, &quarantine.join(name)).map_err(store_io("quarantine object"))?;
+    report.quarantined += 1;
+    report.diagnostics.push(diag);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultSpec, FaultVfs, RealVfs};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vppb-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn id_of(n: u64) -> ContentId {
+        ContentId::of_bytes(&n.to_le_bytes()) // distinct, well-spread ids
+    }
+
+    fn real() -> Arc<dyn Vfs> {
+        Arc::new(RealVfs)
+    }
+
+    #[test]
+    fn put_get_round_trips_and_survives_reopen() {
+        let root = scratch("rt");
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert!(rep.is_clean() && rep.objects == 0);
+        let (a, b) = (id_of(1), id_of(2));
+        assert!(store.put(a, b"alpha payload").unwrap());
+        assert!(store.put(b, &[0u8; 4096]).unwrap());
+        assert!(!store.put(a, b"alpha payload").unwrap(), "idempotent re-put");
+        assert_eq!(store.get(a).unwrap().unwrap(), b"alpha payload");
+        assert_eq!(store.get(b).unwrap().unwrap(), vec![0u8; 4096]);
+        assert_eq!(store.get(id_of(99)).unwrap(), None);
+        drop(store);
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert!(rep.is_clean(), "clean shutdown reopens clean: {:?}", rep.diagnostics);
+        assert_eq!(rep.objects, 2);
+        assert_eq!(store.ids(), {
+            let mut v = vec![a, b];
+            v.sort();
+            v
+        });
+        assert_eq!(store.get(a).unwrap().unwrap(), b"alpha payload");
+    }
+
+    #[test]
+    fn truncated_object_is_quarantined_not_served() {
+        let root = scratch("trunc");
+        let (store, _) = ContentStore::open(&root, real()).unwrap();
+        let id = id_of(7);
+        store.put(id, b"will be torn").unwrap();
+        drop(store);
+        let path = object_path(&root.join("objs"), id);
+        let whole = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &whole[..whole.len() / 2]).unwrap();
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert_eq!(rep.quarantined, 1);
+        assert_eq!(rep.missing, 1, "the acked write is genuinely lost to real damage");
+        assert!(rep.diagnostics.iter().any(|d| d.code == DiagCode::TornObject));
+        assert_eq!(store.get(id).unwrap(), None, "quarantined objects are not served");
+        assert!(root.join("quarantine").join(format!("{id}.obj")).exists());
+        // And the store heals: a re-put works and reopens clean.
+        assert!(store.put(id, b"will be torn").unwrap());
+        drop(store);
+        let (_, rep) = ContentStore::open(&root, real()).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn bit_rot_is_quarantined_with_a_crc_code() {
+        let root = scratch("rot");
+        let (store, _) = ContentStore::open(&root, real()).unwrap();
+        let id = id_of(8);
+        store.put(id, b"pristine bytes here").unwrap();
+        drop(store);
+        let path = object_path(&root.join("objs"), id);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert!(rep.diagnostics.iter().any(|d| d.code == DiagCode::ObjectCrcMismatch));
+        assert_eq!(store.get(id).unwrap(), None);
+    }
+
+    #[test]
+    fn verified_orphan_is_adopted() {
+        let root = scratch("orphan");
+        let (_, _) = ContentStore::open(&root, real()).unwrap();
+        // An object file lands without any manifest record — the state a
+        // crash between object write and manifest append leaves.
+        let id = id_of(9);
+        let path = object_path(&root.join("objs"), id);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, encode_object(b"orphaned but intact")).unwrap();
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert_eq!(rep.adopted, 1);
+        assert!(rep.diagnostics.iter().any(|d| d.code == DiagCode::AdoptedOrphanObject));
+        assert_eq!(store.get(id).unwrap().unwrap(), b"orphaned but intact");
+        // Adoption was compacted into the manifest: reopen is clean.
+        drop(store);
+        let (_, rep) = ContentStore::open(&root, real()).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.diagnostics);
+    }
+
+    #[test]
+    fn manifest_entry_without_object_reports_missing() {
+        let root = scratch("missing");
+        let (store, _) = ContentStore::open(&root, real()).unwrap();
+        let id = id_of(10);
+        store.put(id, b"soon gone").unwrap();
+        drop(store);
+        std::fs::remove_file(object_path(&root.join("objs"), id)).unwrap();
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert_eq!(rep.missing, 1);
+        assert!(rep.diagnostics.iter().any(|d| d.code == DiagCode::MissingObject));
+        assert!(!store.contains(id));
+    }
+
+    #[test]
+    fn torn_put_is_never_acknowledged_and_recovery_quarantines_the_debris() {
+        let root = scratch("tornput");
+        let keep = id_of(20);
+        {
+            let (store, _) = ContentStore::open(&root, real()).unwrap();
+            store.put(keep, b"acknowledged and safe").unwrap();
+        }
+        // Re-open through a fault VFS so the *next* object write tears:
+        // manifest replay does no writes, so write op 1 is the put.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(
+            real(),
+            FaultSpec { torn_write_at: Some(1), ..FaultSpec::default() },
+        ));
+        let (store, rep) = ContentStore::open(&root, vfs).unwrap();
+        assert!(rep.is_clean(), "{:?}", rep.diagnostics);
+        let torn = id_of(21);
+        let err = store.put(torn, b"this write will tear mid-flight").unwrap_err();
+        assert!(err.to_string().contains("EIO"), "{err}");
+        assert!(!store.contains(torn), "a failed put is not indexed");
+        drop(store);
+        // Recovery: the debris is quarantined, the acked object survives,
+        // and nothing is "missing" — the torn write was never acked.
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert_eq!(rep.quarantined, 1, "{:?}", rep.diagnostics);
+        assert_eq!(rep.missing, 0, "zero lost acknowledged writes");
+        assert_eq!(store.get(keep).unwrap().unwrap(), b"acknowledged and safe");
+        assert_eq!(store.get(torn).unwrap(), None);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept() {
+        let root = scratch("tmp");
+        let (store, _) = ContentStore::open(&root, real()).unwrap();
+        store.put(id_of(30), b"payload").unwrap();
+        drop(store);
+        let shard = root.join("objs").join(id_of(30).shard_prefix());
+        std::fs::write(shard.join(".stale.obj.12345.tmp"), b"half").unwrap();
+        let (_, rep) = ContentStore::open(&root, real()).unwrap();
+        assert_eq!(rep.swept_tmp, 1);
+        assert!(rep.diagnostics.iter().any(|d| d.code == DiagCode::RemovedTempFile));
+        assert!(!shard.join(".stale.obj.12345.tmp").exists());
+    }
+
+    #[test]
+    fn short_read_fault_is_an_error_not_bad_data() {
+        let root = scratch("shortread");
+        let id = id_of(40);
+        {
+            let (store, _) = ContentStore::open(&root, real()).unwrap();
+            store.put(id, b"integrity matters").unwrap();
+        }
+        // Manifest replay is read 1, the fsck object scan is read 2, so
+        // the first post-open fetch is read 3.
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(
+            real(),
+            FaultSpec { short_read_at: Some(3), ..FaultSpec::default() },
+        ));
+        let (store, _) = ContentStore::open(&root, vfs).unwrap();
+        let err = store.get(id).unwrap_err();
+        assert!(matches!(&err, VppbError::Diag(d) if d.code == DiagCode::TornObject), "{err}");
+        assert_eq!(store.get(id).unwrap().unwrap(), b"integrity matters", "reads heal");
+    }
+
+    #[test]
+    fn objects_fan_out_across_shard_directories() {
+        let root = scratch("shards");
+        let (store, _) = ContentStore::open(&root, real()).unwrap();
+        let ids: Vec<ContentId> = (0..64).map(id_of).collect();
+        for (i, id) in ids.iter().enumerate() {
+            store.put(*id, format!("payload {i}").as_bytes()).unwrap();
+        }
+        let shards: std::collections::BTreeSet<String> =
+            ids.iter().map(|id| id.shard_prefix()).collect();
+        assert!(shards.len() > 1, "64 hashed ids should span several shards");
+        for id in &ids {
+            assert!(object_path(&root.join("objs"), *id).exists());
+        }
+        drop(store);
+        let (store, rep) = ContentStore::open(&root, real()).unwrap();
+        assert!(rep.is_clean());
+        assert_eq!(store.len(), 64);
+    }
+}

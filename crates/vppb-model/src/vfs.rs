@@ -1,0 +1,362 @@
+//! The virtual filesystem seam under every durable-store file operation.
+//!
+//! The content store and the write-ahead journals never touch `std::fs`
+//! directly; they go through a [`Vfs`] so the crash harness can inject
+//! disk failures *deterministically*: torn writes (a prefix of the bytes
+//! lands, then the write "fails" as a crash would leave it), short reads,
+//! `ENOSPC` and `EIO`. Production uses [`RealVfs`], whose atomic write is
+//! the same tmp + fsync + rename discipline `logfile.rs` established;
+//! tests and the chaos harness wrap it in [`FaultVfs`] armed by a
+//! [`FaultSpec`] (parseable from the `VPPB_FAULT_VFS` environment knob so
+//! a real `vppb serve` child can be sabotaged from outside).
+//!
+//! Fault counters are per-[`FaultVfs`] and count only the operation class
+//! they gate, so a spec like `torn-write=3` is exact: the third write op
+//! tears, regardless of interleaved reads.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Every file operation the durable store needs, virtualized.
+///
+/// `write_atomic` must be all-or-nothing on a healthy disk (tmp + fsync +
+/// rename); `append_sync` must not return before the bytes are on the
+/// platter (fsync). Both promises are exactly what the fault layer
+/// breaks on purpose.
+pub trait Vfs: Send + Sync {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Write a whole file atomically (tmp + fsync + rename).
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Append to a file (creating it) and fsync before returning.
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Truncate a file to `len` bytes (journal tail repair).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Entries of a directory (files and directories; not recursive).
+    /// Missing directory reads as empty.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Rename (same filesystem, so atomic on POSIX).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file. Missing file is not an error.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory chain.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`Vfs`]: `std::fs` with the atomicity and durability
+/// promises actually kept.
+#[derive(Debug, Default)]
+pub struct RealVfs;
+
+impl Vfs for RealVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("obj");
+        let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+        let write = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        match fs::read_dir(dir) {
+            Ok(entries) => {
+                let mut out = Vec::new();
+                for e in entries {
+                    out.push(e?.path());
+                }
+                out.sort();
+                Ok(out)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Which disk failures to inject, and when. All counters are 1-based op
+/// ordinals within their class; `None` disarms the knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The Nth write op (atomic write or synced append) writes only half
+    /// its bytes *to the final path* and returns `EIO` — the on-disk
+    /// state a crash mid-write leaves.
+    pub torn_write_at: Option<u64>,
+    /// From the Nth write op onward, every write fails with `ENOSPC`
+    /// before touching the disk.
+    pub enospc_from: Option<u64>,
+    /// The Nth read op fails with `EIO`.
+    pub eio_read_at: Option<u64>,
+    /// The Nth read op silently returns only the first half of the file
+    /// (a short read the caller's integrity checks must catch).
+    pub short_read_at: Option<u64>,
+}
+
+impl FaultSpec {
+    /// Parse the `VPPB_FAULT_VFS` knob syntax:
+    /// `torn-write=N,enospc=N,eio-read=N,short-read=N` (any subset).
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut out = FaultSpec::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("fault spec `{part}`: want key=N"))?;
+            let n: u64 = value.parse().map_err(|_| format!("fault spec `{part}`: bad ordinal"))?;
+            match key {
+                "torn-write" => out.torn_write_at = Some(n),
+                "enospc" => out.enospc_from = Some(n),
+                "eio-read" => out.eio_read_at = Some(n),
+                "short-read" => out.short_read_at = Some(n),
+                other => return Err(format!("fault spec: unknown knob `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A [`Vfs`] decorator that injects the failures a [`FaultSpec`] arms,
+/// deterministically, by op ordinal.
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    spec: FaultSpec,
+    writes: AtomicU64,
+    reads: AtomicU64,
+}
+
+impl FaultVfs {
+    /// Wrap `inner`, arming `spec`.
+    pub fn new(inner: Arc<dyn Vfs>, spec: FaultSpec) -> FaultVfs {
+        FaultVfs { inner, spec, writes: AtomicU64::new(0), reads: AtomicU64::new(0) }
+    }
+
+    /// Write ops issued so far (torn/ENOSPC bookkeeping for tests).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::SeqCst)
+    }
+
+    /// Decide the fate of the next write op.
+    fn write_fault(&self) -> Option<WriteFault> {
+        let n = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.spec.torn_write_at == Some(n) {
+            return Some(WriteFault::Torn);
+        }
+        if self.spec.enospc_from.is_some_and(|from| n >= from) {
+            return Some(WriteFault::NoSpace);
+        }
+        None
+    }
+}
+
+enum WriteFault {
+    Torn,
+    NoSpace,
+}
+
+fn eio(what: &str) -> io::Error {
+    io::Error::other(format!("injected EIO: {what}"))
+}
+
+fn enospc(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, format!("injected ENOSPC: {what}"))
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let n = self.reads.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.spec.eio_read_at == Some(n) {
+            return Err(eio(&path.display().to_string()));
+        }
+        let mut bytes = self.inner.read(path)?;
+        if self.spec.short_read_at == Some(n) {
+            bytes.truncate(bytes.len() / 2);
+        }
+        Ok(bytes)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.write_fault() {
+            // A torn "atomic" write models fsync lying or the rename
+            // landing over a half-flushed tmp file: a prefix reaches the
+            // *final* path, then the op reports failure.
+            Some(WriteFault::Torn) => {
+                let _ = self.inner.write_atomic(path, &bytes[..bytes.len() / 2]);
+                Err(eio("torn atomic write"))
+            }
+            Some(WriteFault::NoSpace) => Err(enospc("atomic write")),
+            None => self.inner.write_atomic(path, bytes),
+        }
+    }
+
+    fn append_sync(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        match self.write_fault() {
+            Some(WriteFault::Torn) => {
+                let _ = self.inner.append_sync(path, &bytes[..bytes.len() / 2]);
+                Err(eio("torn append"))
+            }
+            Some(WriteFault::NoSpace) => Err(enospc("append")),
+            None => self.inner.append_sync(path, bytes),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.inner.list(dir)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vppb-vfs-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_vfs_round_trips_and_leaves_no_tmp() {
+        let dir = scratch("real");
+        let vfs = RealVfs;
+        let p = dir.join("a.obj");
+        vfs.write_atomic(&p, b"hello").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        vfs.append_sync(&p, b" world").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"hello world");
+        vfs.truncate(&p, 5).unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"hello");
+        let names = vfs.list(&dir).unwrap();
+        assert_eq!(names.len(), 1, "{names:?}");
+        vfs.remove(&p).unwrap();
+        vfs.remove(&p).unwrap(); // idempotent
+        assert!(vfs.list(&dir).unwrap().is_empty());
+        assert!(vfs.list(&dir.join("missing")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fault_spec_parses_and_rejects() {
+        let s = FaultSpec::parse("torn-write=3, enospc=10").unwrap();
+        assert_eq!(s.torn_write_at, Some(3));
+        assert_eq!(s.enospc_from, Some(10));
+        assert_eq!(s.eio_read_at, None);
+        assert!(FaultSpec::parse("granular=1").is_err());
+        assert!(FaultSpec::parse("torn-write=x").is_err());
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix_on_the_final_path() {
+        let dir = scratch("torn");
+        let vfs = FaultVfs::new(
+            Arc::new(RealVfs),
+            FaultSpec { torn_write_at: Some(2), ..FaultSpec::default() },
+        );
+        let (a, b) = (dir.join("a"), dir.join("b"));
+        vfs.write_atomic(&a, b"aaaaaaaa").unwrap();
+        let err = vfs.write_atomic(&b, b"bbbbbbbb").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        assert_eq!(fs::read(&b).unwrap(), b"bbbb", "half the bytes landed");
+        // Later writes succeed again: the tear is a point event.
+        vfs.write_atomic(&b, b"cccc").unwrap();
+        assert_eq!(fs::read(&b).unwrap(), b"cccc");
+    }
+
+    #[test]
+    fn enospc_is_sticky_from_its_ordinal() {
+        let dir = scratch("enospc");
+        let vfs = FaultVfs::new(
+            Arc::new(RealVfs),
+            FaultSpec { enospc_from: Some(2), ..FaultSpec::default() },
+        );
+        vfs.append_sync(&dir.join("j"), b"one").unwrap();
+        for _ in 0..3 {
+            let err = vfs.append_sync(&dir.join("j"), b"two").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        }
+        assert_eq!(fs::read(dir.join("j")).unwrap(), b"one", "failed appends wrote nothing");
+    }
+
+    #[test]
+    fn read_faults_fire_once_by_ordinal() {
+        let dir = scratch("read");
+        let p = dir.join("f");
+        fs::write(&p, b"0123456789").unwrap();
+        let vfs = FaultVfs::new(
+            Arc::new(RealVfs),
+            FaultSpec { eio_read_at: Some(1), short_read_at: Some(2), ..FaultSpec::default() },
+        );
+        assert!(vfs.read(&p).is_err());
+        assert_eq!(vfs.read(&p).unwrap(), b"01234", "short read returns half");
+        assert_eq!(vfs.read(&p).unwrap(), b"0123456789", "then reads heal");
+    }
+}

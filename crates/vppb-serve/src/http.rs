@@ -128,6 +128,36 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// The structured JSON body every 4xx/5xx carries: a stable machine
+/// `code`, the human `error` message, the request-correlation id once the
+/// connection layer stamps it, and (for 413) the limit that was exceeded.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ErrorBody {
+    /// Human-readable description.
+    pub error: String,
+    /// Stable machine-readable token derived from the status.
+    pub code: String,
+    /// Request-correlation id (also echoed in `x-vppb-request`). Empty
+    /// until [`Response::with_request`] stamps it.
+    pub request: String,
+    /// The configured limit a 413 exceeded, bytes.
+    pub limit: Option<u64>,
+}
+
+/// The stable `code` token for a status.
+pub fn status_code_token(status: u16) -> &'static str {
+    match status {
+        400 => "bad-request",
+        404 => "not-found",
+        405 => "method-not-allowed",
+        408 => "request-timeout",
+        413 => "payload-too-large",
+        500 => "internal",
+        503 => "unavailable",
+        _ => "error",
+    }
+}
+
 /// A response ready to serialize.
 #[derive(Debug)]
 pub struct Response {
@@ -137,6 +167,10 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// The body (always JSON here).
     pub body: Vec<u8>,
+    /// The structured error this response carries, when it is an error.
+    /// Kept unserialized so [`Response::with_request`] can stamp the
+    /// correlation id in after routing.
+    error: Option<ErrorBody>,
 }
 
 impl Response {
@@ -144,22 +178,51 @@ impl Response {
     pub fn json<T: serde::Serialize + ?Sized>(status: u16, value: &T) -> Response {
         let body = serde_json::to_vec(value)
             .unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}").into_bytes());
-        Response { status, headers: Vec::new(), body }
+        Response { status, headers: Vec::new(), body, error: None }
     }
 
-    /// An error response with a JSON `{"error": ...}` body.
+    /// An error response with the structured [`ErrorBody`].
     pub fn error(status: u16, message: &str) -> Response {
-        #[derive(serde::Serialize)]
-        struct ErrorBody {
-            error: String,
-        }
-        Response::json(status, &ErrorBody { error: message.to_string() })
+        let body = ErrorBody {
+            error: message.to_string(),
+            code: status_code_token(status).to_string(),
+            request: String::new(),
+            limit: None,
+        };
+        let mut r = Response::json(status, &body);
+        r.error = Some(body);
+        r
     }
 
     /// Builder-style: attach a header.
     pub fn with_header(mut self, name: &str, value: &str) -> Response {
         self.headers.push((name.to_string(), value.to_string()));
         self
+    }
+
+    /// Record the limit a 413 exceeded in the error body.
+    pub fn with_limit(mut self, limit: u64) -> Response {
+        if let Some(e) = &mut self.error {
+            e.limit = Some(limit);
+            self.body = serde_json::to_vec(e).unwrap_or_default();
+        }
+        self
+    }
+
+    /// Stamp the request-correlation id: echoed as the `x-vppb-request`
+    /// header on every response, and folded into the JSON body of every
+    /// error response.
+    pub fn with_request(mut self, rid: &str) -> Response {
+        if let Some(e) = &mut self.error {
+            e.request = rid.to_string();
+            self.body = serde_json::to_vec(e).unwrap_or_default();
+        }
+        self.with_header("x-vppb-request", rid)
+    }
+
+    /// The stable error-code token, when this response is an error.
+    pub fn error_code(&self) -> Option<&str> {
+        self.error.as_ref().map(|e| e.code.as_str())
     }
 
     /// Serialize onto the stream. Errors are swallowed: the peer hanging
@@ -239,7 +302,8 @@ mod tests {
 
     #[test]
     fn response_wire_format_is_parseable() {
-        let r = Response::error(503, "queue full").with_header("retry-after", "1");
+        let r =
+            Response::error(503, "queue full").with_header("retry-after", "1").with_request("r-7");
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let t = std::thread::spawn(move || {
@@ -255,6 +319,29 @@ mod tests {
         let text = String::from_utf8(all).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("retry-after: 1\r\n"));
-        assert!(text.ends_with("{\"error\":\"queue full\"}"));
+        assert!(text.contains("x-vppb-request: r-7\r\n"));
+        let body = &text[text.find("\r\n\r\n").unwrap() + 4..];
+        let v: serde::Value = serde_json::from_str(body).unwrap();
+        assert_eq!(v.get("error"), Some(&serde::Value::Str("queue full".into())));
+        assert_eq!(v.get("code"), Some(&serde::Value::Str("unavailable".into())));
+        assert_eq!(v.get("request"), Some(&serde::Value::Str("r-7".into())));
+    }
+
+    #[test]
+    fn error_bodies_carry_code_limit_and_request() {
+        let r = Response::error(413, "too big").with_limit(1024).with_request("r-9");
+        let v: serde::Value = serde_json::from_slice(&r.body).unwrap();
+        assert_eq!(v.get("code"), Some(&serde::Value::Str("payload-too-large".into())));
+        assert_eq!(v.get("limit"), Some(&serde::Value::UInt(1024)));
+        assert_eq!(v.get("request"), Some(&serde::Value::Str("r-9".into())));
+        assert_eq!(r.error_code(), Some("payload-too-large"));
+        // Success responses are untouched by the stamp except the header.
+        #[derive(serde::Serialize)]
+        struct Ok2 {
+            ok: bool,
+        }
+        let r = Response::json(200, &Ok2 { ok: true }).with_request("r-10");
+        assert_eq!(r.body, b"{\"ok\":true}");
+        assert!(r.headers.iter().any(|(k, v)| k == "x-vppb-request" && v == "r-10"));
     }
 }

@@ -19,12 +19,21 @@
 //! so a follow prediction resumes replay instead of starting over — and
 //! stays bit-identical to a cold prediction of the same content.
 
+//!
+//! With `--store DIR` the service is **crash-only** (DESIGN.md §6g): raw
+//! uploads live in a disk-backed content store, append chunks are
+//! write-ahead journaled before acknowledgement, memoized predictions
+//! spill to disk and rewarm after a restart, and a failed durable write
+//! flips the server into read-only degradation instead of panicking.
+
 pub mod http;
+pub mod persist;
 pub mod server;
 pub mod service;
 
+pub use persist::{Durability, DurabilityStats, StartupReport};
 pub use server::{client, signals, start, ServeOptions, Server};
 pub use service::{
-    AppendResponse, PredictRequest, PredictResponse, PredictionService, ResultCacheStats,
+    AppendResponse, CacheHit, PredictRequest, PredictResponse, PredictionService, ResultCacheStats,
     ServeError, ServiceMetrics, SweepRequest, SweepResponse, UploadResponse,
 };

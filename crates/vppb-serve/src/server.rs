@@ -18,6 +18,7 @@
 //!   [`Server::join`] returns once the last worker finishes.
 
 use crate::http::{read_request, ReadError, Request, Response};
+use crate::persist::StartupReport;
 use crate::service::{PredictionService, ServeError};
 use std::collections::VecDeque;
 use std::io;
@@ -26,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use vppb_model::{FaultSpec, FaultVfs, RealVfs, Vfs};
 
 /// Tuning knobs for [`start`]; `vppb serve` flags map onto these 1:1.
 #[derive(Debug, Clone)]
@@ -42,6 +44,11 @@ pub struct ServeOptions {
     pub request_timeout_ms: u64,
     /// Largest accepted request body (uploaded logs), bytes.
     pub max_body_bytes: usize,
+    /// Durable store root (`--store DIR`); `None` serves memory-only.
+    pub store_dir: Option<String>,
+    /// Fault-injection spec for the durable store's VFS (the
+    /// `VPPB_FAULT_VFS` knob; chaos testing only).
+    pub fault_vfs: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -53,8 +60,24 @@ impl Default for ServeOptions {
             queue_depth: 128,
             request_timeout_ms: 30_000,
             max_body_bytes: 256 * 1024 * 1024,
+            store_dir: None,
+            fault_vfs: None,
         }
     }
+}
+
+/// How many 4xx/5xx responses `GET /metrics` keeps for correlation.
+const RECENT_ERRORS_CAP: usize = 32;
+
+/// One recent error, correlatable with a client's `x-vppb-request` id.
+#[derive(Clone, serde::Serialize)]
+struct RecentError {
+    /// The request-correlation id the client saw.
+    request: String,
+    /// HTTP status answered.
+    status: u16,
+    /// Stable machine-readable code (`payload-too-large`, ...).
+    code: String,
 }
 
 /// HTTP-level counters for `GET /metrics`.
@@ -86,6 +109,8 @@ struct HttpStats {
 struct MetricsDoc {
     http: HttpStats,
     service: crate::service::ServiceMetrics,
+    /// Last [`RECENT_ERRORS_CAP`] 4xx/5xx responses, oldest first.
+    recent_errors: Vec<RecentError>,
 }
 
 struct Shared {
@@ -95,6 +120,10 @@ struct Shared {
     /// Set by `POST /shutdown`, [`Server::shutdown`], or a signal.
     draining: std::sync::atomic::AtomicBool,
     http: HttpCounters,
+    /// Monotonic request-correlation counter (`r-1`, `r-2`, ...).
+    rid: AtomicU64,
+    /// Ring of recent error responses for `GET /metrics`.
+    recent_errors: Mutex<VecDeque<RecentError>>,
     opts: ServeOptions,
 }
 
@@ -107,6 +136,27 @@ impl Shared {
         self.draining.store(true, Ordering::SeqCst);
         self.available.notify_all();
     }
+
+    /// The next request-correlation id.
+    fn next_rid(&self) -> String {
+        format!("r-{}", self.rid.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Remember an error response for `GET /metrics` correlation.
+    fn record_error(&self, rid: &str, response: &Response) {
+        if response.status < 400 {
+            return;
+        }
+        let mut ring = self.recent_errors.lock().expect("errors lock");
+        if ring.len() >= RECENT_ERRORS_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(RecentError {
+            request: rid.to_string(),
+            status: response.status,
+            code: response.error_code().unwrap_or("error").to_string(),
+        });
+    }
 }
 
 /// A running server: its bound address plus the thread handles to join.
@@ -115,12 +165,18 @@ pub struct Server {
     addr: SocketAddr,
     accept: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    startup: Option<StartupReport>,
 }
 
 impl Server {
     /// The address actually bound (resolves `:0` to the chosen port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What durable-store recovery found at startup (`--store` only).
+    pub fn startup_report(&self) -> Option<&StartupReport> {
+        self.startup.as_ref()
     }
 
     /// Direct access to the service (in-process callers: benches, tests).
@@ -154,12 +210,29 @@ pub fn start(opts: ServeOptions) -> io::Result<Server> {
     } else {
         opts.workers
     };
+    let (service, startup) = match &opts.store_dir {
+        Some(dir) => {
+            let vfs: Arc<dyn Vfs> = match &opts.fault_vfs {
+                Some(spec) => {
+                    let spec = FaultSpec::parse(spec).map_err(io::Error::other)?;
+                    Arc::new(FaultVfs::new(Arc::new(RealVfs), spec))
+                }
+                None => Arc::new(RealVfs),
+            };
+            let (service, report) = PredictionService::with_store(opts.cache_bytes, dir, vfs)
+                .map_err(|e| io::Error::other(format!("opening durable store: {e}")))?;
+            (service, Some(report))
+        }
+        None => (PredictionService::new(opts.cache_bytes), None),
+    };
     let shared = Arc::new(Shared {
-        service: PredictionService::new(opts.cache_bytes),
+        service,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         draining: std::sync::atomic::AtomicBool::new(false),
         http: HttpCounters::default(),
+        rid: AtomicU64::new(0),
+        recent_errors: Mutex::new(VecDeque::new()),
         opts,
     });
 
@@ -173,7 +246,7 @@ pub fn start(opts: ServeOptions) -> io::Result<Server> {
             std::thread::spawn(move || worker_loop(&shared))
         })
         .collect();
-    Ok(Server { shared, addr, accept, workers })
+    Ok(Server { shared, addr, accept, workers, startup })
 }
 
 /// Poll-accept until drain. Full queue → transient 503 responder thread,
@@ -187,7 +260,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     drop(queue);
                     shared.http.rejected_503.fetch_add(1, Ordering::Relaxed);
                     shared.http.server_5xx.fetch_add(1, Ordering::Relaxed);
-                    std::thread::spawn(move || reject_overload(stream));
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || reject_overload(stream, &shared));
                 } else {
                     queue.push_back(stream);
                     drop(queue);
@@ -205,13 +279,16 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 /// Answer a connection rejected by backpressure. Reads (and discards) the
 /// request head first so the peer sees the 503 rather than a reset.
-fn reject_overload(mut stream: TcpStream) {
+fn reject_overload(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = read_request(&mut stream, 64 * 1024);
-    Response::error(503, "job queue is full, retry later")
+    let rid = shared.next_rid();
+    let response = Response::error(503, "job queue is full, retry later")
         .with_header("retry-after", "1")
-        .write_to(&mut stream);
+        .with_request(&rid);
+    shared.record_error(&rid, &response);
+    response.write_to(&mut stream);
 }
 
 /// Pop-and-serve until the queue is empty *and* the server is draining.
@@ -263,19 +340,47 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                 })
         }
         Err(ReadError::TooLarge(n)) => {
+            // Drain (bounded) what the client is still sending: closing
+            // with unread bytes in the receive buffer turns into a TCP
+            // reset that destroys the 413 before the client reads it.
+            drain_bounded(&mut stream, 1024 * 1024);
+            let _ = stream.set_read_timeout(Some(deadline));
             Response::error(413, &format!("body of {n} bytes exceeds the cap"))
+                .with_limit(shared.opts.max_body_bytes as u64)
         }
         Err(ReadError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
             Response::error(408, "request did not arrive within the deadline")
         }
         Err(e) => Response::error(400, &e.to_string()),
     };
+    // Every response — success or error — carries the correlation id in
+    // `x-vppb-request`; error bodies repeat it so a client log line is
+    // enough to find the matching `recent_errors` entry in /metrics.
+    let rid = shared.next_rid();
+    let response = response.with_request(&rid);
+    shared.record_error(&rid, &response);
     match response.status {
         200..=299 => shared.http.ok_2xx.fetch_add(1, Ordering::Relaxed),
         400..=499 => shared.http.client_4xx.fetch_add(1, Ordering::Relaxed),
         _ => shared.http.server_5xx.fetch_add(1, Ordering::Relaxed),
     };
     response.write_to(&mut stream);
+}
+
+/// Discard up to `cap` already-sent bytes from a request we rejected
+/// early. Stops at EOF, any error, a short read timeout, or the cap —
+/// never blocks the worker on a peer that keeps streaming.
+fn drain_bounded(stream: &mut TcpStream, cap: usize) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sunk = 0usize;
+    let mut buf = [0u8; 16 * 1024];
+    while sunk < cap {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => sunk += n,
+        }
+    }
 }
 
 /// Value of `key` in a raw `a=1&b=2` query string.
@@ -295,7 +400,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
         {
             return match shared.service.append(id, &request.body) {
                 Ok(ap) => Response::json(200, &ap),
-                Err(e) => Response::error(e.status(), e.message()),
+                Err(e) => error_response(&e),
             };
         }
     }
@@ -314,28 +419,30 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
             Some(Err(_)) => return Response::error(400, "bad `cpus` query parameter"),
         };
         return match shared.service.predict_follow(id, cpus) {
-            Ok((response, cached)) => Response::json(200, &*response)
-                .with_header("x-vppb-cache", if cached { "hit" } else { "miss" }),
-            Err(e) => Response::error(e.status(), e.message()),
+            Ok((response, cached)) => {
+                Response::json(200, &*response).with_header("x-vppb-cache", cached.header())
+            }
+            Err(e) => error_response(&e),
         };
     }
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/logs") => match shared.service.upload(&request.body) {
             Ok(up) => Response::json(200, &up),
-            Err(e) => Response::error(e.status(), e.message()),
+            Err(e) => error_response(&e),
         },
         ("POST", "/predict") => match serde_json::from_slice(&request.body) {
             Ok(req) => match shared.service.predict(&req) {
-                Ok((response, cached)) => Response::json(200, &*response)
-                    .with_header("x-vppb-cache", if cached { "hit" } else { "miss" }),
-                Err(e) => Response::error(e.status(), e.message()),
+                Ok((response, cached)) => {
+                    Response::json(200, &*response).with_header("x-vppb-cache", cached.header())
+                }
+                Err(e) => error_response(&e),
             },
             Err(e) => Response::error(400, &format!("bad predict request: {e}")),
         },
         ("POST", "/sweep") => match serde_json::from_slice(&request.body) {
             Ok(req) => match shared.service.sweep(&req) {
                 Ok(response) => Response::json(200, &response),
-                Err(e) => Response::error(e.status(), e.message()),
+                Err(e) => error_response(&e),
             },
             Err(e) => Response::error(400, &format!("bad sweep request: {e}")),
         },
@@ -347,15 +454,23 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                 server_5xx: shared.http.server_5xx.load(Ordering::Relaxed),
                 rejected_503: shared.http.rejected_503.load(Ordering::Relaxed),
             };
-            Response::json(200, &MetricsDoc { http, service: shared.service.metrics() })
+            let recent_errors =
+                shared.recent_errors.lock().expect("errors lock").iter().cloned().collect();
+            Response::json(
+                200,
+                &MetricsDoc { http, service: shared.service.metrics(), recent_errors },
+            )
         }
         ("GET", "/healthz") => {
             #[derive(serde::Serialize)]
             struct Health {
                 ok: bool,
                 draining: bool,
+                /// Durable store degraded: serving read-only.
+                degraded: bool,
             }
-            Response::json(200, &Health { ok: true, draining: shared.is_draining() })
+            let degraded = shared.service.degraded();
+            Response::json(200, &Health { ok: !degraded, draining: shared.is_draining(), degraded })
         }
         ("POST", "/shutdown") => {
             shared.start_drain();
@@ -372,10 +487,21 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// Map a [`ServeError`] onto its response; a 503 (degraded durable
+/// store) tells clients when to come back.
+fn error_response(e: &ServeError) -> Response {
+    let response = Response::error(e.status(), e.message());
+    if e.status() == 503 {
+        response.with_header("retry-after", "2")
+    } else {
+        response
+    }
+}
+
 /// Map [`ServeError`] → HTTP directly (used by in-process callers).
 impl From<ServeError> for Response {
     fn from(e: ServeError) -> Response {
-        Response::error(e.status(), e.message())
+        error_response(&e)
     }
 }
 

@@ -18,15 +18,19 @@
 //! `analyze → simulate_plan(1 CPU) / simulate_plan(N CPUs)` pipeline.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use vppb_model::{
-    binlog, ContentId, Duration, LwpPolicy, SalvageReport, SchedMetrics, SimParams, TraceLog,
+    binlog, ContentId, Duration, LwpPolicy, SalvageReport, SchedMetrics, SimParams, TraceLog, Vfs,
+    VppbError,
 };
 use vppb_recorder::load_lenient_bytes;
 use vppb_sim::{
     analyze, simulate_plan, simulate_plan_metrics, sweep_plan, CacheStats, PlanCache, SweepGrid,
     SweepPoint,
 };
+
+use crate::persist::{Durability, DurabilityStats, StartupReport};
 
 /// Entries the result memo holds before being wholesale cleared (the memo
 /// is a pure optimization: clearing costs one recompute per key).
@@ -42,6 +46,9 @@ pub enum ServeError {
     NotFound(String),
     /// The pipeline failed on stored state — 500.
     Internal(String),
+    /// The durable store is degraded: mutating endpoints are disabled
+    /// until an operator restarts against a healthy disk — 503.
+    Unavailable(String),
 }
 
 impl ServeError {
@@ -51,14 +58,47 @@ impl ServeError {
             ServeError::BadRequest(_) => 400,
             ServeError::NotFound(_) => 404,
             ServeError::Internal(_) => 500,
+            ServeError::Unavailable(_) => 503,
         }
     }
 
     /// The human-readable message.
     pub fn message(&self) -> &str {
         match self {
-            ServeError::BadRequest(m) | ServeError::NotFound(m) | ServeError::Internal(m) => m,
+            ServeError::BadRequest(m)
+            | ServeError::NotFound(m)
+            | ServeError::Internal(m)
+            | ServeError::Unavailable(m) => m,
         }
+    }
+}
+
+/// Where a served prediction came from — travels as the `x-vppb-cache`
+/// response header; the body is bit-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Computed fresh on this request.
+    Miss,
+    /// Served from the in-memory result memo.
+    Memory,
+    /// Served from a memo entry restored off the spill journal after a
+    /// restart — the disk-warm path.
+    Disk,
+}
+
+impl CacheHit {
+    /// The `x-vppb-cache` header value.
+    pub fn header(self) -> &'static str {
+        match self {
+            CacheHit::Miss => "miss",
+            CacheHit::Memory => "hit",
+            CacheHit::Disk => "disk",
+        }
+    }
+
+    /// Whether the memo answered at all.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheHit::Miss)
     }
 }
 
@@ -163,8 +203,10 @@ impl PredictRequest {
 
 /// `POST /predict` response. Deliberately carries no cache marker: hit
 /// and miss answers must be byte-identical (the marker travels as the
-/// `x-vppb-cache` response header instead).
-#[derive(Debug, Clone, serde::Serialize)]
+/// `x-vppb-cache` response header instead). `Deserialize` exists for the
+/// memo spill journal: a restored response must re-serialize to the
+/// exact bytes the client saw before the restart.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PredictResponse {
     /// Content id the prediction is for.
     pub id: String,
@@ -272,6 +314,8 @@ pub struct ServiceMetrics {
     /// (sums; queue depths and thread counts as maxima; the per-object
     /// and per-CPU vectors are left empty in the rollup).
     pub sched: SchedMetrics,
+    /// Durable-store counters — absent when serving memory-only.
+    pub durability: Option<DurabilityStats>,
 }
 
 /// A stored upload: the salvaged log plus what recovery reported, and the
@@ -345,18 +389,25 @@ fn absorb(agg: &mut SchedMetrics, m: &SchedMetrics) {
     agg.n_threads = agg.n_threads.max(m.n_threads);
 }
 
+/// Memoized responses keyed `(content id, params fingerprint)`; the flag
+/// records whether the entry came off the spill journal (the disk-warm
+/// path) rather than this process.
+type ResultMemo = HashMap<(ContentId, u64), (Arc<PredictResponse>, bool)>;
+
 /// The shared, thread-safe service state behind every endpoint.
 pub struct PredictionService {
     logs: Mutex<HashMap<ContentId, Arc<StoredLog>>>,
     plans: PlanCache,
-    results: Mutex<HashMap<(ContentId, u64), Arc<PredictResponse>>>,
+    results: Mutex<ResultMemo>,
     uni_walls: Mutex<HashMap<ContentId, u64>>,
     sessions: Mutex<HashMap<ContentId, Arc<Mutex<FollowStream>>>>,
     counters: Mutex<Counters>,
+    durable: Option<Durability>,
 }
 
 impl PredictionService {
-    /// A fresh service whose plan cache holds at most `cache_bytes`.
+    /// A fresh memory-only service whose plan cache holds at most
+    /// `cache_bytes`.
     pub fn new(cache_bytes: u64) -> PredictionService {
         PredictionService {
             logs: Mutex::new(HashMap::new()),
@@ -365,13 +416,62 @@ impl PredictionService {
             uni_walls: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             counters: Mutex::new(Counters::default()),
+            durable: None,
         }
+    }
+
+    /// A durable service backed by the store under `root`: runs startup
+    /// recovery (content-store fsck, journal replay, memo restore) and
+    /// reports what it found. Acknowledged uploads and appends survive a
+    /// crash; memoized predictions are rewarmed from the spill journal.
+    pub fn with_store(
+        cache_bytes: u64,
+        root: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(PredictionService, StartupReport), VppbError> {
+        let (durable, report, restored) = Durability::open(root, vfs)?;
+        let svc =
+            PredictionService { durable: Some(durable), ..PredictionService::new(cache_bytes) };
+        {
+            let mut results = svc.results.lock().expect("results lock");
+            let mut uni = svc.uni_walls.lock().expect("uni lock");
+            for m in restored {
+                uni.entry(m.id).or_insert(m.response.uni_wall_ns);
+                results.insert((m.id, m.fingerprint), (Arc::new(m.response), true));
+            }
+        }
+        Ok((svc, report))
+    }
+
+    /// Whether a durable write failed and the service is read-only.
+    pub fn degraded(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.degraded())
+    }
+
+    /// Refuse mutating work while degraded.
+    fn check_available(&self) -> Result<(), ServeError> {
+        match &self.durable {
+            Some(d) if d.degraded() => Err(ServeError::Unavailable(
+                "durable store is degraded; the server is read-only until restarted".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// A durable write failed: flip read-only and surface a 503. The
+    /// client must not treat the request as applied — it was never acked.
+    fn degrade(&self, what: &str, e: VppbError) -> ServeError {
+        if let Some(d) = &self.durable {
+            d.mark_degraded();
+        }
+        ServeError::Unavailable(format!("{what} failed; the server is now read-only: {e}"))
     }
 
     /// Ingest raw log bytes: lenient salvage, canonical re-encode, content
     /// hash, store. Idempotent — re-uploading the same content returns the
     /// same id without replacing the stored log.
     pub fn upload(&self, raw: &[u8]) -> Result<UploadResponse, ServeError> {
+        self.check_available()?;
         let loaded = load_lenient_bytes(raw)
             .map_err(|e| ServeError::BadRequest(format!("unsalvageable log: {e}")))?;
         // The id is the hash of the *salvaged* log's canonical binary
@@ -389,6 +489,11 @@ impl PredictionService {
             diagnostics: loaded.diagnostics.iter().map(|d| d.to_string()).collect(),
             salvage: loaded.salvage.clone(),
         };
+        // Durability before acknowledgement: the raw bytes must be in the
+        // content store (object + fsynced manifest) before the id goes out.
+        if let Some(d) = &self.durable {
+            d.put_object(id, raw).map_err(|e| self.degrade("storing upload", e))?;
+        }
         self.logs.lock().expect("logs lock").entry(id).or_insert_with(|| {
             Arc::new(StoredLog {
                 log: loaded.log,
@@ -402,20 +507,69 @@ impl PredictionService {
     }
 
     /// The streaming session for `id`, creating it from the stored upload's
-    /// raw bytes on first use. The handle stays valid across appends.
+    /// raw bytes on first use. The handle stays valid across appends —
+    /// and across restarts: when a write-ahead journal exists for the
+    /// stream, the session is rebuilt by replaying the journaled chunk
+    /// sequence over the stored upload, which reproduces the live
+    /// session's byte buffer (and therefore its predictions) exactly.
     fn session(&self, id: ContentId) -> Result<Arc<Mutex<FollowStream>>, ServeError> {
         if let Some(s) = self.sessions.lock().expect("sessions lock").get(&id).cloned() {
             return Ok(s);
         }
         let stored = self.stored(id)?;
-        let mut session = vppb_sim::StreamSession::new();
-        session
-            .append(&stored.raw)
-            .map_err(|e| ServeError::Internal(format!("re-parsing stored upload: {e}")))?;
-        let fresh = Arc::new(Mutex::new(FollowStream { session, current: id }));
+        let journaled = match &self.durable {
+            Some(d) => d
+                .stream_chunks(id)
+                .map_err(|e| ServeError::Internal(format!("replaying stream journal: {e}")))?,
+            None => None,
+        };
+        let (session, current) = match journaled {
+            Some(chunks) if !chunks.is_empty() => {
+                let session = vppb_sim::StreamSession::rebuild(
+                    std::iter::once(stored.raw.as_slice())
+                        .chain(chunks.iter().map(|c| c.as_slice())),
+                );
+                let current = self.register_session_content(id, &session);
+                (session, current)
+            }
+            _ => {
+                let mut session = vppb_sim::StreamSession::new();
+                session
+                    .append(&stored.raw)
+                    .map_err(|e| ServeError::Internal(format!("re-parsing stored upload: {e}")))?;
+                (session, id)
+            }
+        };
+        let fresh = Arc::new(Mutex::new(FollowStream { session, current }));
         // Two racing first-appends both built a session from the same
         // bytes; keep whichever registered first.
         Ok(Arc::clone(self.sessions.lock().expect("sessions lock").entry(id).or_insert(fresh)))
+    }
+
+    /// Register a rebuilt session's current content in the log map (the
+    /// in-memory half of what the original appends did), so memo keys and
+    /// plain predicts of the grown content work after a restart. Returns
+    /// the current content id — the stream id itself when the rebuilt
+    /// buffer is not parseable (a journal whose tail chunk tore the log;
+    /// the next append can still complete it, exactly like live).
+    fn register_session_content(
+        &self,
+        sid: ContentId,
+        session: &vppb_sim::StreamSession,
+    ) -> ContentId {
+        let Some(state) = session.state() else { return sid };
+        let Ok(canonical) = binlog::encode(&state.loaded.log) else { return sid };
+        let cid = ContentId::of_bytes(&canonical);
+        let diagnostics: Vec<String> =
+            state.loaded.diagnostics.iter().map(|d| d.to_string()).collect();
+        let entry = StoredLog {
+            log: state.loaded.log.clone(),
+            salvage: state.loaded.salvage.clone(),
+            diagnostics,
+            raw: session.bytes().to_vec(),
+        };
+        self.logs.lock().expect("logs lock").entry(cid).or_insert_with(|| Arc::new(entry));
+        cid
     }
 
     /// `POST /logs/{id}/append`: grow the stream behind `id` by one raw
@@ -426,8 +580,14 @@ impl PredictionService {
     /// can still complete the log.
     pub fn append(&self, id: &str, chunk: &[u8]) -> Result<AppendResponse, ServeError> {
         let sid = self.parse_id(id)?;
+        self.check_available()?;
         let slot = self.session(sid)?;
         let mut stream = slot.lock().expect("session lock");
+        // Journal the chunk before even parsing it: a 400'd chunk keeps
+        // its bytes in the live session, so it must survive a restart too.
+        if let Some(d) = &self.durable {
+            d.journal_chunk(sid, chunk).map_err(|e| self.degrade("journaling append chunk", e))?;
+        }
         stream
             .session
             .append(chunk)
@@ -448,6 +608,13 @@ impl PredictionService {
             diagnostics: diagnostics.clone(),
             salvage: state.loaded.salvage.clone(),
         };
+        // The grown buffer goes into the content store before the ack:
+        // after a crash a plain `POST /predict` of the acked content id
+        // must still answer, even if nobody re-opens the stream.
+        if let Some(d) = &self.durable {
+            d.put_object(cid, stream.session.bytes())
+                .map_err(|e| self.degrade("storing grown log", e))?;
+        }
         // Register the grown content like an upload, so plain predicts and
         // sweeps over the new id work and the memo keys stay content-true.
         self.logs.lock().expect("logs lock").entry(cid).or_insert_with(|| {
@@ -473,17 +640,19 @@ impl PredictionService {
         &self,
         id: &str,
         cpus: u32,
-    ) -> Result<(Arc<PredictResponse>, bool), ServeError> {
+    ) -> Result<(Arc<PredictResponse>, CacheHit), ServeError> {
         let sid = self.parse_id(id)?;
         let slot = self.session(sid)?;
         let mut stream = slot.lock().expect("session lock");
         let params = SimParams::cpus(cpus);
         let key = (stream.current, params.fingerprint());
-        if let Some(hit) = self.results.lock().expect("results lock").get(&key).cloned() {
+        if let Some((hit, from_disk)) =
+            self.results.lock().expect("results lock").get(&key).cloned()
+        {
             let mut c = self.counters.lock().expect("counters lock");
             c.predictions += 1;
             c.result_hits += 1;
-            return Ok((hit, true));
+            return Ok((hit, if from_disk { CacheHit::Disk } else { CacheHit::Memory }));
         }
         self.counters.lock().expect("counters lock").result_misses += 1;
 
@@ -527,12 +696,8 @@ impl PredictionService {
                 c.audits_violated += 1;
             }
         }
-        let mut results = self.results.lock().expect("results lock");
-        if results.len() >= RESULT_MEMO_CAP {
-            results.clear();
-        }
-        results.insert(key, Arc::clone(&response));
-        Ok((response, false))
+        self.memoize(key, &response);
+        Ok((response, CacheHit::Miss))
     }
 
     /// What recovery reported for a stored log (`GET`-style lookup used
@@ -543,12 +708,11 @@ impl PredictionService {
         Ok((stored.salvage.clone(), stored.diagnostics.clone()))
     }
 
-    /// Serve one prediction. Returns the response and whether it came from
-    /// the result memo.
+    /// Serve one prediction. Returns the response and where it came from.
     pub fn predict(
         &self,
         req: &PredictRequest,
-    ) -> Result<(Arc<PredictResponse>, bool), ServeError> {
+    ) -> Result<(Arc<PredictResponse>, CacheHit), ServeError> {
         let id = self.parse_id(&req.id)?;
         let stored = self.stored(id)?;
         if req.delay_ms > 0 {
@@ -558,11 +722,13 @@ impl PredictionService {
         }
         let params = req.params();
         let key = (id, params.fingerprint());
-        if let Some(hit) = self.results.lock().expect("results lock").get(&key).cloned() {
+        if let Some((hit, from_disk)) =
+            self.results.lock().expect("results lock").get(&key).cloned()
+        {
             let mut c = self.counters.lock().expect("counters lock");
             c.predictions += 1;
             c.result_hits += 1;
-            return Ok((hit, true));
+            return Ok((hit, if from_disk { CacheHit::Disk } else { CacheHit::Memory }));
         }
         self.counters.lock().expect("counters lock").result_misses += 1;
 
@@ -606,12 +772,26 @@ impl PredictionService {
             }
             absorb(&mut c.sched, &metrics);
         }
-        let mut results = self.results.lock().expect("results lock");
-        if results.len() >= RESULT_MEMO_CAP {
-            results.clear();
+        self.memoize(key, &response);
+        Ok((response, CacheHit::Miss))
+    }
+
+    /// Memoize a freshly computed response and spill it to the journal.
+    /// The spill is best-effort: a spill failure degrades the service
+    /// (writes are clearly unsafe) but never withholds the answer.
+    fn memoize(&self, key: (ContentId, u64), response: &Arc<PredictResponse>) {
+        {
+            let mut results = self.results.lock().expect("results lock");
+            if results.len() >= RESULT_MEMO_CAP {
+                results.clear();
+            }
+            results.insert(key, (Arc::clone(response), false));
         }
-        results.insert(key, Arc::clone(&response));
-        Ok((response, false))
+        if let Some(d) = &self.durable {
+            if !d.degraded() && d.spill_memo(key.0, key.1, response).is_err() {
+                d.mark_degraded();
+            }
+        }
     }
 
     /// Serve one what-if sweep, reusing the cached plan.
@@ -674,8 +854,18 @@ impl PredictionService {
     pub fn metrics(&self) -> ServiceMetrics {
         let c = self.counters.lock().expect("counters lock");
         let lookups = c.result_hits + c.result_misses;
+        // In durable mode the store is authoritative (restored logs may
+        // not be faulted into memory yet); in-memory entries that raced
+        // ahead of it are counted too.
+        let logs_stored = {
+            let in_memory = self.logs.lock().expect("logs lock").len();
+            match &self.durable {
+                Some(d) => in_memory.max(d.store.len()),
+                None => in_memory,
+            }
+        };
         ServiceMetrics {
-            logs_stored: self.logs.lock().expect("logs lock").len(),
+            logs_stored,
             streams: self.sessions.lock().expect("sessions lock").len(),
             uploads: c.uploads,
             appends: c.appends,
@@ -691,6 +881,7 @@ impl PredictionService {
             audits_clean: c.audits_clean,
             audits_violated: c.audits_violated,
             sched: c.sched.clone(),
+            durability: self.durable.as_ref().map(|d| d.stats()),
         }
     }
 
@@ -699,12 +890,28 @@ impl PredictionService {
     }
 
     fn stored(&self, id: ContentId) -> Result<Arc<StoredLog>, ServeError> {
-        self.logs
-            .lock()
-            .expect("logs lock")
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| ServeError::NotFound(format!("no stored log with id `{id}`")))
+        if let Some(s) = self.logs.lock().expect("logs lock").get(&id).cloned() {
+            return Ok(s);
+        }
+        // After a restart the in-memory map starts empty; fault the log
+        // in from the content store on first touch (CRC-verified read).
+        let Some(d) = &self.durable else {
+            return Err(ServeError::NotFound(format!("no stored log with id `{id}`")));
+        };
+        let raw = d
+            .store
+            .get(id)
+            .map_err(|e| ServeError::Internal(format!("reading stored log `{id}`: {e}")))?
+            .ok_or_else(|| ServeError::NotFound(format!("no stored log with id `{id}`")))?;
+        let loaded = load_lenient_bytes(&raw)
+            .map_err(|e| ServeError::Internal(format!("re-salvaging stored log `{id}`: {e}")))?;
+        let entry = Arc::new(StoredLog {
+            diagnostics: loaded.diagnostics.iter().map(|d| d.to_string()).collect(),
+            log: loaded.log,
+            salvage: loaded.salvage,
+            raw,
+        });
+        Ok(Arc::clone(self.logs.lock().expect("logs lock").entry(id).or_insert(entry)))
     }
 }
 
@@ -715,8 +922,12 @@ mod tests {
     use vppb_threads::AppBuilder;
 
     fn recorded_bytes() -> Vec<u8> {
+        recorded_bytes_sized(200)
+    }
+
+    fn recorded_bytes_sized(work_us: u64) -> Vec<u8> {
         let mut b = AppBuilder::new("svc", "svc.c");
-        let w = b.func("w", |f| f.work_us(200));
+        let w = b.func("w", move |f| f.work_us(work_us));
         b.main(move |f| {
             let s = f.slot();
             f.loop_n(3, |f| f.create_into(w, s));
@@ -735,9 +946,9 @@ mod tests {
 
         let req = PredictRequest::new(&up.id, 4);
         let (cold, hit) = svc.predict(&req).unwrap();
-        assert!(!hit);
+        assert_eq!(hit, CacheHit::Miss);
         let (warm, hit) = svc.predict(&req).unwrap();
-        assert!(hit);
+        assert_eq!(hit, CacheHit::Memory);
         // Bit-identical: the memo returns the same allocation, and the
         // serialized bodies match byte for byte.
         assert!(Arc::ptr_eq(&cold, &warm));
@@ -815,7 +1026,7 @@ mod tests {
         // The append invalidated the memo: the next follow is a miss, and
         // its answer matches a cold predict of the full content exactly.
         let (follow, hit) = svc.predict_follow(&up.id, 4).unwrap();
-        assert!(!hit, "grown content must not hit the stale memo");
+        assert_eq!(hit, CacheHit::Miss, "grown content must not hit the stale memo");
         assert_ne!(follow.wall_ns, first.wall_ns, "the log grew, the prediction must move");
         let cold_svc = PredictionService::new(1 << 20);
         let full = cold_svc.upload(&bytes).unwrap();
@@ -829,7 +1040,7 @@ mod tests {
 
         // Same content, same service: a plain predict hits the follow memo.
         let (_, hit) = svc.predict(&PredictRequest::new(&ap.content_id, 4)).unwrap();
-        assert!(hit, "plain predict of the grown content shares the memo");
+        assert_eq!(hit, CacheHit::Memory, "plain predict of the grown content shares the memo");
         assert_eq!(svc.metrics().appends, 1);
         assert_eq!(svc.metrics().streams, 1);
     }
@@ -847,6 +1058,96 @@ mod tests {
         let after = svc.append(&up.id, &bytes[mid..]).unwrap();
         assert_eq!(after.bytes, bytes.len());
         assert!(after.clean, "completed log needs no salvage");
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vppb-svc-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable(root: &std::path::Path) -> (PredictionService, StartupReport) {
+        PredictionService::with_store(1 << 20, root, Arc::new(vppb_model::RealVfs)).unwrap()
+    }
+
+    #[test]
+    fn durable_service_survives_a_restart() {
+        let root = scratch("restart");
+        let bytes = recorded_bytes();
+        let (id, pre_restart) = {
+            let (svc, report) = durable(&root);
+            assert!(report.is_clean());
+            let up = svc.upload(&bytes).unwrap();
+            let (resp, hit) = svc.predict(&PredictRequest::new(&up.id, 4)).unwrap();
+            assert_eq!(hit, CacheHit::Miss);
+            (up.id, serde_json::to_vec(&*resp).unwrap())
+        };
+        // "Restart": a brand-new service over the same root, empty memory.
+        let (svc, report) = durable(&root);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.memos_restored, 1, "the spilled prediction came back");
+        let (resp, hit) = svc.predict(&PredictRequest::new(&id, 4)).unwrap();
+        assert_eq!(hit, CacheHit::Disk, "first predict after restart is disk-warm");
+        assert_eq!(
+            serde_json::to_vec(&*resp).unwrap(),
+            pre_restart,
+            "restored response must be byte-identical"
+        );
+        // The log itself also survived: an unmemoized configuration
+        // recomputes from the stored bytes.
+        let (_, hit) = svc.predict(&PredictRequest::new(&id, 3)).unwrap();
+        assert_eq!(hit, CacheHit::Miss);
+    }
+
+    #[test]
+    fn durable_appends_rebuild_the_stream_after_restart() {
+        let root = scratch("stream");
+        let bytes = recorded_bytes();
+        let b = vppb_model::chunk::record_boundaries(&bytes);
+        let cut = b[b.len() / 2];
+        let (sid, live) = {
+            let (svc, _) = durable(&root);
+            let up = svc.upload(&bytes[..cut]).unwrap();
+            let ap = svc.append(&up.id, &bytes[cut..]).unwrap();
+            assert_eq!(ap.bytes, bytes.len());
+            let (live, _) = svc.predict_follow(&up.id, 4).unwrap();
+            (up.id, serde_json::to_vec(&*live).unwrap())
+        };
+        let (svc, _) = durable(&root);
+        let (rebuilt, _) = svc.predict_follow(&sid, 4).unwrap();
+        assert_eq!(
+            serde_json::to_vec(&*rebuilt).unwrap(),
+            live,
+            "rebuilt stream must predict bit-identically"
+        );
+        // The grown content id answers plain predicts too.
+        let (_, hit) = svc.predict(&PredictRequest::new(&rebuilt.id, 4)).unwrap();
+        assert!(hit.is_hit());
+    }
+
+    #[test]
+    fn write_failure_degrades_to_read_only_503() {
+        let root = scratch("degrade");
+        let bytes = recorded_bytes();
+        let vfs: Arc<dyn vppb_model::Vfs> = Arc::new(vppb_model::FaultVfs::new(
+            Arc::new(vppb_model::RealVfs),
+            // Manifest append 1 = the upload ack; then the disk "fills".
+            vppb_model::FaultSpec::parse("enospc=3").unwrap(),
+        ));
+        let (svc, _) = PredictionService::with_store(1 << 20, &root, vfs).unwrap();
+        let up = svc.upload(&bytes).unwrap();
+        assert!(!svc.degraded());
+        // A different upload now hits ENOSPC: 503, degraded, read-only.
+        let err = svc.upload(&recorded_bytes_sized(300)).unwrap_err();
+        assert_eq!(err.status(), 503, "{err:?}");
+        assert!(svc.degraded());
+        let err = svc.append(&up.id, b"").unwrap_err();
+        assert_eq!(err.status(), 503, "degraded server refuses appends");
+        // Reads still work (memo spill is skipped while degraded).
+        let (_, hit) = svc.predict(&PredictRequest::new(&up.id, 4)).unwrap();
+        assert_eq!(hit, CacheHit::Miss);
+        let m = svc.metrics();
+        assert!(m.durability.as_ref().unwrap().degraded);
     }
 
     #[test]

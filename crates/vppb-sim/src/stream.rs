@@ -146,6 +146,25 @@ impl StreamSession {
         StreamSession::default()
     }
 
+    /// Rebuild a session from its write-ahead journal: replay the exact
+    /// chunk sequence the live session acknowledged. Chunk boundaries are
+    /// preserved and per-chunk parse failures are swallowed just as the
+    /// live path swallows them (the bytes stay buffered either way), so
+    /// the rebuilt session's byte buffer, plan state and feed mode are
+    /// what an uninterrupted session holding the same appends would have
+    /// — and its rolling predictions are therefore bit-identical.
+    pub fn rebuild<I>(chunks: I) -> StreamSession
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
+        let mut session = StreamSession::new();
+        for chunk in chunks {
+            let _ = session.append(chunk.as_ref());
+        }
+        session
+    }
+
     /// All bytes received so far.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes

@@ -117,6 +117,34 @@ fn checkpoint_chain_engages_and_advances() {
 }
 
 #[test]
+fn rebuilt_session_predicts_bit_identically_to_the_live_one() {
+    // The crash-recovery contract: a session rebuilt from its journaled
+    // chunk sequence predicts bit-identically to the uninterrupted one,
+    // at every restart point — including restarts after a mid-record cut.
+    let bytes = binlog::encode(&fixtures::recorded_fft_log()).unwrap();
+    let params = SimParams::cpus(4);
+    let chunks = vppb_model::chunk::split_random(&bytes, 11, 10);
+    assert!(chunks.len() >= 4, "fixture too small to chunk: {}", chunks.len());
+    let mut live = StreamSession::new();
+    for (i, part) in chunks.iter().enumerate() {
+        let live_ok = live.append(part).is_ok();
+        let mut rebuilt = StreamSession::rebuild(&chunks[..=i]);
+        assert_eq!(rebuilt.bytes(), live.bytes(), "restart after chunk {i}");
+        if live_ok {
+            let a = live.predict(&params).unwrap();
+            let b = rebuilt.predict(&params).unwrap();
+            assert_eq!(
+                result_fingerprint(&a),
+                result_fingerprint(&b),
+                "restart after chunk {i}: rebuilt prediction diverged"
+            );
+        } else {
+            assert!(rebuilt.predict(&params).is_err(), "restart after chunk {i}");
+        }
+    }
+}
+
+#[test]
 fn session_reports_parse_state() {
     let mut s = StreamSession::new();
     assert!(s.predict(&SimParams::cpus(2)).is_err(), "no data yet");

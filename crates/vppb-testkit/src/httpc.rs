@@ -1,0 +1,244 @@
+//! A deliberately small blocking HTTP/1.1 client for driving `vppb
+//! serve` from tests, benches and the chaos harness — std sockets only.
+//!
+//! Two things the ad-hoc per-suite clients never had:
+//!
+//! * **timeouts everywhere** — connect, read and write are all bounded,
+//!   so a wedged server fails a test instead of hanging it;
+//! * **bounded, jittered retry** — but only for *transport* failures
+//!   (refused, reset, timed out connects). An HTTP response, even a 503,
+//!   is an answer and is never retried: load-shedding and degraded-mode
+//!   tests depend on seeing the first 503, and retrying a non-idempotent
+//!   `append` could double-apply it.
+//!
+//! [`ServerProc`] spawns a real `vppb serve` child process and scrapes
+//! the `listening on` line for the bound port (that line's shape is part
+//! of the CLI contract). It holds the pre-listening startup banner too,
+//! so crash-recovery tests can assert on the recovery summary.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+/// One parsed response: `(status, lowercased headers, body)`.
+pub type RawResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// Find a header (already lowercased by the parser).
+pub fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+/// The client: an address plus its timeout/retry policy.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout once connected.
+    pub io_timeout: Duration,
+    /// Transport-failure retries after the first attempt.
+    pub retries: u32,
+}
+
+impl HttpClient {
+    /// A client with test-friendly defaults: 2 s connects, 120 s reads
+    /// (cold predictions on debug builds are slow), 3 retries.
+    pub fn new(addr: SocketAddr) -> HttpClient {
+        HttpClient {
+            addr,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(120),
+            retries: 3,
+        }
+    }
+
+    /// Same client, different retry budget (0 disables retry entirely).
+    pub fn with_retries(mut self, retries: u32) -> HttpClient {
+        self.retries = retries;
+        self
+    }
+
+    /// Send one request; return `(status, body)`.
+    pub fn request(&self, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let (status, _headers, body) = self.request_full(method, path, body)?;
+        Ok((status, body))
+    }
+
+    /// Send one request; return `(status, headers, body)`. Retries
+    /// transport failures with jittered backoff; never retries once any
+    /// HTTP response arrived.
+    pub fn request_full(&self, method: &str, path: &str, body: &[u8]) -> io::Result<RawResponse> {
+        let mut last = None;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(backoff(self.addr, attempt));
+            }
+            match self.attempt(method, path, body) {
+                Ok(response) => return Ok(response),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no attempt ran")))
+    }
+
+    fn attempt(&self, method: &str, path: &str, body: &[u8]) -> io::Result<RawResponse> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: vppb\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable HTTP response"))
+    }
+}
+
+/// Deterministic jittered backoff: linear base (25 ms × attempt) plus a
+/// hash-derived jitter so concurrent clients don't retry in lockstep.
+/// No RNG dependency — the jitter only needs to differ across callers.
+fn backoff(addr: SocketAddr, attempt: u32) -> Duration {
+    let mut h = addr.port() as u64 ^ (std::process::id() as u64) << 16 ^ attempt as u64;
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    Duration::from_millis(25 * attempt as u64 + h % 25)
+}
+
+fn parse_response(raw: &[u8]) -> Option<RawResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Some((status, headers, raw[head_end + 4..].to_vec()))
+}
+
+/// A running `vppb serve` child process: the scraped bound address, the
+/// startup banner lines printed before it, and the stdout handle for
+/// whatever comes after.
+pub struct ServerProc {
+    /// The child process (killed on drop if still running).
+    pub child: Child,
+    /// The bound address scraped from the `listening on` line.
+    pub addr: SocketAddr,
+    /// Stdout lines printed *before* the listening line (the durable
+    /// store's recovery summary lands here).
+    pub banner: Vec<String>,
+    /// The child's stdout, positioned after the listening line.
+    pub stdout: BufReader<ChildStdout>,
+}
+
+impl ServerProc {
+    /// Spawn `bin serve --addr 127.0.0.1:0 <extra>` and scrape the port.
+    pub fn spawn(bin: &str, extra: &[&str]) -> ServerProc {
+        ServerProc::spawn_with_env(bin, extra, &[])
+    }
+
+    /// [`ServerProc::spawn`] with extra environment variables (the crash
+    /// harness arms `VPPB_FAULT_VFS` this way).
+    pub fn spawn_with_env(bin: &str, extra: &[&str], env: &[(&str, &str)]) -> ServerProc {
+        let mut command = Command::new(bin);
+        command
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        for (k, v) in env {
+            command.env(k, v);
+        }
+        let mut child = command.spawn().expect("spawn vppb serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut banner = Vec::new();
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            let n = stdout.read_line(&mut line).expect("read server stdout");
+            assert!(
+                n > 0,
+                "server exited before announcing its address (banner so far: {banner:?})"
+            );
+            if let Some(rest) = line.trim().strip_prefix("vppb serve: listening on http://") {
+                break rest.parse().expect("bound address");
+            }
+            banner.push(line.trim().to_string());
+        };
+        ServerProc { child, addr, banner, stdout }
+    }
+
+    /// A client wired to this server.
+    pub fn client(&self) -> HttpClient {
+        HttpClient::new(self.addr)
+    }
+
+    /// Wait up to `secs` for the child to exit; `None` on timeout.
+    pub fn wait_exit(&mut self, secs: u64) -> Option<std::process::ExitStatus> {
+        for _ in 0..secs * 20 {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        None
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn parses_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nX-Vppb-Request: r-9\r\n\r\n{}";
+        let (status, headers, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 503);
+        assert_eq!(header(&headers, "retry-after"), Some("2"));
+        assert_eq!(header(&headers, "x-vppb-request"), Some("r-9"));
+        assert_eq!(body, b"{}");
+    }
+
+    #[test]
+    fn retries_a_dead_port_then_gives_up() {
+        // Bind-and-drop to get a port that refuses connections.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = HttpClient::new(addr).with_retries(2);
+        let start = std::time::Instant::now();
+        let err = client.request("GET", "/healthz", b"").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "{err}");
+        // Two retries happened (their backoffs are the visible trace).
+        assert!(start.elapsed() >= Duration::from_millis(25 + 50), "backoff too short");
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_jittered() {
+        let a: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:4001".parse().unwrap();
+        for attempt in 1..=5u32 {
+            let d = backoff(a, attempt);
+            assert!(d >= Duration::from_millis(25 * attempt as u64));
+            assert!(d < Duration::from_millis(25 * attempt as u64 + 25));
+        }
+        assert_ne!(backoff(a, 1), backoff(b, 1), "different peers must not retry in lockstep");
+    }
+}

@@ -3,8 +3,10 @@
 //! Dev-only crate consolidating the helpers that every integration suite
 //! used to re-declare locally: the audited [`go`] runner, the
 //! zero-latency [`exact`] config, the panic-capturing [`quiet`] wrapper
-//! and its RAII [`SilencedPanicHook`] guard, and the small workload
-//! [`fixtures`] the engine/scheduler/IO suites share.
+//! and its RAII [`SilencedPanicHook`] guard, the small workload
+//! [`fixtures`] the engine/scheduler/IO suites share, and the [`httpc`]
+//! HTTP client + `vppb serve` process harness the e2e suites and the
+//! chaos drivers drive the server with.
 //!
 //! This crate appears only in `[dev-dependencies]` of other workspace
 //! members (the resulting dev-dependency cycle with `vppb-machine` is
@@ -17,6 +19,7 @@ use vppb_model::{Duration, LwpPolicy, MachineConfig};
 use vppb_threads::App;
 
 pub mod fixtures;
+pub mod httpc;
 
 /// `sun_enterprise(cpus)` with an LWP per thread — the baseline test
 /// machine.

@@ -9,7 +9,7 @@
 //! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE] [--lenient]
 //! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
-//! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]
+//! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] [--max-body-bytes B] [--store DIR]
 //! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] [--repro-dir DIR] [--json]
 //! vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]
 //! ```
@@ -390,10 +390,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 workers: flag(&flags, "workers", 0usize)?,
                 cache_bytes: flag(&flags, "cache-bytes", 64 * 1024 * 1024u64)?,
                 queue_depth: flag(&flags, "queue-depth", 128usize)?,
+                max_body_bytes: flag(&flags, "max-body-bytes", 256 * 1024 * 1024usize)?,
+                store_dir: flags.get("store").cloned(),
+                // Chaos-testing knob: sabotage the store's VFS from the
+                // environment, so the crash harness can arm faults in a
+                // real child process without new flags leaking into docs.
+                fault_vfs: std::env::var("VPPB_FAULT_VFS").ok().filter(|s| !s.is_empty()),
                 ..Default::default()
             };
             vppb_serve::signals::install();
             let server = vppb_serve::start(opts).map_err(|e| e.to_string())?;
+            if let Some(report) = server.startup_report() {
+                println!("vppb serve: {}", report.summary());
+                for d in report.store.diagnostics.iter().chain(&report.memo_diagnostics) {
+                    eprintln!("vppb serve: {d}");
+                }
+            }
             // The e2e tests and the smoke bench scrape this line to learn
             // the bound port, so its shape is part of the CLI contract.
             println!("vppb serve: listening on http://{}", server.local_addr());
@@ -906,7 +918,8 @@ fn usage() -> String {
      [--jobs N] [--no-color] [--metrics-json FILE] [--lenient]\n  \
      vppb check <LOG> [--strict|--lenient] [--json]\n  \
      vppb report <LOG>\n  \
-     vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q]\n  \
+     vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] \
+     [--max-body-bytes B] [--store DIR]\n  \
      vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] \
      [--repro-dir DIR] [--json]\n  \
      vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]\n\

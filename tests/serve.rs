@@ -5,60 +5,16 @@
 //! 127.0.0.1:0`) and learns the port by scraping the CLI's `listening on`
 //! line, which is part of the CLI contract for exactly this reason.
 
-use std::io::{BufRead, BufReader};
 use std::net::SocketAddr;
-use std::process::{Child, ChildStdout, Command, Stdio};
+use std::process::Command;
 use std::time::Duration;
 use vppb_recorder::{record, save_bin, save_text, RecordOptions};
-use vppb_serve::client;
+use vppb_testkit::httpc::{header, HttpClient, ServerProc};
 use vppb_threads::AppBuilder;
 
-/// A running `vppb serve` child plus the scraped bound address.
-struct ServerProc {
-    child: Child,
-    addr: SocketAddr,
-    stdout: BufReader<ChildStdout>,
-}
-
-impl ServerProc {
-    fn spawn(extra: &[&str]) -> ServerProc {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_vppb"))
-            .args(["serve", "--addr", "127.0.0.1:0"])
-            .args(extra)
-            .stdout(Stdio::piped())
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn vppb serve");
-        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
-        let mut line = String::new();
-        let addr = loop {
-            line.clear();
-            let n = stdout.read_line(&mut line).expect("read server stdout");
-            assert!(n > 0, "server exited before announcing its address");
-            if let Some(rest) = line.trim().strip_prefix("vppb serve: listening on http://") {
-                break rest.parse().expect("bound address");
-            }
-        };
-        ServerProc { child, addr, stdout }
-    }
-
-    /// Wait up to `secs` for the child to exit; `None` on timeout.
-    fn wait_exit(&mut self, secs: u64) -> Option<std::process::ExitStatus> {
-        for _ in 0..secs * 20 {
-            if let Some(status) = self.child.try_wait().expect("try_wait") {
-                return Some(status);
-            }
-            std::thread::sleep(Duration::from_millis(50));
-        }
-        None
-    }
-}
-
-impl Drop for ServerProc {
-    fn drop(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
+/// Spawn this workspace's `vppb serve` on an OS-assigned port.
+fn spawn(extra: &[&str]) -> ServerProc {
+    ServerProc::spawn(env!("CARGO_BIN_EXE_vppb"), extra)
 }
 
 /// Record a small parallel app and return its log.
@@ -79,7 +35,7 @@ fn scratch(name: &str) -> std::path::PathBuf {
 }
 
 fn upload(addr: SocketAddr, bytes: &[u8]) -> serde::Value {
-    let (status, body) = client::request(addr, "POST", "/logs", bytes).expect("upload");
+    let (status, body) = HttpClient::new(addr).request("POST", "/logs", bytes).expect("upload");
     assert_eq!(status, 200, "upload failed: {}", String::from_utf8_lossy(&body));
     serde_json::from_slice(&body).expect("upload response json")
 }
@@ -101,7 +57,7 @@ fn f64_field(v: &serde::Value, key: &str) -> f64 {
 
 #[test]
 fn corrupted_upload_is_salvaged_and_reported() {
-    let server = ServerProc::spawn(&[]);
+    let server = spawn(&[]);
     let log = recorded_log(3);
     let path = scratch("corrupt.vppb");
     save_text(&log, path.to_str().unwrap()).unwrap();
@@ -127,15 +83,15 @@ fn corrupted_upload_is_salvaged_and_reported() {
     );
     // The salvaged log is usable: a prediction against it succeeds.
     let id = str_field(&up, "id");
-    let (status, body) =
-        client::request(server.addr, "POST", "/predict", format!("{{\"id\":\"{id}\"}}").as_bytes())
-            .unwrap();
+    let (status, body) = HttpClient::new(server.addr)
+        .request("POST", "/predict", format!("{{\"id\":\"{id}\"}}").as_bytes())
+        .unwrap();
     assert_eq!(status, 200, "predict on salvaged log: {}", String::from_utf8_lossy(&body));
 }
 
 #[test]
 fn concurrent_predictions_are_bit_identical_to_the_cli() {
-    let server = ServerProc::spawn(&[]);
+    let server = spawn(&[]);
     let log = recorded_log(4);
     let path = scratch("clean.vppb");
     save_bin(&log, path.to_str().unwrap()).unwrap();
@@ -151,7 +107,7 @@ fn concurrent_predictions_are_bit_identical_to_the_cli() {
         .map(|_| {
             let req = req.clone();
             std::thread::spawn(move || {
-                client::request(addr, "POST", "/predict", req.as_bytes()).expect("predict")
+                HttpClient::new(addr).request("POST", "/predict", req.as_bytes()).expect("predict")
             })
         })
         .collect();
@@ -166,12 +122,9 @@ fn concurrent_predictions_are_bit_identical_to_the_cli() {
 
     // After the dust settles the memo must answer, flagged via the header.
     let (status, headers, warm) =
-        client::request_full(addr, "POST", "/predict", req.as_bytes()).unwrap();
+        HttpClient::new(addr).request_full("POST", "/predict", req.as_bytes()).unwrap();
     assert_eq!(status, 200);
-    assert_eq!(
-        headers.iter().find(|(k, _)| k == "x-vppb-cache").map(|(_, v)| v.as_str()),
-        Some("hit")
-    );
+    assert_eq!(header(&headers, "x-vppb-cache"), Some("hit"));
     assert_eq!(&warm, first, "memoized response must be byte-identical to the cold one");
 
     // And the served speed-up agrees with `vppb predict` digit for digit.
@@ -209,7 +162,7 @@ fn cli_predict_speedup(bytes: &[u8], cpus: u32, name: &str) -> String {
 
 #[test]
 fn follow_predictions_across_appends_match_the_cli_digit_for_digit() {
-    let server = ServerProc::spawn(&[]);
+    let server = spawn(&[]);
     let log = recorded_log(4);
     let bytes = vppb_model::binlog::encode(&log).unwrap();
     let b = vppb_model::chunk::record_boundaries(&bytes);
@@ -228,9 +181,9 @@ fn follow_predictions_across_appends_match_the_cli_digit_for_digit() {
         cuts.iter().chain([bytes.len()].iter()).collect::<Vec<_>>().windows(2).enumerate()
     {
         let (from, to) = (*pair[0], *pair[1]);
-        let (status, body) =
-            client::request(server.addr, "POST", &format!("/logs/{id}/append"), &bytes[from..to])
-                .expect("append");
+        let (status, body) = HttpClient::new(server.addr)
+            .request("POST", &format!("/logs/{id}/append"), &bytes[from..to])
+            .expect("append");
         assert_eq!(status, 200, "append {i}: {}", String::from_utf8_lossy(&body));
         let ap: serde::Value = serde_json::from_slice(&body).unwrap();
         if to == cuts[2] {
@@ -248,13 +201,9 @@ fn follow_predictions_across_appends_match_the_cli_digit_for_digit() {
         // The follow prediction must agree with the CLI on the same
         // prefix, digit for digit — the CLI runs cold in its own process,
         // so this cannot be satisfied vacuously by the server's memo.
-        let (status, _, resp) = client::request_full(
-            server.addr,
-            "GET",
-            &format!("/predict?follow=1&id={id}&cpus=4"),
-            b"",
-        )
-        .expect("follow predict");
+        let (status, _, resp) = HttpClient::new(server.addr)
+            .request_full("GET", &format!("/predict?follow=1&id={id}&cpus=4"), b"")
+            .expect("follow predict");
         assert_eq!(status, 200, "follow {i}: {}", String::from_utf8_lossy(&resp));
         let parsed: serde::Value = serde_json::from_slice(&resp).unwrap();
         let served = format!("{:.2}", f64_field(&parsed, "speedup"));
@@ -264,19 +213,16 @@ fn follow_predictions_across_appends_match_the_cli_digit_for_digit() {
     assert!(torn_seen, "the torn cut never happened — test wiring broke");
 
     // Re-asking without an append hits the memo, flagged via the header.
-    let (status, headers, _) =
-        client::request_full(server.addr, "GET", &format!("/predict?follow=1&id={id}&cpus=4"), b"")
-            .unwrap();
+    let (status, headers, _) = HttpClient::new(server.addr)
+        .request_full("GET", &format!("/predict?follow=1&id={id}&cpus=4"), b"")
+        .unwrap();
     assert_eq!(status, 200);
-    assert_eq!(
-        headers.iter().find(|(k, _)| k == "x-vppb-cache").map(|(_, v)| v.as_str()),
-        Some("hit")
-    );
+    assert_eq!(header(&headers, "x-vppb-cache"), Some("hit"));
 }
 
 #[test]
 fn full_queue_rejects_with_503_while_in_flight_requests_complete() {
-    let server = ServerProc::spawn(&["--workers", "1", "--queue-depth", "1"]);
+    let server = spawn(&["--workers", "1", "--queue-depth", "1"]);
     let up = upload(server.addr, &vppb_model::binlog::encode(&recorded_log(2)).unwrap());
     let id = str_field(&up, "id");
     let slow = format!("{{\"id\":\"{id}\",\"cpus\":2,\"delay_ms\":1200}}");
@@ -285,7 +231,9 @@ fn full_queue_rejects_with_503_while_in_flight_requests_complete() {
     let addr = server.addr;
     let in_flight = {
         let slow = slow.clone();
-        std::thread::spawn(move || client::request(addr, "POST", "/predict", slow.as_bytes()))
+        std::thread::spawn(move || {
+            HttpClient::new(addr).request("POST", "/predict", slow.as_bytes())
+        })
     };
     std::thread::sleep(Duration::from_millis(400));
 
@@ -294,7 +242,9 @@ fn full_queue_rejects_with_503_while_in_flight_requests_complete() {
         .map(|_| {
             let slow = slow.clone();
             std::thread::spawn(move || {
-                client::request(addr, "POST", "/predict", slow.as_bytes()).expect("flood request")
+                HttpClient::new(addr)
+                    .request("POST", "/predict", slow.as_bytes())
+                    .expect("flood request")
             })
         })
         .collect();
@@ -314,14 +264,14 @@ fn full_queue_rejects_with_503_while_in_flight_requests_complete() {
 
 #[test]
 fn panicking_job_gets_a_500_and_the_server_keeps_serving() {
-    let server = ServerProc::spawn(&[]);
+    let server = spawn(&[]);
     let up = upload(server.addr, &vppb_model::binlog::encode(&recorded_log(2)).unwrap());
     let id = str_field(&up, "id");
 
     // Arm the engine's panic fault: this request must die alone.
     let poison = format!("{{\"id\":\"{id}\",\"cpus\":2,\"panic_after_events\":1}}");
     let (status, body) =
-        client::request(server.addr, "POST", "/predict", poison.as_bytes()).unwrap();
+        HttpClient::new(server.addr).request("POST", "/predict", poison.as_bytes()).unwrap();
     assert_eq!(status, 500, "armed panic must surface as a 500");
     assert!(
         String::from_utf8_lossy(&body).contains("panic"),
@@ -331,28 +281,25 @@ fn panicking_job_gets_a_500_and_the_server_keeps_serving() {
 
     // The worker survived the unwind: the next request is served normally.
     let ok = format!("{{\"id\":\"{id}\",\"cpus\":2}}");
-    let (status, _) = client::request(server.addr, "POST", "/predict", ok.as_bytes()).unwrap();
+    let (status, _) =
+        HttpClient::new(server.addr).request("POST", "/predict", ok.as_bytes()).unwrap();
     assert_eq!(status, 200, "server must keep serving after a panicking job");
-    let (status, body) = client::request(server.addr, "GET", "/healthz", b"").unwrap();
+    let (status, body) = HttpClient::new(server.addr).request("GET", "/healthz", b"").unwrap();
     assert_eq!(status, 200);
     assert!(String::from_utf8_lossy(&body).contains("\"ok\":true"));
 }
 
 #[test]
 fn shutdown_drains_and_the_process_exits_cleanly() {
-    let mut server = ServerProc::spawn(&[]);
+    let mut server = spawn(&[]);
     let up = upload(server.addr, &vppb_model::binlog::encode(&recorded_log(2)).unwrap());
     let id = str_field(&up, "id");
-    let (status, _) = client::request(
-        server.addr,
-        "POST",
-        "/predict",
-        format!("{{\"id\":\"{id}\",\"cpus\":2}}").as_bytes(),
-    )
-    .unwrap();
+    let (status, _) = HttpClient::new(server.addr)
+        .request("POST", "/predict", format!("{{\"id\":\"{id}\",\"cpus\":2}}").as_bytes())
+        .unwrap();
     assert_eq!(status, 200);
 
-    let (status, body) = client::request(server.addr, "POST", "/shutdown", b"").unwrap();
+    let (status, body) = HttpClient::new(server.addr).request("POST", "/shutdown", b"").unwrap();
     assert_eq!(status, 200);
     assert!(String::from_utf8_lossy(&body).contains("\"draining\":true"));
 

@@ -1,0 +1,197 @@
+//! End-to-end crash-recovery tests for `vppb serve --store DIR`: a real
+//! child process is killed (SIGKILL, no drain) and restarted over the
+//! same store root. Everything that was acknowledged before the kill
+//! must still be there — and answer byte-identically — afterwards.
+
+use vppb_recorder::{record, RecordOptions};
+use vppb_testkit::httpc::{header, HttpClient, ServerProc};
+use vppb_threads::AppBuilder;
+
+fn spawn_with_store(store: &std::path::Path) -> ServerProc {
+    ServerProc::spawn(env!("CARGO_BIN_EXE_vppb"), &["--store", store.to_str().unwrap()])
+}
+
+/// A fresh scratch store root for one test.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vppb-restart-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn recorded_bytes(workers: u64) -> Vec<u8> {
+    let mut b = AppBuilder::new("restart", "restart.c");
+    let w = b.func("w", |f| f.work_us(300));
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(workers, |f| f.create_into(w, s));
+        f.loop_n(workers, |f| f.join(s));
+    });
+    let log = record(&b.build().unwrap(), &RecordOptions::default()).unwrap().log;
+    vppb_model::binlog::encode(&log).unwrap()
+}
+
+fn upload(http: &HttpClient, bytes: &[u8]) -> String {
+    let (status, body) = http.request("POST", "/logs", bytes).expect("upload");
+    assert_eq!(status, 200, "upload: {}", String::from_utf8_lossy(&body));
+    let up: serde::Value = serde_json::from_slice(&body).unwrap();
+    match up.get("id") {
+        Some(serde::Value::Str(s)) => s.clone(),
+        other => panic!("upload id: {other:?}"),
+    }
+}
+
+/// `POST /predict` returning `(body, x-vppb-cache header)`.
+fn predict(http: &HttpClient, id: &str, cpus: u32) -> (Vec<u8>, String) {
+    let req = format!("{{\"id\":\"{id}\",\"cpus\":{cpus}}}");
+    let (status, headers, body) =
+        http.request_full("POST", "/predict", req.as_bytes()).expect("predict");
+    assert_eq!(status, 200, "predict: {}", String::from_utf8_lossy(&body));
+    (body, header(&headers, "x-vppb-cache").expect("cache header").to_string())
+}
+
+fn follow(http: &HttpClient, id: &str, cpus: u32) -> Vec<u8> {
+    let (status, _, body) = http
+        .request_full("GET", &format!("/predict?follow=1&id={id}&cpus={cpus}"), b"")
+        .expect("follow predict");
+    assert_eq!(status, 200, "follow: {}", String::from_utf8_lossy(&body));
+    body
+}
+
+#[test]
+fn acknowledged_state_survives_a_sigkill_restart() {
+    let store = scratch("kill");
+    let bytes = recorded_bytes(4);
+    let (id, cold) = {
+        let server = spawn_with_store(&store);
+        let http = server.client();
+        let id = upload(&http, &bytes);
+        let (cold, cache) = predict(&http, &id, 4);
+        assert_eq!(cache, "miss");
+        (id, cold)
+        // Drop = SIGKILL: no drain, no flush beyond what was acked.
+    };
+
+    let server = spawn_with_store(&store);
+    assert!(
+        server.banner.iter().any(|l| l.contains("store recovery")),
+        "restart must report recovery: {:?}",
+        server.banner
+    );
+    let http = server.client();
+    // Satellite contract: the FIRST predict after restart is a disk-warm
+    // memo hit, byte-identical to the pre-restart response.
+    let (warm, cache) = predict(&http, &id, 4);
+    assert_eq!(cache, "disk", "first predict after restart must come from the spill journal");
+    assert_eq!(warm, cold, "disk-warmed response must be byte-identical");
+    // The log itself survived too: a new configuration computes cold.
+    let (_, cache) = predict(&http, &id, 3);
+    assert_eq!(cache, "miss");
+    // The store root is a real directory with sharded objects.
+    assert!(store.join("store").join("manifest.waj").exists());
+}
+
+#[test]
+fn follow_stream_predictions_are_bit_identical_after_restart() {
+    let store = scratch("stream");
+    let bytes = recorded_bytes(4);
+    let b = vppb_model::chunk::record_boundaries(&bytes);
+    assert!(b.len() > 8, "fixture too small: {} boundaries", b.len());
+    // Three cuts, one torn mid-record: the journaled chunk sequence must
+    // reproduce even a salvaged parse bit-identically after restart.
+    let cuts = [b[b.len() / 4], b[b.len() / 2] + 3, b[3 * b.len() / 4]];
+
+    let (id, live) = {
+        let server = spawn_with_store(&store);
+        let http = server.client();
+        let id = upload(&http, &bytes[..cuts[0]]);
+        let mut from = cuts[0];
+        for to in cuts[1..].iter().copied().chain([bytes.len()]) {
+            let (status, body) =
+                http.request("POST", &format!("/logs/{id}/append"), &bytes[from..to]).unwrap();
+            assert_eq!(status, 200, "append: {}", String::from_utf8_lossy(&body));
+            from = to;
+        }
+        (id.clone(), follow(&http, &id, 4))
+    };
+
+    let server = spawn_with_store(&store);
+    let http = server.client();
+    let rebuilt = follow(&http, &id, 4);
+    assert_eq!(rebuilt, live, "rebuilt stream prediction must be bit-identical");
+
+    // And it matches an uninterrupted control server fed the whole log.
+    let control_store = scratch("stream-control");
+    let control = spawn_with_store(&control_store);
+    let chttp = control.client();
+    let cid = upload(&chttp, &bytes);
+    let (control_body, _) = predict(&chttp, &cid, 4);
+    let rebuilt_parsed: serde::Value = serde_json::from_slice(&rebuilt).unwrap();
+    let control_parsed: serde::Value = serde_json::from_slice(&control_body).unwrap();
+    for field in ["wall_ns", "uni_wall_ns", "speedup", "des_events"] {
+        assert_eq!(
+            rebuilt_parsed.get(field),
+            control_parsed.get(field),
+            "rebuilt stream and never-crashed control disagree on {field}"
+        );
+    }
+}
+
+#[test]
+fn degraded_server_stays_up_and_says_503_with_retry_after() {
+    let store = scratch("degraded");
+    let bytes = recorded_bytes(2);
+    // Arm ENOSPC from the 3rd write op: upload 1 takes writes 1-2
+    // (object + manifest), then the disk "fills".
+    let server = ServerProc::spawn_with_env(
+        env!("CARGO_BIN_EXE_vppb"),
+        &["--store", store.to_str().unwrap()],
+        &[("VPPB_FAULT_VFS", "enospc=3")],
+    );
+    let http = server.client();
+    let id = upload(&http, &bytes);
+
+    let (status, headers, body) =
+        http.request_full("POST", "/logs", &recorded_bytes(3)).expect("second upload");
+    assert_eq!(status, 503, "full disk must shed writes: {}", String::from_utf8_lossy(&body));
+    assert_eq!(header(&headers, "retry-after"), Some("2"));
+    let parsed: serde::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(
+        parsed.get("code"),
+        Some(&serde::Value::Str("unavailable".into())),
+        "structured error body: {}",
+        String::from_utf8_lossy(&body)
+    );
+
+    // Reads keep working; /healthz flags the degradation.
+    let (body, _) = predict(&http, &id, 4);
+    assert!(!body.is_empty());
+    let (status, hbody) = http.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(status, 200);
+    let health = String::from_utf8_lossy(&hbody);
+    assert!(health.contains("\"degraded\":true"), "{health}");
+    assert!(health.contains("\"ok\":false"), "{health}");
+}
+
+#[test]
+fn oversize_body_gets_structured_413_with_limit_and_request_id() {
+    let server = ServerProc::spawn(env!("CARGO_BIN_EXE_vppb"), &["--max-body-bytes", "1024"]);
+    let http = server.client();
+    let (status, headers, body) =
+        http.request_full("POST", "/logs", &vec![0u8; 4096]).expect("oversized upload");
+    assert_eq!(status, 413);
+    let rid = header(&headers, "x-vppb-request").expect("request id header").to_string();
+    assert!(rid.starts_with("r-"), "{rid}");
+    let parsed: serde::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(parsed.get("code"), Some(&serde::Value::Str("payload-too-large".into())));
+    assert_eq!(parsed.get("limit"), Some(&serde::Value::UInt(1024)));
+    assert_eq!(parsed.get("request"), Some(&serde::Value::Str(rid.clone())));
+
+    // The error shows up in /metrics' correlation ring under the same id.
+    let (status, mbody) = http.request("GET", "/metrics", b"").unwrap();
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8_lossy(&mbody);
+    assert!(
+        metrics.contains(&format!("\"request\":\"{rid}\"")),
+        "recent_errors must carry the 413's request id {rid}: {metrics}"
+    );
+}
