@@ -1,0 +1,681 @@
+//! The epoll reactor: every socket the server owns, driven non-blocking.
+//!
+//! One thread runs [`run`]. It owns the listener, the completion waker
+//! and every client connection, each a small state machine:
+//!
+//! ```text
+//!   Reading ──parse──▶ InFlight ──completion──▶ Writing ──flushed──▶ Reading
+//!      │                                            │
+//!      ├─ 400/408/413/503 ──────────────────────────┘ (reactor-made
+//!      └─ Discard (over-cap body, bounded)             responses skip
+//!                                                      the workers)
+//! ```
+//!
+//! Connections are registered **edge-triggered** for read+write, so the
+//! loop remembers readiness in the connection (`read_ready`) and always
+//! reads/writes until `WouldBlock`. The listener stays level-triggered:
+//! its readiness must persist across the accept-error backoff.
+//!
+//! Design points the tests pin down:
+//!
+//! * **Accept errors are classified, counted and backed off** — an
+//!   `EMFILE`/`ENFILE` accept parks the listener with exponential
+//!   backoff (10ms → 1s) instead of being swallowed by a blind sleep,
+//!   and lands in `/metrics` as `accept_errors` + a `recent_errors`
+//!   entry. `ECONNABORTED` is counted but costs no pause.
+//! * **Shedding never blocks the acceptor** — 503s travel the same
+//!   buffered non-blocking write path as every other response, so a
+//!   rejected peer that never reads cannot stall new accepts.
+//! * **Slow loris is bounded** — an incomplete request head/body hits
+//!   the request deadline and gets a clean 408 + close; an idle
+//!   keep-alive connection just closes.
+//! * **Drain** closes the listener and idle connections immediately,
+//!   lets in-flight work finish (their responses are forced
+//!   `connection: close`), then stops the worker pool and returns.
+
+/// Token of the accept socket.
+pub(crate) const TOK_LISTENER: usize = 0;
+/// Token of the completion waker's eventfd.
+pub(crate) const TOK_WAKER: usize = 1;
+/// First connection token; never reused, so a completion for a closed
+/// connection cannot alias a new one.
+const FIRST_CONN: u64 = 2;
+
+#[cfg(unix)]
+pub(crate) use imp::run;
+
+/// Off unix the event loop cannot exist; `start()` fails earlier, at
+/// `Poll::new`, so this body is unreachable.
+#[cfg(not(unix))]
+pub(crate) fn run(
+    _listener: std::net::TcpListener,
+    _poll: mio::Poll,
+    _shared: std::sync::Arc<crate::server::Shared>,
+) {
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{FIRST_CONN, TOK_LISTENER, TOK_WAKER};
+    use crate::dispatch::Job;
+    use crate::http::{parse_request, Parse, Request, Response};
+    use crate::server::Shared;
+    use mio::{Events, Interest, Poll, Token};
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::Ordering::Relaxed;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Read granularity; also the scratch-buffer size.
+    const READ_CHUNK: usize = 16 * 1024;
+    /// How much of an over-cap body is drained before answering 413, so
+    /// a well-behaved client gets the structured error instead of a
+    /// reset mid-upload. Bigger bodies just get the connection closed.
+    const DISCARD_CAP: usize = 1024 * 1024;
+    /// Events per `epoll_wait`; more ready fds arrive on the next turn.
+    const EVENTS_PER_WAIT: usize = 1024;
+    /// Ceiling on one wait, so drain flags and backoff timers are
+    /// re-checked promptly even with no deadline armed.
+    const MAX_WAIT: Duration = Duration::from_millis(250);
+    const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+    const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+    /// Where a connection's state machine stands.
+    #[derive(Clone, Copy)]
+    enum Phase {
+        /// Accumulating bytes until the front of `rbuf` parses.
+        Reading,
+        /// Draining (a bounded prefix of) an over-cap body before 413.
+        Discard { remaining: usize, length: usize },
+        /// The parsed request is with the worker pool.
+        InFlight,
+        /// Flushing `wbuf[wpos..]`.
+        Writing,
+    }
+
+    /// What an expired deadline means.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum DeadlineKind {
+        /// Mid-request stall (slow loris): answer 408, close.
+        Request,
+        /// Idle keep-alive connection: close quietly.
+        Idle,
+        /// Peer not reading its response: close.
+        Write,
+    }
+
+    struct Conn {
+        stream: TcpStream,
+        /// Peer IP — the fallback tenant identity.
+        peer: String,
+        /// Unparsed request bytes (front-aligned).
+        rbuf: Vec<u8>,
+        /// The encoded response being flushed.
+        wbuf: Vec<u8>,
+        wpos: usize,
+        phase: Phase,
+        /// The armed deadline; timer-heap entries not matching this
+        /// exact instant are stale and skipped.
+        deadline: Option<(Instant, DeadlineKind)>,
+        /// Edge-triggered readiness remembered across phases.
+        read_ready: bool,
+        /// Peer sent EOF (we may still owe it a response).
+        peer_closed: bool,
+        close_after_write: bool,
+        /// Keep-alive decision of the request currently in flight.
+        ka_pending: bool,
+        /// Responses fully delivered on this connection.
+        served: u64,
+    }
+
+    /// What one state-machine step decided; executed by `drive` with no
+    /// connection borrow held.
+    enum Step {
+        /// Wait for readiness / a completion / a deadline.
+        Park,
+        /// State advanced; step again.
+        Again,
+        Close,
+        /// A reactor-made response (400/408/413): stamp, count, send.
+        Respond {
+            response: Response,
+            keep_alive: bool,
+        },
+        /// A parsed request for admission + dispatch.
+        Dispatch {
+            request: Box<Request>,
+        },
+    }
+
+    enum FlushOutcome {
+        Flushed,
+        Blocked,
+        Broken,
+    }
+
+    struct Reactor {
+        poll: Poll,
+        shared: Arc<Shared>,
+        listener: Option<TcpListener>,
+        /// Whether the listener is currently registered with epoll.
+        listener_armed: bool,
+        conns: HashMap<u64, Conn>,
+        /// `(deadline, token)` min-heap; entries are lazily deleted
+        /// (validated against `Conn::deadline` when they surface).
+        timers: BinaryHeap<Reverse<(Instant, u64)>>,
+        next_token: u64,
+        /// When a backed-off listener may accept again.
+        accept_resume: Option<Instant>,
+        accept_backoff: Duration,
+        draining: bool,
+        scratch: Vec<u8>,
+    }
+
+    /// Run the reactor until drained. Stops the dispatcher on the way
+    /// out so the worker pool exits too.
+    pub(crate) fn run(listener: TcpListener, poll: Poll, shared: Arc<Shared>) {
+        let dispatcher = Arc::clone(&shared.dispatcher);
+        let mut reactor = Reactor {
+            poll,
+            shared,
+            listener: Some(listener),
+            listener_armed: false,
+            conns: HashMap::new(),
+            timers: BinaryHeap::new(),
+            next_token: FIRST_CONN,
+            accept_resume: None,
+            accept_backoff: ACCEPT_BACKOFF_MIN,
+            draining: false,
+            scratch: vec![0u8; READ_CHUNK],
+        };
+        reactor.event_loop();
+        dispatcher.stop();
+    }
+
+    impl Reactor {
+        fn request_timeout(&self) -> Duration {
+            Duration::from_millis(self.shared.opts.request_timeout_ms.max(1))
+        }
+
+        fn event_loop(&mut self) {
+            {
+                let listener = self.listener.as_ref().expect("reactor starts with a listener");
+                if self
+                    .poll
+                    .register(listener.as_raw_fd(), Token(TOK_LISTENER), Interest::READABLE)
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            self.listener_armed = true;
+            let mut events = Events::with_capacity(EVENTS_PER_WAIT);
+            loop {
+                if !self.draining && self.shared.is_draining() {
+                    self.begin_drain();
+                }
+                if self.draining && self.conns.is_empty() {
+                    return;
+                }
+                let timeout = self.next_timeout();
+                if self.poll.poll(&mut events, Some(timeout)).is_err() {
+                    return; // a broken epoll fd is unrecoverable
+                }
+                for ev in &events {
+                    match ev.token() {
+                        Token(TOK_LISTENER) => self.accept_burst(),
+                        Token(TOK_WAKER) => self.shared.completions.ack(),
+                        Token(t) => {
+                            let token = t as u64;
+                            if let Some(conn) = self.conns.get_mut(&token) {
+                                if ev.is_readable() {
+                                    conn.read_ready = true;
+                                }
+                                self.drive(token);
+                            }
+                        }
+                    }
+                }
+                // Completions are drained every turn, not only on waker
+                // events: a batch may land between the wake and the ack.
+                for (token, response) in self.shared.completions.take() {
+                    self.complete(token, response);
+                }
+                self.fire_deadlines();
+                self.maybe_resume_accept();
+            }
+        }
+
+        /// How long the next wait may block: until the earliest live
+        /// deadline or the accept-backoff expiry, capped at [`MAX_WAIT`].
+        fn next_timeout(&mut self) -> Duration {
+            let mut next: Option<Instant> = self.accept_resume;
+            while let Some(&Reverse((at, token))) = self.timers.peek() {
+                let live =
+                    self.conns.get(&token).and_then(|c| c.deadline).is_some_and(|(d, _)| d == at);
+                if live {
+                    next = Some(next.map_or(at, |n| n.min(at)));
+                    break;
+                }
+                self.timers.pop(); // stale entry: deadline superseded
+            }
+            let now = Instant::now();
+            next.map_or(MAX_WAIT, |at| at.saturating_duration_since(now)).min(MAX_WAIT)
+        }
+
+        // ---- accepting ---------------------------------------------
+
+        fn accept_burst(&mut self) {
+            if self.draining || self.accept_resume.is_some() {
+                return;
+            }
+            loop {
+                let accepted = match &self.listener {
+                    Some(listener) => listener.accept(),
+                    None => return,
+                };
+                match accepted {
+                    Ok((stream, peer)) => self.add_conn(stream, peer.ip().to_string()),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // A clean empty backlog resets the error backoff.
+                        self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                        return;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        self.accept_error(&e);
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn add_conn(&mut self, stream: TcpStream, peer: String) {
+            if stream.set_nonblocking(true).is_err() {
+                return;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            let interest = Interest::READABLE.add(Interest::WRITABLE).edge();
+            if self.poll.register(stream.as_raw_fd(), Token(token as usize), interest).is_err() {
+                return; // dropped: the client sees a reset
+            }
+            self.next_token += 1;
+            self.shared.http.connections.fetch_add(1, Relaxed);
+            let at = Instant::now() + self.request_timeout();
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    peer,
+                    rbuf: Vec::new(),
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    phase: Phase::Reading,
+                    deadline: Some((at, DeadlineKind::Idle)),
+                    // The registration above delivers an initial edge if
+                    // bytes already arrived; no need to read here.
+                    read_ready: false,
+                    peer_closed: false,
+                    close_after_write: false,
+                    ka_pending: true,
+                    served: 0,
+                },
+            );
+            self.timers.push(Reverse((at, token)));
+        }
+
+        /// An `accept(2)` failure: classify, count, and — for fd
+        /// exhaustion — park the listener with exponential backoff
+        /// instead of spinning (or worse, sleeping blind: the old core's
+        /// `Err(_) => sleep(10ms)` swallowed these entirely).
+        fn accept_error(&mut self, e: &io::Error) {
+            self.shared.http.accept_errors.fetch_add(1, Relaxed);
+            let tag = match e.raw_os_error() {
+                Some(24) => "emfile",
+                Some(23) => "enfile",
+                Some(103) => "conn-aborted",
+                _ => "io",
+            };
+            self.shared.record_accept_error(tag);
+            if tag == "conn-aborted" {
+                // The aborted connection consumed nothing; the listener
+                // stays level-triggered, so accepting resumes at once.
+                return;
+            }
+            let pause = self.accept_backoff;
+            self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            self.accept_resume = Some(Instant::now() + pause);
+            if let Some(listener) = &self.listener {
+                if self.listener_armed {
+                    let _ = self.poll.deregister(listener.as_raw_fd());
+                    self.listener_armed = false;
+                }
+            }
+        }
+
+        fn maybe_resume_accept(&mut self) {
+            let Some(at) = self.accept_resume else { return };
+            if Instant::now() < at {
+                return;
+            }
+            self.accept_resume = None;
+            if let Some(listener) = &self.listener {
+                if !self.listener_armed
+                    && self
+                        .poll
+                        .register(listener.as_raw_fd(), Token(TOK_LISTENER), Interest::READABLE)
+                        .is_ok()
+                {
+                    self.listener_armed = true;
+                }
+            }
+            // Retry now — fds may have freed up; failure re-arms the
+            // (longer) backoff.
+            self.accept_burst();
+        }
+
+        // ---- the per-connection state machine ----------------------
+
+        fn drive(&mut self, token: u64) {
+            loop {
+                match self.step(token) {
+                    Step::Park => return,
+                    Step::Again => continue,
+                    Step::Close => {
+                        self.close(token);
+                        return;
+                    }
+                    Step::Respond { response, keep_alive } => {
+                        self.respond(token, response, keep_alive)
+                    }
+                    Step::Dispatch { request } => self.dispatch(token, request),
+                }
+            }
+        }
+
+        fn step(&mut self, token: u64) -> Step {
+            let max_body = self.shared.opts.max_body_bytes;
+            let timeout = self.request_timeout();
+            let Some(conn) = self.conns.get_mut(&token) else { return Step::Park };
+            match conn.phase {
+                Phase::InFlight => Step::Park,
+                Phase::Writing => match flush_wbuf(conn) {
+                    FlushOutcome::Blocked => Step::Park, // EPOLLOUT edge resumes us
+                    FlushOutcome::Broken => Step::Close,
+                    FlushOutcome::Flushed => {
+                        conn.wbuf = Vec::new();
+                        conn.wpos = 0;
+                        conn.served += 1;
+                        if conn.close_after_write {
+                            Step::Close
+                        } else {
+                            conn.phase = Phase::Reading;
+                            conn.deadline = None;
+                            Step::Again // pipelined bytes may already be buffered
+                        }
+                    }
+                },
+                Phase::Reading => {
+                    if conn.read_ready && !fill_rbuf(conn, &mut self.scratch) {
+                        return Step::Close;
+                    }
+                    match parse_request(&conn.rbuf, max_body) {
+                        Parse::Partial => {
+                            if conn.peer_closed {
+                                return Step::Close; // EOF between/mid request
+                            }
+                            // Idle between requests closes quietly; a
+                            // started request gets the full window to
+                            // complete, then 408 (slow loris).
+                            let want = if conn.rbuf.is_empty() {
+                                DeadlineKind::Idle
+                            } else {
+                                DeadlineKind::Request
+                            };
+                            if conn.deadline.map(|(_, k)| k) != Some(want) {
+                                let at = Instant::now() + timeout;
+                                conn.deadline = Some((at, want));
+                                self.timers.push(Reverse((at, token)));
+                            }
+                            Step::Park
+                        }
+                        Parse::Bad(msg) => {
+                            conn.rbuf.clear();
+                            Step::Respond {
+                                response: Response::error(400, &msg),
+                                keep_alive: false,
+                            }
+                        }
+                        Parse::TooLarge { length, consumed } => {
+                            conn.rbuf.drain(..consumed);
+                            conn.phase =
+                                Phase::Discard { remaining: length.min(DISCARD_CAP), length };
+                            let at = Instant::now() + timeout;
+                            conn.deadline = Some((at, DeadlineKind::Request));
+                            self.timers.push(Reverse((at, token)));
+                            Step::Again
+                        }
+                        Parse::Ready { request, consumed } => {
+                            conn.rbuf.drain(..consumed);
+                            conn.deadline = None;
+                            Step::Dispatch { request }
+                        }
+                    }
+                }
+                Phase::Discard { remaining, length } => {
+                    if conn.read_ready && !fill_rbuf(conn, &mut self.scratch) {
+                        return Step::Close;
+                    }
+                    let take = remaining.min(conn.rbuf.len());
+                    conn.rbuf.drain(..take);
+                    let remaining = remaining - take;
+                    if remaining == 0 {
+                        // Anything pipelined behind an over-cap body is
+                        // dropped with the connection.
+                        conn.rbuf.clear();
+                        conn.phase = Phase::Reading;
+                        let response = Response::error(
+                            413,
+                            &format!("request body of {length} bytes exceeds the limit"),
+                        )
+                        .with_limit(max_body as u64);
+                        Step::Respond { response, keep_alive: false }
+                    } else if conn.peer_closed {
+                        Step::Close
+                    } else {
+                        conn.phase = Phase::Discard { remaining, length };
+                        Step::Park
+                    }
+                }
+            }
+        }
+
+        /// Admission for a parsed request: drain-reject, per-tenant
+        /// bounds, then the dispatcher queue. Sheds answer 503 +
+        /// `retry-after` through the normal non-blocking write path.
+        fn dispatch(&mut self, token: u64, request: Box<Request>) {
+            self.shared.http.requests.fetch_add(1, Relaxed);
+            let keep_alive = request.keep_alive;
+            let peer = {
+                let Some(conn) = self.conns.get_mut(&token) else { return };
+                if conn.served > 0 {
+                    self.shared.http.keepalive_reuses.fetch_add(1, Relaxed);
+                }
+                conn.ka_pending = keep_alive;
+                conn.peer.clone()
+            };
+            if self.draining || self.shared.is_draining() {
+                self.shared.http.rejected_503.fetch_add(1, Relaxed);
+                let response =
+                    Response::error(503, "server is draining").with_header("retry-after", "1");
+                self.stamp_and_send(token, response, false);
+                return;
+            }
+            let tenant = request.header("x-vppb-tenant").map(str::to_string).unwrap_or(peer);
+            match self.shared.dispatcher.enqueue(&tenant, Job { conn: token, request }) {
+                Ok(()) => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.phase = Phase::InFlight;
+                        conn.deadline = None;
+                    }
+                }
+                Err(shed) => {
+                    self.shared.http.rejected_503.fetch_add(1, Relaxed);
+                    let response =
+                        Response::error(503, shed.message()).with_header("retry-after", "1");
+                    self.stamp_and_send(token, response, keep_alive);
+                }
+            }
+        }
+
+        /// A reactor-made response for a request that never reached a
+        /// worker (400/408/413): counts as a request, then stamps+sends.
+        fn respond(&mut self, token: u64, response: Response, keep_alive: bool) {
+            self.shared.http.requests.fetch_add(1, Relaxed);
+            self.stamp_and_send(token, response, keep_alive);
+        }
+
+        /// Stamp the correlation id, record/count, and queue the bytes.
+        /// (Worker responses arrive already stamped; they go straight to
+        /// [`Reactor::send`].)
+        fn stamp_and_send(&mut self, token: u64, response: Response, keep_alive: bool) {
+            let rid = self.shared.next_rid();
+            let response = response.with_request(&rid);
+            self.shared.record_error(&rid, &response);
+            self.shared.count_class(response.status);
+            self.send(token, &response, keep_alive);
+        }
+
+        /// Encode onto the connection's write buffer and arm the write
+        /// deadline. The drive loop flushes on its next step.
+        fn send(&mut self, token: u64, response: &Response, keep_alive: bool) {
+            let keep_alive = keep_alive && !self.draining;
+            let at = Instant::now() + self.request_timeout();
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            conn.wbuf = response.encode(keep_alive);
+            conn.wpos = 0;
+            conn.close_after_write = !keep_alive;
+            conn.phase = Phase::Writing;
+            conn.deadline = Some((at, DeadlineKind::Write));
+            self.timers.push(Reverse((at, token)));
+        }
+
+        /// A worker finished `token`'s request. The connection may be
+        /// gone (deadline or drain closed it) — then the response drops.
+        fn complete(&mut self, token: u64, response: Response) {
+            let keep_alive = match self.conns.get(&token) {
+                Some(conn) if matches!(conn.phase, Phase::InFlight) => conn.ka_pending,
+                _ => return,
+            };
+            self.send(token, &response, keep_alive);
+            self.drive(token);
+        }
+
+        fn fire_deadlines(&mut self) {
+            let now = Instant::now();
+            loop {
+                let Some(&Reverse((at, token))) = self.timers.peek() else { return };
+                if at > now {
+                    return;
+                }
+                self.timers.pop();
+                let kind = match self.conns.get(&token).and_then(|c| c.deadline) {
+                    Some((d, kind)) if d == at => kind,
+                    _ => continue, // stale: superseded or disarmed
+                };
+                match kind {
+                    DeadlineKind::Idle | DeadlineKind::Write => self.close(token),
+                    DeadlineKind::Request => {
+                        if let Some(conn) = self.conns.get_mut(&token) {
+                            conn.rbuf.clear();
+                            conn.deadline = None;
+                            conn.phase = Phase::Reading;
+                        }
+                        self.respond(
+                            token,
+                            Response::error(408, "request not completed within the deadline"),
+                            false,
+                        );
+                        self.drive(token);
+                    }
+                }
+            }
+        }
+
+        fn close(&mut self, token: u64) {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poll.deregister(conn.stream.as_raw_fd());
+                // Dropping the stream closes the fd.
+            }
+        }
+
+        /// Stop accepting, shut idle connections, let in-flight work
+        /// finish. The loop exits when the last connection closes.
+        fn begin_drain(&mut self) {
+            self.draining = true;
+            if let Some(listener) = self.listener.take() {
+                if self.listener_armed {
+                    let _ = self.poll.deregister(listener.as_raw_fd());
+                    self.listener_armed = false;
+                }
+                // Dropped: new connects are refused from here on.
+            }
+            let idle: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| {
+                    matches!(c.phase, Phase::Reading) && c.rbuf.is_empty() && c.wbuf.is_empty()
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for token in idle {
+                self.close(token);
+            }
+            // Mid-request and in-flight connections finish normally;
+            // their responses are forced `connection: close` by `send`,
+            // and their deadlines bound how long the drain can take.
+        }
+    }
+
+    // ---- socket helpers (free functions: they borrow only the Conn) --
+
+    /// Read until `WouldBlock`/EOF into `conn.rbuf`. `false` = hard
+    /// error, close the connection.
+    fn fill_rbuf(conn: &mut Conn, scratch: &mut [u8]) -> bool {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    conn.read_ready = false;
+                    return true;
+                }
+                Ok(n) => conn.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.read_ready = false;
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Write `conn.wbuf[wpos..]` until done or `WouldBlock`.
+    fn flush_wbuf(conn: &mut Conn) -> FlushOutcome {
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return FlushOutcome::Broken,
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return FlushOutcome::Blocked,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return FlushOutcome::Broken,
+            }
+        }
+        FlushOutcome::Flushed
+    }
+}

@@ -1,12 +1,18 @@
-//! A minimal HTTP/1.1 codec over `std::net::TcpStream` — just enough for
-//! the prediction service's five endpoints, with no external dependency.
+//! A minimal HTTP/1.1 codec — just enough for the prediction service's
+//! endpoints, with no external dependency.
 //!
-//! One request per connection (`Connection: close`), which keeps the
-//! server's bounded-queue backpressure exact: one queued connection is
-//! one pending job. Requests larger than the configured body cap are
-//! rejected during the read, before any bytes are buffered past the cap.
+//! The parser is **incremental and buffer-oriented**: the event loop
+//! accumulates whatever bytes the socket yields and asks
+//! [`parse_request`] whether the front of the buffer holds a complete
+//! request yet. That makes it non-blocking by construction (no read
+//! calls live here) and gives keep-alive pipelining for free — after a
+//! request is consumed, the next one may already sit in the same buffer.
+//!
+//! Requests whose declared body exceeds the configured cap are rejected
+//! from the head alone ([`Parse::TooLarge`]), before any body bytes are
+//! buffered past the cap.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::TcpStream;
 
 /// Largest accepted header block.
@@ -25,6 +31,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default, overridden by `Connection: close`; HTTP/1.0
+    /// defaults closed unless `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -34,49 +44,46 @@ impl Request {
     }
 }
 
-/// Why a request could not be read. Maps onto a 4xx response.
+/// What the front of a connection's read buffer holds.
 #[derive(Debug)]
-pub enum ReadError {
-    /// Socket error or timeout mid-request (per-request deadline).
-    Io(std::io::Error),
-    /// The bytes were not parseable HTTP/1.1.
-    Malformed(String),
-    /// `Content-Length` exceeded the server's cap.
-    TooLarge(usize),
+pub enum Parse {
+    /// Not enough bytes for a full request yet — keep reading.
+    Partial,
+    /// One complete request; the caller must drain `consumed` bytes.
+    Ready {
+        /// The parsed request.
+        request: Box<Request>,
+        /// Head + body bytes this request occupied in the buffer.
+        consumed: usize,
+    },
+    /// The head is not parseable HTTP/1.1; answer 400 and close.
+    Bad(String),
+    /// The head declares a `Content-Length` over the cap; the caller
+    /// drains `consumed` head bytes, discards (a bounded amount of) the
+    /// body, then answers the structured 413.
+    TooLarge {
+        /// The declared body length that broke the cap.
+        length: usize,
+        /// Head bytes to drain from the buffer (the body is untouched).
+        consumed: usize,
+    },
 }
 
-impl std::fmt::Display for ReadError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ReadError::Io(e) => write!(f, "i/o while reading request: {e}"),
-            ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
-            ReadError::TooLarge(n) => write!(f, "request body of {n} bytes exceeds the cap"),
-        }
-    }
-}
-
-/// Read one request from the stream, honouring its configured read
-/// timeout as the per-request deadline.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
-    // Accumulate until the blank line; everything after it is body.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Try to parse one request from the front of `buf`.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD {
-            return Err(ReadError::Malformed("header block exceeds 16 KiB".into()));
+            return Parse::Bad("header block exceeds 16 KiB".into());
         }
-        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("connection closed before headers ended".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Parse::Partial;
     };
-
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| ReadError::Malformed("non-UTF-8 header block".into()))?;
+    if head_end > MAX_HEAD {
+        return Parse::Bad("header block exceeds 16 KiB".into());
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(head) => head,
+        Err(_) => return Parse::Bad("non-UTF-8 header block".into()),
+    };
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
@@ -84,7 +91,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let target = parts.next().unwrap_or("").to_string();
     let version = parts.next().unwrap_or("");
     if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed(format!("bad request line `{request_line}`")));
+        return Parse::Bad(format!("bad request line `{request_line}`"));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
@@ -97,35 +104,44 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             continue;
         }
         let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Malformed(format!("bad header line `{line}`")));
+            return Parse::Bad(format!("bad header line `{line}`"));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length: usize = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse().map_err(|_| ReadError::Malformed("bad Content-Length".into())))
-        .transpose()?
-        .unwrap_or(0);
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => return Parse::Bad("bad Content-Length".into()),
+        },
+        None => 0,
+    };
     if content_length > max_body {
-        return Err(ReadError::TooLarge(content_length));
+        return Parse::TooLarge { length: content_length, consumed: head_end + 4 };
     }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(ReadError::Io)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("connection closed mid-body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Parse::Partial;
     }
-    body.truncate(content_length);
-    Ok(Request { method, path, query, headers, body })
+    let connection =
+        headers.iter().find(|(k, _)| k == "connection").map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = match connection.as_deref() {
+        Some(v) if v.contains("close") => false,
+        Some(v) if v.contains("keep-alive") => true,
+        _ => version != "HTTP/1.0",
+    };
+    let body = buf[body_start..body_start + content_length].to_vec();
+    Parse::Ready {
+        request: Box::new(Request { method, path, query, headers, body, keep_alive }),
+        consumed: body_start + content_length,
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+    // Bound the scan: the terminator must appear within the head cap.
+    let window = &buf[..buf.len().min(MAX_HEAD + 4)];
+    window.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// The structured JSON body every 4xx/5xx carries: a stable machine
@@ -225,14 +241,16 @@ impl Response {
         self.error.as_ref().map(|e| e.code.as_str())
     }
 
-    /// Serialize onto the stream. Errors are swallowed: the peer hanging
-    /// up mid-response must not take a worker down.
-    pub fn write_to(&self, stream: &mut TcpStream) {
+    /// Serialize into wire bytes. `keep_alive` picks the `connection:`
+    /// header — the write-back layer decides it from the request and the
+    /// server's drain state.
+    pub fn encode(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_text(self.status),
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -241,8 +259,16 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        let _ = stream.write_all(head.as_bytes());
-        let _ = stream.write_all(&self.body);
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Blocking serialize onto a stream (in-process test helpers only;
+    /// the server writes through its buffered non-blocking path).
+    /// Errors are swallowed: the peer hanging up must not panic a test.
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let _ = stream.write_all(&self.encode(false));
         let _ = stream.flush();
     }
 }
@@ -265,39 +291,74 @@ fn status_text(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
     use std::net::TcpListener;
-
-    fn round_trip(raw: &[u8], max_body: usize) -> Result<Request, ReadError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        let writer = std::thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(&raw).unwrap();
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        let req = read_request(&mut stream, max_body);
-        writer.join().unwrap();
-        req
-    }
 
     #[test]
     fn parses_a_post_with_body() {
         let raw = b"POST /predict?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
-        let req = round_trip(raw, 1 << 20).unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/predict");
-        assert_eq!(req.query, "x=1");
-        assert_eq!(req.header("host"), Some("h"));
-        assert_eq!(req.body, b"abcd");
+        let Parse::Ready { request, consumed } = parse_request(raw, 1 << 20) else {
+            panic!("expected Ready");
+        };
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/predict");
+        assert_eq!(request.query, "x=1");
+        assert_eq!(request.header("host"), Some("h"));
+        assert_eq!(request.body, b"abcd");
+        assert!(request.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let close = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let Parse::Ready { request, .. } = parse_request(close, 10) else { panic!() };
+        assert!(!request.keep_alive);
+        let old = b"GET / HTTP/1.0\r\n\r\n";
+        let Parse::Ready { request, .. } = parse_request(old, 10) else { panic!() };
+        assert!(!request.keep_alive, "HTTP/1.0 defaults to close");
+        let old_ka = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let Parse::Ready { request, .. } = parse_request(old_ka, 10) else { panic!() };
+        assert!(request.keep_alive);
+    }
+
+    #[test]
+    fn partial_requests_ask_for_more_bytes() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut], 1 << 20), Parse::Partial),
+                "cut at {cut} must be Partial"
+            );
+        }
+        assert!(matches!(parse_request(raw, 1 << 20), Parse::Ready { .. }));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let Parse::Ready { request, consumed } = parse_request(raw, 1 << 20) else { panic!() };
+        assert_eq!(request.path, "/healthz");
+        let Parse::Ready { request, consumed: c2 } = parse_request(&raw[consumed..], 1 << 20)
+        else {
+            panic!("second pipelined request must parse");
+        };
+        assert_eq!(request.path, "/x");
+        assert_eq!(request.body, b"hi");
+        assert_eq!(consumed + c2, raw.len());
     }
 
     #[test]
     fn rejects_oversized_and_malformed() {
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
-        assert!(matches!(round_trip(raw, 10), Err(ReadError::TooLarge(100))));
-        let raw = b"NOT-HTTP\r\n\r\n";
-        assert!(matches!(round_trip(raw, 10), Err(ReadError::Malformed(_))));
+        let Parse::TooLarge { length, consumed } = parse_request(raw, 10) else {
+            panic!("expected TooLarge");
+        };
+        assert_eq!(length, 100);
+        assert_eq!(consumed, raw.len(), "413 is decided from the head alone");
+        assert!(matches!(parse_request(b"NOT-HTTP\r\n\r\n", 10), Parse::Bad(_)));
+        let oversized_head = vec![b'x'; MAX_HEAD + 8];
+        assert!(matches!(parse_request(&oversized_head, 10), Parse::Bad(_)));
     }
 
     #[test]
@@ -325,6 +386,15 @@ mod tests {
         assert_eq!(v.get("error"), Some(&serde::Value::Str("queue full".into())));
         assert_eq!(v.get("code"), Some(&serde::Value::Str("unavailable".into())));
         assert_eq!(v.get("request"), Some(&serde::Value::Str("r-7".into())));
+    }
+
+    #[test]
+    fn encode_picks_the_connection_header() {
+        let r = Response::json(200, &serde::Value::Bool(true));
+        let ka = String::from_utf8(r.encode(true)).unwrap();
+        assert!(ka.contains("connection: keep-alive\r\n"), "{ka}");
+        let close = String::from_utf8(r.encode(false)).unwrap();
+        assert!(close.contains("connection: close\r\n"), "{close}");
     }
 
     #[test]

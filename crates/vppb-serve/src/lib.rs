@@ -26,13 +26,15 @@
 //! spill to disk and rewarm after a restart, and a failed durable write
 //! flips the server into read-only degradation instead of panicking.
 
+pub mod dispatch;
+mod event_loop;
 pub mod http;
 pub mod persist;
 pub mod server;
 pub mod service;
 
 pub use persist::{Durability, DurabilityStats, StartupReport};
-pub use server::{client, signals, start, ServeOptions, Server};
+pub use server::{client, rlimit, signals, start, ServeOptions, Server};
 pub use service::{
     AppendResponse, CacheHit, PredictRequest, PredictResponse, PredictionService, ResultCacheStats,
     ServeError, ServiceMetrics, SweepRequest, SweepResponse, UploadResponse,

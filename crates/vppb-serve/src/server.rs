@@ -1,32 +1,41 @@
 //! The std-only HTTP server around [`PredictionService`].
 //!
-//! Architecture: one non-blocking accept loop feeding a **bounded**
-//! connection queue drained by a fixed pool of worker threads (the same
-//! `std::thread::scope`-era primitives the sweep engine uses — here the
-//! threads are long-lived, so plain `spawn` + join handles).
+//! Architecture (DESIGN.md §6h): one **epoll event-loop thread** (the
+//! reactor, `event_loop.rs`) owns the listener and every connection as a
+//! non-blocking state machine — read-accumulate → parse → admission →
+//! dispatch → buffered write-back, with HTTP/1.1 keep-alive reuse. The
+//! CPU-bound work (predict, sweep, salvage) runs on a fixed pool of
+//! worker threads fed through the [`Dispatcher`]'s notified (never
+//! polled) queue; finished responses ride back on the [`Completions`]
+//! channel, which wakes the reactor through an eventfd.
 //!
-//! * **Backpressure** — a connection arriving while the queue is full is
-//!   answered `503` immediately (by a transient thread, so the accept
-//!   loop never blocks on a slow peer) instead of queueing unboundedly.
+//! * **Admission control** — arrivals beyond `--queue-depth` (global) or
+//!   `--tenant-backlog` (per client identity) are answered `503` with
+//!   `retry-after`, written non-blockingly so a slow rejected peer can
+//!   never stall the accept path. Queued jobs drain by weighted
+//!   round-robin across tenants.
 //! * **Isolation** — each request runs inside `catch_unwind`; a panicking
 //!   job (an engine bug, or the deliberate `panic_after_events` fault)
 //!   becomes that request's `500` and nothing else. Workers never die.
-//! * **Deadlines** — per-request socket read/write timeouts bound how
-//!   long a slow or stalled peer can hold a worker.
+//! * **Deadlines** — per-request read deadlines bound slow-loris peers
+//!   (408), write deadlines bound stalled readers; neither occupies a
+//!   worker.
 //! * **Graceful drain** — on `POST /shutdown` or SIGTERM/SIGINT the
-//!   accept loop stops accepting, queued requests are still served, and
-//!   [`Server::join`] returns once the last worker finishes.
+//!   reactor stops accepting, in-flight requests finish, keep-alive
+//!   connections close after their current response, and
+//!   [`Server::join`] returns once the last worker exits.
 
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::dispatch::{AdmissionConfig, AdmissionStats, Completions, Dispatcher};
+use crate::event_loop;
+use crate::http::{Request, Response};
 use crate::persist::StartupReport;
 use crate::service::{PredictionService, ServeError};
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
 use vppb_model::{FaultSpec, FaultVfs, RealVfs, Vfs};
 
 /// Tuning knobs for [`start`]; `vppb serve` flags map onto these 1:1.
@@ -38,9 +47,10 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Plan-cache byte budget.
     pub cache_bytes: u64,
-    /// Bounded connection-queue depth; beyond it, arrivals get 503.
+    /// Bounded job-queue depth; beyond it, arrivals get 503.
     pub queue_depth: usize,
-    /// Per-request socket read/write deadline, milliseconds.
+    /// Per-request read/write deadline, milliseconds (slow-loris bound;
+    /// also the keep-alive idle timeout).
     pub request_timeout_ms: u64,
     /// Largest accepted request body (uploaded logs), bytes.
     pub max_body_bytes: usize,
@@ -49,6 +59,13 @@ pub struct ServeOptions {
     /// Fault-injection spec for the durable store's VFS (the
     /// `VPPB_FAULT_VFS` knob; chaos testing only).
     pub fault_vfs: Option<String>,
+    /// Bound on one tenant's queued jobs (0 = same as `queue_depth`,
+    /// which makes a single-tenant server behave exactly like the
+    /// global bound alone).
+    pub tenant_backlog: usize,
+    /// Weighted-round-robin weights per tenant identity; unlisted
+    /// tenants weigh 1.
+    pub tenant_weights: Vec<(String, u32)>,
 }
 
 impl Default for ServeOptions {
@@ -62,6 +79,8 @@ impl Default for ServeOptions {
             max_body_bytes: 256 * 1024 * 1024,
             store_dir: None,
             fault_vfs: None,
+            tenant_backlog: 0,
+            tenant_weights: Vec::new(),
         }
     }
 }
@@ -72,27 +91,32 @@ const RECENT_ERRORS_CAP: usize = 32;
 /// One recent error, correlatable with a client's `x-vppb-request` id.
 #[derive(Clone, serde::Serialize)]
 struct RecentError {
-    /// The request-correlation id the client saw.
+    /// The request-correlation id the client saw (`-` for failures with
+    /// no request, like accept errors).
     request: String,
-    /// HTTP status answered.
+    /// HTTP status answered (0 when no response was sent).
     status: u16,
-    /// Stable machine-readable code (`payload-too-large`, ...).
+    /// Stable machine-readable code (`payload-too-large`,
+    /// `accept:emfile`, ...).
     code: String,
 }
 
 /// HTTP-level counters for `GET /metrics`.
 #[derive(Default)]
-struct HttpCounters {
-    requests: AtomicU64,
-    ok_2xx: AtomicU64,
-    client_4xx: AtomicU64,
-    server_5xx: AtomicU64,
-    rejected_503: AtomicU64,
+pub(crate) struct HttpCounters {
+    pub requests: AtomicU64,
+    pub ok_2xx: AtomicU64,
+    pub client_4xx: AtomicU64,
+    pub server_5xx: AtomicU64,
+    pub rejected_503: AtomicU64,
+    pub accept_errors: AtomicU64,
+    pub connections: AtomicU64,
+    pub keepalive_reuses: AtomicU64,
 }
 
 #[derive(serde::Serialize)]
 struct HttpStats {
-    /// Requests a worker picked up.
+    /// Requests that reached parsing (served, rejected, or errored).
     requests: u64,
     /// Responses in the 2xx class.
     ok_2xx: u64,
@@ -102,60 +126,91 @@ struct HttpStats {
     server_5xx: u64,
     /// Backpressure rejections alone (also counted in `server_5xx`).
     rejected_503: u64,
+    /// `accept(2)` failures (fd exhaustion, aborts); see
+    /// `recent_errors` for the classified tail.
+    accept_errors: u64,
+    /// Connections accepted.
+    connections: u64,
+    /// Keep-alive requests served beyond the first on their connection.
+    keepalive_reuses: u64,
 }
 
 /// The full `GET /metrics` document.
 #[derive(serde::Serialize)]
 struct MetricsDoc {
     http: HttpStats,
+    admission: AdmissionStats,
     service: crate::service::ServiceMetrics,
     /// Last [`RECENT_ERRORS_CAP`] 4xx/5xx responses, oldest first.
     recent_errors: Vec<RecentError>,
 }
 
-struct Shared {
-    service: PredictionService,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+pub(crate) struct Shared {
+    pub(crate) service: PredictionService,
     /// Set by `POST /shutdown`, [`Server::shutdown`], or a signal.
     draining: std::sync::atomic::AtomicBool,
-    http: HttpCounters,
+    pub(crate) http: HttpCounters,
     /// Monotonic request-correlation counter (`r-1`, `r-2`, ...).
     rid: AtomicU64,
     /// Ring of recent error responses for `GET /metrics`.
     recent_errors: Mutex<VecDeque<RecentError>>,
-    opts: ServeOptions,
+    pub(crate) opts: ServeOptions,
+    pub(crate) dispatcher: Arc<Dispatcher>,
+    pub(crate) completions: Arc<Completions>,
 }
 
 impl Shared {
-    fn is_draining(&self) -> bool {
+    pub(crate) fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst) || signals::terminated()
     }
 
-    fn start_drain(&self) {
+    pub(crate) fn start_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
-        self.available.notify_all();
+        // The reactor owns the sockets; wake it so the drain begins now.
+        self.completions.wake();
     }
 
     /// The next request-correlation id.
-    fn next_rid(&self) -> String {
+    pub(crate) fn next_rid(&self) -> String {
         format!("r-{}", self.rid.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// Remember an error response for `GET /metrics` correlation.
-    fn record_error(&self, rid: &str, response: &Response) {
-        if response.status < 400 {
-            return;
-        }
+    fn push_recent(&self, entry: RecentError) {
         let mut ring = self.recent_errors.lock().expect("errors lock");
         if ring.len() >= RECENT_ERRORS_CAP {
             ring.pop_front();
         }
-        ring.push_back(RecentError {
+        ring.push_back(entry);
+    }
+
+    /// Remember an error response for `GET /metrics` correlation.
+    pub(crate) fn record_error(&self, rid: &str, response: &Response) {
+        if response.status < 400 {
+            return;
+        }
+        self.push_recent(RecentError {
             request: rid.to_string(),
             status: response.status,
             code: response.error_code().unwrap_or("error").to_string(),
         });
+    }
+
+    /// Remember a classified `accept(2)` failure.
+    pub(crate) fn record_accept_error(&self, tag: &str) {
+        self.push_recent(RecentError {
+            request: "-".to_string(),
+            status: 0,
+            code: format!("accept:{tag}"),
+        });
+    }
+
+    /// Count a response's status class.
+    pub(crate) fn count_class(&self, status: u16) {
+        match status {
+            200..=299 => self.http.ok_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => self.http.client_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => self.http.server_5xx.fetch_add(1, Ordering::Relaxed),
+        };
     }
 }
 
@@ -163,7 +218,7 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: JoinHandle<()>,
+    reactor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     startup: Option<StartupReport>,
 }
@@ -184,7 +239,7 @@ impl Server {
         &self.shared.service
     }
 
-    /// Begin a graceful drain: stop accepting, finish what's queued.
+    /// Begin a graceful drain: stop accepting, finish what's in flight.
     pub fn shutdown(&self) {
         self.shared.start_drain();
     }
@@ -192,15 +247,19 @@ impl Server {
     /// Wait until the server has fully drained (after [`Server::shutdown`],
     /// `POST /shutdown`, or SIGTERM). Joins every thread.
     pub fn join(self) {
-        let _ = self.accept.join();
-        self.shared.start_drain(); // wake any idle worker
+        let _ = self.reactor.join();
+        // The reactor stops the dispatcher on exit; repeat in case it
+        // panicked, so workers can never hang the join.
+        self.shared.dispatcher.stop();
         for w in self.workers {
             let _ = w.join();
         }
+        signals::clear_wake_fd(self.shared.completions.waker_fd());
     }
 }
 
-/// Bind and start serving. Returns once the listener and workers are up.
+/// Bind and start serving. Returns once the listener, the event loop and
+/// the workers are up.
 pub fn start(opts: ServeOptions) -> io::Result<Server> {
     let listener = TcpListener::bind(&opts.addr)?;
     let addr = listener.local_addr()?;
@@ -225,109 +284,60 @@ pub fn start(opts: ServeOptions) -> io::Result<Server> {
         }
         None => (PredictionService::new(opts.cache_bytes), None),
     };
+
+    let poll = mio::Poll::new()?;
+    let waker = mio::Waker::new(&poll, mio::Token(event_loop::TOK_WAKER))?;
+    let completions = Arc::new(Completions::new(waker));
+    signals::set_wake_fd(completions.waker_fd());
+    let dispatcher = Arc::new(Dispatcher::new(AdmissionConfig {
+        queue_depth: opts.queue_depth,
+        tenant_backlog: if opts.tenant_backlog == 0 {
+            opts.queue_depth
+        } else {
+            opts.tenant_backlog
+        },
+        weights: opts.tenant_weights.iter().cloned().collect(),
+    }));
     let shared = Arc::new(Shared {
         service,
-        queue: Mutex::new(VecDeque::new()),
-        available: Condvar::new(),
         draining: std::sync::atomic::AtomicBool::new(false),
         http: HttpCounters::default(),
         rid: AtomicU64::new(0),
         recent_errors: Mutex::new(VecDeque::new()),
         opts,
+        dispatcher: Arc::clone(&dispatcher),
+        completions: Arc::clone(&completions),
     });
 
-    let accept = {
+    let reactor = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(&listener, &shared))
+        std::thread::Builder::new()
+            .name("vppb-reactor".into())
+            .spawn(move || event_loop::run(listener, poll, shared))
+            .expect("spawn reactor")
     };
     let workers = (0..n_workers)
-        .map(|_| {
+        .map(|i| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(&shared))
+            std::thread::Builder::new()
+                .name(format!("vppb-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
         })
         .collect();
-    Ok(Server { shared, addr, accept, workers, startup })
+    Ok(Server { shared, addr, reactor, workers, startup })
 }
 
-/// Poll-accept until drain. Full queue → transient 503 responder thread,
-/// so a slow rejected peer cannot stall the accept loop.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while !shared.is_draining() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let mut queue = shared.queue.lock().expect("queue lock");
-                if queue.len() >= shared.opts.queue_depth {
-                    drop(queue);
-                    shared.http.rejected_503.fetch_add(1, Ordering::Relaxed);
-                    shared.http.server_5xx.fetch_add(1, Ordering::Relaxed);
-                    let shared = Arc::clone(shared);
-                    std::thread::spawn(move || reject_overload(stream, &shared));
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    shared.available.notify_one();
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-    shared.available.notify_all();
-}
-
-/// Answer a connection rejected by backpressure. Reads (and discards) the
-/// request head first so the peer sees the 503 rather than a reset.
-fn reject_overload(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
-    let _ = read_request(&mut stream, 64 * 1024);
-    let rid = shared.next_rid();
-    let response = Response::error(503, "job queue is full, retry later")
-        .with_header("retry-after", "1")
-        .with_request(&rid);
-    shared.record_error(&rid, &response);
-    response.write_to(&mut stream);
-}
-
-/// Pop-and-serve until the queue is empty *and* the server is draining.
+/// Pull jobs until the dispatcher stops. The route runs inside an unwind
+/// boundary: a panicking prediction answers 500 and the worker moves on.
 fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("queue lock");
-            loop {
-                if let Some(s) = queue.pop_front() {
-                    break s;
-                }
-                if shared.is_draining() {
-                    return;
-                }
-                let (q, _) = shared
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("queue lock");
-                queue = q;
-            }
-        };
-        serve_connection(stream, shared);
-    }
-}
-
-/// Read, dispatch, respond. The dispatch runs inside an unwind boundary:
-/// a panicking prediction answers 500 and the worker moves on.
-fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let deadline = Duration::from_millis(shared.opts.request_timeout_ms.max(1));
-    let _ = stream.set_read_timeout(Some(deadline));
-    let _ = stream.set_write_timeout(Some(deadline));
-    shared.http.requests.fetch_add(1, Ordering::Relaxed);
-    let response = match read_request(&mut stream, shared.opts.max_body_bytes) {
-        Ok(request) => {
-            // The service owns no lock across a simulation and every
-            // mutex is re-acquired per operation, so observing its state
-            // after an unwind is sound (the sweep engine makes the same
-            // argument for its per-cell isolation).
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&request, shared)))
+    while let Some(job) = shared.dispatcher.dequeue() {
+        // The service owns no lock across a simulation and every mutex
+        // is re-acquired per operation, so observing its state after an
+        // unwind is sound (the sweep engine makes the same argument for
+        // its per-cell isolation).
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| route(&job.request, shared)))
                 .unwrap_or_else(|payload| {
                     let msg = if let Some(s) = payload.downcast_ref::<&str>() {
                         s
@@ -337,49 +347,15 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                         "non-string panic payload"
                     };
                     Response::error(500, &format!("request handler panicked: {msg}"))
-                })
-        }
-        Err(ReadError::TooLarge(n)) => {
-            // Drain (bounded) what the client is still sending: closing
-            // with unread bytes in the receive buffer turns into a TCP
-            // reset that destroys the 413 before the client reads it.
-            drain_bounded(&mut stream, 1024 * 1024);
-            let _ = stream.set_read_timeout(Some(deadline));
-            Response::error(413, &format!("body of {n} bytes exceeds the cap"))
-                .with_limit(shared.opts.max_body_bytes as u64)
-        }
-        Err(ReadError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
-            Response::error(408, "request did not arrive within the deadline")
-        }
-        Err(e) => Response::error(400, &e.to_string()),
-    };
-    // Every response — success or error — carries the correlation id in
-    // `x-vppb-request`; error bodies repeat it so a client log line is
-    // enough to find the matching `recent_errors` entry in /metrics.
-    let rid = shared.next_rid();
-    let response = response.with_request(&rid);
-    shared.record_error(&rid, &response);
-    match response.status {
-        200..=299 => shared.http.ok_2xx.fetch_add(1, Ordering::Relaxed),
-        400..=499 => shared.http.client_4xx.fetch_add(1, Ordering::Relaxed),
-        _ => shared.http.server_5xx.fetch_add(1, Ordering::Relaxed),
-    };
-    response.write_to(&mut stream);
-}
-
-/// Discard up to `cap` already-sent bytes from a request we rejected
-/// early. Stops at EOF, any error, a short read timeout, or the cap —
-/// never blocks the worker on a peer that keeps streaming.
-fn drain_bounded(stream: &mut TcpStream, cap: usize) {
-    use std::io::Read;
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-    let mut sunk = 0usize;
-    let mut buf = [0u8; 16 * 1024];
-    while sunk < cap {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => sunk += n,
-        }
+                });
+        // Every response — success or error — carries the correlation id
+        // in `x-vppb-request`; error bodies repeat it so a client log
+        // line finds the matching `recent_errors` entry in /metrics.
+        let rid = shared.next_rid();
+        let response = response.with_request(&rid);
+        shared.record_error(&rid, &response);
+        shared.count_class(response.status);
+        shared.completions.push(job.conn, response);
     }
 }
 
@@ -392,7 +368,7 @@ fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
     })
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+pub(crate) fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     // `POST /logs/{id}/append`: grow a streaming session by one chunk.
     if request.method == "POST" {
         if let Some(id) =
@@ -453,12 +429,20 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                 client_4xx: shared.http.client_4xx.load(Ordering::Relaxed),
                 server_5xx: shared.http.server_5xx.load(Ordering::Relaxed),
                 rejected_503: shared.http.rejected_503.load(Ordering::Relaxed),
+                accept_errors: shared.http.accept_errors.load(Ordering::Relaxed),
+                connections: shared.http.connections.load(Ordering::Relaxed),
+                keepalive_reuses: shared.http.keepalive_reuses.load(Ordering::Relaxed),
             };
             let recent_errors =
                 shared.recent_errors.lock().expect("errors lock").iter().cloned().collect();
             Response::json(
                 200,
-                &MetricsDoc { http, service: shared.service.metrics(), recent_errors },
+                &MetricsDoc {
+                    http,
+                    admission: shared.dispatcher.stats(),
+                    service: shared.service.metrics(),
+                    recent_errors,
+                },
             )
         }
         ("GET", "/healthz") => {
@@ -507,21 +491,39 @@ impl From<ServeError> for Response {
 
 /// SIGTERM/SIGINT → graceful drain, with no libc *crate*: std already
 /// links the platform libc, so the C `signal` entry point is declared
-/// here directly. The handler only stores to an atomic (async-signal-safe)
-/// which the accept and worker loops poll.
+/// here directly. The handler stores to an atomic and pokes the event
+/// loop's eventfd — both async-signal-safe — so the drain starts on the
+/// next loop turn instead of a poll tick.
 pub mod signals {
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
     static TERMINATED: AtomicBool = AtomicBool::new(false);
+    /// The running server's reactor-waker eventfd (-1 when none).
+    static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
     /// Whether a termination signal has been observed.
     pub fn terminated() -> bool {
         TERMINATED.load(Ordering::SeqCst)
     }
 
+    /// Register the reactor's waker so a signal interrupts its wait.
+    pub(crate) fn set_wake_fd(fd: i32) {
+        WAKE_FD.store(fd, Ordering::SeqCst);
+    }
+
+    /// Forget the waker fd, but only if it is still ours (a newer server
+    /// in the same process may have replaced it).
+    pub(crate) fn clear_wake_fd(fd: i32) {
+        let _ = WAKE_FD.compare_exchange(fd, -1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
     #[cfg(unix)]
     extern "C" fn on_signal(_signum: i32) {
         TERMINATED.store(true, Ordering::SeqCst);
+        let fd = WAKE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            mio::Waker::wake_raw(fd);
+        }
     }
 
     /// Install SIGTERM/SIGINT handlers that request a graceful drain.
@@ -542,6 +544,66 @@ pub mod signals {
     /// No-op off unix; `POST /shutdown` still drains gracefully.
     #[cfg(not(unix))]
     pub fn install() {}
+}
+
+/// Process-wide fd-limit helpers for the server and the load bench: a
+/// 10k-connection front end needs the soft `RLIMIT_NOFILE` raised to the
+/// hard cap, and the accept-error regression test needs it *lowered*.
+/// Same no-libc-crate precedent as [`signals`].
+pub mod rlimit {
+    /// `struct rlimit` on 64-bit Linux.
+    #[cfg(target_os = "linux")]
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: i32 = 7;
+
+    /// Current `(soft, hard)` fd limits.
+    #[cfg(target_os = "linux")]
+    pub fn nofile() -> Option<(u64, u64)> {
+        extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        }
+        let mut r = Rlimit { cur: 0, max: 0 };
+        (unsafe { getrlimit(RLIMIT_NOFILE, &mut r) } == 0).then_some((r.cur, r.max))
+    }
+
+    /// Set the soft fd limit (clamped to the hard cap). Returns the
+    /// limit now in force.
+    #[cfg(target_os = "linux")]
+    pub fn set_nofile(soft: u64) -> Option<u64> {
+        extern "C" {
+            fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+        }
+        let (_, hard) = nofile()?;
+        let want = soft.min(hard);
+        let r = Rlimit { cur: want, max: hard };
+        (unsafe { setrlimit(RLIMIT_NOFILE, &r) } == 0).then_some(want)
+    }
+
+    /// Raise the soft fd limit to the hard cap; best-effort.
+    #[cfg(target_os = "linux")]
+    pub fn raise_nofile() -> Option<u64> {
+        let (_, hard) = nofile()?;
+        set_nofile(hard)
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn nofile() -> Option<(u64, u64)> {
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    pub fn set_nofile(_soft: u64) -> Option<u64> {
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    pub fn raise_nofile() -> Option<u64> {
+        None
+    }
 }
 
 /// A blocking single-request HTTP client, just enough for tests, benches

@@ -100,6 +100,117 @@ impl HttpClient {
     }
 }
 
+/// A persistent HTTP/1.1 keep-alive connection: many requests, one
+/// socket. Responses are framed by `content-length` (the server always
+/// sends one), so the client knows exactly where each response ends and
+/// the next begins — which also lets tests **pipeline**: write several
+/// requests back-to-back with [`KeepAliveClient::send_raw`], then
+/// collect each response with [`KeepAliveClient::read_response`].
+///
+/// No retry here, deliberately: reusing a connection is stateful, and
+/// the keep-alive conformance tests want to see exactly what the server
+/// did with this socket.
+pub struct KeepAliveClient {
+    stream: TcpStream,
+    /// Bytes read past the end of the last parsed response.
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    /// Connect once; the socket then serves every request until the
+    /// server (or a `connection: close` request) ends it.
+    pub fn connect(addr: SocketAddr, io_timeout: Duration) -> io::Result<KeepAliveClient> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(KeepAliveClient { stream, buf: Vec::new() })
+    }
+
+    /// Send one keep-alive request and read its response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<RawResponse> {
+        self.send_raw(&encode_request(method, path, body, &[]))?;
+        self.read_response()
+    }
+
+    /// [`KeepAliveClient::request`] with extra `(name, value)` headers
+    /// (tenant identities ride in `x-vppb-tenant` this way).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> io::Result<RawResponse> {
+        self.send_raw(&encode_request(method, path, body, headers))?;
+        self.read_response()
+    }
+
+    /// Write raw bytes — whole requests, or deliberate fragments for
+    /// slow-loris tests.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read exactly one `content-length`-framed response; bytes beyond
+    /// it stay buffered for the next call.
+    pub fn read_response(&mut self) -> io::Result<RawResponse> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((response, consumed)) = parse_framed(&self.buf) {
+                self.buf.drain(..consumed);
+                return Ok(response);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("connection closed mid-response ({} bytes buffered)", self.buf.len()),
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Whether the server has closed its side (a clean close after a
+    /// `connection: close` response reads as EOF here).
+    pub fn server_closed(&mut self) -> bool {
+        let mut probe = [0u8; 1];
+        match self.stream.read(&mut probe) {
+            Ok(0) => true,
+            Ok(_) | Err(_) => false,
+        }
+    }
+}
+
+/// Serialize one keep-alive request.
+pub fn encode_request(method: &str, path: &str, body: &[u8], headers: &[(&str, &str)]) -> Vec<u8> {
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nhost: vppb\r\ncontent-length: {}\r\n", body.len());
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Parse one complete `content-length`-framed response from the front
+/// of `buf`; `None` until enough bytes have arrived.
+fn parse_framed(buf: &[u8]) -> Option<(RawResponse, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let (status, headers, _) = parse_response(&buf[..head_end + 4])?;
+    let length: usize = header(&headers, "content-length")?.parse().ok()?;
+    let total = head_end + 4 + length;
+    if buf.len() < total {
+        return None;
+    }
+    let body = buf[head_end + 4..total].to_vec();
+    Some(((status, headers, body), total))
+}
+
 /// Deterministic jittered backoff: linear base (25 ms × attempt) plus a
 /// hash-derived jitter so concurrent clients don't retry in lockstep.
 /// No RNG dependency — the jitter only needs to differ across callers.
@@ -228,6 +339,20 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused, "{err}");
         // Two retries happened (their backoffs are the visible trace).
         assert!(start.elapsed() >= Duration::from_millis(25 + 50), "backoff too short");
+    }
+
+    #[test]
+    fn framed_parse_splits_back_to_back_responses() {
+        let one = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok".to_vec();
+        let mut two = one.clone();
+        two.extend_from_slice(b"HTTP/1.1 404 Not Found\r\ncontent-length: 0\r\n\r\n");
+        // Nothing parses until the body is complete...
+        assert!(parse_framed(&one[..one.len() - 1]).is_none());
+        // ...then each response is framed exactly, leaving the next.
+        let ((status, _, body), used) = parse_framed(&two).unwrap();
+        assert_eq!((status, body.as_slice()), (200, b"ok".as_slice()));
+        let ((status, _, body), _) = parse_framed(&two[used..]).unwrap();
+        assert_eq!((status, body.len()), (404, 0));
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! Offline stand-in for `mio`: a minimal readiness-notification layer over
+//! Linux `epoll`, talked to through direct `extern "C"` declarations of
+//! the platform entry points std already links (the same no-libc-crate
+//! precedent as `vppb_serve::signals`).
+//!
+//! The API keeps mio's shape — [`Poll`], [`Events`], [`Token`],
+//! [`Interest`], [`Waker`] — but registers **raw fds** directly (what
+//! real mio hides behind `unix::SourceFd`), because every source the
+//! serve front end owns is a `TcpListener`/`TcpStream`/eventfd whose fd
+//! outlives its registration.
+//!
+//! Semantics the event loop relies on:
+//!
+//! * **Edge-triggered** registration (`Interest::edge()`): one event per
+//!   readiness *transition*, so the consumer must read/write until
+//!   `WouldBlock` before waiting again. `EPOLL_CTL_ADD` of an
+//!   already-ready fd still delivers an initial event.
+//! * **Level-triggered** registration (the default) re-reports readiness
+//!   every wait, which is what the acceptor wants while it back-offs.
+//! * [`Waker`] is an `eventfd` registered with the `Poll`; `wake()` is a
+//!   single `write` — async-signal-safe, so a signal handler may call
+//!   [`Waker::wake_raw`] on the raw fd.
+//! * A wait interrupted by a signal (`EINTR`) returns `Ok` with zero
+//!   events; the caller's loop re-evaluates its deadlines and flags.
+
+/// Identifies one registered event source in a [`Poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// What readiness to watch for, plus the trigger mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+    edge: bool,
+}
+
+impl Interest {
+    /// Watch for readable readiness (level-triggered).
+    pub const READABLE: Interest = Interest { readable: true, writable: false, edge: false };
+    /// Watch for writable readiness (level-triggered).
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true, edge: false };
+
+    /// Combine two interests (`READABLE.add(WRITABLE)`).
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest {
+            readable: self.readable || other.readable,
+            writable: self.writable || other.writable,
+            edge: self.edge || other.edge,
+        }
+    }
+
+    /// The same interest, edge-triggered.
+    pub const fn edge(self) -> Interest {
+        Interest { edge: true, ..self }
+    }
+}
+
+/// One readiness event out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    flags: u32,
+}
+
+impl Event {
+    /// Whose registration fired.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable — includes error/hang-up conditions, which a consumer
+    /// discovers as `Ok(0)`/`Err` from the actual `read`.
+    pub fn is_readable(&self) -> bool {
+        self.flags & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+
+    /// Writable — includes error conditions, surfaced by the `write`.
+    pub fn is_writable(&self) -> bool {
+        self.flags & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+
+    /// The peer shut down its write half (or the fd errored/hung up).
+    pub fn is_read_closed(&self) -> bool {
+        self.flags & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+}
+
+/// A reusable buffer of events for [`Poll::poll`].
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { inner: Vec::with_capacity(capacity.max(1)), capacity: capacity.max(1) }
+    }
+
+    /// The events the last wait produced.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Whether the last wait produced no events (timeout or EINTR).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Events from the last wait.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Events, Interest, Token};
+    use std::io;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+    use std::time::Duration;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    /// The kernel's `struct epoll_event`. On x86-64 the kernel declares
+    /// it packed (4-byte aligned); elsewhere it has natural alignment.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    // std links the platform libc; declaring the entry points directly
+    // avoids a libc *crate* dependency (DESIGN.md §7).
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        if interest.edge {
+            m |= EPOLLET;
+        }
+        m
+    }
+
+    /// The epoll instance.
+    pub struct Poll {
+        epfd: OwnedFd,
+    }
+
+    impl Poll {
+        pub fn new() -> io::Result<Poll> {
+            let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poll { epfd: unsafe { OwnedFd::from_raw_fd(fd) } })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: token.0 as u64 };
+            cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                // Round up so a 100µs deadline does not busy-spin at 0ms.
+                Some(d) => {
+                    i32::try_from(d.as_millis() + u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                        .unwrap_or(i32::MAX)
+                }
+            };
+            let mut raw = vec![EpollEvent { events: 0, data: 0 }; events.capacity];
+            let n = unsafe {
+                epoll_wait(self.epfd.as_raw_fd(), raw.as_mut_ptr(), raw.len() as i32, timeout_ms)
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A signal landing mid-wait is a normal wake-up: the
+                // caller re-checks its drain flag and deadlines.
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for ev in raw.iter().take(n as usize) {
+                let (data, flags) = (ev.data, ev.events);
+                events.inner.push(Event { token: Token(data as usize), flags });
+            }
+            Ok(())
+        }
+    }
+
+    /// An `eventfd` that wakes a blocked [`Poll::poll`] from another
+    /// thread — or from a signal handler, via [`Waker::wake_raw`].
+    pub struct Waker {
+        fd: OwnedFd,
+    }
+
+    impl Waker {
+        pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+            let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+            let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+            poll.register(fd.as_raw_fd(), token, Interest::READABLE)?;
+            Ok(Waker { fd })
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            Waker::wake_raw(self.fd.as_raw_fd());
+            Ok(())
+        }
+
+        /// Async-signal-safe wake on a raw eventfd (one `write` call).
+        /// `EAGAIN` (counter already saturated) still counts as a wake.
+        pub fn wake_raw(fd: RawFd) {
+            let one: u64 = 1;
+            unsafe { write(fd, &one as *const u64 as *const u8, 8) };
+        }
+
+        /// Drain the counter so a level-triggered registration goes
+        /// quiet until the next wake.
+        pub fn ack(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8) };
+        }
+
+        /// The raw fd, for handing to a signal handler.
+        pub fn raw_fd(&self) -> RawFd {
+            self.fd.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Non-Linux stub: compiles everywhere, fails at construction. The
+    //! serve front end gates its event loop on this succeeding.
+    use super::{Events, Interest, Token};
+    use std::io;
+    use std::time::Duration;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "epoll is Linux-only"))
+    }
+
+    pub struct Poll;
+
+    impl Poll {
+        pub fn new() -> io::Result<Poll> {
+            unsupported()
+        }
+        pub fn register(&self, _: i32, _: Token, _: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn reregister(&self, _: i32, _: Token, _: Interest) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn deregister(&self, _: i32) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn poll(&self, _: &mut Events, _: Option<Duration>) -> io::Result<()> {
+            unsupported()
+        }
+    }
+
+    pub struct Waker;
+
+    impl Waker {
+        pub fn new(_: &Poll, _: Token) -> io::Result<Waker> {
+            unsupported()
+        }
+        pub fn wake(&self) -> io::Result<()> {
+            unsupported()
+        }
+        pub fn wake_raw(_: i32) {}
+        pub fn ack(&self) {}
+        pub fn raw_fd(&self) -> i32 {
+            -1
+        }
+    }
+}
+
+pub use sys::{Poll, Waker};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_edge_fires_once_per_transition() {
+        let poll = Poll::new().unwrap();
+        let (mut a, mut b) = pair();
+        poll.register(b.as_raw_fd(), Token(7), Interest::READABLE.edge()).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing readable yet.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        a.write_all(b"x").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(events.len(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+
+        // Edge-triggered: drained data is not re-reported...
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "ET must not re-report after a drain");
+
+        // ...but new data is a new edge.
+        a.write_all(b"y").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn registering_an_already_ready_fd_reports_immediately() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        a.write_all(b"pre-registered bytes").unwrap();
+        poll.register(b.as_raw_fd(), Token(3), Interest::READABLE.edge()).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert_eq!(events.len(), 1, "ADD of a ready fd must deliver an initial edge");
+    }
+
+    #[test]
+    fn writable_interest_and_peer_hangup() {
+        let poll = Poll::new().unwrap();
+        let (a, b) = pair();
+        poll.register(b.as_raw_fd(), Token(1), Interest::READABLE.add(Interest::WRITABLE).edge())
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert!(events.iter().any(|e| e.is_writable()), "fresh socket is writable");
+
+        drop(a);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().find(|e| e.token() == Token(1)).expect("hangup event");
+        assert!(ev.is_read_closed(), "peer close must surface as read-closed");
+    }
+
+    #[test]
+    fn deregistered_fds_go_quiet() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        poll.register(b.as_raw_fd(), Token(9), Interest::READABLE).unwrap();
+        poll.deregister(b.as_raw_fd()).unwrap();
+        a.write_all(b"z").unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_and_acks_quiet() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(99)).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        t.join().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(4), "waker must cut the wait short");
+        assert_eq!(events.iter().next().unwrap().token(), Token(99));
+        waker.ack();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "acked waker must go quiet");
+    }
+
+    #[test]
+    fn level_triggered_re_reports_until_drained() {
+        let poll = Poll::new().unwrap();
+        let (mut a, b) = pair();
+        poll.register(b.as_raw_fd(), Token(4), Interest::READABLE).unwrap();
+        a.write_all(b"sticky").unwrap();
+        let mut events = Events::with_capacity(8);
+        for _ in 0..3 {
+            poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+            assert_eq!(events.len(), 1, "level-triggered readiness must persist");
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE] [--lenient]
 //! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
-//! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] [--max-body-bytes B] [--store DIR]
+//! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] [--request-timeout-ms T] [--max-body-bytes B] [--store DIR] [--tenant-backlog Q] [--tenant-weights a=4,b=1]
 //! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] [--repro-dir DIR] [--json]
 //! vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]
 //! ```
@@ -382,6 +382,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             Ok(input.exit())
         }
         "serve" => {
+            // `--tenant-weights a=4,b=1`: WRR weights per tenant identity.
+            let tenant_weights = match flags.get("tenant-weights") {
+                None => Vec::new(),
+                Some(spec) => spec
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|pair| {
+                        let (name, w) = pair
+                            .split_once('=')
+                            .ok_or_else(|| format!("bad --tenant-weights entry `{pair}`"))?;
+                        let w: u32 = w
+                            .parse()
+                            .map_err(|_| format!("bad weight in --tenant-weights `{pair}`"))?;
+                        Ok((name.to_string(), w))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            };
             let opts = vppb_serve::ServeOptions {
                 addr: flags
                     .get("addr")
@@ -390,14 +407,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 workers: flag(&flags, "workers", 0usize)?,
                 cache_bytes: flag(&flags, "cache-bytes", 64 * 1024 * 1024u64)?,
                 queue_depth: flag(&flags, "queue-depth", 128usize)?,
+                request_timeout_ms: flag(&flags, "request-timeout-ms", 30_000u64)?,
                 max_body_bytes: flag(&flags, "max-body-bytes", 256 * 1024 * 1024usize)?,
                 store_dir: flags.get("store").cloned(),
                 // Chaos-testing knob: sabotage the store's VFS from the
                 // environment, so the crash harness can arm faults in a
                 // real child process without new flags leaking into docs.
                 fault_vfs: std::env::var("VPPB_FAULT_VFS").ok().filter(|s| !s.is_empty()),
-                ..Default::default()
+                tenant_backlog: flag(&flags, "tenant-backlog", 0usize)?,
+                tenant_weights,
             };
+            // A 10k-connection front end needs the soft fd limit at the
+            // hard cap. VPPB_RLIMIT_NOFILE *lowers* it instead — the
+            // accept-error regression test starves the server of fds.
+            match std::env::var("VPPB_RLIMIT_NOFILE").ok().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => {
+                    vppb_serve::rlimit::set_nofile(n);
+                }
+                None => {
+                    vppb_serve::rlimit::raise_nofile();
+                }
+            }
             vppb_serve::signals::install();
             let server = vppb_serve::start(opts).map_err(|e| e.to_string())?;
             if let Some(report) = server.startup_report() {
@@ -919,7 +949,8 @@ fn usage() -> String {
      vppb check <LOG> [--strict|--lenient] [--json]\n  \
      vppb report <LOG>\n  \
      vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] \
-     [--max-body-bytes B] [--store DIR]\n  \
+     [--request-timeout-ms T] [--max-body-bytes B] [--store DIR] \
+     [--tenant-backlog Q] [--tenant-weights a=4,b=1]\n  \
      vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] \
      [--repro-dir DIR] [--json]\n  \
      vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]\n\

@@ -1,0 +1,134 @@
+//! Keep-alive conformance for the event-loop core of `vppb serve`:
+//! connection reuse, pipelining, slow-loris deadlines, and oversized
+//! bodies — all against a real child process over real sockets.
+
+use std::time::Duration;
+use vppb_testkit::httpc::{header, KeepAliveClient, ServerProc};
+
+/// Spawn this workspace's `vppb serve` on an OS-assigned port.
+fn spawn(extra: &[&str]) -> ServerProc {
+    ServerProc::spawn(env!("CARGO_BIN_EXE_vppb"), extra)
+}
+
+fn connect(server: &ServerProc) -> KeepAliveClient {
+    KeepAliveClient::connect(server.addr, Duration::from_secs(30)).expect("connect")
+}
+
+fn u64_at(v: &serde::Value, path: &[&str]) -> u64 {
+    let mut cur = v;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing field `{key}` in {v:?}"));
+    }
+    match cur {
+        serde::Value::UInt(n) => *n,
+        other => panic!("field {path:?}: expected uint, got {other:?}"),
+    }
+}
+
+#[test]
+fn one_connection_serves_many_requests_and_metrics_counts_the_reuse() {
+    let server = spawn(&[]);
+    let mut client = connect(&server);
+    for i in 0..20 {
+        let (status, _, body) = client.request("GET", "/healthz", b"").expect("keep-alive request");
+        assert_eq!(status, 200, "request {i}: {}", String::from_utf8_lossy(&body));
+    }
+    let (status, _, body) = client.request("GET", "/metrics", b"").expect("metrics");
+    assert_eq!(status, 200);
+    let metrics: serde::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(u64_at(&metrics, &["http", "connections"]), 1, "all 21 requests share one socket");
+    assert_eq!(u64_at(&metrics, &["http", "requests"]), 21);
+    assert!(
+        u64_at(&metrics, &["http", "keepalive_reuses"]) >= 20,
+        "every request after the first is a reuse: {metrics:?}"
+    );
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = spawn(&[]);
+    let mut client = connect(&server);
+    // Three requests in one write; no reads in between.
+    let mut burst = Vec::new();
+    burst.extend_from_slice(&vppb_testkit::httpc::encode_request("GET", "/healthz", b"", &[]));
+    burst.extend_from_slice(&vppb_testkit::httpc::encode_request("GET", "/metrics", b"", &[]));
+    burst.extend_from_slice(&vppb_testkit::httpc::encode_request("GET", "/healthz", b"", &[]));
+    client.send_raw(&burst).expect("pipelined write");
+
+    let first = client.read_response().expect("first response");
+    let second = client.read_response().expect("second response");
+    let third = client.read_response().expect("third response");
+    for (i, (status, _, _)) in [&first, &second, &third].iter().enumerate() {
+        assert_eq!(*status, 200, "pipelined response {i}");
+    }
+    // Responses must come back in request order: healthz, metrics, healthz.
+    assert!(String::from_utf8_lossy(&first.2).contains("\"ok\""), "first should be healthz");
+    assert!(String::from_utf8_lossy(&second.2).contains("\"http\""), "second should be metrics");
+    assert!(String::from_utf8_lossy(&third.2).contains("\"ok\""), "third should be healthz");
+}
+
+#[test]
+fn slow_loris_partial_request_gets_a_clean_408_and_close() {
+    let server = spawn(&["--request-timeout-ms", "400"]);
+    let mut client = connect(&server);
+    // A request head that never finishes.
+    client.send_raw(b"GET /healthz HTTP/1.1\r\nhost: loris\r\nx-half: ").expect("partial head");
+    let (status, headers, body) = client.read_response().expect("408 response");
+    assert_eq!(status, 408, "stalled request must time out: {}", String::from_utf8_lossy(&body));
+    let parsed: serde::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(
+        parsed.get("code"),
+        Some(&serde::Value::Str("request-timeout".into())),
+        "408 must carry the structured error body: {parsed:?}"
+    );
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    assert!(client.server_closed(), "the connection must be closed after the 408");
+}
+
+#[test]
+fn idle_keepalive_connection_is_reaped_after_the_timeout() {
+    let server = spawn(&["--request-timeout-ms", "300"]);
+    let mut client = connect(&server);
+    let (status, _, _) = client.request("GET", "/healthz", b"").expect("first request");
+    assert_eq!(status, 200);
+    // Between requests the connection is idle; the server must reclaim
+    // it quietly (no 408 — nothing was half-sent).
+    std::thread::sleep(Duration::from_millis(900));
+    assert!(client.server_closed(), "an idle keep-alive connection must be closed");
+}
+
+#[test]
+fn oversized_body_on_a_keepalive_connection_gets_the_structured_413() {
+    let server = spawn(&["--max-body-bytes", "1024"]);
+    let mut client = connect(&server);
+    // Warm the connection so the 413 exercises the keep-alive path.
+    let (status, _, _) = client.request("GET", "/healthz", b"").expect("warmup");
+    assert_eq!(status, 200);
+
+    let big = vec![b'x'; 4096];
+    let (status, headers, body) = client.request("POST", "/logs", &big).expect("oversized upload");
+    assert_eq!(status, 413, "{}", String::from_utf8_lossy(&body));
+    let parsed: serde::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(parsed.get("code"), Some(&serde::Value::Str("payload-too-large".into())));
+    assert_eq!(parsed.get("limit"), Some(&serde::Value::UInt(1024)), "{parsed:?}");
+    let rid = header(&headers, "x-vppb-request").expect("correlation id");
+    assert!(String::from_utf8_lossy(&body).contains(rid), "413 body must echo the request id");
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    assert!(client.server_closed(), "over-cap uploads end the connection");
+}
+
+#[test]
+fn connection_close_is_honored_mid_keepalive() {
+    let server = spawn(&[]);
+    let mut client = connect(&server);
+    let (status, headers, _) = client.request("GET", "/healthz", b"").expect("keep-alive");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+
+    let (status, headers, _) = client
+        .request_with_headers("GET", "/healthz", b"", &[("connection", "close")])
+        .expect("final request");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "connection"), Some("close"));
+    assert!(client.server_closed(), "`connection: close` must end the connection");
+}
