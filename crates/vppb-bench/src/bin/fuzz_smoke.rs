@@ -1,9 +1,12 @@
 //! Differential-fuzz smoke run for CI: replay a fixed seed corpus of
 //! generated programs through both the optimized engine and the naive
-//! scheduler oracle across the full CPU × LWP grid, requiring
-//! bit-identical scheduling-decision streams, then self-test the harness
-//! by inverting a dispatch tie-break inside the oracle and insisting the
-//! mutation is caught and shrinks to a tiny reproducer.
+//! scheduler oracle across the full scheduling-model × CPU × LWP grid
+//! (every seed runs under both the Solaris TS queues and the async
+//! work-stealing pool), requiring bit-identical scheduling-decision
+//! streams, then self-test the harness twice — inverting a dispatch
+//! tie-break inside the oracle's Solaris queues, and reversing the steal
+//! order of its async pool — insisting each mutation is caught and
+//! shrinks to a tiny reproducer.
 //!
 //! Usage: `cargo run --release -p vppb-bench --bin fuzz_smoke
 //! [--seeds N] [--seed S] [--repro-dir DIR]`. Fully offline and
@@ -17,8 +20,12 @@ use std::process::ExitCode;
 use vppb_oracle::{fuzz_corpus, shrink, ConfigGrid, GenParams, OracleTweaks, ProgSpec};
 use vppb_recorder::{record, RecordOptions};
 
-/// Largest acceptable minimized reproducer, in replay-plan ops.
+/// Largest acceptable minimized reproducer, in replay-plan ops. The
+/// steal-order repro is allowed to stay bigger: exposing steal *order*
+/// needs a 3-worker pool kept busy plus two blocked/woken threads, so
+/// its minimal program carries more ops than a tie-break repro.
 const MAX_SHRUNK_OPS: usize = 20;
+const MAX_SHRUNK_OPS_STEAL: usize = 30;
 
 fn parse_arg(args: &[String], key: &str, default: u64) -> u64 {
     args.iter()
@@ -117,33 +124,47 @@ fn main() -> ExitCode {
     }
     eprintln!("fuzz_smoke: {chunk_comparisons} incremental-vs-cold prefix comparison(s)");
 
-    // Phase 2: self-test — an inverted dispatch tie-break must be caught
-    // quickly and shrink to a tiny reproducer, or the fuzzer has no teeth.
-    let mutated = OracleTweaks { invert_dispatch_tiebreak: true };
-    let mutated_report = fuzz_corpus(base..base + 24, &gen, &grid, mutated);
-    match mutated_report.divergences.first() {
-        None => {
-            failed = true;
-            eprintln!("FAIL self-test: the injected tie-break inversion went unnoticed");
-        }
-        Some(d) => {
-            let spec = ProgSpec::generate(d.seed, &gen);
-            match shrink(&spec, &grid, mutated, 200) {
-                Some(r) if r.divergence.plan_ops <= MAX_SHRUNK_OPS => eprintln!(
-                    "fuzz_smoke: self-test caught the mutation at seed {:#018x}, shrunk to {} \
-                     plan ops",
-                    d.seed, r.divergence.plan_ops
-                ),
-                Some(r) => {
-                    failed = true;
-                    eprintln!(
-                        "FAIL self-test: repro stuck at {} plan ops (> {MAX_SHRUNK_OPS})",
-                        r.divergence.plan_ops
-                    );
-                }
-                None => {
-                    failed = true;
-                    eprintln!("FAIL self-test: divergent seed did not re-diverge while shrinking");
+    // Phase 2: self-tests — a planted scheduling mutation must be caught
+    // quickly and shrink to a tiny reproducer, or the fuzzer has no
+    // teeth. One mutation per world: an inverted dispatch tie-break in
+    // the oracle's Solaris queues, and a reversed steal order in its
+    // async work-stealing pool (checked on an async-only grid, where
+    // stealing actually happens).
+    let tiebreak = OracleTweaks { invert_dispatch_tiebreak: true, reverse_steal_order: false };
+    let steal = OracleTweaks { invert_dispatch_tiebreak: false, reverse_steal_order: true };
+    let async_grid = ConfigGrid::for_model(vppb_model::ModelKind::AsyncPool);
+    for (name, test_grid, mutated, max_ops) in [
+        ("tie-break inversion", &grid, tiebreak, MAX_SHRUNK_OPS),
+        ("async steal-order reversal", &async_grid, steal, MAX_SHRUNK_OPS_STEAL),
+    ] {
+        let mutated_report = fuzz_corpus(base..base + 24, &gen, test_grid, mutated);
+        match mutated_report.divergences.first() {
+            None => {
+                failed = true;
+                eprintln!("FAIL self-test: the injected {name} went unnoticed");
+            }
+            Some(d) => {
+                let spec = ProgSpec::generate(d.seed, &gen);
+                match shrink(&spec, test_grid, mutated, 200) {
+                    Some(r) if r.divergence.plan_ops <= max_ops => eprintln!(
+                        "fuzz_smoke: self-test caught the {name} at seed {:#018x}, shrunk to {} \
+                         plan ops",
+                        d.seed, r.divergence.plan_ops
+                    ),
+                    Some(r) => {
+                        failed = true;
+                        eprintln!(
+                            "FAIL self-test ({name}): repro stuck at {} plan ops (> {max_ops})",
+                            r.divergence.plan_ops
+                        );
+                    }
+                    None => {
+                        failed = true;
+                        eprintln!(
+                            "FAIL self-test ({name}): divergent seed did not re-diverge while \
+                             shrinking"
+                        );
+                    }
                 }
             }
         }

@@ -40,6 +40,21 @@ pub struct SyncAudit {
     pub queued: usize,
 }
 
+/// Final arrival ledger of one barrier.
+#[derive(Debug, Clone)]
+pub struct BarrierAudit {
+    /// The barrier.
+    pub obj: SyncObjId,
+    /// Arrivals per generation.
+    pub parties: u32,
+    /// Completed generations (trips).
+    pub generation: u64,
+    /// Total arrivals across all generations.
+    pub arrivals: u64,
+    /// Threads still parked waiting for the next trip.
+    pub queued: usize,
+}
+
 /// Everything the auditor looks at.
 ///
 /// Public so the executable-specification oracle in `vppb-oracle` audits
@@ -55,6 +70,9 @@ pub struct AuditInput<'a> {
     pub threads: &'a [ThreadAudit],
     /// Final state of every synchronization object.
     pub sync: &'a [SyncAudit],
+    /// Arrival ledgers of every barrier (their wait queues also appear in
+    /// `sync`; this adds the generation-count law).
+    pub barriers: &'a [BarrierAudit],
     /// Threads/LWPs still sitting on a run queue after the last exit.
     pub runnable_left: usize,
     /// Threads still blocked in `thr_join`.
@@ -70,6 +88,7 @@ pub fn run_audit(input: &AuditInput<'_>) -> AuditReport {
     let mut report = AuditReport::default();
 
     check_sync_objects(input, &mut report);
+    check_barrier_ledgers(input, &mut report);
     check_cpu_time_conservation(input, &mut report);
     check_makespan_bounds(input, &mut report);
     check_lifecycles(input, &mut report);
@@ -112,6 +131,27 @@ fn check_sync_objects(input: &AuditInput<'_>, report: &mut AuditReport) {
             ViolationKind::WaitQueueNotEmpty,
             format!("{} thread(s) still blocked in thr_join", input.joiners_left),
         );
+    }
+}
+
+/// Law 1b: every barrier's arrival ledger balances — each completed
+/// generation consumed exactly `parties` arrivals and every other arrival
+/// is still queued: `generation x parties + queued == arrivals`.
+fn check_barrier_ledgers(input: &AuditInput<'_>, report: &mut AuditReport) {
+    for b in input.barriers {
+        report.checks += 1;
+        let accounted = b.generation * u64::from(b.parties) + b.queued as u64;
+        if accounted != b.arrivals {
+            violation(
+                report,
+                ViolationKind::BarrierGenerationLaw,
+                format!(
+                    "{}: {} generation(s) x {} parties + {} queued accounts for {accounted} \
+                     arrival(s) but {} arrived",
+                    b.obj, b.generation, b.parties, b.queued, b.arrivals
+                ),
+            );
+        }
     }
 }
 
@@ -260,10 +300,35 @@ mod tests {
             cpu_busy,
             threads,
             sync,
+            barriers: &[],
             runnable_left: 0,
             joiners_left: 0,
             transitions: None,
         }
+    }
+
+    #[test]
+    fn barrier_ledger_must_balance() {
+        let busy = [Duration(10)];
+        let threads = [clean_thread(1, 10, 100)];
+        let bad = BarrierAudit {
+            obj: SyncObjId::barrier(0),
+            parties: 3,
+            generation: 2,
+            arrivals: 7, // 2x3 + 0 queued = 6 accounted, 7 arrived
+            queued: 0,
+        };
+        let mut input = base_input(&busy, &threads, &[]);
+        let barriers = [bad];
+        input.barriers = &barriers;
+        let report = run_audit(&input);
+        assert!(report.violations.iter().any(|v| v.law == ViolationKind::BarrierGenerationLaw));
+
+        let good = BarrierAudit { arrivals: 8, queued: 2, ..barriers[0].clone() };
+        let barriers = [good];
+        let mut input = base_input(&busy, &threads, &[]);
+        input.barriers = &barriers;
+        assert!(run_audit(&input).is_clean());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! configuration), and *predicted* runs (the Simulator feeds replayer
 //! programs plus a [`CallInterceptor`] implementing the §3.2 replay rules).
 
-use crate::audit::{self, AuditInput, SyncAudit, ThreadAudit};
+use crate::audit::{self, AuditInput, BarrierAudit, SyncAudit, ThreadAudit};
 use crate::calendar::Calendar;
 use crate::hooks::{event_kind_of, Hooks};
 use crate::idmap::{IdMap, ManipTable};
@@ -22,7 +22,8 @@ use crate::jitter::JitterModel;
 use crate::observer::{SchedEvent, SchedObserver};
 use crate::prioq::PrioQueue;
 use crate::result::{RunLimits, RunResult};
-use crate::sync::{CondState, MutexState, RwState, RwWaiter, SemState};
+use crate::sched::{build_model, SchedModel};
+use crate::sync::{BarrierState, CondState, MutexState, OnceState, RwState, RwWaiter, SemState};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::Arc;
@@ -418,9 +419,18 @@ struct Threads {
     phase: Vec<Phase>,
     binding: Vec<Binding>,
     user_prio: Vec<i32>,
+    /// The priority the program asked for (`thr_setprio` / creation);
+    /// `user_prio` may sit above it while priority inheritance boosts the
+    /// holder of a contended mutex.
+    base_prio: Vec<i32>,
     prio_locked: Vec<bool>,
     lwp: Vec<Option<Lix>>,
     last_cpu: Vec<Option<Cix>>,
+    /// The pool LWP this thread last ran on. Wakeups hand it back to the
+    /// scheduling model as the `local` hint so per-worker-queue models
+    /// give woken tasks affinity to their old worker; `SolarisTs` ignores
+    /// it (one global queue).
+    last_pool_lwp: Vec<Option<Lix>>,
     outcome: Vec<Outcome>,
     call: Vec<Option<Inflight>>,
     /// (condvar index, mutex index) while waiting on a condition.
@@ -446,9 +456,11 @@ impl Threads {
             phase: Vec::new(),
             binding: Vec::new(),
             user_prio: Vec::new(),
+            base_prio: Vec::new(),
             prio_locked: Vec::new(),
             lwp: Vec::new(),
             last_cpu: Vec::new(),
+            last_pool_lwp: Vec::new(),
             outcome: Vec::new(),
             call: Vec::new(),
             cv_wait: Vec::new(),
@@ -486,9 +498,11 @@ impl Threads {
         self.phase.push(Phase::Resume);
         self.binding.push(binding);
         self.user_prio.push(user_prio);
+        self.base_prio.push(user_prio);
         self.prio_locked.push(prio_locked);
         self.lwp.push(None);
         self.last_cpu.push(None);
+        self.last_pool_lwp.push(None);
         self.outcome.push(Outcome::None);
         self.call.push(None);
         self.cv_wait.push(None);
@@ -516,9 +530,11 @@ impl Threads {
             phase: self.phase.clone(),
             binding: self.binding.clone(),
             user_prio: self.user_prio.clone(),
+            base_prio: self.base_prio.clone(),
             prio_locked: self.prio_locked.clone(),
             lwp: self.lwp.clone(),
             last_cpu: self.last_cpu.clone(),
+            last_pool_lwp: self.last_pool_lwp.clone(),
             outcome: self.outcome.clone(),
             call: self.call.clone(),
             cv_wait: self.cv_wait.clone(),
@@ -619,9 +635,12 @@ struct Engine<'a, 'o> {
     sems: Vec<SemState>,
     conds: Vec<CondState>,
     rws: Vec<RwState>,
+    barriers: Vec<BarrierState>,
+    onces: Vec<OnceState>,
     vars: Vec<i64>,
-    /// Unbound runnable threads without an LWP, highest priority first.
-    user_rq: PrioQueue<Tix>,
+    /// Runnable unbound threads without an LWP, ordered by the pluggable
+    /// user-level scheduling policy ([`MachineConfig::model`]).
+    model: Box<dyn SchedModel>,
     /// Ready LWPs awaiting a CPU, highest priority first.
     kernel_rq: PrioQueue<Lix>,
     /// Parked pool LWPs, lowest index first (the seed scanned the LWP
@@ -659,6 +678,10 @@ enum CallOutcome {
     /// synchronization, the *LWP* sleeps in the kernel with the thread
     /// still attached, for this long.
     BlockedIo(Duration),
+    /// The call runs for this much longer *on the CPU* and then re-enters
+    /// its semantics (a `once` winner executing the initializer inside the
+    /// call span).
+    Extend(Duration),
     /// Thread exited.
     Exited,
 }
@@ -706,8 +729,10 @@ impl<'a, 'o> Engine<'a, 'o> {
             sems: app.sem_initial.iter().map(|&v| SemState::new(v)).collect(),
             conds: vec![CondState::default(); app.n_condvars as usize],
             rws: vec![RwState::default(); app.n_rwlocks as usize],
+            barriers: app.barrier_parties.iter().map(|&p| BarrierState::new(p)).collect(),
+            onces: vec![OnceState::default(); app.once_init.len()],
             vars: app.var_initial.clone(),
-            user_rq: PrioQueue::new(),
+            model: build_model(cfg.model),
             kernel_rq: PrioQueue::new(),
             parked: BinaryHeap::new(),
             cpu_bound_lwps: 0,
@@ -804,26 +829,25 @@ impl<'a, 'o> Engine<'a, 'o> {
 
     // -- user-level run queue ----------------------------------------------
 
-    fn user_rq_push(&mut self, tix: Tix, front: bool) {
+    /// Hand a runnable unbound thread to the scheduling model. `local`
+    /// names the LWP whose queue should receive it when the model keeps
+    /// per-worker queues (a yield on that worker); wakeups pass `None`.
+    fn user_rq_push(&mut self, tix: Tix, front: bool, local: Option<Lix>) {
         let prio = self.threads.user_prio[tix];
-        if front {
-            self.user_rq.push_front(tix, prio);
-        } else {
-            self.user_rq.push_back(tix, prio);
-        }
+        self.model.push(tix, prio, front, local);
         if self.observing() {
-            let depth = self.user_rq.len() as u32;
+            let depth = self.model.len() as u32;
             let thread = self.threads.id[tix];
             self.observe(SchedEvent::UserEnqueue { thread, prio, depth });
         }
     }
 
-    fn user_rq_pop(&mut self) -> Option<Tix> {
-        self.user_rq.pop_max()
+    fn user_rq_pop(&mut self, lix: Lix) -> Option<Tix> {
+        self.model.pop_for(lix)
     }
 
     fn user_rq_remove(&mut self, tix: Tix) -> bool {
-        self.user_rq.remove(tix)
+        self.model.remove(tix)
     }
 
     // -- kernel run queue ----------------------------------------------------
@@ -872,7 +896,7 @@ impl<'a, 'o> Engine<'a, 'o> {
     /// Attach runnable unbound threads to parked pool LWPs (lowest LWP
     /// index first, as the seed's LWP-table scan did).
     fn attach_parked(&mut self) {
-        if self.user_rq.is_empty() {
+        if self.model.is_empty() {
             return;
         }
         while let Some(&Reverse(lix)) = self.parked.peek() {
@@ -880,7 +904,7 @@ impl<'a, 'o> Engine<'a, 'o> {
                 self.lwps.state[lix] == LState::Parked && !self.lwps.dedicated[lix],
                 "parked heap holds only parked pool LWPs"
             );
-            let Some(tix) = self.user_rq_pop() else { return };
+            let Some(tix) = self.user_rq_pop(lix) else { return };
             self.parked.pop();
             self.attach(lix, tix, true);
             self.kernel_enqueue(lix);
@@ -901,6 +925,9 @@ impl<'a, 'o> Engine<'a, 'o> {
             self.lwps.fresh_quantum[lix] = true;
         }
         self.threads.lwp[tix] = Some(lix);
+        if !self.lwps.dedicated[lix] {
+            self.threads.last_pool_lwp[tix] = Some(lix);
+        }
     }
 
     fn dispatch(&mut self) -> Result<(), VppbError> {
@@ -1058,7 +1085,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             self.cpus[c].token += 1;
             return self.dispatch();
         }
-        match self.user_rq_pop() {
+        match self.user_rq_pop(l) {
             Some(next) => {
                 self.attach(l, next, false);
                 self.cpus[c].run_start = self.now;
@@ -1130,7 +1157,12 @@ impl<'a, 'o> Engine<'a, 'o> {
                         Phase::Compute { left } | Phase::CallLatency { left } => *left = total,
                         _ => unreachable!(),
                     }
-                    let stop = if self.cfg.time_slicing && !self.lwps.dedicated_solo(l) {
+                    // Cooperative models (the async pool) never preempt a
+                    // pool worker mid-task — the quantum only applies to
+                    // dedicated (bound-thread) LWPs, which stay ordinary
+                    // kernel-scheduled LWPs in every model.
+                    let coop = self.model.cooperative() && !self.lwps.dedicated[l];
+                    let stop = if self.cfg.time_slicing && !coop && !self.lwps.dedicated_solo(l) {
                         Duration::from_nanos(total.nanos().min(self.lwps.quantum_left[l].nanos()))
                     } else {
                         total
@@ -1291,10 +1323,13 @@ impl<'a, 'o> Engine<'a, 'o> {
                 self.kernel_enqueue(l);
                 self.dispatch()?;
             } else {
+                let l = self.cpus[c].lwp;
                 self.charge_elapsed(c);
                 self.set_state(tix, TState::Runnable);
                 self.detach_thread(tix);
-                self.user_rq_push(tix, false);
+                // A yield stays local to the worker it ran on (models with
+                // per-worker queues put it at the back of that deque).
+                self.user_rq_push(tix, false, l);
                 self.lwp_continue_or_park(c)?;
             }
             return Ok(false);
@@ -1363,7 +1398,9 @@ impl<'a, 'o> Engine<'a, 'o> {
             self.lwps.fresh_quantum[l] = true;
             self.kernel_enqueue(l);
         } else {
-            self.user_rq_push(tix, false);
+            // Wake affinity: hand the thread back to the worker it last
+            // ran on (ignored by the global-queue Solaris model).
+            self.user_rq_push(tix, false, self.threads.last_pool_lwp[tix]);
         }
         Ok(())
     }
@@ -1463,6 +1500,7 @@ impl<'a, 'o> Engine<'a, 'o> {
     fn new_pool_lwp(&mut self) -> Lix {
         let id = LwpId(self.lwps.len() as u32);
         let lix = self.lwps.push_new(id, LState::Parked, self.cfg.initial_priority, false);
+        self.model.register_worker(lix);
         self.parked.push(Reverse(lix));
         lix
     }
@@ -1548,6 +1586,8 @@ impl<'a, 'o> Engine<'a, 'o> {
             vppb_model::ObjKind::Semaphore => self.sems[ix].queue.len(),
             vppb_model::ObjKind::Condvar => self.conds[ix].queue.len(),
             vppb_model::ObjKind::RwLock => self.rws[ix].queue.len(),
+            vppb_model::ObjKind::Barrier => self.barriers[ix].queue.len(),
+            vppb_model::ObjKind::Once => self.onces[ix].queue.len(),
         }) as u32
     }
 
@@ -1592,7 +1632,34 @@ impl<'a, 'o> Engine<'a, 'o> {
                 self.cpus[c].token += 1;
                 self.dispatch()
             }
+            CallOutcome::Extend(d) => {
+                // The call keeps running on the CPU for `d` more (a once
+                // initializer); its semantics re-enter when that elapses.
+                self.threads.phase[tix] = Phase::CallLatency { left: d };
+                self.run_thread(c)
+            }
             CallOutcome::Exited => self.exit_thread(tix, c),
+        }
+    }
+
+    /// Priority inheritance: lend `prio` to `oix` (the holder of a mutex
+    /// someone at that priority just blocked on), never lowering it.
+    fn inherit_priority(&mut self, oix: Tix, prio: i32) {
+        if prio <= self.threads.user_prio[oix] {
+            return;
+        }
+        let was_queued = self.model.requeue_priority() && self.user_rq_remove(oix);
+        self.threads.user_prio[oix] = prio;
+        if was_queued {
+            self.user_rq_push(oix, false, None);
+        }
+    }
+
+    /// Drop any inherited boost back to the thread's own priority.
+    fn restore_base_priority(&mut self, tix: Tix) {
+        let base = self.threads.base_prio[tix];
+        if self.threads.user_prio[tix] != base {
+            self.threads.user_prio[tix] = base;
         }
     }
 
@@ -1651,10 +1718,13 @@ impl<'a, 'o> Engine<'a, 'o> {
             SetPrio { target, prio } => {
                 if let Some(xix) = self.by_id.get(target) {
                     if !self.threads.prio_locked[xix] {
-                        let was_queued = self.user_rq_remove(xix);
+                        // Only priority-ordered models re-queue; the async
+                        // deques keep FIFO positions across setprio.
+                        let was_queued = self.model.requeue_priority() && self.user_rq_remove(xix);
                         self.threads.user_prio[xix] = prio;
+                        self.threads.base_prio[xix] = prio;
                         if was_queued {
-                            self.user_rq_push(xix, false);
+                            self.user_rq_push(xix, false, None);
                         }
                     }
                 }
@@ -1698,6 +1768,11 @@ impl<'a, 'o> Engine<'a, 'o> {
                     CallOutcome::Done
                 } else {
                     self.mutexes[m.0 as usize].queue.push_back(tix as u32);
+                    if self.cfg.priority_inheritance {
+                        let owner =
+                            self.mutexes[m.0 as usize].owner.expect("contended mutex has owner");
+                        self.inherit_priority(owner as Tix, self.threads.user_prio[tix]);
+                    }
                     CallOutcome::Blocked(BlockReason::Sync(SyncObjId::mutex(m.0)))
                 }
             }
@@ -1712,6 +1787,11 @@ impl<'a, 'o> Engine<'a, 'o> {
                     // "succeeds" but the lock is never released, so the
                     // auditor must flag lock-held-at-exit.
                     return Ok(CallOutcome::Done);
+                }
+                if self.cfg.priority_inheritance {
+                    // Whatever boost this mutex's waiters lent the owner
+                    // ends at release.
+                    self.restore_base_priority(tix);
                 }
                 match self.mutexes[m.0 as usize].unlock(tix as u32) {
                     Err(owner) => {
@@ -1768,7 +1848,7 @@ impl<'a, 'o> Engine<'a, 'o> {
             }
 
             RwRdLock(r) => {
-                if self.rws[r.0 as usize].try_read(tix as u32) {
+                if self.rws[r.0 as usize].try_read(tix as u32, self.cfg.rw_writer_preference) {
                     CallOutcome::Done
                 } else {
                     self.rws[r.0 as usize].queue.push_back(RwWaiter::Reader(tix as u32));
@@ -1784,7 +1864,8 @@ impl<'a, 'o> Engine<'a, 'o> {
                 }
             }
             RwTryRdLock(r) => {
-                let got = self.rws[r.0 as usize].try_read(tix as u32);
+                let got =
+                    self.rws[r.0 as usize].try_read(tix as u32, self.cfg.rw_writer_preference);
                 self.threads.outcome[tix] = Outcome::Acquired(got);
                 CallOutcome::Done
             }
@@ -1794,6 +1875,14 @@ impl<'a, 'o> Engine<'a, 'o> {
                 CallOutcome::Done
             }
             RwUnlock(r) => {
+                if self.opts.faults.leak_rw_reader == Some(r.0)
+                    && self.rws[r.0 as usize].readers.contains(&(tix as u32))
+                {
+                    // Deliberate corruption (FaultInjection): the reader's
+                    // unlock "succeeds" but its share is never dropped, so
+                    // the auditor must flag lock-held-at-exit.
+                    return Ok(CallOutcome::Done);
+                }
                 let granted = self.rws[r.0 as usize].unlock(tix as u32).ok_or_else(|| {
                     VppbError::ProgramError(format!("{id} rw-unlocked a lock it does not hold"))
                 })?;
@@ -1801,6 +1890,59 @@ impl<'a, 'o> Engine<'a, 'o> {
                     self.finish_blocking_wake(w as Tix, c);
                 }
                 CallOutcome::Done
+            }
+
+            BarrierWait(b) => {
+                let bix = b.0 as usize;
+                match self.barriers[bix].arrive(tix as u32) {
+                    Some(waiters) => {
+                        if self.opts.faults.skip_barrier_waker == Some(b.0) {
+                            // Deliberate corruption (FaultInjection): the
+                            // trip wakes everyone but forgets to clear one
+                            // waiter's queue entry, so the auditor must
+                            // flag the stale queue and the broken
+                            // generation ledger.
+                            if let Some(&first) = waiters.first() {
+                                self.barriers[bix].queue.push_back(first);
+                            }
+                        }
+                        for w in waiters {
+                            self.threads.outcome[w as usize] = Outcome::Acquired(false);
+                            self.finish_blocking_wake(w as Tix, c);
+                        }
+                        // The tripping arrival is the "serial" caller.
+                        self.threads.outcome[tix] = Outcome::Acquired(true);
+                        CallOutcome::Done
+                    }
+                    None => CallOutcome::Blocked(BlockReason::Sync(SyncObjId::barrier(b.0))),
+                }
+            }
+
+            OnceCall(o) => {
+                let oix = o.0 as usize;
+                if self.onces[oix].done {
+                    self.threads.outcome[tix] = Outcome::Acquired(false);
+                    CallOutcome::Done
+                } else if self.onces[oix].running == Some(tix as u32) {
+                    // Re-entered after the Extend latency: the initializer
+                    // just finished on this thread's CPU.
+                    self.onces[oix].running = None;
+                    self.onces[oix].done = true;
+                    let waiters: Vec<u32> = self.onces[oix].queue.drain(..).collect();
+                    for w in waiters {
+                        self.threads.outcome[w as usize] = Outcome::Acquired(false);
+                        self.finish_blocking_wake(w as Tix, c);
+                    }
+                    self.threads.outcome[tix] = Outcome::Acquired(true);
+                    CallOutcome::Done
+                } else if self.onces[oix].running.is_some() {
+                    self.onces[oix].queue.push_back(tix as u32);
+                    CallOutcome::Blocked(BlockReason::Sync(SyncObjId::once(o.0)))
+                } else {
+                    // Winner: run the initializer inside the call span.
+                    self.onces[oix].running = Some(tix as u32);
+                    CallOutcome::Extend(self.app.once_init[oix])
+                }
             }
         })
     }
@@ -2086,8 +2228,10 @@ impl<'a, 'o> Engine<'a, 'o> {
             sems: self.sems,
             conds: self.conds,
             rws: self.rws,
+            barriers: self.barriers,
+            onces: self.onces,
             vars: self.vars,
-            user_rq: self.user_rq,
+            model: self.model,
             kernel_rq: self.kernel_rq,
             parked: self.parked,
             cpu_bound_lwps: self.cpu_bound_lwps,
@@ -2122,7 +2266,9 @@ impl<'a, 'o> Engine<'a, 'o> {
         let shrunk = (app.n_mutexes as usize) < snap.mutexes.len()
             || app.sem_initial.len() < snap.sems.len()
             || (app.n_condvars as usize) < snap.conds.len()
-            || (app.n_rwlocks as usize) < snap.rws.len();
+            || (app.n_rwlocks as usize) < snap.rws.len()
+            || app.barrier_parties.len() < snap.barriers.len()
+            || app.once_init.len() < snap.onces.len();
         if shrunk {
             return Err(VppbError::InvalidConfig(
                 "resume app declares fewer sync objects than the snapshot holds".into(),
@@ -2139,6 +2285,12 @@ impl<'a, 'o> Engine<'a, 'o> {
         conds.resize_with(app.n_condvars as usize, CondState::default);
         let mut rws = snap.rws;
         rws.resize_with(app.n_rwlocks as usize, RwState::default);
+        let mut barriers = snap.barriers;
+        for &p in app.barrier_parties.iter().skip(barriers.len()) {
+            barriers.push(BarrierState::new(p));
+        }
+        let mut onces = snap.onces;
+        onces.resize_with(app.once_init.len(), OnceState::default);
         let mut sems = snap.sems;
         for &v in app.sem_initial.iter().skip(sems.len()) {
             sems.push(SemState::new(v));
@@ -2164,8 +2316,10 @@ impl<'a, 'o> Engine<'a, 'o> {
             sems,
             conds,
             rws,
+            barriers,
+            onces,
             vars,
-            user_rq: snap.user_rq,
+            model: snap.model,
             kernel_rq: snap.kernel_rq,
             parked: snap.parked,
             cpu_bound_lwps: snap.cpu_bound_lwps,
@@ -2230,7 +2384,37 @@ impl<'a, 'o> Engine<'a, 'o> {
                 queued: rw.queue.len(),
             });
         }
+        for (i, b) in self.barriers.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::barrier(i as u32),
+                held_by: Vec::new(),
+                queued: b.queue.len(),
+            });
+        }
+        for (i, o) in self.onces.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::once(i as u32),
+                // A still-running initializer at exit is a held "lock".
+                held_by: o.running.into_iter().map(|t| self.threads.id[t as usize]).collect(),
+                queued: o.queue.len(),
+            });
+        }
         sync
+    }
+
+    /// Barrier arrival ledgers for the generation-count law.
+    fn audit_input_barriers(&self) -> Vec<BarrierAudit> {
+        self.barriers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BarrierAudit {
+                obj: SyncObjId::barrier(i as u32),
+                parties: b.parties,
+                generation: b.generation,
+                arrivals: b.arrivals,
+                queued: b.queue.len(),
+            })
+            .collect()
     }
 
     fn run_audit(&self, transitions: Option<&[Transition]>) -> vppb_model::AuditReport {
@@ -2245,12 +2429,14 @@ impl<'a, 'o> Engine<'a, 'o> {
             })
             .collect();
         let sync = self.audit_input_sync();
-        let runnable_left = self.user_rq.len() + self.kernel_rq.len();
+        let barriers = self.audit_input_barriers();
+        let runnable_left = self.model.len() + self.kernel_rq.len();
         audit::run_audit(&AuditInput {
             wall: self.now,
             cpu_busy: &cpu_busy,
             threads: &thread_audits,
             sync: &sync,
+            barriers: &barriers,
             runnable_left,
             joiners_left: self.joiners.len(),
             transitions,
@@ -2320,8 +2506,10 @@ pub struct EngineSnapshot {
     sems: Vec<SemState>,
     conds: Vec<CondState>,
     rws: Vec<RwState>,
+    barriers: Vec<BarrierState>,
+    onces: Vec<OnceState>,
     vars: Vec<i64>,
-    user_rq: PrioQueue<Tix>,
+    model: Box<dyn SchedModel>,
     kernel_rq: PrioQueue<Lix>,
     parked: BinaryHeap<Reverse<Lix>>,
     cpu_bound_lwps: u32,
@@ -2366,8 +2554,10 @@ impl EngineSnapshot {
             sems: self.sems.clone(),
             conds: self.conds.clone(),
             rws: self.rws.clone(),
+            barriers: self.barriers.clone(),
+            onces: self.onces.clone(),
             vars: self.vars.clone(),
-            user_rq: self.user_rq.clone(),
+            model: self.model.clone_box(),
             kernel_rq: self.kernel_rq.clone(),
             parked: self.parked.clone(),
             cpu_bound_lwps: self.cpu_bound_lwps,

@@ -83,6 +83,13 @@ pub fn event_kind_of(call: &LibCall, app: &App) -> EventKind {
         RwTryRdLock(r) => EventKind::RwTryRdLock { obj: SyncObjId::rwlock(r.0) },
         RwTryWrLock(r) => EventKind::RwTryWrLock { obj: SyncObjId::rwlock(r.0) },
         RwUnlock(r) => EventKind::RwUnlock { obj: SyncObjId::rwlock(r.0) },
+        BarrierWait(b) => EventKind::BarrierWait {
+            obj: SyncObjId::barrier(b.0),
+            parties: app.barrier_parties[b.0 as usize],
+        },
+        OnceCall(o) => {
+            EventKind::OnceCall { obj: SyncObjId::once(o.0), init: app.once_init[o.0 as usize] }
+        }
     }
 }
 

@@ -21,6 +21,7 @@ pub mod jitter;
 pub mod observer;
 pub mod prioq;
 pub mod result;
+pub mod sched;
 pub mod sync;
 
 pub use engine::{
@@ -36,4 +37,5 @@ pub use observer::{
 };
 pub use prioq::{PrioQueue, QueueIndex, PRIO_LEVELS};
 pub use result::{RunLimits, RunResult};
+pub use sched::{build_model, AsyncPool, SchedModel, SolarisTs};
 pub use vppb_model::FaultInjection;

@@ -1,0 +1,334 @@
+//! Pluggable scheduler models for the *user-level* run queue.
+//!
+//! The engine's two-level structure is common machinery: LWPs are
+//! dispatched onto CPUs by kernel TS priority, parked LWPs wake when
+//! user-level work appears, bound threads keep private LWPs. What a
+//! [`SchedModel`] owns is the policy *between* those layers — how
+//! runnable unbound threads are ordered, which thread a given LWP picks
+//! next, and whether pool LWPs are preemptively time-sliced.
+//!
+//! Two worlds ship today:
+//!
+//! * [`SolarisTs`] — the paper's world. One global 128-level priority
+//!   FIFO ([`crate::prioq::PrioQueue`]); any LWP pops the global maximum;
+//!   `thr_setprio` re-queues; the dispatch table time-slices pool LWPs.
+//!   This is the faithful default and is bit-identical to the
+//!   pre-refactor hard-wired queue (the oracle grid proves it).
+//! * [`AsyncPool`] — an async-executor world: cooperative tasks over M:N
+//!   work-stealing run queues. Each pool LWP is a *worker* with its own
+//!   deque; wakeups with no worker affinity land in a shared injector; an
+//!   idle worker pops its own deque, then the injector, then steals from
+//!   the other workers in deterministic ascending wrapping order. Tasks
+//!   run to their next blocking point (no time slicing) and priorities do
+//!   not reorder the queues.
+//!
+//! Models speak dense engine handles (`usize` thread/LWP table indices),
+//! not `ThreadId`s, for the same reason the sync objects do: the hot
+//! dispatch path must not do id lookups.
+
+use crate::prioq::PrioQueue;
+use std::collections::VecDeque;
+use vppb_model::ModelKind;
+
+/// Scheduling policy over the user-level run queue. Object-safe; the
+/// engine holds a `Box<dyn SchedModel>` chosen by
+/// [`vppb_model::MachineConfig::model`].
+pub trait SchedModel: std::fmt::Debug + Send {
+    /// Make thread `tix` runnable. `prio` is the thread's current user
+    /// priority (models may ignore it); `front` requests LIFO placement
+    /// (the Solaris preemption re-queue); `local`, when present, is the
+    /// LWP handle whose local queue should receive the thread (a yield or
+    /// block-handoff on that worker) — models without per-worker queues
+    /// ignore it.
+    fn push(&mut self, tix: usize, prio: i32, front: bool, local: Option<usize>);
+
+    /// Pick the next thread for LWP `lix` to run, removing it from the
+    /// queue. `None` means no runnable unbound thread exists *for this
+    /// LWP* — with every model shipped today that implies the queue is
+    /// globally empty, so the LWP may park.
+    fn pop_for(&mut self, lix: usize) -> Option<usize>;
+
+    /// Remove `tix` from wherever it is queued; `true` if it was queued.
+    fn remove(&mut self, tix: usize) -> bool;
+
+    /// Number of queued threads.
+    fn len(&self) -> usize;
+
+    /// Whether no thread is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `thr_setprio` on a queued thread must re-queue it at the
+    /// new priority (Solaris) or leave its position alone (async: the
+    /// deques are not priority-ordered).
+    fn requeue_priority(&self) -> bool;
+
+    /// Whether pool LWPs run tasks to their next blocking point instead
+    /// of being preemptively time-sliced.
+    fn cooperative(&self) -> bool;
+
+    /// An unbound-pool LWP was created. Models with per-worker state
+    /// allocate it here; registration order is the worker numbering that
+    /// steal order is defined over.
+    fn register_worker(&mut self, lix: usize);
+
+    /// Clone into a fresh box (snapshot support).
+    fn clone_box(&self) -> Box<dyn SchedModel>;
+}
+
+/// Build the model `kind` names.
+pub fn build_model(kind: ModelKind) -> Box<dyn SchedModel> {
+    match kind {
+        ModelKind::SolarisTs => Box::new(SolarisTs::new()),
+        ModelKind::AsyncPool => Box::new(AsyncPool::new()),
+    }
+}
+
+/// The Solaris TS user-level policy: one global priority FIFO.
+#[derive(Debug, Clone, Default)]
+pub struct SolarisTs {
+    rq: PrioQueue<usize>,
+}
+
+impl SolarisTs {
+    /// An empty queue.
+    pub fn new() -> SolarisTs {
+        SolarisTs { rq: PrioQueue::new() }
+    }
+}
+
+impl SchedModel for SolarisTs {
+    fn push(&mut self, tix: usize, prio: i32, front: bool, _local: Option<usize>) {
+        if front {
+            self.rq.push_front(tix, prio);
+        } else {
+            self.rq.push_back(tix, prio);
+        }
+    }
+
+    fn pop_for(&mut self, _lix: usize) -> Option<usize> {
+        self.rq.pop_max()
+    }
+
+    fn remove(&mut self, tix: usize) -> bool {
+        self.rq.remove(tix)
+    }
+
+    fn len(&self) -> usize {
+        self.rq.len()
+    }
+
+    fn requeue_priority(&self) -> bool {
+        true
+    }
+
+    fn cooperative(&self) -> bool {
+        false
+    }
+
+    fn register_worker(&mut self, _lix: usize) {}
+
+    fn clone_box(&self) -> Box<dyn SchedModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// The async-executor policy: M:N work-stealing deques.
+#[derive(Debug, Clone, Default)]
+pub struct AsyncPool {
+    /// Worker slot → LWP handle, in registration order.
+    workers: Vec<usize>,
+    /// LWP handle → worker slot (sparse).
+    worker_of: Vec<Option<usize>>,
+    /// Per-worker local deques.
+    locals: Vec<VecDeque<usize>>,
+    /// Shared injector for wakeups with no worker affinity.
+    injector: VecDeque<usize>,
+    len: usize,
+}
+
+impl AsyncPool {
+    /// An empty pool with no workers yet.
+    pub fn new() -> AsyncPool {
+        AsyncPool::default()
+    }
+
+    fn slot_of(&self, lix: usize) -> Option<usize> {
+        self.worker_of.get(lix).copied().flatten()
+    }
+}
+
+impl SchedModel for AsyncPool {
+    fn push(&mut self, tix: usize, _prio: i32, front: bool, local: Option<usize>) {
+        let q = match local.and_then(|lix| self.slot_of(lix)) {
+            Some(w) => &mut self.locals[w],
+            None => &mut self.injector,
+        };
+        if front {
+            q.push_front(tix);
+        } else {
+            q.push_back(tix);
+        }
+        self.len += 1;
+    }
+
+    fn pop_for(&mut self, lix: usize) -> Option<usize> {
+        let n = self.workers.len();
+        let w = self.slot_of(lix);
+        // Own deque first.
+        if let Some(w) = w {
+            if let Some(t) = self.locals[w].pop_front() {
+                self.len -= 1;
+                return Some(t);
+            }
+        }
+        // Then the shared injector.
+        if let Some(t) = self.injector.pop_front() {
+            self.len -= 1;
+            return Some(t);
+        }
+        // Then steal, visiting victims in ascending wrapping slot order
+        // starting just after our own slot (a non-worker LWP starts at
+        // slot 0). Steals take the victim's oldest task (front).
+        let start = w.map_or(0, |w| w + 1);
+        for k in 0..n {
+            let v = (start + k) % n.max(1);
+            if Some(v) == w {
+                continue;
+            }
+            if let Some(t) = self.locals[v].pop_front() {
+                self.len -= 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, tix: usize) -> bool {
+        if let Some(pos) = self.injector.iter().position(|&t| t == tix) {
+            self.injector.remove(pos);
+            self.len -= 1;
+            return true;
+        }
+        for q in &mut self.locals {
+            if let Some(pos) = q.iter().position(|&t| t == tix) {
+                q.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn requeue_priority(&self) -> bool {
+        false
+    }
+
+    fn cooperative(&self) -> bool {
+        true
+    }
+
+    fn register_worker(&mut self, lix: usize) {
+        if lix >= self.worker_of.len() {
+            self.worker_of.resize(lix + 1, None);
+        }
+        debug_assert!(self.worker_of[lix].is_none(), "LWP {lix} registered twice");
+        self.worker_of[lix] = Some(self.workers.len());
+        self.workers.push(lix);
+        self.locals.push(VecDeque::new());
+    }
+
+    fn clone_box(&self) -> Box<dyn SchedModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solaris_pops_global_max_regardless_of_lwp() {
+        let mut m = SolarisTs::new();
+        m.push(1, 10, false, None);
+        m.push(2, 50, false, Some(7));
+        m.push(3, 10, false, None);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.pop_for(0), Some(2));
+        assert_eq!(m.pop_for(9), Some(1), "FIFO within a level");
+        assert_eq!(m.pop_for(9), Some(3));
+        assert_eq!(m.pop_for(0), None);
+    }
+
+    #[test]
+    fn async_pool_prefers_local_then_injector_then_steals() {
+        let mut m = AsyncPool::new();
+        m.register_worker(10);
+        m.register_worker(11);
+        m.push(1, 0, false, Some(10)); // worker 0 local
+        m.push(2, 0, false, None); // injector
+        m.push(3, 0, false, Some(11)); // worker 1 local
+        assert_eq!(m.pop_for(10), Some(1), "own deque first");
+        assert_eq!(m.pop_for(10), Some(2), "then injector");
+        assert_eq!(m.pop_for(10), Some(3), "then steal from worker 1");
+        assert_eq!(m.pop_for(10), None);
+    }
+
+    #[test]
+    fn async_steal_order_is_ascending_wrapping() {
+        let mut m = AsyncPool::new();
+        for lix in [20, 21, 22] {
+            m.register_worker(lix);
+        }
+        m.push(1, 0, false, Some(20));
+        m.push(2, 0, false, Some(22));
+        // Worker 1 (lix 21) has nothing local; steal order is slots
+        // 2, 0 (ascending from own slot, wrapping).
+        assert_eq!(m.pop_for(21), Some(2));
+        assert_eq!(m.pop_for(21), Some(1));
+    }
+
+    #[test]
+    fn async_ignores_priority_and_keeps_fifo() {
+        let mut m = AsyncPool::new();
+        m.register_worker(0);
+        m.push(1, 5, false, None);
+        m.push(2, 99, false, None);
+        assert_eq!(m.pop_for(0), Some(1), "priority does not reorder");
+        assert!(!m.requeue_priority());
+        assert!(m.cooperative());
+    }
+
+    #[test]
+    fn async_remove_finds_tasks_anywhere() {
+        let mut m = AsyncPool::new();
+        m.register_worker(0);
+        m.push(1, 0, false, Some(0));
+        m.push(2, 0, false, None);
+        assert!(m.remove(1));
+        assert!(m.remove(2));
+        assert!(!m.remove(2));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn unregistered_lwp_falls_back_to_injector_and_slot_zero() {
+        let mut m = AsyncPool::new();
+        m.register_worker(5);
+        m.push(1, 0, false, Some(5));
+        // LWP 9 was never registered (e.g. a transiently-created pool LWP
+        // under FollowProgram growth); it must still drain work.
+        assert_eq!(m.pop_for(9), Some(1));
+    }
+
+    #[test]
+    fn build_by_kind() {
+        assert!(!build_model(ModelKind::SolarisTs).cooperative());
+        assert!(build_model(ModelKind::AsyncPool).cooperative());
+    }
+}

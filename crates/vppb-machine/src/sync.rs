@@ -128,7 +128,7 @@ pub enum RwWaiter {
     Writer(Th),
 }
 
-/// A Solaris `rwlock_t` with writer preference.
+/// A Solaris `rwlock_t` with (configurable) writer preference.
 #[derive(Debug, Clone, Default)]
 pub struct RwState {
     /// Threads currently holding shared access.
@@ -144,10 +144,11 @@ impl RwState {
         self.queue.iter().any(|w| matches!(w, RwWaiter::Writer(_)))
     }
 
-    /// Try a read acquisition. Writer preference: a queued writer blocks
-    /// new readers.
-    pub fn try_read(&mut self, t: Th) -> bool {
-        if self.writer.is_none() && !self.writers_queued() {
+    /// Try a read acquisition. With `prefer_writers` (the Solaris
+    /// behavior), a queued writer blocks new readers; without it, readers
+    /// barge past queued writers whenever no writer *holds* the lock.
+    pub fn try_read(&mut self, t: Th, prefer_writers: bool) -> bool {
+        if self.writer.is_none() && !(prefer_writers && self.writers_queued()) {
             self.readers.push(t);
             true
         } else {
@@ -208,6 +209,52 @@ impl RwState {
     }
 }
 
+/// A cyclic barrier for a fixed party count.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierState {
+    /// How many arrivals trip the barrier.
+    pub parties: u32,
+    /// Threads blocked waiting for the current generation to trip.
+    pub queue: VecDeque<Th>,
+    /// Completed generations (trips).
+    pub generation: u64,
+    /// Total arrivals across all generations; the audit's conservation
+    /// law is `generation * parties + queue.len() == arrivals`.
+    pub arrivals: u64,
+}
+
+impl BarrierState {
+    /// A barrier tripping every `parties` arrivals.
+    pub fn new(parties: u32) -> BarrierState {
+        BarrierState { parties, ..BarrierState::default() }
+    }
+
+    /// Thread `t` arrives. If this arrival trips the barrier, returns the
+    /// waiters to wake (not including `t`, who never blocked); otherwise
+    /// `t` is queued and `None` is returned.
+    pub fn arrive(&mut self, t: Th) -> Option<Vec<Th>> {
+        self.arrivals += 1;
+        if self.queue.len() as u64 + 1 >= self.parties as u64 {
+            self.generation += 1;
+            Some(self.queue.drain(..).collect())
+        } else {
+            self.queue.push_back(t);
+            None
+        }
+    }
+}
+
+/// A `pthread_once`-style one-time initializer.
+#[derive(Debug, Clone, Default)]
+pub struct OnceState {
+    /// The initializer has completed.
+    pub done: bool,
+    /// The thread currently running the initializer, if any.
+    pub running: Option<Th>,
+    /// Threads blocked waiting for the running initializer to finish.
+    pub queue: VecDeque<Th>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,12 +311,14 @@ mod tests {
     #[test]
     fn rwlock_readers_share_writers_exclude() {
         let mut rw = RwState::default();
-        assert!(rw.try_read(T1));
-        assert!(rw.try_read(T4));
+        assert!(rw.try_read(T1, true));
+        assert!(rw.try_read(T4, true));
         assert!(!rw.try_write(T5));
         rw.queue.push_back(RwWaiter::Writer(T5));
         // Writer queued -> new readers must wait (writer preference).
-        assert!(!rw.try_read(6));
+        assert!(!rw.try_read(6, true));
+        // ... unless the preference knob is off (reader barging).
+        assert!(rw.clone().try_read(6, false));
         assert_eq!(rw.unlock(T1).unwrap(), Vec::<Th>::new());
         assert_eq!(rw.unlock(T4).unwrap(), vec![T5]);
         assert_eq!(rw.writer, Some(T5));
@@ -291,7 +340,29 @@ mod tests {
     #[test]
     fn rwlock_unlock_by_stranger_fails() {
         let mut rw = RwState::default();
-        assert!(rw.try_read(T1));
+        assert!(rw.try_read(T1, true));
         assert!(rw.unlock(T5).is_none());
+    }
+
+    #[test]
+    fn barrier_trips_every_parties_arrivals() {
+        let mut b = BarrierState::new(3);
+        assert_eq!(b.arrive(T1), None);
+        assert_eq!(b.arrive(T4), None);
+        assert_eq!(b.arrive(T5), Some(vec![T1, T4]));
+        assert_eq!(b.generation, 1);
+        assert_eq!(b.arrivals, 3);
+        // Cyclic: the next generation starts empty.
+        assert_eq!(b.arrive(T4), None);
+        assert_eq!(b.queue.len(), 1);
+        assert_eq!(b.generation * b.parties as u64 + b.queue.len() as u64, b.arrivals);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let mut b = BarrierState::new(1);
+        assert_eq!(b.arrive(T1), Some(vec![]));
+        assert_eq!(b.arrive(T1), Some(vec![]));
+        assert_eq!(b.generation, 2);
     }
 }

@@ -76,6 +76,77 @@ fn leaked_mutex_unlock_is_caught_as_lock_held_at_exit() {
     );
 }
 
+/// Main takes one uncontended read lock — the leak target for the
+/// rwlock-lifecycle law. Nobody else touches the lock, so leaking the
+/// reader's unlock cannot deadlock the run.
+fn uncontended_read_app() -> App {
+    let mut b = AppBuilder::new("rw-leak", "rw_leak.c");
+    let rw = b.rwlock();
+    b.main(move |f| {
+        f.rd_lock(rw);
+        f.work_us(50);
+        f.rw_unlock(rw);
+        f.work_us(50);
+    });
+    b.build().unwrap()
+}
+
+/// Three workers meeting at a barrier once, then finishing. The barrier
+/// trip is where the skipped-waker fault strikes.
+fn barrier_app(parties: u64) -> App {
+    let mut b = AppBuilder::new("barrier", "barrier.c");
+    let bar = b.barrier(parties as u32);
+    let w = b.func("worker", move |f| {
+        f.work_us(80);
+        f.barrier_wait(bar);
+        f.work_us(40);
+    });
+    b.main(move |f| {
+        let s = f.slot();
+        f.loop_n(parties, |f| f.create_into(w, s));
+        f.loop_n(parties, |f| f.join(s));
+    });
+    b.build().unwrap()
+}
+
+#[test]
+fn leaked_read_guard_is_caught_as_lock_held_at_exit() {
+    let mut hooks = NullHooks;
+    let opts = RunOptions {
+        faults: FaultInjection { leak_rw_reader: Some(0), ..FaultInjection::none() },
+        ..RunOptions::new(&mut hooks)
+    };
+    let r = run(&uncontended_read_app(), &cfg(1), opts).unwrap();
+    assert!(!r.audit.is_clean(), "audit missed the leaked read guard");
+    assert!(
+        r.audit.violations.iter().any(|v| v.law == ViolationKind::LockHeldAtExit),
+        "wrong law: {}",
+        r.audit.render()
+    );
+}
+
+#[test]
+fn skipped_barrier_waker_is_caught_by_queue_and_generation_laws() {
+    let mut hooks = NullHooks;
+    let opts = RunOptions {
+        faults: FaultInjection { skip_barrier_waker: Some(0), ..FaultInjection::none() },
+        ..RunOptions::new(&mut hooks)
+    };
+    let r = run(&barrier_app(3), &cfg(2), opts).unwrap();
+    assert!(!r.audit.is_clean(), "audit missed the skipped barrier waker");
+    let laws: Vec<_> = r.audit.violations.iter().map(|v| v.law).collect();
+    assert!(
+        laws.contains(&ViolationKind::WaitQueueNotEmpty),
+        "stale queue entry not flagged: {}",
+        r.audit.render()
+    );
+    assert!(
+        laws.contains(&ViolationKind::BarrierGenerationLaw),
+        "generation ledger not flagged: {}",
+        r.audit.render()
+    );
+}
+
 #[test]
 fn double_charged_cpu_is_caught_as_time_imbalance() {
     let mut hooks = NullHooks;

@@ -79,6 +79,8 @@ const T_RW_TRYRDLOCK: u8 = 23;
 const T_RW_TRYWRLOCK: u8 = 24;
 const T_RW_UNLOCK: u8 = 25;
 const T_IO_WAIT: u8 = 26;
+const T_BARRIER_WAIT: u8 = 27;
+const T_ONCE_CALL: u8 = 28;
 
 // Result tags.
 const R_NONE: u8 = 0;
@@ -198,6 +200,14 @@ fn write_record_body(
             put_varint(buf, m as u64);
             put_varint(buf, d.nanos());
         }
+        Payload::ObjCount(i, n) => {
+            put_varint(buf, i as u64);
+            put_varint(buf, n as u64);
+        }
+        Payload::ObjDur(i, d) => {
+            put_varint(buf, i as u64);
+            put_varint(buf, d.nanos());
+        }
     }
     match r.result {
         EventResult::None => buf.put_u8(R_NONE),
@@ -228,6 +238,8 @@ enum Payload {
     CondMutex(u32, u32),
     CondMutexTimeout(u32, u32, Duration),
     Dur(Duration),
+    ObjCount(u32, u32),
+    ObjDur(u32, Duration),
 }
 
 fn tag_of(kind: &EventKind) -> Result<(u8, Payload), VppbError> {
@@ -267,6 +279,8 @@ fn tag_of(kind: &EventKind) -> Result<(u8, Payload), VppbError> {
         RwTryRdLock { obj } => (T_RW_TRYRDLOCK, Payload::Obj(obj.index)),
         RwTryWrLock { obj } => (T_RW_TRYWRLOCK, Payload::Obj(obj.index)),
         RwUnlock { obj } => (T_RW_UNLOCK, Payload::Obj(obj.index)),
+        BarrierWait { obj, parties } => (T_BARRIER_WAIT, Payload::ObjCount(obj.index, parties)),
+        OnceCall { obj, init } => (T_ONCE_CALL, Payload::ObjDur(obj.index, init)),
     })
 }
 
@@ -691,6 +705,14 @@ fn parse_record_body(buf: &mut Bytes, prev_us: u64, seq: u64) -> Result<(TraceRe
         T_RW_TRYWRLOCK => EventKind::RwTryWrLock { obj: obj(buf, SyncObjId::rwlock)? },
         T_RW_UNLOCK => EventKind::RwUnlock { obj: obj(buf, SyncObjId::rwlock)? },
         T_IO_WAIT => EventKind::IoWait { latency: Duration(get_varint(buf)?) },
+        T_BARRIER_WAIT => EventKind::BarrierWait {
+            obj: SyncObjId::barrier(get_varint(buf)? as u32),
+            parties: get_varint(buf)? as u32,
+        },
+        T_ONCE_CALL => EventKind::OnceCall {
+            obj: SyncObjId::once(get_varint(buf)? as u32),
+            init: Duration(get_varint(buf)?),
+        },
         t => return Err((DiagCode::UnknownTag, format!("unknown record tag {t}"))),
     };
     if !buf.has_remaining() {

@@ -12,6 +12,61 @@ use crate::ids::{CpuId, ThreadId};
 use crate::time::Duration;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which scheduler world governs the *user-level* run queue: how runnable
+/// unbound threads are ordered, picked by LWPs, and (not) time-sliced.
+/// Kernel-level LWP dispatch onto CPUs is common machinery shared by all
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The paper's world: Solaris 2.5 two-level scheduling. Unbound
+    /// threads sit in one global priority queue (128 TS levels, FIFO
+    /// within a level) and are preemptively time-sliced by the dispatch
+    /// table. The faithful default.
+    #[default]
+    SolarisTs,
+    /// An async-executor world: cooperative tasks over M:N work-stealing
+    /// run queues. Each pool LWP is a worker with its own deque; tasks
+    /// with no local affinity land in a shared injector; an idle worker
+    /// pops its own deque first, then the injector, then steals from the
+    /// other workers in deterministic (ascending, wrapping) order. Tasks
+    /// run to their next blocking point — no preemptive slicing, and
+    /// priorities do not reorder the queues.
+    AsyncPool,
+}
+
+impl ModelKind {
+    /// All models, in display order (the sweep `--model all` axis).
+    pub const ALL: [ModelKind; 2] = [ModelKind::SolarisTs, ModelKind::AsyncPool];
+
+    /// Short name used on the CLI, in JSON and in table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::SolarisTs => "solaris",
+            ModelKind::AsyncPool => "async",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ModelKind, String> {
+        match s {
+            "solaris" | "solaris-ts" | "ts" => Ok(ModelKind::SolarisTs),
+            "async" | "async-pool" | "work-stealing" => Ok(ModelKind::AsyncPool),
+            other => Err(format!("unknown scheduler model {other:?} (want solaris|async)")),
+        }
+    }
+}
 
 /// How many LWPs the process gets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -143,6 +198,26 @@ pub struct MachineConfig {
     /// §3.2). The paper's simulator does not model caches, so the default
     /// is zero; the binding what-ifs become quantitative when set.
     pub migration_penalty: Duration,
+    /// Which scheduler world runs the user-level queue (Solaris TS or the
+    /// async work-stealing pool). Defaults to the paper's Solaris world;
+    /// absent in older serialized configs, hence the serde default.
+    #[serde(default)]
+    pub model: ModelKind,
+    /// Read/write locks prefer queued writers over new readers (the
+    /// Solaris `rwlock_t` behavior). Turning this off grants read locks
+    /// whenever no writer *holds* the lock, even with writers queued.
+    #[serde(default = "default_true")]
+    pub rw_writer_preference: bool,
+    /// Priority inheritance on mutexes: while a higher-priority thread
+    /// blocks on `mutex_lock`, the owner's user priority is boosted to the
+    /// blocker's, and restored to its base at unlock. Off by default (the
+    /// Solaris 2.5 TS class did not apply PI to user threads).
+    #[serde(default)]
+    pub priority_inheritance: bool,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl MachineConfig {
@@ -176,6 +251,12 @@ impl MachineConfig {
         self.comm_delay = d;
         self
     }
+
+    /// Builder-style: set the scheduler model.
+    pub fn with_model(mut self, model: ModelKind) -> MachineConfig {
+        self.model = model;
+        self
+    }
 }
 
 impl Default for MachineConfig {
@@ -190,6 +271,9 @@ impl Default for MachineConfig {
             base_costs: BaseCosts::default(),
             bound_costs: BoundCosts::default(),
             migration_penalty: Duration::ZERO,
+            model: ModelKind::SolarisTs,
+            rw_writer_preference: true,
+            priority_inheritance: false,
         }
     }
 }
@@ -214,6 +298,15 @@ pub struct FaultInjection {
     /// stand-in for "any unexpected bug in a worker", used to prove that
     /// one poisoned sweep configuration cannot take down its siblings.
     pub panic_after_events: Option<u64>,
+    /// Skip the release semantics of a *reader's* `rw_unlock` on this
+    /// rwlock: the call completes but the read guard stays registered, so
+    /// a sound run ends with `lock-held-at-exit` on the rwlock.
+    pub leak_rw_reader: Option<u32>,
+    /// When this barrier trips, wake all but one of its waiters and leave
+    /// the last one queued — the "skipped waker" bug. The run completes
+    /// (the skipped thread stays blocked) and the audit must flag both the
+    /// non-empty wait queue and the broken generation-count law.
+    pub skip_barrier_waker: Option<u32>,
 }
 
 impl FaultInjection {
@@ -227,6 +320,8 @@ impl FaultInjection {
         self.leak_mutex.is_some()
             || self.double_charge_cpu.is_some()
             || self.panic_after_events.is_some()
+            || self.leak_rw_reader.is_some()
+            || self.skip_barrier_waker.is_some()
     }
 }
 
@@ -332,5 +427,33 @@ mod tests {
         assert!(!Binding::Unbound.is_bound());
         assert!(Binding::BoundLwp.is_bound());
         assert!(Binding::BoundCpu(CpuId(0)).is_bound());
+    }
+
+    #[test]
+    fn model_kind_parses_and_displays() {
+        for m in ModelKind::ALL {
+            assert_eq!(m.name().parse::<ModelKind>().unwrap(), m);
+        }
+        assert_eq!("work-stealing".parse::<ModelKind>().unwrap(), ModelKind::AsyncPool);
+        assert!("fifo".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn machine_config_without_model_fields_still_deserializes() {
+        // A config serialized before the scheduler-model axis existed has
+        // no `model` / `rw_writer_preference` / `priority_inheritance`
+        // keys; they must fall back to the Solaris defaults.
+        use serde::Serialize as _;
+        let mut old = MachineConfig::default().to_value();
+        if let serde::Value::Object(fields) = &mut old {
+            fields.retain(|(k, _)| {
+                k != "model" && k != "rw_writer_preference" && k != "priority_inheritance"
+            });
+        }
+        let text = serde_json::to_string(&old).expect("render");
+        let back: MachineConfig = serde_json::from_str(&text).expect("old config must load");
+        assert_eq!(back.model, ModelKind::SolarisTs);
+        assert!(back.rw_writer_preference);
+        assert!(!back.priority_inheritance);
     }
 }

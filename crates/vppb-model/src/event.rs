@@ -185,6 +185,26 @@ pub enum EventKind {
         /// The object concerned.
         obj: SyncObjId,
     },
+
+    /// `barrier_wait` (extension). `parties` is the barrier's membership
+    /// count, recorded at the BEFORE probe from the barrier's declaration —
+    /// the Simulator reads it straight from the log instead of inferring
+    /// wait topology the way the condvar replay rules must.
+    BarrierWait {
+        /// The object concerned.
+        obj: SyncObjId,
+        /// How many threads must arrive before the barrier trips.
+        parties: u32,
+    },
+    /// `once_call` (extension): run a one-time initializer, or wait for
+    /// the thread already running it. `init` is the initializer's compute
+    /// cost, charged to whichever caller wins the race.
+    OnceCall {
+        /// The object concerned.
+        obj: SyncObjId,
+        /// Compute cost of the guarded initializer.
+        init: Duration,
+    },
 }
 
 impl EventKind {
@@ -220,6 +240,8 @@ impl EventKind {
             RwTryRdLock { .. } => "rw_tryrdlock",
             RwTryWrLock { .. } => "rw_trywrlock",
             RwUnlock { .. } => "rw_unlock",
+            BarrierWait { .. } => "barrier_wait",
+            OnceCall { .. } => "once_call",
         }
     }
 
@@ -239,7 +261,9 @@ impl EventKind {
             | RwWrLock { obj }
             | RwTryRdLock { obj }
             | RwTryWrLock { obj }
-            | RwUnlock { obj } => Some(obj),
+            | RwUnlock { obj }
+            | BarrierWait { obj, .. }
+            | OnceCall { obj, .. } => Some(obj),
             CondWait { cond, .. }
             | CondTimedWait { cond, .. }
             | CondSignal { cond }
@@ -270,6 +294,8 @@ impl EventKind {
                 | CondTimedWait { .. }
                 | RwRdLock { .. }
                 | RwWrLock { .. }
+                | BarrierWait { .. }
+                | OnceCall { .. }
                 | IoWait { .. }
         )
     }

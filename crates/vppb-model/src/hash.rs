@@ -24,7 +24,7 @@
 //! encoded byte stream — fixed offset basis, no per-process seeding.
 
 use crate::config::{
-    BaseCosts, Binding, BoundCosts, FaultInjection, LwpPolicy, MachineConfig, SimParams,
+    BaseCosts, Binding, BoundCosts, FaultInjection, LwpPolicy, MachineConfig, ModelKind, SimParams,
     ThreadManip,
 };
 use crate::dispatch::DispatchTable;
@@ -229,9 +229,20 @@ impl StableHash for DispatchTable {
     }
 }
 
+impl StableHash for ModelKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            ModelKind::SolarisTs => h.write_u8(0),
+            ModelKind::AsyncPool => h.write_u8(1),
+        }
+    }
+}
+
 impl StableHash for FaultInjection {
     fn stable_hash(&self, h: &mut StableHasher) {
-        for opt in [self.leak_mutex, self.double_charge_cpu] {
+        for opt in
+            [self.leak_mutex, self.double_charge_cpu, self.leak_rw_reader, self.skip_barrier_waker]
+        {
             match opt {
                 None => h.write_u8(0),
                 Some(v) => {
@@ -261,6 +272,9 @@ impl StableHash for MachineConfig {
         self.base_costs.stable_hash(h);
         self.bound_costs.stable_hash(h);
         self.migration_penalty.stable_hash(h);
+        self.model.stable_hash(h);
+        h.write_bool(self.rw_writer_preference);
+        h.write_bool(self.priority_inheritance);
     }
 }
 
@@ -424,7 +438,22 @@ mod tests {
         v.barrier_aware_broadcast = false;
         variants.push(v);
         let mut v = base.clone();
+        v.machine.model = ModelKind::AsyncPool;
+        variants.push(v);
+        let mut v = base.clone();
+        v.machine.rw_writer_preference = false;
+        variants.push(v);
+        let mut v = base.clone();
+        v.machine.priority_inheritance = true;
+        variants.push(v);
+        let mut v = base.clone();
         v.faults.leak_mutex = Some(0);
+        variants.push(v);
+        let mut v = base.clone();
+        v.faults.leak_rw_reader = Some(0);
+        variants.push(v);
+        let mut v = base.clone();
+        v.faults.skip_barrier_waker = Some(0);
         variants.push(v);
         variants.push(base.clone().override_priority(ThreadId(1), 10));
         let base_fp = base.fingerprint();

@@ -69,16 +69,24 @@ pub enum ObjKind {
     Condvar,
     /// A `rwlock_t`.
     RwLock,
+    /// A `barrier_t` (extension: cyclic barrier, not in Solaris 2.5
+    /// libthread but ubiquitous in the SPLASH-style programs VPPB targets).
+    Barrier,
+    /// A `pthread_once_t`-style one-time initializer (extension).
+    Once,
 }
 
 impl ObjKind {
-    /// Short tag used in logs and displays (`mtx`, `sem`, `cv`, `rw`).
+    /// Short tag used in logs and displays (`mtx`, `sem`, `cv`, `rw`,
+    /// `bar`, `once`).
     pub fn short(self) -> &'static str {
         match self {
             ObjKind::Mutex => "mtx",
             ObjKind::Semaphore => "sem",
             ObjKind::Condvar => "cv",
             ObjKind::RwLock => "rw",
+            ObjKind::Barrier => "bar",
+            ObjKind::Once => "once",
         }
     }
 
@@ -89,6 +97,8 @@ impl ObjKind {
             "sem" => ObjKind::Semaphore,
             "cv" => ObjKind::Condvar,
             "rw" => ObjKind::RwLock,
+            "bar" => ObjKind::Barrier,
+            "once" => ObjKind::Once,
             _ => return None,
         })
     }
@@ -129,6 +139,16 @@ impl SyncObjId {
     pub fn rwlock(index: u32) -> SyncObjId {
         SyncObjId { kind: ObjKind::RwLock, index }
     }
+    /// The `index`-th barrier.
+    #[inline]
+    pub fn barrier(index: u32) -> SyncObjId {
+        SyncObjId { kind: ObjKind::Barrier, index }
+    }
+    /// The `index`-th one-time initializer.
+    #[inline]
+    pub fn once(index: u32) -> SyncObjId {
+        SyncObjId { kind: ObjKind::Once, index }
+    }
 }
 
 impl fmt::Display for SyncObjId {
@@ -162,6 +182,8 @@ mod tests {
             SyncObjId::semaphore(12),
             SyncObjId::condvar(3),
             SyncObjId::rwlock(7),
+            SyncObjId::barrier(2),
+            SyncObjId::once(0),
         ] {
             assert_eq!(parse_obj_id(&id.to_string()), Some(id));
         }

@@ -32,7 +32,7 @@ pub mod trace;
 pub mod vfs;
 
 pub use config::{
-    BaseCosts, Binding, BoundCosts, FaultInjection, LwpPolicy, MachineConfig, SimParams,
+    BaseCosts, Binding, BoundCosts, FaultInjection, LwpPolicy, MachineConfig, ModelKind, SimParams,
     ThreadManip,
 };
 pub use diag::{DiagCode, Diagnostic, Pos, Severity};

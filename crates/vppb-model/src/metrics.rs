@@ -89,6 +89,9 @@ pub enum ViolationKind {
     MakespanBound,
     /// A thread's start/end bookkeeping is inconsistent with the run.
     LifecycleIncomplete,
+    /// A barrier's arrival ledger is inconsistent:
+    /// `generation x parties + queued != arrivals`.
+    BarrierGenerationLaw,
 }
 
 impl fmt::Display for ViolationKind {
@@ -100,6 +103,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::CpuOversubscribed => "cpu-oversubscribed",
             ViolationKind::MakespanBound => "makespan-bound",
             ViolationKind::LifecycleIncomplete => "lifecycle-incomplete",
+            ViolationKind::BarrierGenerationLaw => "barrier-generation-law",
         };
         f.write_str(s)
     }

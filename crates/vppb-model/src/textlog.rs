@@ -108,6 +108,12 @@ fn write_record(out: &mut String, r: &TraceRecord) {
         CondSignal { cond } | CondBroadcast { cond } => {
             let _ = write!(out, " cond={cond}");
         }
+        BarrierWait { obj, parties } => {
+            let _ = write!(out, " obj={obj} parties={parties}");
+        }
+        OnceCall { obj, init } => {
+            let _ = write!(out, " obj={obj} init={}", init.nanos());
+        }
     }
     match r.result {
         EventResult::None => {}
@@ -324,6 +330,19 @@ fn parse_record_line(line: &str) -> Result<TraceRecord, ParseFail> {
         "rw_tryrdlock" => RwTryRdLock { obj: obj(&kv, "obj")? },
         "rw_trywrlock" => RwTryWrLock { obj: obj(&kv, "obj")? },
         "rw_unlock" => RwUnlock { obj: obj(&kv, "obj")? },
+        "barrier_wait" => BarrierWait {
+            obj: obj(&kv, "obj")?,
+            parties: kv
+                .get("parties")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| missing("parties="))?,
+        },
+        "once_call" => OnceCall {
+            obj: obj(&kv, "obj")?,
+            init: Duration(
+                kv.get("init").and_then(|v| v.parse().ok()).ok_or_else(|| missing("init="))?,
+            ),
+        },
         other => return Err((DiagCode::UnknownRoutine, format!("unknown routine {other:?}"))),
     };
 

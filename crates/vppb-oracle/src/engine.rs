@@ -29,10 +29,10 @@
 //! structure, the parked-LWP and zombie sets, and all synchronization
 //! object state ([`crate::queues`], [`crate::nsync`]).
 
-use crate::nsync::{NCond, NMutex, NRw, NRwWaiter, NSem};
-use crate::queues::{NaiveEvents, NaiveRq};
+use crate::nsync::{NBarrier, NCond, NMutex, NOnce, NRw, NRwWaiter, NSem};
+use crate::queues::{NaiveEvents, NaiveModel, NaiveRq};
 use std::collections::BTreeMap;
-use vppb_machine::audit::{run_audit, AuditInput, SyncAudit, ThreadAudit};
+use vppb_machine::audit::{run_audit, AuditInput, BarrierAudit, SyncAudit, ThreadAudit};
 use vppb_machine::{event_kind_of, Intercept, RunOptions, RunResult, SchedEvent};
 use vppb_model::{
     Binding, BlockReason, CodeAddr, CpuId, Duration, EventResult, ExecutionTrace, LwpId, LwpPolicy,
@@ -54,6 +54,10 @@ pub struct OracleTweaks {
     /// Dispatch LWPs LIFO within a priority level instead of FIFO — an
     /// inverted tie-break invisible to the conservation auditor.
     pub invert_dispatch_tiebreak: bool,
+    /// Under the async model, visit steal victims in descending wrapping
+    /// slot order instead of ascending — a planted work-stealing bug the
+    /// two-model differential grid must catch. No effect under Solaris.
+    pub reverse_steal_order: bool,
 }
 
 /// Execute `app` on the oracle scheduler. Same contract as
@@ -128,9 +132,17 @@ struct ThreadRt {
     phase: Phase,
     binding: Binding,
     user_prio: i32,
+    /// The thread's own priority; `user_prio` may sit above it while a
+    /// priority-inheritance boost is in effect.
+    base_prio: i32,
     prio_locked: bool,
     lwp: Option<Lix>,
     last_cpu: Option<Cix>,
+    /// The pool LWP this thread last ran on. Wakeups hand it back to the
+    /// scheduling model as the `local` hint so per-worker-queue models
+    /// give woken tasks affinity to their old worker; the Solaris model
+    /// ignores it (one global queue).
+    last_pool_lwp: Option<Lix>,
     outcome: Outcome,
     call: Option<Inflight>,
     /// (condvar index, mutex index) while waiting on a condition.
@@ -195,9 +207,12 @@ struct Oracle<'a, 'o> {
     sems: Vec<NSem>,
     conds: Vec<NCond>,
     rws: Vec<NRw>,
+    barriers: Vec<NBarrier>,
+    onces: Vec<NOnce>,
     vars: Vec<i64>,
-    /// Unbound runnable threads without an LWP, highest priority first.
-    user_rq: NaiveRq,
+    /// Runnable unbound threads without an LWP, ordered by the
+    /// user-level scheduling model (`cfg.model`).
+    model: NaiveModel,
     /// Ready LWPs awaiting a CPU, highest priority first.
     kernel_rq: NaiveRq,
     /// Parked pool LWPs; the lowest index is attached first.
@@ -222,6 +237,10 @@ enum CallOutcome {
     /// Thread entered a blocking I/O system call: the *LWP* sleeps in the
     /// kernel with the thread still attached, for this long.
     BlockedIo(Duration),
+    /// The call runs for this much longer *on the CPU* and then re-enters
+    /// its semantics (a `once` winner executing the initializer inside the
+    /// call span).
+    Extend(Duration),
     /// Thread exited.
     Exited,
 }
@@ -256,8 +275,10 @@ impl<'a, 'o> Oracle<'a, 'o> {
             sems: app.sem_initial.iter().map(|&v| NSem::new(v)).collect(),
             conds: vec![NCond::default(); app.n_condvars as usize],
             rws: vec![NRw::default(); app.n_rwlocks as usize],
+            barriers: app.barrier_parties.iter().map(|&p| NBarrier::new(p)).collect(),
+            onces: vec![NOnce::default(); app.once_init.len()],
             vars: app.var_initial.clone(),
-            user_rq: NaiveRq::new(),
+            model: NaiveModel::new(cfg.model, tweaks.reverse_steal_order),
             kernel_rq: NaiveRq::new(),
             parked: Vec::new(),
             joiners: Vec::new(),
@@ -346,26 +367,25 @@ impl<'a, 'o> Oracle<'a, 'o> {
 
     // -- user-level run queue ----------------------------------------------
 
-    fn user_rq_push(&mut self, tix: Tix, front: bool) {
+    /// Hand a runnable unbound thread to the scheduling model. `local`
+    /// names the LWP whose queue should receive it when the model keeps
+    /// per-worker queues (a yield on that worker); wakeups pass `None`.
+    fn user_rq_push(&mut self, tix: Tix, front: bool, local: Option<Lix>) {
         let prio = self.threads[tix].user_prio;
-        if front {
-            self.user_rq.push_front(tix, prio);
-        } else {
-            self.user_rq.push_back(tix, prio);
-        }
+        self.model.push(tix, prio, front, local);
         if self.observing() {
-            let depth = self.user_rq.len() as u32;
+            let depth = self.model.len() as u32;
             let thread = self.threads[tix].id;
             self.observe(SchedEvent::UserEnqueue { thread, prio, depth });
         }
     }
 
-    fn user_rq_pop(&mut self) -> Option<Tix> {
-        self.user_rq.pop_max()
+    fn user_rq_pop(&mut self, lix: Lix) -> Option<Tix> {
+        self.model.pop_for(lix)
     }
 
     fn user_rq_remove(&mut self, tix: Tix) -> bool {
-        self.user_rq.remove(tix)
+        self.model.remove(tix)
     }
 
     // -- kernel run queue ---------------------------------------------------
@@ -430,7 +450,7 @@ impl<'a, 'o> Oracle<'a, 'o> {
                     && !self.lwps[self.parked[pos]].dedicated,
                 "parked set holds only parked pool LWPs"
             );
-            let Some(tix) = self.user_rq_pop() else { return };
+            let Some(tix) = self.user_rq_pop(self.parked[pos]) else { return };
             let lix = self.parked.remove(pos);
             self.attach(lix, tix, true);
             self.kernel_enqueue(lix);
@@ -450,7 +470,11 @@ impl<'a, 'o> Oracle<'a, 'o> {
         if slept {
             l.fresh_quantum = true;
         }
+        let dedicated = self.lwps[lix].dedicated;
         self.threads[tix].lwp = Some(lix);
+        if !dedicated {
+            self.threads[tix].last_pool_lwp = Some(lix);
+        }
     }
 
     /// The scheduling fixed point: attach parked LWPs, fill idle CPUs in
@@ -604,7 +628,7 @@ impl<'a, 'o> Oracle<'a, 'o> {
             self.cpus[c].token += 1;
             return self.dispatch();
         }
-        match self.user_rq_pop() {
+        match self.user_rq_pop(l) {
             Some(next) => {
                 self.attach(l, next, false);
                 self.cpus[c].run_start = self.now;
@@ -678,8 +702,11 @@ impl<'a, 'o> Oracle<'a, 'o> {
                         _ => unreachable!(),
                     }
                     // Run until done, or until the quantum expires if the
-                    // machine time-slices.
-                    let stop = if self.cfg.time_slicing {
+                    // machine time-slices. Cooperative models (the async
+                    // pool) never preempt a pool worker mid-task; only
+                    // dedicated (bound-thread) LWPs keep the quantum.
+                    let coop = self.model.cooperative() && !self.lwps[l].dedicated;
+                    let stop = if self.cfg.time_slicing && !coop {
                         Duration::from_nanos(total.nanos().min(self.lwps[l].quantum_left.nanos()))
                     } else {
                         total
@@ -825,10 +852,13 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 self.kernel_enqueue(l);
                 self.dispatch()?;
             } else {
+                let l = self.cpus[c].lwp;
                 self.charge_elapsed(c);
                 self.set_state(tix, TState::Runnable);
                 self.detach_thread(tix);
-                self.user_rq_push(tix, false);
+                // A yield stays local to the worker it ran on (models with
+                // per-worker queues put it at the back of that queue).
+                self.user_rq_push(tix, false, l);
                 self.lwp_continue_or_park(c)?;
             }
             return Ok(false);
@@ -897,7 +927,10 @@ impl<'a, 'o> Oracle<'a, 'o> {
             self.lwps[l].fresh_quantum = true;
             self.kernel_enqueue(l);
         } else {
-            self.user_rq_push(tix, false);
+            // Wake affinity: hand the thread back to the worker it last
+            // ran on (ignored by the global-queue Solaris model).
+            let local = self.threads[tix].last_pool_lwp;
+            self.user_rq_push(tix, false, local);
         }
         Ok(())
     }
@@ -942,9 +975,11 @@ impl<'a, 'o> Oracle<'a, 'o> {
             phase: Phase::Resume,
             binding,
             user_prio: manip.priority.unwrap_or(0),
+            base_prio: manip.priority.unwrap_or(0),
             prio_locked: manip.priority.is_some(),
             lwp: None,
             last_cpu: None,
+            last_pool_lwp: None,
             outcome: Outcome::None,
             call: None,
             cv_wait: None,
@@ -1018,6 +1053,7 @@ impl<'a, 'o> Oracle<'a, 'o> {
             cpu_binding: None,
             last_thread: None,
         });
+        self.model.register_worker(lix);
         self.parked.push(lix);
         lix
     }
@@ -1096,6 +1132,8 @@ impl<'a, 'o> Oracle<'a, 'o> {
             vppb_model::ObjKind::Semaphore => self.sems[ix].queue.len(),
             vppb_model::ObjKind::Condvar => self.conds[ix].queue.len(),
             vppb_model::ObjKind::RwLock => self.rws[ix].queue.len(),
+            vppb_model::ObjKind::Barrier => self.barriers[ix].queue.len(),
+            vppb_model::ObjKind::Once => self.onces[ix].queue.len(),
         }) as u32
     }
 
@@ -1135,6 +1173,12 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 self.cpus[c].last_lwp = Some(l);
                 self.cpus[c].token += 1;
                 self.dispatch()
+            }
+            CallOutcome::Extend(d) => {
+                // The call keeps running on the CPU for `d` more (a once
+                // initializer); its semantics re-enter when that elapses.
+                self.threads[tix].phase = Phase::CallLatency { left: d };
+                self.run_thread(c)
             }
             CallOutcome::Exited => self.exit_thread(tix, c),
         }
@@ -1196,10 +1240,13 @@ impl<'a, 'o> Oracle<'a, 'o> {
             SetPrio { target, prio } => {
                 if let Some(&xix) = self.by_id.get(&target) {
                     if !self.threads[xix].prio_locked {
-                        let was_queued = self.user_rq_remove(xix);
+                        // Only priority-ordered models re-queue; the async
+                        // queues keep FIFO positions across setprio.
+                        let was_queued = self.model.requeue_priority() && self.user_rq_remove(xix);
                         self.threads[xix].user_prio = prio;
+                        self.threads[xix].base_prio = prio;
                         if was_queued {
-                            self.user_rq_push(xix, false);
+                            self.user_rq_push(xix, false, None);
                         }
                     }
                 }
@@ -1243,6 +1290,12 @@ impl<'a, 'o> Oracle<'a, 'o> {
                     CallOutcome::Done
                 } else {
                     self.mutexes[m.0 as usize].queue.push(id);
+                    if self.cfg.priority_inheritance {
+                        let owner =
+                            self.mutexes[m.0 as usize].owner.expect("contended mutex has owner");
+                        let oix = self.by_id[&owner];
+                        self.inherit_priority(oix, self.threads[tix].user_prio);
+                    }
                     CallOutcome::Blocked(BlockReason::Sync(SyncObjId::mutex(m.0)))
                 }
             }
@@ -1255,6 +1308,11 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 if self.opts.faults.leak_mutex == Some(m.0) {
                     // Deliberate corruption (FaultInjection), mirrored.
                     return Ok(CallOutcome::Done);
+                }
+                if self.cfg.priority_inheritance {
+                    // Whatever boost this mutex's waiters lent the owner
+                    // ends at release.
+                    self.restore_base_priority(tix);
                 }
                 let next =
                     self.mutexes[m.0 as usize].unlock(id).map_err(VppbError::ProgramError)?;
@@ -1308,7 +1366,7 @@ impl<'a, 'o> Oracle<'a, 'o> {
             }
 
             RwRdLock(r) => {
-                if self.rws[r.0 as usize].try_read(id) {
+                if self.rws[r.0 as usize].try_read(id, self.cfg.rw_writer_preference) {
                     CallOutcome::Done
                 } else {
                     self.rws[r.0 as usize].queue.push(NRwWaiter::Reader(id));
@@ -1324,7 +1382,7 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 }
             }
             RwTryRdLock(r) => {
-                let got = self.rws[r.0 as usize].try_read(id);
+                let got = self.rws[r.0 as usize].try_read(id, self.cfg.rw_writer_preference);
                 self.threads[tix].outcome = Outcome::Acquired(got);
                 CallOutcome::Done
             }
@@ -1334,6 +1392,12 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 CallOutcome::Done
             }
             RwUnlock(r) => {
+                if self.opts.faults.leak_rw_reader == Some(r.0)
+                    && self.rws[r.0 as usize].readers.contains(&id)
+                {
+                    // Deliberate corruption (FaultInjection), mirrored.
+                    return Ok(CallOutcome::Done);
+                }
                 let granted = self.rws[r.0 as usize].unlock(id).map_err(VppbError::ProgramError)?;
                 for w in granted {
                     let wix = self.by_id[&w];
@@ -1341,7 +1405,81 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 }
                 CallOutcome::Done
             }
+
+            BarrierWait(b) => {
+                let bix = b.0 as usize;
+                match self.barriers[bix].arrive(id) {
+                    Some(waiters) => {
+                        if self.opts.faults.skip_barrier_waker == Some(b.0) {
+                            // Deliberate corruption (FaultInjection),
+                            // mirrored: a stale queue entry survives the
+                            // trip.
+                            if let Some(&first) = waiters.first() {
+                                self.barriers[bix].queue.push(first);
+                            }
+                        }
+                        for w in waiters {
+                            let wix = self.by_id[&w];
+                            self.threads[wix].outcome = Outcome::Acquired(false);
+                            self.finish_blocking_wake(wix, c);
+                        }
+                        // The tripping arrival is the "serial" caller.
+                        self.threads[tix].outcome = Outcome::Acquired(true);
+                        CallOutcome::Done
+                    }
+                    None => CallOutcome::Blocked(BlockReason::Sync(SyncObjId::barrier(b.0))),
+                }
+            }
+
+            OnceCall(o) => {
+                let oix = o.0 as usize;
+                if self.onces[oix].done {
+                    self.threads[tix].outcome = Outcome::Acquired(false);
+                    CallOutcome::Done
+                } else if self.onces[oix].running == Some(id) {
+                    // Re-entered after the Extend latency: the initializer
+                    // just finished on this thread's CPU.
+                    self.onces[oix].running = None;
+                    self.onces[oix].done = true;
+                    let waiters = std::mem::take(&mut self.onces[oix].queue);
+                    for w in waiters {
+                        let wix = self.by_id[&w];
+                        self.threads[wix].outcome = Outcome::Acquired(false);
+                        self.finish_blocking_wake(wix, c);
+                    }
+                    self.threads[tix].outcome = Outcome::Acquired(true);
+                    CallOutcome::Done
+                } else if self.onces[oix].running.is_some() {
+                    self.onces[oix].queue.push(id);
+                    CallOutcome::Blocked(BlockReason::Sync(SyncObjId::once(o.0)))
+                } else {
+                    // Winner: run the initializer inside the call span.
+                    self.onces[oix].running = Some(id);
+                    CallOutcome::Extend(self.app.once_init[oix])
+                }
+            }
         })
+    }
+
+    /// Priority inheritance: lend `prio` to `oix` (the holder of a mutex
+    /// someone at that priority just blocked on), never lowering it.
+    fn inherit_priority(&mut self, oix: Tix, prio: i32) {
+        if prio <= self.threads[oix].user_prio {
+            return;
+        }
+        let was_queued = self.model.requeue_priority() && self.user_rq_remove(oix);
+        self.threads[oix].user_prio = prio;
+        if was_queued {
+            self.user_rq_push(oix, false, None);
+        }
+    }
+
+    /// Drop any inherited boost back to the thread's own priority.
+    fn restore_base_priority(&mut self, tix: Tix) {
+        let base = self.threads[tix].base_prio;
+        if self.threads[tix].user_prio != base {
+            self.threads[tix].user_prio = base;
+        }
     }
 
     /// Wake a thread whose blocking call just succeeded (mutex handoff,
@@ -1599,7 +1737,37 @@ impl<'a, 'o> Oracle<'a, 'o> {
                 queued: rw.queue.len(),
             });
         }
+        for (i, b) in self.barriers.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::barrier(i as u32),
+                held_by: Vec::new(),
+                queued: b.queue.len(),
+            });
+        }
+        for (i, o) in self.onces.iter().enumerate() {
+            sync.push(SyncAudit {
+                obj: SyncObjId::once(i as u32),
+                // A still-running initializer at exit is a held "lock".
+                held_by: o.running.into_iter().collect(),
+                queued: o.queue.len(),
+            });
+        }
         sync
+    }
+
+    /// Barrier arrival ledgers for the generation-count law.
+    fn audit_input_barriers(&self) -> Vec<BarrierAudit> {
+        self.barriers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| BarrierAudit {
+                obj: SyncObjId::barrier(i as u32),
+                parties: b.parties,
+                generation: b.generation,
+                arrivals: b.arrivals,
+                queued: b.queue.len(),
+            })
+            .collect()
     }
 
     fn audit(&self) -> vppb_model::AuditReport {
@@ -1616,12 +1784,14 @@ impl<'a, 'o> Oracle<'a, 'o> {
             })
             .collect();
         let sync = self.audit_input_sync();
-        let runnable_left = self.user_rq.len() + self.kernel_rq.len();
+        let barriers = self.audit_input_barriers();
+        let runnable_left = self.model.len() + self.kernel_rq.len();
         run_audit(&AuditInput {
             wall: self.now,
             cpu_busy: &cpu_busy,
             threads: &thread_audits,
             sync: &sync,
+            barriers: &barriers,
             runnable_left,
             joiners_left: self.joiners.len(),
             transitions: if self.opts.record_trace { Some(&self.transitions) } else { None },

@@ -20,12 +20,23 @@
 //!   succeeding one targets a mutex private to that one segment;
 //! * timed condition waits use condvars nobody ever signals, so they
 //!   always time out (exercising the §3.2 timeout replay rule);
-//! * barriers are sense-reversing broadcast barriers over all workers,
-//!   and every worker passes every round.
+//! * broadcast barriers are sense-reversing condvar barriers over all
+//!   workers, and every worker passes every round;
+//! * native barrier rounds put *all* workers on one `barrier_wait`
+//!   barrier whose party count always equals the worker count, so every
+//!   generation trips;
+//! * condvar-barrier and native-barrier rounds share one interleaved
+//!   global schedule, so every worker passes the same rendezvous
+//!   sequence in the same order (two independently positioned global
+//!   rendezvous would deadlock when workers of different body lengths
+//!   hit them in different orders);
+//! * `once` regions cannot deadlock by nature: the winner runs the
+//!   initializer on its own CPU and latecomers block only until it
+//!   completes.
 
 use vppb_model::corrupt::ChaosRng;
 use vppb_model::Duration;
-use vppb_threads::{App, AppBuilder, BarrierDecl, CondRef, MutexRef, RwRef, SemRef};
+use vppb_threads::{App, AppBuilder, BarrierDecl, CondRef, MutexRef, OnceRef, RwRef, SemRef};
 
 /// One step of a worker's body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +64,9 @@ pub enum Seg {
     Io(u64),
     /// `thr_yield`.
     Yield,
+    /// `once_call(o)` — first arrival runs the initializer, latecomers
+    /// wait for it, everyone after passes through.
+    OnceRegion { once: u32 },
 }
 
 /// One worker thread.
@@ -73,9 +87,17 @@ pub struct ProgSpec {
     pub seed: u64,
     /// Worker threads created (and joined) by `main`.
     pub workers: Vec<WorkerSpec>,
-    /// Global barrier rounds splitting every worker's body; parties are
-    /// always recomputed as `workers.len()` at build time.
+    /// Global condvar-broadcast barrier rounds splitting every worker's
+    /// body; parties are always recomputed as `workers.len()` at build
+    /// time.
     pub barrier_rounds: u32,
+    /// Global *native* (`barrier_wait`) barrier rounds, same
+    /// all-workers-pass-every-round construction on its own chunking.
+    pub native_barrier_rounds: u32,
+    /// One-time-initializer topology size (for `OnceRegion`).
+    pub n_onces: u32,
+    /// Initializer latency per once object, µs.
+    pub once_init_us: Vec<u64>,
     /// Shared-mutex topology size (for `Locked` / `TimedWait`).
     pub n_mutexes: u32,
     /// Semaphore topology size (each starts with one unit).
@@ -121,6 +143,8 @@ impl ProgSpec {
         let n_sems = 1 + rng.below(2) as u32;
         let n_conds = 1 + rng.below(2) as u32;
         let n_rws = 1 + rng.below(2) as u32;
+        let n_onces = 1 + rng.below(2) as u32;
+        let once_init_us = (0..n_onces).map(|_| 20 + rng.below(480) as u64).collect();
         let workers = (0..n_workers)
             .map(|_| {
                 let bound = rng.below(4) == 0; // ~25 % bound threads
@@ -130,7 +154,7 @@ impl ProgSpec {
                 };
                 let n_segs = rng.below(p.max_segs + 1);
                 let segs = (0..n_segs)
-                    .map(|_| match rng.below(12) {
+                    .map(|_| match rng.below(13) {
                         0..=2 => Seg::Work(work_us(&mut rng)),
                         3 | 4 => Seg::Locked {
                             mutex: rng.below(n_mutexes as usize) as u32,
@@ -155,6 +179,7 @@ impl ProgSpec {
                             cond: rng.below(n_conds as usize) as u32,
                             timeout_us: 50 + rng.below(450) as u64,
                         },
+                        11 => Seg::OnceRegion { once: rng.below(n_onces as usize) as u32 },
                         _ => {
                             if rng.below(2) == 0 {
                                 Seg::Io(20 + rng.below(480) as u64)
@@ -171,10 +196,13 @@ impl ProgSpec {
             seed,
             workers,
             barrier_rounds: rng.below(p.max_barrier_rounds as usize + 1) as u32,
+            native_barrier_rounds: rng.below(p.max_barrier_rounds as usize + 1) as u32,
             n_mutexes,
             n_sems,
             n_conds,
             n_rws,
+            n_onces,
+            once_init_us,
             wildcard_join: rng.below(3) == 0,
         }
     }
@@ -211,8 +239,21 @@ impl ProgSpec {
             .filter(|s| matches!(s, Seg::TryLockOk { .. }))
             .count();
         let private: Vec<MutexRef> = (0..n_private).map(|_| b.mutex()).collect();
+        let onces: Vec<OnceRef> = self
+            .once_init_us
+            .iter()
+            .take(self.n_onces as usize)
+            .map(|&us| b.once(Duration::from_micros(us)))
+            .collect();
         let barrier = if self.barrier_rounds > 0 && !self.workers.is_empty() {
             Some(BarrierDecl::declare(&mut b, self.workers.len() as u32))
+        } else {
+            None
+        };
+        // The native barrier: parties always equal the worker count, so
+        // every generation trips no matter which workers survive a shrink.
+        let native_bar = if self.native_barrier_rounds > 0 && !self.workers.is_empty() {
+            Some(b.barrier(self.workers.len() as u32))
         } else {
             None
         };
@@ -236,22 +277,51 @@ impl ProgSpec {
                     })
                     .collect();
                 let w = w.clone();
-                let rounds = self.barrier_rounds as usize;
-                let (mutexes, sems, conds, rws) =
-                    (mutexes.clone(), sems.clone(), conds.clone(), rws.clone());
+                // One interleaved global rendezvous schedule shared by
+                // every worker (`true` = condvar-barrier round, `false` =
+                // native barrier round): all workers pass the same
+                // sequence in the same order, so the two barrier kinds
+                // can never cross-block each other.
+                let schedule: Vec<bool> = {
+                    let (mut cv, mut nat) =
+                        (self.barrier_rounds as usize, self.native_barrier_rounds as usize);
+                    let mut s = Vec::with_capacity(cv + nat);
+                    while cv > 0 || nat > 0 {
+                        if cv > 0 {
+                            s.push(true);
+                            cv -= 1;
+                        }
+                        if nat > 0 {
+                            s.push(false);
+                            nat -= 1;
+                        }
+                    }
+                    s
+                };
+                let (mutexes, sems, conds, rws, onces) =
+                    (mutexes.clone(), sems.clone(), conds.clone(), rws.clone(), onces.clone());
                 b.func(format!("w{i}"), move |f| {
                     if let Some(p) = w.prio {
                         f.set_prio_self(p);
                     }
-                    // Split the body into rounds+1 chunks with a barrier
-                    // wait after each of the first `rounds` chunks.
+                    // Split the body into rounds+1 chunks with the next
+                    // scheduled rendezvous after each of the first
+                    // `rounds` chunks.
+                    let rounds = schedule.len();
                     let chunk = w.segs.len().div_ceil(rounds + 1).max(1);
-                    let mut private_iter = mine.into_iter();
-                    for (si, seg) in w.segs.iter().enumerate() {
-                        if si > 0 && si % chunk == 0 && si / chunk <= rounds {
+                    let emit = |f: &mut vppb_threads::FnBuilder, k: usize| {
+                        if schedule[k] {
                             if let Some(bar) = &barrier {
                                 bar.wait(f);
                             }
+                        } else if let Some(nb) = native_bar {
+                            f.barrier_wait(nb);
+                        }
+                    };
+                    let mut private_iter = mine.into_iter();
+                    for (si, seg) in w.segs.iter().enumerate() {
+                        if si > 0 && si % chunk == 0 && si / chunk <= rounds {
+                            emit(f, si / chunk - 1);
                         }
                         match *seg {
                             Seg::Work(us) => f.work_us(us),
@@ -295,19 +365,19 @@ impl ProgSpec {
                             }
                             Seg::Io(us) => f.io_us(us),
                             Seg::Yield => f.yield_now(),
+                            Seg::OnceRegion { once } => f.once_call(onces[once as usize]),
                         }
                     }
-                    // Remaining barrier rounds (short bodies may not have
-                    // reached every chunk boundary).
+                    // Remaining rendezvous rounds (short bodies may not
+                    // have reached every chunk boundary) — still in
+                    // schedule order.
                     let taken = if w.segs.is_empty() {
                         0
                     } else {
                         ((w.segs.len() - 1) / chunk).min(rounds)
                     };
-                    if let Some(bar) = &barrier {
-                        for _ in taken..rounds {
-                            bar.wait(f);
-                        }
+                    for k in taken..rounds {
+                        emit(f, k);
                     }
                 })
             })
@@ -370,13 +440,39 @@ mod tests {
                 WorkerSpec { bound: true, prio: None, segs: vec![Seg::Yield] },
             ],
             barrier_rounds: 2,
+            native_barrier_rounds: 1,
             n_mutexes: 1,
             n_sems: 1,
             n_conds: 1,
             n_rws: 1,
+            n_onces: 1,
+            once_init_us: vec![100],
             wildcard_join: true,
         };
         let app = spec.build_app();
         app.validate().expect("validates");
+    }
+
+    #[test]
+    fn grammar_reaches_the_new_primitives() {
+        // Across a modest seed range the generator must emit rwlock
+        // segments, once regions and native barrier rounds — otherwise the
+        // differential grid never exercises the new oracle rules.
+        let p = GenParams::default();
+        let (mut rw, mut once, mut nbar) = (false, false, false);
+        for seed in 0..200 {
+            let s = ProgSpec::generate(seed, &p);
+            rw |= s
+                .workers
+                .iter()
+                .flat_map(|w| &w.segs)
+                .any(|g| matches!(g, Seg::ReadLocked { .. } | Seg::WriteLocked { .. }));
+            once |=
+                s.workers.iter().flat_map(|w| &w.segs).any(|g| matches!(g, Seg::OnceRegion { .. }));
+            nbar |= s.native_barrier_rounds > 0;
+        }
+        assert!(rw, "no rwlock segment in 200 seeds");
+        assert!(once, "no once region in 200 seeds");
+        assert!(nbar, "no native barrier round in 200 seeds");
     }
 }

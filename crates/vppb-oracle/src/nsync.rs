@@ -11,9 +11,18 @@
 //!   broadcast drains all, a timed-out waiter removes itself.
 //! * rwlock: writer preference — a queued writer blocks *new* readers;
 //!   on release the first waiter decides the grant mode (a writer alone,
-//!   or the whole leading run of readers together).
+//!   or the whole leading run of readers together). With the
+//!   [`MachineConfig::rw_writer_preference`] knob off, new readers barge
+//!   past queued writers whenever no writer holds the lock.
+//! * barrier: every `parties`-th arrival trips it, waking all queued
+//!   waiters; the ledger `generation * parties + queued == arrivals` is
+//!   the audit's conservation law.
+//! * once: the first caller runs the initializer; latecomers queue behind
+//!   it and everyone after completion passes straight through.
 //!
 //! All queues are plain `Vec`s scanned linearly.
+//!
+//! [`MachineConfig::rw_writer_preference`]: vppb_model::MachineConfig
 
 use vppb_model::ThreadId;
 
@@ -142,9 +151,10 @@ impl NRw {
         self.queue.iter().any(|w| matches!(w, NRwWaiter::Writer(_)))
     }
 
-    /// Shared acquisition; a queued writer blocks new readers.
-    pub fn try_read(&mut self, t: ThreadId) -> bool {
-        if self.writer.is_none() && !self.writers_queued() {
+    /// Shared acquisition. With `prefer_writers` a queued writer blocks
+    /// new readers; without it readers barge whenever no writer holds.
+    pub fn try_read(&mut self, t: ThreadId, prefer_writers: bool) -> bool {
+        if self.writer.is_none() && !(prefer_writers && self.writers_queued()) {
             self.readers.push(t);
             true
         } else {
@@ -194,6 +204,53 @@ impl NRw {
     }
 }
 
+/// A cyclic barrier, naively. Mirrors `vppb_machine::sync::BarrierState`
+/// field for field so the shared auditor's generation-count law applies
+/// to both implementations unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct NBarrier {
+    /// How many arrivals trip the barrier.
+    pub parties: u32,
+    /// Threads blocked waiting for the current generation to trip.
+    pub queue: Vec<ThreadId>,
+    /// Completed generations (trips).
+    pub generation: u64,
+    /// Total arrivals across all generations.
+    pub arrivals: u64,
+}
+
+impl NBarrier {
+    /// A barrier tripping every `parties` arrivals.
+    pub fn new(parties: u32) -> NBarrier {
+        NBarrier { parties, ..NBarrier::default() }
+    }
+
+    /// Thread `t` arrives. If this arrival trips the barrier, returns the
+    /// waiters to wake (not including `t`, who never blocked); otherwise
+    /// `t` is queued and `None` is returned.
+    pub fn arrive(&mut self, t: ThreadId) -> Option<Vec<ThreadId>> {
+        self.arrivals += 1;
+        if self.queue.len() as u64 + 1 >= self.parties as u64 {
+            self.generation += 1;
+            Some(std::mem::take(&mut self.queue))
+        } else {
+            self.queue.push(t);
+            None
+        }
+    }
+}
+
+/// A `pthread_once`-style one-time initializer, naively.
+#[derive(Debug, Clone, Default)]
+pub struct NOnce {
+    /// The initializer has completed.
+    pub done: bool,
+    /// The thread currently running the initializer, if any.
+    pub running: Option<ThreadId>,
+    /// Threads blocked waiting for the running initializer to finish.
+    pub queue: Vec<ThreadId>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +290,18 @@ mod tests {
         rw.queue.push(NRwWaiter::Reader(T5));
         rw.queue.push(NRwWaiter::Writer(ThreadId(6)));
         assert_eq!(rw.unlock(T1).unwrap(), vec![T4, T5]);
-        assert!(!rw.try_read(ThreadId(7)), "queued writer blocks new readers");
+        assert!(!rw.try_read(ThreadId(7), true), "queued writer blocks new readers");
+        assert!(rw.try_read(ThreadId(7), false), "preference off: readers barge");
+    }
+
+    #[test]
+    fn barrier_ledger_counts_every_arrival() {
+        let mut b = NBarrier::new(3);
+        assert!(b.arrive(T1).is_none());
+        assert!(b.arrive(T4).is_none());
+        assert_eq!(b.arrive(T5), Some(vec![T1, T4]));
+        assert_eq!((b.generation, b.arrivals, b.queue.len()), (1, 3, 0));
+        assert!(b.arrive(T1).is_none());
+        assert_eq!(b.generation * u64::from(b.parties) + b.queue.len() as u64, b.arrivals);
     }
 }

@@ -125,6 +125,174 @@ impl NaiveRq {
     }
 }
 
+/// The oracle's transcription of the engine's pluggable
+/// `vppb_machine::SchedModel` — the user-level run-queue policy.
+///
+/// The contracts (the engine must match decision for decision):
+///
+/// * `Solaris`: one global 128-level priority FIFO; any LWP pops the
+///   global maximum; `thr_setprio` re-queues; pool LWPs are time-sliced.
+/// * `Async`: M:N work-stealing. Each registered worker (pool LWP, in
+///   registration order) owns a local FIFO; pushes with no worker
+///   affinity land in a shared injector; a worker pops its own queue,
+///   then the injector, then steals the *oldest* task of the other
+///   workers in ascending wrapping slot order starting just after its
+///   own slot (an unregistered LWP starts at slot 0). Priorities never
+///   reorder anything and tasks run to their next blocking point.
+///
+/// `reverse_steal` is the fuzzer self-test mutation: victims are visited
+/// in *descending* wrapping order instead — a wrong-but-self-consistent
+/// policy invisible to the conservation auditor that the differential
+/// stream diff must catch. Never correct.
+#[derive(Debug, Clone)]
+pub enum NaiveModel {
+    /// The Solaris TS policy: one global priority FIFO.
+    Solaris(NaiveRq),
+    /// The async-executor policy: per-worker queues plus an injector.
+    Async {
+        /// Worker slot → LWP handle, in registration order.
+        workers: Vec<usize>,
+        /// Per-worker local queues, front = oldest.
+        locals: Vec<Vec<usize>>,
+        /// Shared queue for pushes with no worker affinity.
+        injector: Vec<usize>,
+        /// Visit steal victims in descending order (self-test mutation).
+        reverse_steal: bool,
+    },
+}
+
+impl NaiveModel {
+    /// An empty model of the given kind.
+    pub fn new(kind: vppb_model::ModelKind, reverse_steal: bool) -> NaiveModel {
+        match kind {
+            vppb_model::ModelKind::SolarisTs => NaiveModel::Solaris(NaiveRq::new()),
+            vppb_model::ModelKind::AsyncPool => NaiveModel::Async {
+                workers: Vec::new(),
+                locals: Vec::new(),
+                injector: Vec::new(),
+                reverse_steal,
+            },
+        }
+    }
+
+    fn slot_of(workers: &[usize], lix: usize) -> Option<usize> {
+        workers.iter().position(|&w| w == lix)
+    }
+
+    /// Make thread `tix` runnable; `local` targets that LWP's own queue
+    /// where the model keeps one.
+    pub fn push(&mut self, tix: usize, prio: i32, front: bool, local: Option<usize>) {
+        match self {
+            NaiveModel::Solaris(rq) => {
+                if front {
+                    rq.push_front(tix, prio);
+                } else {
+                    rq.push_back(tix, prio);
+                }
+            }
+            NaiveModel::Async { workers, locals, injector, .. } => {
+                let q = match local.and_then(|lix| Self::slot_of(workers, lix)) {
+                    Some(w) => &mut locals[w],
+                    None => injector,
+                };
+                if front {
+                    q.insert(0, tix);
+                } else {
+                    q.push(tix);
+                }
+            }
+        }
+    }
+
+    /// Pick the next thread for LWP `lix`, removing it.
+    pub fn pop_for(&mut self, lix: usize) -> Option<usize> {
+        match self {
+            NaiveModel::Solaris(rq) => rq.pop_max(),
+            NaiveModel::Async { workers, locals, injector, reverse_steal } => {
+                let w = Self::slot_of(workers, lix);
+                if let Some(w) = w {
+                    if !locals[w].is_empty() {
+                        return Some(locals[w].remove(0));
+                    }
+                }
+                if !injector.is_empty() {
+                    return Some(injector.remove(0));
+                }
+                let n = workers.len();
+                for k in 0..n {
+                    let start = w.map_or(0, |w| w + 1);
+                    let v = if *reverse_steal {
+                        // Self-test mutation: descending wrap.
+                        (start + n - 1 - k) % n.max(1)
+                    } else {
+                        (start + k) % n.max(1)
+                    };
+                    if Some(v) == w {
+                        continue;
+                    }
+                    if !locals[v].is_empty() {
+                        return Some(locals[v].remove(0));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Remove `tix` from wherever it is queued; whether it was queued.
+    pub fn remove(&mut self, tix: usize) -> bool {
+        match self {
+            NaiveModel::Solaris(rq) => rq.remove(tix),
+            NaiveModel::Async { locals, injector, .. } => {
+                if let Some(pos) = injector.iter().position(|&t| t == tix) {
+                    injector.remove(pos);
+                    return true;
+                }
+                for q in locals {
+                    if let Some(pos) = q.iter().position(|&t| t == tix) {
+                        q.remove(pos);
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Queued thread count.
+    pub fn len(&self) -> usize {
+        match self {
+            NaiveModel::Solaris(rq) => rq.len(),
+            NaiveModel::Async { locals, injector, .. } => {
+                injector.len() + locals.iter().map(|q| q.len()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Whether no thread is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `thr_setprio` re-queues a queued thread.
+    pub fn requeue_priority(&self) -> bool {
+        matches!(self, NaiveModel::Solaris(_))
+    }
+
+    /// Whether pool LWPs run tasks to the next blocking point unsliced.
+    pub fn cooperative(&self) -> bool {
+        matches!(self, NaiveModel::Async { .. })
+    }
+
+    /// A pool LWP was created; async models give it a worker slot.
+    pub fn register_worker(&mut self, lix: usize) {
+        if let NaiveModel::Async { workers, locals, .. } = self {
+            workers.push(lix);
+            locals.push(Vec::new());
+        }
+    }
+}
+
 /// The pending-event list: a flat `Vec` of `(time, seq, payload)`,
 /// popped by scanning for the smallest `(time, seq)`. `seq` is unique, so
 /// the payload never participates in the ordering — exactly the tie-break
@@ -201,6 +369,42 @@ mod tests {
         q.push_back(2, 7);
         assert_eq!(q.pop_max_inverted(), Some(2));
         assert_eq!(q.pop_max_inverted(), Some(1));
+    }
+
+    #[test]
+    fn naive_async_matches_the_engine_pool_contract() {
+        use vppb_model::ModelKind;
+        let mut m = NaiveModel::new(ModelKind::AsyncPool, false);
+        m.register_worker(10);
+        m.register_worker(11);
+        m.push(1, 0, false, Some(10));
+        m.push(2, 0, false, None);
+        m.push(3, 0, false, Some(11));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.pop_for(10), Some(1), "own queue first");
+        assert_eq!(m.pop_for(10), Some(2), "then injector");
+        assert_eq!(m.pop_for(10), Some(3), "then steal ascending");
+        assert_eq!(m.pop_for(10), None);
+        assert!(!m.requeue_priority());
+        assert!(m.cooperative());
+    }
+
+    #[test]
+    fn reverse_steal_visits_victims_backwards() {
+        use vppb_model::ModelKind;
+        let mk = |reverse| {
+            let mut m = NaiveModel::new(ModelKind::AsyncPool, reverse);
+            for lix in [20, 21, 22] {
+                m.register_worker(lix);
+            }
+            m.push(1, 0, false, Some(20));
+            m.push(2, 0, false, Some(22));
+            m
+        };
+        // Worker at slot 1 (lix 21): ascending steal order is slots 2, 0;
+        // the mutation visits 0, 2 instead.
+        assert_eq!(mk(false).pop_for(21), Some(2));
+        assert_eq!(mk(true).pop_for(21), Some(1));
     }
 
     #[test]

@@ -42,6 +42,11 @@ fn candidates(spec: &ProgSpec) -> Vec<ProgSpec> {
         c.barrier_rounds = 0;
         out.push(c);
     }
+    if spec.native_barrier_rounds > 0 {
+        let mut c = spec.clone();
+        c.native_barrier_rounds = 0;
+        out.push(c);
+    }
     for (w, worker) in spec.workers.iter().enumerate() {
         for s in 0..worker.segs.len() {
             let mut c = spec.clone();

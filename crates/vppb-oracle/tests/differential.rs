@@ -1,17 +1,23 @@
 //! The oracle's reason to exist: engine-vs-oracle differential checks.
 //!
 //! `corpus_agrees_bit_for_bit` is the real assertion — a fixed seed
-//! corpus of generated programs replayed across the CPU × LWP grid with
-//! zero divergences (full decision streams, not makespans). The
-//! `inverted_tiebreak_*` tests prove the harness has teeth: a deliberate
-//! scheduling mutation (LIFO dispatch within a priority level) is caught
-//! and shrunk to a tiny reproducer.
+//! corpus of generated programs replayed across the scheduler-model ×
+//! CPU × LWP grid with zero divergences (full decision streams, not
+//! makespans). The `inverted_tiebreak_*` and `reversed_steal_order_*`
+//! tests prove the harness has teeth: a deliberate scheduling mutation
+//! (LIFO dispatch within a priority level in the Solaris world; a
+//! backwards steal order in the async work-stealing world) is caught and
+//! shrunk to a tiny reproducer.
 
 use vppb_machine::{first_divergence, NullHooks, RunOptions, StepRecorder};
+use vppb_model::ModelKind;
 use vppb_oracle::{check_spec, fuzz_corpus, shrink, ConfigGrid, GenParams, OracleTweaks, ProgSpec};
 use vppb_workloads::{lu, splash, KernelParams};
 
-const MUTATED: OracleTweaks = OracleTweaks { invert_dispatch_tiebreak: true };
+const MUTATED: OracleTweaks =
+    OracleTweaks { invert_dispatch_tiebreak: true, reverse_steal_order: false };
+const STEAL_MUTATED: OracleTweaks =
+    OracleTweaks { invert_dispatch_tiebreak: false, reverse_steal_order: true };
 
 /// Direct (non-replay) agreement: both schedulers run the same app from
 /// scratch and must produce identical decision streams and results.
@@ -107,5 +113,42 @@ fn inverted_tiebreak_shrinks_to_a_tiny_repro() {
     // The minimal repro must still build, record, and diverge — i.e. be a
     // genuine standalone reproducer.
     let again = check_spec(&result.spec, &grid, MUTATED).expect("repro records");
+    assert!(again.is_some(), "shrunk spec no longer diverges");
+}
+
+#[test]
+fn reversed_steal_order_is_caught() {
+    // The mutated oracle's async pool steals from victims in descending
+    // order instead of the engine's ascending wrap. Only the async model
+    // exercises stealing, so the grid pins that axis; multi-LWP pools
+    // (the `2-lwp` mode) are where victims exist at all.
+    let grid = ConfigGrid::for_model(ModelKind::AsyncPool);
+    let caught = (0..48u64).find(|&seed| {
+        let spec = ProgSpec::generate(seed, &GenParams::default());
+        matches!(check_spec(&spec, &grid, STEAL_MUTATED), Ok(Some(_)))
+    });
+    assert!(caught.is_some(), "no seed in 0..48 tripped the reversed steal order");
+}
+
+#[test]
+fn reversed_steal_order_shrinks_to_a_valid_repro() {
+    let grid = ConfigGrid::for_model(ModelKind::AsyncPool);
+    let params = GenParams::default();
+    let seed = (0..48u64)
+        .find(|&s| {
+            let spec = ProgSpec::generate(s, &params);
+            matches!(check_spec(&spec, &grid, STEAL_MUTATED), Ok(Some(_)))
+        })
+        .expect("a diverging seed exists in 0..48");
+    let spec = ProgSpec::generate(seed, &params);
+    let result =
+        shrink(&spec, &grid, STEAL_MUTATED, 200).expect("spec diverges, so shrink succeeds");
+    assert!(
+        result.divergence.plan_ops <= 30,
+        "shrunk repro still has {} plan ops (spec: {:#?})",
+        result.divergence.plan_ops,
+        result.spec
+    );
+    let again = check_spec(&result.spec, &grid, STEAL_MUTATED).expect("repro records");
     assert!(again.is_some(), "shrunk spec no longer diverges");
 }

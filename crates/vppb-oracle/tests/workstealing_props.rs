@@ -1,0 +1,110 @@
+//! Work-stealing invariants as properties, observed through the
+//! engine's decision stream (a [`StepRecorder`] taps every scheduling
+//! decision, so the claims are about what the scheduler *did*, not just
+//! the end state):
+//!
+//! * **every spawned task runs exactly once** — each of the run's
+//!   threads appears in at least one `Dispatch`, the run completes, and
+//!   the audit's lifecycle laws certify no double-start or double-exit;
+//! * **no task is lost across steals** — every `UserEnqueue` of a
+//!   thread is eventually followed by a `Dispatch` of that same thread
+//!   (the push landed in some worker's deque or the injector and a
+//!   worker — owner or thief — picked it back up);
+//! * **steal order is deterministic** — two runs of the same seed on
+//!   the same machine produce bit-identical decision streams.
+//!
+//! Generated programs come from the fuzzer grammar; the machine runs
+//! the async work-stealing model over a three-worker pool (the smallest
+//! pool where steal *order* is distinguishable) so steals actually
+//! happen, not just local pops.
+
+use proptest::prelude::*;
+use vppb_machine::{first_divergence, run, NullHooks, RunOptions, SchedEvent, StepRecorder};
+use vppb_model::{LwpPolicy, MachineConfig, ModelKind};
+use vppb_oracle::{GenParams, ProgSpec};
+
+fn async_cfg(cpus: u32) -> MachineConfig {
+    MachineConfig::sun_enterprise(cpus)
+        .with_lwps(LwpPolicy::Fixed(3))
+        .with_model(ModelKind::AsyncPool)
+}
+
+/// Run the generated program under the async pool, recording the
+/// decision stream.
+fn observed_run(
+    seed: u64,
+    cpus: u32,
+) -> (vppb_machine::RunResult, Vec<(vppb_model::Time, SchedEvent)>) {
+    let spec = ProgSpec::generate(seed, &GenParams::default());
+    let app = spec.build_app();
+    let mut hooks = NullHooks;
+    let mut steps = StepRecorder::new();
+    let mut opts = RunOptions::new(&mut hooks);
+    opts.observer = Some(&mut steps);
+    let r = run(&app, &async_cfg(cpus), opts).expect("generated programs are deadlock-free");
+    (r, steps.into_steps())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every spawned task runs exactly once: all `n_threads` threads of
+    /// the run show up on a CPU, and the lifecycle conservation laws
+    /// (audited every run) rule out a thread starting or exiting twice.
+    #[test]
+    fn every_spawned_task_runs_exactly_once(seed in 0u64..1 << 32, cpus in 1u32..5) {
+        let (r, steps) = observed_run(seed, cpus);
+        let mut dispatched = std::collections::BTreeSet::new();
+        for (_, ev) in &steps {
+            if let SchedEvent::Dispatch { thread, .. } = ev {
+                dispatched.insert(*thread);
+            }
+        }
+        prop_assert_eq!(
+            dispatched.len(),
+            r.n_threads as usize,
+            "spawned {} threads but only {:?} ever ran",
+            r.n_threads,
+            dispatched
+        );
+        prop_assert!(r.audit.is_clean(), "lifecycle audit: {}", r.audit.render());
+    }
+
+    /// No task is lost across steals: a thread pushed onto the
+    /// user-level run queue (some worker's deque or the injector) is
+    /// always dispatched again later in the stream — whoever ends up
+    /// holding it after any sequence of steals.
+    #[test]
+    fn no_enqueued_task_is_lost(seed in 0u64..1 << 32, cpus in 1u32..5) {
+        let (_, steps) = observed_run(seed, cpus);
+        // Walk backwards keeping the set of threads dispatched later.
+        let mut later = std::collections::BTreeSet::new();
+        for (at, ev) in steps.iter().rev() {
+            match ev {
+                SchedEvent::Dispatch { thread, .. } => {
+                    later.insert(*thread);
+                }
+                SchedEvent::UserEnqueue { thread, .. } => {
+                    prop_assert!(
+                        later.contains(thread),
+                        "{thread} enqueued at {at} but never dispatched afterwards"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Steal order is deterministic: the same program on the same
+    /// machine yields a bit-identical decision stream every time.
+    #[test]
+    fn steal_order_is_deterministic(seed in 0u64..1 << 32, cpus in 1u32..5) {
+        let (r1, s1) = observed_run(seed, cpus);
+        let (r2, s2) = observed_run(seed, cpus);
+        if let Some(d) = first_divergence(&s1, &s2) {
+            return Err(TestCaseError::fail(format!("two runs of seed {seed:#x} split:\n{d}")));
+        }
+        prop_assert_eq!(r1.wall_time, r2.wall_time);
+        prop_assert_eq!(r1.des_events, r2.des_events);
+    }
+}

@@ -299,6 +299,7 @@ mod tests {
             id: ContentId::of_bytes(b"x").to_string(),
             program: "demo".to_string(),
             cpus: 4,
+            model: "solaris".to_string(),
             wall_ns: 123_456_789,
             uni_wall_ns: 400_000_000,
             speedup: 3.2400000000000007, // deliberately awkward float

@@ -21,8 +21,8 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use vppb_model::{
-    binlog, ContentId, Duration, LwpPolicy, SalvageReport, SchedMetrics, SimParams, TraceLog, Vfs,
-    VppbError,
+    binlog, ContentId, Duration, LwpPolicy, ModelKind, SalvageReport, SchedMetrics, SimParams,
+    TraceLog, Vfs, VppbError,
 };
 use vppb_recorder::load_lenient_bytes;
 use vppb_sim::{
@@ -137,6 +137,8 @@ pub struct PredictRequest {
     pub lwps: Option<u32>,
     /// Cross-CPU communication delay in µs (default: machine default).
     pub comm_delay_us: Option<u64>,
+    /// User-level scheduling model, `"solaris"` (default) or `"async"`.
+    pub model: ModelKind,
     /// Test/ops knob: hold the worker this long before predicting, to
     /// make deadlines and backpressure observable deterministically.
     pub delay_ms: u64,
@@ -167,6 +169,10 @@ impl serde::Deserialize for PredictRequest {
             cpus: opt_field(v, "cpus")?.unwrap_or(8),
             lwps: opt_field(v, "lwps")?,
             comm_delay_us: opt_field(v, "comm_delay_us")?,
+            model: match opt_field::<String>(v, "model")? {
+                None => ModelKind::SolarisTs,
+                Some(m) => m.parse().map_err(serde::DeError::msg)?,
+            },
             delay_ms: opt_field(v, "delay_ms")?.unwrap_or(0),
             panic_after_events: opt_field(v, "panic_after_events")?,
         })
@@ -181,6 +187,7 @@ impl PredictRequest {
             cpus,
             lwps: None,
             comm_delay_us: None,
+            model: ModelKind::SolarisTs,
             delay_ms: 0,
             panic_after_events: None,
         }
@@ -190,6 +197,7 @@ impl PredictRequest {
     /// `vppb predict`/`simulate` flag handling so service and CLI agree.
     fn params(&self) -> SimParams {
         let mut params = SimParams::cpus(self.cpus);
+        params.machine.model = self.model;
         if let Some(l) = self.lwps {
             params.machine.lwps = LwpPolicy::Fixed(l);
         }
@@ -214,6 +222,8 @@ pub struct PredictResponse {
     pub program: String,
     /// Simulated processor count.
     pub cpus: u32,
+    /// User-level scheduling model the prediction ran under.
+    pub model: String,
     /// Predicted N-CPU wall time, virtual ns.
     pub wall_ns: u64,
     /// Predicted 1-CPU wall time the speed-up divides by, virtual ns.
@@ -237,6 +247,8 @@ pub struct SweepRequest {
     pub lwps: Option<Vec<String>>,
     /// Cross-CPU communication delays in µs.
     pub comm_delay_us: Option<Vec<u64>>,
+    /// Scheduling models: `"solaris"` and/or `"async"` (default: solaris).
+    pub model: Option<Vec<String>>,
     /// Worker threads for the sweep (0 = all cores).
     pub jobs: usize,
 }
@@ -252,6 +264,7 @@ impl serde::Deserialize for SweepRequest {
             cpus: opt_field(v, "cpus")?.unwrap_or_else(|| vec![1, 2, 4, 8]),
             lwps: opt_field(v, "lwps")?,
             comm_delay_us: opt_field(v, "comm_delay_us")?,
+            model: opt_field(v, "model")?,
             jobs: opt_field(v, "jobs")?.unwrap_or(0),
         })
     }
@@ -399,7 +412,7 @@ pub struct PredictionService {
     logs: Mutex<HashMap<ContentId, Arc<StoredLog>>>,
     plans: PlanCache,
     results: Mutex<ResultMemo>,
-    uni_walls: Mutex<HashMap<ContentId, u64>>,
+    uni_walls: Mutex<HashMap<(ContentId, ModelKind), u64>>,
     sessions: Mutex<HashMap<ContentId, Arc<Mutex<FollowStream>>>>,
     counters: Mutex<Counters>,
     durable: Option<Durability>,
@@ -436,7 +449,8 @@ impl PredictionService {
             let mut results = svc.results.lock().expect("results lock");
             let mut uni = svc.uni_walls.lock().expect("uni lock");
             for m in restored {
-                uni.entry(m.id).or_insert(m.response.uni_wall_ns);
+                let model = m.response.model.parse().unwrap_or(ModelKind::SolarisTs);
+                uni.entry((m.id, model)).or_insert(m.response.uni_wall_ns);
                 results.insert((m.id, m.fingerprint), (Arc::new(m.response), true));
             }
         }
@@ -656,7 +670,8 @@ impl PredictionService {
         }
         self.counters.lock().expect("counters lock").result_misses += 1;
 
-        let memoized_uni = self.uni_walls.lock().expect("uni lock").get(&stream.current).copied();
+        let uni_key = (stream.current, ModelKind::SolarisTs);
+        let memoized_uni = self.uni_walls.lock().expect("uni lock").get(&uni_key).copied();
         let uni_wall_ns = match memoized_uni {
             Some(w) => w,
             None => {
@@ -665,7 +680,7 @@ impl PredictionService {
                     .predict(&SimParams::cpus(1))
                     .map_err(|e| ServeError::Internal(e.to_string()))?;
                 let w = uni.wall_time.nanos();
-                self.uni_walls.lock().expect("uni lock").insert(stream.current, w);
+                self.uni_walls.lock().expect("uni lock").insert(uni_key, w);
                 w
             }
         };
@@ -681,6 +696,7 @@ impl PredictionService {
             id: stream.current.to_string(),
             program,
             cpus,
+            model: ModelKind::SolarisTs.name().to_string(),
             wall_ns,
             uni_wall_ns,
             speedup: if wall_ns == 0 { 0.0 } else { uni_wall_ns as f64 / wall_ns as f64 },
@@ -738,14 +754,19 @@ impl PredictionService {
             .map_err(|e| ServeError::Internal(e.to_string()))?;
         // Copy out of the guard: a guard in the match scrutinee would
         // live across the `None` arm and deadlock on the re-lock below.
-        let memoized_uni = self.uni_walls.lock().expect("uni lock").get(&id).copied();
+        // The 1-CPU reference runs under the requested model too, so the
+        // speed-up stays model-internal (mirrors the CLI).
+        let uni_key = (id, req.model);
+        let memoized_uni = self.uni_walls.lock().expect("uni lock").get(&uni_key).copied();
         let uni_wall_ns = match memoized_uni {
             Some(w) => w,
             None => {
-                let uni = simulate_plan(&plan, &stored.log, &SimParams::cpus(1))
+                let mut uni_params = SimParams::cpus(1);
+                uni_params.machine.model = req.model;
+                let uni = simulate_plan(&plan, &stored.log, &uni_params)
                     .map_err(|e| ServeError::Internal(e.to_string()))?;
                 let w = uni.wall_time.nanos();
-                self.uni_walls.lock().expect("uni lock").insert(id, w);
+                self.uni_walls.lock().expect("uni lock").insert(uni_key, w);
                 w
             }
         };
@@ -756,6 +777,7 @@ impl PredictionService {
             id: req.id.clone(),
             program: stored.log.header.program.clone(),
             cpus: req.cpus,
+            model: req.model.name().to_string(),
             wall_ns,
             uni_wall_ns,
             speedup: if wall_ns == 0 { 0.0 } else { uni_wall_ns as f64 / wall_ns as f64 },
@@ -819,6 +841,13 @@ impl PredictionService {
         if let Some(delays) = &req.comm_delay_us {
             let delays: Vec<Duration> = delays.iter().copied().map(Duration::from_micros).collect();
             grid = grid.with_comm_delays(delays);
+        }
+        if let Some(specs) = &req.model {
+            let mut models = Vec::new();
+            for s in specs {
+                models.push(s.parse::<ModelKind>().map_err(ServeError::BadRequest)?);
+            }
+            grid = grid.with_models(models);
         }
         let configs = grid.configs();
         let (plan, _) = self
@@ -996,6 +1025,7 @@ mod tests {
                 cpus: vec![1, 2, 4],
                 lwps: None,
                 comm_delay_us: None,
+                model: None,
                 jobs: 2,
             })
             .unwrap();

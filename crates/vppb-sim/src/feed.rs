@@ -32,8 +32,8 @@ use crate::stream::{provisional_op, PlanState};
 use std::collections::BTreeMap;
 use vppb_model::binlog::{self, FrameStep, Preamble};
 use vppb_model::{
-    CodeAddr, DiagCode, Diagnostic, EventKind, EventResult, LogHeader, ObjKind, Phase, Pos,
-    SalvageEdit, SalvageReport, SyncObjId, ThreadId, Time, TraceLog, TraceRecord, VppbError,
+    CodeAddr, DiagCode, Diagnostic, Duration, EventKind, EventResult, LogHeader, ObjKind, Phase,
+    Pos, SalvageEdit, SalvageReport, SyncObjId, ThreadId, Time, TraceLog, TraceRecord, VppbError,
 };
 use vppb_recorder::LoadedLog;
 use vppb_threads::{Action, LibCall};
@@ -166,6 +166,8 @@ struct FastState {
     n_condvars: u32,
     n_rwlocks: u32,
     n_sems: u32,
+    barrier_parties: Vec<u32>,
+    once_init: Vec<Duration>,
     create_map: BTreeMap<(ThreadId, u64), ThreadId>,
     create_seq: BTreeMap<ThreadId, u64>,
     bound: BTreeMap<ThreadId, bool>,
@@ -195,6 +197,8 @@ impl FastState {
             n_condvars: 0,
             n_rwlocks: 0,
             n_sems: 0,
+            barrier_parties: Vec::new(),
+            once_init: Vec::new(),
             create_map: BTreeMap::new(),
             create_seq: BTreeMap::new(),
             bound: BTreeMap::new(),
@@ -209,13 +213,29 @@ impl FastState {
     /// Track the object-universe maxima (sorter pass 1) for one record.
     fn maxima(&mut self, r: &TraceRecord) {
         if let Some(obj) = r.kind.object() {
-            let slot = match obj.kind {
-                ObjKind::Mutex => &mut self.n_mutexes,
-                ObjKind::Semaphore => &mut self.n_sems,
-                ObjKind::Condvar => &mut self.n_condvars,
-                ObjKind::RwLock => &mut self.n_rwlocks,
-            };
-            *slot = (*slot).max(obj.index + 1);
+            let i = obj.index as usize;
+            match obj.kind {
+                ObjKind::Mutex => self.n_mutexes = self.n_mutexes.max(obj.index + 1),
+                ObjKind::Semaphore => self.n_sems = self.n_sems.max(obj.index + 1),
+                ObjKind::Condvar => self.n_condvars = self.n_condvars.max(obj.index + 1),
+                ObjKind::RwLock => self.n_rwlocks = self.n_rwlocks.max(obj.index + 1),
+                ObjKind::Barrier => {
+                    if self.barrier_parties.len() <= i {
+                        self.barrier_parties.resize(i + 1, 1);
+                    }
+                    if let EventKind::BarrierWait { parties, .. } = r.kind {
+                        self.barrier_parties[i] = parties.max(1);
+                    }
+                }
+                ObjKind::Once => {
+                    if self.once_init.len() <= i {
+                        self.once_init.resize(i + 1, Duration::ZERO);
+                    }
+                    if let EventKind::OnceCall { init, .. } = r.kind {
+                        self.once_init[i] = self.once_init[i].max(init);
+                    }
+                }
+            }
         }
         if let Some(m) = r.kind.cond_mutex() {
             self.n_mutexes = self.n_mutexes.max(m.index + 1);
@@ -701,6 +721,8 @@ impl FastState {
             n_mutexes: self.n_mutexes,
             n_condvars: self.n_condvars,
             n_rwlocks: self.n_rwlocks,
+            barrier_parties: self.barrier_parties.clone(),
+            once_init: self.once_init.clone(),
             recorded_wall: header.wall_time,
             bound: self.bound.clone(),
             tapes: std::sync::OnceLock::new(),

@@ -67,6 +67,12 @@ pub struct ReplayPlan {
     pub n_condvars: u32,
     /// Number of read/write locks the log references.
     pub n_rwlocks: u32,
+    /// Party count per barrier index (from the recorded `barrier_wait`s'
+    /// event payloads).
+    pub barrier_parties: Vec<u32>,
+    /// Initializer latency per once index (from the recorded
+    /// `once_call`s' event payloads).
+    pub once_init: Vec<Duration>,
     /// Wall time of the monitored run (the prediction baseline).
     pub recorded_wall: vppb_model::Time,
     /// Per-call `bound` flags recorded at `thr_create` (child id → bound).
@@ -165,7 +171,8 @@ impl ReplayPlan {
         let cvs: usize =
             self.cvs.iter().map(|cv| (cv.episodes.len() + cv.signal_released.len()) * 8 + 48).sum();
         let sems = self.sem_initial.len() * 4;
-        (256 + ops + create + cvs + sems) as u64
+        let barriers = self.barrier_parties.len() * 4 + self.once_init.len() * 8;
+        (256 + ops + create + cvs + sems + barriers) as u64
     }
 }
 

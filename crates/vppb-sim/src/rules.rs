@@ -156,6 +156,8 @@ mod tests {
             create_map: Default::default(),
             cvs: vec![CvPlan { episodes, signal_released: signals }],
             sem_initial: vec![],
+            barrier_parties: vec![],
+            once_init: vec![],
             n_mutexes: 1,
             n_condvars: 1,
             n_rwlocks: 0,

@@ -18,10 +18,10 @@
 use crate::plan::{CvEpisode, CvPlan, ReplayPlan, ThreadPlan};
 use std::collections::{BTreeMap, BTreeSet};
 use vppb_model::{
-    CodeAddr, DiagCode, Diagnostic, EventKind, EventResult, ObjKind, Phase, Pos, ThreadId, Time,
-    TraceLog, TraceRecord, VppbError,
+    CodeAddr, DiagCode, Diagnostic, Duration, EventKind, EventResult, ObjKind, Phase, Pos,
+    ThreadId, Time, TraceLog, TraceRecord, VppbError,
 };
-use vppb_threads::{Action, CondRef, LibCall, MutexRef, RwRef, SemRef};
+use vppb_threads::{Action, BarrierRef, CondRef, LibCall, MutexRef, OnceRef, RwRef, SemRef};
 
 /// Build the replay plan from a validated log.
 pub fn analyze(log: &TraceLog) -> Result<ReplayPlan, VppbError> {
@@ -61,15 +61,33 @@ fn analyze_inner(
     let mut n_condvars = 0u32;
     let mut n_rwlocks = 0u32;
     let mut n_sems = 0u32;
+    let mut barrier_parties: Vec<u32> = Vec::new();
+    let mut once_init: Vec<Duration> = Vec::new();
     for r in &log.records {
         if let Some(obj) = r.kind.object() {
-            let slot = match obj.kind {
-                ObjKind::Mutex => &mut n_mutexes,
-                ObjKind::Semaphore => &mut n_sems,
-                ObjKind::Condvar => &mut n_condvars,
-                ObjKind::RwLock => &mut n_rwlocks,
-            };
-            *slot = (*slot).max(obj.index + 1);
+            let i = obj.index as usize;
+            match obj.kind {
+                ObjKind::Mutex => n_mutexes = n_mutexes.max(obj.index + 1),
+                ObjKind::Semaphore => n_sems = n_sems.max(obj.index + 1),
+                ObjKind::Condvar => n_condvars = n_condvars.max(obj.index + 1),
+                ObjKind::RwLock => n_rwlocks = n_rwlocks.max(obj.index + 1),
+                ObjKind::Barrier => {
+                    if barrier_parties.len() <= i {
+                        barrier_parties.resize(i + 1, 1);
+                    }
+                    if let EventKind::BarrierWait { parties, .. } = r.kind {
+                        barrier_parties[i] = parties.max(1);
+                    }
+                }
+                ObjKind::Once => {
+                    if once_init.len() <= i {
+                        once_init.resize(i + 1, Duration::ZERO);
+                    }
+                    if let EventKind::OnceCall { init, .. } = r.kind {
+                        once_init[i] = once_init[i].max(init);
+                    }
+                }
+            }
         }
         if let Some(m) = r.kind.cond_mutex() {
             n_mutexes = n_mutexes.max(m.index + 1);
@@ -308,6 +326,8 @@ fn analyze_inner(
             n_mutexes,
             n_condvars,
             n_rwlocks,
+            barrier_parties,
+            once_init,
             recorded_wall: log.header.wall_time,
             bound: bound_flags,
             tapes: std::sync::OnceLock::new(),
@@ -396,6 +416,13 @@ pub(crate) fn translate_call(
                 ops.push(call(LibCall::RwWrLock(RwRef(obj.index))));
             }
         }
+
+        // Both replay directly: the engine's own semantics decide who trips
+        // the barrier / runs the initializer, exactly like the recorded
+        // 1-LWP run's semantics did (the party count and init latency ride
+        // in the plan's object universe).
+        BarrierWait { obj, .. } => ops.push(call(LibCall::BarrierWait(BarrierRef(obj.index)))),
+        OnceCall { obj, .. } => ops.push(call(LibCall::OnceCall(OnceRef(obj.index)))),
 
         StartCollect | EndCollect | ThreadStart { .. } => {}
     }

@@ -513,6 +513,8 @@ fn build_stalling_app(
             n_mutexes: plan.n_mutexes,
             n_condvars: plan.n_condvars,
             n_rwlocks: plan.n_rwlocks,
+            barrier_parties: plan.barrier_parties.clone(),
+            once_init: plan.once_init.clone(),
             var_initial: vec![],
         },
         parts,

@@ -5,7 +5,8 @@
 //! analyzes the log once, builds the replay [`App`] once, shares both
 //! immutably behind [`Arc`] across `std::thread::scope` workers, and
 //! replays every configuration of a grid (CPUs × LWP policies ×
-//! communication delays × per-thread manipulations) concurrently.
+//! communication delays × scheduling models × per-thread manipulations)
+//! concurrently.
 //! Identical configurations are deduplicated by fingerprint and simulated
 //! once; every grid cell still gets its row in the resulting speed-up
 //! surface.
@@ -21,7 +22,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use vppb_model::{
-    Duration, LwpPolicy, SimParams, ThreadId, ThreadManip, Time, TraceLog, VppbError,
+    Duration, LwpPolicy, ModelKind, SimParams, ThreadId, ThreadManip, Time, TraceLog, VppbError,
 };
 
 /// One labeled cell of a sweep grid.
@@ -43,6 +44,8 @@ pub struct SweepGrid {
     pub lwps: Vec<LwpPolicy>,
     /// Cross-CPU communication delays (default: the machine default).
     pub comm_delays: Vec<Option<Duration>>,
+    /// User-level scheduling models (default: the Solaris TS queues).
+    pub models: Vec<ModelKind>,
     /// Labeled per-thread manipulation sets (bindings / priority pins).
     pub manip_sets: Vec<(String, BTreeMap<ThreadId, ThreadManip>)>,
 }
@@ -54,6 +57,7 @@ impl SweepGrid {
             cpus: cpus.into(),
             lwps: vec![LwpPolicy::PerThread],
             comm_delays: vec![None],
+            models: vec![ModelKind::SolarisTs],
             manip_sets: vec![(String::new(), BTreeMap::new())],
         }
     }
@@ -67,6 +71,12 @@ impl SweepGrid {
     /// Builder-style: also vary the communication delay.
     pub fn with_comm_delays(mut self, delays: impl Into<Vec<Duration>>) -> SweepGrid {
         self.comm_delays = delays.into().into_iter().map(Some).collect();
+        self
+    }
+
+    /// Builder-style: also vary the user-level scheduling model.
+    pub fn with_models(mut self, models: impl Into<Vec<ModelKind>>) -> SweepGrid {
+        self.models = models.into();
         self
     }
 
@@ -85,32 +95,38 @@ impl SweepGrid {
     pub fn configs(&self) -> Vec<SweepConfig> {
         let mut out = Vec::new();
         for (mlabel, manips) in &self.manip_sets {
-            for delay in &self.comm_delays {
-                for lwps in &self.lwps {
-                    for &cpus in &self.cpus {
-                        let mut params = SimParams::cpus(cpus);
-                        params.machine.lwps = *lwps;
-                        if let Some(d) = delay {
-                            params.machine.comm_delay = *d;
-                        }
-                        params.manips = manips.clone();
-                        let mut label = format!("{cpus}p");
-                        if self.lwps.len() > 1 {
-                            label += &match lwps {
-                                LwpPolicy::Fixed(n) => format!(" lwps={n}"),
-                                LwpPolicy::PerThread => " lwps=per-thread".to_string(),
-                                LwpPolicy::FollowProgram => " lwps=follow".to_string(),
-                            };
-                        }
-                        if self.comm_delays.len() > 1 {
+            for &model in &self.models {
+                for delay in &self.comm_delays {
+                    for lwps in &self.lwps {
+                        for &cpus in &self.cpus {
+                            let mut params = SimParams::cpus(cpus);
+                            params.machine.lwps = *lwps;
+                            params.machine.model = model;
                             if let Some(d) = delay {
-                                label += &format!(" comm={d}");
+                                params.machine.comm_delay = *d;
                             }
+                            params.manips = manips.clone();
+                            let mut label = format!("{cpus}p");
+                            if self.lwps.len() > 1 {
+                                label += &match lwps {
+                                    LwpPolicy::Fixed(n) => format!(" lwps={n}"),
+                                    LwpPolicy::PerThread => " lwps=per-thread".to_string(),
+                                    LwpPolicy::FollowProgram => " lwps=follow".to_string(),
+                                };
+                            }
+                            if self.comm_delays.len() > 1 {
+                                if let Some(d) = delay {
+                                    label += &format!(" comm={d}");
+                                }
+                            }
+                            if self.models.len() > 1 {
+                                label += &format!(" model={}", model.name());
+                            }
+                            if !mlabel.is_empty() {
+                                label += &format!(" {mlabel}");
+                            }
+                            out.push(SweepConfig { label, params });
                         }
-                        if !mlabel.is_empty() {
-                            label += &format!(" {mlabel}");
-                        }
-                        out.push(SweepConfig { label, params });
                     }
                 }
             }
@@ -127,6 +143,8 @@ pub struct SweepPoint {
     pub label: String,
     /// Simulated processor count.
     pub cpus: u32,
+    /// User-level scheduling model of this cell (`"solaris"` / `"async"`).
+    pub model: String,
     /// Predicted wall time, virtual nanoseconds.
     pub wall_ns: u64,
     /// Table-1-style speed-up: predicted 1-CPU wall over this wall.
@@ -292,6 +310,7 @@ pub fn sweep_plan(
                 points.push(SweepPoint {
                     label: cell.label.clone(),
                     cpus: cell.params.machine.cpus,
+                    model: cell.params.machine.model.name().to_string(),
                     wall_ns: wall.nanos(),
                     speedup: if wall == Time::ZERO {
                         0.0
@@ -310,6 +329,7 @@ pub fn sweep_plan(
                 points.push(SweepPoint {
                     label: cell.label.clone(),
                     cpus: cell.params.machine.cpus,
+                    model: cell.params.machine.model.name().to_string(),
                     wall_ns: 0,
                     speedup: 0.0,
                     utilization: 0.0,

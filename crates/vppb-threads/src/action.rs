@@ -40,6 +40,12 @@ pub struct CondRef(pub u32);
 /// Handle to a declared read/write lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RwRef(pub u32);
+/// Handle to a declared cyclic barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrierRef(pub u32);
+/// Handle to a declared one-time initializer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OnceRef(pub u32);
 
 /// An atomic operation on a shared variable. Performed by the machine at a
 /// single instant of virtual time, like a SPARC atomic or a plain aligned
@@ -136,6 +142,17 @@ pub enum LibCall {
     RwTryWrLock(RwRef),
     /// `rw_unlock`.
     RwUnlock(RwRef),
+
+    /// `barrier_wait` on a declared cyclic barrier (native primitive; the
+    /// composite mutex+condvar barrier in the builder predates it). Blocks
+    /// until the barrier's declared party count has arrived.
+    BarrierWait(BarrierRef),
+    /// One-time initialization (`pthread_once` semantics): the first
+    /// caller runs the declared initializer as extra call latency, later
+    /// callers block until it finishes, then everyone proceeds. Outcome:
+    /// [`Outcome::Acquired`]`(true)` for the thread that ran the
+    /// initializer, `(false)` for everyone else.
+    OnceCall(OnceRef),
 }
 
 impl LibCall {
@@ -152,6 +169,8 @@ impl LibCall {
                 | RwRdLock(_)
                 | RwWrLock(_)
                 | IoWait(_)
+                | BarrierWait(_)
+                | OnceCall(_)
         )
     }
 }

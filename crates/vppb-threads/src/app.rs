@@ -54,6 +54,12 @@ pub struct App {
     pub n_condvars: u32,
     /// Number of read/write locks.
     pub n_rwlocks: u32,
+    /// Party count of each declared barrier (`barrier_parties.len()` is
+    /// the barrier count).
+    pub barrier_parties: Vec<u32>,
+    /// Initializer compute cost of each declared once cell
+    /// (`once_init.len()` is the once count).
+    pub once_init: Vec<vppb_model::Duration>,
     /// Initial values of the shared integer variables.
     pub var_initial: Vec<i64>,
 }
@@ -88,6 +94,9 @@ impl App {
         if self.main.0 >= self.functions.len() {
             return Err(VppbError::InvalidConfig("main function id out of range".into()));
         }
+        if let Some(i) = self.barrier_parties.iter().position(|&p| p == 0) {
+            return Err(VppbError::InvalidConfig(format!("barrier {i} declared with 0 parties")));
+        }
         Ok(())
     }
 }
@@ -121,6 +130,8 @@ mod tests {
             n_mutexes: 0,
             n_condvars: 0,
             n_rwlocks: 0,
+            barrier_parties: vec![],
+            once_init: vec![],
             var_initial: vec![],
         }
     }

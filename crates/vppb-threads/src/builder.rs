@@ -22,7 +22,8 @@
 //! pseudo source file, so the Visualizer can map each event back to "code".
 
 use crate::action::{
-    Cmp, Cond, CondRef, FuncId, LibCall, LocalId, MutexRef, Operand, RwRef, SemRef, SlotId, VarId,
+    BarrierRef, Cmp, Cond, CondRef, FuncId, LibCall, LocalId, MutexRef, OnceRef, Operand, RwRef,
+    SemRef, SlotId, VarId,
 };
 use crate::app::{App, FuncDecl};
 use crate::program::{Program, ProgramFactory};
@@ -57,6 +58,8 @@ pub struct AppBuilder {
     n_condvars: u32,
     n_rwlocks: u32,
     sem_initial: Vec<u32>,
+    barrier_parties: Vec<u32>,
+    once_init: Vec<Duration>,
     var_initial: Vec<i64>,
     functions: Vec<FuncDecl>,
     main: Option<FuncId>,
@@ -75,6 +78,8 @@ impl AppBuilder {
             n_condvars: 0,
             n_rwlocks: 0,
             sem_initial: Vec::new(),
+            barrier_parties: Vec::new(),
+            once_init: Vec::new(),
             var_initial: Vec::new(),
             functions: Vec::new(),
             main: None,
@@ -103,6 +108,18 @@ impl AppBuilder {
     pub fn rwlock(&mut self) -> RwRef {
         self.n_rwlocks += 1;
         RwRef(self.n_rwlocks - 1)
+    }
+
+    /// Declare a native cyclic barrier for `parties` threads.
+    pub fn barrier(&mut self, parties: u32) -> BarrierRef {
+        self.barrier_parties.push(parties);
+        BarrierRef(self.barrier_parties.len() as u32 - 1)
+    }
+
+    /// Declare a one-time initializer whose init body computes for `init`.
+    pub fn once(&mut self, init: Duration) -> OnceRef {
+        self.once_init.push(init);
+        OnceRef(self.once_init.len() as u32 - 1)
     }
 
     /// Declare a shared integer variable with an initial value.
@@ -177,6 +194,8 @@ impl AppBuilder {
             n_mutexes: self.n_mutexes,
             n_condvars: self.n_condvars,
             n_rwlocks: self.n_rwlocks,
+            barrier_parties: self.barrier_parties,
+            once_init: self.once_init,
             var_initial: self.var_initial,
         };
         app.validate()?;
@@ -437,6 +456,18 @@ impl<'a> FnBuilder<'a> {
     pub fn rw_unlock(&mut self, rw: RwRef) {
         let site = self.site();
         self.push(Stmt::Call(LibCall::RwUnlock(rw), site));
+    }
+
+    /// `barrier_wait(&bar)` on a native barrier.
+    pub fn barrier_wait(&mut self, bar: BarrierRef) {
+        let site = self.site();
+        self.push(Stmt::Call(LibCall::BarrierWait(bar), site));
+    }
+
+    /// `pthread_once(&once, init)`-style one-time initialization.
+    pub fn once_call(&mut self, once: OnceRef) {
+        let site = self.site();
+        self.push(Stmt::Call(LibCall::OnceCall(once), site));
     }
 
     // ----- shared / local variables -----------------------------------------

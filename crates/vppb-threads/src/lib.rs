@@ -21,8 +21,8 @@ pub mod script;
 pub mod tape;
 
 pub use action::{
-    Action, Cmp, Cond, CondRef, FuncId, LibCall, LocalId, MutexRef, Operand, Outcome, RwRef,
-    SemRef, SlotId, VarId, VarOp,
+    Action, BarrierRef, Cmp, Cond, CondRef, FuncId, LibCall, LocalId, MutexRef, OnceRef, Operand,
+    Outcome, RwRef, SemRef, SlotId, VarId, VarOp,
 };
 pub use app::{App, FuncDecl};
 pub use builder::{op, AppBuilder, BarrierDecl, FnBuilder};

@@ -16,9 +16,23 @@ enum Item {
 }
 
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+/// What a missing field deserializes to: an error (no attribute), the
+/// type's `Default` (`#[serde(default)]`), or a named function's return
+/// value (`#[serde(default = "path")]`).
+enum FieldDefault {
+    Required,
+    Std,
+    Path(String),
 }
 
 struct Variant {
@@ -53,9 +67,10 @@ fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
 }
 
 /// Skip leading attributes (`#[...]`), reporting whether any of them was
-/// `#[serde(transparent)]`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// `#[serde(transparent)]` and what `#[serde(default...)]` requested.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, FieldDefault) {
     let mut transparent = false;
+    let mut default = FieldDefault::Required;
     while *i + 1 < tokens.len() {
         let TokenTree::Punct(p) = &tokens[*i] else { break };
         if p.as_char() != '#' {
@@ -63,13 +78,28 @@ fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
         }
         if let TokenTree::Group(g) = &tokens[*i + 1] {
             let text = g.stream().to_string();
-            if text.starts_with("serde") && text.contains("transparent") {
-                transparent = true;
+            if text.starts_with("serde") {
+                if text.contains("transparent") {
+                    transparent = true;
+                }
+                if let Some(rest) = text.splitn(2, "default").nth(1) {
+                    // `default = "path"` or bare `default`.
+                    let path = rest
+                        .split('"')
+                        .nth(1)
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from);
+                    default = match path {
+                        Some(p) => FieldDefault::Path(p),
+                        None => FieldDefault::Std,
+                    };
+                }
             }
         }
         *i += 2;
     }
-    transparent
+    (transparent, default)
 }
 
 /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
@@ -86,17 +116,17 @@ fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
     split_commas(&tokens)
         .into_iter()
         .filter(|chunk| !chunk.is_empty())
         .map(|chunk| {
             let mut i = 0;
-            skip_attrs(&chunk, &mut i);
+            let (_, default) = skip_attrs(&chunk, &mut i);
             skip_vis(&chunk, &mut i);
             match chunk.get(i) {
-                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(TokenTree::Ident(id)) => Field { name: id.to_string(), default },
                 other => panic!("serde shim derive: expected field name, got {other:?}"),
             }
         })
@@ -111,7 +141,7 @@ fn parse_tuple_fields(group: &proc_macro::Group) -> usize {
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    let transparent = skip_attrs(&tokens, &mut i);
+    let (transparent, _) = skip_attrs(&tokens, &mut i);
     skip_vis(&tokens, &mut i);
     let kw = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -151,7 +181,7 @@ fn parse_item(input: TokenStream) -> Item {
                 .filter(|chunk| !chunk.is_empty())
                 .map(|chunk| {
                     let mut j = 0;
-                    skip_attrs(&chunk, &mut j);
+                    let _ = skip_attrs(&chunk, &mut j);
                     let vname = match chunk.get(j) {
                         Some(TokenTree::Ident(id)) => id.to_string(),
                         other => panic!("serde shim derive: bad variant {other:?}"),
@@ -188,6 +218,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     let pairs: Vec<String> = names
                         .iter()
                         .map(|f| {
+                            let f = &f.name;
                             format!(
                                 "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
                             )
@@ -236,10 +267,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         Fields::Named(fs) => {
-                            let binds = fs.join(", ");
+                            let binds =
+                                fs.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                             let pairs: Vec<String> = fs
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
                                     )
@@ -269,15 +302,22 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 // --- Deserialize -----------------------------------------------------------
 
-fn named_field_reads(ty: &str, ctor: &str, fs: &[String], src: &str) -> String {
+fn named_field_reads(ty: &str, ctor: &str, fs: &[Field], src: &str) -> String {
     let reads: Vec<String> = fs
         .iter()
         .map(|f| {
+            let name = &f.name;
+            let on_missing = match &f.default {
+                FieldDefault::Required => format!(
+                    "return Err(::serde::DeError::msg(\"missing field `{name}` in `{ty}`\"))"
+                ),
+                FieldDefault::Std => "::core::default::Default::default()".to_string(),
+                FieldDefault::Path(p) => format!("{p}()"),
+            };
             format!(
-                "{f}: match {src}.get(\"{f}\") {{\n\
+                "{name}: match {src}.get(\"{name}\") {{\n\
                      Some(x) => ::serde::Deserialize::from_value(x)?,\n\
-                     None => return Err(::serde::DeError::msg(\
-                         \"missing field `{f}` in `{ty}`\")),\n\
+                     None => {on_missing},\n\
                  }},"
             )
         })

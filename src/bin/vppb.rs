@@ -4,13 +4,13 @@
 //! ```text
 //! vppb workloads
 //! vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]
-//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE] [--lenient]
-//! vppb predict <LOG> [--cpus N] [--metrics-json FILE] [--lenient]
-//! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--jobs N] [--metrics-json FILE] [--lenient]
+//! vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--model solaris|async] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE] [--lenient]
+//! vppb predict <LOG> [--cpus N] [--model solaris|async] [--metrics-json FILE] [--lenient]
+//! vppb sweep <LOG> [--cpus N,N,..] [--lwps ..] [--comm-delay-us D,..] [--model solaris,async] [--jobs N] [--metrics-json FILE] [--lenient]
 //! vppb check <LOG> [--strict|--lenient] [--json]
 //! vppb report <LOG>
 //! vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] [--request-timeout-ms T] [--max-body-bytes B] [--store DIR] [--tenant-backlog Q] [--tenant-weights a=4,b=1]
-//! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] [--repro-dir DIR] [--json]
+//! vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--model solaris,async] [--chunked] [--shrink] [--self-test] [--self-test-steal] [--repro-dir DIR] [--json]
 //! vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]
 //! ```
 //!
@@ -60,6 +60,9 @@ struct MetricsDump {
     program: String,
     /// Simulated CPU count.
     cpus: u32,
+    /// User-level scheduling model the replay machine ran
+    /// (`solaris` / `async`).
+    model: String,
     /// Predicted wall time of the run, in virtual nanoseconds.
     wall_ns: u64,
     /// `simulate`: speed-up vs the monitored run; `predict`: predicted
@@ -183,6 +186,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let log = &input.log;
             let cpus: u32 = flag(&flags, "cpus", 8)?;
             let mut params = SimParams::cpus(cpus);
+            params.machine.model = parse_model(&flags)?;
             if let Some(l) = flags.get("lwps") {
                 let n: u32 = l.parse().map_err(|_| "bad --lwps")?;
                 params.machine.lwps = LwpPolicy::Fixed(n);
@@ -207,6 +211,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 let dump = MetricsDump {
                     program: log.header.program.clone(),
                     cpus,
+                    model: params.machine.model.name().to_string(),
                     wall_ns: sim.wall_time.nanos(),
                     speedup: sim.speedup_vs_recorded(),
                     metrics,
@@ -238,13 +243,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let input = load_input(path, &flags)?;
             let log = &input.log;
             let cpus: u32 = flag(&flags, "cpus", 8)?;
+            let model = parse_model(&flags)?;
+            let mut uni_params = SimParams::cpus(1);
+            uni_params.machine.model = model;
+            let mut multi_params = SimParams::cpus(cpus);
+            multi_params.machine.model = model;
             if let Some(file) = flags.get("metrics-json") {
                 // Table-1 style speed-up: predicted 1-CPU wall over
                 // predicted N-CPU wall, with the N-CPU run's metrics.
-                let (uni, _) =
-                    simulate_metrics(log, &SimParams::cpus(1)).map_err(|e| e.to_string())?;
+                // Both runs use the same scheduling model, so the ratio
+                // stays model-internal.
+                let (uni, _) = simulate_metrics(log, &uni_params).map_err(|e| e.to_string())?;
                 let (multi, metrics) =
-                    simulate_metrics(log, &SimParams::cpus(cpus)).map_err(|e| e.to_string())?;
+                    simulate_metrics(log, &multi_params).map_err(|e| e.to_string())?;
                 let s = if multi.wall_time.nanos() == 0 {
                     0.0
                 } else {
@@ -254,6 +265,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 let dump = MetricsDump {
                     program: log.header.program.clone(),
                     cpus,
+                    model: model.name().to_string(),
                     wall_ns: multi.wall_time.nanos(),
                     speedup: s,
                     metrics,
@@ -263,7 +275,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 };
                 write_metrics_json(file, &dump)?;
             } else {
-                let s = vppb_sim::predict_speedup(log, cpus).map_err(|e| e.to_string())?;
+                let uni = simulate(log, &uni_params).map_err(|e| e.to_string())?;
+                let multi = simulate(log, &multi_params).map_err(|e| e.to_string())?;
+                let s = if multi.wall_time.nanos() == 0 {
+                    0.0
+                } else {
+                    uni.wall_time.nanos() as f64 / multi.wall_time.nanos() as f64
+                };
                 println!("predicted speed-up of `{}` on {cpus} CPUs: {s:.2}", log.header.program);
             }
             Ok(input.exit())
@@ -293,6 +311,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .map(Duration::from_micros)
                     .collect();
                 grid = grid.with_comm_delays(delays);
+            }
+            if let Some(m) = flags.get("model") {
+                let models = parse_list::<vppb_model::ModelKind>(m)
+                    .map_err(|_| "bad --model list (expected solaris and/or async)")?;
+                grid = grid.with_models(models);
             }
             let jobs: usize = flag(&flags, "jobs", 0)?;
             let configs = grid.configs();
@@ -608,13 +631,15 @@ fn check_log(path: &str, flags: &BTreeMap<String, String>) -> Result<ExitCode, S
 /// `vppb fuzz`: differential fuzzing of the scheduler. Seeded random
 /// programs are recorded on the monitored machine, then each replay plan
 /// runs through both the optimized engine and the naive oracle across a
-/// CPU-count × LWP-policy grid; the two must agree on the full stream of
-/// scheduling decisions, bit for bit. `--shrink` delta-debugs any
-/// divergence to a minimal reproducer and writes it out as a replayable
-/// text log; `--self-test` inverts a dispatch tie-break inside the oracle
-/// and *expects* the harness to catch it, proving the fuzzer has teeth.
-/// Exit codes: 0 all comparisons agreed (or, under `--self-test`, the
-/// mutation was caught), 2 otherwise.
+/// scheduler-model × CPU-count × LWP-policy grid (`--model` restricts
+/// the model axis; default both `solaris` and `async`); the two must
+/// agree on the full stream of scheduling decisions, bit for bit.
+/// `--shrink` delta-debugs any divergence to a minimal reproducer and
+/// writes it out as a replayable text log; `--self-test` inverts a
+/// dispatch tie-break inside the oracle, `--self-test-steal` reverses
+/// the async pool's steal order, and either mutation *must* be caught,
+/// proving the fuzzer has teeth. Exit codes: 0 all comparisons agreed
+/// (or, under a self-test, the mutation was caught), 2 otherwise.
 fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
     use vppb_oracle::{
         ConfigGrid, Divergence, FuzzOutcome, GenParams, LwpMode, OracleTweaks, ProgSpec,
@@ -624,12 +649,22 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
     let start: u64 = flag(flags, "seed-start", 0)?;
     let cpus = parse_list::<u32>(flags.get("cpus").map_or("1,2,4,8", String::as_str))
         .map_err(|_| "bad --cpus list")?;
-    let grid = ConfigGrid { cpus, modes: LwpMode::ALL.to_vec() };
+    let self_test = flags.contains_key("self-test");
+    let self_test_steal = flags.contains_key("self-test-steal");
+    // The steal-order mutation only bites where stealing exists, so its
+    // self-test pins the grid to the async model unless told otherwise.
+    let default_models = if self_test_steal { "async" } else { "solaris,async" };
+    let models = parse_list::<vppb_model::ModelKind>(
+        flags.get("model").map_or(default_models, String::as_str),
+    )
+    .map_err(|_| "bad --model list (expected solaris and/or async)")?;
+    let grid = ConfigGrid { cpus, modes: LwpMode::ALL.to_vec(), models };
     if grid.is_empty() {
         return Err("fuzz: empty configuration grid".into());
     }
-    let self_test = flags.contains_key("self-test");
-    let tweaks = OracleTweaks { invert_dispatch_tiebreak: self_test };
+    let tweaks =
+        OracleTweaks { invert_dispatch_tiebreak: self_test, reverse_steal_order: self_test_steal };
+    let self_test = self_test || self_test_steal;
     let gen = GenParams::default();
     let do_shrink = flags.contains_key("shrink");
     let budget: usize = flag(flags, "shrink-budget", 200)?;
@@ -656,6 +691,7 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
                     seed,
                     cpus: 0,
                     mode: LwpMode::PerThread,
+                    model: vppb_model::ModelKind::SolarisTs,
                     detail: format!("pipeline error (not a scheduling divergence): {e}"),
                     plan_ops: 0,
                 });
@@ -677,6 +713,7 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
                         seed,
                         cpus: c,
                         mode: LwpMode::PerThread,
+                        model: vppb_model::ModelKind::SolarisTs,
                         detail: format!("incremental replay diverged from cold run: {detail}"),
                         plan_ops: 0,
                     }),
@@ -712,6 +749,8 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
         /// Grid point where the schedules split (`cpus` 0 = pipeline error).
         cpus: u32,
         lwps: String,
+        /// Scheduling model at the diverging grid point.
+        model: String,
         plan_ops: usize,
         detail: String,
         shrunk: Option<ShrunkDump>,
@@ -722,7 +761,10 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
     struct FuzzDump {
         seeds: u64,
         seed_start: u64,
-        /// CPU-count × LWP-policy points each seed was replayed under.
+        /// Scheduling models on the grid's model axis.
+        models: Vec<String>,
+        /// Model × CPU-count × LWP-policy points each seed was replayed
+        /// under.
         grid_points: usize,
         /// Total engine-vs-oracle comparisons performed.
         comparisons: usize,
@@ -779,6 +821,7 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
             seed: format!("{:#018x}", d.seed),
             cpus: d.cpus,
             lwps: d.mode.to_string(),
+            model: d.model.name().to_string(),
             plan_ops: d.plan_ops,
             detail: d.detail.clone(),
             shrunk,
@@ -790,6 +833,7 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
         let dump = FuzzDump {
             seeds,
             seed_start: start,
+            models: grid.models.iter().map(|m| m.name().to_string()).collect(),
             grid_points: grid.len(),
             comparisons: report.configs_checked,
             chunk_comparisons,
@@ -818,7 +862,7 @@ fn fuzz(flags: &BTreeMap<String, String>) -> Result<ExitCode, String> {
     if self_test {
         if caught {
             if !json {
-                println!("self-test passed: the injected tie-break inversion was caught");
+                println!("self-test passed: the injected scheduling mutation was caught");
             }
             Ok(ExitCode::SUCCESS)
         } else {
@@ -926,6 +970,7 @@ fn watch(path: &str, flags: &BTreeMap<String, String>) -> Result<ExitCode, Strin
         let dump = MetricsDump {
             program,
             cpus,
+            model: multi.machine.model.name().to_string(),
             wall_ns: m.wall_time.nanos(),
             speedup: s,
             metrics,
@@ -942,17 +987,17 @@ fn usage() -> String {
     "usage:\n  \
      vppb workloads\n  \
      vppb record <workload> [--threads N] [--scale S] [-o FILE] [--format text|json|bin]\n  \
-     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE] [--lenient]\n  \
-     vppb predict <LOG> [--cpus N] [--metrics-json FILE] [--lenient]\n  \
+     vppb simulate <LOG> [--cpus N] [--lwps N] [--comm-delay-us D] [--model solaris|async] [--svg FILE] [--html FILE] [--ansi] [--stats] [--metrics-json FILE] [--lenient]\n  \
+     vppb predict <LOG> [--cpus N] [--model solaris|async] [--metrics-json FILE] [--lenient]\n  \
      vppb sweep <LOG> [--cpus N,N,..] [--lwps per-thread|follow|N,..] [--comm-delay-us D,..] \
-     [--jobs N] [--no-color] [--metrics-json FILE] [--lenient]\n  \
+     [--model solaris,async] [--jobs N] [--no-color] [--metrics-json FILE] [--lenient]\n  \
      vppb check <LOG> [--strict|--lenient] [--json]\n  \
      vppb report <LOG>\n  \
      vppb serve [--addr A] [--workers N] [--cache-bytes B] [--queue-depth Q] \
      [--request-timeout-ms T] [--max-body-bytes B] [--store DIR] \
      [--tenant-backlog Q] [--tenant-weights a=4,b=1]\n  \
-     vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--chunked] [--shrink] [--self-test] \
-     [--repro-dir DIR] [--json]\n  \
+     vppb fuzz [--seeds N] [--seed-start S] [--cpus N,N,..] [--model solaris,async] [--chunked] \
+     [--shrink] [--self-test] [--self-test-steal] [--repro-dir DIR] [--json]\n  \
      vppb watch <LOG> [--cpus N] [--chunks N] [--interval-ms D] [--idle-timeout-ms T] [--once] [--metrics-json FILE]\n\
      \n\
      exit codes: 0 clean, 1 completed after reported recovery, 2 unrecoverable"
@@ -962,6 +1007,14 @@ fn usage() -> String {
 /// Parse a `--flag a,b,c` list.
 fn parse_list<T: std::str::FromStr>(s: &str) -> Result<Vec<T>, ()> {
     s.split(',').map(|x| x.trim().parse().map_err(|_| ())).collect()
+}
+
+/// Parse a single `--model` flag (default: the Solaris TS queues).
+fn parse_model(flags: &BTreeMap<String, String>) -> Result<vppb_model::ModelKind, String> {
+    match flags.get("model") {
+        None => Ok(vppb_model::ModelKind::SolarisTs),
+        Some(m) => m.parse(),
+    }
 }
 
 /// Split positional args from `--key value` / `--switch` / `-o value` flags.

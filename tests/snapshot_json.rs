@@ -29,18 +29,32 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 }
 
 /// Normalize volatile fields, then pretty-print for a reviewable golden.
+/// `file` (a temp path) becomes `<LOG>`; `model` (the scheduling-model
+/// name, anywhere in the document — top level for prediction dumps,
+/// per-point for sweep dumps) becomes `<MODEL>`, so the goldens pin that
+/// the field *exists* without re-pinning each model's spelling.
 fn normalize(json: &str) -> String {
     let mut v: Value = serde_json::from_str(json.trim()).expect("valid JSON");
-    if let Value::Object(fields) = &mut v {
-        for (key, val) in fields.iter_mut() {
-            if key == "file" {
-                *val = Value::Str("<LOG>".to_string());
-            }
-        }
-    }
+    scrub(&mut v);
     let mut out = serde_json::to_string_pretty(&v).expect("re-serializes");
     out.push('\n');
     out
+}
+
+fn scrub(v: &mut Value) {
+    match v {
+        Value::Object(fields) => {
+            for (key, val) in fields.iter_mut() {
+                match key.as_str() {
+                    "file" => *val = Value::Str("<LOG>".to_string()),
+                    "model" => *val = Value::Str("<MODEL>".to_string()),
+                    _ => scrub(val),
+                }
+            }
+        }
+        Value::Array(items) => items.iter_mut().for_each(scrub),
+        _ => {}
+    }
 }
 
 fn golden(name: &str, actual: &str) {
@@ -94,6 +108,61 @@ fn check_json_strict_refusal() {
     let (code, stdout, _) = vppb(&["check", log.to_str().unwrap(), "--strict", "--json"]);
     assert_eq!(code, 2);
     golden("check_strict_refusal", &normalize(&stdout));
+}
+
+#[test]
+fn sweep_model_table() {
+    // The two-model sweep table: same grid, one row per (config, model)
+    // cell, `model=` in the label. Virtual-time DES + --jobs 1 makes the
+    // whole text deterministic.
+    let dir = tmpdir("sweep-model");
+    let log = dir.join("fft.vppb");
+    let log_s = log.to_str().unwrap();
+    let (code, _, stderr) =
+        vppb(&["record", "fft", "--threads", "2", "--scale", "0.05", "-o", log_s]);
+    assert_eq!(code, 0, "record: {stderr}");
+    let (code, stdout, stderr) = vppb(&[
+        "sweep",
+        log_s,
+        "--cpus",
+        "1,2,4",
+        "--model",
+        "solaris,async",
+        "--jobs",
+        "1",
+        "--no-color",
+    ]);
+    assert_eq!(code, 0, "sweep: {stderr}");
+    let path = format!("{}/tests/golden/cli/sweep_model.golden", env!("CARGO_MANIFEST_DIR"));
+    vppb_testkit::assert_golden(path, &stdout);
+}
+
+#[test]
+fn sweep_model_metrics_json() {
+    // The machine-readable sweep dump must carry the model axis on every
+    // point; the model *name* is scrubbed to <MODEL> so the golden pins
+    // the schema, not the spelling.
+    let dir = tmpdir("sweep-model-json");
+    let log = dir.join("fft.vppb");
+    let log_s = log.to_str().unwrap();
+    let (code, _, stderr) =
+        vppb(&["record", "fft", "--threads", "2", "--scale", "0.05", "-o", log_s]);
+    assert_eq!(code, 0, "record: {stderr}");
+    let json = dir.join("sweep.json");
+    let (code, _, stderr) = vppb(&[
+        "sweep",
+        log_s,
+        "--cpus",
+        "1,2",
+        "--model",
+        "solaris,async",
+        "--jobs",
+        "1",
+        "--metrics-json",
+        json.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "sweep: {stderr}");
+    golden("sweep_model_metrics", &normalize(&std::fs::read_to_string(&json).unwrap()));
 }
 
 #[test]
